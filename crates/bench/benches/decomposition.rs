@@ -1,0 +1,46 @@
+//! Criterion bench: Hamiltonian decomposition cost (the timing component
+//! of Figure 12) — Lemma-2 lowering vs the Trotter + two-level-synthesis
+//! baseline.
+
+use choco_core::{lemma2_stats, trotter_decompose, CommuteDriver, TrotterConfig};
+use choco_mathkit::{LinEq, LinSystem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn ring_driver(n: usize) -> CommuteDriver {
+    let mut sys = LinSystem::new(n);
+    sys.push(LinEq::new((0..n).map(|i| (i, 1i64)), 1));
+    CommuteDriver::build(&sys).expect("driver")
+}
+
+fn bench_lemma2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2_lowering");
+    group.sample_size(20);
+    for n in [4usize, 8, 12, 16] {
+        let driver = ring_driver(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &driver, |b, driver| {
+            b.iter(|| lemma2_stats(std::hint::black_box(driver), 0.7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_trotter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trotter_decomposition");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    let config = TrotterConfig {
+        slices: 16,
+        timeout: Duration::from_secs(120),
+    };
+    for n in [2usize, 4, 6] {
+        let driver = ring_driver(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &driver, |b, driver| {
+            b.iter(|| trotter_decompose(std::hint::black_box(driver), 0.7, &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma2, bench_trotter);
+criterion_main!(benches);

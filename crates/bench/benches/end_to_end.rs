@@ -1,0 +1,62 @@
+//! Criterion bench: end-to-end solver latency on small benchmark classes —
+//! the measured backbone of Table I / Figure 11 comparisons.
+
+use choco_core::{ChocoQConfig, ChocoQSolver};
+use choco_model::Solver;
+use choco_problems::instance;
+use choco_solvers::{CyclicQaoaSolver, PenaltyQaoaSolver, QaoaConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn fast_choco() -> ChocoQConfig {
+    ChocoQConfig {
+        max_iters: 30,
+        restarts: 1,
+        shots: 2_000,
+        transpiled_stats: false,
+        ..ChocoQConfig::default()
+    }
+}
+
+fn fast_qaoa() -> QaoaConfig {
+    QaoaConfig {
+        layers: 3,
+        max_iters: 30,
+        shots: 2_000,
+        transpiled_stats: false,
+        ..QaoaConfig::default()
+    }
+}
+
+fn bench_choco(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choco_q_solve");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for id in ["F1", "K1", "G1"] {
+        let problem = instance(id, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(id), &problem, |b, p| {
+            let solver = ChocoQSolver::new(fast_choco());
+            b.iter(|| solver.solve(std::hint::black_box(p)).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_solve_F1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let problem = instance("F1", 1);
+    group.bench_function("penalty", |b| {
+        let solver = PenaltyQaoaSolver::new(fast_qaoa());
+        b.iter(|| solver.solve(std::hint::black_box(&problem)).expect("solve"));
+    });
+    group.bench_function("cyclic", |b| {
+        let solver = CyclicQaoaSolver::new(fast_qaoa());
+        b.iter(|| solver.solve(std::hint::black_box(&problem)).expect("solve"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_choco, bench_baselines);
+criterion_main!(benches);

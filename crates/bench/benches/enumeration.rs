@@ -1,0 +1,35 @@
+//! Criterion bench: the classical compilation primitives — feasibility
+//! enumeration and ternary-kernel (Δ) construction. These are Choco-Q's
+//! `compile` share in Figure 11(b).
+
+use choco_mathkit::ternary_kernel_basis;
+use choco_problems::instance;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_feasible_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasible_enumeration");
+    group.sample_size(20);
+    for id in ["F2", "G2", "K3"] {
+        let problem = instance(id, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(id), &problem, |b, p| {
+            b.iter(|| p.feasible_solutions(std::hint::black_box(100_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_basis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ternary_kernel_basis");
+    group.sample_size(20);
+    for id in ["F2", "G2", "K3", "G3"] {
+        let problem = instance(id, 1);
+        let constraints = problem.constraints().clone();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &constraints, |b, sys| {
+            b.iter(|| ternary_kernel_basis(std::hint::black_box(sys)).expect("basis"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasible_enumeration, bench_kernel_basis);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: state-vector engine throughput — the quantum-execution
+//! cost that dominates every solver's iteration loop (Fig. 11's `execute`
+//! share).
+
+use choco_qsim::{Circuit, PhasePoly, StateVector, UBlock};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn layer_circuit(n: usize) -> Circuit {
+    let mut poly = PhasePoly::new(n);
+    for i in 0..n {
+        poly.add_linear(i, 0.3 * i as f64);
+        if i + 1 < n {
+            poly.add_quadratic(i, i + 1, -0.2);
+        }
+    }
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.diag(Arc::new(poly), 0.4);
+    // A serialized driver pass of n/2 three-qubit blocks.
+    for k in 0..n / 2 {
+        let mut u = vec![0i8; n];
+        u[k] = 1;
+        u[(k + 1) % n] = -1;
+        u[(k + 2) % n] = 1;
+        c.ublock(UBlock::from_u_with_angle(&u, 0.5));
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_layer");
+    group.sample_size(20);
+    for n in [10usize, 14, 18] {
+        let circuit = layer_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| StateVector::run(std::hint::black_box(circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut group = c.benchmark_group("sampling_10k_shots");
+    group.sample_size(20);
+    for n in [10usize, 16] {
+        let circuit = layer_circuit(n);
+        let state = StateVector::run(&circuit);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &state, |b, state| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| state.sample(10_000, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Figure 9 — (a) convergence of the optimizer cost on an F1 instance;
+//! (b) parallelism: the number of measured (non-zero-probability) states
+//! through the Choco-Q circuit.
+//!
+//! Paper reference: Choco-Q reaches the optimal cost within ~30 iterations
+//! (and is within 20% after 7), while the baselines start ~10³ away and
+//! are still ≥78% away after 148 iterations. Parallelism grows
+//! exponentially around the first quarter of the circuit.
+//!
+//! Run: `cargo run --release -p choco-bench --bin fig09_convergence`
+
+use choco_bench::expect_optimum;
+use choco_core::{support_profile, ChocoQConfig, ChocoQSolver, CommuteDriver};
+use choco_model::Solver;
+use choco_problems::instance;
+use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
+use std::sync::Arc;
+
+fn main() {
+    // ---------- (a) convergence on F1 (2F-1D) ----------
+    let problem = instance("F1", 1);
+    let optimum = expect_optimum(&problem);
+    println!(
+        "Figure 9(a) — cost vs iteration on {} (optimal cost {})\n",
+        problem.name(),
+        optimum.value
+    );
+
+    let penalty = PenaltyQaoaSolver::new(QaoaConfig::default());
+    let cyclic = CyclicQaoaSolver::new(QaoaConfig::default());
+    let hea = HeaSolver::new(QaoaConfig::default());
+    let choco = ChocoQSolver::new(ChocoQConfig::default());
+    let solvers: [&dyn Solver; 4] = [&penalty, &cyclic, &hea, &choco];
+    for solver in solvers {
+        match solver.solve(&problem) {
+            Ok(outcome) => {
+                let shown: Vec<String> = outcome
+                    .cost_history
+                    .iter()
+                    .take(30)
+                    .step_by(3)
+                    .map(|c| format!("{c:8.2}"))
+                    .collect();
+                println!(
+                    "{:<10} iters={:<4} history(every 3rd): {}",
+                    solver.name(),
+                    outcome.iterations,
+                    shown.join(" ")
+                );
+            }
+            Err(e) => println!("{:<10} failed: {e}", solver.name()),
+        }
+    }
+    println!(
+        "\n(Choco-Q histories are exact objective expectations — feasible by\n\
+         construction; penalty/HEA histories include the λ‖Cx−c‖² term, which\n\
+         is why they start orders of magnitude higher.)\n"
+    );
+
+    // ---------- (b) parallelism through the circuit ----------
+    println!("Figure 9(b) — #measured states through the Choco-Q circuit\n");
+    for id in ["F1", "F2", "F3"] {
+        let problem = instance(id, 1);
+        let driver = CommuteDriver::build(problem.constraints()).expect("driver");
+        let initial = problem.first_feasible().expect("feasible");
+        let ordered = driver.ordered_terms(initial);
+        let poly = Arc::new(problem.cost_poly());
+        let params = ChocoQSolver::initial_params(1, ordered.len());
+        let circuit =
+            ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+        let profile = support_profile(&circuit, 1e-9);
+        let marks: Vec<String> = (0..=4)
+            .map(|q| {
+                let idx = (profile.len() - 1) * q / 4;
+                format!("{}@{:>3}%", profile[idx], 25 * q)
+            })
+            .collect();
+        println!(
+            "{id}: {} gates, support growth {}",
+            circuit.len(),
+            marks.join(" → ")
+        );
+    }
+    println!(
+        "\nExpected shape: support = 1 at the start (special feasible initial\n\
+         state), exponential growth once the serialized driver begins — the\n\
+         quantum parallelism the paper highlights."
+    );
+}

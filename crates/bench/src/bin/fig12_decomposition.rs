@@ -1,0 +1,86 @@
+//! Figure 12 — Hamiltonian decomposition: Trotter + exact unitary
+//! synthesis vs Choco-Q's Lemma-2 lowering, as the register grows.
+//!
+//! Paper reference: at 10 qubits Choco-Q is ~10⁶× faster and ~8341× leaner
+//! in memory; Trotter times out beyond 10 qubits; Choco-Q's resulting
+//! depth grows linearly (24 at 5 qubits → 66 at 12 in the paper's gate
+//! accounting) while Trotter's explodes past 10¹⁰.
+//!
+//! Run: `cargo run --release -p choco-bench --bin fig12_decomposition [--quick]`
+
+use choco_bench::{fmt_secs, quick_mode, Table};
+use choco_core::{lemma2_stats, trotter_decompose, CommuteDriver, TrotterConfig};
+use choco_mathkit::{LinEq, LinSystem};
+use std::time::Duration;
+
+/// One summation constraint over n variables: the driver every method has
+/// to implement.
+fn ring_driver(n: usize) -> CommuteDriver {
+    let mut sys = LinSystem::new(n);
+    sys.push(LinEq::new((0..n).map(|i| (i, 1i64)), 1));
+    CommuteDriver::build(&sys).expect("ring driver")
+}
+
+fn main() {
+    let quick = quick_mode();
+    let trotter_max = if quick { 7 } else { 10 };
+    let lemma2_max = if quick { 12 } else { 16 };
+    let timeout = if quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(60)
+    };
+
+    println!("Figure 12(a) reproduction — decomposition time and memory\n");
+    let table = Table::new(
+        &["#qubits", "method", "time", "memory", "status"],
+        &[8, 10, 12, 12, 9],
+    );
+    for n in 2..=trotter_max {
+        let driver = ring_driver(n);
+        let report = trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 128, timeout });
+        table.row(&[
+            n.to_string(),
+            "trotter".into(),
+            fmt_secs(report.total_time()),
+            format!("{:.1} MB", report.memory_bytes as f64 / 1e6),
+            if report.timed_out { "TIMEOUT" } else { "ok" }.into(),
+        ]);
+        let l2 = lemma2_stats(&driver, 0.7);
+        table.row(&[
+            n.to_string(),
+            "choco-q".into(),
+            fmt_secs(l2.time),
+            format!("{:.3} MB", l2.memory_bytes as f64 / 1e6),
+            "ok".into(),
+        ]);
+    }
+    println!(
+        "\n(beyond {trotter_max} qubits the Trotter flow exceeds the timeout — the\n\
+         paper reports the same wall at >10 qubits)\n"
+    );
+
+    println!("Figure 12(b) reproduction — resulting circuit depth\n");
+    let table = Table::new(&["#qubits", "trotter depth", "choco-q depth"], &[8, 16, 14]);
+    for n in 2..=lemma2_max {
+        let driver = ring_driver(n);
+        let trotter_depth = if n <= trotter_max {
+            let report =
+                trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 128, timeout });
+            if report.timed_out {
+                "timeout".to_string()
+            } else {
+                format!("{:.2e}", report.depth as f64)
+            }
+        } else {
+            "-".to_string()
+        };
+        let l2 = lemma2_stats(&driver, 0.7);
+        table.row(&[n.to_string(), trotter_depth, l2.depth.to_string()]);
+    }
+    println!(
+        "\nExpected shape: Trotter depth grows exponentially (≫10⁶ already at\n\
+         8–10 qubits, ×128 slices), Choco-Q's linearly — the >10⁴× gap of\n\
+         the paper."
+    );
+}

@@ -1,0 +1,86 @@
+//! Figure 13 — variable elimination: transpiled depth (a) and noisy
+//! success rate (b) as 0–3 variables are eliminated (F2 / G2 / K2).
+//!
+//! Paper reference: on F2, one elimination cuts depth 2.7× and boosts
+//! noisy success 10.2×; the 3rd elimination adds little (most non-zeros
+//! already gone); KPP barely benefits (uniform non-zero distribution).
+//!
+//! Run: `cargo run --release -p choco-bench --bin fig13_elimination [--quick]`
+
+use choco_bench::{expect_optimum, fmt_rate, quick_mode, Table};
+use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
+use choco_device::Device;
+use choco_model::Solver;
+use choco_problems::instance;
+
+fn main() {
+    let classes: &[&str] = if quick_mode() {
+        &["F2", "K2"]
+    } else {
+        &["F2", "G2", "K2"]
+    };
+    let fez = Device::Fez.model();
+    println!("Figure 13 reproduction — variable elimination sweep (noise: {})\n", fez.name);
+
+    let table = Table::new(
+        &["case", "#elim", "branches", "Δ nonzeros", "depth", "success%(noisy)"],
+        &[5, 6, 9, 11, 7, 16],
+    );
+    for id in classes {
+        let problem = instance(id, 1);
+        let optimum = expect_optimum(&problem);
+        for eliminate in 0..=3usize {
+            let plan = plan_elimination(&problem, eliminate).expect("plan");
+            let nonzeros: usize = plan
+                .branches
+                .first()
+                .map(|b| {
+                    CommuteDriver::build(b.problem.constraints())
+                        .map(|d| d.total_nonzeros())
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0);
+            let config = ChocoQConfig {
+                eliminate,
+                max_iters: 50,
+                restarts: 2,
+                shots: 4_000,
+                noise: Some(fez.noise()),
+                noise_trajectories: 12,
+                transpiled_stats: true,
+                ..ChocoQConfig::default()
+            };
+            match ChocoQSolver::new(config).solve(&problem) {
+                Ok(outcome) => {
+                    let m = outcome.metrics_with(&problem, &optimum);
+                    table.row(&[
+                        id.to_string(),
+                        eliminate.to_string(),
+                        plan.branches.len().to_string(),
+                        nonzeros.to_string(),
+                        outcome
+                            .circuit
+                            .transpiled_depth
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        fmt_rate(Some(m.success_rate)),
+                    ]);
+                }
+                Err(e) => table.row(&[
+                    id.to_string(),
+                    eliminate.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    e.to_string(),
+                ]),
+            }
+        }
+        table.rule();
+    }
+    println!(
+        "\nExpected shape: depth and Δ-non-zeros drop with each elimination\n\
+         (strongly for FLP/GCP, weakly for KPP); noisy success rises because\n\
+         shallower circuits see less decoherence, at the cost of 2^k circuits."
+    );
+}

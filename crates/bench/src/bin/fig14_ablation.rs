@@ -1,0 +1,115 @@
+//! Figure 14 — ablation of the three optimization passes under the IBMQ
+//! noise model:
+//!
+//! * **Opt1** — Hamiltonian serialization (always on; without it nothing
+//!   deploys at all),
+//! * **Opt2** — the Lemma-2 equivalent decomposition (its ablation lowers
+//!   each serialized block with *generic* two-level unitary synthesis),
+//! * **Opt3** — variable elimination (2 variables, as in the paper).
+//!
+//! Paper reference: Opt1+2 is 5.7× shallower than Opt1 alone and 2.4×
+//! more successful; Opt3 adds another 1.3–1.4×.
+//!
+//! Run: `cargo run --release -p choco-bench --bin fig14_ablation [--quick]`
+
+use choco_bench::{expect_optimum, fmt_rate, quick_mode, Table};
+use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
+use choco_device::Device;
+use choco_mathkit::{expm, Complex64};
+use choco_model::{Problem, Solver};
+use choco_problems::instance;
+use choco_qsim::two_level_decompose;
+
+/// Depth of the serialized driver when each block is lowered by *generic*
+/// two-level synthesis instead of Lemma 2 (the Opt2 ablation). Blocks are
+/// independent, so depths add.
+fn generic_block_depth(problem: &Problem) -> u128 {
+    let driver = CommuteDriver::build(problem.constraints()).expect("driver");
+    let mut total: u128 = 0;
+    for u in driver.terms() {
+        let support: Vec<usize> = (0..u.len()).filter(|&i| u[i] != 0).collect();
+        let k = support.len();
+        // Dense e^{-iβ Hc} on the support qubits only.
+        let compressed: Vec<i8> = support.iter().map(|&i| u[i]).collect();
+        let h = CommuteDriver::term_matrix(&compressed);
+        let unitary = expm(&h.scale(Complex64::new(0.0, -0.8)));
+        let cost = two_level_decompose(&unitary).cost_estimate(k);
+        total += cost.depth_estimate;
+    }
+    total
+}
+
+fn main() {
+    let classes: &[&str] = if quick_mode() { &["F1"] } else { &["F1", "K1"] };
+    let fez = Device::Fez.model();
+    println!("Figure 14 reproduction — ablation under the {} noise model\n", fez.name);
+
+    let table = Table::new(
+        &["case", "config", "depth", "success%(noisy)"],
+        &[5, 10, 9, 16],
+    );
+    for id in classes {
+        let problem = instance(id, 1);
+        let optimum = expect_optimum(&problem);
+
+        // --- Opt1 (serialization + generic synthesis): depth analytically,
+        // success not simulatable at that depth on NISQ — the paper's point.
+        let opt1_depth = generic_block_depth(&problem);
+        table.row(&[
+            id.to_string(),
+            "Opt1".into(),
+            format!("{opt1_depth}"),
+            "(undeployable)".into(),
+        ]);
+
+        // --- Opt1+3: generic synthesis on the 2-variable-eliminated problem.
+        let plan = plan_elimination(&problem, 2).expect("plan");
+        let opt13_depth = plan
+            .branches
+            .first()
+            .map(|b| generic_block_depth(&b.problem))
+            .unwrap_or(0);
+        table.row(&[
+            id.to_string(),
+            "Opt1+3".into(),
+            format!("{opt13_depth}"),
+            "(undeployable)".into(),
+        ]);
+
+        // --- Opt1+2 and Opt1+2+3: the real solver under noise.
+        for (label, eliminate) in [("Opt1+2", 0usize), ("Opt1+2+3", 2)] {
+            let config = ChocoQConfig {
+                eliminate,
+                max_iters: 60,
+                restarts: 2,
+                shots: 4_000,
+                noise: Some(fez.noise()),
+                noise_trajectories: 12,
+                transpiled_stats: true,
+                ..ChocoQConfig::default()
+            };
+            match ChocoQSolver::new(config).solve(&problem) {
+                Ok(outcome) => {
+                    let m = outcome.metrics_with(&problem, &optimum);
+                    table.row(&[
+                        id.to_string(),
+                        label.into(),
+                        outcome
+                            .circuit
+                            .transpiled_depth
+                            .map(|d| d.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        fmt_rate(Some(m.success_rate)),
+                    ]);
+                }
+                Err(e) => table.row(&[id.to_string(), label.into(), "-".into(), e.to_string()]),
+            }
+        }
+        table.rule();
+    }
+    println!(
+        "\nExpected shape: Opt2 (Lemma 2) collapses the generic-synthesis depth\n\
+         by orders of magnitude; Opt3 shaves a further 1.3–2.6× and lifts the\n\
+         noisy success rate accordingly (paper Fig. 14)."
+    );
+}

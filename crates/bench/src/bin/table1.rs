@@ -1,0 +1,68 @@
+//! Table I — QAOA designs for constrained binary optimization, compared on
+//! a 15-qubit graph coloring problem.
+//!
+//! Paper reference (15-qubit GCP, IBM Fez timing model):
+//!
+//! | design | universality | in-constraints | success | latency |
+//! |---|---|---|---|---|
+//! | penalty (Verma et al.) | soft constraints | 0.03% | 0.02% | 16.6 s |
+//! | penalty (Red-QAOA)     | soft constraints | 0.07% | 0.03% | 16.7 s |
+//! | cyclic Hamiltonian     | part of linear   | 0.67% | 0.14% | 19.6 s |
+//! | **Choco-Q**            | arbitrary linear | 100%  | 67.1% | 7.07 s |
+//!
+//! Run: `cargo run --release -p choco-bench --bin table1`
+
+use choco_bench::{expect_optimum, fmt_rate, fmt_secs, run_all_solvers, Table};
+use choco_device::{Device, LatencyModel};
+use choco_problems::gcp_random;
+
+fn main() {
+    // 15 qubits: 3 vertices, 2 edges, 3 colors → (3+2)·3 = 15 variables.
+    let problem = gcp_random(3, 2, 3, 1).expect("generate");
+    println!("Table I reproduction — {} ({} qubits, {} constraints)\n",
+        problem.name(), problem.n_vars(), problem.constraints().len());
+
+    let optimum = expect_optimum(&problem);
+    let runs = run_all_solvers(&problem, &optimum);
+
+    let table = Table::new(
+        &["design", "universality", "in-cons.%", "success%", "latency(Fez)"],
+        &[10, 24, 10, 10, 12],
+    );
+    let fez = Device::Fez.model();
+    let latency_model = LatencyModel::default();
+    for run in &runs {
+        let universality = match run.name {
+            "penalty" | "hea" => "soft constraints",
+            "cyclic" => "only part of linear",
+            _ => "arbitrary linear (hard)",
+        };
+        match (&run.outcome, &run.metrics) {
+            (Some(outcome), Some(m)) => {
+                let latency = latency_model
+                    .estimate_from_outcome(&fez, outcome, outcome.counts.shots())
+                    .total();
+                table.row(&[
+                    run.name.to_string(),
+                    universality.to_string(),
+                    fmt_rate(Some(m.in_constraints_rate)),
+                    fmt_rate(Some(m.success_rate)),
+                    fmt_secs(latency),
+                ]);
+            }
+            _ => table.row(&[
+                run.name.to_string(),
+                universality.to_string(),
+                "err".into(),
+                "err".into(),
+                run.error.clone().unwrap_or_default(),
+            ]),
+        }
+    }
+    table.rule();
+    println!(
+        "\nExpected shape (paper Table I): Choco-Q reaches 100% in-constraints\n\
+         and a success rate orders of magnitude above every baseline, with\n\
+         lower end-to-end latency than the 7-layer baselines."
+    );
+}

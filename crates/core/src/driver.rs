@@ -1,0 +1,499 @@
+//! The commute driver Hamiltonian (Eq. (5) of the paper).
+//!
+//! For the constraint system `C x = c`, the driver is
+//! `H_d = Σ_{u∈Δ} Hc(u)` with `Hc(u) = σ^{u_1}⊗…⊗σ^{u_n} + h.c.` over the
+//! ternary solutions `u` of `C u = 0`. Each term couples the basis patterns
+//! `|v⟩ ↔ |v̄⟩` on the support of `u` (`v_i = (1+u_i)/2`), so it commutes
+//! with every constraint operator `Ĉ = Σ_i c_i σ_z^i` — the Heisenberg
+//! argument of §III that keeps the evolution inside the feasible subspace.
+//!
+//! Δ is a `{-1,0,1}` *basis* of the kernel of `C` (computed exactly in
+//! `choco-mathkit`), matching the paper's Fig. 3 example.
+
+use choco_mathkit::{ternary_kernel_basis, CMatrix, KernelBasisMethod, LinSystem};
+use choco_qsim::UBlock;
+use std::fmt;
+
+/// The commute driver: one ternary vector per term.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommuteDriver {
+    n_vars: usize,
+    terms: Vec<Vec<i8>>,
+    method: KernelBasisMethod,
+}
+
+/// Errors from driver construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriverError {
+    /// No `{-1,0,1}` spanning set of the constraint kernel exists.
+    NoTernaryBasis(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::NoTernaryBasis(msg) => {
+                write!(f, "no ternary kernel basis: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl CommuteDriver {
+    /// Builds the driver for a constraint system from a kernel *basis*
+    /// (the minimal Δ).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoTernaryBasis`] when the kernel cannot be spanned by
+    /// `{-1,0,1}` vectors (large-coefficient constraint matrices).
+    pub fn build(constraints: &LinSystem) -> Result<Self, DriverError> {
+        let basis = ternary_kernel_basis(constraints)
+            .map_err(|e| DriverError::NoTernaryBasis(e.to_string()))?;
+        Ok(CommuteDriver {
+            n_vars: constraints.n_vars(),
+            terms: basis.vectors,
+            method: basis.method,
+        })
+    }
+
+    /// Builds an *extended* driver: the kernel basis plus every further
+    /// canonical ternary kernel vector with support ≤ `max_support`, up to
+    /// `cap` terms total, ordered by support size.
+    ///
+    /// The paper's Eq. (5) sums over *all* solutions of `C u = 0`; the
+    /// extra terms are redundant for spanning the feasible graph but give
+    /// the serialized single pass many more transfer paths, which makes
+    /// the optimization landscape dramatically easier (and grows circuit
+    /// depth, matching the paper's depth figures).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoTernaryBasis`] as in [`CommuteDriver::build`].
+    pub fn build_extended(
+        constraints: &LinSystem,
+        max_support: usize,
+        cap: usize,
+    ) -> Result<Self, DriverError> {
+        let mut driver = Self::build(constraints)?;
+        // Keep the term count proportional to the kernel dimension: every
+        // term adds a variational parameter, and a derivative-free
+        // optimizer over ≫3·dim parameters stalls. (The absolute `cap`
+        // still bounds pathological cases.)
+        let cap = cap.min(3 * driver.terms.len().max(1));
+        if driver.terms.is_empty() || driver.terms.len() >= cap {
+            return Ok(driver);
+        }
+        let mut extra: Vec<Vec<i8>> = constraints
+            .enumerate_ternary_kernel(50_000)
+            .into_iter()
+            .filter(|u| {
+                let support = u.iter().filter(|&&x| x != 0).count();
+                support <= max_support && !driver.terms.contains(u)
+            })
+            .collect();
+        extra.sort_by_key(|u| u.iter().filter(|&&x| x != 0).count());
+        for u in extra {
+            if driver.terms.len() >= cap {
+                break;
+            }
+            driver.terms.push(u);
+        }
+        Ok(driver)
+    }
+
+    /// Number of problem variables.
+    #[inline]
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// The ternary vectors `u ∈ Δ` (canonical sign).
+    #[inline]
+    pub fn terms(&self) -> &[Vec<i8>] {
+        &self.terms
+    }
+
+    /// How the basis was obtained.
+    #[inline]
+    pub fn method(&self) -> KernelBasisMethod {
+        self.method
+    }
+
+    /// Number of driver terms `|Δ|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` when the constraints pin down a unique point (empty driver).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Per-variable count of non-zero entries across Δ — the quantity that
+    /// drives circuit depth (§IV-C) and guides variable elimination.
+    pub fn nonzero_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_vars];
+        for u in &self.terms {
+            for (i, &ui) in u.iter().enumerate() {
+                if ui != 0 {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Total non-zeros over all terms (the depth proxy of Fig. 6).
+    pub fn total_nonzeros(&self) -> usize {
+        self.nonzero_counts().iter().sum()
+    }
+
+    /// The serialized driver as one `UBlock` per term, all with angle β
+    /// (Lemma 1 justifies the serialization).
+    pub fn ublocks(&self, beta: f64) -> Vec<UBlock> {
+        self.terms
+            .iter()
+            .map(|u| UBlock::from_u_with_angle(u, beta))
+            .collect()
+    }
+
+    /// Reorders Δ so that a *single* serialized pass starting from the
+    /// basis state `initial` spreads amplitude as far as possible.
+    ///
+    /// Each block `e^{-iβHc(u)}` only acts on states whose support bits
+    /// match `v` or `v̄`; a block scheduled before any amplitude reaches its
+    /// subspace is inert. This greedy schedule repeatedly picks a term that
+    /// connects the currently-reachable set to new feasible states — the
+    /// single-pass analogue of breadth-first search over the feasible
+    /// graph. Terms that never connect anything are appended at the end
+    /// (they still matter for layers ≥ 2).
+    pub fn ordered_terms(&self, initial: u64) -> Vec<Vec<i8>> {
+        use std::collections::HashSet;
+        let mut reachable: HashSet<u64> = HashSet::from([initial]);
+        let mut remaining: Vec<Vec<i8>> = self.terms.clone();
+        let mut ordered: Vec<Vec<i8>> = Vec::with_capacity(self.terms.len());
+        let masks = |u: &[i8]| {
+            let mut full = 0u64;
+            let mut v = 0u64;
+            for (i, &ui) in u.iter().enumerate() {
+                if ui != 0 {
+                    full |= 1 << i;
+                    if ui > 0 {
+                        v |= 1 << i;
+                    }
+                }
+            }
+            (full, v)
+        };
+        while !remaining.is_empty() {
+            let mut picked = None;
+            'search: for (idx, u) in remaining.iter().enumerate() {
+                let (full, v) = masks(u);
+                for &x in &reachable {
+                    let s = x & full;
+                    if (s == v || s == full ^ v) && !reachable.contains(&(x ^ full)) {
+                        picked = Some(idx);
+                        break 'search;
+                    }
+                }
+            }
+            let Some(idx) = picked else {
+                // Nothing connects: append the rest in original order.
+                ordered.append(&mut remaining);
+                break;
+            };
+            let u = remaining.remove(idx);
+            let (full, v) = masks(&u);
+            // Applying the block once maps every matching reachable state.
+            let additions: Vec<u64> = reachable
+                .iter()
+                .filter(|&&x| {
+                    let s = x & full;
+                    s == v || s == full ^ v
+                })
+                .map(|&x| x ^ full)
+                .collect();
+            reachable.extend(additions);
+            ordered.push(u);
+        }
+        ordered
+    }
+
+    /// [`CommuteDriver::ublocks`] in the reachability order of
+    /// [`CommuteDriver::ordered_terms`].
+    pub fn ublocks_ordered(&self, beta: f64, initial: u64) -> Vec<UBlock> {
+        self.ordered_terms(initial)
+            .iter()
+            .map(|u| UBlock::from_u_with_angle(u, beta))
+            .collect()
+    }
+
+    /// Dense matrix of one term `Hc(u)` over `n_vars` qubits
+    /// (test/baseline use; exponential).
+    pub fn term_matrix(u: &[i8]) -> CMatrix {
+        let n = u.len();
+        let dim = 1usize << n;
+        let mut v_mask = 0u64;
+        let mut full_mask = 0u64;
+        for (i, &ui) in u.iter().enumerate() {
+            if ui != 0 {
+                full_mask |= 1 << i;
+                if ui > 0 {
+                    v_mask |= 1 << i;
+                }
+            }
+        }
+        let mut m = CMatrix::zeros(dim, dim);
+        for row in 0..dim as u64 {
+            if row & full_mask == v_mask {
+                let col = row ^ full_mask;
+                m[(row as usize, col as usize)] = choco_mathkit::Complex64::ONE;
+                m[(col as usize, row as usize)] = choco_mathkit::Complex64::ONE;
+            }
+        }
+        m
+    }
+
+    /// Dense `H_d = Σ_u Hc(u)` (test/baseline use; exponential in
+    /// `n_vars`).
+    pub fn hamiltonian_matrix(&self) -> CMatrix {
+        let dim = 1usize << self.n_vars;
+        let mut h = CMatrix::zeros(dim, dim);
+        for u in &self.terms {
+            h = &h + &Self::term_matrix(u);
+        }
+        h
+    }
+}
+
+/// Dense matrix of the constraint operator `Ĉ = Σ_i c_i σ_z^i` of one
+/// equation (Eq. (3)); diagonal, used by the commutation tests.
+pub fn constraint_operator_matrix(coeffs: &[(usize, i64)], n_vars: usize) -> CMatrix {
+    let dim = 1usize << n_vars;
+    let mut m = CMatrix::zeros(dim, dim);
+    for idx in 0..dim as u64 {
+        // σ_z |0⟩ = +|0⟩, σ_z |1⟩ = −|1⟩.
+        let mut val = 0.0;
+        for &(var, c) in coeffs {
+            let bit = (idx >> var) & 1;
+            val += c as f64 * if bit == 0 { 1.0 } else { -1.0 };
+        }
+        m[(idx as usize, idx as usize)] = choco_mathkit::c64(val, 0.0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_mathkit::LinEq;
+
+    fn paper_system() -> LinSystem {
+        let mut sys = LinSystem::new(4);
+        sys.push(LinEq::new([(0, 1), (2, -1)], 0));
+        sys.push(LinEq::new([(0, 1), (1, 1), (3, 1)], 1));
+        sys
+    }
+
+    #[test]
+    fn driver_matches_paper_delta() {
+        let driver = CommuteDriver::build(&paper_system()).unwrap();
+        assert_eq!(driver.len(), 2);
+        assert_eq!(driver.terms()[0], vec![1, -1, 1, 0]);
+        assert_eq!(driver.terms()[1], vec![0, 1, 0, -1]);
+        assert_eq!(driver.method(), KernelBasisMethod::Gaussian);
+    }
+
+    #[test]
+    fn every_term_commutes_with_every_constraint_operator() {
+        // The foundation of the whole paper: [Hc(u), Ĉ] = 0.
+        let sys = paper_system();
+        let driver = CommuteDriver::build(&sys).unwrap();
+        for u in driver.terms() {
+            let hc = CommuteDriver::term_matrix(u);
+            for eq in sys.eqs() {
+                let c_op = constraint_operator_matrix(&eq.terms, 4);
+                let comm = hc.commutator(&c_op);
+                assert!(
+                    comm.frobenius_norm() < 1e-12,
+                    "term {u:?} does not commute with {eq}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_driver_commutes_too() {
+        let sys = paper_system();
+        let driver = CommuteDriver::build(&sys).unwrap();
+        let hd = driver.hamiltonian_matrix();
+        assert!(hd.is_hermitian(1e-12));
+        for eq in sys.eqs() {
+            let c_op = constraint_operator_matrix(&eq.terms, 4);
+            assert!(hd.commutator(&c_op).frobenius_norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn a_noncommuting_operator_is_detected() {
+        // Sanity check of the test oracle itself: a single σ⁺-like flip on
+        // one qubit does NOT commute with x0's constraint operator.
+        let not_in_kernel = CommuteDriver::term_matrix(&[1, 0, 0, 0]);
+        let c_op = constraint_operator_matrix(&[(0, 1), (2, -1)], 4);
+        assert!(not_in_kernel.commutator(&c_op).frobenius_norm() > 0.1);
+    }
+
+    #[test]
+    fn nonzero_counts_match_paper_example() {
+        // u1 = (1,-1,1,0), u2 = (0,1,0,-1): x1 appears in both (count 2) —
+        // the variable Fig. 6 eliminates.
+        let driver = CommuteDriver::build(&paper_system()).unwrap();
+        assert_eq!(driver.nonzero_counts(), vec![1, 2, 1, 1]);
+        assert_eq!(driver.total_nonzeros(), 5);
+    }
+
+    #[test]
+    fn ublocks_carry_angle_and_pattern() {
+        let driver = CommuteDriver::build(&paper_system()).unwrap();
+        let blocks = driver.ublocks(0.7);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.iter().all(|b| b.angle == 0.7));
+        assert_eq!(blocks[0].support, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_driver_for_full_rank_constraints() {
+        let mut sys = LinSystem::new(2);
+        sys.push(LinEq::new([(0, 1)], 1));
+        sys.push(LinEq::new([(1, 1)], 0));
+        let driver = CommuteDriver::build(&sys).unwrap();
+        assert!(driver.is_empty());
+        assert_eq!(driver.total_nonzeros(), 0);
+    }
+
+    #[test]
+    fn unconstrained_driver_is_all_single_flips() {
+        let sys = LinSystem::new(3);
+        let driver = CommuteDriver::build(&sys).unwrap();
+        assert_eq!(driver.len(), 3);
+        // Hc(e_i) = X_i: the driver degenerates to the transverse field.
+        for (i, u) in driver.terms().iter().enumerate() {
+            assert_eq!(u.iter().filter(|&&x| x != 0).count(), 1);
+            assert_eq!(u[i], 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+    use choco_mathkit::LinEq;
+
+    fn paper_system() -> LinSystem {
+        let mut sys = LinSystem::new(4);
+        sys.push(LinEq::new([(0, 1), (2, -1)], 0));
+        sys.push(LinEq::new([(0, 1), (1, 1), (3, 1)], 1));
+        sys
+    }
+
+    #[test]
+    fn extended_contains_basis_plus_more() {
+        let sys = paper_system();
+        let basis = CommuteDriver::build(&sys).unwrap();
+        let ext = CommuteDriver::build_extended(&sys, 6, 48).unwrap();
+        assert!(ext.len() > basis.len());
+        for u in basis.terms() {
+            assert!(ext.terms().contains(u), "basis term {u:?} missing");
+        }
+        // The paper example has exactly 3 canonical ternary kernel vectors.
+        assert_eq!(ext.len(), 3);
+    }
+
+    #[test]
+    fn extended_cap_is_dimension_relative() {
+        // One summation constraint over 6 vars: kernel dim 5, many ternary
+        // kernel vectors; the cap keeps ≤ 3×dim terms.
+        let mut sys = LinSystem::new(6);
+        sys.push(LinEq::new((0..6).map(|i| (i, 1i64)), 2));
+        let basis = CommuteDriver::build(&sys).unwrap();
+        let ext = CommuteDriver::build_extended(&sys, 6, 1000).unwrap();
+        assert!(ext.len() <= 3 * basis.len());
+        assert!(ext.len() > basis.len());
+    }
+
+    #[test]
+    fn extended_terms_all_in_kernel() {
+        let sys = paper_system();
+        let ext = CommuteDriver::build_extended(&sys, 6, 48).unwrap();
+        for u in ext.terms() {
+            for eq in sys.eqs() {
+                let dot: i64 = eq.terms.iter().map(|&(v, c)| c * u[v] as i64).sum();
+                assert_eq!(dot, 0, "{u:?} not in kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_terms_puts_connecting_blocks_first() {
+        // From initial 0b1000 (x3=1), u2 = (0,1,0,-1) is the only block
+        // whose subspace is populated: it must come first.
+        let sys = paper_system();
+        let driver = CommuteDriver::build(&sys).unwrap();
+        let ordered = driver.ordered_terms(0b1000);
+        assert_eq!(ordered[0], vec![0, 1, 0, -1]);
+        assert_eq!(ordered.len(), driver.len());
+    }
+
+    #[test]
+    fn ordered_terms_is_a_permutation() {
+        let sys = paper_system();
+        let driver = CommuteDriver::build_extended(&sys, 6, 48).unwrap();
+        for initial in [0b1000u64, 0b0010, 0b0101] {
+            let ordered = driver.ordered_terms(initial);
+            assert_eq!(ordered.len(), driver.len());
+            for u in driver.terms() {
+                assert!(ordered.contains(u));
+            }
+        }
+    }
+
+    #[test]
+    fn single_pass_closure_covers_feasible_set_on_paper_example() {
+        // With the extended Δ and BFS ordering, one serialized pass reaches
+        // every feasible point of the running example.
+        let sys = paper_system();
+        let driver = CommuteDriver::build_extended(&sys, 6, 48).unwrap();
+        let initial = sys.first_binary_solution().unwrap();
+        let ordered = driver.ordered_terms(initial);
+        let mut reach: std::collections::HashSet<u64> =
+            std::collections::HashSet::from([initial]);
+        for u in &ordered {
+            let (mut full, mut v) = (0u64, 0u64);
+            for (i, &ui) in u.iter().enumerate() {
+                if ui != 0 {
+                    full |= 1 << i;
+                    if ui > 0 {
+                        v |= 1 << i;
+                    }
+                }
+            }
+            let adds: Vec<u64> = reach
+                .iter()
+                .filter(|&&x| {
+                    let s = x & full;
+                    s == v || s == full ^ v
+                })
+                .map(|&x| x ^ full)
+                .collect();
+            reach.extend(adds);
+        }
+        for x in sys.enumerate_binary_solutions(100) {
+            assert!(reach.contains(&x), "feasible {x:04b} unreachable in one pass");
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Variable elimination (§IV-C of the paper).
+//!
+//! The depth of the serialized commute driver is proportional to the total
+//! number of non-zero entries across Δ. Eliminating the variable with the
+//! most non-zeros shrinks every affected term: each assignment of the
+//! eliminated variables yields a *smaller* sub-problem whose constraints
+//! are `Σ_{i≠j} c_i x_i = c − c_j·x_j` — so lifted outcomes still satisfy
+//! the original constraints exactly (the paper's §IV-C argument; enforced
+//! by tests here).
+//!
+//! The cost is measurement overhead: `2^k` sub-circuits for `k` eliminated
+//! variables.
+
+use crate::driver::{CommuteDriver, DriverError};
+use choco_mathkit::{LinEq, LinSystem};
+use choco_model::{Problem, Sense};
+
+/// One branch of the elimination: a fixed assignment of the eliminated
+/// variables and the induced reduced problem.
+#[derive(Clone, Debug)]
+pub struct EliminationBranch {
+    /// Assignment bits: bit `k` is the value of `plan.eliminated[k]`.
+    pub assignment: u64,
+    /// The reduced problem over the remaining variables.
+    pub problem: Problem,
+}
+
+/// The full elimination plan.
+#[derive(Clone, Debug)]
+pub struct EliminationPlan {
+    /// Eliminated variable indices (original numbering, elimination order).
+    pub eliminated: Vec<usize>,
+    /// Remaining variables: `kept[r]` is the original index of reduced
+    /// variable `r`.
+    pub kept: Vec<usize>,
+    /// One branch per assignment of the eliminated variables.
+    pub branches: Vec<EliminationBranch>,
+}
+
+impl EliminationPlan {
+    /// Lifts a reduced-problem bitstring and a branch assignment back to
+    /// the original variable space.
+    pub fn lift(&self, branch_assignment: u64, reduced_bits: u64) -> u64 {
+        let mut bits = 0u64;
+        for (r, &orig) in self.kept.iter().enumerate() {
+            if (reduced_bits >> r) & 1 == 1 {
+                bits |= 1 << orig;
+            }
+        }
+        for (k, &orig) in self.eliminated.iter().enumerate() {
+            if (branch_assignment >> k) & 1 == 1 {
+                bits |= 1 << orig;
+            }
+        }
+        bits
+    }
+}
+
+/// Builds an elimination plan removing `k` variables.
+///
+/// The variable choice is iterative, as in the paper: at each step the
+/// driver Δ of the *current* (already reduced) constraint matrix is
+/// computed and the variable with the most non-zero entries across Δ is
+/// dropped. Since Δ depends only on `C` (not on the right-hand side), a
+/// single choice sequence serves all `2^k` branches.
+///
+/// # Errors
+///
+/// Propagates [`DriverError`] when a reduced system has no ternary kernel
+/// basis.
+pub fn plan_elimination(problem: &Problem, k: usize) -> Result<EliminationPlan, DriverError> {
+    let n = problem.n_vars();
+    let mut kept: Vec<usize> = (0..n).collect();
+    let mut eliminated: Vec<usize> = Vec::with_capacity(k);
+    // Current system over `kept` (original rhs; rhs offsets are
+    // branch-specific and handled later).
+    let mut current = problem.constraints().clone();
+
+    for _ in 0..k.min(n.saturating_sub(1)) {
+        let driver = CommuteDriver::build(&current)?;
+        let counts = driver.nonzero_counts();
+        let Some((local_idx, &best)) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+        else {
+            break;
+        };
+        if best == 0 {
+            break; // nothing left to gain
+        }
+        eliminated.push(kept.remove(local_idx));
+        current = drop_variable(&current, local_idx);
+    }
+
+    let mut branches = Vec::with_capacity(1 << eliminated.len());
+    for assignment in 0..(1u64 << eliminated.len()) {
+        if let Some(problem) = reduce_problem(problem, &kept, &eliminated, assignment) {
+            branches.push(EliminationBranch {
+                assignment,
+                problem,
+            });
+        }
+    }
+    Ok(EliminationPlan {
+        eliminated,
+        kept,
+        branches,
+    })
+}
+
+/// Removes column `idx` from a system (variables above shift down).
+fn drop_variable(sys: &LinSystem, idx: usize) -> LinSystem {
+    let mut out = LinSystem::new(sys.n_vars() - 1);
+    for eq in sys.eqs() {
+        let terms: Vec<(usize, i64)> = eq
+            .terms
+            .iter()
+            .filter(|&&(v, _)| v != idx)
+            .map(|&(v, c)| (if v > idx { v - 1 } else { v }, c))
+            .collect();
+        out.push(LinEq::new(terms, eq.rhs));
+    }
+    out
+}
+
+/// Builds the reduced problem for one assignment of the eliminated
+/// variables; `None` when the branch is syntactically infeasible
+/// (a constraint with no remaining variables and non-zero residual).
+fn reduce_problem(
+    problem: &Problem,
+    kept: &[usize],
+    eliminated: &[usize],
+    assignment: u64,
+) -> Option<Problem> {
+    let value_of = |orig: usize| -> Option<u64> {
+        eliminated
+            .iter()
+            .position(|&e| e == orig)
+            .map(|k| (assignment >> k) & 1)
+    };
+    let reduced_of = |orig: usize| -> Option<usize> { kept.iter().position(|&v| v == orig) };
+
+    let mut b = Problem::builder(kept.len()).name(format!(
+        "{} | eliminated {:?} = {:0width$b}",
+        problem.name(),
+        eliminated,
+        assignment,
+        width = eliminated.len().max(1)
+    ));
+    b = match problem.sense() {
+        Sense::Minimize => b.minimize(),
+        Sense::Maximize => b.maximize(),
+    };
+
+    // Objective substitution.
+    let obj = problem.objective();
+    b = b.constant(obj.constant());
+    for (orig, &w) in obj.linear().iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        match (reduced_of(orig), value_of(orig)) {
+            (Some(r), _) => b = b.linear(r, w),
+            (None, Some(val)) => {
+                if val == 1 {
+                    b = b.constant(w);
+                }
+            }
+            (None, None) => unreachable!("variable neither kept nor eliminated"),
+        }
+    }
+    for &(i, j, w) in obj.quadratic() {
+        if w == 0.0 {
+            continue;
+        }
+        match (reduced_of(i), reduced_of(j)) {
+            (Some(ri), Some(rj)) => b = b.quadratic(ri, rj, w),
+            (Some(ri), None) => {
+                if value_of(j) == Some(1) {
+                    b = b.linear(ri, w);
+                }
+            }
+            (None, Some(rj)) => {
+                if value_of(i) == Some(1) {
+                    b = b.linear(rj, w);
+                }
+            }
+            (None, None) => {
+                if value_of(i) == Some(1) && value_of(j) == Some(1) {
+                    b = b.constant(w);
+                }
+            }
+        }
+    }
+
+    // Constraint substitution: Σ_{i kept} c_i x_i = c − Σ_{j elim} c_j·val_j.
+    for eq in problem.constraints().eqs() {
+        let mut terms: Vec<(usize, i64)> = Vec::new();
+        let mut rhs = eq.rhs;
+        for &(orig, c) in &eq.terms {
+            match (reduced_of(orig), value_of(orig)) {
+                (Some(r), _) => terms.push((r, c)),
+                (None, Some(val)) => rhs -= c * val as i64,
+                (None, None) => unreachable!(),
+            }
+        }
+        if terms.is_empty() {
+            if rhs != 0 {
+                return None; // contradictory branch
+            }
+            continue;
+        }
+        b = b.equality(terms, rhs);
+    }
+
+    b.build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_problem() -> Problem {
+        Problem::builder(4)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .linear(3, 1.0)
+            .equality([(0, 1), (2, -1)], 0)
+            .equality([(0, 1), (1, 1), (3, 1)], 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn eliminates_the_most_shared_variable() {
+        // Fig. 6: x1 (0-indexed) has the most non-zeros across Δ.
+        let plan = plan_elimination(&paper_problem(), 1).unwrap();
+        assert_eq!(plan.eliminated, vec![1]);
+        assert_eq!(plan.kept, vec![0, 2, 3]);
+        assert_eq!(plan.branches.len(), 2);
+    }
+
+    #[test]
+    fn elimination_reduces_driver_nonzeros() {
+        // Paper: non-zeros drop from 5 (3+2) to 3 after dropping x1.
+        let p = paper_problem();
+        let before = CommuteDriver::build(p.constraints()).unwrap().total_nonzeros();
+        let plan = plan_elimination(&p, 1).unwrap();
+        let after = CommuteDriver::build(plan.branches[0].problem.constraints())
+            .unwrap()
+            .total_nonzeros();
+        assert_eq!(before, 5);
+        assert_eq!(after, 3);
+    }
+
+    #[test]
+    fn lifted_solutions_satisfy_original_constraints() {
+        let p = paper_problem();
+        let plan = plan_elimination(&p, 2).unwrap();
+        assert_eq!(plan.eliminated.len(), 2);
+        for branch in &plan.branches {
+            for reduced_bits in branch.problem.feasible_solutions(1000) {
+                let full = plan.lift(branch.assignment, reduced_bits);
+                assert!(
+                    p.is_feasible(full),
+                    "lifted {full:04b} violates the original constraints"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_branches_covers_the_full_feasible_set() {
+        let p = paper_problem();
+        let plan = plan_elimination(&p, 1).unwrap();
+        let mut lifted: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for branch in &plan.branches {
+            for reduced_bits in branch.problem.feasible_solutions(1000) {
+                lifted.insert(plan.lift(branch.assignment, reduced_bits));
+            }
+        }
+        let full: std::collections::BTreeSet<u64> =
+            p.feasible_solutions(1000).into_iter().collect();
+        assert_eq!(lifted, full);
+    }
+
+    #[test]
+    fn objective_values_preserved_under_lifting() {
+        let p = paper_problem();
+        let plan = plan_elimination(&p, 1).unwrap();
+        for branch in &plan.branches {
+            for reduced_bits in branch.problem.feasible_solutions(1000) {
+                let full = plan.lift(branch.assignment, reduced_bits);
+                assert!(
+                    (branch.problem.evaluate(reduced_bits) - p.evaluate(full)).abs() < 1e-9,
+                    "objective mismatch on branch {:b}",
+                    branch.assignment
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_objectives_substitute_correctly() {
+        let p = Problem::builder(3)
+            .minimize()
+            .quadratic(0, 1, 2.0)
+            .quadratic(1, 2, -3.0)
+            .linear(1, 1.0)
+            .equality([(0, 1), (1, 1), (2, 1)], 2)
+            .build()
+            .unwrap();
+        let plan = plan_elimination(&p, 1).unwrap();
+        for branch in &plan.branches {
+            for reduced_bits in branch.problem.feasible_solutions(100) {
+                let full = plan.lift(branch.assignment, reduced_bits);
+                assert!((branch.problem.evaluate(reduced_bits) - p.evaluate(full)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn full_rank_constraints_leave_nothing_to_eliminate() {
+        // x0 = 0 and x0 + x1 = 1 pin the unique point (0,1): the driver is
+        // empty, so elimination has no variable worth dropping and stops.
+        let p = Problem::builder(2)
+            .equality([(0, 1)], 0)
+            .equality([(0, 1), (1, 1)], 1)
+            .build()
+            .unwrap();
+        let plan = plan_elimination(&p, 2).unwrap();
+        assert!(plan.eliminated.is_empty());
+        assert_eq!(plan.branches.len(), 1);
+    }
+
+    #[test]
+    fn infeasible_branches_carry_no_feasible_points() {
+        // x0 + x1 = 0 forces both to 0. Eliminating one variable leaves
+        // the x=1 branch enumerably infeasible; the solver allocates it no
+        // shots. The feasible union must still be exactly {00}.
+        let p = Problem::builder(2)
+            .equality([(0, 1), (1, 1)], 0)
+            .build()
+            .unwrap();
+        let plan = plan_elimination(&p, 1).unwrap();
+        assert_eq!(plan.eliminated.len(), 1);
+        let mut lifted = Vec::new();
+        for branch in &plan.branches {
+            for bits in branch.problem.feasible_solutions(10) {
+                lifted.push(plan.lift(branch.assignment, bits));
+            }
+        }
+        assert_eq!(lifted, vec![0b00]);
+    }
+
+    #[test]
+    fn zero_eliminations_is_identity_plan() {
+        let p = paper_problem();
+        let plan = plan_elimination(&p, 0).unwrap();
+        assert!(plan.eliminated.is_empty());
+        assert_eq!(plan.branches.len(), 1);
+        assert_eq!(plan.kept, vec![0, 1, 2, 3]);
+    }
+}

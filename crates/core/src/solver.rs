@@ -1,0 +1,558 @@
+//! The Choco-Q solver (§III–IV of the paper).
+//!
+//! Pipeline per solve:
+//!
+//! 1. **Variable elimination** (optional, §IV-C): drop the `k` most-shared
+//!    variables; one sub-circuit per assignment.
+//! 2. **Driver construction** (Eq. (5)): Δ = ternary kernel basis of `C`.
+//! 3. **Circuit**: load one feasible solution, then `L` layers of
+//!    `e^{-iγ_l H_o}` followed by the serialized driver
+//!    `Π_{u∈Δ} e^{-iβ_l Hc(u)}` (Lemma 1).
+//! 4. **Optimization**: minimize `E[cost]` — no penalty term; the
+//!    constraints hold *by construction*, which is where the 100%
+//!    in-constraints rate of Table II comes from.
+//! 5. **Sampling**: merge branch histograms, lifting reduced bitstrings
+//!    back to the full variable space.
+
+use crate::driver::CommuteDriver;
+use crate::elimination::{plan_elimination, EliminationPlan};
+use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
+use choco_optim::OptimizerKind;
+use choco_qsim::{Circuit, Counts, PhasePoly};
+use choco_solvers::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for [`ChocoQSolver`].
+#[derive(Clone, Debug)]
+pub struct ChocoQConfig {
+    /// Repeated layers `L`. The paper uses **1** in Table II (the
+    /// serialized driver already covers every search direction; Fig. 7
+    /// shows small gains from 2).
+    pub layers: usize,
+    /// Measurement shots (split across elimination branches).
+    pub shots: u64,
+    /// Classical optimizer iteration budget.
+    pub max_iters: usize,
+    /// Classical optimizer.
+    pub optimizer: OptimizerKind,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Number of variables to eliminate (0–3 in the paper's Fig. 13).
+    pub eliminate: usize,
+    /// Record transpiled-circuit statistics (adds the paper's two clean
+    /// ancillas and lowers via Lemma 2).
+    pub transpiled_stats: bool,
+    /// Multistart count: additional optimizer runs from random feasible
+    /// initial states with jittered angles; the run with the lowest
+    /// achieved expectation wins. Mitigates local minima of the
+    /// non-convex landscape (most visible on GCP instances).
+    pub restarts: usize,
+    /// When set, final sampling runs the Lemma-2 transpiled circuit under
+    /// this noise model (hardware experiments, Fig. 10/13b/14).
+    pub noise: Option<choco_qsim::NoiseModel>,
+    /// Monte-Carlo error trajectories for noisy sampling.
+    pub noise_trajectories: u32,
+    /// Δ policy: include every canonical kernel vector with support up to
+    /// this bound (the paper's Eq. (5) sums over *all* solutions of
+    /// `C u = 0`). Set to 0 to use only the kernel basis.
+    pub delta_max_support: usize,
+    /// Hard cap on the number of driver terms.
+    pub delta_cap: usize,
+}
+
+impl Default for ChocoQConfig {
+    fn default() -> Self {
+        ChocoQConfig {
+            layers: 1,
+            shots: 10_000,
+            max_iters: 60,
+            optimizer: OptimizerKind::NelderMead,
+            seed: 42,
+            eliminate: 0,
+            transpiled_stats: true,
+            restarts: 3,
+            noise: None,
+            noise_trajectories: 30,
+            delta_max_support: 6,
+            delta_cap: 48,
+        }
+    }
+}
+
+impl ChocoQConfig {
+    /// Cheap configuration for unit tests.
+    pub fn fast_test() -> Self {
+        ChocoQConfig {
+            shots: 2_000,
+            max_iters: 30,
+            transpiled_stats: false,
+            ..ChocoQConfig::default()
+        }
+    }
+}
+
+/// The Choco-Q solver.
+///
+/// # Examples
+///
+/// ```
+/// use choco_core::{ChocoQConfig, ChocoQSolver};
+/// use choco_model::{Problem, Solver};
+///
+/// let p = Problem::builder(3)
+///     .maximize()
+///     .linear(0, 1.0)
+///     .linear(1, 2.0)
+///     .linear(2, 3.0)
+///     .equality([(0, 1), (1, 1), (2, 1)], 2)
+///     .build()
+///     .unwrap();
+/// let outcome = ChocoQSolver::new(ChocoQConfig::fast_test()).solve(&p).unwrap();
+/// let m = outcome.metrics(&p).unwrap();
+/// assert!((m.in_constraints_rate - 1.0).abs() < 1e-9); // hard constraints
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ChocoQSolver {
+    config: ChocoQConfig,
+}
+
+impl ChocoQSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: ChocoQConfig) -> Self {
+        ChocoQSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChocoQConfig {
+        &self.config
+    }
+
+    /// Number of variational parameters: per layer, one γ plus one β per
+    /// driver term.
+    ///
+    /// The paper's Eq. (7) writes a shared β per layer; with the
+    /// *serialized* driver (Lemma 1) each block `e^{-iβ_u Hc(u)}` is its
+    /// own unitary, so the natural parameterization gives every block its
+    /// own angle. This is what makes a single layer expressive enough to
+    /// reach the paper's reported success rates: the optimizer can chain
+    /// full 2-level transfers along the feasible graph.
+    pub fn n_params(layers: usize, n_terms: usize) -> usize {
+        layers * (1 + n_terms)
+    }
+
+    /// Builds the structured Choco-Q circuit for one (sub-)problem:
+    /// `|x*⟩ → Π_l [ e^{-iγ_l H_o} Π_u e^{-iβ_{l,u} Hc(u)} ]` with the
+    /// parameter layout `[γ_1, β_{1,1} … β_{1,|Δ|}, γ_2, …]`.
+    /// `ordered_terms` should come from [`CommuteDriver::ordered_terms`]
+    /// for the same `initial`.
+    pub fn build_circuit(
+        problem_n_vars: usize,
+        cost_poly: &Arc<PhasePoly>,
+        ordered_terms: &[Vec<i8>],
+        initial: u64,
+        layers: usize,
+        params: &[f64],
+    ) -> Circuit {
+        debug_assert_eq!(params.len(), Self::n_params(layers, ordered_terms.len()));
+        let stride = 1 + ordered_terms.len();
+        let mut c = Circuit::new(problem_n_vars.max(1));
+        c.load_bits(initial);
+        for l in 0..layers {
+            let gamma = params[l * stride];
+            c.diag(cost_poly.clone(), gamma);
+            for (t, u) in ordered_terms.iter().enumerate() {
+                let beta = params[l * stride + 1 + t];
+                c.ublock(choco_qsim::UBlock::from_u_with_angle(u, beta));
+            }
+        }
+        c
+    }
+
+    /// Initial parameters: a small γ ramp and a moderate uniform β.
+    pub fn initial_params(layers: usize, n_terms: usize) -> Vec<f64> {
+        let mut x0 = Vec::with_capacity(Self::n_params(layers, n_terms));
+        for l in 0..layers {
+            x0.push(0.1 + 0.2 * (l as f64 + 1.0) / layers as f64); // γ
+            for _ in 0..n_terms {
+                x0.push(0.5); // β
+            }
+        }
+        x0
+    }
+}
+
+/// The surviving pieces of one multistart run.
+struct LoopRun {
+    counts: Counts,
+    cost_history: Vec<f64>,
+    final_circuit: Circuit,
+}
+
+/// Conditional value at risk: the mean cost of the best `alpha` fraction
+/// of sampled shots. The restart-selection criterion — unlike the plain
+/// expectation, it rewards distributions that put *some* mass on very good
+/// solutions (CVaR-QAOA style), and it only uses measured quantities.
+fn cvar(counts: &Counts, cost_values: &[f64], alpha: f64) -> f64 {
+    if counts.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut samples: Vec<(f64, u64)> = counts
+        .iter()
+        .map(|(bits, c)| (cost_values[bits as usize], c))
+        .collect();
+    samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cost"));
+    let take = ((counts.shots() as f64 * alpha).ceil() as u64).max(1);
+    let mut remaining = take;
+    let mut acc = 0.0;
+    for (value, count) in samples {
+        let used = count.min(remaining);
+        acc += value * used as f64;
+        remaining -= used;
+        if remaining == 0 {
+            break;
+        }
+    }
+    acc / take as f64
+}
+
+impl Solver for ChocoQSolver {
+    fn name(&self) -> &str {
+        "choco-q"
+    }
+
+    fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        check_size(problem.n_vars())?;
+        let compile_start = Instant::now();
+
+        let plan: EliminationPlan = plan_elimination(problem, self.config.eliminate)
+            .map_err(|e| SolverError::Encoding(e.to_string()))?;
+        if plan.branches.is_empty() {
+            return Err(SolverError::Infeasible);
+        }
+
+        // Prepare per-branch drivers, initial-state pools, and cost tables.
+        // Two Δ policies are kept: the minimal kernel *basis* and the
+        // *extended* set (Eq. (5) sums over all solutions of C u = 0).
+        // Which one yields the easier optimization landscape is
+        // instance-dependent, so the multistart alternates between them.
+        struct Branch {
+            assignment: u64,
+            n_vars: usize,
+            drivers: Vec<CommuteDriver>,
+            feasible: Vec<u64>,
+            cost_poly: Arc<PhasePoly>,
+            cost_values: Vec<f64>,
+        }
+        let mut branches = Vec::new();
+        for b in &plan.branches {
+            // A small pool of feasible points serves as restart seeds.
+            let feasible = b.problem.feasible_solutions(256);
+            if feasible.is_empty() {
+                continue; // infeasible branch: no shots allocated
+            }
+            let basis = CommuteDriver::build(b.problem.constraints())
+                .map_err(|e| SolverError::Encoding(e.to_string()))?;
+            let mut drivers = vec![];
+            if self.config.delta_max_support > 0 {
+                let extended = CommuteDriver::build_extended(
+                    b.problem.constraints(),
+                    self.config.delta_max_support,
+                    self.config.delta_cap,
+                )
+                .map_err(|e| SolverError::Encoding(e.to_string()))?;
+                if extended.len() > basis.len() {
+                    drivers.push(extended);
+                }
+            }
+            drivers.push(basis);
+            let cost_poly = Arc::new(b.problem.cost_poly());
+            let n = b.problem.n_vars();
+            let cost_values: Vec<f64> =
+                (0..1u64 << n).map(|bits| cost_poly.eval_bits(bits)).collect();
+            branches.push(Branch {
+                assignment: b.assignment,
+                n_vars: n,
+                drivers,
+                feasible,
+                cost_poly,
+                cost_values,
+            });
+        }
+        if branches.is_empty() {
+            return Err(SolverError::Infeasible);
+        }
+        let compile = compile_start.elapsed();
+
+        let layers = self.config.layers;
+        let restarts = self.config.restarts.max(1);
+        let shots_each = (self.config.shots / branches.len() as u64).max(1);
+        let mut merged = Counts::new();
+        let mut cost_history: Vec<f64> = Vec::new();
+        let mut iterations = 0usize;
+        let mut timing = TimingBreakdown {
+            compile,
+            ..TimingBreakdown::default()
+        };
+        let mut first_final_circuit: Option<(Circuit, usize)> = None;
+
+        let mut restart_rng = choco_mathkit::SplitMix64::new(self.config.seed ^ 0xC0C0A);
+        for (b_idx, branch) in branches.iter().enumerate() {
+            // Multistart: the first restarts pair each Δ policy with the
+            // lexicographically-first feasible point and nominal angles;
+            // later restarts pick random feasible initial states and
+            // jittered angles. The run with the lowest achieved
+            // expectation wins (all measurable quantities — no classical
+            // peeking at the optimum).
+            let n_policies = branch.drivers.len();
+            let mut best: Option<(f64, crate::solver::LoopRun)> = None;
+            for r in 0..restarts.max(n_policies) {
+                let driver = &branch.drivers[r % n_policies];
+                let fresh = r < n_policies;
+                let initial = if fresh {
+                    branch.feasible[0]
+                } else {
+                    *restart_rng.choose(&branch.feasible).expect("non-empty")
+                };
+                let ordered_terms = driver.ordered_terms(initial);
+                let mut x0 = Self::initial_params(layers, ordered_terms.len());
+                if !fresh {
+                    for x in x0.iter_mut() {
+                        *x = restart_rng.gen_range_f64(0.05, 1.6);
+                    }
+                }
+                let loop_config = QaoaConfig {
+                    layers,
+                    shots: shots_each,
+                    max_iters: self.config.max_iters,
+                    optimizer: self.config.optimizer,
+                    penalty: 0.0, // constraints are hard: no penalty needed
+                    seed: self.config.seed.wrapping_add((b_idx * restarts + r) as u64),
+                    transpiled_stats: false,
+                    noise: self.config.noise,
+                    noise_trajectories: self.config.noise_trajectories,
+                };
+                let build = |params: &[f64]| {
+                    Self::build_circuit(
+                        branch.n_vars,
+                        &branch.cost_poly,
+                        &ordered_terms,
+                        initial,
+                        layers,
+                        params,
+                    )
+                };
+                let result = variational_loop(
+                    branch.n_vars.max(1),
+                    build,
+                    &branch.cost_values,
+                    &x0,
+                    &loop_config,
+                );
+                timing.execute += result.timing.execute;
+                timing.classical += result.timing.classical;
+                iterations += result.iterations;
+                let achieved = cvar(&result.counts, &branch.cost_values, 0.05);
+                let run = LoopRun {
+                    counts: result.counts,
+                    cost_history: result.cost_history,
+                    final_circuit: result.final_circuit,
+                };
+                if best.as_ref().is_none_or(|(b, _)| achieved < *b) {
+                    best = Some((achieved, run));
+                }
+            }
+            let (_, run) = best.expect("at least one restart ran");
+            if b_idx == 0 {
+                cost_history = run.cost_history;
+            }
+            let lifted = run
+                .counts
+                .map_bits(|bits| plan.lift(branch.assignment, bits));
+            merged.merge(&lifted);
+            if first_final_circuit.is_none() {
+                first_final_circuit = Some((run.final_circuit, branch.n_vars));
+            }
+        }
+
+        // Circuit statistics on the first branch's final circuit, rebuilt
+        // with the paper's two clean ancillas for Lemma-2 transpilation.
+        let (final_circuit, n_reduced) = first_final_circuit.expect("at least one branch ran");
+        let circuit = if self.config.transpiled_stats && n_reduced > 0 {
+            let mut wide = Circuit::new(n_reduced + 2);
+            for g in final_circuit.gates() {
+                wide.push(g.clone());
+            }
+            circuit_stats(&wide, vec![n_reduced, n_reduced + 1], true)?
+        } else {
+            circuit_stats(&final_circuit, vec![], false)?
+        };
+
+        Ok(SolveOutcome {
+            counts: merged,
+            cost_history,
+            iterations,
+            circuit,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_problem() -> Problem {
+        Problem::builder(4)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .linear(3, 1.0)
+            .equality([(0, 1), (2, -1)], 0)
+            .equality([(0, 1), (1, 1), (3, 1)], 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn in_constraints_rate_is_always_one() {
+        // The paper's central claim (Table II): commute-driver evolution
+        // never leaves the feasible subspace.
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&paper_problem())
+            .unwrap();
+        let m = outcome.metrics(&paper_problem()).unwrap();
+        assert!(
+            (m.in_constraints_rate - 1.0).abs() < 1e-12,
+            "in-constraints = {}",
+            m.in_constraints_rate
+        );
+    }
+
+    #[test]
+    fn success_rate_is_high_on_the_paper_example() {
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&paper_problem())
+            .unwrap();
+        let m = outcome.metrics(&paper_problem()).unwrap();
+        assert!(m.success_rate > 0.3, "success = {}", m.success_rate);
+        assert!(m.arg < 0.7, "ARG = {}", m.arg);
+    }
+
+    #[test]
+    fn cost_history_converges_downward() {
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&paper_problem())
+            .unwrap();
+        let first = outcome.cost_history.first().unwrap();
+        let last = outcome.cost_history.last().unwrap();
+        assert!(last <= first);
+        assert!(outcome.iterations > 0);
+    }
+
+    #[test]
+    fn variable_elimination_preserves_hard_constraints() {
+        for eliminate in [1usize, 2] {
+            let config = ChocoQConfig {
+                eliminate,
+                ..ChocoQConfig::fast_test()
+            };
+            let outcome = ChocoQSolver::new(config).solve(&paper_problem()).unwrap();
+            let m = outcome.metrics(&paper_problem()).unwrap();
+            assert!(
+                (m.in_constraints_rate - 1.0).abs() < 1e-12,
+                "eliminate={eliminate}: in-constraints = {}",
+                m.in_constraints_rate
+            );
+            assert!(
+                m.success_rate > 0.2,
+                "eliminate={eliminate}: success = {}",
+                m.success_rate
+            );
+        }
+    }
+
+    #[test]
+    fn elimination_reduces_transpiled_depth() {
+        // Fig. 13(a): dropping the most-shared variable shrinks the
+        // deployable circuit.
+        let base = ChocoQSolver::new(ChocoQConfig {
+            transpiled_stats: true,
+            ..ChocoQConfig::fast_test()
+        })
+        .solve(&paper_problem())
+        .unwrap();
+        let elim = ChocoQSolver::new(ChocoQConfig {
+            transpiled_stats: true,
+            eliminate: 1,
+            ..ChocoQConfig::fast_test()
+        })
+        .solve(&paper_problem())
+        .unwrap();
+        assert!(
+            elim.circuit.transpiled_depth.unwrap() < base.circuit.transpiled_depth.unwrap(),
+            "elimination did not reduce depth: {:?} vs {:?}",
+            elim.circuit.transpiled_depth,
+            base.circuit.transpiled_depth
+        );
+    }
+
+    #[test]
+    fn infeasible_problem_is_rejected() {
+        let p = Problem::builder(2)
+            .equality([(0, 1), (1, 1)], 3)
+            .build()
+            .unwrap();
+        let err = ChocoQSolver::default().solve(&p).unwrap_err();
+        assert_eq!(err, SolverError::Infeasible);
+    }
+
+    #[test]
+    fn unique_feasible_point_collapses_to_it() {
+        // Full-rank constraints: Δ empty, the circuit just loads |x*⟩.
+        let p = Problem::builder(2)
+            .minimize()
+            .linear(0, 1.0)
+            .equality([(0, 1)], 1)
+            .equality([(1, 1)], 0)
+            .build()
+            .unwrap();
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test()).solve(&p).unwrap();
+        assert!((outcome.counts.probability(0b01) - 1.0).abs() < 1e-12);
+        let m = outcome.metrics(&p).unwrap();
+        assert_eq!(m.success_rate, 1.0);
+    }
+
+    #[test]
+    fn more_layers_do_not_hurt() {
+        // Fig. 7: layer 2 brings a modest gain; deeper layers plateau.
+        let one = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&paper_problem())
+            .unwrap()
+            .metrics(&paper_problem())
+            .unwrap();
+        let two = ChocoQSolver::new(ChocoQConfig {
+            layers: 2,
+            ..ChocoQConfig::fast_test()
+        })
+        .solve(&paper_problem())
+        .unwrap()
+        .metrics(&paper_problem())
+        .unwrap();
+        assert!(two.success_rate > one.success_rate * 0.5);
+        assert!((two.in_constraints_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shots_are_preserved_across_branches() {
+        let config = ChocoQConfig {
+            eliminate: 1,
+            shots: 1000,
+            ..ChocoQConfig::fast_test()
+        };
+        let outcome = ChocoQSolver::new(config).solve(&paper_problem()).unwrap();
+        // Two branches × 500 shots each.
+        assert_eq!(outcome.counts.shots(), 1000);
+    }
+}

@@ -1,0 +1,415 @@
+//! Double-precision complex arithmetic.
+//!
+//! The simulator and Hamiltonian machinery only need a small, predictable
+//! subset of complex arithmetic, so we implement it here rather than pulling
+//! in an external crate. [`Complex64`] is a plain `Copy` value type with the
+//! usual field/method names (`re`, `im`, [`Complex64::conj`],
+//! [`Complex64::norm_sqr`], ...).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::Complex64;
+///
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.norm_sqr(), 25.0);
+/// assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Shorthand constructor for [`Complex64`].
+///
+/// ```
+/// use choco_mathkit::{c64, Complex64};
+/// assert_eq!(c64(1.0, -2.0), Complex64::new(1.0, -2.0));
+/// ```
+#[inline]
+pub fn c64(re: f64, im: f64) -> Complex64 {
+    Complex64 { re, im }
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{iθ}`.
+    ///
+    /// ```
+    /// use choco_mathkit::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{iθ}` — a unit phase. This is the workhorse of diagonal
+    /// Hamiltonian evolution.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`. Cheaper than [`Complex64::abs`]; used for
+    /// probabilities.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplication by the imaginary unit, `i·z`, without a full complex
+    /// multiply.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex64 {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiplication by `-i`, `-i·z`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex64 {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+
+    /// Scales both components by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `true` if both components are within `tol` of `other`'s.
+    ///
+    /// ```
+    /// use choco_mathkit::c64;
+    /// assert!(c64(1.0, 0.0).approx_eq(c64(1.0 + 1e-13, -1e-13), 1e-9));
+    /// ```
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `z == 0` (produces infinities in release).
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        debug_assert!(d != 0.0, "division by complex zero");
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: u32) -> Self {
+        let mut base = self;
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64 {
+            re: self.re / rhs,
+            im: self.im / rhs,
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+        assert_eq!(Complex64::from(2.5), c64(2.5, 0.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = c64(1.5, -2.0);
+        let b = c64(-0.5, 3.25);
+        assert!((a + b - b).approx_eq(a, 1e-12));
+        assert!((a * b / b).approx_eq(a, 1e-12));
+        assert!((-a + a).approx_eq(Complex64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn mul_matches_definition() {
+        let a = c64(2.0, 3.0);
+        let b = c64(4.0, -5.0);
+        // (2+3i)(4-5i) = 8 -10i +12i +15 = 23 + 2i
+        assert!(a.mul(b).approx_eq(c64(23.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn mul_i_shortcuts() {
+        let a = c64(0.7, -1.3);
+        assert!(a.mul_i().approx_eq(a * Complex64::I, 1e-12));
+        assert!(a.mul_neg_i().approx_eq(a * -Complex64::I, 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::from_polar(2.0, 0.73);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.73).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cis_is_unit_phase() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.41 - 3.0;
+            let z = Complex64::cis(theta);
+            assert!((z.norm_sqr() - 1.0).abs() < 1e-12);
+            assert!(z.approx_eq(c64(0.0, theta).exp(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn exp_of_real_is_real() {
+        let z = c64(1.0, 0.0).exp();
+        assert!(z.approx_eq(c64(std::f64::consts::E, 0.0), 1e-12));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(0.9, 0.3);
+        let mut acc = Complex64::ONE;
+        for n in 0..10u32 {
+            assert!(z.powi(n).approx_eq(acc, 1e-10));
+            acc *= z;
+        }
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let z = c64(3.0, -4.0);
+        assert!((z * z.recip()).approx_eq(Complex64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Complex64 = (0..4).map(|k| c64(k as f64, 1.0)).sum();
+        assert!(total.approx_eq(c64(6.0, 4.0), 1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", c64(1.0, -2.0)), "1.000000-2.000000i");
+        assert_eq!(format!("{}", c64(1.0, 2.0)), "1.000000+2.000000i");
+    }
+}

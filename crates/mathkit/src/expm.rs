@@ -1,0 +1,139 @@
+//! Matrix exponential by scaling-and-squaring with a Taylor core.
+//!
+//! Used by the Trotter-decomposition baseline (`choco-core::trotter`) to form
+//! `e^{-iβH_d}` as a dense unitary — the expensive conventional path the
+//! paper compares against in Figure 12 — and by tests that verify the exact
+//! gate-level decompositions against first principles.
+
+use crate::complex::Complex64;
+use crate::matrix::CMatrix;
+
+/// Computes `e^A` for a square complex matrix.
+///
+/// The matrix is scaled by `2^-s` so that its max-norm is below 0.5, the
+/// exponential of the scaled matrix is evaluated by a Taylor series run to
+/// machine precision, and the result is squared `s` times.
+///
+/// Accuracy is excellent for the anti-Hermitian generators used in this
+/// project (`A = -iβH` with modest `β‖H‖`).
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::{expm, CMatrix, c64};
+/// use std::f64::consts::PI;
+///
+/// // e^{-iπX/2} = -i X
+/// let a = CMatrix::pauli_x().scale(c64(0.0, -PI / 2.0));
+/// let u = expm(&a);
+/// let expect = CMatrix::pauli_x().scale(c64(0.0, -1.0));
+/// assert!(u.approx_eq(&expect, 1e-12));
+/// ```
+pub fn expm(a: &CMatrix) -> CMatrix {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let n = a.rows();
+    let norm = a.max_abs() * n as f64; // crude upper bound on the operator norm
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scaled = a.scale(Complex64::from_re(0.5f64.powi(s as i32)));
+
+    // Taylor: I + A + A²/2! + ... until the term is negligible.
+    let mut result = CMatrix::identity(n);
+    let mut term = CMatrix::identity(n);
+    let mut k = 1u32;
+    loop {
+        term = &term * &scaled;
+        term = term.scale(Complex64::from_re(1.0 / k as f64));
+        result = &result + &term;
+        if term.max_abs() < 1e-17 || k > 64 {
+            break;
+        }
+        k += 1;
+    }
+
+    for _ in 0..s {
+        result = &result * &result;
+    }
+    result
+}
+
+/// Computes the unitary `e^{-iθH}` of a Hermitian generator `H`.
+///
+/// Thin convenience wrapper over [`expm`] that also validates hermiticity in
+/// debug builds.
+pub fn expm_hermitian(h: &CMatrix, theta: f64) -> CMatrix {
+    debug_assert!(h.is_hermitian(1e-9), "generator must be Hermitian");
+    expm(&h.scale(Complex64::new(0.0, -theta)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = CMatrix::zeros(3, 3);
+        assert!(expm(&z).approx_eq(&CMatrix::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn expm_of_diagonal_is_entrywise_exp() {
+        let mut d = CMatrix::zeros(2, 2);
+        d[(0, 0)] = c64(0.0, 1.0);
+        d[(1, 1)] = c64(0.0, -2.0);
+        let e = expm(&d);
+        assert!(e[(0, 0)].approx_eq(Complex64::cis(1.0), 1e-12));
+        assert!(e[(1, 1)].approx_eq(Complex64::cis(-2.0), 1e-12));
+        assert!(e[(0, 1)].approx_eq(Complex64::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn expm_pauli_rotation_formula() {
+        // e^{-iθX} = cos θ I - i sin θ X
+        for &theta in &[0.1, 0.8, 2.5, -1.3] {
+            let u = expm_hermitian(&CMatrix::pauli_x(), theta);
+            let expect = &CMatrix::identity(2).scale(c64(theta.cos(), 0.0))
+                + &CMatrix::pauli_x().scale(c64(0.0, -theta.sin()));
+            assert!(u.approx_eq(&expect, 1e-11), "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn expm_of_antihermitian_is_unitary() {
+        // A random-ish Hermitian H: e^{-iH} must be unitary.
+        let h = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.3, -0.7), c64(0.0, 0.2)],
+            vec![c64(0.3, 0.7), c64(-0.5, 0.0), c64(1.1, 0.0)],
+            vec![c64(0.0, -0.2), c64(1.1, 0.0), c64(2.0, 0.0)],
+        ]);
+        assert!(h.is_hermitian(1e-12));
+        let u = expm_hermitian(&h, 0.9);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn expm_additivity_for_commuting_generators() {
+        // Z and I commute: e^{-i a Z} e^{-i b Z} = e^{-i (a+b) Z}
+        let z = CMatrix::pauli_z();
+        let lhs = &expm_hermitian(&z, 0.4) * &expm_hermitian(&z, 0.35);
+        let rhs = expm_hermitian(&z, 0.75);
+        assert!(lhs.approx_eq(&rhs, 1e-11));
+    }
+
+    #[test]
+    fn expm_handles_larger_norm_via_scaling() {
+        let u = expm_hermitian(&CMatrix::pauli_y(), 40.0);
+        assert!(u.is_unitary(1e-9));
+        let expect = &CMatrix::identity(2).scale(c64(40.0f64.cos(), 0.0))
+            + &CMatrix::pauli_y().scale(c64(0.0, -(40.0f64.sin())));
+        assert!(u.approx_eq(&expect, 1e-8));
+    }
+}

@@ -1,0 +1,458 @@
+//! Dense complex matrices.
+//!
+//! [`CMatrix`] is a row-major dense matrix over [`Complex64`]. It is used for
+//! small-dimension exact computations: verifying gate unitaries, assembling
+//! commute Hamiltonians for tests, the Trotter baseline's `2^n × 2^n`
+//! Hamiltonian (which is *supposed* to be expensive — that blow-up is
+//! Figure 12 of the paper), and the two-level unitary synthesis in
+//! `choco-qsim`.
+
+use crate::complex::{c64, Complex64};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::CMatrix;
+///
+/// let x = CMatrix::pauli_x();
+/// let id = &x * &x;
+/// assert!(id.approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex64>(
+        rows: usize,
+        cols: usize,
+        mut f: F,
+    ) -> Self {
+        let mut m = CMatrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from nested row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<Complex64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        CMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from real entries (imaginary parts zero).
+    pub fn from_real(rows: &[Vec<f64>]) -> Self {
+        let complex_rows: Vec<Vec<Complex64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|&x| c64(x, 0.0)).collect())
+            .collect();
+        CMatrix::from_rows(&complex_rows)
+    }
+
+    /// Pauli X.
+    pub fn pauli_x() -> Self {
+        CMatrix::from_real(&[vec![0.0, 1.0], vec![1.0, 0.0]])
+    }
+
+    /// Pauli Y.
+    pub fn pauli_y() -> Self {
+        CMatrix::from_rows(&[
+            vec![Complex64::ZERO, c64(0.0, -1.0)],
+            vec![c64(0.0, 1.0), Complex64::ZERO],
+        ])
+    }
+
+    /// Pauli Z.
+    pub fn pauli_z() -> Self {
+        CMatrix::from_real(&[vec![1.0, 0.0], vec![0.0, -1.0]])
+    }
+
+    /// The raising operator `σ⁺¹ = |1⟩⟨0|` from Eq. (5) of the paper.
+    pub fn sigma_plus() -> Self {
+        CMatrix::from_real(&[vec![0.0, 0.0], vec![1.0, 0.0]])
+    }
+
+    /// The lowering operator `σ⁻¹ = |0⟩⟨1|` from Eq. (5) of the paper.
+    pub fn sigma_minus() -> Self {
+        CMatrix::from_real(&[vec![0.0, 1.0], vec![0.0, 0.0]])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in matvec");
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = Complex64::ZERO;
+            for (a, b) in row.iter().zip(v.iter()) {
+                acc += *a * *b;
+            }
+            out[r] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Transpose without conjugation.
+    pub fn transpose(&self) -> CMatrix {
+        CMatrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    ///
+    /// ```
+    /// use choco_mathkit::CMatrix;
+    /// let zz = CMatrix::pauli_z().kron(&CMatrix::pauli_z());
+    /// assert_eq!(zz.rows(), 4);
+    /// assert_eq!(zz[(3, 3)].re, 1.0);
+    /// assert_eq!(zz[(1, 1)].re, -1.0);
+    /// ```
+    pub fn kron(&self, other: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for r1 in 0..self.rows {
+            for c1 in 0..self.cols {
+                let a = self[(r1, c1)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for r2 in 0..other.rows {
+                    for c2 in 0..other.cols {
+                        out[(r1 * other.rows + r2, c1 * other.cols + c2)] = a * other[(r2, c2)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: Complex64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry magnitude (∞-ish norm, used for `expm` scaling).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// Entry-wise approximate equality within `tol`.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Checks `A†A ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = &self.dagger() * self;
+        prod.approx_eq(&CMatrix::identity(self.rows), tol)
+    }
+
+    /// Checks `A ≈ A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.approx_eq(&self.dagger(), tol)
+    }
+
+    /// Commutator `[A, B] = AB − BA`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn commutator(&self, other: &CMatrix) -> CMatrix {
+        &(self * other) - &(other * self)
+    }
+
+    /// Approximate memory footprint of the entry storage, in bytes.
+    /// Used by the Figure 12 harness to report the Trotter baseline's
+    /// memory blow-up.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Complex64>()
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: cache-friendly on row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * *b;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>24}", format!("{}", self[(r, c)]))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = CMatrix::from_real(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let id = CMatrix::identity(2);
+        assert!((&a * &id).approx_eq(&a, 1e-12));
+        assert!((&id * &a).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn paulis_are_unitary_and_hermitian() {
+        for p in [CMatrix::pauli_x(), CMatrix::pauli_y(), CMatrix::pauli_z()] {
+            assert!(p.is_unitary(1e-12));
+            assert!(p.is_hermitian(1e-12));
+            assert!((&p * &p).approx_eq(&CMatrix::identity(2), 1e-12));
+        }
+    }
+
+    #[test]
+    fn pauli_commutator_xy_is_2iz() {
+        let comm = CMatrix::pauli_x().commutator(&CMatrix::pauli_y());
+        let expect = CMatrix::pauli_z().scale(c64(0.0, 2.0));
+        assert!(comm.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn sigma_plus_minus_are_adjoints() {
+        assert!(CMatrix::sigma_plus().dagger().approx_eq(&CMatrix::sigma_minus(), 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMatrix::from_real(&[vec![1.0, 2.0]]);
+        let b = CMatrix::from_real(&[vec![3.0], vec![4.0]]);
+        let k = a.kron(&b);
+        assert_eq!((k.rows(), k.cols()), (2, 2));
+        assert_eq!(k[(0, 0)].re, 3.0);
+        assert_eq!(k[(1, 1)].re, 8.0);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = CMatrix::pauli_x();
+        let b = CMatrix::pauli_y();
+        let c = CMatrix::pauli_z();
+        let d = CMatrix::identity(2);
+        let lhs = &a.kron(&b) * &c.kron(&d);
+        let rhs = (&a * &c).kron(&(&b * &d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn matvec_matches_mul() {
+        let a = CMatrix::from_real(&[vec![1.0, -1.0], vec![2.0, 0.5]]);
+        let v = vec![c64(1.0, 1.0), c64(0.0, -2.0)];
+        let got = a.matvec(&v);
+        assert!(got[0].approx_eq(c64(1.0, 3.0), 1e-12));
+        assert!(got[1].approx_eq(c64(2.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = CMatrix::pauli_x();
+        let b = CMatrix::pauli_y();
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_of_pauli_is_zero() {
+        assert!(CMatrix::pauli_x().trace().approx_eq(Complex64::ZERO, 1e-12));
+        assert_eq!(CMatrix::identity(5).trace().re, 5.0);
+    }
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        assert!((CMatrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mul_rejects_bad_shapes() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn storage_bytes_counts_entries() {
+        let m = CMatrix::zeros(4, 4);
+        assert_eq!(m.storage_bytes(), 16 * 16);
+    }
+}

@@ -1,0 +1,427 @@
+//! Exact rational arithmetic and Gaussian elimination.
+//!
+//! Constraint matrices in constrained binary optimization are small integer
+//! matrices; Choco-Q needs *exact* answers to questions like "what is the
+//! rank of `C`?", "is `C x = c` consistent?", and "what does the kernel of
+//! `C` look like?". Floating point is unacceptable here (a spurious pivot
+//! changes Δ and thus the driver Hamiltonian), so we do the linear algebra
+//! over `ℚ` with `i128` numerators/denominators.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number with `i128` numerator and denominator.
+///
+/// Always kept in lowest terms with a positive denominator.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::Rational;
+/// let a = Rational::new(2, 4);
+/// assert_eq!(a, Rational::new(1, 2));
+/// assert_eq!(a + a, Rational::from_int(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num/den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        if num == 0 {
+            return Rational::ZERO;
+        }
+        let g = gcd(num, den);
+        let sign = if den < 0 { -1 } else { 1 };
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Creates an integer-valued rational.
+    #[inline]
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// Numerator (lowest terms, sign carried here).
+    #[inline]
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    #[inline]
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Is this exactly zero?
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Is this an integer?
+    #[inline]
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The value as `f64` (lossy; for display only).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// The result of reducing an integer matrix to reduced row echelon form
+/// over `ℚ`.
+#[derive(Clone, Debug)]
+pub struct RowEchelon {
+    /// The reduced rows (rational entries), pivot columns normalized to 1.
+    pub rows: Vec<Vec<Rational>>,
+    /// Column index of the pivot in each non-zero row.
+    pub pivot_cols: Vec<usize>,
+    /// Rank of the matrix.
+    pub rank: usize,
+    /// Number of columns of the input.
+    pub n_cols: usize,
+}
+
+impl RowEchelon {
+    /// Columns that carry no pivot (the free variables of `A x = 0`).
+    pub fn free_cols(&self) -> Vec<usize> {
+        let mut pivot_set = vec![false; self.n_cols];
+        for &p in &self.pivot_cols {
+            pivot_set[p] = true;
+        }
+        (0..self.n_cols).filter(|&c| !pivot_set[c]).collect()
+    }
+}
+
+/// Reduced row echelon form of an integer matrix over `ℚ`.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::row_echelon;
+/// let e = row_echelon(&[vec![1, 0, -1, 0], vec![1, 1, 0, 1]]);
+/// assert_eq!(e.rank, 2);
+/// assert_eq!(e.free_cols(), vec![2, 3]);
+/// ```
+pub fn row_echelon(matrix: &[Vec<i64>]) -> RowEchelon {
+    let n_cols = matrix.first().map_or(0, |r| r.len());
+    let mut rows: Vec<Vec<Rational>> = matrix
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), n_cols, "ragged matrix");
+            r.iter().map(|&x| Rational::from_int(x as i128)).collect()
+        })
+        .collect();
+
+    let mut pivot_cols = Vec::new();
+    let mut pivot_row = 0usize;
+    for col in 0..n_cols {
+        // Find a row at or below `pivot_row` with a non-zero entry in `col`.
+        let Some(src) = (pivot_row..rows.len()).find(|&r| !rows[r][col].is_zero()) else {
+            continue;
+        };
+        rows.swap(pivot_row, src);
+        // Normalize the pivot to 1.
+        let inv = rows[pivot_row][col].recip();
+        for c in col..n_cols {
+            rows[pivot_row][c] = rows[pivot_row][c] * inv;
+        }
+        // Eliminate the column everywhere else (fully reduced form).
+        for r in 0..rows.len() {
+            if r != pivot_row && !rows[r][col].is_zero() {
+                let factor = rows[r][col];
+                for c in col..n_cols {
+                    let delta = factor * rows[pivot_row][c];
+                    rows[r][c] = rows[r][c] - delta;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        pivot_row += 1;
+        if pivot_row == rows.len() {
+            break;
+        }
+    }
+
+    RowEchelon {
+        rank: pivot_cols.len(),
+        rows,
+        pivot_cols,
+        n_cols,
+    }
+}
+
+/// Rank of an integer matrix (exact).
+pub fn rank(matrix: &[Vec<i64>]) -> usize {
+    row_echelon(matrix).rank
+}
+
+/// A rational basis of the kernel (null space) of an integer matrix, one
+/// basis vector per free column, produced by setting that free variable to 1
+/// and the other free variables to 0.
+///
+/// This mirrors how the paper derives Δ in the Figure 3 example: with
+/// `C = [[1,0,-1,0],[1,1,0,1]]`, the kernel basis is
+/// `(1,-1,1,0)` and `(0,-1,0,1)` — the paper's `−u⃗₁` and `u⃗₂`.
+pub fn kernel_basis(matrix: &[Vec<i64>]) -> Vec<Vec<Rational>> {
+    let ech = row_echelon(matrix);
+    let free = ech.free_cols();
+    let mut basis = Vec::with_capacity(free.len());
+    for &fc in &free {
+        let mut v = vec![Rational::ZERO; ech.n_cols];
+        v[fc] = Rational::ONE;
+        // Each pivot variable is determined by the free ones:
+        // row: x_pivot + Σ a_j x_j = 0  ⇒  x_pivot = -a_fc.
+        for (row_idx, &pc) in ech.pivot_cols.iter().enumerate() {
+            v[pc] = -ech.rows[row_idx][fc];
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Incrementally tracks the row space of a growing set of rational vectors.
+///
+/// Used by the Δ-selection fallback: greedily add small-support solutions of
+/// `C u = 0` until they span the whole kernel.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTracker {
+    reduced: Vec<Vec<Rational>>, // each with a leading 1 at its pivot
+    pivots: Vec<usize>,
+}
+
+impl SpanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        SpanTracker::default()
+    }
+
+    /// Current dimension of the tracked span.
+    pub fn dim(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Attempts to add `v` to the span. Returns `true` if `v` was linearly
+    /// independent of the current span (and the span grew).
+    pub fn insert(&mut self, v: &[Rational]) -> bool {
+        let mut w = v.to_vec();
+        for (row, &p) in self.reduced.iter().zip(self.pivots.iter()) {
+            if !w[p].is_zero() {
+                let factor = w[p];
+                for (wi, ri) in w.iter_mut().zip(row.iter()) {
+                    *wi = *wi - factor * *ri;
+                }
+            }
+        }
+        let Some(pivot) = w.iter().position(|x| !x.is_zero()) else {
+            return false;
+        };
+        let inv = w[pivot].recip();
+        for x in w.iter_mut() {
+            *x = *x * inv;
+        }
+        self.reduced.push(w);
+        self.pivots.push(pivot);
+        true
+    }
+
+    /// Convenience: insert a vector of small integers.
+    pub fn insert_ints(&mut self, v: &[i64]) -> bool {
+        let vr: Vec<Rational> = v.iter().map(|&x| Rational::from_int(x as i128)).collect();
+        self.insert(&vr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_normalization() {
+        assert_eq!(Rational::new(4, -8), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+        assert_eq!(Rational::new(6, 3), Rational::from_int(2));
+    }
+
+    #[test]
+    fn rational_field_axioms_spotcheck() {
+        let a = Rational::new(3, 7);
+        let b = Rational::new(-2, 5);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * b / b, a);
+        assert_eq!(a * a.recip(), Rational::ONE);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn rational_ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+    }
+
+    #[test]
+    fn echelon_of_paper_example() {
+        // Constraints of Fig. 2(a): x1 - x3 = 0 and x1 + x2 + x4 = 1
+        // (the rhs is irrelevant for the kernel).
+        let e = row_echelon(&[vec![1, 0, -1, 0], vec![1, 1, 0, 1]]);
+        assert_eq!(e.rank, 2);
+        assert_eq!(e.pivot_cols, vec![0, 1]);
+        assert_eq!(e.free_cols(), vec![2, 3]);
+    }
+
+    #[test]
+    fn kernel_basis_matches_paper_delta() {
+        let basis = kernel_basis(&[vec![1, 0, -1, 0], vec![1, 1, 0, 1]]);
+        assert_eq!(basis.len(), 2);
+        // free col 2 ⇒ (1, -1, 1, 0); free col 3 ⇒ (0, -1, 0, 1)
+        let ints: Vec<Vec<i128>> = basis
+            .iter()
+            .map(|v| v.iter().map(|r| r.numer() / r.denom()).collect())
+            .collect();
+        assert_eq!(ints[0], vec![1, -1, 1, 0]);
+        assert_eq!(ints[1], vec![0, -1, 0, 1]);
+    }
+
+    #[test]
+    fn kernel_vectors_annihilate_matrix() {
+        let m = vec![vec![2, 1, -1, 3], vec![0, 1, 1, -1]];
+        for v in kernel_basis(&m) {
+            for row in &m {
+                let dot = row
+                    .iter()
+                    .zip(v.iter())
+                    .fold(Rational::ZERO, |acc, (&a, &x)| {
+                        acc + Rational::from_int(a as i128) * x
+                    });
+                assert!(dot.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        assert_eq!(rank(&[vec![1, 2], vec![2, 4]]), 1);
+        assert_eq!(rank(&[vec![1, 0], vec![0, 1]]), 2);
+        assert_eq!(rank(&[vec![0, 0]]), 0);
+    }
+
+    #[test]
+    fn span_tracker_detects_dependence() {
+        let mut t = SpanTracker::new();
+        assert!(t.insert_ints(&[1, 0, -1]));
+        assert!(t.insert_ints(&[0, 1, 1]));
+        assert!(!t.insert_ints(&[1, 1, 0])); // sum of the first two
+        assert_eq!(t.dim(), 2);
+        assert!(t.insert_ints(&[0, 0, 1]));
+        assert_eq!(t.dim(), 3);
+    }
+}

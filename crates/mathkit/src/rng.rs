@@ -1,0 +1,159 @@
+//! A tiny deterministic pseudo-random generator.
+//!
+//! Benchmark instances must be reproducible across runs and platforms, so the
+//! problem generators use this self-contained SplitMix64 generator instead of
+//! an external crate whose stream might change between versions. (Quantum
+//! measurement *sampling* uses `rand` in `choco-qsim`; instance *generation*
+//! uses this.)
+
+/// SplitMix64: a fast, high-quality 64-bit PRNG with a one-word state.
+///
+/// # Examples
+///
+/// ```
+/// use choco_mathkit::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality bits → [0,1)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)` (Lemire-style rejection-free for our
+    /// small ranges; uses modulo with negligible bias for range ≪ 2^64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator (for per-instance seeding).
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0, (i + 1) as u64) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0, xs.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3, 9);
+            assert!((3..9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_is_half() {
+        let mut rng = SplitMix64::new(123);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        assert!((total / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SplitMix64::new(1);
+        assert!(rng.choose::<u8>(&[]).is_none());
+        assert!(rng.choose(&[1, 2, 3]).is_some());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = SplitMix64::new(42);
+        let mut c1 = root.fork();
+        let mut c2 = root.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

@@ -1,0 +1,47 @@
+//! # choco-model
+//!
+//! The constrained binary optimization model (Eq. (1) of the Choco-Q paper),
+//! plus everything needed to evaluate solvers on it:
+//!
+//! * [`Problem`] / [`ProblemBuilder`] — QUBO objective + integer linear
+//!   equality constraints, penalty expansion, feasibility enumeration.
+//! * [`solve_exact`] / [`BranchAndBound`] — exact classical solvers that
+//!   provide the ground truth for success-rate measurements.
+//! * [`Metrics`] — the paper's §V-A metrics: success rate, in-constraints
+//!   rate, and the approximation ratio gap (Eq. (17)).
+//! * [`Solver`] / [`SolveOutcome`] — the interface every QAOA variant in
+//!   this workspace implements.
+//!
+//! ```
+//! use choco_model::{solve_exact, Problem};
+//!
+//! let p = Problem::builder(4)
+//!     .maximize()
+//!     .linear(0, 1.0)
+//!     .linear(1, 2.0)
+//!     .linear(2, 3.0)
+//!     .linear(3, 1.0)
+//!     .equality([(0, 1), (2, -1)], 0)
+//!     .equality([(0, 1), (1, 1), (3, 1)], 1)
+//!     .build()?;
+//! let opt = solve_exact(&p).expect("solvable");
+//! assert_eq!(opt.value, 4.0); // x = {1,0,1,0}
+//! # Ok::<(), choco_model::ProblemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod classical;
+mod metrics;
+mod parser;
+mod problem;
+mod solver;
+
+pub use classical::{
+    solve_exact, solve_exact_capped, BnbStats, BranchAndBound, ClassicalError, Optimum,
+    DEFAULT_ENUM_CAP,
+};
+pub use metrics::{Metrics, ARG_LAMBDA};
+pub use parser::{parse_problem, ParseError};
+pub use problem::{Problem, ProblemBuilder, ProblemError, Sense};
+pub use solver::{CircuitStats, SolveOutcome, Solver, SolverError, TimingBreakdown};

@@ -1,0 +1,191 @@
+//! The paper's evaluation metrics (§V-A).
+//!
+//! * **Success rate** — probability that a measured bitstring is one of the
+//!   optimal solutions.
+//! * **In-constraints rate** — probability that a measured bitstring
+//!   satisfies every constraint (always ≥ success rate).
+//! * **Approximation ratio gap (ARG)** — Eq. (17):
+//!   `| E[f(x) + λ‖Cx − c‖] / f(x_opt) − 1 |` with `λ = 10`.
+
+use crate::classical::Optimum;
+use crate::problem::Problem;
+use choco_qsim::Counts;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The penalty weight λ in the ARG definition (set to 10 in the paper).
+pub const ARG_LAMBDA: f64 = 10.0;
+
+/// Algorithmic quality metrics for one solver run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metrics {
+    /// Probability of measuring an optimal solution.
+    pub success_rate: f64,
+    /// Probability of measuring a feasible solution.
+    pub in_constraints_rate: f64,
+    /// Approximation ratio gap (Eq. (17), λ = 10).
+    pub arg: f64,
+    /// Expected objective value over all outcomes.
+    pub expected_objective: f64,
+    /// Best feasible outcome observed, with its objective value.
+    pub best_found: Option<(u64, f64)>,
+}
+
+impl Metrics {
+    /// Computes all metrics for `counts` measured on `problem`, given the
+    /// exact [`Optimum`].
+    ///
+    /// The ARG denominator uses `|f(x_opt)|`, falling back to 1 when the
+    /// optimum is (numerically) zero so the gap stays finite.
+    pub fn from_counts(problem: &Problem, counts: &Counts, optimum: &Optimum) -> Metrics {
+        let optimal_set: HashSet<u64> = optimum.solutions.iter().copied().collect();
+        let success_rate = counts.mass_where(|bits| optimal_set.contains(&bits));
+        let in_constraints_rate = counts.mass_where(|bits| problem.is_feasible(bits));
+        let expected_objective = counts.expectation(|bits| problem.evaluate(bits));
+        let expected_penalized = counts.expectation(|bits| {
+            problem.evaluate(bits) + ARG_LAMBDA * problem.violation_sq(bits).sqrt()
+        });
+        let denom = if optimum.value.abs() > 1e-9 {
+            optimum.value.abs()
+        } else {
+            1.0
+        };
+        let arg = (expected_penalized / denom
+            * if optimum.value < 0.0 { -1.0 } else { 1.0 }
+            - 1.0)
+            .abs();
+
+        let mut best_found: Option<(u64, f64)> = None;
+        for (bits, _) in counts.iter() {
+            if !problem.is_feasible(bits) {
+                continue;
+            }
+            let v = problem.evaluate(bits);
+            let better = match (problem.sense(), best_found) {
+                (_, None) => true,
+                (crate::problem::Sense::Minimize, Some((_, b))) => v < b,
+                (crate::problem::Sense::Maximize, Some((_, b))) => v > b,
+            };
+            if better {
+                best_found = Some((bits, v));
+            }
+        }
+
+        Metrics {
+            success_rate,
+            in_constraints_rate,
+            arg,
+            expected_objective,
+            best_found,
+        }
+    }
+
+    /// `true` when the optimal solution appeared at least once.
+    pub fn found_optimal(&self) -> bool {
+        self.success_rate > 0.0
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "success={:.2}% in-constraints={:.2}% ARG={:.3} E[f]={:.3}",
+            self.success_rate * 100.0,
+            self.in_constraints_rate * 100.0,
+            self.arg,
+            self.expected_objective
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::solve_exact;
+
+    fn paper_problem() -> Problem {
+        Problem::builder(4)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .linear(3, 1.0)
+            .equality([(0, 1), (2, -1)], 0)
+            .equality([(0, 1), (1, 1), (3, 1)], 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn perfect_sampler_gets_full_scores() {
+        let p = paper_problem();
+        let opt = solve_exact(&p).unwrap();
+        let mut counts = Counts::new();
+        counts.record_n(0b0101, 1000); // the unique optimum
+        let m = Metrics::from_counts(&p, &counts, &opt);
+        assert_eq!(m.success_rate, 1.0);
+        assert_eq!(m.in_constraints_rate, 1.0);
+        assert!(m.arg < 1e-9, "ARG should vanish at the optimum: {}", m.arg);
+        assert_eq!(m.best_found, Some((0b0101, 4.0)));
+        assert!(m.found_optimal());
+    }
+
+    #[test]
+    fn feasible_but_suboptimal_counts() {
+        let p = paper_problem();
+        let opt = solve_exact(&p).unwrap();
+        let mut counts = Counts::new();
+        counts.record_n(0b0101, 500); // optimal (f = 4)
+        counts.record_n(0b0010, 500); // feasible: x1 = 1 only (f = 2)
+        assert!(p.is_feasible(0b0010));
+        let m = Metrics::from_counts(&p, &counts, &opt);
+        assert!((m.success_rate - 0.5).abs() < 1e-12);
+        assert_eq!(m.in_constraints_rate, 1.0);
+        assert!((m.expected_objective - 3.0).abs() < 1e-12);
+        // ARG = |3/4 - 1| = 0.25 (no violations)
+        assert!((m.arg - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violations_blow_up_arg() {
+        let p = paper_problem();
+        let opt = solve_exact(&p).unwrap();
+        let mut counts = Counts::new();
+        counts.record_n(0b1111, 100); // infeasible
+        let m = Metrics::from_counts(&p, &counts, &opt);
+        assert_eq!(m.success_rate, 0.0);
+        assert_eq!(m.in_constraints_rate, 0.0);
+        assert!(m.best_found.is_none());
+        // f(1111) = 7, ‖C x − c‖ = sqrt(0² + 2²) = 2 → (7 + 20)/4 − 1 = 5.75
+        assert!((m.arg - 5.75).abs() < 1e-9, "arg = {}", m.arg);
+    }
+
+    #[test]
+    fn success_rate_counts_any_optimum() {
+        let p = Problem::builder(2)
+            .minimize()
+            .linear(0, 1.0)
+            .linear(1, 1.0)
+            .equality([(0, 1), (1, 1)], 1)
+            .build()
+            .unwrap();
+        let opt = solve_exact(&p).unwrap();
+        assert_eq!(opt.solutions.len(), 2);
+        let mut counts = Counts::new();
+        counts.record_n(0b01, 300);
+        counts.record_n(0b10, 700);
+        let m = Metrics::from_counts(&p, &counts, &opt);
+        assert_eq!(m.success_rate, 1.0);
+    }
+
+    #[test]
+    fn empty_counts_give_zero_metrics() {
+        let p = paper_problem();
+        let opt = solve_exact(&p).unwrap();
+        let m = Metrics::from_counts(&p, &Counts::new(), &opt);
+        assert_eq!(m.success_rate, 0.0);
+        assert_eq!(m.in_constraints_rate, 0.0);
+        assert!(m.best_found.is_none());
+    }
+}

@@ -1,0 +1,373 @@
+//! A small LP-style text format for constrained binary optimization.
+//!
+//! The paper's artifact ships problems as Python data; for a Rust library
+//! a plain-text interchange format is the equivalent convenience. Example:
+//!
+//! ```text
+//! # the paper's running example
+//! maximize x0 + 2 x1 + 3 x2 + x3
+//! s.t. x0 - x2 = 0
+//! s.t. x0 + x1 + x3 = 1
+//! ```
+//!
+//! Grammar (line-oriented, `#` comments):
+//!
+//! * objective line: `minimize <expr>` or `maximize <expr>`
+//! * constraint lines: `s.t. <int-expr> = <int>` (also `st` / `subject to`)
+//! * `<expr>` is `±[coef] x<i>`, `±[coef] x<i>*x<j>` and constants,
+//!   joined by `+` / `-`; coefficients may be floats in the objective but
+//!   must be integers in constraints.
+
+use crate::problem::{Problem, ProblemError};
+use std::fmt;
+
+/// Errors from [`parse_problem`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParseError {
+    /// No `minimize` / `maximize` line found.
+    MissingObjective,
+    /// More than one objective line.
+    DuplicateObjective {
+        /// 1-based line number of the second objective.
+        line: usize,
+    },
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The assembled problem failed validation.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingObjective => write!(f, "no minimize/maximize line"),
+            ParseError::DuplicateObjective { line } => {
+                write!(f, "line {line}: duplicate objective")
+            }
+            ParseError::Malformed { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Problem(e) => write!(f, "invalid problem: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ProblemError> for ParseError {
+    fn from(e: ProblemError) -> Self {
+        ParseError::Problem(e)
+    }
+}
+
+/// One additive term of an expression.
+#[derive(Clone, Debug, PartialEq)]
+enum Term {
+    Constant(f64),
+    Linear(usize, f64),
+    Quadratic(usize, usize, f64),
+}
+
+/// Tokenizes an expression like `x0 + 2 x1 - 3 x2*x3 + 4` into terms.
+fn parse_expr(s: &str, line: usize) -> Result<Vec<Term>, ParseError> {
+    let err = |message: String| ParseError::Malformed { line, message };
+    // Normalize: make sure +/- separate tokens.
+    let normalized = s.replace('+', " + ").replace('-', " - ");
+    let tokens: Vec<&str> = normalized.split_whitespace().collect();
+    let mut terms = Vec::new();
+    let mut sign = 1.0f64;
+    let mut pending_coef: Option<f64> = None;
+    let mut expect_operand = true;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = tokens[i];
+        match tok {
+            "+" => {
+                if pending_coef.is_some() {
+                    return Err(err("dangling coefficient before '+'".into()));
+                }
+                sign = 1.0;
+                expect_operand = true;
+            }
+            "-" => {
+                if pending_coef.is_some() {
+                    return Err(err("dangling coefficient before '-'".into()));
+                }
+                sign = -sign;
+                expect_operand = true;
+            }
+            _ if tok.starts_with('x') => {
+                if !expect_operand && pending_coef.is_none() {
+                    return Err(err(format!("missing operator before `{tok}`")));
+                }
+                let coef = sign * pending_coef.take().unwrap_or(1.0);
+                // x3 or x3*x5
+                if let Some((a, b)) = tok.split_once('*') {
+                    let i1 = parse_var(a).ok_or_else(|| err(format!("bad variable `{a}`")))?;
+                    let i2 = parse_var(b).ok_or_else(|| err(format!("bad variable `{b}`")))?;
+                    terms.push(Term::Quadratic(i1, i2, coef));
+                } else {
+                    let v = parse_var(tok).ok_or_else(|| err(format!("bad variable `{tok}`")))?;
+                    terms.push(Term::Linear(v, coef));
+                }
+                sign = 1.0;
+                expect_operand = false;
+            }
+            _ => {
+                let value: f64 = tok
+                    .parse()
+                    .map_err(|_| err(format!("unrecognized token `{tok}`")))?;
+                if pending_coef.is_some() {
+                    return Err(err(format!("two consecutive numbers near `{tok}`")));
+                }
+                // A number may be a standalone constant or a coefficient of
+                // the next variable token.
+                if i + 1 < tokens.len() && tokens[i + 1].starts_with('x') {
+                    pending_coef = Some(value);
+                } else {
+                    terms.push(Term::Constant(sign * value));
+                    sign = 1.0;
+                    expect_operand = false;
+                }
+            }
+        }
+        i += 1;
+    }
+    if pending_coef.is_some() {
+        return Err(err("dangling coefficient at end of expression".into()));
+    }
+    Ok(terms)
+}
+
+fn parse_var(s: &str) -> Option<usize> {
+    s.strip_prefix('x')?.parse().ok()
+}
+
+/// Parses the text format into a [`Problem`].
+///
+/// The variable count is inferred as `max index + 1`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] describing the offending line.
+///
+/// # Examples
+///
+/// ```
+/// use choco_model::parse_problem;
+///
+/// let p = parse_problem(
+///     "maximize x0 + 2 x1 + 3 x2 + x3\n\
+///      s.t. x0 - x2 = 0\n\
+///      s.t. x0 + x1 + x3 = 1",
+/// )?;
+/// assert_eq!(p.n_vars(), 4);
+/// assert_eq!(p.evaluate(0b0101), 4.0);
+/// # Ok::<(), choco_model::ParseError>(())
+/// ```
+pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
+    let mut objective: Option<(bool, Vec<Term>)> = None; // (maximize, terms)
+    let mut constraints: Vec<(Vec<Term>, i64, usize)> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lower = line.to_ascii_lowercase();
+        if let Some(rest) = lower
+            .strip_prefix("maximize")
+            .or_else(|| lower.strip_prefix("max "))
+        {
+            if objective.is_some() {
+                return Err(ParseError::DuplicateObjective { line: line_no });
+            }
+            objective = Some((true, parse_expr(rest, line_no)?));
+        } else if let Some(rest) = lower
+            .strip_prefix("minimize")
+            .or_else(|| lower.strip_prefix("min "))
+        {
+            if objective.is_some() {
+                return Err(ParseError::DuplicateObjective { line: line_no });
+            }
+            objective = Some((false, parse_expr(rest, line_no)?));
+        } else if let Some(rest) = lower
+            .strip_prefix("subject to")
+            .or_else(|| lower.strip_prefix("s.t."))
+            .or_else(|| lower.strip_prefix("st "))
+        {
+            let Some((lhs, rhs)) = rest.split_once('=') else {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    message: "constraint needs `= <int>`".into(),
+                });
+            };
+            let rhs: i64 = rhs.trim().parse().map_err(|_| ParseError::Malformed {
+                line: line_no,
+                message: format!("right-hand side `{}` is not an integer", rhs.trim()),
+            })?;
+            let terms = parse_expr(lhs, line_no)?;
+            constraints.push((terms, rhs, line_no));
+        } else {
+            return Err(ParseError::Malformed {
+                line: line_no,
+                message: format!("unrecognized line `{line}`"),
+            });
+        }
+    }
+
+    let Some((maximize, obj_terms)) = objective else {
+        return Err(ParseError::MissingObjective);
+    };
+
+    // Infer the variable count.
+    let mut n_vars = 0usize;
+    let scan = |terms: &[Term], n: &mut usize| {
+        for t in terms {
+            match *t {
+                Term::Linear(v, _) => *n = (*n).max(v + 1),
+                Term::Quadratic(a, b, _) => *n = (*n).max(a.max(b) + 1),
+                Term::Constant(_) => {}
+            }
+        }
+    };
+    scan(&obj_terms, &mut n_vars);
+    for (terms, _, _) in &constraints {
+        scan(terms, &mut n_vars);
+    }
+
+    let mut b = Problem::builder(n_vars);
+    b = if maximize { b.maximize() } else { b.minimize() };
+    for t in obj_terms {
+        b = match t {
+            Term::Constant(w) => b.constant(w),
+            Term::Linear(v, w) => b.linear(v, w),
+            Term::Quadratic(i, j, w) => b.quadratic(i, j, w),
+        };
+    }
+    for (terms, rhs, line_no) in constraints {
+        let mut lin: Vec<(usize, i64)> = Vec::new();
+        let mut shift = 0i64;
+        for t in terms {
+            match t {
+                Term::Linear(v, w) => {
+                    if w.fract() != 0.0 {
+                        return Err(ParseError::Malformed {
+                            line: line_no,
+                            message: format!("constraint coefficient {w} is not an integer"),
+                        });
+                    }
+                    lin.push((v, w as i64));
+                }
+                Term::Constant(w) => {
+                    if w.fract() != 0.0 {
+                        return Err(ParseError::Malformed {
+                            line: line_no,
+                            message: format!("constraint constant {w} is not an integer"),
+                        });
+                    }
+                    shift += w as i64;
+                }
+                Term::Quadratic(..) => {
+                    return Err(ParseError::Malformed {
+                        line: line_no,
+                        message: "constraints must be linear".into(),
+                    });
+                }
+            }
+        }
+        b = b.equality(lin, rhs - shift);
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::solve_exact;
+
+    #[test]
+    fn parses_paper_example() {
+        let p = parse_problem(
+            "# running example\n\
+             maximize x0 + 2 x1 + 3 x2 + x3\n\
+             s.t. x0 - x2 = 0\n\
+             s.t. x0 + x1 + x3 = 1",
+        )
+        .expect("parse");
+        assert_eq!(p.n_vars(), 4);
+        assert_eq!(p.constraints().len(), 2);
+        let opt = solve_exact(&p).unwrap();
+        assert_eq!(opt.value, 4.0);
+        assert_eq!(opt.solutions, vec![0b0101]);
+    }
+
+    #[test]
+    fn parses_quadratic_objective_and_constants() {
+        let p = parse_problem(
+            "minimize 2.5 - x0*x1 + 0.5 x2\n\
+             s.t. x0 + x1 + x2 = 2",
+        )
+        .expect("parse");
+        assert_eq!(p.evaluate(0b011), 2.5 - 1.0);
+        assert_eq!(p.evaluate(0b110), 2.5 + 0.5);
+    }
+
+    #[test]
+    fn constraint_constants_fold_into_rhs() {
+        let p = parse_problem("min x0\ns.t. x0 + x1 - 1 = 0").expect("parse");
+        assert!(p.is_feasible(0b01));
+        assert!(p.is_feasible(0b10));
+        assert!(!p.is_feasible(0b11));
+    }
+
+    #[test]
+    fn rejects_missing_objective() {
+        assert_eq!(
+            parse_problem("s.t. x0 = 1").unwrap_err(),
+            ParseError::MissingObjective
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_objective() {
+        let err = parse_problem("min x0\nmax x1").unwrap_err();
+        assert_eq!(err, ParseError::DuplicateObjective { line: 2 });
+    }
+
+    #[test]
+    fn rejects_quadratic_constraint() {
+        let err = parse_problem("min x0\ns.t. x0*x1 = 1").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_fractional_constraint_coefficient() {
+        let err = parse_problem("min x0\ns.t. 0.5 x0 = 1").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let err = parse_problem("min x0\nhello world").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn negative_coefficients_and_signs() {
+        let p = parse_problem("min -x0 - 2 x1 + 3\ns.t. x0 - x1 = 0").expect("parse");
+        assert_eq!(p.evaluate(0b11), -3.0 + 3.0);
+        assert_eq!(p.evaluate(0b00), 3.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = parse_problem("\n# c\nmin x0 # trailing\n\ns.t. x0 = 1\n").expect("parse");
+        assert_eq!(p.n_vars(), 1);
+    }
+}

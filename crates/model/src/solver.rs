@@ -1,0 +1,198 @@
+//! The common solver interface implemented by every QAOA variant
+//! (penalty-based, cyclic, HEA, and Choco-Q itself).
+
+use crate::classical::{solve_exact, ClassicalError, Optimum};
+use crate::metrics::Metrics;
+use crate::problem::Problem;
+use choco_qsim::Counts;
+use std::fmt;
+use std::time::Duration;
+
+/// Structural statistics of the circuit a solver executed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total qubits used (variables + ancillas).
+    pub qubits: usize,
+    /// Depth of the logical (structured) circuit.
+    pub logical_depth: usize,
+    /// Depth after transpilation to basic gates, when computed.
+    pub transpiled_depth: Option<usize>,
+    /// Gate count after transpilation, when computed.
+    pub transpiled_gates: Option<usize>,
+    /// Two-qubit gate count after transpilation, when computed.
+    pub two_qubit_gates: Option<usize>,
+}
+
+/// Wall-clock breakdown of a solve, mirroring the paper's latency split
+/// (Fig. 11b): compilation, quantum execution, classical parameter updates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimingBreakdown {
+    /// Hamiltonian construction + decomposition + transpilation.
+    pub compile: Duration,
+    /// Circuit simulation / execution across all iterations.
+    pub execute: Duration,
+    /// Classical optimizer time.
+    pub classical: Duration,
+}
+
+impl TimingBreakdown {
+    /// Total end-to-end time.
+    pub fn total(&self) -> Duration {
+        self.compile + self.execute + self.classical
+    }
+}
+
+/// Everything a solver run produces.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Final measurement histogram over the problem's variable bits.
+    pub counts: Counts,
+    /// Best cost (minimization convention) per optimizer iteration.
+    pub cost_history: Vec<f64>,
+    /// Optimizer iterations executed.
+    pub iterations: usize,
+    /// Circuit structure statistics.
+    pub circuit: CircuitStats,
+    /// Wall-clock breakdown.
+    pub timing: TimingBreakdown,
+}
+
+impl SolveOutcome {
+    /// Computes the paper's metrics against the exact optimum (which is
+    /// solved classically on the fly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClassicalError`] when the instance cannot be solved
+    /// exactly (infeasible or oversized).
+    pub fn metrics(&self, problem: &Problem) -> Result<Metrics, ClassicalError> {
+        let optimum = solve_exact(problem)?;
+        Ok(Metrics::from_counts(problem, &self.counts, &optimum))
+    }
+
+    /// Metrics against a pre-computed optimum (avoids repeated exact
+    /// solving in benchmark sweeps).
+    pub fn metrics_with(&self, problem: &Problem, optimum: &Optimum) -> Metrics {
+        Metrics::from_counts(problem, &self.counts, optimum)
+    }
+}
+
+/// Errors common to all quantum solvers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// The constraint system admits no binary assignment (no initial state).
+    Infeasible,
+    /// The instance needs more qubits than the simulator supports.
+    TooLarge {
+        /// Qubits required.
+        required: usize,
+        /// Simulator limit.
+        limit: usize,
+    },
+    /// The solver cannot encode this problem (e.g. cyclic Hamiltonian with
+    /// no summation-format constraint).
+    Unsupported(String),
+    /// Lowering to basic gates failed.
+    Transpile(String),
+    /// Driver construction failed (e.g. no ternary kernel basis).
+    Encoding(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem has no feasible assignment"),
+            SolverError::TooLarge { required, limit } => {
+                write!(f, "{required} qubits required but the limit is {limit}")
+            }
+            SolverError::Unsupported(msg) => write!(f, "unsupported problem: {msg}"),
+            SolverError::Transpile(msg) => write!(f, "transpilation failed: {msg}"),
+            SolverError::Encoding(msg) => write!(f, "encoding failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+impl From<ClassicalError> for SolverError {
+    fn from(err: ClassicalError) -> Self {
+        match err {
+            ClassicalError::Infeasible => SolverError::Infeasible,
+            ClassicalError::TooLarge { cap } => SolverError::TooLarge {
+                required: cap,
+                limit: cap,
+            },
+        }
+    }
+}
+
+/// A quantum solver for constrained binary optimization.
+pub trait Solver {
+    /// Short identifier used in benchmark tables (e.g. `"choco-q"`).
+    fn name(&self) -> &str;
+
+    /// Runs the full variational loop on `problem` and returns the final
+    /// sampled outcome.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`SolverError`] for infeasible, oversized, or
+    /// unencodable instances.
+    fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_total_sums_parts() {
+        let t = TimingBreakdown {
+            compile: Duration::from_millis(10),
+            execute: Duration::from_millis(200),
+            classical: Duration::from_millis(30),
+        };
+        assert_eq!(t.total(), Duration::from_millis(240));
+    }
+
+    #[test]
+    fn solver_error_display() {
+        let e = SolverError::TooLarge {
+            required: 30,
+            limit: 24,
+        };
+        assert!(format!("{e}").contains("30"));
+        let e = SolverError::Unsupported("no summation constraint".into());
+        assert!(format!("{e}").contains("summation"));
+    }
+
+    #[test]
+    fn classical_error_converts() {
+        let e: SolverError = ClassicalError::Infeasible.into();
+        assert_eq!(e, SolverError::Infeasible);
+    }
+
+    #[test]
+    fn outcome_metrics_roundtrip() {
+        let p = Problem::builder(2)
+            .minimize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .equality([(0, 1), (1, 1)], 1)
+            .build()
+            .unwrap();
+        let mut counts = Counts::new();
+        counts.record_n(0b01, 90); // optimal: x0=1 (f=1)
+        counts.record_n(0b10, 10); // feasible: x1=1 (f=2)
+        let outcome = SolveOutcome {
+            counts,
+            cost_history: vec![2.0, 1.5, 1.1],
+            iterations: 3,
+            circuit: CircuitStats::default(),
+            timing: TimingBreakdown::default(),
+        };
+        let m = outcome.metrics(&p).unwrap();
+        assert!((m.success_rate - 0.9).abs() < 1e-12);
+        assert_eq!(m.in_constraints_rate, 1.0);
+    }
+}

@@ -1,0 +1,437 @@
+//! # choco-optim
+//!
+//! Derivative-free classical optimizers for the variational loop.
+//!
+//! The paper uses COBYLA ("constrained optimization by linear
+//! approximation" \[39\]) for all designs; this reproduction substitutes a
+//! Nelder–Mead simplex (the default, [`NelderMead`]) and SPSA
+//! ([`Spsa`]) — both standard derivative-free local optimizers over the
+//! handful of `{γ_l, β_l}` parameters. The substitution is documented in
+//! DESIGN.md §4; convergence-*shape* comparisons (Fig. 9a) do not depend on
+//! the specific simplex method.
+//!
+//! Both optimizers record a per-iteration best-so-far history so the
+//! convergence experiment can be regenerated.
+//!
+//! ```
+//! use choco_optim::NelderMead;
+//!
+//! // minimize the sphere function
+//! let result = NelderMead::default().minimize(
+//!     |x| x.iter().map(|v| v * v).sum(),
+//!     &[1.0, -2.0],
+//! );
+//! assert!(result.best_value < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Outcome of an optimization run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OptimizeResult {
+    /// Best parameter vector found.
+    pub best_params: Vec<f64>,
+    /// Objective at `best_params`.
+    pub best_value: f64,
+    /// Best-so-far objective after each iteration (for convergence plots).
+    pub history: Vec<f64>,
+    /// Total objective evaluations.
+    pub evaluations: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Which optimizer a solver should run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum OptimizerKind {
+    /// Nelder–Mead simplex (the default; COBYLA stand-in).
+    #[default]
+    NelderMead,
+    /// Simultaneous perturbation stochastic approximation.
+    Spsa,
+}
+
+impl OptimizerKind {
+    /// Runs the chosen optimizer with `max_iters` iterations from `x0`.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(
+        &self,
+        max_iters: usize,
+        f: F,
+        x0: &[f64],
+    ) -> OptimizeResult {
+        match self {
+            OptimizerKind::NelderMead => NelderMead {
+                max_iters,
+                ..NelderMead::default()
+            }
+            .minimize(f, x0),
+            OptimizerKind::Spsa => Spsa {
+                max_iters,
+                ..Spsa::default()
+            }
+            .minimize(f, x0),
+        }
+    }
+}
+
+impl fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizerKind::NelderMead => write!(f, "nelder-mead"),
+            OptimizerKind::Spsa => write!(f, "spsa"),
+        }
+    }
+}
+
+/// The Nelder–Mead downhill simplex method.
+///
+/// Standard coefficients (reflect 1, expand 2, contract ½, shrink ½) with a
+/// size-based initial simplex and dual f/x tolerance termination.
+#[derive(Clone, Debug)]
+pub struct NelderMead {
+    /// Maximum iterations (one reflection cycle each).
+    pub max_iters: usize,
+    /// Terminate when the simplex objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex diameter falls below this.
+    pub x_tol: f64,
+    /// Step used to seed the initial simplex around `x0`.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        NelderMead {
+            max_iters: 200,
+            f_tol: 1e-8,
+            x_tol: 1e-8,
+            initial_step: 0.4,
+        }
+    }
+}
+
+impl NelderMead {
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or the objective returns NaN.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let n = x0.len();
+        let mut evaluations = 0usize;
+        let mut eval = |x: &[f64], evals: &mut usize| {
+            *evals += 1;
+            f(x)
+        };
+
+        // Initial simplex: x0 and x0 + step·e_i.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.initial_step;
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex
+            .iter()
+            .map(|x| eval(x, &mut evaluations))
+            .collect();
+
+        let mut history = Vec::with_capacity(self.max_iters);
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            // Order the simplex.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN objective"));
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+            history.push(values[best]);
+
+            // Termination.
+            let spread = values[worst] - values[best];
+            let diameter = simplex
+                .iter()
+                .map(|x| {
+                    x.iter()
+                        .zip(simplex[best].iter())
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max)
+                })
+                .fold(0.0, f64::max);
+            if spread.abs() < self.f_tol && diameter < self.x_tol {
+                break;
+            }
+
+            // Centroid of all but the worst.
+            let mut centroid = vec![0.0; n];
+            for (idx, x) in simplex.iter().enumerate() {
+                if idx == worst {
+                    continue;
+                }
+                for (c, v) in centroid.iter_mut().zip(x.iter()) {
+                    *c += v / n as f64;
+                }
+            }
+            let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+                a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+            };
+
+            // Reflection.
+            let reflected = blend(&centroid, &simplex[worst], -1.0);
+            let fr = eval(&reflected, &mut evaluations);
+            if fr < values[best] {
+                // Expansion.
+                let expanded = blend(&centroid, &simplex[worst], -2.0);
+                let fe = eval(&expanded, &mut evaluations);
+                if fe < fr {
+                    simplex[worst] = expanded;
+                    values[worst] = fe;
+                } else {
+                    simplex[worst] = reflected;
+                    values[worst] = fr;
+                }
+            } else if fr < values[second_worst] {
+                simplex[worst] = reflected;
+                values[worst] = fr;
+            } else {
+                // Contraction (outside if the reflection helped, else inside).
+                let t = if fr < values[worst] { -0.5 } else { 0.5 };
+                let contracted = blend(&centroid, &simplex[worst], t);
+                let fc = eval(&contracted, &mut evaluations);
+                if fc < values[worst].min(fr) {
+                    simplex[worst] = contracted;
+                    values[worst] = fc;
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[best].clone();
+                    for (idx, x) in simplex.iter_mut().enumerate() {
+                        if idx == best {
+                            continue;
+                        }
+                        *x = blend(&best_point, x, 0.5);
+                        values[idx] = eval(x, &mut evaluations);
+                    }
+                }
+            }
+        }
+
+        let (best_idx, &best_value) = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN objective"))
+            .expect("non-empty simplex");
+        OptimizeResult {
+            best_params: simplex[best_idx].clone(),
+            best_value,
+            history,
+            evaluations,
+            iterations,
+        }
+    }
+}
+
+/// Simultaneous perturbation stochastic approximation (SPSA): two gradient
+/// evaluations per iteration regardless of dimension — attractive when each
+/// evaluation is a full quantum execution.
+#[derive(Clone, Debug)]
+pub struct Spsa {
+    /// Iterations.
+    pub max_iters: usize,
+    /// Step-size numerator `a` in `a_k = a / (k + 1 + A)^α`.
+    pub a: f64,
+    /// Perturbation size numerator `c` in `c_k = c / (k + 1)^γ`.
+    pub c: f64,
+    /// Step-size decay exponent α.
+    pub alpha: f64,
+    /// Perturbation decay exponent γ.
+    pub gamma: f64,
+    /// Stability constant `A`.
+    pub stability: f64,
+    /// PRNG seed for the ±1 perturbation draws.
+    pub seed: u64,
+}
+
+impl Default for Spsa {
+    fn default() -> Self {
+        Spsa {
+            max_iters: 200,
+            a: 0.3,
+            c: 0.15,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl Spsa {
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let n = x0.len();
+        let mut rng = choco_mathkit::SplitMix64::new(self.seed);
+        let mut x = x0.to_vec();
+        let mut best_params = x.clone();
+        let mut best_value = f(&x);
+        let mut evaluations = 1usize;
+        let mut history = Vec::with_capacity(self.max_iters);
+
+        for k in 0..self.max_iters {
+            let ak = self.a / (k as f64 + 1.0 + self.stability).powf(self.alpha);
+            let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                .collect();
+            let plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
+            let minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
+            let fp = f(&plus);
+            let fm = f(&minus);
+            evaluations += 2;
+            for (xi, d) in x.iter_mut().zip(&delta) {
+                *xi -= ak * (fp - fm) / (2.0 * ck * d);
+            }
+            let fx = f(&x);
+            evaluations += 1;
+            if fx < best_value {
+                best_value = fx;
+                best_params = x.clone();
+            }
+            history.push(best_value);
+        }
+
+        OptimizeResult {
+            best_params,
+            best_value,
+            history,
+            evaluations,
+            iterations: self.max_iters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    fn rosenbrock(x: &[f64]) -> f64 {
+        (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+    }
+
+    #[test]
+    fn nelder_mead_minimizes_sphere() {
+        let r = NelderMead::default().minimize(sphere, &[2.0, -1.5, 0.7]);
+        assert!(r.best_value < 1e-6, "value = {}", r.best_value);
+        for p in &r.best_params {
+            assert!(p.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn nelder_mead_handles_rosenbrock() {
+        let nm = NelderMead {
+            max_iters: 2000,
+            ..NelderMead::default()
+        };
+        let r = nm.minimize(rosenbrock, &[-1.0, 1.0]);
+        assert!(r.best_value < 1e-4, "value = {}", r.best_value);
+        assert!((r.best_params[0] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn nelder_mead_history_is_monotone_nonincreasing() {
+        let r = NelderMead::default().minimize(sphere, &[3.0, 3.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert_eq!(r.history.len(), r.iterations);
+    }
+
+    #[test]
+    fn nelder_mead_respects_max_iters() {
+        let nm = NelderMead {
+            max_iters: 5,
+            ..NelderMead::default()
+        };
+        let r = nm.minimize(sphere, &[1.0, 1.0]);
+        assert!(r.iterations <= 5);
+    }
+
+    #[test]
+    fn nelder_mead_terminates_early_at_optimum() {
+        let nm = NelderMead {
+            max_iters: 10_000,
+            initial_step: 1e-9,
+            ..NelderMead::default()
+        };
+        let r = nm.minimize(sphere, &[0.0, 0.0]);
+        assert!(r.iterations < 100, "should stop early, took {}", r.iterations);
+    }
+
+    #[test]
+    fn spsa_minimizes_sphere() {
+        let spsa = Spsa {
+            max_iters: 400,
+            ..Spsa::default()
+        };
+        let r = spsa.minimize(sphere, &[1.0, -1.0]);
+        assert!(r.best_value < 0.05, "value = {}", r.best_value);
+    }
+
+    #[test]
+    fn spsa_is_deterministic_for_fixed_seed() {
+        let spsa = Spsa::default();
+        let a = spsa.minimize(sphere, &[1.0, 2.0]);
+        let b = spsa.minimize(sphere, &[1.0, 2.0]);
+        assert_eq!(a.best_params, b.best_params);
+    }
+
+    #[test]
+    fn spsa_history_is_best_so_far() {
+        let r = Spsa::default().minimize(sphere, &[2.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kind_dispatch_runs_both() {
+        for kind in [OptimizerKind::NelderMead, OptimizerKind::Spsa] {
+            let r = kind.minimize(100, sphere, &[1.0, 1.0]);
+            assert!(r.best_value < sphere(&[1.0, 1.0]));
+            assert!(r.evaluations > 0);
+        }
+        assert_eq!(format!("{}", OptimizerKind::NelderMead), "nelder-mead");
+    }
+
+    #[test]
+    fn evaluation_counter_counts() {
+        let mut calls = 0usize;
+        let r = NelderMead {
+            max_iters: 10,
+            ..NelderMead::default()
+        }
+        .minimize(
+            |x| {
+                calls += 1;
+                sphere(x)
+            },
+            &[1.0, 1.0],
+        );
+        assert_eq!(calls, r.evaluations);
+    }
+}

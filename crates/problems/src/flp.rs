@@ -1,0 +1,189 @@
+//! Facility location problem (FLP) \[37\].
+//!
+//! Uncapacitated facility location with `F` candidate facilities and `D`
+//! demand points:
+//!
+//! ```text
+//! min  Σ_i open_i·y_i + Σ_ij serve_ij·x_ij
+//! s.t. Σ_i x_ij = 1            ∀ demand j      (each demand served once)
+//!      x_ij ≤ y_i              ∀ i, j          (only open facilities serve)
+//! ```
+//!
+//! The inequality is converted to the paper's equality form with one binary
+//! slack per `(i, j)`: `y_i − x_ij − s_ij = 0`. The paper's scale labels
+//! map directly: **F1 = 2F-1D** has `2 + 2·2·1 = 6` variables and
+//! `1 + 2 = 3` constraints — exactly the counts quoted in §V-C.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated FLP instance.
+///
+/// * `y_i` at index `i` for `i < n_facilities`
+/// * `x_ij` at `n_facilities + i·n_demands + j`
+/// * `s_ij` at `n_facilities·(1 + n_demands) + i·n_demands + j`
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlpLayout {
+    /// Number of candidate facilities `F`.
+    pub n_facilities: usize,
+    /// Number of demand points `D`.
+    pub n_demands: usize,
+}
+
+impl FlpLayout {
+    /// Index of the facility-open variable `y_i`.
+    pub fn y(&self, i: usize) -> usize {
+        debug_assert!(i < self.n_facilities);
+        i
+    }
+
+    /// Index of the assignment variable `x_ij`.
+    pub fn x(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n_facilities && j < self.n_demands);
+        self.n_facilities + i * self.n_demands + j
+    }
+
+    /// Index of the slack variable `s_ij` for `x_ij ≤ y_i`.
+    pub fn s(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.n_facilities && j < self.n_demands);
+        self.n_facilities * (1 + self.n_demands) + i * self.n_demands + j
+    }
+
+    /// Total number of binary variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_facilities * (1 + 2 * self.n_demands)
+    }
+}
+
+/// Generates a seeded FLP instance.
+///
+/// Opening costs are drawn uniformly from `[3, 10)`, service costs from
+/// `[1, 6)`; the same seed always produces the same instance.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] if the instance would exceed the variable
+/// limit.
+pub fn flp(n_facilities: usize, n_demands: usize, seed: u64) -> Result<Problem, ProblemError> {
+    assert!(n_facilities >= 1 && n_demands >= 1, "degenerate FLP shape");
+    let layout = FlpLayout {
+        n_facilities,
+        n_demands,
+    };
+    let mut rng = SplitMix64::new(seed ^ 0xF1_AC_1117);
+    let mut b = Problem::builder(layout.n_vars())
+        .minimize()
+        .name(format!("FLP {n_facilities}F-{n_demands}D seed={seed}"));
+
+    for i in 0..n_facilities {
+        b = b.linear(layout.y(i), rng.gen_range_f64(3.0, 10.0).round());
+        for j in 0..n_demands {
+            b = b.linear(layout.x(i, j), rng.gen_range_f64(1.0, 6.0).round());
+        }
+    }
+    // Each demand is served exactly once (summation format).
+    for j in 0..n_demands {
+        b = b.equality((0..n_facilities).map(|i| (layout.x(i, j), 1i64)), 1);
+    }
+    // x_ij ≤ y_i via slack: y_i − x_ij − s_ij = 0.
+    for i in 0..n_facilities {
+        for j in 0..n_demands {
+            b = b.equality(
+                [
+                    (layout.y(i), 1i64),
+                    (layout.x(i, j), -1),
+                    (layout.s(i, j), -1),
+                ],
+                0,
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    #[test]
+    fn f1_matches_paper_shape() {
+        // F1 = 2F-1D: 6 variables, 3 constraints (§V-C of the paper).
+        let p = flp(2, 1, 7).unwrap();
+        assert_eq!(p.n_vars(), 6);
+        assert_eq!(p.constraints().len(), 3);
+    }
+
+    #[test]
+    fn layout_indices_are_disjoint_and_dense() {
+        let layout = FlpLayout {
+            n_facilities: 3,
+            n_demands: 2,
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..3 {
+            seen.insert(layout.y(i));
+            for j in 0..2 {
+                seen.insert(layout.x(i, j));
+                seen.insert(layout.s(i, j));
+            }
+        }
+        assert_eq!(seen.len(), layout.n_vars());
+        assert_eq!(*seen.iter().max().unwrap(), layout.n_vars() - 1);
+    }
+
+    #[test]
+    fn feasible_solutions_respect_open_facility_rule() {
+        let p = flp(2, 2, 3).unwrap();
+        let layout = FlpLayout {
+            n_facilities: 2,
+            n_demands: 2,
+        };
+        for bits in p.feasible_solutions(10_000) {
+            for i in 0..2 {
+                for j in 0..2 {
+                    let x = (bits >> layout.x(i, j)) & 1;
+                    let y = (bits >> layout.y(i)) & 1;
+                    assert!(x <= y, "demand served by a closed facility");
+                }
+            }
+            for j in 0..2 {
+                let served: u64 = (0..2).map(|i| (bits >> layout.x(i, j)) & 1).sum();
+                assert_eq!(served, 1, "each demand must be served exactly once");
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_opens_at_least_one_facility() {
+        let p = flp(2, 1, 42).unwrap();
+        let opt = solve_exact(&p).unwrap();
+        let layout = FlpLayout {
+            n_facilities: 2,
+            n_demands: 1,
+        };
+        for &sol in &opt.solutions {
+            let open: u64 = (0..2).map(|i| (sol >> layout.y(i)) & 1).sum();
+            assert!(open >= 1);
+        }
+        assert!(opt.value > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = flp(3, 2, 9).unwrap();
+        let b = flp(3, 2, 9).unwrap();
+        let c = flp(3, 2, 10).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    fn scales_match_design_doc() {
+        for (f, d, vars, cons) in [(2, 1, 6, 3), (2, 2, 10, 6), (3, 2, 15, 8), (3, 3, 21, 12)] {
+            let p = flp(f, d, 1).unwrap();
+            assert_eq!(p.n_vars(), vars, "{f}F-{d}D");
+            assert_eq!(p.constraints().len(), cons, "{f}F-{d}D");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Graph coloring problem (GCP) \[26\].
+//!
+//! Assignment-cost coloring with `V` vertices, `K` colors and edge conflict
+//! constraints:
+//!
+//! ```text
+//! min  Σ_vc cost_vc · x_vc
+//! s.t. Σ_c x_vc = 1                 ∀ vertex v     (one color per vertex)
+//!      x_uc + x_vc ≤ 1              ∀ (u,v) ∈ E, c (no conflict per color)
+//! ```
+//!
+//! Conflict inequalities become equalities with one slack per (edge, color):
+//! `x_uc + x_vc + s_ec = 1`. **G1 = 3V-1E with 3 colors** needs
+//! `3·3 + 1·3 = 12` qubits — the count quoted in §V-C for the G1 hardware
+//! runs.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated GCP instance.
+///
+/// * `x_vc` at `v·n_colors + c`
+/// * `s_ec` at `n_vertices·n_colors + e·n_colors + c`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcpLayout {
+    /// Number of vertices `V`.
+    pub n_vertices: usize,
+    /// Number of colors `K`.
+    pub n_colors: usize,
+    /// The edge list.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GcpLayout {
+    /// Index of the vertex-color variable `x_vc`.
+    pub fn x(&self, v: usize, c: usize) -> usize {
+        debug_assert!(v < self.n_vertices && c < self.n_colors);
+        v * self.n_colors + c
+    }
+
+    /// Index of the slack variable for edge `e`, color `c`.
+    pub fn s(&self, e: usize, c: usize) -> usize {
+        debug_assert!(e < self.edges.len() && c < self.n_colors);
+        self.n_vertices * self.n_colors + e * self.n_colors + c
+    }
+
+    /// Total number of binary variables.
+    pub fn n_vars(&self) -> usize {
+        (self.n_vertices + self.edges.len()) * self.n_colors
+    }
+
+    /// Decodes the color of vertex `v` in a feasible assignment.
+    pub fn color_of(&self, bits: u64, v: usize) -> Option<usize> {
+        (0..self.n_colors).find(|&c| (bits >> self.x(v, c)) & 1 == 1)
+    }
+}
+
+/// Generates a seeded GCP instance on an explicit edge list.
+///
+/// Per-(vertex, color) costs are drawn uniformly from `[1, 5)`.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics if an edge references a vertex `>= n_vertices` or is a self-loop.
+pub fn gcp(
+    n_vertices: usize,
+    edges: &[(usize, usize)],
+    n_colors: usize,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(n_vertices >= 1 && n_colors >= 2, "degenerate GCP shape");
+    for &(u, v) in edges {
+        assert!(u < n_vertices && v < n_vertices, "edge out of range");
+        assert_ne!(u, v, "self-loop");
+    }
+    let layout = GcpLayout {
+        n_vertices,
+        n_colors,
+        edges: edges.to_vec(),
+    };
+    let mut rng = SplitMix64::new(seed ^ 0x6C0_1012);
+    let mut b = Problem::builder(layout.n_vars()).minimize().name(format!(
+        "GCP {n_vertices}V-{}E-{n_colors}C seed={seed}",
+        edges.len()
+    ));
+    for v in 0..n_vertices {
+        for c in 0..n_colors {
+            b = b.linear(layout.x(v, c), rng.gen_range_f64(1.0, 5.0).round());
+        }
+    }
+    // One color per vertex (summation format).
+    for v in 0..n_vertices {
+        b = b.equality((0..n_colors).map(|c| (layout.x(v, c), 1i64)), 1);
+    }
+    // Edge conflicts with slack: x_uc + x_vc + s_ec = 1.
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        for c in 0..n_colors {
+            b = b.equality(
+                [
+                    (layout.x(u, c), 1i64),
+                    (layout.x(v, c), 1),
+                    (layout.s(e, c), 1),
+                ],
+                1,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Generates a GCP instance on a random connected graph with `n_edges`
+/// edges (spanning-tree backbone + random extras).
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics if `n_edges` is less than `n_vertices - 1` (cannot be connected)
+/// or exceeds the simple-graph maximum.
+pub fn gcp_random(
+    n_vertices: usize,
+    n_edges: usize,
+    n_colors: usize,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    let edges = random_connected_edges(n_vertices, n_edges, seed);
+    gcp(n_vertices, &edges, n_colors, seed)
+}
+
+/// Random simple edge list, deterministic per seed: a shuffled
+/// spanning-tree backbone (truncated when `n_edges < V−1`, giving a forest
+/// — e.g. the paper's G1 = 3V-1E) plus random extra edges. Shared by the
+/// GCP and KPP generators.
+pub fn random_connected_edges(n_vertices: usize, n_edges: usize, seed: u64) -> Vec<(usize, usize)> {
+    let max_edges = n_vertices * (n_vertices - 1) / 2;
+    assert!(n_edges <= max_edges, "too many edges for a simple graph");
+    let mut rng = SplitMix64::new(seed ^ 0xED6E);
+    let mut order: Vec<usize> = (0..n_vertices).collect();
+    rng.shuffle(&mut order);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n_edges);
+    let norm = |u: usize, v: usize| if u < v { (u, v) } else { (v, u) };
+    // Spanning-tree backbone: attach each vertex to a random earlier one.
+    for k in 1..n_vertices {
+        if edges.len() == n_edges {
+            break;
+        }
+        let parent = order[rng.gen_range(0, k as u64) as usize];
+        edges.push(norm(order[k], parent));
+    }
+    while edges.len() < n_edges {
+        let u = rng.gen_range(0, n_vertices as u64) as usize;
+        let v = rng.gen_range(0, n_vertices as u64) as usize;
+        if u == v {
+            continue;
+        }
+        let e = norm(u, v);
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    #[test]
+    fn g1_matches_paper_qubit_count() {
+        // G1 = 3V-1E with 3 colors → 12 qubits (§V-C).
+        let p = gcp(3, &[(0, 1)], 3, 5).unwrap();
+        assert_eq!(p.n_vars(), 12);
+        assert_eq!(p.constraints().len(), 6);
+    }
+
+    #[test]
+    fn triangle_with_three_colors_has_12_constraints() {
+        // The design doc's G3 = 3V-3E-3C: 12 constraints, as the paper
+        // quotes for its G3 case.
+        let p = gcp(3, &[(0, 1), (1, 2), (0, 2)], 3, 1).unwrap();
+        assert_eq!(p.constraints().len(), 12);
+        assert_eq!(p.n_vars(), 18);
+    }
+
+    #[test]
+    fn feasible_assignments_are_proper_colorings() {
+        let edges = [(0, 1), (1, 2)];
+        let p = gcp(3, &edges, 2, 11).unwrap();
+        let layout = GcpLayout {
+            n_vertices: 3,
+            n_colors: 2,
+            edges: edges.to_vec(),
+        };
+        let feasible = p.feasible_solutions(100_000);
+        assert!(!feasible.is_empty());
+        for bits in feasible {
+            let colors: Vec<usize> = (0..3)
+                .map(|v| layout.color_of(bits, v).expect("exactly one color"))
+                .collect();
+            for &(u, v) in &edges {
+                assert_ne!(colors[u], colors[v], "conflicting edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_with_two_colors_is_infeasible() {
+        let p = gcp(3, &[(0, 1), (1, 2), (0, 2)], 2, 3).unwrap();
+        assert!(p.first_feasible().is_none());
+    }
+
+    #[test]
+    fn optimum_exists_and_is_proper() {
+        let p = gcp_random(4, 4, 3, 17).unwrap();
+        let opt = solve_exact(&p).unwrap();
+        assert!(!opt.solutions.is_empty());
+        assert!(p.is_feasible(opt.solutions[0]));
+    }
+
+    #[test]
+    fn random_edges_connected_and_simple() {
+        for seed in 0..5 {
+            let edges = random_connected_edges(6, 8, seed);
+            assert_eq!(edges.len(), 8);
+            // simple
+            let set: std::collections::BTreeSet<_> = edges.iter().collect();
+            assert_eq!(set.len(), 8);
+            // connected: BFS
+            let mut seen = vec![false; 6];
+            let mut queue = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = queue.pop() {
+                for &(a, b) in &edges {
+                    let other = if a == u {
+                        Some(b)
+                    } else if b == u {
+                        Some(a)
+                    } else {
+                        None
+                    };
+                    if let Some(v) = other {
+                        if !seen[v] {
+                            seen[v] = true;
+                            queue.push(v);
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "seed {seed} not connected");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gcp_random(4, 4, 3, 2).unwrap();
+        let b = gcp_random(4, 4, 3, 2).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

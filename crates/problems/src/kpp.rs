@@ -1,0 +1,240 @@
+//! K-partition problem (KPP) \[11\].
+//!
+//! Partition a weighted graph's vertices into `B` balanced blocks,
+//! minimizing the weight of cut edges:
+//!
+//! ```text
+//! min  Σ_(u,v,w)∈E  w · (1 − Σ_b x_ub·x_vb)
+//! s.t. Σ_b x_vb = 1        ∀ vertex v        (one block per vertex)
+//!      Σ_v x_vb = V/B      ∀ block b         (balanced blocks)
+//! ```
+//!
+//! Both constraint families are in *summation format* — which is exactly
+//! why the cyclic-Hamiltonian baseline does comparatively well on KPP in
+//! the paper (§V-B) — but they **share variables**, which the cyclic
+//! encoding cannot express jointly; Choco-Q can.
+
+use crate::gcp::random_connected_edges;
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout: `x_vb` at `v·n_blocks + b`; no slack variables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KppLayout {
+    /// Number of vertices `V`.
+    pub n_vertices: usize,
+    /// Number of blocks `B`.
+    pub n_blocks: usize,
+    /// Weighted edges `(u, v, w)`.
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl KppLayout {
+    /// Index of the vertex-block variable `x_vb`.
+    pub fn x(&self, v: usize, b: usize) -> usize {
+        debug_assert!(v < self.n_vertices && b < self.n_blocks);
+        v * self.n_blocks + b
+    }
+
+    /// Total number of binary variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_vertices * self.n_blocks
+    }
+
+    /// Decodes the block of vertex `v`.
+    pub fn block_of(&self, bits: u64, v: usize) -> Option<usize> {
+        (0..self.n_blocks).find(|&b| (bits >> self.x(v, b)) & 1 == 1)
+    }
+
+    /// The cut weight of an assignment (for test oracles).
+    pub fn cut_weight(&self, bits: u64) -> f64 {
+        self.edges
+            .iter()
+            .map(|&(u, v, w)| {
+                let same = (0..self.n_blocks)
+                    .any(|b| (bits >> self.x(u, b)) & 1 == 1 && (bits >> self.x(v, b)) & 1 == 1);
+                if same {
+                    0.0
+                } else {
+                    w
+                }
+            })
+            .sum()
+    }
+}
+
+/// Generates a KPP instance on an explicit weighted edge list.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on out-of-range edges, self-loops, or (when `balanced`) a vertex
+/// count not divisible by the block count.
+pub fn kpp(
+    n_vertices: usize,
+    edges: &[(usize, usize, f64)],
+    n_blocks: usize,
+    balanced: bool,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(n_vertices >= 2 && n_blocks >= 2, "degenerate KPP shape");
+    if balanced {
+        assert_eq!(
+            n_vertices % n_blocks,
+            0,
+            "balanced partition needs V divisible by B"
+        );
+    }
+    for &(u, v, _) in edges {
+        assert!(u < n_vertices && v < n_vertices, "edge out of range");
+        assert_ne!(u, v, "self-loop");
+    }
+    let layout = KppLayout {
+        n_vertices,
+        n_blocks,
+        edges: edges.to_vec(),
+    };
+    let mut b = Problem::builder(layout.n_vars()).minimize().name(format!(
+        "KPP {n_vertices}V-{}E-{n_blocks}B seed={seed}",
+        edges.len()
+    ));
+    // Objective: Σ w − Σ w·x_ub·x_vb (uncut edges subtract their weight).
+    for &(u, v, w) in edges {
+        b = b.constant(w);
+        for blk in 0..n_blocks {
+            b = b.quadratic(layout.x(u, blk), layout.x(v, blk), -w);
+        }
+    }
+    for v in 0..n_vertices {
+        b = b.equality((0..n_blocks).map(|blk| (layout.x(v, blk), 1i64)), 1);
+    }
+    if balanced {
+        let per_block = (n_vertices / n_blocks) as i64;
+        for blk in 0..n_blocks {
+            b = b.equality(
+                (0..n_vertices).map(|v| (layout.x(v, blk), 1i64)),
+                per_block,
+            );
+        }
+    }
+    b.build()
+}
+
+/// Generates a KPP instance on a random connected graph with integer edge
+/// weights in `[1, 4]`.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+pub fn kpp_random(
+    n_vertices: usize,
+    n_edges: usize,
+    n_blocks: usize,
+    balanced: bool,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    let mut rng = SplitMix64::new(seed ^ 0x4B99);
+    let edges: Vec<(usize, usize, f64)> = random_connected_edges(n_vertices, n_edges, seed)
+        .into_iter()
+        .map(|(u, v)| (u, v, rng.gen_range(1, 5) as f64))
+        .collect();
+    kpp(n_vertices, &edges, n_blocks, balanced, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn k1_edges() -> Vec<(usize, usize, f64)> {
+        // The paper's K1 = 4V-3E-2B shape: a path with one chord.
+        vec![(0, 1, 2.0), (1, 2, 1.0), (2, 3, 3.0)]
+    }
+
+    #[test]
+    fn k1_matches_paper_shape() {
+        let p = kpp(4, &k1_edges(), 2, true, 1).unwrap();
+        assert_eq!(p.n_vars(), 8);
+        assert_eq!(p.constraints().len(), 6); // 4 vertex + 2 balance
+        // All constraints are in summation format (the property the paper
+        // credits for cyclic's relatively good KPP numbers).
+        assert!(p.constraints().eqs().iter().all(|eq| eq.is_summation_format()));
+    }
+
+    #[test]
+    fn objective_equals_cut_weight_on_feasible_points() {
+        let edges = k1_edges();
+        let p = kpp(4, &edges, 2, true, 1).unwrap();
+        let layout = KppLayout {
+            n_vertices: 4,
+            n_blocks: 2,
+            edges,
+        };
+        for bits in p.feasible_solutions(10_000) {
+            let f = p.evaluate(bits);
+            let cut = layout.cut_weight(bits);
+            assert!((f - cut).abs() < 1e-9, "bits={bits:b}: {f} vs {cut}");
+        }
+    }
+
+    #[test]
+    fn balanced_blocks_have_equal_size() {
+        let p = kpp(4, &k1_edges(), 2, true, 1).unwrap();
+        let layout = KppLayout {
+            n_vertices: 4,
+            n_blocks: 2,
+            edges: k1_edges(),
+        };
+        for bits in p.feasible_solutions(10_000) {
+            let mut sizes = vec![0usize; 2];
+            for v in 0..4 {
+                sizes[layout.block_of(bits, v).unwrap()] += 1;
+            }
+            assert_eq!(sizes, vec![2, 2]);
+        }
+    }
+
+    #[test]
+    fn unbalanced_variant_relaxes_size() {
+        let p = kpp(4, &k1_edges(), 2, false, 1).unwrap();
+        assert_eq!(p.constraints().len(), 4);
+        // Putting everything in block 0 is now feasible.
+        let layout = KppLayout {
+            n_vertices: 4,
+            n_blocks: 2,
+            edges: k1_edges(),
+        };
+        let mut bits = 0u64;
+        for v in 0..4 {
+            bits |= 1 << layout.x(v, 0);
+        }
+        assert!(p.is_feasible(bits));
+        assert_eq!(p.evaluate(bits), 0.0, "no edges cut");
+    }
+
+    #[test]
+    fn optimum_cuts_cheapest_edge_on_path() {
+        // Path 0-1-2-3 with weights 2,1,3 split into two balanced halves:
+        // the best split is {0,1},{2,3} cutting only the middle edge (1).
+        let p = kpp(4, &k1_edges(), 2, true, 1).unwrap();
+        let opt = solve_exact(&p).unwrap();
+        assert_eq!(opt.value, 1.0);
+    }
+
+    #[test]
+    fn random_generator_shapes() {
+        let p = kpp_random(6, 7, 2, true, 3).unwrap();
+        assert_eq!(p.n_vars(), 12);
+        assert_eq!(p.constraints().len(), 8);
+        assert!(solve_exact(&p).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn balanced_requires_divisibility() {
+        let _ = kpp(5, &[(0, 1, 1.0)], 2, true, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # choco-problems
+//!
+//! The three application benchmarks the Choco-Q paper evaluates on
+//! (§V-A): facility location ([`flp`]), graph coloring ([`gcp`]), and
+//! k-partition ([`kpp`]), plus the 12-class [`BenchmarkSuite`]
+//! (F1–F4, G1–G4, K1–K4) used by every table and figure.
+//!
+//! All generators are deterministic per seed; inequality constraints are
+//! encoded as equalities with binary slack variables, matching the paper's
+//! formulation (Eq. (1)).
+//!
+//! ```
+//! use choco_problems::{flp, FlpLayout};
+//!
+//! // The paper's F1 class: 2 facilities, 1 demand → 6 vars, 3 constraints.
+//! let p = flp(2, 1, 7)?;
+//! assert_eq!(p.n_vars(), 6);
+//! assert_eq!(p.constraints().len(), 3);
+//! # Ok::<(), choco_model::ProblemError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod flp;
+mod gcp;
+mod kpp;
+mod suite;
+
+pub use flp::{flp, FlpLayout};
+pub use gcp::{gcp, gcp_random, random_connected_edges, GcpLayout};
+pub use kpp::{kpp, kpp_random, KppLayout};
+pub use suite::{
+    domain_of, instance, instances, scale_label, BenchmarkCase, BenchmarkSuite, Domain,
+    ALL_CLASSES, SMALL_CLASSES,
+};

@@ -1,0 +1,262 @@
+//! The benchmark suite: the paper's 12 scale classes F1–F4, G1–G4, K1–K4.
+//!
+//! The paper evaluates 400 literature-derived cases grouped into four scale
+//! classes per domain (6–28 variables, 3–16 constraints). This reproduction
+//! generates seeded instances with the same structure per class, re-scaled
+//! so the largest class stays within CPU state-vector reach (≤ 24 qubits;
+//! see DESIGN.md §6). Use [`BenchmarkSuite::standard`] for single
+//! representatives and [`instances`] for per-class samples.
+
+use crate::flp::flp;
+use crate::gcp::gcp_random;
+use crate::kpp::kpp_random;
+use choco_model::Problem;
+
+/// Which application domain a case belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Facility location problem.
+    Flp,
+    /// Graph coloring problem.
+    Gcp,
+    /// K-partition problem.
+    Kpp,
+}
+
+impl Domain {
+    /// Domain mnemonic (`"FLP"`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Domain::Flp => "FLP",
+            Domain::Gcp => "GCP",
+            Domain::Kpp => "KPP",
+        }
+    }
+}
+
+/// One benchmark case: a scale-class id plus a generated instance.
+#[derive(Clone, Debug)]
+pub struct BenchmarkCase {
+    /// Class id (`"F1"` … `"K4"`).
+    pub id: &'static str,
+    /// Scale label in the paper's notation (`"2F-1D"`, `"3V-1E-3C"` …).
+    pub scale: &'static str,
+    /// Domain.
+    pub domain: Domain,
+    /// The generated instance.
+    pub problem: Problem,
+}
+
+/// Generates the instance of class `id` with the given seed.
+///
+/// # Panics
+///
+/// Panics on an unknown class id (valid: F1–F4, G1–G4, K1–K4) — generation
+/// itself cannot fail for these fixed shapes.
+pub fn instance(id: &str, seed: u64) -> Problem {
+    match id {
+        // FLP: facilities × demands (vars = F(1+2D)).
+        "F1" => flp(2, 1, seed).expect("F1"),
+        "F2" => flp(2, 2, seed).expect("F2"),
+        "F3" => flp(3, 2, seed).expect("F3"),
+        "F4" => flp(3, 3, seed).expect("F4"),
+        // GCP: vertices-edges-colors (vars = (V+E)·K).
+        "G1" => gcp_random(3, 1, 3, seed).expect("G1"),
+        "G2" => gcp_random(4, 2, 3, seed).expect("G2"),
+        "G3" => gcp_random(3, 3, 3, seed).expect("G3"),
+        "G4" => gcp_random(4, 4, 3, seed).expect("G4"),
+        // KPP: vertices-edges-blocks (vars = V·B), balanced.
+        "K1" => kpp_random(4, 3, 2, true, seed).expect("K1"),
+        "K2" => kpp_random(6, 7, 2, true, seed).expect("K2"),
+        "K3" => kpp_random(8, 10, 2, true, seed).expect("K3"),
+        "K4" => kpp_random(6, 7, 3, true, seed).expect("K4"),
+        other => panic!("unknown benchmark class `{other}`"),
+    }
+}
+
+/// Scale label of a class in the paper's notation.
+pub fn scale_label(id: &str) -> &'static str {
+    match id {
+        "F1" => "2F-1D",
+        "F2" => "2F-2D",
+        "F3" => "3F-2D",
+        "F4" => "3F-3D",
+        "G1" => "3V-1E-3C",
+        "G2" => "4V-2E-3C",
+        "G3" => "3V-3E-3C",
+        "G4" => "4V-4E-3C",
+        "K1" => "4V-3E-2B",
+        "K2" => "6V-7E-2B",
+        "K3" => "8V-10E-2B",
+        "K4" => "6V-7E-3B",
+        other => panic!("unknown benchmark class `{other}`"),
+    }
+}
+
+/// Domain of a class id.
+pub fn domain_of(id: &str) -> Domain {
+    match id.as_bytes()[0] {
+        b'F' => Domain::Flp,
+        b'G' => Domain::Gcp,
+        b'K' => Domain::Kpp,
+        _ => panic!("unknown benchmark class `{id}`"),
+    }
+}
+
+/// `count` seeded instances of class `id` (seeds 1..=count).
+pub fn instances(id: &str, count: usize) -> Vec<Problem> {
+    (1..=count as u64).map(|seed| instance(id, seed)).collect()
+}
+
+/// All 12 class ids in table order.
+pub const ALL_CLASSES: [&str; 12] = [
+    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "K1", "K2", "K3", "K4",
+];
+
+/// The small classes used for hardware-style (noisy) experiments.
+pub const SMALL_CLASSES: [&str; 3] = ["F1", "G1", "K1"];
+
+/// A named collection of benchmark cases.
+#[derive(Clone, Debug, Default)]
+pub struct BenchmarkSuite {
+    cases: Vec<BenchmarkCase>,
+}
+
+impl BenchmarkSuite {
+    /// One representative per class (seed 1), all 12 classes.
+    pub fn standard() -> Self {
+        Self::from_ids(&ALL_CLASSES, 1)
+    }
+
+    /// The small suite (F1, G1, K1) used on noisy devices.
+    pub fn small() -> Self {
+        Self::from_ids(&SMALL_CLASSES, 1)
+    }
+
+    /// Builds a suite from explicit class ids and a seed.
+    pub fn from_ids(ids: &[&'static str], seed: u64) -> Self {
+        let cases = ids
+            .iter()
+            .map(|&id| BenchmarkCase {
+                id,
+                scale: scale_label(id),
+                domain: domain_of(id),
+                problem: instance(id, seed),
+            })
+            .collect();
+        BenchmarkSuite { cases }
+    }
+
+    /// The cases in order.
+    pub fn cases(&self) -> &[BenchmarkCase] {
+        &self.cases
+    }
+
+    /// Looks up a case by id.
+    pub fn case(&self, id: &str) -> Option<&BenchmarkCase> {
+        self.cases.iter().find(|c| c.id == id)
+    }
+
+    /// Number of cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// `true` when the suite has no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Iterates over the cases.
+    pub fn iter(&self) -> std::slice::Iter<'_, BenchmarkCase> {
+        self.cases.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a BenchmarkSuite {
+    type Item = &'a BenchmarkCase;
+    type IntoIter = std::slice::Iter<'a, BenchmarkCase>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cases.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_has_twelve_cases() {
+        let suite = BenchmarkSuite::standard();
+        assert_eq!(suite.len(), 12);
+        assert!(suite.case("F1").is_some());
+        assert!(suite.case("K4").is_some());
+        assert!(suite.case("Z9").is_none());
+    }
+
+    #[test]
+    fn variable_counts_grow_within_each_domain() {
+        let suite = BenchmarkSuite::standard();
+        for domain in ["F", "G", "K"] {
+            let sizes: Vec<usize> = (1..=4)
+                .map(|k| suite.case(&format!("{domain}{k}")).unwrap().problem.n_vars())
+                .collect();
+            for w in sizes.windows(2) {
+                assert!(w[1] >= w[0], "{domain}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_cases_are_feasible_and_fit_the_simulator() {
+        for case in BenchmarkSuite::standard().iter() {
+            assert!(
+                case.problem.first_feasible().is_some(),
+                "{} infeasible",
+                case.id
+            );
+            assert!(
+                case.problem.n_vars() <= 24,
+                "{} too large: {} vars",
+                case.id,
+                case.problem.n_vars()
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_counts_span_paper_range() {
+        let suite = BenchmarkSuite::standard();
+        let counts: Vec<usize> = suite
+            .iter()
+            .map(|c| c.problem.constraints().len())
+            .collect();
+        assert_eq!(*counts.iter().min().unwrap(), 3); // F1
+        assert!(*counts.iter().max().unwrap() >= 12); // G4-scale
+    }
+
+    #[test]
+    fn instances_are_deterministic_and_seed_varied() {
+        let a = instance("G2", 4);
+        let b = instance("G2", 4);
+        let c = instance("G2", 5);
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+        assert_eq!(instances("F1", 3).len(), 3);
+    }
+
+    #[test]
+    fn domains_and_labels() {
+        assert_eq!(domain_of("F3"), Domain::Flp);
+        assert_eq!(domain_of("G1"), Domain::Gcp);
+        assert_eq!(domain_of("K2"), Domain::Kpp);
+        assert_eq!(Domain::Kpp.label(), "KPP");
+        assert_eq!(scale_label("K1"), "4V-3E-2B");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark class")]
+    fn unknown_class_panics() {
+        let _ = instance("Q7", 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Measurement outcome histograms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A histogram of measured bitstrings.
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::Counts;
+///
+/// let mut counts = Counts::new();
+/// counts.record(0b101);
+/// counts.record(0b101);
+/// counts.record(0b010);
+/// assert_eq!(counts.shots(), 3);
+/// assert!((counts.probability(0b101) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    map: HashMap<u64, u64>,
+    shots: u64,
+}
+
+impl Counts {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Counts::default()
+    }
+
+    /// Records one measurement of `bits`.
+    pub fn record(&mut self, bits: u64) {
+        *self.map.entry(bits).or_insert(0) += 1;
+        self.shots += 1;
+    }
+
+    /// Records `n` measurements of `bits`.
+    pub fn record_n(&mut self, bits: u64, n: u64) {
+        if n > 0 {
+            *self.map.entry(bits).or_insert(0) += n;
+            self.shots += n;
+        }
+    }
+
+    /// Total number of shots recorded.
+    #[inline]
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Number of distinct outcomes.
+    #[inline]
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.shots == 0
+    }
+
+    /// Count for a specific outcome.
+    pub fn count(&self, bits: u64) -> u64 {
+        self.map.get(&bits).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of an outcome (0.0 when no shots).
+    pub fn probability(&self, bits: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.count(bits) as f64 / self.shots as f64
+        }
+    }
+
+    /// Iterates over `(bits, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// The most frequent outcome, ties broken by smaller bitstring.
+    pub fn most_frequent(&self) -> Option<u64> {
+        self.map
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&bits, _)| bits)
+    }
+
+    /// Total probability mass on outcomes satisfying `pred`.
+    pub fn mass_where<F: Fn(u64) -> bool>(&self, pred: F) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self
+            .map
+            .iter()
+            .filter(|(&bits, _)| pred(bits))
+            .map(|(_, &c)| c)
+            .sum();
+        hits as f64 / self.shots as f64
+    }
+
+    /// Expectation of `f` under the empirical distribution.
+    pub fn expectation<F: Fn(u64) -> f64>(&self, f: F) -> f64 {
+        if self.shots == 0 {
+            return 0.0;
+        }
+        self.map
+            .iter()
+            .map(|(&bits, &c)| f(bits) * c as f64)
+            .sum::<f64>()
+            / self.shots as f64
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Counts) {
+        for (bits, c) in other.iter() {
+            self.record_n(bits, c);
+        }
+    }
+
+    /// Returns a new histogram with every bitstring rewritten by `f`
+    /// (used to lift reduced-circuit outcomes back to full variable space
+    /// after variable elimination).
+    pub fn map_bits<F: Fn(u64) -> u64>(&self, f: F) -> Counts {
+        let mut out = Counts::new();
+        for (bits, c) in self.iter() {
+            out.record_n(f(bits), c);
+        }
+        out
+    }
+
+    /// Outcomes sorted by decreasing count (ties: smaller bitstring first).
+    pub fn sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+impl FromIterator<u64> for Counts {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut c = Counts::new();
+        for bits in iter {
+            c.record(bits);
+        }
+        c
+    }
+}
+
+impl Extend<u64> for Counts {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for bits in iter {
+            self.record(bits);
+        }
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "counts[{} shots: ", self.shots)?;
+        for (i, (bits, c)) in self.sorted().into_iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{bits:b}:{c}")?;
+        }
+        if self.distinct() > 8 {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let counts: Counts = [1u64, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(counts.shots(), 6);
+        assert_eq!(counts.distinct(), 3);
+        assert_eq!(counts.count(3), 3);
+        assert_eq!(counts.most_frequent(), Some(3));
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let c = Counts::new();
+        assert!(c.is_empty());
+        assert_eq!(c.probability(0), 0.0);
+        assert_eq!(c.expectation(|_| 1.0), 0.0);
+        assert_eq!(c.most_frequent(), None);
+    }
+
+    #[test]
+    fn mass_where_counts_predicate() {
+        let counts: Counts = [0b00u64, 0b01, 0b10, 0b11].into_iter().collect();
+        let even = counts.mass_where(|b| b % 2 == 0);
+        assert!((even - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_weighted() {
+        let mut c = Counts::new();
+        c.record_n(0, 3);
+        c.record_n(1, 1);
+        assert!((c.expectation(|b| b as f64) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: Counts = [1u64, 2].into_iter().collect();
+        let b: Counts = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.shots(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn map_bits_rewrites() {
+        let counts: Counts = [0b01u64, 0b01, 0b10].into_iter().collect();
+        let lifted = counts.map_bits(|b| b << 1);
+        assert_eq!(lifted.count(0b010), 2);
+        assert_eq!(lifted.count(0b100), 1);
+        assert_eq!(lifted.shots(), 3);
+    }
+
+    #[test]
+    fn sorted_is_descending() {
+        let counts: Counts = [5u64, 5, 5, 7, 7, 9].into_iter().collect();
+        let sorted = counts.sorted();
+        assert_eq!(sorted[0], (5, 3));
+        assert_eq!(sorted[1], (7, 2));
+        assert_eq!(sorted[2], (9, 1));
+    }
+
+    #[test]
+    fn ties_broken_by_smaller_bitstring() {
+        let counts: Counts = [4u64, 2].into_iter().collect();
+        assert_eq!(counts.most_frequent(), Some(2));
+    }
+}

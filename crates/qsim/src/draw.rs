@@ -1,0 +1,195 @@
+//! Plain-text circuit rendering.
+//!
+//! [`draw`] lays a circuit out qubit-per-row, one column per ASAP layer —
+//! handy for debugging decompositions and for documentation:
+//!
+//! ```text
+//! q0: ─X──●──H──
+//! q1: ────X─────
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Per-gate cell symbols: (symbol on each involved qubit, in
+/// `Gate::qubits()` order).
+fn symbols(gate: &Gate) -> Vec<(usize, String)> {
+    match gate {
+        Gate::Cx(c, t) => vec![(*c, "●".into()), (*t, "X".into())],
+        Gate::Cz(a, b) => vec![(*a, "●".into()), (*b, "●".into())],
+        Gate::Cp(a, b, _) => vec![(*a, "●".into()), (*b, "P".into())],
+        Gate::Swap(a, b) => vec![(*a, "x".into()), (*b, "x".into())],
+        Gate::Ccx(c1, c2, t) => {
+            vec![(*c1, "●".into()), (*c2, "●".into()), (*t, "X".into())]
+        }
+        Gate::Mcx { controls, target } => {
+            let mut v: Vec<(usize, String)> =
+                controls.iter().map(|&q| (q, "●".into())).collect();
+            v.push((*target, "X".into()));
+            v
+        }
+        Gate::McPhase { qubits, .. } => qubits.iter().map(|&q| (q, "P".into())).collect(),
+        Gate::ControlledU {
+            controls, target, ..
+        } => {
+            let mut v: Vec<(usize, String)> =
+                controls.iter().map(|&q| (q, "●".into())).collect();
+            v.push((*target, "U".into()));
+            v
+        }
+        Gate::UBlock(b) => b
+            .support
+            .iter()
+            .enumerate()
+            .map(|(k, &q)| {
+                let bit = (b.pattern >> k) & 1;
+                (q, if bit == 1 { "◆".into() } else { "◇".into() })
+            })
+            .collect(),
+        Gate::XyMix(a, b, _) => vec![(*a, "Y".into()), (*b, "Y".into())],
+        Gate::DiagPhase(..) => gate.qubits().into_iter().map(|q| (q, "Φ".into())).collect(),
+        g1q => {
+            let q = g1q.qubits()[0];
+            let sym = match g1q {
+                Gate::H(_) => "H",
+                Gate::X(_) => "X",
+                Gate::Y(_) => "Y",
+                Gate::Z(_) => "Z",
+                Gate::S(_) => "S",
+                Gate::Sdg(_) => "s",
+                Gate::T(_) => "T",
+                Gate::Tdg(_) => "t",
+                Gate::Rx(..) => "x",
+                Gate::Ry(..) => "y",
+                Gate::Rz(..) => "z",
+                Gate::Phase(..) => "P",
+                _ => "?",
+            };
+            vec![(q, sym.into())]
+        }
+    }
+}
+
+/// Renders a circuit as ASCII art, at most `max_columns` layers
+/// (an ellipsis row marks truncation).
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::{draw, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let art = draw(&c, 80);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("●"));
+/// ```
+pub fn draw(circuit: &Circuit, max_columns: usize) -> String {
+    let n = circuit.n_qubits();
+    // ASAP layering, same rule as Circuit::depth().
+    let mut level = vec![0usize; n];
+    let mut layers: Vec<Vec<&Gate>> = Vec::new();
+    for g in circuit.iter() {
+        let qs = g.qubits();
+        let start = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+        for &q in &qs {
+            level[q] = start + 1;
+        }
+        if layers.len() <= start {
+            layers.resize_with(start + 1, Vec::new);
+        }
+        layers[start].push(g);
+    }
+    let truncated = layers.len() > max_columns;
+    layers.truncate(max_columns);
+
+    let mut rows: Vec<String> = (0..n).map(|q| format!("{:<5}", format!("q{q}:"))).collect();
+    for layer in &layers {
+        let mut cells: Vec<String> = vec!["─".into(); n];
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for g in layer {
+            let syms = symbols(g);
+            let lo = syms.iter().map(|&(q, _)| q).min().unwrap_or(0);
+            let hi = syms.iter().map(|&(q, _)| q).max().unwrap_or(0);
+            spans.push((lo, hi));
+            for (q, s) in syms {
+                cells[q] = s;
+            }
+        }
+        // Vertical connectors through untouched wires inside a span.
+        for (lo, hi) in spans {
+            for (q, cell) in cells.iter_mut().enumerate().take(hi).skip(lo + 1) {
+                if cell == "─" && q > lo && q < hi {
+                    *cell = "│".into();
+                }
+            }
+        }
+        for (q, row) in rows.iter_mut().enumerate() {
+            row.push('─');
+            row.push_str(&cells[q]);
+            row.push('─');
+        }
+    }
+    let mut out = rows.join("\n");
+    if truncated {
+        out.push_str("\n… (truncated)");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::UBlock;
+
+    #[test]
+    fn bell_circuit_renders() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let art = draw(&c, 80);
+        assert!(art.contains("q0"));
+        assert!(art.contains("H"));
+        assert!(art.contains("●"));
+        assert!(art.contains("X"));
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let art = draw(&c, 80);
+        // Both H in the first layer: each row has exactly one H.
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines[0].matches('H').count(), 1);
+        assert_eq!(lines[1].matches('H').count(), 1);
+        // Same column offset.
+        assert_eq!(lines[0].find('H'), lines[1].find('H'));
+    }
+
+    #[test]
+    fn vertical_connector_through_middle_wire() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2);
+        let art = draw(&c, 80);
+        assert!(art.contains('│'), "{art}");
+    }
+
+    #[test]
+    fn ublock_pattern_symbols() {
+        let mut c = Circuit::new(3);
+        c.ublock(UBlock::from_u_with_angle(&[1, -1, 1], 0.3));
+        let art = draw(&c, 80);
+        assert_eq!(art.matches('◆').count(), 2);
+        assert_eq!(art.matches('◇').count(), 1);
+    }
+
+    #[test]
+    fn truncation_marks_long_circuits() {
+        let mut c = Circuit::new(1);
+        for _ in 0..50 {
+            c.h(0);
+        }
+        let art = draw(&c, 10);
+        assert!(art.contains("truncated"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Stochastic Pauli noise (Monte-Carlo trajectories).
+//!
+//! NISQ behaviour is modelled the way the paper's hardware runs experience
+//! it: depolarizing-style Pauli errors after each gate (rate depending on
+//! gate arity) and independent readout bit-flips at measurement. Trajectory
+//! sampling keeps the cost at `O(trajectories · circuit)` instead of a
+//! density-matrix simulation's `4^n`.
+
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::Gate;
+use crate::state::StateVector;
+use rand::Rng;
+
+/// Per-gate and readout error rates.
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::{Circuit, NoiseModel};
+/// use rand::SeedableRng;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let noise = NoiseModel::new(0.001, 0.01, 0.02);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let counts = noise.sample_noisy(&c, 1000, 20, &mut rng);
+/// assert_eq!(counts.shots(), 1000);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Pauli error probability after each single-qubit gate.
+    pub p1: f64,
+    /// Pauli error probability (per involved qubit) after each multi-qubit
+    /// gate.
+    pub p2: f64,
+    /// Readout bit-flip probability per qubit.
+    pub readout: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise model from the three rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    pub fn new(p1: f64, p2: f64, readout: f64) -> Self {
+        for (name, p) in [("p1", p1), ("p2", p2), ("readout", readout)] {
+            assert!((0.0..=1.0).contains(&p), "{name} = {p} out of [0,1]");
+        }
+        NoiseModel { p1, p2, readout }
+    }
+
+    /// The noiseless model.
+    pub fn ideal() -> Self {
+        NoiseModel {
+            p1: 0.0,
+            p2: 0.0,
+            readout: 0.0,
+        }
+    }
+
+    /// `true` when all rates are zero.
+    pub fn is_ideal(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
+    }
+
+    /// Runs `circuit` under this noise model and samples `shots`
+    /// measurements, split across `trajectories` independent error
+    /// realizations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories == 0`.
+    pub fn sample_noisy<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        trajectories: u32,
+        rng: &mut R,
+    ) -> Counts {
+        assert!(trajectories > 0, "at least one trajectory required");
+        if self.is_ideal() {
+            let state = StateVector::run(circuit);
+            return state.sample(shots, rng);
+        }
+        let mut counts = Counts::new();
+        let base = shots / trajectories as u64;
+        let remainder = shots % trajectories as u64;
+        for t in 0..trajectories {
+            let traj_shots = base + if (t as u64) < remainder { 1 } else { 0 };
+            if traj_shots == 0 {
+                continue;
+            }
+            let state = self.run_trajectory(circuit, rng);
+            let clean = state.sample(traj_shots, rng);
+            if self.readout == 0.0 {
+                counts.merge(&clean);
+            } else {
+                for (bits, c) in clean.iter() {
+                    for _ in 0..c {
+                        counts.record(self.flip_readout(bits, circuit.n_qubits(), rng));
+                    }
+                }
+            }
+        }
+        counts
+    }
+
+    /// One noisy execution: applies each gate followed by randomly drawn
+    /// Pauli errors on the involved qubits.
+    pub fn run_trajectory<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
+        let mut state = StateVector::new(circuit.n_qubits());
+        for gate in circuit.iter() {
+            state.apply_gate(gate);
+            let qubits = gate.qubits();
+            let p = if qubits.len() == 1 { self.p1 } else { self.p2 };
+            if p == 0.0 {
+                continue;
+            }
+            for q in qubits {
+                if rng.gen::<f64>() < p {
+                    match rng.gen_range(0..3) {
+                        0 => state.apply_gate(&Gate::X(q)),
+                        1 => state.apply_gate(&Gate::Y(q)),
+                        _ => state.apply_gate(&Gate::Z(q)),
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    fn flip_readout<R: Rng>(&self, bits: u64, n_qubits: usize, rng: &mut R) -> u64 {
+        let mut out = bits;
+        for q in 0..n_qubits {
+            if rng.gen::<f64>() < self.readout {
+                out ^= 1 << q;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_model_matches_clean_sampling() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let noise = NoiseModel::ideal();
+        assert!(noise.is_ideal());
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = noise.sample_noisy(&c, 4000, 10, &mut rng);
+        // Only the Bell outcomes appear.
+        assert_eq!(counts.count(0b01), 0);
+        assert_eq!(counts.count(0b10), 0);
+        assert_eq!(counts.shots(), 4000);
+    }
+
+    #[test]
+    fn heavy_noise_pollutes_outcomes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let noise = NoiseModel::new(0.2, 0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = noise.sample_noisy(&c, 4000, 40, &mut rng);
+        // With strong noise the forbidden outcomes must leak in.
+        assert!(counts.count(0b01) + counts.count(0b10) > 0);
+        assert_eq!(counts.shots(), 4000);
+    }
+
+    #[test]
+    fn readout_only_noise_flips_basis_state() {
+        let c = Circuit::new(3); // identity circuit: ideal outcome |000⟩
+        let noise = NoiseModel::new(0.0, 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = noise.sample_noisy(&c, 8000, 1, &mut rng);
+        // Each bit flips with p=0.5 → near-uniform over 8 outcomes.
+        for bits in 0..8u64 {
+            let p = counts.probability(bits);
+            assert!((p - 0.125).abs() < 0.03, "p({bits:03b}) = {p}");
+        }
+    }
+
+    #[test]
+    fn noise_reduces_success_probability_monotonically() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).x(0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let clean = NoiseModel::ideal().sample_noisy(&c, 4000, 1, &mut rng);
+        let noisy = NoiseModel::new(0.05, 0.1, 0.05).sample_noisy(&c, 4000, 40, &mut rng);
+        let target = clean.most_frequent().unwrap();
+        assert!(noisy.probability(target) < clean.probability(target) + 0.02);
+        assert!(noisy.distinct() > clean.distinct());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn rejects_invalid_rates() {
+        let _ = NoiseModel::new(1.5, 0.0, 0.0);
+    }
+
+    #[test]
+    fn shots_split_exactly_across_trajectories() {
+        let c = Circuit::new(1);
+        let noise = NoiseModel::new(0.01, 0.01, 0.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        let counts = noise.sample_noisy(&c, 1003, 10, &mut rng);
+        assert_eq!(counts.shots(), 1003);
+    }
+}

@@ -1,0 +1,609 @@
+//! Full state-vector simulation.
+//!
+//! [`StateVector`] holds `2^n` complex amplitudes and applies every gate of
+//! the IR *exactly* — including the structured operations: diagonal
+//! evolutions multiply per-amplitude phases, and commute-Hamiltonian blocks
+//! rotate the two-dimensional `{|v⟩, |v̄⟩}` subspaces directly. This is what
+//! lets the Choco-Q algorithmic experiments run without paying gate-level
+//! decomposition cost (the decomposed path is exercised separately by the
+//! transpiler + noise experiments, and equivalence of the two paths is
+//! checked by tests).
+
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::{Gate, UBlock};
+use crate::phasepoly::PhasePoly;
+use choco_mathkit::Complex64;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits (little-endian basis indexing:
+/// qubit `q` is bit `q` of the basis index).
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::{Circuit, StateVector};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let state = StateVector::run(&bell);
+/// let p = state.probabilities();
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0…0⟩`.
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 30, "state vector limited to 30 qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// A computational basis state `|bits⟩`.
+    pub fn from_bits(n_qubits: usize, bits: u64) -> Self {
+        let mut s = StateVector::new(n_qubits);
+        s.amps[0] = Complex64::ZERO;
+        s.amps[bits as usize] = Complex64::ONE;
+        s
+    }
+
+    /// Builds a state from raw amplitudes (must have power-of-two length and
+    /// unit norm within 1e-6).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-power-of-two length or non-normalized vector.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let len = amps.len();
+        assert!(len.is_power_of_two(), "length must be a power of two");
+        let n_qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state not normalized: {norm}");
+        StateVector { n_qubits, amps }
+    }
+
+    /// Runs a circuit from `|0…0⟩`.
+    pub fn run(circuit: &Circuit) -> Self {
+        let mut s = StateVector::new(circuit.n_qubits());
+        s.apply_circuit(circuit);
+        s
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The amplitude of basis state `bits`.
+    #[inline]
+    pub fn amplitude(&self, bits: u64) -> Complex64 {
+        self.amps[bits as usize]
+    }
+
+    /// Borrow of all amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is wider than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.n_qubits() <= self.n_qubits,
+            "circuit wider than state"
+        );
+        for g in circuit.iter() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies a single gate.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match gate {
+            Gate::Cx(c, t) => self.apply_mcx(1u64 << c, *t),
+            Gate::Cz(a, b) => self.apply_mcphase((1u64 << a) | (1u64 << b), std::f64::consts::PI),
+            Gate::Cp(a, b, theta) => self.apply_mcphase((1u64 << a) | (1u64 << b), *theta),
+            Gate::Swap(a, b) => self.apply_swap(*a, *b),
+            Gate::Ccx(c1, c2, t) => self.apply_mcx((1u64 << c1) | (1u64 << c2), *t),
+            Gate::Mcx { controls, target } => {
+                let mask = controls.iter().fold(0u64, |m, &q| m | (1 << q));
+                self.apply_mcx(mask, *target);
+            }
+            Gate::McPhase { qubits, angle } => {
+                let mask = qubits.iter().fold(0u64, |m, &q| m | (1 << q));
+                self.apply_mcphase(mask, *angle);
+            }
+            Gate::ControlledU {
+                controls,
+                target,
+                matrix,
+            } => {
+                let mask = controls.iter().fold(0u64, |m, &q| m | (1 << q));
+                self.apply_controlled_1q(mask, *matrix, *target);
+            }
+            Gate::UBlock(b) => self.apply_ublock(b),
+            Gate::XyMix(a, b, theta) => {
+                // XX+YY = 2(|01⟩⟨10| + |10⟩⟨01|): a UBlock with doubled angle.
+                let full = (1u64 << a) | (1u64 << b);
+                self.apply_block_masks(full, 1u64 << a, 2.0 * theta);
+            }
+            Gate::DiagPhase(poly, theta) => self.apply_diag_poly(poly, *theta),
+            g1q => {
+                let m = g1q
+                    .matrix_1q()
+                    .unwrap_or_else(|| panic!("unhandled gate {g1q}"));
+                self.apply_1q(m, g1q.qubits()[0]);
+            }
+        }
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    pub fn apply_1q(&mut self, m: [[Complex64; 2]; 2], q: usize) {
+        let step = 1usize << q;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for i in base..base + step {
+                let j = i + step;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            base += step << 1;
+        }
+    }
+
+    /// Applies a 2×2 unitary to qubit `q` conditioned on all bits of
+    /// `controls_mask` being 1.
+    pub fn apply_controlled_1q(&mut self, controls_mask: u64, m: [[Complex64; 2]; 2], q: usize) {
+        let t = 1u64 << q;
+        for i in 0..self.amps.len() as u64 {
+            if i & controls_mask == controls_mask && i & t == 0 {
+                let j = (i | t) as usize;
+                let i = i as usize;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let (ma, mb) = (1u64 << a, 1u64 << b);
+        for i in 0..self.amps.len() as u64 {
+            if i & ma == ma && i & mb == 0 {
+                let j = (i ^ ma) | mb;
+                self.amps.swap(i as usize, j as usize);
+            }
+        }
+    }
+
+    fn apply_mcx(&mut self, controls_mask: u64, target: usize) {
+        let t = 1u64 << target;
+        for i in 0..self.amps.len() as u64 {
+            if i & controls_mask == controls_mask && i & t == 0 {
+                self.amps.swap(i as usize, (i | t) as usize);
+            }
+        }
+    }
+
+    fn apply_mcphase(&mut self, mask: u64, angle: f64) {
+        let phase = Complex64::cis(angle);
+        for i in 0..self.amps.len() as u64 {
+            if i & mask == mask {
+                self.amps[i as usize] *= phase;
+            }
+        }
+    }
+
+    /// Applies `e^{-iθ·Hc(u)}` exactly: a rotation
+    /// `[[cos θ, −i sin θ], [−i sin θ, cos θ]]` on every `{|v⟩, |v̄⟩}` pair.
+    pub fn apply_ublock(&mut self, block: &UBlock) {
+        let mut full_mask = 0u64;
+        let mut v_mask = 0u64;
+        for (k, &q) in block.support.iter().enumerate() {
+            full_mask |= 1 << q;
+            if (block.pattern >> k) & 1 == 1 {
+                v_mask |= 1 << q;
+            }
+        }
+        self.apply_block_masks(full_mask, v_mask, block.angle);
+    }
+
+    /// Rotation between index patterns `v_mask` and `v_mask ^ full_mask`
+    /// within the qubits of `full_mask`.
+    fn apply_block_masks(&mut self, full_mask: u64, v_mask: u64, theta: f64) {
+        let cos = Complex64::from_re(theta.cos());
+        let nisin = Complex64::new(0.0, -theta.sin());
+        for i in 0..self.amps.len() as u64 {
+            if i & full_mask == v_mask {
+                let j = (i ^ full_mask) as usize;
+                let i = i as usize;
+                let a = self.amps[i];
+                let b = self.amps[j];
+                self.amps[i] = cos * a + nisin * b;
+                self.amps[j] = nisin * a + cos * b;
+            }
+        }
+    }
+
+    /// Applies `e^{-iθ·f(x)}` by evaluating the polynomial per index.
+    pub fn apply_diag_poly(&mut self, poly: &PhasePoly, theta: f64) {
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            let f = poly.eval_bits(i as u64);
+            if f != 0.0 {
+                *amp *= Complex64::cis(-theta * f);
+            }
+        }
+    }
+
+    /// Applies `e^{-iθ·values[x]}` from a precomputed diagonal. Much faster
+    /// than [`StateVector::apply_diag_poly`] when the same diagonal is reused
+    /// across optimizer iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2^n`.
+    pub fn apply_diag_values(&mut self, values: &[f64], theta: f64) {
+        assert_eq!(values.len(), self.amps.len(), "diagonal length mismatch");
+        for (amp, &f) in self.amps.iter_mut().zip(values.iter()) {
+            if f != 0.0 {
+                *amp *= Complex64::cis(-theta * f);
+            }
+        }
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability of measuring the basis state `bits`.
+    pub fn probability(&self, bits: u64) -> f64 {
+        self.amps[bits as usize].norm_sqr()
+    }
+
+    /// Expectation of a diagonal observable given per-basis values.
+    pub fn expectation_diag_values(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.amps.len(), "diagonal length mismatch");
+        self.amps
+            .iter()
+            .zip(values.iter())
+            .map(|(a, &v)| a.norm_sqr() * v)
+            .sum()
+    }
+
+    /// Expectation of a diagonal observable given as a polynomial.
+    pub fn expectation_diag_poly(&self, poly: &PhasePoly) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.norm_sqr() * poly.eval_bits(i as u64))
+            .sum()
+    }
+
+    /// Number of basis states with probability above `eps` — the
+    /// "parallelism" metric of the paper's Figure 9(b) (#measured states).
+    pub fn support_size(&self, eps: f64) -> usize {
+        self.amps.iter().filter(|a| a.norm_sqr() > eps).count()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn inner(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Total probability (should be 1 up to rounding).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalizes to unit norm (used by the stochastic noise executor
+    /// after injecting non-unitary readout errors — unitary evolution never
+    /// needs this).
+    pub fn normalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        if norm > 0.0 {
+            for a in self.amps.iter_mut() {
+                *a = *a / norm;
+            }
+        }
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Counts {
+        // Prefix sums + binary search: O(2^n + shots·n).
+        let mut cumulative = Vec::with_capacity(self.amps.len());
+        let mut acc = 0.0f64;
+        for a in &self.amps {
+            acc += a.norm_sqr();
+            cumulative.push(acc);
+        }
+        let total = acc;
+        let mut counts = Counts::new();
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < r);
+            counts.record(idx.min(self.amps.len() - 1) as u64);
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_mathkit::c64;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn initial_state_is_zero_ket() {
+        let s = StateVector::new(3);
+        assert_eq!(s.probability(0), 1.0);
+        assert_eq!(s.support_size(1e-12), 1);
+    }
+
+    #[test]
+    fn x_flips_bit() {
+        let mut s = StateVector::new(2);
+        s.apply_gate(&Gate::X(1));
+        assert!((s.probability(0b10) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = StateVector::run(&c);
+        assert!((s.probability(0b00) - 0.5).abs() < EPS);
+        assert!((s.probability(0b11) - 0.5).abs() < EPS);
+        assert!(s.probability(0b01) < EPS);
+    }
+
+    #[test]
+    fn ghz_support_size() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let s = StateVector::run(&c);
+        assert_eq!(s.support_size(1e-9), 2);
+    }
+
+    #[test]
+    fn cz_and_cp_phases() {
+        // |11⟩ picks up -1 under CZ.
+        let mut s = StateVector::from_bits(2, 0b11);
+        s.apply_gate(&Gate::Cz(0, 1));
+        assert!(s.amplitude(0b11).approx_eq(c64(-1.0, 0.0), EPS));
+        // CP(θ) adds e^{iθ}.
+        let mut s = StateVector::from_bits(2, 0b11);
+        s.apply_gate(&Gate::Cp(0, 1, 0.7));
+        assert!(s.amplitude(0b11).approx_eq(Complex64::cis(0.7), EPS));
+        // No phase on |01⟩.
+        let mut s = StateVector::from_bits(2, 0b01);
+        s.apply_gate(&Gate::Cp(0, 1, 0.7));
+        assert!(s.amplitude(0b01).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn swap_exchanges_amplitudes() {
+        let mut s = StateVector::from_bits(3, 0b001);
+        s.apply_gate(&Gate::Swap(0, 2));
+        assert!((s.probability(0b100) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ccx_and_mcx() {
+        let mut s = StateVector::from_bits(3, 0b011);
+        s.apply_gate(&Gate::Ccx(0, 1, 2));
+        assert!((s.probability(0b111) - 1.0).abs() < EPS);
+
+        let mut s = StateVector::from_bits(4, 0b0111);
+        s.apply_gate(&Gate::Mcx {
+            controls: vec![0, 1, 2],
+            target: 3,
+        });
+        assert!((s.probability(0b1111) - 1.0).abs() < EPS);
+
+        // One control off → no flip.
+        let mut s = StateVector::from_bits(4, 0b0101);
+        s.apply_gate(&Gate::Mcx {
+            controls: vec![0, 1, 2],
+            target: 3,
+        });
+        assert!((s.probability(0b0101) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mcphase_only_on_all_ones() {
+        let mut s = StateVector::from_bits(3, 0b111);
+        s.apply_gate(&Gate::McPhase {
+            qubits: vec![0, 1, 2],
+            angle: 1.1,
+        });
+        assert!(s.amplitude(0b111).approx_eq(Complex64::cis(1.1), EPS));
+
+        let mut s = StateVector::from_bits(3, 0b101);
+        s.apply_gate(&Gate::McPhase {
+            qubits: vec![0, 1, 2],
+            angle: 1.1,
+        });
+        assert!(s.amplitude(0b101).approx_eq(Complex64::ONE, EPS));
+    }
+
+    #[test]
+    fn rotation_gates_match_matrices() {
+        // Rx(π) = -iX: |0⟩ → -i|1⟩.
+        let mut s = StateVector::new(1);
+        s.apply_gate(&Gate::Rx(0, std::f64::consts::PI));
+        assert!(s.amplitude(1).approx_eq(c64(0.0, -1.0), EPS));
+        // Rz on |+⟩ keeps probabilities.
+        let mut s = StateVector::new(1);
+        s.apply_gate(&Gate::H(0));
+        s.apply_gate(&Gate::Rz(0, 0.4));
+        assert!((s.probability(0) - 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn ublock_rotates_pattern_pair() {
+        // u = (+1, -1) on 2 qubits: v = |01⟩ (bit0 = 1), v̄ = |10⟩.
+        let block = UBlock::from_u_with_angle(&[1, -1], 0.6);
+        let mut s = StateVector::from_bits(2, 0b01);
+        s.apply_ublock(&block);
+        assert!(s.amplitude(0b01).approx_eq(c64(0.6f64.cos(), 0.0), EPS));
+        assert!(s.amplitude(0b10).approx_eq(c64(0.0, -(0.6f64.sin())), EPS));
+        // An off-pattern state is untouched.
+        let mut s = StateVector::from_bits(2, 0b11);
+        s.apply_ublock(&block);
+        assert!((s.probability(0b11) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn ublock_preserves_norm_and_constraint_expectation() {
+        // Superposition over the feasible pair stays in the subspace.
+        let block = UBlock::from_u_with_angle(&[1, -1, 1], 1.3);
+        let mut s = StateVector::from_bits(3, 0b101);
+        s.apply_ublock(&block);
+        assert!((s.norm_sqr() - 1.0).abs() < EPS);
+        // Support is {|101⟩, |010⟩}.
+        assert!((s.probability(0b101) + s.probability(0b010) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn xymix_matches_ublock_on_pair_subspace() {
+        let theta = 0.47;
+        let mut a = StateVector::from_bits(2, 0b01);
+        a.apply_gate(&Gate::XyMix(0, 1, theta));
+        // exp(-iθ(XX+YY))|01⟩ = cos(2θ)|01⟩ - i sin(2θ)|10⟩
+        assert!(a.amplitude(0b01).approx_eq(c64((2.0 * theta).cos(), 0.0), EPS));
+        assert!(a
+            .amplitude(0b10)
+            .approx_eq(c64(0.0, -(2.0 * theta).sin()), EPS));
+        // |00⟩ and |11⟩ are untouched.
+        let mut b = StateVector::from_bits(2, 0b00);
+        b.apply_gate(&Gate::XyMix(0, 1, theta));
+        assert!((b.probability(0b00) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn diag_phase_applies_per_state() {
+        let mut poly = PhasePoly::new(2);
+        poly.add_linear(0, 1.0);
+        poly.add_quadratic(0, 1, 2.0);
+        let poly = Arc::new(poly);
+        // Uniform superposition picks up e^{-iθf(x)} per component.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).diag(poly.clone(), 0.5);
+        let s = StateVector::run(&c);
+        let amp = |bits: u64| Complex64::cis(-0.5 * poly.eval_bits(bits)).scale(0.5);
+        for bits in 0..4u64 {
+            assert!(s.amplitude(bits).approx_eq(amp(bits), EPS), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn diag_values_matches_poly_path() {
+        let mut poly = PhasePoly::new(3);
+        poly.add_linear(2, -1.5);
+        poly.add_quadratic(0, 1, 0.7);
+        let values: Vec<f64> = (0..8u64).map(|b| poly.eval_bits(b)).collect();
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let mut a = StateVector::run(&c);
+        let mut b = a.clone();
+        a.apply_diag_poly(&poly, 0.9);
+        b.apply_diag_values(&values, 0.9);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn expectation_of_diagonal() {
+        let mut poly = PhasePoly::new(2);
+        poly.add_linear(0, 1.0);
+        poly.add_linear(1, 2.0);
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let s = StateVector::run(&c);
+        // Uniform over {0,1,2,3}: E[f] = (0 + 1 + 2 + 3)/4 = 1.5
+        assert!((s.expectation_diag_poly(&poly) - 1.5).abs() < EPS);
+        let values: Vec<f64> = (0..4u64).map(|b| poly.eval_bits(b)).collect();
+        assert!((s.expectation_diag_values(&values) - 1.5).abs() < EPS);
+    }
+
+    #[test]
+    fn circuit_inverse_restores_state() {
+        let mut poly = PhasePoly::new(3);
+        poly.add_quadratic(0, 2, 1.0);
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, 0.3)
+            .xy(1, 2, 0.8)
+            .diag(Arc::new(poly), 0.4)
+            .mcphase(vec![0, 1, 2], 0.2);
+        let mut s = StateVector::run(&c);
+        s.apply_circuit(&c.inverse());
+        let zero = StateVector::new(3);
+        assert!((s.fidelity(&zero) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sampling_approximates_distribution() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = StateVector::run(&c);
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = s.sample(20_000, &mut rng);
+        assert_eq!(counts.shots(), 20_000);
+        let p00 = counts.probability(0b00);
+        let p11 = counts.probability(0b11);
+        assert!((p00 - 0.5).abs() < 0.02, "p00={p00}");
+        assert!((p11 - 0.5).abs() < 0.02, "p11={p11}");
+        assert_eq!(counts.probability(0b01), 0.0);
+    }
+
+    #[test]
+    fn unitarity_norm_preserved_through_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .ry(1, 0.7)
+            .cx(0, 2)
+            .cp(1, 3, 0.9)
+            .ccx(0, 1, 2)
+            .xy(2, 3, 0.3)
+            .mcphase(vec![0, 2, 3], 1.4);
+        let s = StateVector::run(&c);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,307 @@
+//! Grover adaptive search (GAS) \[20\] — the amplitude-amplification
+//! baseline from the paper's related work (§VI-A).
+//!
+//! GAS wraps Grover search in a threshold loop: the oracle marks feasible
+//! states whose objective beats the best value found so far, a
+//! Boyer–Brassard–Høyer schedule picks the Grover iteration count without
+//! knowing how many states are marked, and each measurement either
+//! improves the threshold or shrinks the schedule.
+//!
+//! The paper's §VI-A criticism is reproduced measurably: the *selection*
+//! (feasibility) predicate makes the marked fraction tiny, so the number
+//! of oracle calls grows quickly — compare [`GroverOutcome::oracle_calls`]
+//! against Choco-Q's iteration counts.
+//!
+//! The Grover operator is applied exactly on the state vector (oracle
+//! phase flip + inversion about the mean); the paper itself concedes the
+//! selection circuit "is too complex to deploy on hardware", so a
+//! gate-level lowering is intentionally out of scope.
+
+use crate::shared::check_size;
+use choco_mathkit::SplitMix64;
+use choco_model::{CircuitStats, Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
+use choco_qsim::{Counts, StateVector};
+use choco_mathkit::Complex64;
+use std::time::Instant;
+
+/// Configuration for [`GroverSolver`].
+#[derive(Clone, Debug)]
+pub struct GroverConfig {
+    /// Maximum threshold-improvement rounds.
+    pub max_rounds: usize,
+    /// BBHT schedule growth factor (classically 8/7–1.5).
+    pub schedule_growth: f64,
+    /// Measurement shots for the final histogram.
+    pub shots: u64,
+    /// PRNG seed (schedule draws + sampling).
+    pub seed: u64,
+}
+
+impl Default for GroverConfig {
+    fn default() -> Self {
+        GroverConfig {
+            max_rounds: 24,
+            schedule_growth: 1.34,
+            shots: 10_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Extra observables of a GAS run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroverOutcome {
+    /// Total Grover-operator applications (each is one oracle call).
+    pub oracle_calls: u64,
+    /// Threshold improvements achieved.
+    pub improvements: u32,
+}
+
+/// The Grover-adaptive-search solver.
+///
+/// # Examples
+///
+/// ```
+/// use choco_model::{Problem, Solver};
+/// use choco_solvers::{GroverConfig, GroverSolver};
+///
+/// let p = Problem::builder(3)
+///     .minimize()
+///     .linear(0, 1.0)
+///     .linear(1, 2.0)
+///     .linear(2, 3.0)
+///     .equality([(0, 1), (1, 1), (2, 1)], 1)
+///     .build()
+///     .unwrap();
+/// let outcome = GroverSolver::new(GroverConfig::default()).solve(&p).unwrap();
+/// assert!(outcome.counts.shots() > 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GroverSolver {
+    config: GroverConfig,
+}
+
+impl GroverSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: GroverConfig) -> Self {
+        GroverSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GroverConfig {
+        &self.config
+    }
+
+    /// Observables of the last run are returned alongside the outcome by
+    /// [`GroverSolver::solve_with_stats`].
+    pub fn solve_with_stats(
+        &self,
+        problem: &Problem,
+    ) -> Result<(SolveOutcome, GroverOutcome), SolverError> {
+        let n = problem.n_vars();
+        check_size(n)?;
+        let start = Instant::now();
+        let dim = 1usize << n;
+        let cost_table = problem.cost_table();
+        let feasible: Vec<bool> = (0..dim as u64).map(|b| problem.is_feasible(b)).collect();
+        if !feasible.iter().any(|&f| f) {
+            return Err(SolverError::Infeasible);
+        }
+
+        let mut rng = SplitMix64::new(self.config.seed);
+        let mut stats = GroverOutcome::default();
+        // Start from a random feasible sample of the uniform distribution.
+        let mut threshold = f64::INFINITY;
+        let mut schedule_max = 1.0f64;
+
+        for _ in 0..self.config.max_rounds {
+            // Oracle: feasible AND strictly better than the threshold.
+            let marked: Vec<bool> = (0..dim)
+                .map(|i| feasible[i] && cost_table[i] < threshold - 1e-12)
+                .collect();
+            if !marked.iter().any(|&m| m) {
+                break; // threshold is optimal
+            }
+            // BBHT: pick a random iteration count below the schedule cap.
+            let iterations = 1 + (rng.next_f64() * schedule_max) as u64;
+            let mut state = uniform_state(n);
+            for _ in 0..iterations {
+                grover_iterate(&mut state, &marked);
+            }
+            stats.oracle_calls += iterations;
+            // One measurement decides this round.
+            let measured = sample_one(&state, &mut rng);
+            if feasible[measured as usize] && cost_table[measured as usize] < threshold - 1e-12 {
+                threshold = cost_table[measured as usize];
+                stats.improvements += 1;
+                schedule_max = 1.0;
+            } else {
+                schedule_max = (schedule_max * self.config.schedule_growth)
+                    .min((dim as f64).sqrt() * 2.0);
+            }
+        }
+
+        // Final histogram: the amplified state for the final threshold
+        // (re-amplified at the last successful schedule) — this is what a
+        // user would measure after the adaptive loop terminates.
+        // No improvement ever found ⇒ threshold is +∞ and every feasible
+        // state stays marked.
+        let marked: Vec<bool> = (0..dim)
+            .map(|i| feasible[i] && cost_table[i] <= threshold + 1e-12)
+            .collect();
+        let mut state = uniform_state(n);
+        // Amplify near the π/4·√(N/M) optimum for the final marked set.
+        let m = marked.iter().filter(|&&x| x).count().max(1);
+        let turns = ((std::f64::consts::FRAC_PI_4) * (dim as f64 / m as f64).sqrt()).floor()
+            as u64;
+        for _ in 0..turns.max(1) {
+            grover_iterate(&mut state, &marked);
+        }
+        stats.oracle_calls += turns.max(1);
+
+        let mut counts = Counts::new();
+        for _ in 0..self.config.shots {
+            counts.record(sample_one(&state, &mut rng));
+        }
+
+        let outcome = SolveOutcome {
+            counts,
+            cost_history: Vec::new(),
+            iterations: stats.oracle_calls as usize,
+            circuit: CircuitStats {
+                qubits: n,
+                logical_depth: 0,
+                transpiled_depth: None, // §VI-A: selection circuit undeployable
+                transpiled_gates: None,
+                two_qubit_gates: None,
+            },
+            timing: TimingBreakdown {
+                compile: std::time::Duration::ZERO,
+                execute: start.elapsed(),
+                classical: std::time::Duration::ZERO,
+            },
+        };
+        Ok((outcome, stats))
+    }
+}
+
+fn uniform_state(n: usize) -> StateVector {
+    let dim = 1usize << n;
+    let amp = Complex64::from_re(1.0 / (dim as f64).sqrt());
+    StateVector::from_amplitudes(vec![amp; dim])
+}
+
+/// One Grover iteration: oracle phase flip on marked states, then
+/// inversion about the mean.
+fn grover_iterate(state: &mut StateVector, marked: &[bool]) {
+    let dim = state.amplitudes().len();
+    let mut amps: Vec<Complex64> = state.amplitudes().to_vec();
+    for (a, &m) in amps.iter_mut().zip(marked.iter()) {
+        if m {
+            *a = -*a;
+        }
+    }
+    let mean = amps.iter().copied().sum::<Complex64>() / dim as f64;
+    for a in amps.iter_mut() {
+        *a = mean.scale(2.0) - *a;
+    }
+    *state = StateVector::from_amplitudes(amps);
+}
+
+fn sample_one(state: &StateVector, rng: &mut SplitMix64) -> u64 {
+    let r = rng.next_f64();
+    let mut acc = 0.0;
+    for (i, a) in state.amplitudes().iter().enumerate() {
+        acc += a.norm_sqr();
+        if r < acc {
+            return i as u64;
+        }
+    }
+    state.amplitudes().len() as u64 - 1
+}
+
+impl Solver for GroverSolver {
+    fn name(&self) -> &str {
+        "grover-as"
+    }
+
+    fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        self.solve_with_stats(problem).map(|(o, _)| o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn small_problem() -> Problem {
+        Problem::builder(4)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .linear(3, 1.0)
+            .equality([(0, 1), (2, -1)], 0)
+            .equality([(0, 1), (1, 1), (3, 1)], 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grover_finds_the_optimum_with_amplification() {
+        let p = small_problem();
+        let opt = solve_exact(&p).unwrap();
+        let (outcome, stats) = GroverSolver::new(GroverConfig::default())
+            .solve_with_stats(&p)
+            .unwrap();
+        let m = outcome.metrics_with(&p, &opt);
+        assert!(m.success_rate > 0.3, "success = {}", m.success_rate);
+        assert!(stats.oracle_calls > 0);
+    }
+
+    #[test]
+    fn oracle_calls_exceed_choco_iterations_shape() {
+        // The §VI-A criticism: GAS needs many oracle calls because the
+        // feasible-and-better fraction is tiny.
+        let p = small_problem();
+        let (_, stats) = GroverSolver::new(GroverConfig::default())
+            .solve_with_stats(&p)
+            .unwrap();
+        assert!(
+            stats.oracle_calls >= 3,
+            "oracle calls = {}",
+            stats.oracle_calls
+        );
+    }
+
+    #[test]
+    fn grover_iteration_amplifies_marked_state() {
+        // Classic 2-qubit Grover: one marked state out of 4 reaches
+        // probability 1 after a single iteration.
+        let mut state = uniform_state(2);
+        let marked = vec![false, false, true, false];
+        grover_iterate(&mut state, &marked);
+        assert!((state.probability(2) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn infeasible_problem_rejected() {
+        let p = Problem::builder(2)
+            .equality([(0, 1), (1, 1)], 3)
+            .build()
+            .unwrap();
+        assert_eq!(
+            GroverSolver::default().solve(&p).unwrap_err(),
+            SolverError::Infeasible
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = small_problem();
+        let a = GroverSolver::new(GroverConfig::default()).solve(&p).unwrap();
+        let b = GroverSolver::new(GroverConfig::default()).solve(&p).unwrap();
+        assert_eq!(a.counts, b.counts);
+    }
+}

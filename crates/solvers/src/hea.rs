@@ -1,0 +1,153 @@
+//! Hardware-efficient ansatz (HEA) \[28\] — the non-QAOA baseline.
+//!
+//! The Kandala-style circuit: alternating layers of per-qubit `RY`
+//! rotations and a CZ entangling ladder, with one final rotation layer.
+//! The circuit structure carries no problem information; constraints are
+//! handled softly by the same penalty objective as penalty-QAOA. As the
+//! paper notes (§VI-A), this "cannot always converge into an optimal
+//! solution since the circuit structure is not specialized".
+
+use crate::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
+use choco_model::{Problem, SolveOutcome, Solver, SolverError};
+use choco_qsim::Circuit;
+use std::time::Instant;
+
+/// The hardware-efficient ansatz solver.
+#[derive(Clone, Debug, Default)]
+pub struct HeaSolver {
+    config: QaoaConfig,
+}
+
+impl HeaSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: QaoaConfig) -> Self {
+        HeaSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QaoaConfig {
+        &self.config
+    }
+
+    /// Number of variational parameters: one RY per qubit per rotation
+    /// layer, `layers + 1` rotation layers.
+    pub fn n_params(n_vars: usize, layers: usize) -> usize {
+        n_vars * (layers + 1)
+    }
+}
+
+impl Solver for HeaSolver {
+    fn name(&self) -> &str {
+        "hea"
+    }
+
+    fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let n = problem.n_vars();
+        check_size(n)?;
+        let compile_start = Instant::now();
+        let poly = problem.penalty_poly(self.config.penalty);
+        let cost_values: Vec<f64> = (0..1u64 << n).map(|b| poly.eval_bits(b)).collect();
+        let layers = self.config.layers;
+        let compile = compile_start.elapsed();
+
+        let build = |params: &[f64]| -> Circuit {
+            let mut c = Circuit::new(n);
+            for l in 0..layers {
+                for q in 0..n {
+                    c.ry(q, params[l * n + q]);
+                }
+                for q in 0..n.saturating_sub(1) {
+                    c.cz(q, q + 1);
+                }
+            }
+            for q in 0..n {
+                c.ry(q, params[layers * n + q]);
+            }
+            c
+        };
+
+        // Small nonzero start breaks the RY(0) saddle.
+        let x0 = vec![0.3; Self::n_params(n, layers)];
+        let result = variational_loop(n, build, &cost_values, &x0, &self.config);
+        let circuit = circuit_stats(
+            &result.final_circuit,
+            vec![],
+            self.config.transpiled_stats,
+        )?;
+        let mut timing = result.timing;
+        timing.compile = compile;
+        Ok(SolveOutcome {
+            counts: result.counts,
+            cost_history: result.cost_history,
+            iterations: result.iterations,
+            circuit,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_problem() -> Problem {
+        Problem::builder(3)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .equality([(0, 1), (1, 1), (2, 1)], 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solves_small_problem() {
+        let outcome = HeaSolver::new(QaoaConfig::fast_test())
+            .solve(&small_problem())
+            .unwrap();
+        assert_eq!(outcome.counts.shots(), 2000);
+        let m = outcome.metrics(&small_problem()).unwrap();
+        assert!(m.in_constraints_rate >= 0.0);
+        assert!(!outcome.cost_history.is_empty());
+    }
+
+    #[test]
+    fn param_count_formula() {
+        assert_eq!(HeaSolver::n_params(4, 3), 16);
+        assert_eq!(HeaSolver::n_params(3, 2), 9);
+    }
+
+    #[test]
+    fn hea_depth_is_shallow_compared_to_qaoa() {
+        // The paper notes HEA's shallow depth (Table II's depth column).
+        let outcome = HeaSolver::new(QaoaConfig {
+            transpiled_stats: true,
+            ..QaoaConfig::fast_test()
+        })
+        .solve(&small_problem())
+        .unwrap();
+        let depth = outcome.circuit.transpiled_depth.unwrap();
+        // 2 layers × (RY + CZ ladder) + final RY on 3 qubits: shallow.
+        assert!(depth < 40, "depth = {depth}");
+    }
+
+    #[test]
+    fn optimizer_reduces_cost() {
+        let outcome = HeaSolver::new(QaoaConfig::fast_test())
+            .solve(&small_problem())
+            .unwrap();
+        let first = outcome.cost_history.first().unwrap();
+        let last = outcome.cost_history.last().unwrap();
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn rejects_oversized() {
+        let p = Problem::builder(28).linear(0, 1.0).build().unwrap();
+        assert!(matches!(
+            HeaSolver::default().solve(&p).unwrap_err(),
+            SolverError::TooLarge { .. }
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! # choco-solvers
+//!
+//! The three baseline solvers the Choco-Q paper compares against
+//! (Table I/II):
+//!
+//! * [`PenaltyQaoaSolver`] — soft constraints as penalty terms \[44\]
+//!   (the paper pairs it with FrozenQubits \[4\] / Red-QAOA \[45\] tuning; here
+//!   the penalty weight and optimizer budget play that role).
+//! * [`CyclicQaoaSolver`] — hard constraints via the XY ring (cyclic)
+//!   driver Hamiltonian \[47\]; only disjoint summation-format equations can
+//!   be encoded, everything else degrades to penalties — reproducing the
+//!   in-constraints-rate gap of Table II.
+//! * [`HeaSolver`] — the hardware-efficient ansatz \[28\], a problem-agnostic
+//!   variational circuit with penalty objective.
+//!
+//! All three implement [`choco_model::Solver`] and share the
+//! [`QaoaConfig`] / variational-loop machinery in [`shared`].
+
+#![warn(missing_docs)]
+
+mod annealing;
+mod cyclic;
+mod grover;
+mod hea;
+mod penalty;
+pub mod shared;
+
+pub use annealing::{AnnealingConfig, AnnealingSolver};
+pub use cyclic::{CyclicEncoding, CyclicQaoaSolver};
+pub use grover::{GroverConfig, GroverOutcome, GroverSolver};
+pub use hea::HeaSolver;
+pub use penalty::PenaltyQaoaSolver;
+pub use shared::{QaoaConfig, MAX_SIM_QUBITS};

@@ -1,0 +1,181 @@
+//! Penalty-based QAOA (the soft-constraint baseline \[44\]).
+//!
+//! Constraints are folded into the objective as `λ·Σ_j (C_j x − c_j)²`,
+//! then a vanilla QAOA runs: uniform superposition, alternating diagonal
+//! evolution `e^{-iγ_l H_{o+p}}` and transverse-field mixer `RX(2β_l)`.
+//!
+//! This is the design Figure 1(a) criticizes: a weak penalty lets the state
+//! drift out of the constraints, a strong one flattens the objective — both
+//! visible in this implementation's metrics.
+
+use crate::shared::{check_size, circuit_stats, ramp_initial_params, variational_loop, QaoaConfig};
+use choco_model::{Problem, SolveOutcome, Solver, SolverError};
+use choco_qsim::Circuit;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The penalty-based QAOA solver.
+///
+/// # Examples
+///
+/// ```
+/// use choco_model::{Problem, Solver};
+/// use choco_solvers::{PenaltyQaoaSolver, QaoaConfig};
+///
+/// let p = Problem::builder(2)
+///     .minimize()
+///     .linear(0, 1.0)
+///     .linear(1, 2.0)
+///     .equality([(0, 1), (1, 1)], 1)
+///     .build()
+///     .unwrap();
+/// let outcome = PenaltyQaoaSolver::new(QaoaConfig::fast_test()).solve(&p).unwrap();
+/// assert_eq!(outcome.counts.shots(), 2000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PenaltyQaoaSolver {
+    config: QaoaConfig,
+}
+
+impl PenaltyQaoaSolver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: QaoaConfig) -> Self {
+        PenaltyQaoaSolver { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QaoaConfig {
+        &self.config
+    }
+}
+
+impl Solver for PenaltyQaoaSolver {
+    fn name(&self) -> &str {
+        "penalty-qaoa"
+    }
+
+    fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let n = problem.n_vars();
+        check_size(n)?;
+        let compile_start = Instant::now();
+        let poly = Arc::new(problem.penalty_poly(self.config.penalty));
+        let cost_values: Vec<f64> = (0..1u64 << n).map(|b| poly.eval_bits(b)).collect();
+        let layers = self.config.layers;
+        let compile = compile_start.elapsed();
+
+        let build = |params: &[f64]| -> Circuit {
+            let mut c = Circuit::new(n);
+            for q in 0..n {
+                c.h(q);
+            }
+            for l in 0..layers {
+                let gamma = params[2 * l];
+                let beta = params[2 * l + 1];
+                c.diag(poly.clone(), gamma);
+                for q in 0..n {
+                    c.rx(q, 2.0 * beta);
+                }
+            }
+            c
+        };
+
+        let result = variational_loop(
+            n,
+            build,
+            &cost_values,
+            &ramp_initial_params(layers),
+            &self.config,
+        );
+        let circuit = circuit_stats(
+            &result.final_circuit,
+            vec![],
+            self.config.transpiled_stats,
+        )?;
+        let mut timing = result.timing;
+        timing.compile = compile;
+        Ok(SolveOutcome {
+            counts: result.counts,
+            cost_history: result.cost_history,
+            iterations: result.iterations,
+            circuit,
+            timing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn small_problem() -> Problem {
+        // max x0 + 2 x1 + 3 x2  s.t. x0 + x1 + x2 = 2 → optimum {0,1,1} = 5
+        Problem::builder(3)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .linear(2, 3.0)
+            .equality([(0, 1), (1, 1), (2, 1)], 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn solves_and_reports_metrics() {
+        let solver = PenaltyQaoaSolver::new(QaoaConfig::fast_test());
+        let outcome = solver.solve(&small_problem()).unwrap();
+        let metrics = outcome.metrics(&small_problem()).unwrap();
+        // Soft constraints: some probability mass lands in constraints, but
+        // (characteristically for the penalty method) not all of it.
+        assert!(metrics.in_constraints_rate > 0.0);
+        assert!(metrics.in_constraints_rate <= 1.0);
+        assert!(outcome.iterations > 0);
+        assert!(!outcome.cost_history.is_empty());
+    }
+
+    #[test]
+    fn cost_history_improves() {
+        let solver = PenaltyQaoaSolver::new(QaoaConfig::fast_test());
+        let outcome = solver.solve(&small_problem()).unwrap();
+        let first = outcome.cost_history.first().unwrap();
+        let last = outcome.cost_history.last().unwrap();
+        assert!(last <= first, "optimizer made things worse");
+    }
+
+    #[test]
+    fn optimum_is_reachable_in_distribution() {
+        let p = small_problem();
+        let opt = solve_exact(&p).unwrap();
+        let solver = PenaltyQaoaSolver::new(QaoaConfig {
+            layers: 3,
+            max_iters: 120,
+            ..QaoaConfig::fast_test()
+        });
+        let outcome = solver.solve(&p).unwrap();
+        // The optimal bitstring should appear with non-trivial probability.
+        let p_opt: f64 = opt
+            .solutions
+            .iter()
+            .map(|&s| outcome.counts.probability(s))
+            .sum();
+        assert!(p_opt > 0.01, "p(optimal) = {p_opt}");
+    }
+
+    #[test]
+    fn transpiled_stats_present_when_requested() {
+        let solver = PenaltyQaoaSolver::new(QaoaConfig {
+            transpiled_stats: true,
+            ..QaoaConfig::fast_test()
+        });
+        let outcome = solver.solve(&small_problem()).unwrap();
+        assert!(outcome.circuit.transpiled_depth.is_some());
+        assert!(outcome.circuit.two_qubit_gates.unwrap() > 0);
+    }
+
+    #[test]
+    fn rejects_oversized_problems() {
+        let p = Problem::builder(30).linear(0, 1.0).build().unwrap();
+        let err = PenaltyQaoaSolver::default().solve(&p).unwrap_err();
+        assert!(matches!(err, SolverError::TooLarge { .. }));
+    }
+}

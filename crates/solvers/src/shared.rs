@@ -1,0 +1,291 @@
+//! Shared machinery for every variational solver: configuration, the
+//! optimize-then-sample loop, and transpiled-circuit statistics.
+
+use choco_model::{CircuitStats, SolverError, TimingBreakdown};
+use choco_optim::OptimizerKind;
+use choco_qsim::{transpile, Circuit, Counts, NoiseModel, StateVector, TranspileOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Maximum register size any solver will simulate.
+pub const MAX_SIM_QUBITS: usize = 26;
+
+/// Configuration shared by all QAOA-family solvers.
+#[derive(Clone, Debug)]
+pub struct QaoaConfig {
+    /// Number of repeated layers `L` (the paper uses 7 for the baselines
+    /// and 1 for Choco-Q in Table II).
+    pub layers: usize,
+    /// Measurement shots for the final sample.
+    pub shots: u64,
+    /// Classical optimizer iteration budget.
+    pub max_iters: usize,
+    /// Which classical optimizer to run.
+    pub optimizer: OptimizerKind,
+    /// Penalty weight λ for soft-constraint encodings.
+    pub penalty: f64,
+    /// Seed for measurement sampling.
+    pub seed: u64,
+    /// Also transpile the final circuit and record basic-gate statistics
+    /// (depth / gate counts). Cheap for these circuit sizes.
+    pub transpiled_stats: bool,
+    /// When set, the *final* sampling runs the transpiled circuit through
+    /// this stochastic noise model (parameters are still optimized
+    /// noiselessly — "tune on the simulator, deploy on the device"). Used
+    /// by the hardware experiments (Fig. 10/13b/14).
+    pub noise: Option<NoiseModel>,
+    /// Monte-Carlo error trajectories for noisy sampling.
+    pub noise_trajectories: u32,
+}
+
+impl Default for QaoaConfig {
+    fn default() -> Self {
+        QaoaConfig {
+            layers: 7,
+            shots: 10_000,
+            max_iters: 100,
+            optimizer: OptimizerKind::NelderMead,
+            penalty: 10.0,
+            seed: 42,
+            transpiled_stats: true,
+            noise: None,
+            noise_trajectories: 30,
+        }
+    }
+}
+
+impl QaoaConfig {
+    /// A cheap configuration for unit tests (fewer shots/iterations).
+    pub fn fast_test() -> Self {
+        QaoaConfig {
+            layers: 2,
+            shots: 2_000,
+            max_iters: 40,
+            transpiled_stats: false,
+            ..QaoaConfig::default()
+        }
+    }
+}
+
+/// Rejects instances that would not fit the simulator.
+pub fn check_size(required_qubits: usize) -> Result<(), SolverError> {
+    if required_qubits > MAX_SIM_QUBITS {
+        Err(SolverError::TooLarge {
+            required: required_qubits,
+            limit: MAX_SIM_QUBITS,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Result of [`variational_loop`].
+pub struct LoopResult {
+    /// Final measurement histogram (over the full register — callers mask
+    /// ancillas out themselves if needed).
+    pub counts: Counts,
+    /// Best-so-far cost per optimizer iteration.
+    pub cost_history: Vec<f64>,
+    /// Optimizer iterations executed.
+    pub iterations: usize,
+    /// The final circuit (at the best parameters).
+    pub final_circuit: Circuit,
+    /// Timing: `execute` covers state-vector runs, `classical` the
+    /// optimizer bookkeeping around them.
+    pub timing: TimingBreakdown,
+}
+
+/// The optimize-then-sample loop common to all solvers:
+/// minimize `E[cost]` over the circuit parameters, then sample the final
+/// circuit.
+///
+/// `build` maps a parameter vector to a circuit over `n_qubits` qubits;
+/// `cost_values` is the per-basis-state diagonal (minimization convention)
+/// whose expectation is optimized.
+pub fn variational_loop<F>(
+    n_qubits: usize,
+    build: F,
+    cost_values: &[f64],
+    x0: &[f64],
+    config: &QaoaConfig,
+) -> LoopResult
+where
+    F: Fn(&[f64]) -> Circuit,
+{
+    assert_eq!(cost_values.len(), 1 << n_qubits, "cost table size mismatch");
+    let loop_start = Instant::now();
+    let mut execute_time = std::time::Duration::ZERO;
+
+    let result = {
+        let objective = |params: &[f64]| -> f64 {
+            let circuit = build(params);
+            let t0 = Instant::now();
+            let state = StateVector::run(&circuit);
+            let value = state.expectation_diag_values(cost_values);
+            execute_time += t0.elapsed();
+            value
+        };
+        config.optimizer.minimize(config.max_iters, objective, x0)
+    };
+
+    let final_circuit = build(&result.best_params);
+    let t0 = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let counts = match &config.noise {
+        None => StateVector::run(&final_circuit).sample(config.shots, &mut rng),
+        Some(noise) => sample_transpiled_noisy(
+            &final_circuit,
+            noise,
+            config.shots,
+            config.noise_trajectories,
+            &mut rng,
+        )
+        .unwrap_or_else(|_| StateVector::run(&final_circuit).sample(config.shots, &mut rng)),
+    };
+    execute_time += t0.elapsed();
+
+    let total = loop_start.elapsed();
+    LoopResult {
+        counts,
+        cost_history: result.history,
+        iterations: result.iterations,
+        final_circuit,
+        timing: TimingBreakdown {
+            compile: std::time::Duration::ZERO,
+            execute: execute_time,
+            classical: total.saturating_sub(execute_time),
+        },
+    }
+}
+
+/// Samples a structured circuit under noise: widens it by the paper's two
+/// clean ancillas (needed by multi-controlled lowering), transpiles, runs
+/// Monte-Carlo noisy execution, and masks the ancilla bits out of the
+/// outcomes.
+///
+/// # Errors
+///
+/// Returns [`SolverError::Transpile`] if lowering fails.
+pub fn sample_transpiled_noisy<R: rand::Rng>(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: u64,
+    trajectories: u32,
+    rng: &mut R,
+) -> Result<Counts, SolverError> {
+    let n = circuit.n_qubits();
+    let mut wide = Circuit::new(n + 2);
+    for g in circuit.gates() {
+        wide.push(g.clone());
+    }
+    let lowered = transpile(&wide, &TranspileOptions::with_ancillas(vec![n, n + 1]))
+        .map_err(|e| SolverError::Transpile(e.to_string()))?;
+    let raw = noise.sample_noisy(&lowered, shots, trajectories, rng);
+    let mask = (1u64 << n) - 1;
+    Ok(raw.map_bits(|bits| bits & mask))
+}
+
+/// Fills in transpiled statistics for a final circuit when requested.
+pub fn circuit_stats(
+    circuit: &Circuit,
+    ancillas: Vec<usize>,
+    want_transpiled: bool,
+) -> Result<CircuitStats, SolverError> {
+    let mut stats = CircuitStats {
+        qubits: circuit.n_qubits(),
+        logical_depth: circuit.depth(),
+        transpiled_depth: None,
+        transpiled_gates: None,
+        two_qubit_gates: None,
+    };
+    if want_transpiled {
+        let lowered = transpile(circuit, &TranspileOptions::with_ancillas(ancillas))
+            .map_err(|e| SolverError::Transpile(e.to_string()))?;
+        stats.transpiled_depth = Some(lowered.depth());
+        stats.transpiled_gates = Some(lowered.len());
+        stats.two_qubit_gates = Some(lowered.multi_qubit_gate_count());
+    }
+    Ok(stats)
+}
+
+/// A standard linear-ramp initial parameter vector for QAOA:
+/// `γ_l` ramps up, `β_l` ramps down — layout `[γ_1, β_1, …, γ_L, β_L]`.
+pub fn ramp_initial_params(layers: usize) -> Vec<f64> {
+    let mut x0 = Vec::with_capacity(2 * layers);
+    for l in 0..layers {
+        let t = (l as f64 + 1.0) / layers as f64;
+        x0.push(0.4 * t); // γ
+        x0.push(0.4 * (1.0 - t) + 0.1); // β
+    }
+    x0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn check_size_boundaries() {
+        assert!(check_size(MAX_SIM_QUBITS).is_ok());
+        assert!(matches!(
+            check_size(MAX_SIM_QUBITS + 1),
+            Err(SolverError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn ramp_params_shape() {
+        let x0 = ramp_initial_params(3);
+        assert_eq!(x0.len(), 6);
+        assert!(x0[0] < x0[2] && x0[2] < x0[4], "γ ramps up");
+        assert!(x0[1] > x0[3] && x0[3] > x0[5], "β ramps down");
+    }
+
+    #[test]
+    fn variational_loop_optimizes_a_single_qubit() {
+        // cost = P(|1⟩); circuit = Rx(θ). Optimum: θ = 0 (stay at |0⟩)
+        // from a poor start.
+        let cost = vec![0.0, 1.0];
+        let config = QaoaConfig {
+            layers: 1,
+            shots: 2000,
+            max_iters: 60,
+            transpiled_stats: false,
+            ..QaoaConfig::default()
+        };
+        let result = variational_loop(
+            1,
+            |params| {
+                let mut c = Circuit::new(1);
+                c.rx(0, params[0]);
+                c
+            },
+            &cost,
+            &[2.0],
+            &config,
+        );
+        assert!(
+            *result.cost_history.last().unwrap() < 0.05,
+            "history: {:?}",
+            result.cost_history
+        );
+        assert!(result.counts.probability(0) > 0.9);
+        assert!(result.iterations > 0);
+    }
+
+    #[test]
+    fn circuit_stats_with_and_without_transpile() {
+        let mut poly = choco_qsim::PhasePoly::new(2);
+        poly.add_quadratic(0, 1, 1.0);
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).diag(Arc::new(poly), 0.3);
+        let basic = circuit_stats(&c, vec![], false).unwrap();
+        assert_eq!(basic.qubits, 2);
+        assert!(basic.transpiled_depth.is_none());
+        let full = circuit_stats(&c, vec![], true).unwrap();
+        assert!(full.transpiled_depth.unwrap() >= full.logical_depth);
+        assert!(full.two_qubit_gates.unwrap() > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! `choco-cli` — solve a constrained binary optimization problem from a
+//! text file with any of the four solvers.
+//!
+//! ```text
+//! USAGE: choco-cli <file | -> [--solver choco|penalty|cyclic|hea]
+//!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
+//!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
+//! ```
+//!
+//! The input format (see `choco_model::parse_problem`):
+//!
+//! ```text
+//! maximize x0 + 2 x1 + 3 x2 + x3
+//! s.t. x0 - x2 = 0
+//! s.t. x0 + x1 + x3 = 1
+//! ```
+
+use choco_q::prelude::*;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Args {
+    path: String,
+    solver: String,
+    layers: Option<usize>,
+    shots: Option<u64>,
+    iters: Option<usize>,
+    eliminate: usize,
+    noise: Option<Device>,
+    top: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        solver: "choco".into(),
+        layers: None,
+        shots: None,
+        iters: None,
+        eliminate: 0,
+        noise: None,
+        top: 5,
+        seed: 42,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--solver" => args.solver = value("--solver")?,
+            "--layers" => args.layers = Some(value("--layers")?.parse().map_err(|e| format!("--layers: {e}"))?),
+            "--shots" => args.shots = Some(value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?),
+            "--iters" => args.iters = Some(value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?),
+            "--eliminate" => args.eliminate = value("--eliminate")?.parse().map_err(|e| format!("--eliminate: {e}"))?,
+            "--top" => args.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--noise" => {
+                args.noise = Some(match value("--noise")?.as_str() {
+                    "fez" => Device::Fez,
+                    "osaka" => Device::Osaka,
+                    "sherbrooke" => Device::Sherbrooke,
+                    other => return Err(format!("unknown device `{other}`")),
+                })
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other if args.path.is_empty() => args.path = other.to_string(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err("no input file (use `-` for stdin)".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
+                 [--layers N] [--shots N] [--iters N] [--eliminate K] \
+                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let text = if args.path == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("error: cannot read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&args.path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", args.path);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let problem = match choco_q::model::parse_problem(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{problem}");
+
+    let noise = args.noise.map(|d| d.model().noise());
+    let outcome = match args.solver.as_str() {
+        "choco" => {
+            let mut cfg = ChocoQConfig::default();
+            if let Some(l) = args.layers {
+                cfg.layers = l;
+            }
+            if let Some(s) = args.shots {
+                cfg.shots = s;
+            }
+            if let Some(i) = args.iters {
+                cfg.max_iters = i;
+            }
+            cfg.eliminate = args.eliminate;
+            cfg.seed = args.seed;
+            cfg.noise = noise;
+            ChocoQSolver::new(cfg).solve(&problem)
+        }
+        name @ ("penalty" | "cyclic" | "hea") => {
+            let mut cfg = QaoaConfig::default();
+            if let Some(l) = args.layers {
+                cfg.layers = l;
+            }
+            if let Some(s) = args.shots {
+                cfg.shots = s;
+            }
+            if let Some(i) = args.iters {
+                cfg.max_iters = i;
+            }
+            cfg.seed = args.seed;
+            cfg.noise = noise;
+            match name {
+                "penalty" => PenaltyQaoaSolver::new(cfg).solve(&problem),
+                "cyclic" => CyclicQaoaSolver::new(cfg).solve(&problem),
+                _ => HeaSolver::new(cfg).solve(&problem),
+            }
+        }
+        other => {
+            eprintln!("error: unknown solver `{other}`");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("solver error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match outcome.metrics(&problem) {
+        Ok(m) => println!("{m}"),
+        Err(e) => println!("(no exact reference: {e})"),
+    }
+    println!(
+        "iterations: {}   circuit: {} qubits, logical depth {}{}",
+        outcome.iterations,
+        outcome.circuit.qubits,
+        outcome.circuit.logical_depth,
+        outcome
+            .circuit
+            .transpiled_depth
+            .map(|d| format!(", transpiled depth {d}"))
+            .unwrap_or_default()
+    );
+    println!("\ntop outcomes:");
+    for (bits, count) in outcome.counts.sorted().into_iter().take(args.top) {
+        println!(
+            "  {:0width$b}  p={:.4}  f={}  {}",
+            bits,
+            count as f64 / outcome.counts.shots() as f64,
+            problem.evaluate(bits),
+            if problem.is_feasible(bits) { "feasible" } else { "INFEASIBLE" },
+            width = problem.n_vars()
+        );
+    }
+    ExitCode::SUCCESS
+}

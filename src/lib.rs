@@ -1,0 +1,64 @@
+//! # choco-q
+//!
+//! Umbrella crate for the Rust reproduction of **Choco-Q: Commute
+//! Hamiltonian-based QAOA for Constrained Binary Optimization** (HPCA 2025).
+//!
+//! This crate re-exports the workspace's sub-crates under stable module
+//! names so downstream users need a single dependency:
+//!
+//! * [`mathkit`] — complex/integer linear algebra and PRNG foundations
+//! * [`qsim`] — state-vector simulator, circuit IR, transpiler, noise
+//! * [`model`] — constrained binary optimization model, metrics, solver API
+//! * [`problems`] — FLP / GCP / KPP benchmark generators
+//! * [`optim`] — derivative-free classical optimizers
+//! * [`solvers`] — baseline QAOA solvers (penalty, cyclic, HEA)
+//! * [`core`] — the Choco-Q algorithm itself
+//! * [`device`] — IBM device latency and noise models
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run; the short
+//! version:
+//!
+//! ```
+//! use choco_q::prelude::*;
+//!
+//! // maximize x0 + 2 x1 + 3 x2  s.t.  x0 + x1 + x2 = 2
+//! let problem = Problem::builder(3)
+//!     .maximize()
+//!     .linear(0, 1.0)
+//!     .linear(1, 2.0)
+//!     .linear(2, 3.0)
+//!     .equality([(0, 1), (1, 1), (2, 1)], 2)
+//!     .build()
+//!     .expect("valid problem");
+//!
+//! let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+//!     .solve(&problem)
+//!     .expect("solve");
+//! let metrics = outcome.metrics(&problem).expect("metrics");
+//! assert!((metrics.in_constraints_rate - 1.0).abs() < 1e-9);
+//! ```
+
+pub use choco_core as core;
+pub use choco_device as device;
+pub use choco_mathkit as mathkit;
+pub use choco_model as model;
+pub use choco_optim as optim;
+pub use choco_problems as problems;
+pub use choco_qsim as qsim;
+pub use choco_solvers as solvers;
+
+/// Convenient glob-import surface with the most common types.
+pub mod prelude {
+    pub use choco_core::{ChocoQConfig, ChocoQSolver, CommuteDriver};
+    pub use choco_device::{Device, LatencyModel};
+    pub use choco_mathkit::{LinEq, LinSystem};
+    pub use choco_model::{
+        solve_exact, Metrics, Problem, ProblemBuilder, Sense, SolveOutcome, Solver, SolverError,
+    };
+    pub use choco_optim::OptimizerKind;
+    pub use choco_problems::{flp, gcp, instance, kpp, BenchmarkSuite, ALL_CLASSES};
+    pub use choco_qsim::{Circuit, Counts, Gate, NoiseModel, StateVector};
+    pub use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
+}

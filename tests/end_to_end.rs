@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: the paper's headline claims, checked
+//! end-to-end through the public API.
+
+use choco_q::prelude::*;
+
+/// The paper's running example (Fig. 2a), 0-indexed.
+fn paper_problem() -> Problem {
+    Problem::builder(4)
+        .maximize()
+        .linear(0, 1.0)
+        .linear(1, 2.0)
+        .linear(2, 3.0)
+        .linear(3, 1.0)
+        .equality([(0, 1), (2, -1)], 0)
+        .equality([(0, 1), (1, 1), (3, 1)], 1)
+        .build()
+        .expect("valid problem")
+}
+
+#[test]
+fn choco_q_beats_baselines_on_the_paper_example() {
+    // Table I's shape: Choco-Q gets 100% in-constraints and a much higher
+    // success rate than every baseline.
+    let problem = paper_problem();
+    let optimum = solve_exact(&problem).expect("solvable");
+
+    let choco = ChocoQSolver::new(ChocoQConfig::default())
+        .solve(&problem)
+        .expect("choco solves");
+    let mc = choco.metrics_with(&problem, &optimum);
+    assert!((mc.in_constraints_rate - 1.0).abs() < 1e-12);
+    assert!(mc.success_rate > 0.5, "choco success = {}", mc.success_rate);
+
+    let penalty = PenaltyQaoaSolver::new(QaoaConfig::default())
+        .solve(&problem)
+        .expect("penalty solves");
+    let mp = penalty.metrics_with(&problem, &optimum);
+    assert!(
+        mc.success_rate > mp.success_rate,
+        "choco {} vs penalty {}",
+        mc.success_rate,
+        mp.success_rate
+    );
+    assert!(mp.in_constraints_rate < 1.0 - 1e-9, "penalty leaks mass");
+}
+
+#[test]
+fn all_small_suite_classes_keep_hard_constraints() {
+    // The 100%-in-constraints column of Table II on F1/G1/K1.
+    for case in BenchmarkSuite::small().iter() {
+        let optimum = solve_exact(&case.problem).expect(case.id);
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&case.problem)
+            .expect(case.id);
+        let m = outcome.metrics_with(&case.problem, &optimum);
+        assert!(
+            (m.in_constraints_rate - 1.0).abs() < 1e-12,
+            "{}: in-constraints = {}",
+            case.id,
+            m.in_constraints_rate
+        );
+        assert_eq!(outcome.counts.shots(), 2_000);
+    }
+}
+
+#[test]
+fn structured_and_transpiled_paths_agree() {
+    // Lemma 1 + Lemma 2 end-to-end: the structured simulation and the
+    // fully lowered (basic-gate, 2-ancilla) circuit produce the same
+    // distribution.
+    use choco_q::core::CommuteDriver;
+    use choco_q::qsim::{transpile, TranspileOptions};
+    use std::sync::Arc;
+
+    let problem = paper_problem();
+    let driver = CommuteDriver::build(problem.constraints()).expect("driver");
+    let initial = problem.first_feasible().expect("feasible");
+    let ordered = driver.ordered_terms(initial);
+    let poly = Arc::new(problem.cost_poly());
+    let params = ChocoQSolver::initial_params(1, ordered.len());
+    let circuit =
+        ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+
+    let exact = StateVector::run(&circuit);
+
+    let n = problem.n_vars();
+    let mut wide = Circuit::new(n + 2);
+    for g in circuit.gates() {
+        wide.push(g.clone());
+    }
+    let lowered = transpile(&wide, &TranspileOptions::with_ancillas(vec![n, n + 1]))
+        .expect("transpile");
+    let gate_level = StateVector::run(&lowered);
+
+    for bits in 0..(1u64 << n) {
+        let p_exact = exact.probability(bits);
+        // Ancillas end in |0⟩, so the wide state's amplitude sits at the
+        // same index.
+        let p_gate = gate_level.probability(bits);
+        assert!(
+            (p_exact - p_gate).abs() < 1e-9,
+            "P({bits:04b}): structured {p_exact} vs transpiled {p_gate}"
+        );
+    }
+}
+
+#[test]
+fn variable_elimination_outcomes_satisfy_original_constraints() {
+    // §IV-C's correctness claim, through the full solver.
+    let problem = paper_problem();
+    for eliminate in [1usize, 2] {
+        let outcome = ChocoQSolver::new(ChocoQConfig {
+            eliminate,
+            ..ChocoQConfig::fast_test()
+        })
+        .solve(&problem)
+        .expect("solve");
+        for (bits, _) in outcome.counts.iter() {
+            assert!(
+                problem.is_feasible(bits),
+                "eliminate={eliminate}: outcome {bits:04b} violates constraints"
+            );
+        }
+    }
+}
+
+#[test]
+fn cyclic_baseline_is_exact_only_on_summation_constraints() {
+    // §III's motivation: cyclic handles x0+x1+x2 = 1 exactly but cannot
+    // encode x0 − x2 = 0.
+    let summation = Problem::builder(3)
+        .maximize()
+        .linear(1, 1.0)
+        .equality([(0, 1), (1, 1), (2, 1)], 1)
+        .build()
+        .unwrap();
+    let outcome = CyclicQaoaSolver::new(QaoaConfig::fast_test())
+        .solve(&summation)
+        .expect("cyclic on summation");
+    let m = outcome.metrics(&summation).expect("metrics");
+    assert!((m.in_constraints_rate - 1.0).abs() < 1e-9);
+
+    let mixed = Problem::builder(2)
+        .equality([(0, 1), (1, -1)], 0)
+        .build()
+        .unwrap();
+    assert!(CyclicQaoaSolver::new(QaoaConfig::fast_test())
+        .solve(&mixed)
+        .is_err());
+}
+
+#[test]
+fn device_noise_degrades_but_preserves_ordering() {
+    // Fig. 10's shape: noisy success ≤ noiseless success, and the solver
+    // still returns full shot counts.
+    let problem = choco_q::problems::instance("K1", 1);
+    let optimum = solve_exact(&problem).expect("solvable");
+
+    let clean = ChocoQSolver::new(ChocoQConfig::fast_test())
+        .solve(&problem)
+        .expect("clean");
+    let mc = clean.metrics_with(&problem, &optimum);
+
+    let fez = Device::Fez.model();
+    let noisy = ChocoQSolver::new(ChocoQConfig {
+        noise: Some(fez.noise()),
+        noise_trajectories: 10,
+        ..ChocoQConfig::fast_test()
+    })
+    .solve(&problem)
+    .expect("noisy");
+    let mn = noisy.metrics_with(&problem, &optimum);
+
+    assert!(mn.in_constraints_rate < mc.in_constraints_rate + 1e-9);
+    assert!(mn.success_rate <= mc.success_rate + 0.05);
+    assert_eq!(noisy.counts.shots(), clean.counts.shots());
+}
+
+#[test]
+fn latency_model_favors_fewer_iterations() {
+    // Fig. 11's mechanism: with equal circuits, latency scales with the
+    // iteration count.
+    let problem = paper_problem();
+    let outcome = ChocoQSolver::new(ChocoQConfig::default())
+        .solve(&problem)
+        .expect("solve");
+    let fez = Device::Fez.model();
+    let est = LatencyModel::default().estimate_from_outcome(&fez, &outcome, 10_000);
+    assert!(est.total() > std::time::Duration::ZERO);
+    let mut fewer = outcome.clone();
+    fewer.iterations /= 2;
+    let est_fewer = LatencyModel::default().estimate_from_outcome(&fez, &fewer, 10_000);
+    assert!(est_fewer.quantum < est.quantum);
+}
+
+#[test]
+fn branch_and_bound_agrees_with_quantum_ground_truth() {
+    // The classical substrate agrees with itself across the stack.
+    use choco_q::model::BranchAndBound;
+    for id in ["F1", "K1", "G1"] {
+        let problem = choco_q::problems::instance(id, 1);
+        let optimum = solve_exact(&problem).expect(id);
+        let (bits, value) = BranchAndBound::new().solve(&problem).expect(id);
+        assert!((value - optimum.value).abs() < 1e-9, "{id}");
+        assert!(problem.is_feasible(bits), "{id}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) on the core invariants of the paper:
+//! commutation, serialization feasibility, decomposition equivalence, and
+//! the classical substrates.
+
+use choco_q::core::CommuteDriver;
+use choco_q::mathkit::{ternary_kernel_basis, LinEq, LinSystem};
+use choco_q::prelude::*;
+use choco_q::qsim::{transpile, PhasePoly, TranspileOptions, UBlock};
+use proptest::prelude::*;
+
+/// A random small constraint system with ±1 coefficients (the shape that
+/// FLP/GCP/KPP encodings produce).
+fn arb_system() -> impl Strategy<Value = LinSystem> {
+    (2usize..6, 1usize..3, any::<u64>()).prop_map(|(n_vars, n_eqs, seed)| {
+        let mut rng = choco_q::mathkit::SplitMix64::new(seed);
+        let mut sys = LinSystem::new(n_vars);
+        for _ in 0..n_eqs {
+            let mut terms = Vec::new();
+            for v in 0..n_vars {
+                match rng.gen_range(0, 3) {
+                    0 => terms.push((v, 1i64)),
+                    1 => terms.push((v, -1i64)),
+                    _ => {}
+                }
+            }
+            if terms.is_empty() {
+                terms.push((0, 1));
+            }
+            let lo: i64 = terms.iter().map(|&(_, c)| c.min(0)).sum();
+            let hi: i64 = terms.iter().map(|&(_, c)| c.max(0)).sum();
+            let rhs = lo + (rng.gen_range(0, (hi - lo + 1) as u64) as i64);
+            sys.push(LinEq::new(terms, rhs));
+        }
+        sys
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every enumerated kernel vector annihilates every constraint row.
+    #[test]
+    fn kernel_vectors_annihilate(sys in arb_system()) {
+        for u in sys.enumerate_ternary_kernel(500) {
+            for eq in sys.eqs() {
+                let dot: i64 = eq.terms.iter().map(|&(v, c)| c * u[v] as i64).sum();
+                prop_assert_eq!(dot, 0);
+            }
+        }
+    }
+
+    /// Kernel-basis vectors are independent and of the right count.
+    #[test]
+    fn kernel_basis_has_kernel_dimension(sys in arb_system()) {
+        if let Ok(basis) = ternary_kernel_basis(&sys) {
+            prop_assert_eq!(basis.vectors.len(), basis.kernel_dim);
+            prop_assert_eq!(basis.kernel_dim, sys.n_vars() - sys.rank());
+            let mut tracker = choco_q::mathkit::SpanTracker::new();
+            for u in &basis.vectors {
+                let ints: Vec<i64> = u.iter().map(|&x| x as i64).collect();
+                prop_assert!(tracker.insert_ints(&ints), "dependent basis vector");
+            }
+        }
+    }
+
+    /// The Heisenberg foundation (Eq. (4)): every driver term commutes with
+    /// every constraint operator.
+    #[test]
+    fn driver_commutes_with_constraints(sys in arb_system()) {
+        if sys.n_vars() > 5 { return Ok(()); }
+        if let Ok(driver) = CommuteDriver::build(&sys) {
+            for u in driver.terms() {
+                let hc = CommuteDriver::term_matrix(u);
+                for eq in sys.eqs() {
+                    let c_op = choco_q::core::constraint_operator_matrix(&eq.terms, sys.n_vars());
+                    prop_assert!(hc.commutator(&c_op).frobenius_norm() < 1e-10);
+                }
+            }
+        }
+    }
+
+    /// Lemma 1 through the simulator: a serialized driver pass maps
+    /// feasible basis states to states supported only on feasible points.
+    #[test]
+    fn serialized_pass_preserves_feasibility(sys in arb_system(), beta in 0.05f64..1.5) {
+        let Some(initial) = sys.first_binary_solution() else { return Ok(()); };
+        let Ok(driver) = CommuteDriver::build(&sys) else { return Ok(()); };
+        let mut circuit = Circuit::new(sys.n_vars());
+        circuit.load_bits(initial);
+        for u in driver.ordered_terms(initial) {
+            circuit.push(choco_q::qsim::Gate::UBlock(UBlock::from_u_with_angle(&u, beta)));
+        }
+        let state = StateVector::run(&circuit);
+        for bits in 0..(1u64 << sys.n_vars()) {
+            if state.probability(bits) > 1e-12 {
+                prop_assert!(
+                    sys.is_satisfied_bits(bits),
+                    "infeasible state {bits:b} has probability {}",
+                    state.probability(bits)
+                );
+            }
+        }
+    }
+
+    /// Lemma 2 through the transpiler: lowering a UBlock never changes the
+    /// state (up to 1e-9), for arbitrary u patterns and angles.
+    #[test]
+    fn lemma2_lowering_is_exact(
+        pattern in 0u64..8,
+        beta in -1.5f64..1.5,
+        input in 0u64..8,
+    ) {
+        let u: Vec<i8> = (0..3)
+            .map(|k| if (pattern >> k) & 1 == 1 { 1 } else { -1 })
+            .collect();
+        let mut c = Circuit::new(5);
+        c.push(choco_q::qsim::Gate::UBlock(UBlock::from_u_with_angle(&u, beta)));
+        let lowered = transpile(&c, &TranspileOptions::with_ancillas(vec![3, 4])).unwrap();
+        let mut a = StateVector::from_bits(5, input);
+        a.apply_circuit(&c);
+        let mut b = StateVector::from_bits(5, input);
+        b.apply_circuit(&lowered);
+        prop_assert!((a.fidelity(&b) - 1.0).abs() < 1e-9);
+    }
+
+    /// The penalty expansion agrees with direct evaluation on every
+    /// assignment (soft-constraint substrate).
+    #[test]
+    fn penalty_poly_is_exact(sys in arb_system(), lambda in 0.0f64..20.0) {
+        let mut builder = Problem::builder(sys.n_vars()).minimize();
+        for eq in sys.eqs() {
+            builder = builder.equality(eq.terms.iter().copied().collect::<Vec<_>>(), eq.rhs);
+        }
+        let problem = builder.build().unwrap();
+        let poly = problem.penalty_poly(lambda);
+        for bits in 0..(1u64 << sys.n_vars()) {
+            let direct = problem.cost(bits)
+                + lambda * sys.penalty_bits(bits) as f64;
+            prop_assert!((poly.eval_bits(bits) - direct).abs() < 1e-9);
+        }
+    }
+
+    /// Diagonal evolution is exactly a per-state phase: probabilities are
+    /// untouched for any polynomial and angle.
+    #[test]
+    fn diagonal_evolution_preserves_probabilities(
+        seed in any::<u64>(),
+        gamma in -2.0f64..2.0,
+    ) {
+        let mut rng = choco_q::mathkit::SplitMix64::new(seed);
+        let n = 4usize;
+        let mut poly = PhasePoly::new(n);
+        for i in 0..n {
+            poly.add_linear(i, rng.gen_range_f64(-2.0, 2.0));
+        }
+        poly.add_quadratic(0, 2, rng.gen_range_f64(-2.0, 2.0));
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.h(q);
+        }
+        prep.cx(0, 1).cx(2, 3);
+        let before = StateVector::run(&prep);
+        let mut after = before.clone();
+        after.apply_diag_poly(&poly, gamma);
+        for bits in 0..(1u64 << n) {
+            prop_assert!((before.probability(bits) - after.probability(bits)).abs() < 1e-12);
+        }
+    }
+
+    /// Exact classical solver and branch-and-bound always agree.
+    #[test]
+    fn classical_solvers_agree(sys in arb_system(), seed in any::<u64>()) {
+        let mut rng = choco_q::mathkit::SplitMix64::new(seed);
+        let mut builder = Problem::builder(sys.n_vars()).minimize();
+        for v in 0..sys.n_vars() {
+            builder = builder.linear(v, rng.gen_range_f64(-4.0, 4.0));
+        }
+        for eq in sys.eqs() {
+            builder = builder.equality(eq.terms.iter().copied().collect::<Vec<_>>(), eq.rhs);
+        }
+        let problem = builder.build().unwrap();
+        match (solve_exact(&problem), choco_q::model::BranchAndBound::new().solve(&problem)) {
+            (Ok(exact), Ok((bits, value))) => {
+                prop_assert!((value - exact.value).abs() < 1e-6);
+                prop_assert!(problem.is_feasible(bits));
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "solver disagreement: {a:?} vs {b:?}"),
+        }
+    }
+}

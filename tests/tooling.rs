@@ -1,0 +1,78 @@
+//! Integration tests for the user-facing tooling: the LP-style parser, the
+//! extension solvers (annealing, Grover adaptive search), and the circuit
+//! renderer.
+
+use choco_q::prelude::*;
+use choco_q::solvers::{AnnealingConfig, AnnealingSolver, GroverConfig, GroverSolver};
+
+const PAPER_TEXT: &str = "\
+# the paper's running example (Fig. 2a)
+maximize x0 + 2 x1 + 3 x2 + x3
+s.t. x0 - x2 = 0
+s.t. x0 + x1 + x3 = 1
+";
+
+#[test]
+fn parsed_problem_solves_like_the_built_one() {
+    let parsed = choco_q::model::parse_problem(PAPER_TEXT).expect("parse");
+    let optimum = solve_exact(&parsed).expect("exact");
+    assert_eq!(optimum.value, 4.0);
+
+    let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+        .solve(&parsed)
+        .expect("solve");
+    let m = outcome.metrics_with(&parsed, &optimum);
+    assert!((m.in_constraints_rate - 1.0).abs() < 1e-12);
+    assert!(m.success_rate > 0.3);
+}
+
+#[test]
+fn annealing_sits_between_penalty_and_choco() {
+    // The related-work shape (§VI-A): annealing beats nothing-special
+    // penalty QAOA on this instance but cannot make constraints hard.
+    let problem = choco_q::model::parse_problem(PAPER_TEXT).expect("parse");
+    let optimum = solve_exact(&problem).expect("exact");
+    let anneal = AnnealingSolver::new(AnnealingConfig::default())
+        .solve(&problem)
+        .expect("anneal");
+    let m = anneal.metrics_with(&problem, &optimum);
+    assert!(m.success_rate > 0.1, "annealing success = {}", m.success_rate);
+    assert!(
+        m.in_constraints_rate < 1.0,
+        "soft constraints cannot be exact"
+    );
+    assert_eq!(anneal.iterations, 0, "no classical loop");
+}
+
+#[test]
+fn grover_adaptive_search_finds_optimum_with_many_oracle_calls() {
+    let problem = choco_q::model::parse_problem(PAPER_TEXT).expect("parse");
+    let optimum = solve_exact(&problem).expect("exact");
+    let (outcome, stats) = GroverSolver::new(GroverConfig::default())
+        .solve_with_stats(&problem)
+        .expect("grover");
+    let m = outcome.metrics_with(&problem, &optimum);
+    assert!(m.success_rate > 0.2, "grover success = {}", m.success_rate);
+    assert!(stats.oracle_calls > 0);
+    // §VI-A: the selection circuit is undeployable — no transpiled stats.
+    assert!(outcome.circuit.transpiled_depth.is_none());
+}
+
+#[test]
+fn draw_renders_a_choco_circuit() {
+    use choco_q::core::CommuteDriver;
+    use std::sync::Arc;
+
+    let problem = choco_q::model::parse_problem(PAPER_TEXT).expect("parse");
+    let driver = CommuteDriver::build(problem.constraints()).expect("driver");
+    let initial = problem.first_feasible().expect("feasible");
+    let ordered = driver.ordered_terms(initial);
+    let poly = Arc::new(problem.cost_poly());
+    let params = ChocoQSolver::initial_params(1, ordered.len());
+    let circuit =
+        ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+    let art = choco_q::qsim::draw(&circuit, 40);
+    assert!(art.contains("q0:"));
+    assert!(art.contains('◆') || art.contains('◇'), "UBlock symbols:\n{art}");
+    assert_eq!(art.lines().count(), problem.n_vars());
+}
