@@ -1,8 +1,24 @@
 //! Criterion bench: state-vector engine throughput — the quantum-execution
 //! cost that dominates every solver's iteration loop (Fig. 11's `execute`
 //! share).
+//!
+//! Three engines are measured on the same layer circuit so the fast-path
+//! speedup is tracked against the retained scan-and-mask baseline:
+//!
+//! * `statevector_layer` — the production engine (strided subspace
+//!   kernels, shape-specialized 2×2 arithmetic, threading per
+//!   [`SimConfig`]),
+//! * `statevector_layer_scalar` — the [`choco_qsim::oracle`] baseline that
+//!   scans all `2^n` indices per gate,
+//! * `statevector_layer_workspace` — the engine as the solvers drive it:
+//!   a [`SimWorkspace`] reusing the amplitude buffer and cached diagonals
+//!   across iterations (the per-optimizer-iteration cost).
+//!
+//! `bench_json` (in `src/bin`) runs the same circuits headlessly and
+//! writes `BENCH_simulation.json` for machine-readable tracking.
 
-use choco_qsim::{Circuit, PhasePoly, StateVector, UBlock};
+use choco_qsim::oracle::ScalarStateVector;
+use choco_qsim::{Circuit, PhasePoly, SimConfig, SimWorkspace, StateVector, UBlock};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::Arc;
 
@@ -42,6 +58,34 @@ fn bench_statevector(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_statevector_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_layer_scalar");
+    group.sample_size(20);
+    for n in [10usize, 14, 18] {
+        let circuit = layer_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| ScalarStateVector::run(std::hint::black_box(circuit)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_statevector_workspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_layer_workspace");
+    group.sample_size(20);
+    for n in [10usize, 14, 18] {
+        let circuit = layer_circuit(n);
+        let mut ws = SimWorkspace::new(SimConfig::default());
+        ws.run(&circuit); // warmup: allocate the buffer, expand the diagonal
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| {
+                ws.run(std::hint::black_box(circuit));
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sampling(c: &mut Criterion) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -54,9 +98,23 @@ fn bench_sampling(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(7);
             b.iter(|| state.sample(10_000, &mut rng));
         });
+        // The workspace path amortizes the prefix-table build across calls.
+        let mut ws = SimWorkspace::new(SimConfig::default());
+        ws.run(&circuit);
+        let mut rng = StdRng::seed_from_u64(7);
+        ws.sample(1, &mut rng); // build the table once
+        group.bench_function(format!("cached/{n}"), |b| {
+            b.iter(|| ws.sample(10_000, &mut rng));
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_sampling);
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_statevector_scalar,
+    bench_statevector_workspace,
+    bench_sampling
+);
 criterion_main!(benches);

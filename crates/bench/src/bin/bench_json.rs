@@ -1,0 +1,245 @@
+//! Headless simulation microbenchmarks with machine-readable output.
+//!
+//! Runs the state-vector kernels at n ∈ {10, 14, 18, 20} on three engines
+//! (scan-and-mask scalar baseline, strided fast path, workspace-backed
+//! solver path) plus per-kernel micro-measurements, and writes
+//! `BENCH_simulation.json` so the perf trajectory stays comparable across
+//! PRs.
+//!
+//! ```text
+//! cargo run --release -p choco-bench --bin bench_json [-- --out PATH] [--quick]
+//! ```
+//!
+//! `--quick` (or `CHOCO_QUICK=1`) caps the register at n = 14.
+
+use choco_bench::quick_mode;
+use choco_qsim::oracle::ScalarStateVector;
+use choco_qsim::{Circuit, PhasePoly, SimConfig, SimWorkspace, StateVector, UBlock};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured case.
+struct Entry {
+    group: &'static str,
+    n: usize,
+    ns_per_op: f64,
+}
+
+/// Median ns/op over `samples` timed samples, each sized to ~`budget_ms`.
+fn measure<F: FnMut()>(mut op: F, samples: usize, budget_ms: f64) -> f64 {
+    // Calibrate.
+    let t0 = Instant::now();
+    op();
+    let per_iter = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_ms / 1e3 / samples as f64) / per_iter).clamp(1.0, 1e7) as u64;
+    let mut timings: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        timings.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    timings[timings.len() / 2]
+}
+
+fn layer_circuit(n: usize) -> Circuit {
+    let mut poly = PhasePoly::new(n);
+    for i in 0..n {
+        poly.add_linear(i, 0.3 * i as f64);
+        if i + 1 < n {
+            poly.add_quadratic(i, i + 1, -0.2);
+        }
+    }
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.diag(Arc::new(poly), 0.4);
+    for k in 0..n / 2 {
+        let mut u = vec![0i8; n];
+        u[k] = 1;
+        u[(k + 1) % n] = -1;
+        u[(k + 2) % n] = 1;
+        c.ublock(UBlock::from_u_with_angle(&u, 0.5));
+    }
+    c
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_simulation.json");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        out_path = args
+            .get(i + 1)
+            .unwrap_or_else(|| panic!("--out needs a path"))
+            .clone();
+    }
+    let sizes: &[usize] = if quick_mode() {
+        &[10, 14]
+    } else {
+        &[10, 14, 18, 20]
+    };
+    let samples = 7;
+    let budget_ms = 700.0;
+    let config = SimConfig::default();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for &n in sizes {
+        eprintln!("measuring n = {n} …");
+        let layer = layer_circuit(n);
+
+        entries.push(Entry {
+            group: "statevector_layer_scalar",
+            n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(ScalarStateVector::run(&layer));
+                },
+                samples,
+                budget_ms,
+            ),
+        });
+        entries.push(Entry {
+            group: "statevector_layer",
+            n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(StateVector::run_with(&layer, config));
+                },
+                samples,
+                budget_ms,
+            ),
+        });
+        let mut ws = SimWorkspace::new(config);
+        ws.run(&layer);
+        entries.push(Entry {
+            group: "statevector_layer_workspace",
+            n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(ws.run(&layer));
+                },
+                samples,
+                budget_ms,
+            ),
+        });
+
+        // Per-kernel micro benches: a gate and its inverse applied to a
+        // persistent superposition state (no per-op clone), halved to give
+        // per-gate cost.
+        let mut fast_state = StateVector::run_with(&layer, config);
+        let mut scalar_state = ScalarStateVector::run(&layer);
+        let block = {
+            let mut u = vec![0i8; n];
+            u[0] = 1;
+            u[n / 2] = -1;
+            u[n - 1] = 1;
+            u
+        };
+        let fwd = UBlock::from_u_with_angle(&block, 0.5);
+        let rev = UBlock::from_u_with_angle(&block, -0.5);
+        entries.push(Entry {
+            group: "ublock_scalar",
+            n,
+            ns_per_op: measure(
+                || {
+                    scalar_state.apply_ublock(&fwd);
+                    scalar_state.apply_ublock(&rev);
+                },
+                samples,
+                budget_ms / 2.0,
+            ) / 2.0,
+        });
+        entries.push(Entry {
+            group: "ublock",
+            n,
+            ns_per_op: measure(
+                || {
+                    fast_state.apply_ublock(&fwd);
+                    fast_state.apply_ublock(&rev);
+                },
+                samples,
+                budget_ms / 2.0,
+            ) / 2.0,
+        });
+        let mcp = |angle: f64| choco_qsim::Gate::McPhase {
+            qubits: vec![0, n / 2, n - 1],
+            angle,
+        };
+        entries.push(Entry {
+            group: "mcphase",
+            n,
+            ns_per_op: measure(
+                || {
+                    fast_state.apply_gate(&mcp(0.3));
+                    fast_state.apply_gate(&mcp(-0.3));
+                },
+                samples,
+                budget_ms / 2.0,
+            ) / 2.0,
+        });
+        entries.push(Entry {
+            group: "hadamard",
+            n,
+            ns_per_op: measure(
+                || {
+                    fast_state.apply_gate(&choco_qsim::Gate::H(n / 2));
+                    fast_state.apply_gate(&choco_qsim::Gate::H(n / 2));
+                },
+                samples,
+                budget_ms / 2.0,
+            ) / 2.0,
+        });
+    }
+
+    // Assemble JSON by hand (no serde in the workspace).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"simulation\",\n");
+    let _ = writeln!(
+        json,
+        "  \"sim_threads\": {},\n  \"host_parallelism\": {},",
+        config.threads,
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    );
+    json.push_str("  \"unit\": \"ns_per_op\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"group\": \"{}\", \"n\": {}, \"ns_per_op\": {:.1}}}",
+            e.group, e.n, e.ns_per_op
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"speedup_vs_scalar\": {\n");
+    let mut lines = Vec::new();
+    for &n in sizes {
+        let find = |g: &str| {
+            entries
+                .iter()
+                .find(|e| e.group == g && e.n == n)
+                .map(|e| e.ns_per_op)
+        };
+        if let (Some(scalar), Some(fast), Some(ws)) = (
+            find("statevector_layer_scalar"),
+            find("statevector_layer"),
+            find("statevector_layer_workspace"),
+        ) {
+            lines.push(format!(
+                "    \"statevector_layer/{n}\": {{\"fast\": {:.2}, \"workspace\": {:.2}}}",
+                scalar / fast,
+                scalar / ws
+            ));
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

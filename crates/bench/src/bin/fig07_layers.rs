@@ -62,13 +62,7 @@ fn main() {
                 format!("{:.2}", 100.0 * sums[k] / counts[k] as f64)
             }
         };
-        table.row(&[
-            layers.to_string(),
-            avg(0),
-            avg(1),
-            avg(2),
-            avg(3),
-        ]);
+        table.row(&[layers.to_string(), avg(0), avg(1), avg(2), avg(3)]);
     }
     println!(
         "\nExpected shape: Choco-Q far above every baseline at every layer\n\

@@ -29,7 +29,13 @@ fn main() {
     println!("Figure 8 reproduction — success rate vs #constraints\n");
     let table = Table::new(
         &[
-            "#cons", "vars", "penalty%", "cyclic%", "hea%", "choco%", "choco depth",
+            "#cons",
+            "vars",
+            "penalty%",
+            "cyclic%",
+            "hea%",
+            "choco%",
+            "choco depth",
         ],
         &[6, 5, 9, 9, 9, 9, 12],
     );

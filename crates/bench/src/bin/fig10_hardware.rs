@@ -15,7 +15,11 @@ use choco_problems::instance;
 use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
 
 fn main() {
-    let classes: &[&str] = if quick_mode() { &["F1"] } else { &["F1", "G1", "K1"] };
+    let classes: &[&str] = if quick_mode() {
+        &["F1"]
+    } else {
+        &["F1", "G1", "K1"]
+    };
     println!("Figure 10 reproduction — noisy-device success / in-constraints rates\n");
 
     let table = Table::new(

@@ -12,12 +12,24 @@ use choco_device::{Device, LatencyModel};
 use choco_problems::instance;
 
 fn main() {
-    let classes: &[&str] = if quick_mode() { &["F1"] } else { &["F1", "G1", "K1"] };
+    let classes: &[&str] = if quick_mode() {
+        &["F1"]
+    } else {
+        &["F1", "G1", "K1"]
+    };
     println!("Figure 11(a) reproduction — end-to-end latency per device\n");
 
     let latency_model = LatencyModel::default();
     let table = Table::new(
-        &["device", "case", "design", "total", "compile", "quantum", "classical"],
+        &[
+            "device",
+            "case",
+            "design",
+            "total",
+            "compile",
+            "quantum",
+            "classical",
+        ],
         &[15, 5, 8, 9, 9, 9, 9],
     );
     let mut speedups: Vec<f64> = Vec::new();

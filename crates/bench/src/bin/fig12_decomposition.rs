@@ -38,7 +38,14 @@ fn main() {
     );
     for n in 2..=trotter_max {
         let driver = ring_driver(n);
-        let report = trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 128, timeout });
+        let report = trotter_decompose(
+            &driver,
+            0.7,
+            &TrotterConfig {
+                slices: 128,
+                timeout,
+            },
+        );
         table.row(&[
             n.to_string(),
             "trotter".into(),
@@ -65,8 +72,14 @@ fn main() {
     for n in 2..=lemma2_max {
         let driver = ring_driver(n);
         let trotter_depth = if n <= trotter_max {
-            let report =
-                trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 128, timeout });
+            let report = trotter_decompose(
+                &driver,
+                0.7,
+                &TrotterConfig {
+                    slices: 128,
+                    timeout,
+                },
+            );
             if report.timed_out {
                 "timeout".to_string()
             } else {

@@ -20,10 +20,20 @@ fn main() {
         &["F2", "G2", "K2"]
     };
     let fez = Device::Fez.model();
-    println!("Figure 13 reproduction — variable elimination sweep (noise: {})\n", fez.name);
+    println!(
+        "Figure 13 reproduction — variable elimination sweep (noise: {})\n",
+        fez.name
+    );
 
     let table = Table::new(
-        &["case", "#elim", "branches", "Δ nonzeros", "depth", "success%(noisy)"],
+        &[
+            "case",
+            "#elim",
+            "branches",
+            "Δ nonzeros",
+            "depth",
+            "success%(noisy)",
+        ],
         &[5, 6, 9, 11, 7, 16],
     );
     for id in classes {

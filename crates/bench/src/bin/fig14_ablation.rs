@@ -42,7 +42,10 @@ fn generic_block_depth(problem: &Problem) -> u128 {
 fn main() {
     let classes: &[&str] = if quick_mode() { &["F1"] } else { &["F1", "K1"] };
     let fez = Device::Fez.model();
-    println!("Figure 14 reproduction — ablation under the {} noise model\n", fez.name);
+    println!(
+        "Figure 14 reproduction — ablation under the {} noise model\n",
+        fez.name
+    );
 
     let table = Table::new(
         &["case", "config", "depth", "success%(noisy)"],

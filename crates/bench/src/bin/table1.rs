@@ -19,14 +19,24 @@ use choco_problems::gcp_random;
 fn main() {
     // 15 qubits: 3 vertices, 2 edges, 3 colors → (3+2)·3 = 15 variables.
     let problem = gcp_random(3, 2, 3, 1).expect("generate");
-    println!("Table I reproduction — {} ({} qubits, {} constraints)\n",
-        problem.name(), problem.n_vars(), problem.constraints().len());
+    println!(
+        "Table I reproduction — {} ({} qubits, {} constraints)\n",
+        problem.name(),
+        problem.n_vars(),
+        problem.constraints().len()
+    );
 
     let optimum = expect_optimum(&problem);
     let runs = run_all_solvers(&problem, &optimum);
 
     let table = Table::new(
-        &["design", "universality", "in-cons.%", "success%", "latency(Fez)"],
+        &[
+            "design",
+            "universality",
+            "in-cons.%",
+            "success%",
+            "latency(Fez)",
+        ],
         &[10, 24, 10, 10, 12],
     );
     let fez = Device::Fez.model();

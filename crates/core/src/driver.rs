@@ -470,8 +470,7 @@ mod extended_tests {
         let driver = CommuteDriver::build_extended(&sys, 6, 48).unwrap();
         let initial = sys.first_binary_solution().unwrap();
         let ordered = driver.ordered_terms(initial);
-        let mut reach: std::collections::HashSet<u64> =
-            std::collections::HashSet::from([initial]);
+        let mut reach: std::collections::HashSet<u64> = std::collections::HashSet::from([initial]);
         for u in &ordered {
             let (mut full, mut v) = (0u64, 0u64);
             for (i, &ui) in u.iter().enumerate() {
@@ -493,7 +492,10 @@ mod extended_tests {
             reach.extend(adds);
         }
         for x in sys.enumerate_binary_solutions(100) {
-            assert!(reach.contains(&x), "feasible {x:04b} unreachable in one pass");
+            assert!(
+                reach.contains(&x),
+                "feasible {x:04b} unreachable in one pass"
+            );
         }
     }
 }

@@ -247,7 +247,9 @@ mod tests {
     fn elimination_reduces_driver_nonzeros() {
         // Paper: non-zeros drop from 5 (3+2) to 3 after dropping x1.
         let p = paper_problem();
-        let before = CommuteDriver::build(p.constraints()).unwrap().total_nonzeros();
+        let before = CommuteDriver::build(p.constraints())
+            .unwrap()
+            .total_nonzeros();
         let plan = plan_elimination(&p, 1).unwrap();
         let after = CommuteDriver::build(plan.branches[0].problem.constraints())
             .unwrap()

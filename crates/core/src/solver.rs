@@ -18,7 +18,7 @@ use crate::driver::CommuteDriver;
 use crate::elimination::{plan_elimination, EliminationPlan};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
 use choco_optim::OptimizerKind;
-use choco_qsim::{Circuit, Counts, PhasePoly};
+use choco_qsim::{Circuit, Counts, PhasePoly, SimConfig, SimWorkspace};
 use choco_solvers::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
 use std::sync::Arc;
 use std::time::Instant;
@@ -59,6 +59,9 @@ pub struct ChocoQConfig {
     pub delta_max_support: usize,
     /// Hard cap on the number of driver terms.
     pub delta_cap: usize,
+    /// State-vector engine configuration (worker threads, parallel
+    /// threshold); plumbed into the solver's [`SimWorkspace`].
+    pub sim: SimConfig,
 }
 
 impl Default for ChocoQConfig {
@@ -76,6 +79,7 @@ impl Default for ChocoQConfig {
             noise_trajectories: 30,
             delta_max_support: 6,
             delta_cap: 48,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -174,9 +178,7 @@ impl ChocoQSolver {
         let mut x0 = Vec::with_capacity(Self::n_params(layers, n_terms));
         for l in 0..layers {
             x0.push(0.1 + 0.2 * (l as f64 + 1.0) / layers as f64); // γ
-            for _ in 0..n_terms {
-                x0.push(0.5); // β
-            }
+            x0.extend(std::iter::repeat_n(0.5, n_terms)); // β
         }
         x0
     }
@@ -222,6 +224,22 @@ impl Solver for ChocoQSolver {
     }
 
     fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let mut workspace = SimWorkspace::new(self.config.sim);
+        self.solve_with_workspace(problem, &mut workspace)
+    }
+}
+
+impl ChocoQSolver {
+    /// [`Solver::solve`] with a caller-owned [`SimWorkspace`]: the
+    /// amplitude buffer, cached diagonals, and sampling table live in
+    /// `workspace` and are reused across optimizer iterations, multistart
+    /// restarts, and elimination branches (and across repeated solves when
+    /// the caller keeps the workspace around).
+    pub fn solve_with_workspace(
+        &self,
+        problem: &Problem,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SolveOutcome, SolverError> {
         check_size(problem.n_vars())?;
         let compile_start = Instant::now();
 
@@ -268,8 +286,7 @@ impl Solver for ChocoQSolver {
             drivers.push(basis);
             let cost_poly = Arc::new(b.problem.cost_poly());
             let n = b.problem.n_vars();
-            let cost_values: Vec<f64> =
-                (0..1u64 << n).map(|bits| cost_poly.eval_bits(bits)).collect();
+            let cost_values = cost_poly.values_table(1 << n);
             branches.push(Branch {
                 assignment: b.assignment,
                 n_vars: n,
@@ -331,6 +348,10 @@ impl Solver for ChocoQSolver {
                     transpiled_stats: false,
                     noise: self.config.noise,
                     noise_trajectories: self.config.noise_trajectories,
+                    // Follow the caller-owned workspace, not self.config:
+                    // every other kernel of this solve runs under the
+                    // workspace's engine config.
+                    sim: *workspace.config(),
                 };
                 let build = |params: &[f64]| {
                     Self::build_circuit(
@@ -348,6 +369,7 @@ impl Solver for ChocoQSolver {
                     &branch.cost_values,
                     &x0,
                     &loop_config,
+                    &mut *workspace,
                 );
                 timing.execute += result.timing.execute;
                 timing.classical += result.timing.classical;
@@ -518,7 +540,9 @@ mod tests {
             .equality([(1, 1)], 0)
             .build()
             .unwrap();
-        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test()).solve(&p).unwrap();
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&p)
+            .unwrap();
         assert!((outcome.counts.probability(0b01) - 1.0).abs() < 1e-12);
         let m = outcome.metrics(&p).unwrap();
         assert_eq!(m.success_rate, 1.0);
@@ -542,6 +566,34 @@ mod tests {
         .unwrap();
         assert!(two.success_rate > one.success_rate * 0.5);
         assert!((two.in_constraints_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_performs_zero_amplitude_allocations_after_warmup() {
+        // The acceptance criterion of the fast-path rework: one amplitude
+        // buffer serves every optimizer iteration, every multistart
+        // restart, and the final sampling pass. The workspace counts
+        // buffer (re)allocations; exactly one warmup allocation is
+        // allowed per register width.
+        let problem = paper_problem();
+        let solver = ChocoQSolver::new(ChocoQConfig::fast_test());
+        let mut workspace = SimWorkspace::new(SimConfig::serial());
+        solver
+            .solve_with_workspace(&problem, &mut workspace)
+            .unwrap();
+        assert_eq!(
+            workspace.reallocations(),
+            1,
+            "iterations/restarts must reuse the warmup buffer"
+        );
+        // A second solve of the same width is fully allocation-free.
+        solver
+            .solve_with_workspace(&problem, &mut workspace)
+            .unwrap();
+        assert_eq!(workspace.reallocations(), 1, "second solve reuses warmup");
+        // The shared cost polynomial was expanded into a diagonal once per
+        // Δ policy, not once per iteration.
+        assert!(workspace.cached_diagonals() <= 2);
     }
 
     #[test]

@@ -228,8 +228,22 @@ mod tests {
     #[test]
     fn slices_multiply_gate_estimate() {
         let driver = small_driver();
-        let r1 = trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 1, ..TrotterConfig::default() });
-        let r4 = trotter_decompose(&driver, 0.7, &TrotterConfig { slices: 4, ..TrotterConfig::default() });
+        let r1 = trotter_decompose(
+            &driver,
+            0.7,
+            &TrotterConfig {
+                slices: 1,
+                ..TrotterConfig::default()
+            },
+        );
+        let r4 = trotter_decompose(
+            &driver,
+            0.7,
+            &TrotterConfig {
+                slices: 4,
+                ..TrotterConfig::default()
+            },
+        );
         assert_eq!(r4.basic_gates, 4 * r1.basic_gates);
     }
 }

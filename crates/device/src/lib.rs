@@ -309,11 +309,8 @@ mod tests {
             },
             timing: TimingBreakdown::default(),
         };
-        let est = LatencyModel::default().estimate_from_outcome(
-            &Device::Fez.model(),
-            &outcome,
-            10_000,
-        );
+        let est =
+            LatencyModel::default().estimate_from_outcome(&Device::Fez.model(), &outcome, 10_000);
         assert!(est.quantum > Duration::ZERO);
         // Sherbrooke's slower 2q gates make it slower end-to-end.
         let est_sb = LatencyModel::default().estimate_from_outcome(

@@ -254,6 +254,7 @@ impl Mul<Complex64> for f64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w = z · w⁻¹
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

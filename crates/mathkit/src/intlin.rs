@@ -252,7 +252,16 @@ impl LinSystem {
         }
         let mut residual: Vec<i64> = self.eqs.iter().map(|eq| eq.rhs).collect();
         let mut bits = 0u64;
-        self.dfs_binary_rec(0, &coeff, &suf_min, &suf_max, &mut residual, &mut bits, cap, out);
+        self.dfs_binary_rec(
+            0,
+            &coeff,
+            &suf_min,
+            &suf_max,
+            &mut residual,
+            &mut bits,
+            cap,
+            out,
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -317,7 +326,14 @@ impl LinSystem {
         let mut residual = vec![0i64; m];
         let mut u = vec![0i8; n];
         self.dfs_ternary_rec(
-            0, false, &coeff, &suf_abs, &mut residual, &mut u, cap, &mut out,
+            0,
+            false,
+            &coeff,
+            &suf_abs,
+            &mut residual,
+            &mut u,
+            cap,
+            &mut out,
         );
         out
     }

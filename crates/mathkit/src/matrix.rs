@@ -153,13 +153,13 @@ impl CMatrix {
     pub fn matvec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch in matvec");
         let mut out = vec![Complex64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = Complex64::ZERO;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc += *a * *b;
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }
@@ -292,7 +292,11 @@ impl IndexMut<(usize, usize)> for CMatrix {
 impl Add for &CMatrix {
     type Output = CMatrix;
     fn add(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -309,7 +313,11 @@ impl Add for &CMatrix {
 impl Sub for &CMatrix {
     type Output = CMatrix;
     fn sub(self, rhs: &CMatrix) -> CMatrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         CMatrix {
             rows: self.rows,
             cols: self.cols,
@@ -388,7 +396,9 @@ mod tests {
 
     #[test]
     fn sigma_plus_minus_are_adjoints() {
-        assert!(CMatrix::sigma_plus().dagger().approx_eq(&CMatrix::sigma_minus(), 1e-12));
+        assert!(CMatrix::sigma_plus()
+            .dagger()
+            .approx_eq(&CMatrix::sigma_minus(), 1e-12));
     }
 
     #[test]

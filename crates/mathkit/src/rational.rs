@@ -232,13 +232,16 @@ pub fn row_echelon(matrix: &[Vec<i64>]) -> RowEchelon {
         rows.swap(pivot_row, src);
         // Normalize the pivot to 1.
         let inv = rows[pivot_row][col].recip();
-        for c in col..n_cols {
-            rows[pivot_row][c] = rows[pivot_row][c] * inv;
+        for cell in rows[pivot_row][col..n_cols].iter_mut() {
+            *cell = *cell * inv;
         }
         // Eliminate the column everywhere else (fully reduced form).
         for r in 0..rows.len() {
             if r != pivot_row && !rows[r][col].is_zero() {
                 let factor = rows[r][col];
+                // Two distinct rows of the same Vec are read and written,
+                // so an iterator cannot replace the index here.
+                #[allow(clippy::needless_range_loop)]
                 for c in col..n_cols {
                     let delta = factor * rows[pivot_row][c];
                     rows[r][c] = rows[r][c] - delta;

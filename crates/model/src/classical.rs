@@ -206,8 +206,8 @@ impl BranchAndBound {
                 }
                 return;
             }
-            for e in 0..ctx.m {
-                if residual[e] < ctx.suf_min[i][e] || residual[e] > ctx.suf_max[i][e] {
+            for (e, &res) in residual.iter().enumerate().take(ctx.m) {
+                if res < ctx.suf_min[i][e] || res > ctx.suf_max[i][e] {
                     ctx.stats.feasibility_prunes += 1;
                     return;
                 }
@@ -226,8 +226,8 @@ impl BranchAndBound {
                             delta += w;
                         }
                     }
-                    for e in 0..ctx.m {
-                        residual[e] -= ctx.coeff[e][i];
+                    for (e, res) in residual.iter_mut().enumerate().take(ctx.m) {
+                        *res -= ctx.coeff[e][i];
                     }
                 }
                 dfs(
@@ -238,8 +238,8 @@ impl BranchAndBound {
                     residual,
                 );
                 if val == 1 {
-                    for e in 0..ctx.m {
-                        residual[e] += ctx.coeff[e][i];
+                    for (e, res) in residual.iter_mut().enumerate().take(ctx.m) {
+                        *res += ctx.coeff[e][i];
                     }
                 }
             }
@@ -354,10 +354,7 @@ mod tests {
 
     #[test]
     fn bnb_infeasible() {
-        let p = Problem::builder(2)
-            .equality([(0, 1)], 3)
-            .build()
-            .unwrap();
+        let p = Problem::builder(2).equality([(0, 1)], 3).build().unwrap();
         assert_eq!(
             BranchAndBound::new().solve(&p).unwrap_err(),
             ClassicalError::Infeasible
@@ -403,10 +400,7 @@ mod tests {
                 }
             }
             let k = rng.gen_range(1, n as u64 - 1) as i64;
-            let p = b
-                .equality((0..n).map(|i| (i, 1i64)), k)
-                .build()
-                .unwrap();
+            let p = b.equality((0..n).map(|i| (i, 1i64)), k).build().unwrap();
             let exact = solve_exact(&p).unwrap();
             let (bits, value) = BranchAndBound::new().solve(&p).unwrap();
             assert!(

@@ -50,10 +50,8 @@ impl Metrics {
         } else {
             1.0
         };
-        let arg = (expected_penalized / denom
-            * if optimum.value < 0.0 { -1.0 } else { 1.0 }
-            - 1.0)
-            .abs();
+        let arg =
+            (expected_penalized / denom * if optimum.value < 0.0 { -1.0 } else { 1.0 } - 1.0).abs();
 
         let mut best_found: Option<(u64, f64)> = None;
         for (bits, _) in counts.iter() {

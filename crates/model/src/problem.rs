@@ -208,8 +208,7 @@ impl Problem {
     /// The per-basis-state cost table (minimization convention), used by the
     /// simulator for fast repeated diagonal evolution.
     pub fn cost_table(&self) -> Vec<f64> {
-        let poly = self.cost_poly();
-        (0..1u64 << self.n_vars).map(|b| poly.eval_bits(b)).collect()
+        self.cost_poly().values_table(1 << self.n_vars)
     }
 }
 
@@ -218,7 +217,11 @@ impl fmt::Display for Problem {
         writeln!(
             f,
             "{} [{} vars, {} constraints, {:?}]",
-            if self.name.is_empty() { "problem" } else { &self.name },
+            if self.name.is_empty() {
+                "problem"
+            } else {
+                &self.name
+            },
             self.n_vars,
             self.constraints.len(),
             self.sense
@@ -366,8 +369,7 @@ mod tests {
     #[test]
     fn feasible_enumeration_matches_brute_force() {
         let p = paper_problem();
-        let dfs: std::collections::BTreeSet<u64> =
-            p.feasible_solutions(100).into_iter().collect();
+        let dfs: std::collections::BTreeSet<u64> = p.feasible_solutions(100).into_iter().collect();
         let brute: std::collections::BTreeSet<u64> =
             (0..16u64).filter(|&b| p.is_feasible(b)).collect();
         assert_eq!(dfs, brute);
@@ -414,15 +416,15 @@ mod tests {
     #[test]
     fn builder_rejects_out_of_range() {
         let err = Problem::builder(2).linear(5, 1.0).build().unwrap_err();
-        assert_eq!(
-            err,
-            ProblemError::VariableOutOfRange { var: 5, n_vars: 2 }
-        );
+        assert_eq!(err, ProblemError::VariableOutOfRange { var: 5, n_vars: 2 });
         let err = Problem::builder(2)
             .equality([(3, 1)], 0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, ProblemError::VariableOutOfRange { var: 3, .. }));
+        assert!(matches!(
+            err,
+            ProblemError::VariableOutOfRange { var: 3, .. }
+        ));
     }
 
     #[test]

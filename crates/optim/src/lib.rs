@@ -135,10 +135,7 @@ impl NelderMead {
             v[i] += self.initial_step;
             simplex.push(v);
         }
-        let mut values: Vec<f64> = simplex
-            .iter()
-            .map(|x| eval(x, &mut evaluations))
-            .collect();
+        let mut values: Vec<f64> = simplex.iter().map(|x| eval(x, &mut evaluations)).collect();
 
         let mut history = Vec::with_capacity(self.max_iters);
         let mut iterations = 0usize;
@@ -179,7 +176,10 @@ impl NelderMead {
                 }
             }
             let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
-                a.iter().zip(b.iter()).map(|(x, y)| x + t * (y - x)).collect()
+                a.iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| x + t * (y - x))
+                    .collect()
             };
 
             // Reflection.
@@ -379,7 +379,11 @@ mod tests {
             ..NelderMead::default()
         };
         let r = nm.minimize(sphere, &[0.0, 0.0]);
-        assert!(r.iterations < 100, "should stop early, took {}", r.iterations);
+        assert!(
+            r.iterations < 100,
+            "should stop early, took {}",
+            r.iterations
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn flp(n_facilities: usize, n_demands: usize, seed: u64) -> Result<Problem, 
         n_facilities,
         n_demands,
     };
-    let mut rng = SplitMix64::new(seed ^ 0xF1_AC_1117);
+    let mut rng = SplitMix64::new(seed ^ 0xF1AC_1117);
     let mut b = Problem::builder(layout.n_vars())
         .minimize()
         .name(format!("FLP {n_facilities}F-{n_demands}D seed={seed}"));

@@ -233,7 +233,7 @@ mod tests {
             let set: std::collections::BTreeSet<_> = edges.iter().collect();
             assert_eq!(set.len(), 8);
             // connected: BFS
-            let mut seen = vec![false; 6];
+            let mut seen = [false; 6];
             let mut queue = vec![0usize];
             seen[0] = true;
             while let Some(u) = queue.pop() {

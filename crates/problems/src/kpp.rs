@@ -114,10 +114,7 @@ pub fn kpp(
     if balanced {
         let per_block = (n_vertices / n_blocks) as i64;
         for blk in 0..n_blocks {
-            b = b.equality(
-                (0..n_vertices).map(|v| (layout.x(v, blk), 1i64)),
-                per_block,
-            );
+            b = b.equality((0..n_vertices).map(|v| (layout.x(v, blk), 1i64)), per_block);
         }
     }
     b.build()
@@ -159,9 +156,13 @@ mod tests {
         let p = kpp(4, &k1_edges(), 2, true, 1).unwrap();
         assert_eq!(p.n_vars(), 8);
         assert_eq!(p.constraints().len(), 6); // 4 vertex + 2 balance
-        // All constraints are in summation format (the property the paper
-        // credits for cyclic's relatively good KPP numbers).
-        assert!(p.constraints().eqs().iter().all(|eq| eq.is_summation_format()));
+                                              // All constraints are in summation format (the property the paper
+                                              // credits for cyclic's relatively good KPP numbers).
+        assert!(p
+            .constraints()
+            .eqs()
+            .iter()
+            .all(|eq| eq.is_summation_format()));
     }
 
     #[test]

@@ -199,7 +199,13 @@ mod tests {
         let suite = BenchmarkSuite::standard();
         for domain in ["F", "G", "K"] {
             let sizes: Vec<usize> = (1..=4)
-                .map(|k| suite.case(&format!("{domain}{k}")).unwrap().problem.n_vars())
+                .map(|k| {
+                    suite
+                        .case(&format!("{domain}{k}"))
+                        .unwrap()
+                        .problem
+                        .n_vars()
+                })
                 .collect();
             for w in sizes.windows(2) {
                 assert!(w[1] >= w[0], "{domain}: {sizes:?}");

@@ -23,8 +23,7 @@ fn symbols(gate: &Gate) -> Vec<(usize, String)> {
             vec![(*c1, "●".into()), (*c2, "●".into()), (*t, "X".into())]
         }
         Gate::Mcx { controls, target } => {
-            let mut v: Vec<(usize, String)> =
-                controls.iter().map(|&q| (q, "●".into())).collect();
+            let mut v: Vec<(usize, String)> = controls.iter().map(|&q| (q, "●".into())).collect();
             v.push((*target, "X".into()));
             v
         }
@@ -32,8 +31,7 @@ fn symbols(gate: &Gate) -> Vec<(usize, String)> {
         Gate::ControlledU {
             controls, target, ..
         } => {
-            let mut v: Vec<(usize, String)> =
-                controls.iter().map(|&q| (q, "●".into())).collect();
+            let mut v: Vec<(usize, String)> = controls.iter().map(|&q| (q, "●".into())).collect();
             v.push((*target, "U".into()));
             v
         }

@@ -223,7 +223,10 @@ impl Gate {
 
     /// `true` for the structured (non-gate-level) operations.
     pub fn is_structured(&self) -> bool {
-        matches!(self, Gate::UBlock(_) | Gate::XyMix(..) | Gate::DiagPhase(..))
+        matches!(
+            self,
+            Gate::UBlock(_) | Gate::XyMix(..) | Gate::DiagPhase(..)
+        )
     }
 
     /// The inverse gate.
@@ -339,7 +342,10 @@ impl Gate {
             ],
             Gate::Tdg(_) => [
                 [Complex64::ONE, Complex64::ZERO],
-                [Complex64::ZERO, Complex64::cis(-std::f64::consts::FRAC_PI_4)],
+                [
+                    Complex64::ZERO,
+                    Complex64::cis(-std::f64::consts::FRAC_PI_4),
+                ],
             ],
             Gate::Rx(_, t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());

@@ -1,0 +1,353 @@
+//! Low-level amplitude-update kernels: strided subspace enumeration and
+//! multi-threaded execution.
+//!
+//! Every structured gate of the IR touches only a *subspace* of the `2^n`
+//! basis states — the indices whose bits under a `fixed_mask` equal a
+//! `fixed_value`. The kernels here enumerate exactly those `2^(n-k)`
+//! indices (instead of scanning all `2^n` and filtering, as the retained
+//! [`crate::oracle`] reference does) using a carry-propagation increment
+//! that steps between matching indices in O(1):
+//!
+//! ```text
+//! next = ((current | fixed_ext) + 1) & !fixed_ext
+//! ```
+//!
+//! where `fixed_ext` extends the fixed mask with all bits above the state
+//! dimension so the carry wraps cleanly. Chunk starts for worker threads
+//! are seeded with a bit-scatter ([`expand_index`]).
+//!
+//! Threading uses `std::thread::scope` — no external dependencies — and
+//! kicks in only above a configurable subspace-size threshold so small
+//! states stay serial. Safety for the raw-pointer fan-out rests on a
+//! disjointness argument documented on [`pair_map`] / [`subspace_map`].
+
+use crate::simconfig::SimConfig;
+use choco_mathkit::Complex64;
+
+/// Scatters the low bits of `m` into the zero-bit positions of
+/// `fixed_mask`: the `m`-th index (in increasing order) whose fixed bits
+/// are all zero.
+#[inline]
+pub(crate) fn expand_index(m: u64, fixed_mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut remaining = m;
+    let mut pos = 0u32;
+    while remaining != 0 {
+        if (fixed_mask >> pos) & 1 == 0 {
+            out |= (remaining & 1) << pos;
+            remaining >>= 1;
+        }
+        pos += 1;
+        debug_assert!(pos < 64, "expand_index ran out of free bits");
+    }
+    out
+}
+
+/// Serial enumeration of `count` subspace indices starting from the free
+/// pattern `start_free`, calling `f(index)` with the fixed value OR-ed in.
+#[inline]
+fn for_each_index<F: FnMut(usize)>(
+    start_free: u64,
+    count: usize,
+    fixed_ext: u64,
+    fixed_value: u64,
+    mut f: F,
+) {
+    let mut free = start_free;
+    for _ in 0..count {
+        f((free | fixed_value) as usize);
+        free = (free | fixed_ext).wrapping_add(1) & !fixed_ext;
+    }
+}
+
+/// Raw amplitude-buffer handle shared across scoped worker threads.
+///
+/// # Safety
+///
+/// Each worker must touch a set of indices disjoint from every other
+/// worker's. The kernels below guarantee that by partitioning the free-bit
+/// pattern range: distinct free patterns map to distinct indices
+/// (the fixed bits are identical across the subspace), and the pair
+/// kernels additionally require the partner index to leave the subspace
+/// (see [`pair_map`]).
+struct AmpPtr(*mut Complex64);
+
+unsafe impl Send for AmpPtr {}
+unsafe impl Sync for AmpPtr {}
+
+impl AmpPtr {
+    /// Accessor that keeps closures capturing the `Sync` wrapper rather
+    /// than the raw pointer field (edition-2021 disjoint capture).
+    fn get(&self) -> *mut Complex64 {
+        self.0
+    }
+}
+
+/// Splits `count` work items across the configured workers and runs
+/// `work(range)` on each, serially when below the parallel threshold.
+fn dispatch<W>(config: &SimConfig, count: usize, work: W)
+where
+    W: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = config.effective_threads(count);
+    if threads <= 1 {
+        work(0..count);
+        return;
+    }
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = (lo + chunk).min(count);
+            if lo >= hi {
+                break;
+            }
+            let work = &work;
+            scope.spawn(move || work(lo..hi));
+        }
+    });
+}
+
+fn check_subspace(dim: usize, fixed_mask: u64, fixed_value: u64) -> (usize, u64) {
+    // Hard asserts, not debug: the callers write through raw pointers, so
+    // an out-of-register mask in a release build would be silent UB
+    // instead of a panic. Cost is once per gate, not per index.
+    assert!(dim.is_power_of_two(), "dimension must be a power of two");
+    let index_mask = (dim - 1) as u64;
+    assert_eq!(
+        fixed_mask & !index_mask,
+        0,
+        "fixed mask outside the register"
+    );
+    assert_eq!(fixed_value & !fixed_mask, 0, "value outside fixed mask");
+    let count = dim >> fixed_mask.count_ones();
+    // Extend the fixed mask with every bit above the register so the
+    // carry-increment wraps to zero at the end of the subspace.
+    let fixed_ext = fixed_mask | !index_mask;
+    (count, fixed_ext)
+}
+
+/// Applies `op` to the amplitude of every index matching
+/// `index & fixed_mask == fixed_value`.
+///
+/// Disjointness (threading safety): every enumerated index has the same
+/// fixed bits, so distinct free patterns give distinct indices, and the
+/// free-pattern range is partitioned across workers.
+pub(crate) fn subspace_map<Op>(
+    amps: &mut [Complex64],
+    config: &SimConfig,
+    fixed_mask: u64,
+    fixed_value: u64,
+    op: Op,
+) where
+    Op: Fn(Complex64) -> Complex64 + Sync,
+{
+    let (count, fixed_ext) = check_subspace(amps.len(), fixed_mask, fixed_value);
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, count, |range| {
+        let base = ptr.get();
+        let start_free = expand_index(range.start as u64, fixed_ext);
+        for_each_index(start_free, range.len(), fixed_ext, fixed_value, |i| {
+            // SAFETY: `i < dim` by construction and each worker's index set
+            // is disjoint (see `AmpPtr`).
+            unsafe {
+                let a = base.add(i);
+                *a = op(*a);
+            }
+        });
+    });
+}
+
+/// Applies `op` to every amplitude pair `(i, j)` where
+/// `i & fixed_mask == fixed_value` and `j = i ^ partner_xor`.
+///
+/// Disjointness (threading safety): `partner_xor` must be a non-empty
+/// subset of `fixed_mask`, so `j`'s fixed bits differ from `fixed_value` —
+/// no `j` ever collides with another pair's `i`, and distinct free
+/// patterns keep distinct `(i, j)` pairs.
+pub(crate) fn pair_map<Op>(
+    amps: &mut [Complex64],
+    config: &SimConfig,
+    fixed_mask: u64,
+    fixed_value: u64,
+    partner_xor: u64,
+    op: Op,
+) where
+    Op: Fn(Complex64, Complex64) -> (Complex64, Complex64) + Sync,
+{
+    assert_ne!(partner_xor, 0, "pair kernel needs a partner");
+    assert_eq!(
+        partner_xor & !fixed_mask,
+        0,
+        "partner bits must be fixed bits"
+    );
+    let (count, fixed_ext) = check_subspace(amps.len(), fixed_mask, fixed_value);
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, count, |range| {
+        let base = ptr.get();
+        let start_free = expand_index(range.start as u64, fixed_ext);
+        for_each_index(start_free, range.len(), fixed_ext, fixed_value, |i| {
+            let j = i ^ partner_xor as usize;
+            // SAFETY: `i`, `j` < dim; pairs are disjoint across the whole
+            // traversal (see the disjointness note above).
+            unsafe {
+                let pa = base.add(i);
+                let pb = base.add(j);
+                let (a, b) = op(*pa, *pb);
+                *pa = a;
+                *pb = b;
+            }
+        });
+    });
+}
+
+/// Applies `op(amp, value)` element-wise over the full array, in parallel
+/// chunks (safe `split_at_mut` slicing — no raw pointers needed).
+pub(crate) fn zip_map_values<Op>(amps: &mut [Complex64], config: &SimConfig, values: &[f64], op: Op)
+where
+    Op: Fn(&mut Complex64, f64) + Sync,
+{
+    debug_assert_eq!(amps.len(), values.len());
+    let threads = config.effective_threads(amps.len());
+    if threads <= 1 {
+        for (a, &v) in amps.iter_mut().zip(values.iter()) {
+            op(a, v);
+        }
+        return;
+    }
+    let chunk = amps.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (achunk, vchunk) in amps.chunks_mut(chunk).zip(values.chunks(chunk)) {
+            let op = &op;
+            scope.spawn(move || {
+                for (a, &v) in achunk.iter_mut().zip(vchunk.iter()) {
+                    op(a, v);
+                }
+            });
+        }
+    });
+}
+
+/// Accumulates the per-basis diagonal of a phase polynomial into `values`
+/// by strided term-wise addition: `O(2^n · (1 + terms/2))` simple adds
+/// instead of `O(2^n · terms)` branchy per-index evaluation.
+pub(crate) fn accumulate_poly_diag(values: &mut [f64], poly: &crate::phasepoly::PhasePoly) {
+    let dim = values.len();
+    debug_assert!(dim.is_power_of_two());
+    let index_mask = (dim - 1) as u64;
+    values.fill(poly.constant());
+    let mut add_on_subspace = |fixed_mask: u64, w: f64| {
+        let (count, fixed_ext) = check_subspace(dim, fixed_mask, fixed_mask);
+        for_each_index(0, count, fixed_ext, fixed_mask, |i| values[i] += w);
+    };
+    for (i, &w) in poly.linear().iter().enumerate() {
+        let bit = 1u64 << i;
+        if w != 0.0 && bit & index_mask != 0 {
+            add_on_subspace(bit, w);
+        }
+    }
+    for &(i, j, w) in poly.quadratic() {
+        let bits = (1u64 << i) | (1u64 << j);
+        if w != 0.0 && bits & !index_mask == 0 {
+            add_on_subspace(bits, w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phasepoly::PhasePoly;
+    use choco_mathkit::c64;
+
+    fn test_config(threads: usize) -> SimConfig {
+        SimConfig {
+            threads,
+            parallel_threshold: 1, // force threading even on tiny states
+        }
+    }
+
+    #[test]
+    fn expand_index_scatters_into_free_positions() {
+        // fixed bits {1, 3}: free positions are 0, 2, 4, 5, …
+        assert_eq!(expand_index(0b000, 0b1010), 0b00000);
+        assert_eq!(expand_index(0b001, 0b1010), 0b00001);
+        assert_eq!(expand_index(0b010, 0b1010), 0b00100);
+        assert_eq!(expand_index(0b011, 0b1010), 0b00101);
+        assert_eq!(expand_index(0b100, 0b1010), 0b10000);
+    }
+
+    #[test]
+    fn subspace_enumeration_matches_scan_and_mask() {
+        let dim = 1usize << 6;
+        let fixed_mask = 0b10010u64;
+        let fixed_value = 0b10000u64;
+        let (count, fixed_ext) = check_subspace(dim, fixed_mask, fixed_value);
+        let mut seen = Vec::new();
+        for_each_index(0, count, fixed_ext, fixed_value, |i| seen.push(i));
+        let expected: Vec<usize> = (0..dim)
+            .filter(|&i| i as u64 & fixed_mask == fixed_value)
+            .collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn subspace_map_multiplies_only_matching_indices() {
+        for threads in [1, 2, 4] {
+            let mut amps = vec![Complex64::ONE; 32];
+            subspace_map(&mut amps, &test_config(threads), 0b11, 0b01, |a| {
+                a.scale(2.0)
+            });
+            for (i, a) in amps.iter().enumerate() {
+                let expect = if i & 0b11 == 0b01 { 2.0 } else { 1.0 };
+                assert_eq!(a.re, expect, "threads={threads} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_map_swaps_partner_amplitudes() {
+        for threads in [1, 3] {
+            let mut amps: Vec<Complex64> = (0..16).map(|i| c64(i as f64, 0.0)).collect();
+            // Swap |x0⟩ ↔ |x1⟩ on bit 0 (an X gate on qubit 0).
+            pair_map(&mut amps, &test_config(threads), 0b1, 0b0, 0b1, |a, b| {
+                (b, a)
+            });
+            for i in (0..16).step_by(2) {
+                assert_eq!(amps[i].re, (i + 1) as f64);
+                assert_eq!(amps[i + 1].re, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_poly_diag_matches_eval_bits() {
+        let mut poly = PhasePoly::new(5);
+        poly.add_constant(0.5);
+        poly.add_linear(0, 1.0);
+        poly.add_linear(3, -2.0);
+        poly.add_quadratic(1, 4, 0.25);
+        let mut values = vec![0.0; 32];
+        accumulate_poly_diag(&mut values, &poly);
+        for (bits, &v) in values.iter().enumerate() {
+            assert!(
+                (v - poly.eval_bits(bits as u64)).abs() < 1e-12,
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn zip_map_values_covers_every_element() {
+        for threads in [1, 4] {
+            let values: Vec<f64> = (0..24).map(|i| i as f64).collect();
+            let mut amps = vec![Complex64::ZERO; 24];
+            zip_map_values(&mut amps, &test_config(threads), &values, |a, v| {
+                *a += c64(v, 0.0)
+            });
+            for (i, a) in amps.iter().enumerate() {
+                assert_eq!(a.re, i as f64, "threads={threads}");
+            }
+        }
+    }
+}

@@ -40,11 +40,15 @@ mod circuit;
 mod counts;
 mod draw;
 mod gate;
+mod kernels;
 mod noise;
+pub mod oracle;
 mod phasepoly;
+mod simconfig;
 mod state;
 mod synth;
 mod transpile;
+mod workspace;
 
 pub use circuit::Circuit;
 pub use counts::Counts;
@@ -52,8 +56,10 @@ pub use draw::draw;
 pub use gate::{Gate, UBlock};
 pub use noise::NoiseModel;
 pub use phasepoly::PhasePoly;
+pub use simconfig::{SimConfig, DEFAULT_PARALLEL_THRESHOLD};
 pub use state::StateVector;
 pub use synth::{
     circuit_unitary, two_level_decompose, SynthCost, TwoLevelDecomposition, TwoLevelOp,
 };
 pub use transpile::{transpile, zyz_decompose, TranspileError, TranspileOptions, TwoQubitBasis};
+pub use workspace::SimWorkspace;

@@ -9,6 +9,7 @@
 use crate::circuit::Circuit;
 use crate::counts::Counts;
 use crate::gate::Gate;
+use crate::simconfig::SimConfig;
 use crate::state::StateVector;
 use rand::Rng;
 
@@ -79,21 +80,45 @@ impl NoiseModel {
         trajectories: u32,
         rng: &mut R,
     ) -> Counts {
+        self.sample_noisy_with(SimConfig::default(), circuit, shots, trajectories, rng)
+    }
+
+    /// [`NoiseModel::sample_noisy`] under an explicit engine configuration
+    /// (thread count / threshold) — the trajectory loop is the most
+    /// expensive simulation path, so callers with a configured
+    /// [`SimConfig`] must not silently fall back to the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trajectories == 0`.
+    pub fn sample_noisy_with<R: Rng>(
+        &self,
+        config: SimConfig,
+        circuit: &Circuit,
+        shots: u64,
+        trajectories: u32,
+        rng: &mut R,
+    ) -> Counts {
         assert!(trajectories > 0, "at least one trajectory required");
         if self.is_ideal() {
-            let state = StateVector::run(circuit);
+            let state = StateVector::run_with(circuit, config);
             return state.sample(shots, rng);
         }
         let mut counts = Counts::new();
         let base = shots / trajectories as u64;
         let remainder = shots % trajectories as u64;
+        // One amplitude buffer and one cumulative table serve every
+        // trajectory — no per-trajectory allocation.
+        let mut state = StateVector::new_with(circuit.n_qubits(), config);
+        let mut cumulative = Vec::new();
         for t in 0..trajectories {
             let traj_shots = base + if (t as u64) < remainder { 1 } else { 0 };
             if traj_shots == 0 {
                 continue;
             }
-            let state = self.run_trajectory(circuit, rng);
-            let clean = state.sample(traj_shots, rng);
+            self.run_trajectory_into(circuit, &mut state, rng);
+            state.fill_cumulative(&mut cumulative);
+            let clean = state.sample_with_cumulative(&cumulative, traj_shots, rng);
             if self.readout == 0.0 {
                 counts.merge(&clean);
             } else {
@@ -111,6 +136,24 @@ impl NoiseModel {
     /// Pauli errors on the involved qubits.
     pub fn run_trajectory<R: Rng>(&self, circuit: &Circuit, rng: &mut R) -> StateVector {
         let mut state = StateVector::new(circuit.n_qubits());
+        self.run_trajectory_into(circuit, &mut state, rng);
+        state
+    }
+
+    /// [`NoiseModel::run_trajectory`] into a caller-owned state: resets
+    /// `state` to `|0…0⟩` in place and evolves it, so trajectory loops
+    /// reuse one amplitude buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is narrower than the circuit.
+    pub fn run_trajectory_into<R: Rng>(
+        &self,
+        circuit: &Circuit,
+        state: &mut StateVector,
+        rng: &mut R,
+    ) {
+        state.reset_zero();
         for gate in circuit.iter() {
             state.apply_gate(gate);
             let qubits = gate.qubits();
@@ -128,7 +171,6 @@ impl NoiseModel {
                 }
             }
         }
-        state
     }
 
     fn flip_readout<R: Rng>(&self, bits: u64, n_qubits: usize, rng: &mut R) -> u64 {

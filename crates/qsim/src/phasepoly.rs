@@ -124,6 +124,19 @@ impl PhasePoly {
         }
     }
 
+    /// Materializes the per-basis diagonal `[f(0), f(1), …, f(dim-1)]` by
+    /// strided term-wise accumulation — `O(dim·(1 + terms/2))` simple adds
+    /// instead of `dim` branchy [`PhasePoly::eval_bits`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is not a power of two.
+    pub fn values_table(&self, dim: usize) -> Vec<f64> {
+        let mut values = vec![0.0f64; dim];
+        crate::kernels::accumulate_poly_diag(&mut values, self);
+        values
+    }
+
     /// Evaluates `f` on a packed bit assignment (`x_i = (bits >> i) & 1`).
     pub fn eval_bits(&self, bits: u64) -> f64 {
         let mut acc = self.constant;
@@ -180,7 +193,13 @@ impl fmt::Display for PhasePoly {
         write!(f, "{:.4}", self.constant)?;
         for (i, &w) in self.linear.iter().enumerate() {
             if w != 0.0 {
-                write!(f, " {} {:.4}·x{}", if w < 0.0 { "-" } else { "+" }, w.abs(), i)?;
+                write!(
+                    f,
+                    " {} {:.4}·x{}",
+                    if w < 0.0 { "-" } else { "+" },
+                    w.abs(),
+                    i
+                )?;
             }
         }
         for &(i, j, w) in &self.quadratic {
@@ -257,6 +276,19 @@ mod tests {
         f.add_quadratic(2, 4, -1.0);
         assert_eq!(f.support(), vec![1, 2, 4]);
         assert_eq!(f.term_count(), 2);
+    }
+
+    #[test]
+    fn values_table_matches_eval_bits() {
+        let mut f = PhasePoly::new(4);
+        f.add_constant(0.25);
+        f.add_linear(1, 2.0);
+        f.add_linear(3, -1.0);
+        f.add_quadratic(0, 2, 4.0);
+        let table = f.values_table(16);
+        for (bits, &v) in table.iter().enumerate() {
+            assert_eq!(v, f.eval_bits(bits as u64), "bits={bits}");
+        }
     }
 
     #[test]

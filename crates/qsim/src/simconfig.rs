@@ -1,0 +1,127 @@
+//! Execution configuration for the state-vector engine.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// How the state-vector kernels execute: worker-thread count and the
+/// subspace size below which updates stay serial (thread spawn overhead
+/// dwarfs the work on small states).
+///
+/// The default thread count comes from `CHOCO_SIM_THREADS` when set,
+/// otherwise from [`std::thread::available_parallelism`].
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::SimConfig;
+///
+/// let serial = SimConfig::serial();
+/// assert_eq!(serial.threads, 1);
+/// let four = SimConfig::with_threads(4);
+/// assert_eq!(four.threads, 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Maximum worker threads for amplitude updates (1 = serial).
+    pub threads: usize,
+    /// Minimum number of work items (subspace indices or pairs) before the
+    /// update fans out to threads.
+    pub parallel_threshold: usize,
+}
+
+/// Default threshold: below 2^15 items a scoped-thread fan-out costs more
+/// than it saves on typical hardware.
+pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 15;
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(value) = std::env::var("CHOCO_SIM_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            threads: default_threads(),
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Strictly serial execution.
+    pub fn serial() -> Self {
+        SimConfig {
+            threads: 1,
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// A configuration with an explicit thread count (0 means "default").
+    pub fn with_threads(threads: usize) -> Self {
+        SimConfig {
+            threads: if threads == 0 {
+                default_threads()
+            } else {
+                threads
+            },
+            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// The worker count to use for `work_items` units of work: 1 below the
+    /// threshold, otherwise capped so every worker gets at least a
+    /// threshold's worth of items.
+    pub fn effective_threads(&self, work_items: usize) -> usize {
+        if self.threads <= 1 || work_items < self.parallel_threshold.max(2) {
+            return 1;
+        }
+        let max_useful = work_items / self.parallel_threshold.max(1);
+        self.threads.min(max_useful.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_never_fans_out() {
+        let c = SimConfig::serial();
+        assert_eq!(c.effective_threads(1 << 20), 1);
+    }
+
+    #[test]
+    fn small_work_stays_serial() {
+        let c = SimConfig {
+            threads: 8,
+            parallel_threshold: 1 << 10,
+        };
+        assert_eq!(c.effective_threads(512), 1);
+        assert!(c.effective_threads(1 << 20) > 1);
+    }
+
+    #[test]
+    fn workers_capped_by_work_per_thread() {
+        let c = SimConfig {
+            threads: 16,
+            parallel_threshold: 1 << 10,
+        };
+        // 2^12 items / 2^10 threshold → at most 4 useful workers.
+        assert_eq!(c.effective_threads(1 << 12), 4);
+    }
+
+    #[test]
+    fn with_threads_zero_falls_back_to_default() {
+        assert!(SimConfig::with_threads(0).threads >= 1);
+        assert_eq!(SimConfig::with_threads(3).threads, 3);
+    }
+}

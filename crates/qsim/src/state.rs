@@ -1,4 +1,4 @@
-//! Full state-vector simulation.
+//! Full state-vector simulation — the fast path.
 //!
 //! [`StateVector`] holds `2^n` complex amplitudes and applies every gate of
 //! the IR *exactly* — including the structured operations: diagonal
@@ -8,11 +8,21 @@
 //! decomposition cost (the decomposed path is exercised separately by the
 //! transpiler + noise experiments, and equivalence of the two paths is
 //! checked by tests).
+//!
+//! Every kernel enumerates exactly the `2^(n-k)` basis indices its gate
+//! touches (strided subspace enumeration — see [`crate::kernels`]) instead
+//! of scanning all `2^n` and filtering by mask, applies shape-specialized
+//! arithmetic (diagonal / anti-diagonal / real / general 2×2), and fans
+//! out across worker threads per [`SimConfig`] once the work is large
+//! enough. The original scan-and-mask kernels are retained in
+//! [`crate::oracle`] as the test oracle and bench baseline.
 
 use crate::circuit::Circuit;
 use crate::counts::Counts;
 use crate::gate::{Gate, UBlock};
+use crate::kernels;
 use crate::phasepoly::PhasePoly;
+use crate::simconfig::SimConfig;
 use choco_mathkit::Complex64;
 use rand::Rng;
 
@@ -35,15 +45,30 @@ use rand::Rng;
 pub struct StateVector {
     n_qubits: usize,
     amps: Vec<Complex64>,
+    config: SimConfig,
+    /// Reusable scratch for materializing phase-polynomial diagonals, so
+    /// repeated [`StateVector::apply_diag_poly`] calls (e.g. per noise
+    /// trajectory) allocate once, not per gate.
+    diag_scratch: Vec<f64>,
 }
 
 impl StateVector {
-    /// The all-zeros state `|0…0⟩`.
+    /// The all-zeros state `|0…0⟩` with the default [`SimConfig`].
     pub fn new(n_qubits: usize) -> Self {
+        Self::new_with(n_qubits, SimConfig::default())
+    }
+
+    /// The all-zeros state with an explicit execution configuration.
+    pub fn new_with(n_qubits: usize, config: SimConfig) -> Self {
         assert!(n_qubits <= 30, "state vector limited to 30 qubits");
         let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
         amps[0] = Complex64::ONE;
-        StateVector { n_qubits, amps }
+        StateVector {
+            n_qubits,
+            amps,
+            config,
+            diag_scratch: Vec::new(),
+        }
     }
 
     /// A computational basis state `|bits⟩`.
@@ -66,14 +91,47 @@ impl StateVector {
         let n_qubits = len.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!((norm - 1.0).abs() < 1e-6, "state not normalized: {norm}");
-        StateVector { n_qubits, amps }
+        StateVector {
+            n_qubits,
+            amps,
+            config: SimConfig::default(),
+            diag_scratch: Vec::new(),
+        }
     }
 
     /// Runs a circuit from `|0…0⟩`.
     pub fn run(circuit: &Circuit) -> Self {
-        let mut s = StateVector::new(circuit.n_qubits());
+        Self::run_with(circuit, SimConfig::default())
+    }
+
+    /// Runs a circuit from `|0…0⟩` under an explicit configuration.
+    pub fn run_with(circuit: &Circuit, config: SimConfig) -> Self {
+        let mut s = StateVector::new_with(circuit.n_qubits(), config);
         s.apply_circuit(circuit);
         s
+    }
+
+    /// The execution configuration.
+    #[inline]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replaces the execution configuration (affects subsequent kernels).
+    pub fn set_config(&mut self, config: SimConfig) {
+        self.config = config;
+    }
+
+    /// Resets to `|0…0⟩` in place, reusing the amplitude buffer.
+    pub fn reset_zero(&mut self) {
+        self.amps.fill(Complex64::ZERO);
+        self.amps[0] = Complex64::ONE;
+    }
+
+    /// Resets to the basis state `|bits⟩` in place.
+    pub fn reset_bits(&mut self, bits: u64) {
+        self.amps.fill(Complex64::ZERO);
+        self.amps[bits as usize] = Complex64::ONE;
     }
 
     /// Number of qubits.
@@ -151,63 +209,104 @@ impl StateVector {
 
     /// Applies a 2×2 unitary to qubit `q`.
     pub fn apply_1q(&mut self, m: [[Complex64; 2]; 2], q: usize) {
-        let step = 1usize << q;
-        let dim = self.amps.len();
-        let mut base = 0usize;
-        while base < dim {
-            for i in base..base + step {
-                let j = i + step;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
-            }
-            base += step << 1;
-        }
+        self.apply_controlled_1q(0, m, q);
     }
 
     /// Applies a 2×2 unitary to qubit `q` conditioned on all bits of
-    /// `controls_mask` being 1.
+    /// `controls_mask` being 1, dispatching on the matrix shape so
+    /// diagonal and real matrices skip the full complex arithmetic.
     pub fn apply_controlled_1q(&mut self, controls_mask: u64, m: [[Complex64; 2]; 2], q: usize) {
         let t = 1u64 << q;
-        for i in 0..self.amps.len() as u64 {
-            if i & controls_mask == controls_mask && i & t == 0 {
-                let j = (i | t) as usize;
-                let i = i as usize;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
-            }
+        if controls_mask & t != 0 {
+            // Degenerate gate (target in controls): no-op, as in the oracle.
+            return;
         }
+        let fixed = controls_mask | t;
+        let diagonal = m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO;
+        if diagonal {
+            // Phase-type gate: two independent subspace passes, each
+            // skipped entirely when its diagonal entry is 1.
+            for (value, d) in [(controls_mask, m[0][0]), (fixed, m[1][1])] {
+                if d != Complex64::ONE {
+                    kernels::subspace_map(&mut self.amps, &self.config, fixed, value, |a| a * d);
+                }
+            }
+            return;
+        }
+        let anti_diagonal = m[0][0] == Complex64::ZERO && m[1][1] == Complex64::ZERO;
+        if anti_diagonal {
+            let (m01, m10) = (m[0][1], m[1][0]);
+            kernels::pair_map(
+                &mut self.amps,
+                &self.config,
+                fixed,
+                controls_mask,
+                t,
+                move |a, b| (m01 * b, m10 * a),
+            );
+            return;
+        }
+        let real = m.iter().flatten().all(|c| c.im == 0.0);
+        if real {
+            let (r00, r01, r10, r11) = (m[0][0].re, m[0][1].re, m[1][0].re, m[1][1].re);
+            kernels::pair_map(
+                &mut self.amps,
+                &self.config,
+                fixed,
+                controls_mask,
+                t,
+                move |a, b| (a.scale(r00) + b.scale(r01), a.scale(r10) + b.scale(r11)),
+            );
+            return;
+        }
+        kernels::pair_map(
+            &mut self.amps,
+            &self.config,
+            fixed,
+            controls_mask,
+            t,
+            move |a, b| (m[0][0] * a + m[0][1] * b, m[1][0] * a + m[1][1] * b),
+        );
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
-        let (ma, mb) = (1u64 << a, 1u64 << b);
-        for i in 0..self.amps.len() as u64 {
-            if i & ma == ma && i & mb == 0 {
-                let j = (i ^ ma) | mb;
-                self.amps.swap(i as usize, j as usize);
-            }
+        if a == b {
+            return; // matches the oracle: swap(q, q) never matched its filter
         }
+        let (ma, mb) = (1u64 << a, 1u64 << b);
+        // Enumerate indices with bit a = 1, bit b = 0; the partner flips
+        // both. The two untouched subspaces (00 and 11) are never visited.
+        kernels::pair_map(
+            &mut self.amps,
+            &self.config,
+            ma | mb,
+            ma,
+            ma | mb,
+            |x, y| (y, x),
+        );
     }
 
     fn apply_mcx(&mut self, controls_mask: u64, target: usize) {
         let t = 1u64 << target;
-        for i in 0..self.amps.len() as u64 {
-            if i & controls_mask == controls_mask && i & t == 0 {
-                self.amps.swap(i as usize, (i | t) as usize);
-            }
+        if controls_mask & t != 0 {
+            // Degenerate gate (target is one of its own controls): the
+            // scan-and-mask filter `i & controls == controls && i & t == 0`
+            // never matched, so this was — and stays — a no-op.
+            return;
         }
+        kernels::pair_map(
+            &mut self.amps,
+            &self.config,
+            controls_mask | t,
+            controls_mask,
+            t,
+            |x, y| (y, x),
+        );
     }
 
     fn apply_mcphase(&mut self, mask: u64, angle: f64) {
         let phase = Complex64::cis(angle);
-        for i in 0..self.amps.len() as u64 {
-            if i & mask == mask {
-                self.amps[i as usize] *= phase;
-            }
-        }
+        kernels::subspace_map(&mut self.amps, &self.config, mask, mask, move |a| a * phase);
     }
 
     /// Applies `e^{-iθ·Hc(u)}` exactly: a rotation
@@ -225,30 +324,45 @@ impl StateVector {
     }
 
     /// Rotation between index patterns `v_mask` and `v_mask ^ full_mask`
-    /// within the qubits of `full_mask`.
+    /// within the qubits of `full_mask`: only the `2^(n-k)` pairs of the
+    /// block's subspace are enumerated.
     fn apply_block_masks(&mut self, full_mask: u64, v_mask: u64, theta: f64) {
-        let cos = Complex64::from_re(theta.cos());
-        let nisin = Complex64::new(0.0, -theta.sin());
-        for i in 0..self.amps.len() as u64 {
-            if i & full_mask == v_mask {
-                let j = (i ^ full_mask) as usize;
-                let i = i as usize;
-                let a = self.amps[i];
-                let b = self.amps[j];
-                self.amps[i] = cos * a + nisin * b;
-                self.amps[j] = nisin * a + cos * b;
-            }
+        if full_mask == 0 {
+            // Empty support: Hc degenerates to identity and the old scan
+            // kernel applied the global phase e^{-iθ} (i paired with
+            // itself); keep that instead of tripping the pair kernel's
+            // partner assert.
+            let phase = Complex64::cis(-theta);
+            kernels::subspace_map(&mut self.amps, &self.config, 0, 0, move |a| a * phase);
+            return;
         }
+        let (sin, cos) = theta.sin_cos();
+        kernels::pair_map(
+            &mut self.amps,
+            &self.config,
+            full_mask,
+            v_mask,
+            full_mask,
+            move |a, b| {
+                (
+                    Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re),
+                    Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re),
+                )
+            },
+        );
     }
 
-    /// Applies `e^{-iθ·f(x)}` by evaluating the polynomial per index.
+    /// Applies `e^{-iθ·f(x)}` for a phase polynomial: the diagonal is
+    /// materialized once by strided term-wise accumulation, then applied in
+    /// a single (parallel) phase pass. Reuse [`StateVector::apply_diag_values`]
+    /// with a cached diagonal when the same polynomial recurs across
+    /// optimizer iterations (see [`crate::SimWorkspace`]).
     pub fn apply_diag_poly(&mut self, poly: &PhasePoly, theta: f64) {
-        for (i, amp) in self.amps.iter_mut().enumerate() {
-            let f = poly.eval_bits(i as u64);
-            if f != 0.0 {
-                *amp *= Complex64::cis(-theta * f);
-            }
-        }
+        let mut values = std::mem::take(&mut self.diag_scratch);
+        values.resize(self.amps.len(), 0.0);
+        kernels::accumulate_poly_diag(&mut values, poly);
+        self.apply_diag_values(&values, theta);
+        self.diag_scratch = values;
     }
 
     /// Applies `e^{-iθ·values[x]}` from a precomputed diagonal. Much faster
@@ -260,11 +374,11 @@ impl StateVector {
     /// Panics if `values.len() != 2^n`.
     pub fn apply_diag_values(&mut self, values: &[f64], theta: f64) {
         assert_eq!(values.len(), self.amps.len(), "diagonal length mismatch");
-        for (amp, &f) in self.amps.iter_mut().zip(values.iter()) {
+        kernels::zip_map_values(&mut self.amps, &self.config, values, move |a, f| {
             if f != 0.0 {
-                *amp *= Complex64::cis(-theta * f);
+                *a *= Complex64::cis(-theta * f);
             }
-        }
+        });
     }
 
     /// Measurement probabilities for every basis state.
@@ -338,16 +452,33 @@ impl StateVector {
         }
     }
 
-    /// Samples `shots` measurement outcomes in the computational basis.
-    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Counts {
-        // Prefix sums + binary search: O(2^n + shots·n).
-        let mut cumulative = Vec::with_capacity(self.amps.len());
+    /// Fills `out` with the cumulative probability table used by inverse-
+    /// transform sampling (`out[i] = Σ_{k≤i} |amps[k]|²`).
+    pub fn fill_cumulative(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.amps.len());
         let mut acc = 0.0f64;
         for a in &self.amps {
             acc += a.norm_sqr();
-            cumulative.push(acc);
+            out.push(acc);
         }
-        let total = acc;
+    }
+
+    /// Samples `shots` outcomes using a prebuilt cumulative table (see
+    /// [`StateVector::fill_cumulative`]); `O(shots·n)` once the table
+    /// exists, so repeated sampling skips the `O(2^n)` prefix-sum rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length does not match the state dimension.
+    pub fn sample_with_cumulative<R: Rng>(
+        &self,
+        cumulative: &[f64],
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        assert_eq!(cumulative.len(), self.amps.len(), "table length mismatch");
+        let total = *cumulative.last().expect("non-empty state");
         let mut counts = Counts::new();
         for _ in 0..shots {
             let r: f64 = rng.gen::<f64>() * total;
@@ -356,11 +487,21 @@ impl StateVector {
         }
         counts
     }
+
+    /// Samples `shots` measurement outcomes in the computational basis,
+    /// building the cumulative table on the fly (one-off calls; use
+    /// [`crate::SimWorkspace::sample`] to reuse the table across calls).
+    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Counts {
+        let mut cumulative = Vec::new();
+        self.fill_cumulative(&mut cumulative);
+        self.sample_with_cumulative(&cumulative, shots, rng)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::oracle::ScalarStateVector;
     use choco_mathkit::c64;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -506,7 +647,9 @@ mod tests {
         let mut a = StateVector::from_bits(2, 0b01);
         a.apply_gate(&Gate::XyMix(0, 1, theta));
         // exp(-iθ(XX+YY))|01⟩ = cos(2θ)|01⟩ - i sin(2θ)|10⟩
-        assert!(a.amplitude(0b01).approx_eq(c64((2.0 * theta).cos(), 0.0), EPS));
+        assert!(a
+            .amplitude(0b01)
+            .approx_eq(c64((2.0 * theta).cos(), 0.0), EPS));
         assert!(a
             .amplitude(0b10)
             .approx_eq(c64(0.0, -(2.0 * theta).sin()), EPS));
@@ -594,6 +737,20 @@ mod tests {
     }
 
     #[test]
+    fn sample_with_cumulative_matches_fresh_table() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.9);
+        let s = StateVector::run(&c);
+        let mut table = Vec::new();
+        s.fill_cumulative(&mut table);
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let direct = s.sample(5_000, &mut rng_a);
+        let cached = s.sample_with_cumulative(&table, 5_000, &mut rng_b);
+        assert_eq!(direct, cached, "same seed must give identical histograms");
+    }
+
+    #[test]
     fn unitarity_norm_preserved_through_random_circuit() {
         let mut c = Circuit::new(4);
         c.h(0)
@@ -605,5 +762,122 @@ mod tests {
             .mcphase(vec![0, 2, 3], 1.4);
         let s = StateVector::run(&c);
         assert!((s.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_gates_match_oracle_no_op() {
+        // Control == target gates were silent no-ops in the scan-and-mask
+        // engine (the filter `i & controls == controls && i & t == 0` never
+        // matched); the strided path must preserve that.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        c.push(Gate::Cx(0, 0));
+        c.push(Gate::Swap(1, 1));
+        c.push(Gate::Ccx(0, 1, 1));
+        c.push(Gate::Mcx {
+            controls: vec![0, 1],
+            target: 0,
+        });
+        let oracle = ScalarStateVector::run(&c);
+        let fast = StateVector::run(&c);
+        assert!((oracle.fidelity_against(&fast) - 1.0).abs() < 1e-12);
+        // And they really are no-ops, not merely oracle-consistent.
+        let mut plus = Circuit::new(2);
+        plus.h(0).h(1);
+        let reference = StateVector::run(&plus);
+        assert!((fast.fidelity(&reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_support_ublock_is_a_global_phase() {
+        // Public fields allow constructing a support-free block; the old
+        // scan kernel applied e^{-iθ} to every amplitude.
+        let block = UBlock {
+            support: vec![],
+            pattern: 0,
+            angle: 0.3,
+        };
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut s = StateVector::run(&c);
+        s.apply_ublock(&block);
+        let mut oracle = ScalarStateVector::run(&c);
+        oracle.apply_ublock(&block);
+        for (a, b) in oracle.amplitudes().iter().zip(s.amplitudes()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+        assert!(s.amplitude(0).approx_eq(
+            Complex64::cis(-0.3).scale(std::f64::consts::FRAC_1_SQRT_2),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn diag_poly_scratch_is_reused_across_applications() {
+        let mut poly = PhasePoly::new(3);
+        poly.add_linear(0, 0.4);
+        poly.add_quadratic(1, 2, -0.9);
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let mut s = StateVector::run(&c);
+        s.apply_diag_poly(&poly, 0.3);
+        let scratch = s.diag_scratch.as_ptr();
+        s.apply_diag_poly(&poly, -0.3);
+        assert_eq!(s.diag_scratch.as_ptr(), scratch, "scratch reallocated");
+        assert!((s.fidelity(&StateVector::run(&c)) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reset_reuses_buffer_and_restores_zero_ket() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 1.1);
+        let mut s = StateVector::run(&c);
+        let buffer = s.amplitudes().as_ptr();
+        s.reset_zero();
+        assert_eq!(s.amplitudes().as_ptr(), buffer, "no reallocation");
+        assert_eq!(s.probability(0), 1.0);
+        s.reset_bits(0b101);
+        assert_eq!(s.probability(0b101), 1.0);
+    }
+
+    /// Every kernel shape vs the retained scan-and-mask oracle, at every
+    /// thread count (the threshold is forced to 1 so threading engages even
+    /// on these tiny states).
+    #[test]
+    fn all_kernels_match_oracle_across_thread_counts() {
+        let mut poly = PhasePoly::new(5);
+        poly.add_constant(0.3);
+        poly.add_linear(0, 1.0);
+        poly.add_linear(4, -0.8);
+        poly.add_quadratic(1, 3, 0.6);
+        let poly = Arc::new(poly);
+        let mut c = Circuit::new(5);
+        c.h(0)
+            .h(3)
+            .ry(1, 0.7)
+            .rx(2, -0.4)
+            .rz(0, 1.2)
+            .p(4, 0.8)
+            .cx(0, 1)
+            .cz(1, 2)
+            .cp(2, 4, -0.6)
+            .ccx(0, 1, 4)
+            .mcx(vec![0, 2], 3)
+            .mcphase(vec![1, 2, 4], 0.9)
+            .xy(1, 4, 0.35)
+            .ublock(UBlock::from_u_with_angle(&[1, 0, -1, 1, -1], 0.55))
+            .diag(poly, 0.75)
+            .push(Gate::Swap(0, 4))
+            .push(Gate::Y(2));
+        let oracle = ScalarStateVector::run(&c);
+        for threads in [1usize, 2, 3, 4] {
+            let config = SimConfig {
+                threads,
+                parallel_threshold: 1,
+            };
+            let fast = StateVector::run_with(&c, config);
+            let f = oracle.fidelity_against(&fast);
+            assert!((f - 1.0).abs() < 1e-10, "threads={threads}: fidelity={f}");
+        }
     }
 }

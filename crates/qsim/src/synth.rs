@@ -91,17 +91,18 @@ pub fn two_level_decompose(u: &CMatrix) -> TwoLevelDecomposition {
             let op = TwoLevelOp {
                 i: r - 1,
                 j: r,
-                m: [
-                    [av.conj() / n, b.conj() / n],
-                    [-b / n, av / n],
-                ],
+                m: [[av.conj() / n, b.conj() / n], [-b / n, av / n]],
             };
             op.apply_left(&mut a);
             ops.push(op);
         }
     }
     let diagonal = (0..d).map(|i| a[(i, i)]).collect();
-    TwoLevelDecomposition { dim: d, ops, diagonal }
+    TwoLevelDecomposition {
+        dim: d,
+        ops,
+        diagonal,
+    }
 }
 
 impl TwoLevelDecomposition {
@@ -265,10 +266,7 @@ fn emit_two_level(circuit: &mut Circuit, op: &TwoLevelOp, n_qubits: usize) {
     let m = if (i >> target_bit) & 1 == 0 {
         op.m
     } else {
-        [
-            [op.m[1][1], op.m[1][0]],
-            [op.m[0][1], op.m[0][0]],
-        ]
+        [[op.m[1][1], op.m[1][0]], [op.m[0][1], op.m[0][0]]]
     };
     for &q in &zeros {
         circuit.x(q);
@@ -350,7 +348,10 @@ mod tests {
         let id = CMatrix::identity(4);
         let d = two_level_decompose(&id);
         assert!(d.ops.is_empty());
-        assert!(d.diagonal.iter().all(|z| z.approx_eq(Complex64::ONE, 1e-12)));
+        assert!(d
+            .diagonal
+            .iter()
+            .all(|z| z.approx_eq(Complex64::ONE, 1e-12)));
     }
 
     #[test]

@@ -120,7 +120,11 @@ fn is_target_basic(g: &Gate, basis: TwoQubitBasis) -> bool {
 }
 
 /// Expands one non-basic gate into (possibly still non-basic) gates.
-fn expand_one(g: &Gate, n_qubits: usize, opts: &TranspileOptions) -> Result<Vec<Gate>, TranspileError> {
+fn expand_one(
+    g: &Gate,
+    n_qubits: usize,
+    opts: &TranspileOptions,
+) -> Result<Vec<Gate>, TranspileError> {
     let mut out = Vec::new();
     match g {
         Gate::Cx(c, t) => {
@@ -244,7 +248,11 @@ fn emit_ccx(out: &mut Vec<Gate>, c1: usize, c2: usize, t: usize) {
 }
 
 /// Qubits not mentioned in `used`, split into (clean ancillas, borrowable).
-fn spare_qubits(used: &[usize], n_qubits: usize, opts: &TranspileOptions) -> (Vec<usize>, Vec<usize>) {
+fn spare_qubits(
+    used: &[usize],
+    n_qubits: usize,
+    opts: &TranspileOptions,
+) -> (Vec<usize>, Vec<usize>) {
     let mut is_used = vec![false; n_qubits];
     for &q in used {
         is_used[q] = true;
@@ -467,7 +475,11 @@ pub fn zyz_decompose(m: [[Complex64; 2]; 2]) -> (f64, f64, f64, f64) {
     } else {
         0.0
     };
-    let sum = if v11.abs() > 1e-12 { 2.0 * v11.arg() } else { sum };
+    let sum = if v11.abs() > 1e-12 {
+        2.0 * v11.arg()
+    } else {
+        sum
+    };
     let diff = if v10.abs() > 1e-12 {
         2.0 * v10.arg()
     } else {
@@ -843,7 +855,10 @@ mod tests {
                 transpile(&c, &opts).unwrap().depth()
             })
             .collect();
-        let increments: Vec<i64> = depths.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let increments: Vec<i64> = depths
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         for &inc in &increments {
             assert!(inc > 0, "depth must grow: {depths:?}");
         }

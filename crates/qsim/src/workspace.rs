@@ -1,0 +1,306 @@
+//! Reusable simulation workspace for iteration-heavy callers.
+//!
+//! Every variational solver replays a structured circuit hundreds of times
+//! with different parameters. A bare [`StateVector::run`] pays three
+//! avoidable costs per iteration: allocating a fresh `2^n` amplitude
+//! buffer, re-evaluating each [`PhasePoly`] diagonal per basis state, and
+//! (for sampling) rebuilding the `O(2^n)` cumulative-probability table per
+//! call. [`SimWorkspace`] owns all three buffers across iterations,
+//! restarts, and elimination branches:
+//!
+//! * the amplitude buffer is reset in place (`reallocations()` counts how
+//!   often it had to be regrown — the zero-alloc-per-iteration invariant
+//!   the solvers assert in their tests),
+//! * diagonals are cached per `Arc<PhasePoly>` identity, so a polynomial
+//!   shared across iterations is expanded exactly once per register width,
+//! * the sampling prefix table is built lazily per final state and reused
+//!   across repeated `sample` calls.
+
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::Gate;
+use crate::kernels;
+use crate::phasepoly::PhasePoly;
+use crate::simconfig::SimConfig;
+use crate::state::StateVector;
+use rand::Rng;
+use std::sync::{Arc, Weak};
+
+/// One cached diagonal: the polynomial it came from (kept weakly so cache
+/// identity can be verified against live `Arc`s) and its per-basis values.
+struct CachedDiag {
+    poly: Weak<PhasePoly>,
+    values: Vec<f64>,
+}
+
+/// Reusable buffers for repeated circuit execution (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::{Circuit, SimConfig, SimWorkspace};
+///
+/// let mut ws = SimWorkspace::new(SimConfig::serial());
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// for _ in 0..10 {
+///     let state = ws.run(&bell);
+///     assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+/// }
+/// assert_eq!(ws.reallocations(), 1, "buffer allocated once, reused 9×");
+/// ```
+pub struct SimWorkspace {
+    config: SimConfig,
+    state: Option<StateVector>,
+    diag_cache: Vec<CachedDiag>,
+    cumulative: Vec<f64>,
+    /// Monotone run counter; `cumulative_for` marks which run (if any) the
+    /// sampling table was built from.
+    run_stamp: u64,
+    cumulative_for: u64,
+    reallocations: u64,
+}
+
+impl SimWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new(config: SimConfig) -> Self {
+        SimWorkspace {
+            config,
+            state: None,
+            diag_cache: Vec::new(),
+            cumulative: Vec::new(),
+            run_stamp: 0,
+            cumulative_for: u64::MAX,
+            reallocations: 0,
+        }
+    }
+
+    /// The execution configuration used for kernels run through this
+    /// workspace.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// How many times the amplitude buffer was (re)allocated. Stays at 1
+    /// across any number of same-width runs — the solvers' zero-alloc
+    /// invariant.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// Number of distinct diagonals currently cached.
+    pub fn cached_diagonals(&self) -> usize {
+        self.diag_cache.len()
+    }
+
+    /// Runs `circuit` from `|0…0⟩` reusing the workspace buffers, and
+    /// returns the resulting state (borrowed — it stays inside the
+    /// workspace for sampling / expectation calls).
+    pub fn run(&mut self, circuit: &Circuit) -> &StateVector {
+        self.reset_for(circuit.n_qubits());
+        self.run_stamp += 1;
+        for gate in circuit.iter() {
+            match gate {
+                Gate::DiagPhase(poly, theta) => self.apply_cached_diag(poly, *theta),
+                g => self
+                    .state
+                    .as_mut()
+                    .expect("state prepared by reset_for")
+                    .apply_gate(g),
+            }
+        }
+        self.state.as_ref().expect("state prepared by reset_for")
+    }
+
+    /// The state left by the last [`SimWorkspace::run`], if any.
+    pub fn state(&self) -> Option<&StateVector> {
+        self.state.as_ref()
+    }
+
+    /// Samples from the last run's state, building the cumulative table at
+    /// most once per run (repeat calls reuse it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been run yet.
+    pub fn sample<R: Rng>(&mut self, shots: u64, rng: &mut R) -> Counts {
+        let state = self.state.as_ref().expect("run a circuit before sampling");
+        if self.cumulative_for != self.run_stamp {
+            state.fill_cumulative(&mut self.cumulative);
+            self.cumulative_for = self.run_stamp;
+        }
+        state.sample_with_cumulative(&self.cumulative, shots, rng)
+    }
+
+    /// Expectation of a diagonal observable on the last run's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been run yet.
+    pub fn expectation_diag_values(&self, values: &[f64]) -> f64 {
+        self.state
+            .as_ref()
+            .expect("run a circuit before measuring")
+            .expectation_diag_values(values)
+    }
+
+    /// Prepares the amplitude buffer for an `n`-qubit run, reusing it when
+    /// the width matches and counting a reallocation otherwise.
+    fn reset_for(&mut self, n_qubits: usize) {
+        match &mut self.state {
+            Some(state) if state.n_qubits() == n_qubits => state.reset_zero(),
+            slot => {
+                *slot = Some(StateVector::new_with(n_qubits, self.config));
+                self.reallocations += 1;
+                // Cached diagonals are per-width; drop stale ones.
+                self.diag_cache.clear();
+            }
+        }
+    }
+
+    /// Applies a diagonal evolution using (and populating) the per-`Arc`
+    /// diagonal cache.
+    fn apply_cached_diag(&mut self, poly: &Arc<PhasePoly>, theta: f64) {
+        let state = self.state.as_mut().expect("state prepared by reset_for");
+        let dim = 1usize << state.n_qubits();
+        let hit = self.diag_cache.iter().position(|entry| {
+            entry.values.len() == dim
+                && entry
+                    .poly
+                    .upgrade()
+                    .is_some_and(|live| Arc::ptr_eq(&live, poly))
+        });
+        let idx = match hit {
+            Some(idx) => idx,
+            None => {
+                // Drop entries whose polynomial is gone: they can never
+                // match again, and each holds a 2^n-element Vec — a
+                // long-lived workspace would otherwise grow per solve.
+                self.diag_cache.retain(|e| e.poly.strong_count() > 0);
+                let mut values = vec![0.0f64; dim];
+                kernels::accumulate_poly_diag(&mut values, poly);
+                self.diag_cache.push(CachedDiag {
+                    poly: Arc::downgrade(poly),
+                    values,
+                });
+                self.diag_cache.len() - 1
+            }
+        };
+        state.apply_diag_values(&self.diag_cache[idx].values, theta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer_circuit(n: usize, poly: &Arc<PhasePoly>, theta: f64) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.diag(poly.clone(), theta);
+        c.cx(0, 1);
+        c
+    }
+
+    fn test_poly(n: usize) -> Arc<PhasePoly> {
+        let mut poly = PhasePoly::new(n);
+        for i in 0..n {
+            poly.add_linear(i, 0.2 * (i + 1) as f64);
+        }
+        poly.add_quadratic(0, n - 1, -0.4);
+        Arc::new(poly)
+    }
+
+    #[test]
+    fn run_matches_bare_statevector() {
+        let poly = test_poly(4);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        for theta in [0.2, 0.9, 1.7] {
+            let circuit = layer_circuit(4, &poly, theta);
+            let expected = StateVector::run(&circuit);
+            let got = ws.run(&circuit);
+            assert!(
+                (got.fidelity(&expected) - 1.0).abs() < 1e-12,
+                "theta={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_buffer_allocated_once_across_iterations() {
+        let poly = test_poly(5);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        for i in 0..50 {
+            let circuit = layer_circuit(5, &poly, 0.1 * i as f64);
+            ws.run(&circuit);
+        }
+        assert_eq!(ws.reallocations(), 1);
+        assert_eq!(ws.cached_diagonals(), 1, "shared poly expanded once");
+    }
+
+    #[test]
+    fn width_change_reallocates_and_clears_diag_cache() {
+        let p4 = test_poly(4);
+        let p6 = test_poly(6);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        ws.run(&layer_circuit(4, &p4, 0.3));
+        ws.run(&layer_circuit(6, &p6, 0.3));
+        assert_eq!(ws.reallocations(), 2);
+        ws.run(&layer_circuit(6, &p6, 0.7));
+        assert_eq!(ws.reallocations(), 2, "same width reuses the buffer");
+    }
+
+    #[test]
+    fn distinct_polys_cache_separately() {
+        let a = test_poly(4);
+        let b = test_poly(4);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        let mut c = Circuit::new(4);
+        c.diag(a.clone(), 0.5)
+            .diag(b.clone(), 0.25)
+            .diag(a.clone(), 0.1);
+        ws.run(&c);
+        assert_eq!(ws.cached_diagonals(), 2);
+        // Equivalence against the uncached engine.
+        let expected = StateVector::run(&c);
+        assert!((ws.state().unwrap().fidelity(&expected) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_reuses_the_cumulative_table_per_run() {
+        let poly = test_poly(4);
+        let circuit = layer_circuit(4, &poly, 0.8);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        ws.run(&circuit);
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = ws.sample(2_000, &mut rng);
+        let table_ptr = ws.cumulative.as_ptr();
+        let b = ws.sample(2_000, &mut rng);
+        assert_eq!(ws.cumulative.as_ptr(), table_ptr, "table not rebuilt");
+        assert_eq!(a.shots() + b.shots(), 4_000);
+        // A fresh run invalidates the table.
+        ws.run(&circuit);
+        let stamp = ws.run_stamp;
+        ws.sample(100, &mut rng);
+        assert_eq!(ws.cumulative_for, stamp);
+    }
+
+    #[test]
+    fn workspace_sampling_matches_direct_sampling() {
+        let poly = test_poly(4);
+        let circuit = layer_circuit(4, &poly, 0.8);
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        ws.run(&circuit);
+        let direct = {
+            let mut rng = StdRng::seed_from_u64(33);
+            StateVector::run(&circuit).sample(3_000, &mut rng)
+        };
+        let mut rng = StdRng::seed_from_u64(33);
+        let cached = ws.sample(3_000, &mut rng);
+        assert_eq!(direct, cached);
+    }
+}

@@ -127,6 +127,7 @@ impl Solver for AnnealingSolver {
         let counts = match &self.config.noise {
             None => StateVector::run(&circuit).sample(self.config.shots, &mut rng),
             Some(noise) => sample_transpiled_noisy(
+                choco_qsim::SimConfig::default(),
                 &circuit,
                 noise,
                 self.config.shots,

@@ -21,6 +21,7 @@ use crate::shared::{check_size, circuit_stats, ramp_initial_params, variational_
 use choco_mathkit::{LinEq, LinSystem};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
+use choco_qsim::SimWorkspace;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -101,10 +102,7 @@ impl Solver for CyclicQaoaSolver {
         let mut encoded_sys = LinSystem::new(n);
         for &idx in &encoding.encoded {
             let eq = &problem.constraints().eqs()[idx];
-            encoded_sys.push(LinEq::new(
-                eq.terms.iter().copied().collect::<Vec<_>>(),
-                eq.rhs,
-            ));
+            encoded_sys.push(LinEq::new(eq.terms.to_vec(), eq.rhs));
         }
         let initial = encoded_sys
             .first_binary_solution()
@@ -116,7 +114,7 @@ impl Solver for CyclicQaoaSolver {
             let mut soft_sys = Problem::builder(n);
             for &idx in &encoding.soft {
                 let eq = &problem.constraints().eqs()[idx];
-                soft_sys = soft_sys.equality(eq.terms.iter().copied().collect::<Vec<_>>(), eq.rhs);
+                soft_sys = soft_sys.equality(eq.terms.to_vec(), eq.rhs);
             }
             let soft_problem = soft_sys.build().map_err(|e| {
                 SolverError::Encoding(format!("penalty sub-problem build failed: {e}"))
@@ -126,7 +124,7 @@ impl Solver for CyclicQaoaSolver {
             soft_poly.add_scaled(&soft_problem.penalty_poly(self.config.penalty), 1.0);
         }
         let poly = Arc::new(soft_poly);
-        let cost_values: Vec<f64> = (0..1u64 << n).map(|b| poly.eval_bits(b)).collect();
+        let cost_values = poly.values_table(1 << n);
         let layers = self.config.layers;
         let compile = compile_start.elapsed();
 
@@ -149,18 +147,16 @@ impl Solver for CyclicQaoaSolver {
             c
         };
 
+        let mut workspace = SimWorkspace::new(self.config.sim);
         let result = variational_loop(
             n,
             build,
             &cost_values,
             &ramp_initial_params(layers),
             &self.config,
+            &mut workspace,
         );
-        let circuit = circuit_stats(
-            &result.final_circuit,
-            vec![],
-            self.config.transpiled_stats,
-        )?;
+        let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;
         Ok(SolveOutcome {
@@ -274,7 +270,7 @@ mod tests {
         // But the ring constraint itself is exact:
         let ring_ok = outcome
             .counts
-            .mass_where(|bits| ((bits >> 0) & 1) + ((bits >> 1) & 1) == 1);
+            .mass_where(|bits| (bits & 1) + ((bits >> 1) & 1) == 1);
         assert!((ring_ok - 1.0).abs() < 1e-9);
     }
 

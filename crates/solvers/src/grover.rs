@@ -18,10 +18,10 @@
 //! gate-level lowering is intentionally out of scope.
 
 use crate::shared::check_size;
+use choco_mathkit::Complex64;
 use choco_mathkit::SplitMix64;
 use choco_model::{CircuitStats, Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
 use choco_qsim::{Counts, StateVector};
-use choco_mathkit::Complex64;
 use std::time::Instant;
 
 /// Configuration for [`GroverSolver`].
@@ -136,8 +136,8 @@ impl GroverSolver {
                 stats.improvements += 1;
                 schedule_max = 1.0;
             } else {
-                schedule_max = (schedule_max * self.config.schedule_growth)
-                    .min((dim as f64).sqrt() * 2.0);
+                schedule_max =
+                    (schedule_max * self.config.schedule_growth).min((dim as f64).sqrt() * 2.0);
             }
         }
 
@@ -152,8 +152,7 @@ impl GroverSolver {
         let mut state = uniform_state(n);
         // Amplify near the π/4·√(N/M) optimum for the final marked set.
         let m = marked.iter().filter(|&&x| x).count().max(1);
-        let turns = ((std::f64::consts::FRAC_PI_4) * (dim as f64 / m as f64).sqrt()).floor()
-            as u64;
+        let turns = ((std::f64::consts::FRAC_PI_4) * (dim as f64 / m as f64).sqrt()).floor() as u64;
         for _ in 0..turns.max(1) {
             grover_iterate(&mut state, &marked);
         }
@@ -300,8 +299,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = small_problem();
-        let a = GroverSolver::new(GroverConfig::default()).solve(&p).unwrap();
-        let b = GroverSolver::new(GroverConfig::default()).solve(&p).unwrap();
+        let a = GroverSolver::new(GroverConfig::default())
+            .solve(&p)
+            .unwrap();
+        let b = GroverSolver::new(GroverConfig::default())
+            .solve(&p)
+            .unwrap();
         assert_eq!(a.counts, b.counts);
     }
 }

@@ -10,6 +10,7 @@
 use crate::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
+use choco_qsim::SimWorkspace;
 use std::time::Instant;
 
 /// The hardware-efficient ansatz solver.
@@ -46,7 +47,7 @@ impl Solver for HeaSolver {
         check_size(n)?;
         let compile_start = Instant::now();
         let poly = problem.penalty_poly(self.config.penalty);
-        let cost_values: Vec<f64> = (0..1u64 << n).map(|b| poly.eval_bits(b)).collect();
+        let cost_values = poly.values_table(1 << n);
         let layers = self.config.layers;
         let compile = compile_start.elapsed();
 
@@ -68,12 +69,9 @@ impl Solver for HeaSolver {
 
         // Small nonzero start breaks the RY(0) saddle.
         let x0 = vec![0.3; Self::n_params(n, layers)];
-        let result = variational_loop(n, build, &cost_values, &x0, &self.config);
-        let circuit = circuit_stats(
-            &result.final_circuit,
-            vec![],
-            self.config.transpiled_stats,
-        )?;
+        let mut workspace = SimWorkspace::new(self.config.sim);
+        let result = variational_loop(n, build, &cost_values, &x0, &self.config, &mut workspace);
+        let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;
         Ok(SolveOutcome {

@@ -11,6 +11,7 @@
 use crate::shared::{check_size, circuit_stats, ramp_initial_params, variational_loop, QaoaConfig};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
+use choco_qsim::SimWorkspace;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,7 +60,7 @@ impl Solver for PenaltyQaoaSolver {
         check_size(n)?;
         let compile_start = Instant::now();
         let poly = Arc::new(problem.penalty_poly(self.config.penalty));
-        let cost_values: Vec<f64> = (0..1u64 << n).map(|b| poly.eval_bits(b)).collect();
+        let cost_values = poly.values_table(1 << n);
         let layers = self.config.layers;
         let compile = compile_start.elapsed();
 
@@ -79,18 +80,16 @@ impl Solver for PenaltyQaoaSolver {
             c
         };
 
+        let mut workspace = SimWorkspace::new(self.config.sim);
         let result = variational_loop(
             n,
             build,
             &cost_values,
             &ramp_initial_params(layers),
             &self.config,
+            &mut workspace,
         );
-        let circuit = circuit_stats(
-            &result.final_circuit,
-            vec![],
-            self.config.transpiled_stats,
-        )?;
+        let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;
         Ok(SolveOutcome {

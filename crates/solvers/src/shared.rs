@@ -3,7 +3,9 @@
 
 use choco_model::{CircuitStats, SolverError, TimingBreakdown};
 use choco_optim::OptimizerKind;
-use choco_qsim::{transpile, Circuit, Counts, NoiseModel, StateVector, TranspileOptions};
+use choco_qsim::{
+    transpile, Circuit, Counts, NoiseModel, SimConfig, SimWorkspace, TranspileOptions,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -37,6 +39,9 @@ pub struct QaoaConfig {
     pub noise: Option<NoiseModel>,
     /// Monte-Carlo error trajectories for noisy sampling.
     pub noise_trajectories: u32,
+    /// State-vector engine configuration (worker threads, parallel
+    /// threshold) used by the variational loop's [`SimWorkspace`].
+    pub sim: SimConfig,
 }
 
 impl Default for QaoaConfig {
@@ -51,6 +56,7 @@ impl Default for QaoaConfig {
             transpiled_stats: true,
             noise: None,
             noise_trajectories: 30,
+            sim: SimConfig::default(),
         }
     }
 }
@@ -102,13 +108,18 @@ pub struct LoopResult {
 ///
 /// `build` maps a parameter vector to a circuit over `n_qubits` qubits;
 /// `cost_values` is the per-basis-state diagonal (minimization convention)
-/// whose expectation is optimized.
+/// whose expectation is optimized. Every state-vector execution runs
+/// through `workspace`, so iterations after the first perform **no
+/// amplitude-vector allocations** and re-used `PhasePoly` diagonals are
+/// expanded once, not once per iteration. Callers own the workspace and
+/// may share it across restarts and elimination branches.
 pub fn variational_loop<F>(
     n_qubits: usize,
     build: F,
     cost_values: &[f64],
     x0: &[f64],
     config: &QaoaConfig,
+    workspace: &mut SimWorkspace,
 ) -> LoopResult
 where
     F: Fn(&[f64]) -> Circuit,
@@ -118,10 +129,12 @@ where
     let mut execute_time = std::time::Duration::ZERO;
 
     let result = {
+        let workspace = std::cell::RefCell::new(&mut *workspace);
         let objective = |params: &[f64]| -> f64 {
             let circuit = build(params);
             let t0 = Instant::now();
-            let state = StateVector::run(&circuit);
+            let mut ws = workspace.borrow_mut();
+            let state = ws.run(&circuit);
             let value = state.expectation_diag_values(cost_values);
             execute_time += t0.elapsed();
             value
@@ -133,15 +146,22 @@ where
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let counts = match &config.noise {
-        None => StateVector::run(&final_circuit).sample(config.shots, &mut rng),
+        None => {
+            workspace.run(&final_circuit);
+            workspace.sample(config.shots, &mut rng)
+        }
         Some(noise) => sample_transpiled_noisy(
+            config.sim,
             &final_circuit,
             noise,
             config.shots,
             config.noise_trajectories,
             &mut rng,
         )
-        .unwrap_or_else(|_| StateVector::run(&final_circuit).sample(config.shots, &mut rng)),
+        .unwrap_or_else(|_| {
+            workspace.run(&final_circuit);
+            workspace.sample(config.shots, &mut rng)
+        }),
     };
     execute_time += t0.elapsed();
 
@@ -168,6 +188,7 @@ where
 ///
 /// Returns [`SolverError::Transpile`] if lowering fails.
 pub fn sample_transpiled_noisy<R: rand::Rng>(
+    sim: SimConfig,
     circuit: &Circuit,
     noise: &NoiseModel,
     shots: u64,
@@ -181,7 +202,7 @@ pub fn sample_transpiled_noisy<R: rand::Rng>(
     }
     let lowered = transpile(&wide, &TranspileOptions::with_ancillas(vec![n, n + 1]))
         .map_err(|e| SolverError::Transpile(e.to_string()))?;
-    let raw = noise.sample_noisy(&lowered, shots, trajectories, rng);
+    let raw = noise.sample_noisy_with(sim, &lowered, shots, trajectories, rng);
     let mask = (1u64 << n) - 1;
     Ok(raw.map_bits(|bits| bits & mask))
 }
@@ -255,6 +276,7 @@ mod tests {
             transpiled_stats: false,
             ..QaoaConfig::default()
         };
+        let mut workspace = SimWorkspace::new(SimConfig::serial());
         let result = variational_loop(
             1,
             |params| {
@@ -265,6 +287,12 @@ mod tests {
             &cost,
             &[2.0],
             &config,
+            &mut workspace,
+        );
+        assert_eq!(
+            workspace.reallocations(),
+            1,
+            "optimizer iterations must reuse the amplitude buffer"
         );
         assert!(
             *result.cost_history.last().unwrap() < 0.05,

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Decode the most frequent measurement.
     let best = outcome.counts.most_frequent().expect("shots were taken");
-    println!("\nmost frequent outcome {best:b} (objective {}):", problem.evaluate(best));
+    println!(
+        "\nmost frequent outcome {best:b} (objective {}):",
+        problem.evaluate(best)
+    );
     for i in 0..n_facilities {
         let open = (best >> layout.y(i)) & 1 == 1;
         println!("  facility {i}: {}", if open { "OPEN" } else { "closed" });
@@ -46,6 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    assert!(problem.is_feasible(best), "Choco-Q outcomes are always feasible");
+    assert!(
+        problem.is_feasible(best),
+        "Choco-Q outcomes are always feasible"
+    );
     Ok(())
 }

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lowered.len()
     );
 
-    println!("{:<16} {:>14} {:>18}", "device", "in-constraints", "vs noiseless");
+    println!(
+        "{:<16} {:>14} {:>18}",
+        "device", "in-constraints", "vs noiseless"
+    );
     let mut rng = StdRng::seed_from_u64(11);
     let clean = NoiseModel::ideal().sample_noisy(&lowered, 4000, 1, &mut rng);
     let clean_feasible = clean.mass_where(|bits| problem.is_feasible(bits & ((1 << n) - 1)));

@@ -5,6 +5,10 @@
 //! USAGE: choco-cli <file | -> [--solver choco|penalty|cyclic|hea]
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
+//!                  [--threads N]
+//!
+//! `--threads` sets the state-vector engine's worker-thread count
+//! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
 //! ```
 //!
 //! The input format (see `choco_model::parse_problem`):
@@ -29,6 +33,7 @@ struct Args {
     noise: Option<Device>,
     top: usize,
     seed: u64,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,21 +47,52 @@ fn parse_args() -> Result<Args, String> {
         noise: None,
         top: 5,
         seed: 42,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match arg.as_str() {
             "--solver" => args.solver = value("--solver")?,
-            "--layers" => args.layers = Some(value("--layers")?.parse().map_err(|e| format!("--layers: {e}"))?),
-            "--shots" => args.shots = Some(value("--shots")?.parse().map_err(|e| format!("--shots: {e}"))?),
-            "--iters" => args.iters = Some(value("--iters")?.parse().map_err(|e| format!("--iters: {e}"))?),
-            "--eliminate" => args.eliminate = value("--eliminate")?.parse().map_err(|e| format!("--eliminate: {e}"))?,
+            "--layers" => {
+                args.layers = Some(
+                    value("--layers")?
+                        .parse()
+                        .map_err(|e| format!("--layers: {e}"))?,
+                )
+            }
+            "--shots" => {
+                args.shots = Some(
+                    value("--shots")?
+                        .parse()
+                        .map_err(|e| format!("--shots: {e}"))?,
+                )
+            }
+            "--iters" => {
+                args.iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                )
+            }
+            "--eliminate" => {
+                args.eliminate = value("--eliminate")?
+                    .parse()
+                    .map_err(|e| format!("--eliminate: {e}"))?
+            }
             "--top" => args.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--noise" => {
                 args.noise = Some(match value("--noise")?.as_str() {
                     "fez" => Device::Fez,
@@ -86,7 +122,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
-                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N]"
+                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N]"
             );
             return ExitCode::from(2);
         }
@@ -134,6 +170,9 @@ fn main() -> ExitCode {
             cfg.eliminate = args.eliminate;
             cfg.seed = args.seed;
             cfg.noise = noise;
+            if let Some(t) = args.threads {
+                cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
+            }
             ChocoQSolver::new(cfg).solve(&problem)
         }
         name @ ("penalty" | "cyclic" | "hea") => {
@@ -149,6 +188,9 @@ fn main() -> ExitCode {
             }
             cfg.seed = args.seed;
             cfg.noise = noise;
+            if let Some(t) = args.threads {
+                cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
+            }
             match name {
                 "penalty" => PenaltyQaoaSolver::new(cfg).solve(&problem),
                 "cyclic" => CyclicQaoaSolver::new(cfg).solve(&problem),
@@ -191,7 +233,11 @@ fn main() -> ExitCode {
             bits,
             count as f64 / outcome.counts.shots() as f64,
             problem.evaluate(bits),
-            if problem.is_feasible(bits) { "feasible" } else { "INFEASIBLE" },
+            if problem.is_feasible(bits) {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            },
             width = problem.n_vars()
         );
     }

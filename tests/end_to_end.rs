@@ -88,8 +88,8 @@ fn structured_and_transpiled_paths_agree() {
     for g in circuit.gates() {
         wide.push(g.clone());
     }
-    let lowered = transpile(&wide, &TranspileOptions::with_ancillas(vec![n, n + 1]))
-        .expect("transpile");
+    let lowered =
+        transpile(&wide, &TranspileOptions::with_ancillas(vec![n, n + 1])).expect("transpile");
     let gate_level = StateVector::run(&lowered);
 
     for bits in 0..(1u64 << n) {

@@ -129,7 +129,7 @@ proptest! {
     fn penalty_poly_is_exact(sys in arb_system(), lambda in 0.0f64..20.0) {
         let mut builder = Problem::builder(sys.n_vars()).minimize();
         for eq in sys.eqs() {
-            builder = builder.equality(eq.terms.iter().copied().collect::<Vec<_>>(), eq.rhs);
+            builder = builder.equality(eq.terms.to_vec(), eq.rhs);
         }
         let problem = builder.build().unwrap();
         let poly = problem.penalty_poly(lambda);
@@ -176,7 +176,7 @@ proptest! {
             builder = builder.linear(v, rng.gen_range_f64(-4.0, 4.0));
         }
         for eq in sys.eqs() {
-            builder = builder.equality(eq.terms.iter().copied().collect::<Vec<_>>(), eq.rhs);
+            builder = builder.equality(eq.terms.to_vec(), eq.rhs);
         }
         let problem = builder.build().unwrap();
         match (solve_exact(&problem), choco_q::model::BranchAndBound::new().solve(&problem)) {

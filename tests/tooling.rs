@@ -36,7 +36,11 @@ fn annealing_sits_between_penalty_and_choco() {
         .solve(&problem)
         .expect("anneal");
     let m = anneal.metrics_with(&problem, &optimum);
-    assert!(m.success_rate > 0.1, "annealing success = {}", m.success_rate);
+    assert!(
+        m.success_rate > 0.1,
+        "annealing success = {}",
+        m.success_rate
+    );
     assert!(
         m.in_constraints_rate < 1.0,
         "soft constraints cannot be exact"
@@ -73,6 +77,9 @@ fn draw_renders_a_choco_circuit() {
         ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
     let art = choco_q::qsim::draw(&circuit, 40);
     assert!(art.contains("q0:"));
-    assert!(art.contains('◆') || art.contains('◇'), "UBlock symbols:\n{art}");
+    assert!(
+        art.contains('◆') || art.contains('◇'),
+        "UBlock symbols:\n{art}"
+    );
     assert_eq!(art.lines().count(), problem.n_vars());
 }

@@ -1,0 +1,290 @@
+//! Offline shim for the subset of the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! The build environment has no network access, so the workspace wires this
+//! path crate instead of the crates.io `criterion` (see the root manifest).
+//! It supports `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size` / `measurement_time`, `bench_function` /
+//! `bench_with_input`, and `Bencher::iter`. Measurement is a pragmatic
+//! warmup-then-sample loop reporting the median and minimum per-iteration
+//! time; it has no statistical regression machinery, but the per-kernel
+//! numbers are stable enough to track the perf trajectory in
+//! `BENCH_simulation.json`.
+//!
+//! Set `CRITERION_FILTER=<substring>` to run only matching benchmark ids.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: id plus per-iteration statistics.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark id (`group/bench`).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    filter: Option<String>,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            filter: std::env::var("CRITERION_FILTER").ok(),
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a function outside of any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let sample_size = self.sample_size;
+        let time = self.measurement_time;
+        self.run_one(id.to_string(), sample_size, time, f);
+    }
+
+    /// All measurements recorded so far (used by headless JSON emitters).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup + calibration: find how many iterations fit one sample.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = measurement_time.as_secs_f64() / sample_size.max(1) as f64;
+        let iters_per_sample = (budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        println!(
+            "{id:<48} time: [median {} / min {}] ({} samples × {} iters)",
+            fmt_ns(median_ns),
+            fmt_ns(min_ns),
+            sample_size,
+            iters_per_sample
+        );
+        self.measurements.push(Measurement {
+            id,
+            median_ns,
+            min_ns,
+            samples: sample_size,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget for each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a function identified by `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let full = format!("{}/{}", self.name, id);
+        let (n, t) = (self.sample_size, self.measurement_time);
+        self.criterion.run_one(full, n, t, f);
+    }
+
+    /// Benchmarks a function over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id.0, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; drop does the work).
+    pub fn finish(self) {}
+}
+
+/// Identifier of a single benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/<function>/<parameter>` style id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id carrying only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the closure the calibrated number of times and records the total
+    /// elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as in the real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("direct", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_macros_measure() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size: 5,
+            ..Criterion::default()
+        };
+        bench_demo(&mut c);
+        // The filter env var may hide benches in CI; only assert shape when
+        // measurements were recorded.
+        if c.filter.is_none() {
+            assert_eq!(c.measurements().len(), 2);
+            assert_eq!(c.measurements()[0].id, "demo/8");
+            assert!(c.measurements()[0].median_ns > 0.0);
+        }
+    }
+
+    criterion_group!(benches, bench_demo);
+
+    #[test]
+    fn criterion_group_macro_compiles_and_runs() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            sample_size: 3,
+            filter: Some("nothing-matches-this".into()),
+            ..Criterion::default()
+        };
+        benches(&mut c);
+        assert!(c.measurements().is_empty());
+    }
+}
