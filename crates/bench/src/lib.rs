@@ -1,217 +1,35 @@
 //! # choco-bench
 //!
-//! The experiment harness: one binary per table/figure of the paper
-//! (`cargo run --release -p choco-bench --bin <name>`), plus Criterion
-//! benches under `benches/`.
+//! Performance measurement for the simulation engine: Criterion benches
+//! under `benches/` and the headless `bench_json` binary that writes
+//! `BENCH_simulation.json` for cross-PR tracking.
 //!
-//! | target | reproduces |
-//! |---|---|
-//! | `table1` | Table I — design comparison on a 15-qubit GCP |
-//! | `table2` | Table II — 12 benchmarks × 4 solvers |
-//! | `fig07_layers` | Fig. 7 — success rate vs #layers |
-//! | `fig08_constraints` | Fig. 8 — success/depth vs #constraints |
-//! | `fig09_convergence` | Fig. 9 — convergence curves + parallelism |
-//! | `fig10_hardware` | Fig. 10 — success on the three IBM devices |
-//! | `fig11_latency` | Fig. 11 — end-to-end latency + breakdown |
-//! | `fig12_decomposition` | Fig. 12 — Trotter vs Choco-Q decomposition |
-//! | `fig13_elimination` | Fig. 13 — variable elimination sweep |
-//! | `fig14_ablation` | Fig. 14 — Opt1/Opt2/Opt3 ablation |
-//!
-//! Every binary accepts `--quick` (or env `CHOCO_QUICK=1`) to skip the
-//! slowest cases; outputs print our measured values in the paper's row
-//! format (paper-vs-measured commentary lives in `EXPERIMENTS.md`).
+//! The paper's tables and figures are **not** reproduced here any more —
+//! they are experiment specs under `experiments/`, executed by the
+//! `choco-runner` crate via `choco-cli run <spec>` (one engine instead of
+//! one binary per figure; see `docs/reproducing.md` for the full
+//! figure-to-spec map).
 
 #![warn(missing_docs)]
 
-use choco_core::ChocoQConfig;
-use choco_model::{solve_exact, Metrics, Optimum, Problem, SolveOutcome, Solver};
-use choco_solvers::QaoaConfig;
-
-/// Returns `true` when the harness should skip slow cases
+/// Returns `true` when a bench harness should skip slow cases
 /// (`--quick` argument or `CHOCO_QUICK=1`).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("CHOCO_QUICK").is_some()
 }
 
-/// Budget-scaled Choco-Q configuration: big registers get fewer restarts
-/// and iterations so the sweep stays CPU-feasible.
-pub fn scaled_choco(n_vars: usize) -> ChocoQConfig {
-    let base = ChocoQConfig::default();
-    match n_vars {
-        0..=12 => ChocoQConfig {
-            max_iters: 100,
-            ..base
-        },
-        13..=16 => ChocoQConfig {
-            max_iters: 120,
-            restarts: 6,
-            ..base
-        },
-        17..=19 => ChocoQConfig {
-            max_iters: 60,
-            restarts: 4,
-            shots: 4_096,
-            ..base
-        },
-        _ => ChocoQConfig {
-            max_iters: 25,
-            restarts: 1,
-            shots: 2_048,
-            transpiled_stats: true,
-            ..base
-        },
-    }
-}
-
-/// Budget-scaled baseline configuration (the paper runs the baselines with
-/// 7 layers; iteration budget shrinks with register size).
-pub fn scaled_qaoa(n_vars: usize) -> QaoaConfig {
-    let base = QaoaConfig::default();
-    match n_vars {
-        0..=12 => base,
-        13..=16 => QaoaConfig {
-            max_iters: 60,
-            ..base
-        },
-        17..=19 => QaoaConfig {
-            max_iters: 40,
-            shots: 4_096,
-            ..base
-        },
-        _ => QaoaConfig {
-            max_iters: 15,
-            shots: 2_048,
-            ..base
-        },
-    }
-}
-
-/// One solver's result on one case.
-pub struct SolverRun {
-    /// Solver name.
-    pub name: &'static str,
-    /// The outcome, if the solver could encode the problem.
-    pub outcome: Option<SolveOutcome>,
-    /// Metrics (None when the solver failed).
-    pub metrics: Option<Metrics>,
-    /// Failure message, when any.
-    pub error: Option<String>,
-}
-
-/// Runs the four designs of the paper (penalty, cyclic, HEA, Choco-Q) on a
-/// problem with budget-scaled configs, in Table II column order.
-pub fn run_all_solvers(problem: &Problem, optimum: &Optimum) -> Vec<SolverRun> {
-    let n = problem.n_vars();
-    let penalty = choco_solvers::PenaltyQaoaSolver::new(scaled_qaoa(n));
-    let cyclic = choco_solvers::CyclicQaoaSolver::new(scaled_qaoa(n));
-    let hea = choco_solvers::HeaSolver::new(scaled_qaoa(n));
-    let choco = choco_core::ChocoQSolver::new(scaled_choco(n));
-    let solvers: Vec<(&'static str, &dyn Solver)> = vec![
-        ("penalty", &penalty),
-        ("cyclic", &cyclic),
-        ("hea", &hea),
-        ("choco-q", &choco),
-    ];
-    solvers
-        .into_iter()
-        .map(|(name, solver)| match solver.solve(problem) {
-            Ok(outcome) => {
-                let metrics = outcome.metrics_with(problem, optimum);
-                SolverRun {
-                    name,
-                    outcome: Some(outcome),
-                    metrics: Some(metrics),
-                    error: None,
-                }
-            }
-            Err(e) => SolverRun {
-                name,
-                outcome: None,
-                metrics: None,
-                error: Some(e.to_string()),
-            },
-        })
-        .collect()
-}
-
-/// Exact optimum with a readable panic on failure (bench-only contexts).
-pub fn expect_optimum(problem: &Problem) -> Optimum {
-    solve_exact(problem).unwrap_or_else(|e| panic!("{}: {e}", problem.name()))
-}
-
-/// Formats a rate as the paper does: percentage or `✗` when (numerically)
-/// zero.
-pub fn fmt_rate(rate: Option<f64>) -> String {
-    match rate {
-        None => "err".to_string(),
-        Some(r) if r < 5e-5 => "✗".to_string(),
-        Some(r) => format!("{:.2}", r * 100.0),
-    }
-}
-
-/// Simple fixed-width table printer.
-pub struct Table {
-    widths: Vec<usize>,
-}
-
-impl Table {
-    /// Creates a table and prints the header row.
-    pub fn new(headers: &[&str], widths: &[usize]) -> Table {
-        let t = Table {
-            widths: widths.to_vec(),
-        };
-        t.row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-        t.rule();
-        t
-    }
-
-    /// Prints one row.
-    pub fn row(&self, cells: &[String]) {
-        let mut line = String::new();
-        for (cell, &w) in cells.iter().zip(self.widths.iter()) {
-            line.push_str(&format!("{cell:>w$}  "));
-        }
-        println!("{}", line.trim_end());
-    }
-
-    /// Prints a horizontal rule.
-    pub fn rule(&self) {
-        let total: usize = self.widths.iter().sum::<usize>() + 2 * self.widths.len();
-        println!("{}", "-".repeat(total));
-    }
-}
-
-/// Formats a duration in seconds with 3 decimals.
-pub fn fmt_secs(d: std::time::Duration) -> String {
-    format!("{:.3}s", d.as_secs_f64())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use choco_problems::instance;
 
     #[test]
-    fn scaled_configs_shrink_with_size() {
-        assert!(scaled_choco(8).max_iters > scaled_choco(20).max_iters);
-        assert!(scaled_qaoa(8).max_iters > scaled_qaoa(20).max_iters);
-    }
-
-    #[test]
-    fn fmt_rate_matches_paper_convention() {
-        assert_eq!(fmt_rate(Some(0.0)), "✗");
-        assert_eq!(fmt_rate(Some(0.671)), "67.10");
-        assert_eq!(fmt_rate(None), "err");
-    }
-
-    #[test]
-    fn run_all_solvers_produces_four_rows() {
-        let p = instance("F1", 1);
-        let opt = expect_optimum(&p);
-        let runs = run_all_solvers(&p, &opt);
-        assert_eq!(runs.len(), 4);
-        assert_eq!(runs[3].name, "choco-q");
-        let m = runs[3].metrics.as_ref().expect("choco runs");
-        assert!((m.in_constraints_rate - 1.0).abs() < 1e-9);
+    fn quick_mode_reads_env() {
+        // The test binary is never invoked with --quick; the env var is
+        // the observable lever.
+        std::env::remove_var("CHOCO_QUICK");
+        assert!(!quick_mode());
+        std::env::set_var("CHOCO_QUICK", "1");
+        assert!(quick_mode());
+        std::env::remove_var("CHOCO_QUICK");
     }
 }

@@ -1,0 +1,239 @@
+//! Exact cover / set partitioning (SPP).
+//!
+//! Choose a sub-collection of subsets that covers every universe element
+//! exactly once, at minimum total cost:
+//!
+//! ```text
+//! min  Σ_j cost_j · x_j
+//! s.t. Σ_{j : e ∈ S_j} x_j = 1     ∀ element e
+//! ```
+//!
+//! Every constraint is a pure all-ones equality (summation format) with no
+//! slack variables — the structure the commute driver handles most directly,
+//! and also the one shape the cyclic baseline can encode, which makes SPP
+//! the sharpest head-to-head workload in the extended suite.
+//!
+//! Generated instances are feasible *by construction*: the generator first
+//! partitions the universe into disjoint subsets (selecting exactly those
+//! is an exact cover), then adds random decoy subsets and shuffles.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated exact-cover instance: one binary
+/// variable per subset, `x_j` at index `j`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoverLayout {
+    /// Number of universe elements `|U|`.
+    pub n_elements: usize,
+    /// The subsets, each a sorted list of element indices.
+    pub subsets: Vec<Vec<usize>>,
+}
+
+impl CoverLayout {
+    /// Total number of binary variables (one per subset).
+    pub fn n_vars(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// How many selected subsets cover element `e` under `bits`.
+    pub fn cover_count(&self, bits: u64, e: usize) -> usize {
+        self.subsets
+            .iter()
+            .enumerate()
+            .filter(|(j, s)| (bits >> j) & 1 == 1 && s.contains(&e))
+            .count()
+    }
+
+    /// `true` when `bits` selects an exact cover (test oracle).
+    pub fn is_exact_cover(&self, bits: u64) -> bool {
+        (0..self.n_elements).all(|e| self.cover_count(bits, e) == 1)
+    }
+}
+
+/// Generates an exact-cover instance from an explicit subset collection.
+///
+/// Subset costs are drawn uniformly from `[1, 6)` per subset, mildly
+/// scaled by subset size so bigger subsets are not uniformly better.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on an empty collection, an empty subset, an out-of-range
+/// element, or an element no subset covers (such instances are trivially
+/// infeasible, which the generators never produce).
+pub fn cover(
+    n_elements: usize,
+    subsets: &[Vec<usize>],
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(
+        n_elements >= 1 && !subsets.is_empty(),
+        "degenerate cover shape"
+    );
+    let mut covered = vec![false; n_elements];
+    for s in subsets {
+        assert!(!s.is_empty(), "empty subset");
+        for &e in s {
+            assert!(e < n_elements, "element out of range");
+            covered[e] = true;
+        }
+    }
+    assert!(
+        covered.iter().all(|&c| c),
+        "some element is covered by no subset"
+    );
+    let layout = CoverLayout {
+        n_elements,
+        subsets: subsets.to_vec(),
+    };
+    let mut rng = SplitMix64::new(seed ^ 0xC0_7E12);
+    let mut b = Problem::builder(layout.n_vars()).minimize().name(format!(
+        "COVER {n_elements}U-{}S seed={seed}",
+        subsets.len()
+    ));
+    for (j, s) in subsets.iter().enumerate() {
+        let base = rng.gen_range_f64(1.0, 6.0).round();
+        b = b.linear(j, base + s.len() as f64);
+    }
+    for e in 0..n_elements {
+        b = b.equality(
+            subsets
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contains(&e))
+                .map(|(j, _)| (j, 1i64)),
+            1,
+        );
+    }
+    b.build()
+}
+
+/// Generates a seeded random exact-cover instance with `n_subsets` subsets
+/// over `n_elements` elements, feasible by construction.
+///
+/// The first subsets form a random partition of the universe (so selecting
+/// exactly those is a feasible exact cover); the rest are random decoys;
+/// the collection is then shuffled so the planted cover sits at no fixed
+/// indices.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics when `n_subsets < 2` or `n_elements < 2` (no meaningful
+/// partition exists).
+pub fn cover_random(
+    n_elements: usize,
+    n_subsets: usize,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(n_elements >= 2 && n_subsets >= 2, "degenerate cover shape");
+    let mut rng = SplitMix64::new(seed ^ 0x5E7_C0FE);
+    // Planted partition into `blocks` nonempty groups.
+    let blocks = (n_elements / 2).clamp(2, n_subsets).min(n_elements);
+    let mut elements: Vec<usize> = (0..n_elements).collect();
+    rng.shuffle(&mut elements);
+    let mut subsets: Vec<Vec<usize>> = vec![Vec::new(); blocks];
+    // One element per block first (nonempty), then the rest at random.
+    for (blk, &e) in subsets.iter_mut().zip(elements.iter()) {
+        blk.push(e);
+    }
+    for &e in elements.iter().skip(blocks) {
+        let blk = rng.gen_range(0, blocks as u64) as usize;
+        subsets[blk].push(e);
+    }
+    // Decoy subsets: random nonempty subsets of the universe.
+    while subsets.len() < n_subsets {
+        let size = rng.gen_range(1, (n_elements as u64 / 2).max(2) + 1) as usize;
+        let mut pool: Vec<usize> = (0..n_elements).collect();
+        rng.shuffle(&mut pool);
+        subsets.push(pool.into_iter().take(size).collect());
+    }
+    for s in subsets.iter_mut() {
+        s.sort_unstable();
+    }
+    rng.shuffle(&mut subsets);
+    cover(n_elements, &subsets, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    #[test]
+    fn explicit_instance_matches_shape() {
+        // 4 elements, 3 subsets; {0,1} + {2,3} is the unique exact cover.
+        let subsets = vec![vec![0, 1], vec![2, 3], vec![1, 2]];
+        let p = cover(4, &subsets, 1).unwrap();
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.constraints().len(), 4);
+        assert!(p.is_feasible(0b011));
+        assert!(!p.is_feasible(0b101)); // element 1 covered twice
+        assert!(!p.is_feasible(0b000)); // nothing covered
+    }
+
+    #[test]
+    fn all_constraints_are_summation_format() {
+        let p = cover_random(6, 10, 3).unwrap();
+        assert!(p
+            .constraints()
+            .eqs()
+            .iter()
+            .all(|eq| eq.is_summation_format()));
+    }
+
+    #[test]
+    fn random_instances_are_feasible_by_construction() {
+        for seed in 0..20 {
+            let p = cover_random(8, 12, seed).unwrap();
+            assert!(p.first_feasible().is_some(), "seed {seed} infeasible");
+            assert_eq!(p.n_vars(), 12);
+            assert_eq!(p.constraints().len(), 8);
+        }
+    }
+
+    #[test]
+    fn feasible_points_are_exact_covers() {
+        let subsets = vec![vec![0, 1], vec![2], vec![3], vec![2, 3], vec![0, 3]];
+        let p = cover(4, &subsets, 5).unwrap();
+        let layout = CoverLayout {
+            n_elements: 4,
+            subsets,
+        };
+        let feasible = p.feasible_solutions(10_000);
+        assert!(!feasible.is_empty());
+        for bits in feasible {
+            assert!(layout.is_exact_cover(bits), "bits={bits:b}");
+        }
+    }
+
+    #[test]
+    fn optimum_exists_and_is_positive() {
+        let p = cover_random(6, 9, 7).unwrap();
+        let opt = solve_exact(&p).unwrap();
+        assert!(opt.value > 0.0);
+        assert!(!opt.solutions.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = cover_random(6, 10, 9).unwrap();
+        let b = cover_random(6, 10, 9).unwrap();
+        let c = cover_random(6, 10, 10).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "covered by no subset")]
+    fn uncoverable_element_panics() {
+        let _ = cover(3, &[vec![0, 1]], 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Bounded knapsack with an equality budget (KNAP).
+//!
+//! Select items maximizing value subject to an *exact* budget equation,
+//! obtained from the usual capacity inequality with binary slack bits:
+//!
+//! ```text
+//! max  Σ_i value_i · x_i
+//! s.t. Σ_i weight_i · x_i + Σ_j 2^j · s_j = W
+//! ```
+//!
+//! The slack register `s` holds the unused budget in binary; with
+//! `k = ⌈log₂(W+1)⌉` bits every residual `0..=W` is representable, so
+//! *every* item selection of weight at most `W` extends to a feasible
+//! assignment (and `x = 0` always does). Unlike FLP/GCP/KPP, the budget
+//! row carries general integer coefficients — not summation format — so
+//! the cyclic baseline cannot encode it at all while the commute driver
+//! handles it natively, probing exactly the "arbitrary linear equality"
+//! universality axis of Table I.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated knapsack instance.
+///
+/// * item variable `x_i` at index `i` for `i < weights.len()`
+/// * slack bit `s_j` (worth `2^j`) at `weights.len() + j`
+#[derive(Clone, Debug, PartialEq)]
+pub struct KnapsackLayout {
+    /// Item weights (positive integers).
+    pub weights: Vec<u64>,
+    /// The exact budget `W`.
+    pub capacity: u64,
+}
+
+impl KnapsackLayout {
+    /// Number of slack bits: `⌈log₂(W+1)⌉`.
+    pub fn slack_bits(&self) -> usize {
+        (64 - self.capacity.leading_zeros()) as usize
+    }
+
+    /// Index of the item variable `x_i`.
+    pub fn x(&self, i: usize) -> usize {
+        debug_assert!(i < self.weights.len());
+        i
+    }
+
+    /// Index of the slack bit `s_j`.
+    pub fn s(&self, j: usize) -> usize {
+        debug_assert!(j < self.slack_bits());
+        self.weights.len() + j
+    }
+
+    /// Total number of binary variables (items + slack bits).
+    pub fn n_vars(&self) -> usize {
+        self.weights.len() + self.slack_bits()
+    }
+
+    /// Total selected item weight under `bits` (test oracle).
+    pub fn weight_of(&self, bits: u64) -> u64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (bits >> self.x(i)) & 1 == 1)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// The feasible assignment packing `items` with the matching slack,
+    /// or `None` when the selection exceeds the budget.
+    pub fn assignment(&self, items: u64) -> Option<u64> {
+        let used = self.weight_of(items);
+        if used > self.capacity {
+            return None;
+        }
+        let residual = self.capacity - used;
+        let mut bits = items & ((1u64 << self.weights.len()) - 1);
+        for j in 0..self.slack_bits() {
+            if (residual >> j) & 1 == 1 {
+                bits |= 1 << self.s(j);
+            }
+        }
+        Some(bits)
+    }
+}
+
+/// Generates a knapsack instance from explicit weights and values.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on empty/zero-weight items, a zero capacity, or mismatched
+/// weight/value lengths.
+pub fn knapsack(
+    weights: &[u64],
+    values: &[f64],
+    capacity: u64,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(!weights.is_empty(), "no items");
+    assert_eq!(weights.len(), values.len(), "weights/values mismatch");
+    assert!(weights.iter().all(|&w| w > 0), "zero-weight item");
+    assert!(capacity > 0, "zero capacity");
+    let layout = KnapsackLayout {
+        weights: weights.to_vec(),
+        capacity,
+    };
+    let mut b = Problem::builder(layout.n_vars())
+        .maximize()
+        .name(format!("KNAP {}I-{capacity}W seed={seed}", weights.len()));
+    for (i, &v) in values.iter().enumerate() {
+        b = b.linear(layout.x(i), v);
+    }
+    let terms = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (layout.x(i), w as i64))
+        .chain((0..layout.slack_bits()).map(|j| (layout.s(j), 1i64 << j)));
+    b = b.equality(terms, capacity as i64);
+    b.build()
+}
+
+/// Generates a seeded random knapsack instance with `n_items` items and
+/// exact budget `capacity`: weights uniform in `[1, 5]`, values in
+/// `[1, 10)`, correlated weakly with weight so the greedy order is not
+/// trivially optimal.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics when `n_items == 0` or `capacity == 0`.
+pub fn knapsack_random(n_items: usize, capacity: u64, seed: u64) -> Result<Problem, ProblemError> {
+    assert!(n_items >= 1 && capacity >= 1, "degenerate knapsack shape");
+    let mut rng = SplitMix64::new(seed ^ 0x9A_C4_11);
+    let weights: Vec<u64> = (0..n_items).map(|_| rng.gen_range(1, 6)).collect();
+    let values: Vec<f64> = weights
+        .iter()
+        .map(|&w| (w as f64 + rng.gen_range_f64(1.0, 6.0)).round())
+        .collect();
+    knapsack(&weights, &values, capacity, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn layout(p_weights: &[u64], cap: u64) -> KnapsackLayout {
+        KnapsackLayout {
+            weights: p_weights.to_vec(),
+            capacity: cap,
+        }
+    }
+
+    #[test]
+    fn slack_register_covers_every_residual() {
+        for cap in 1u64..=40 {
+            let l = layout(&[1], cap);
+            assert!(
+                (1u64 << l.slack_bits()) > cap,
+                "cap {cap}: {} bits",
+                l.slack_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_instance_matches_shape() {
+        // 3 items, W = 6 → 3 slack bits → 6 vars, 1 constraint.
+        let p = knapsack(&[2, 3, 4], &[3.0, 5.0, 7.0], 6, 1).unwrap();
+        assert_eq!(p.n_vars(), 6);
+        assert_eq!(p.constraints().len(), 1);
+        // {x1, x2} weighs 7 > 6: infeasible at any slack.
+        let l = layout(&[2, 3, 4], 6);
+        assert!(l.assignment(0b110).is_none());
+        // {x0, x2} weighs 6: slack 0.
+        assert!(p.is_feasible(l.assignment(0b101).unwrap()));
+    }
+
+    #[test]
+    fn every_underweight_selection_extends_to_feasible() {
+        let p = knapsack_random(5, 8, 3).unwrap();
+        let weights: Vec<u64> = {
+            // Regenerate the same weights the generator drew.
+            let mut rng = SplitMix64::new(3 ^ 0x9A_C4_11);
+            (0..5).map(|_| rng.gen_range(1, 6)).collect()
+        };
+        let l = layout(&weights, 8);
+        for items in 0u64..(1 << 5) {
+            match l.assignment(items) {
+                Some(bits) => {
+                    assert!(p.is_feasible(bits), "items={items:b}");
+                    assert_eq!(l.weight_of(bits), l.weight_of(items));
+                }
+                None => assert!(l.weight_of(items) > 8),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_is_always_feasible() {
+        for seed in 0..20 {
+            let p = knapsack_random(6, 9, seed).unwrap();
+            assert!(p.first_feasible().is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn optimum_respects_budget() {
+        let p = knapsack(&[2, 3, 4, 1], &[3.0, 5.0, 7.0, 2.0], 6, 1).unwrap();
+        let opt = solve_exact(&p).unwrap();
+        let l = layout(&[2, 3, 4, 1], 6);
+        for &sol in &opt.solutions {
+            assert!(l.weight_of(sol) <= 6);
+        }
+        // {x2, x0} = 7.0+3.0 = 10 at weight 6 beats everything else.
+        assert_eq!(opt.value, 10.0);
+    }
+
+    #[test]
+    fn budget_row_is_not_summation_format() {
+        let p = knapsack_random(5, 8, 1).unwrap();
+        assert!(p
+            .constraints()
+            .eqs()
+            .iter()
+            .any(|eq| !eq.is_summation_format()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = knapsack_random(6, 8, 4).unwrap();
+        let b = knapsack_random(6, 8, 4).unwrap();
+        let c = knapsack_random(6, 8, 5).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+}

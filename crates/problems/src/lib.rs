@@ -5,6 +5,13 @@
 //! k-partition ([`kpp`]), plus the 12-class [`BenchmarkSuite`]
 //! (F1–F4, G1–G4, K1–K4) used by every table and figure.
 //!
+//! Beyond the paper's three domains, two additional constrained families
+//! widen the workload axis: exact cover / set partitioning ([`cover`] —
+//! pure all-ones equalities, classes X1–X4) and bounded knapsack with an
+//! equality budget ([`knapsack`] — one general-coefficient equality row,
+//! classes B1–B4). [`EXTENDED_CLASSES`] and [`BenchmarkSuite::extended`]
+//! enumerate all 20 classes.
+//!
 //! All generators are deterministic per seed; inequality constraints are
 //! encoded as equalities with binary slack variables, matching the paper's
 //! formulation (Eq. (1)).
@@ -21,15 +28,19 @@
 
 #![warn(missing_docs)]
 
+mod cover;
 mod flp;
 mod gcp;
+mod knapsack;
 mod kpp;
 mod suite;
 
+pub use cover::{cover, cover_random, CoverLayout};
 pub use flp::{flp, FlpLayout};
 pub use gcp::{gcp, gcp_random, random_connected_edges, GcpLayout};
+pub use knapsack::{knapsack, knapsack_random, KnapsackLayout};
 pub use kpp::{kpp, kpp_random, KppLayout};
 pub use suite::{
     domain_of, instance, instances, scale_label, BenchmarkCase, BenchmarkSuite, Domain,
-    ALL_CLASSES, SMALL_CLASSES,
+    ALL_CLASSES, EXTENDED_CLASSES, SMALL_CLASSES,
 };

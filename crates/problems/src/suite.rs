@@ -7,8 +7,10 @@
 //! see DESIGN.md §6). Use [`BenchmarkSuite::standard`] for single
 //! representatives and [`instances`] for per-class samples.
 
+use crate::cover::cover_random;
 use crate::flp::flp;
 use crate::gcp::gcp_random;
+use crate::knapsack::knapsack_random;
 use crate::kpp::kpp_random;
 use choco_model::Problem;
 
@@ -21,6 +23,10 @@ pub enum Domain {
     Gcp,
     /// K-partition problem.
     Kpp,
+    /// Exact cover / set partitioning (extended suite).
+    Cover,
+    /// Bounded knapsack with an equality budget (extended suite).
+    Knapsack,
 }
 
 impl Domain {
@@ -30,6 +36,8 @@ impl Domain {
             Domain::Flp => "FLP",
             Domain::Gcp => "GCP",
             Domain::Kpp => "KPP",
+            Domain::Cover => "COVER",
+            Domain::Knapsack => "KNAP",
         }
     }
 }
@@ -70,6 +78,16 @@ pub fn instance(id: &str, seed: u64) -> Problem {
         "K2" => kpp_random(6, 7, 2, true, seed).expect("K2"),
         "K3" => kpp_random(8, 10, 2, true, seed).expect("K3"),
         "K4" => kpp_random(6, 7, 3, true, seed).expect("K4"),
+        // Exact cover: elements × subsets (vars = S).
+        "X1" => cover_random(4, 6, seed).expect("X1"),
+        "X2" => cover_random(6, 10, seed).expect("X2"),
+        "X3" => cover_random(8, 14, seed).expect("X3"),
+        "X4" => cover_random(10, 18, seed).expect("X4"),
+        // Bounded knapsack: items × budget (vars = I + ⌈log₂(W+1)⌉).
+        "B1" => knapsack_random(4, 6, seed).expect("B1"),
+        "B2" => knapsack_random(6, 8, seed).expect("B2"),
+        "B3" => knapsack_random(8, 10, seed).expect("B3"),
+        "B4" => knapsack_random(10, 12, seed).expect("B4"),
         other => panic!("unknown benchmark class `{other}`"),
     }
 }
@@ -89,6 +107,14 @@ pub fn scale_label(id: &str) -> &'static str {
         "K2" => "6V-7E-2B",
         "K3" => "8V-10E-2B",
         "K4" => "6V-7E-3B",
+        "X1" => "4U-6S",
+        "X2" => "6U-10S",
+        "X3" => "8U-14S",
+        "X4" => "10U-18S",
+        "B1" => "4I-6W",
+        "B2" => "6I-8W",
+        "B3" => "8I-10W",
+        "B4" => "10I-12W",
         other => panic!("unknown benchmark class `{other}`"),
     }
 }
@@ -99,6 +125,8 @@ pub fn domain_of(id: &str) -> Domain {
         b'F' => Domain::Flp,
         b'G' => Domain::Gcp,
         b'K' => Domain::Kpp,
+        b'X' => Domain::Cover,
+        b'B' => Domain::Knapsack,
         _ => panic!("unknown benchmark class `{id}`"),
     }
 }
@@ -108,9 +136,16 @@ pub fn instances(id: &str, count: usize) -> Vec<Problem> {
     (1..=count as u64).map(|seed| instance(id, seed)).collect()
 }
 
-/// All 12 class ids in table order.
+/// All 12 class ids of the paper's suite, in table order.
 pub const ALL_CLASSES: [&str; 12] = [
     "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "K1", "K2", "K3", "K4",
+];
+
+/// The paper's 12 classes plus the extended exact-cover (X1–X4) and
+/// knapsack (B1–B4) classes.
+pub const EXTENDED_CLASSES: [&str; 20] = [
+    "F1", "F2", "F3", "F4", "G1", "G2", "G3", "G4", "K1", "K2", "K3", "K4", "X1", "X2", "X3", "X4",
+    "B1", "B2", "B3", "B4",
 ];
 
 /// The small classes used for hardware-style (noisy) experiments.
@@ -123,9 +158,14 @@ pub struct BenchmarkSuite {
 }
 
 impl BenchmarkSuite {
-    /// One representative per class (seed 1), all 12 classes.
+    /// One representative per class (seed 1), all 12 paper classes.
     pub fn standard() -> Self {
         Self::from_ids(&ALL_CLASSES, 1)
+    }
+
+    /// One representative per class (seed 1), all 20 extended classes.
+    pub fn extended() -> Self {
+        Self::from_ids(&EXTENDED_CLASSES, 1)
     }
 
     /// The small suite (F1, G1, K1) used on noisy devices.
@@ -256,8 +296,33 @@ mod tests {
         assert_eq!(domain_of("F3"), Domain::Flp);
         assert_eq!(domain_of("G1"), Domain::Gcp);
         assert_eq!(domain_of("K2"), Domain::Kpp);
+        assert_eq!(domain_of("X1"), Domain::Cover);
+        assert_eq!(domain_of("B4"), Domain::Knapsack);
         assert_eq!(Domain::Kpp.label(), "KPP");
+        assert_eq!(Domain::Cover.label(), "COVER");
+        assert_eq!(Domain::Knapsack.label(), "KNAP");
         assert_eq!(scale_label("K1"), "4V-3E-2B");
+        assert_eq!(scale_label("X2"), "6U-10S");
+        assert_eq!(scale_label("B1"), "4I-6W");
+    }
+
+    #[test]
+    fn extended_suite_is_feasible_and_fits_the_simulator() {
+        let suite = BenchmarkSuite::extended();
+        assert_eq!(suite.len(), 20);
+        for case in suite.iter() {
+            assert!(
+                case.problem.first_feasible().is_some(),
+                "{} infeasible",
+                case.id
+            );
+            assert!(
+                case.problem.n_vars() <= 24,
+                "{} too large: {} vars",
+                case.id,
+                case.problem.n_vars()
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Measurement outcome histograms.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A histogram of measured bitstrings.
@@ -17,9 +17,14 @@ use std::fmt;
 /// assert_eq!(counts.shots(), 3);
 /// assert!((counts.probability(0b101) - 2.0 / 3.0).abs() < 1e-12);
 /// ```
+/// Outcomes are stored in a `BTreeMap`, so iteration — and therefore
+/// every floating-point accumulation over a histogram (success rate,
+/// ARG, expectations) — happens in ascending-bitstring order. This keeps
+/// solver metrics bit-identical across processes and thread counts; a
+/// hash map's arbitrary order would perturb the last ulp from run to run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Counts {
-    map: HashMap<u64, u64>,
+    map: BTreeMap<u64, u64>,
     shots: u64,
 }
 
@@ -75,7 +80,7 @@ impl Counts {
         }
     }
 
-    /// Iterates over `(bits, count)` pairs in arbitrary order.
+    /// Iterates over `(bits, count)` pairs in ascending bitstring order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.map.iter().map(|(&b, &c)| (b, c))
     }

@@ -1,0 +1,172 @@
+//! The `choco-cli run` subcommand: load a spec, execute it, emit reports.
+
+use crate::run::{execute, RunOptions};
+use crate::spec::ExperimentSpec;
+use choco_qsim::SimConfig;
+
+/// Parsed `run` subcommand arguments.
+#[derive(Clone, Debug, Default)]
+pub struct RunArgs {
+    /// Spec file path.
+    pub spec_path: String,
+    /// Worker threads (0 = one per host core).
+    pub workers: usize,
+    /// Trim to the spec's quick subset.
+    pub quick: bool,
+    /// JSON output path (`-` = stdout; default from the spec / name).
+    pub out: Option<String>,
+    /// Also write the flat cells as CSV to this path.
+    pub csv: Option<String>,
+    /// Per-worker simulator threads (default 1: cell-level parallelism
+    /// already fills the host).
+    pub sim_threads: usize,
+    /// Suppress the human-readable table on stdout.
+    pub no_table: bool,
+}
+
+/// Usage text for the `run` subcommand.
+pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
+     [--out PATH|-] [--csv PATH] [--sim-threads N] [--no-table]";
+
+/// Parses `run` subcommand arguments (everything after the literal
+/// `run`).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags or missing values.
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        sim_threads: 1,
+        ..RunArgs::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--workers" => {
+                parsed.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--quick" => parsed.quick = true,
+            "--out" => parsed.out = Some(value("--out")?),
+            "--csv" => parsed.csv = Some(value("--csv")?),
+            "--sim-threads" => {
+                parsed.sim_threads = value("--sim-threads")?
+                    .parse()
+                    .map_err(|e| format!("--sim-threads: {e}"))?
+            }
+            "--no-table" => parsed.no_table = true,
+            other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
+                parsed.spec_path = other.to_string();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if parsed.spec_path.is_empty() {
+        return Err("no spec file given".into());
+    }
+    Ok(parsed)
+}
+
+/// Executes the `run` subcommand end to end: parse the spec, run the
+/// batch, write JSON (and optional CSV), print the table.
+///
+/// # Errors
+///
+/// Returns a user-facing message on spec, execution, or I/O failure.
+pub fn run_command(args: &[String]) -> Result<(), String> {
+    let parsed = parse_run_args(args)?;
+    let spec = ExperimentSpec::load(&parsed.spec_path)?;
+    let options = RunOptions {
+        workers: parsed.workers,
+        quick: parsed.quick,
+        sim: if parsed.sim_threads <= 1 {
+            SimConfig::serial()
+        } else {
+            SimConfig::with_threads(parsed.sim_threads)
+        },
+    };
+    let report = execute(&spec, &options)?;
+
+    let json = report.to_json();
+    let out_path = parsed
+        .out
+        .clone()
+        .or_else(|| spec.output.clone())
+        .unwrap_or_else(|| format!("results/{}.json", spec.name));
+    if out_path == "-" {
+        print!("{json}");
+    } else {
+        if let Some(parent) = std::path::Path::new(&out_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(&out_path, &json).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+        eprintln!("wrote {out_path}");
+    }
+    if let Some(csv_path) = &parsed.csv {
+        let csv = report.to_csv();
+        if csv_path == "-" {
+            print!("{csv}");
+        } else {
+            std::fs::write(csv_path, &csv).map_err(|e| format!("cannot write {csv_path}: {e}"))?;
+            eprintln!("wrote {csv_path}");
+        }
+    }
+    if !parsed.no_table && out_path != "-" && parsed.csv.as_deref() != Some("-") {
+        print!("{}", report.to_table());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let args = parse_run_args(&strings(&[
+            "spec.toml",
+            "--workers",
+            "3",
+            "--quick",
+            "--out",
+            "-",
+            "--csv",
+            "cells.csv",
+            "--sim-threads",
+            "2",
+            "--no-table",
+        ]))
+        .unwrap();
+        assert_eq!(args.spec_path, "spec.toml");
+        assert_eq!(args.workers, 3);
+        assert!(args.quick);
+        assert_eq!(args.out.as_deref(), Some("-"));
+        assert_eq!(args.csv.as_deref(), Some("cells.csv"));
+        assert_eq!(args.sim_threads, 2);
+        assert!(args.no_table);
+    }
+
+    #[test]
+    fn rejects_missing_spec_and_unknown_flags() {
+        assert!(parse_run_args(&[]).unwrap_err().contains("no spec"));
+        assert!(parse_run_args(&strings(&["s.toml", "--bogus"]))
+            .unwrap_err()
+            .contains("--bogus"));
+        assert!(parse_run_args(&strings(&["s.toml", "--workers"]))
+            .unwrap_err()
+            .contains("--workers"));
+    }
+}

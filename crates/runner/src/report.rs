@@ -1,0 +1,370 @@
+//! Run reports: typed records with deterministic JSON / CSV emission.
+//!
+//! Records hold only *deterministic* quantities — metrics, modeled
+//! latency, circuit statistics, seeds — never host wall-clock times, so a
+//! report is byte-identical across repeated runs and across any worker
+//! count (wall-clock progress goes to stderr instead). Field order is the
+//! insertion order of the producing harness, identical for every record
+//! of a run, which keeps the JSON stable and lets CSV share one header.
+
+use std::fmt::Write as _;
+
+/// One value in a record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Field {
+    /// Absent / not applicable (JSON `null`, empty CSV cell).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float (non-finite values emit as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array of floats (e.g. a cost history); skipped in CSV.
+    Floats(Vec<f64>),
+}
+
+impl Field {
+    /// Optional unsigned value → field.
+    pub fn opt_uint<T: Into<u64>>(v: Option<T>) -> Field {
+        v.map_or(Field::Null, |x| Field::UInt(x.into()))
+    }
+
+    /// Optional float value → field.
+    pub fn opt_float(v: Option<f64>) -> Field {
+        v.map_or(Field::Null, Field::Float)
+    }
+
+    /// Optional string value → field.
+    pub fn opt_str(v: Option<String>) -> Field {
+        v.map_or(Field::Null, Field::Str)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Field::Null => out.push_str("null"),
+            Field::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Field::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Field::Float(f) => write_json_f64(out, *f),
+            Field::Str(s) => write_json_str(out, s),
+            Field::Floats(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_json_f64(out, *x);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    fn csv_cell(&self) -> String {
+        match self {
+            Field::Null | Field::Floats(_) => String::new(),
+            Field::Bool(b) => b.to_string(),
+            Field::UInt(u) => u.to_string(),
+            Field::Float(f) if f.is_finite() => format!("{f}"),
+            Field::Float(_) => String::new(),
+            Field::Str(s) => {
+                if s.contains(',') || s.contains('"') || s.contains('\n') {
+                    format!("\"{}\"", s.replace('"', "\"\""))
+                } else {
+                    s.clone()
+                }
+            }
+        }
+    }
+
+    /// Short cell text for the human table (`Floats` summarized).
+    fn table_cell(&self) -> String {
+        match self {
+            Field::Null => "-".into(),
+            Field::Bool(b) => b.to_string(),
+            Field::UInt(u) => u.to_string(),
+            Field::Float(f) if f.is_finite() => format!("{f:.4}"),
+            Field::Float(_) => "-".into(),
+            Field::Str(s) => s.clone(),
+            Field::Floats(xs) => format!("[{} pts]", xs.len()),
+        }
+    }
+}
+
+fn write_json_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One report row: ordered `(key, value)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Record {
+    fields: Vec<(&'static str, Field)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Appends a field (keys must be unique per record).
+    pub fn push(&mut self, key: &'static str, value: Field) -> &mut Self {
+        debug_assert!(
+            self.fields.iter().all(|(k, _)| *k != key),
+            "duplicate record key {key}"
+        );
+        self.fields.push((key, value));
+        self
+    }
+
+    /// Looks a field up by key.
+    pub fn get(&self, key: &str) -> Option<&Field> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(&'static str, Field)] {
+        &self.fields
+    }
+
+    fn write_json(&self, out: &mut String, indent: &str) {
+        out.push('{');
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n{indent}  ");
+            write_json_str(out, key);
+            out.push_str(": ");
+            value.write_json(out);
+        }
+        let _ = write!(out, "\n{indent}}}");
+    }
+}
+
+/// A complete experiment report.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Experiment name (from the spec).
+    pub name: String,
+    /// Spec description.
+    pub description: String,
+    /// Harness kind label (`"grid"` …).
+    pub kind: &'static str,
+    /// The spec's master seed.
+    pub spec_seed: u64,
+    /// Whether `--quick` trimmed the axes.
+    pub quick: bool,
+    /// One record per grid cell / special-kind row.
+    pub records: Vec<Record>,
+    /// Aggregates over the records (means, improvement factors).
+    pub summary: Record,
+}
+
+impl RunReport {
+    /// Serializes the full report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"experiment\": ");
+        write_json_str(&mut out, &self.name);
+        out.push_str(",\n  \"description\": ");
+        write_json_str(&mut out, &self.description);
+        let _ = write!(
+            out,
+            ",\n  \"kind\": \"{}\",\n  \"spec_seed\": {},\n  \"quick\": {},\n  \"cells\": [",
+            self.kind, self.spec_seed, self.quick
+        );
+        for (i, record) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            record.write_json(&mut out, "    ");
+        }
+        if self.records.is_empty() {
+            out.push_str("],");
+        } else {
+            out.push_str("\n  ],");
+        }
+        out.push_str("\n  \"summary\": ");
+        self.summary.write_json(&mut out, "  ");
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Serializes the records as CSV (header from the first record;
+    /// `Floats` fields are omitted).
+    pub fn to_csv(&self) -> String {
+        let Some(first) = self.records.first() else {
+            return String::new();
+        };
+        let keys: Vec<&'static str> = first
+            .fields()
+            .iter()
+            .filter(|(_, v)| !matches!(v, Field::Floats(_)))
+            .map(|(k, _)| *k)
+            .collect();
+        let mut out = keys.join(",");
+        out.push('\n');
+        for record in &self.records {
+            let row: Vec<String> = keys
+                .iter()
+                .map(|k| record.get(k).map_or(String::new(), Field::csv_cell))
+                .collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders an aligned text table of the records plus the summary, for
+    /// terminal consumption.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.name, self.description);
+        let Some(first) = self.records.first() else {
+            let _ = writeln!(out, "(no cells)");
+            return out;
+        };
+        let keys: Vec<&'static str> = first
+            .fields()
+            .iter()
+            .filter(|(k, _)| *k != "index")
+            .map(|(k, _)| *k)
+            .collect();
+        let mut rows: Vec<Vec<String>> = vec![keys.iter().map(|k| k.to_string()).collect()];
+        for record in &self.records {
+            rows.push(
+                keys.iter()
+                    .map(|k| record.get(k).map_or("-".into(), Field::table_cell))
+                    .collect(),
+            );
+        }
+        let widths: Vec<usize> = (0..keys.len())
+            .map(|c| rows.iter().map(|r| r[c].len()).max().unwrap_or(0))
+            .collect();
+        for (i, row) in rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(cell, w)| format!("{cell:>w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  ").trim_end());
+            if i == 0 {
+                let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+                let _ = writeln!(out, "{}", "-".repeat(total));
+            }
+        }
+        if !self.summary.fields().is_empty() {
+            let _ = writeln!(out, "\nsummary:");
+            for (key, value) in self.summary.fields() {
+                let _ = writeln!(out, "  {key} = {}", value.table_cell());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        let mut a = Record::new();
+        a.push("index", Field::UInt(0))
+            .push("case", Field::Str("F1".into()))
+            .push("success_rate", Field::Float(0.5))
+            .push("depth", Field::Null)
+            .push("history", Field::Floats(vec![1.0, 0.5]));
+        let mut b = Record::new();
+        b.push("index", Field::UInt(1))
+            .push("case", Field::Str("with,comma".into()))
+            .push("success_rate", Field::Float(f64::NAN))
+            .push("depth", Field::UInt(12))
+            .push("history", Field::Floats(vec![]));
+        let mut summary = Record::new();
+        summary.push("cells", Field::UInt(2));
+        RunReport {
+            name: "t".into(),
+            description: "d \"quoted\"".into(),
+            kind: "grid",
+            spec_seed: 1,
+            quick: false,
+            records: vec![a, b],
+            summary,
+        }
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let json = sample_report().to_json();
+        assert_eq!(json, sample_report().to_json());
+        assert!(json.contains("\"d \\\"quoted\\\"\""));
+        assert!(json.contains("\"success_rate\": 0.5"));
+        assert!(json.contains("\"success_rate\": null"), "NaN → null");
+        assert!(json.contains("\"history\": [1, 0.5]"));
+        assert!(json.contains("\"summary\""));
+    }
+
+    #[test]
+    fn csv_shares_header_and_quotes_commas() {
+        let csv = sample_report().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "index,case,success_rate,depth");
+        assert_eq!(lines.next().unwrap(), "0,F1,0.5,");
+        assert_eq!(lines.next().unwrap(), "1,\"with,comma\",,12");
+    }
+
+    #[test]
+    fn table_renders_all_records() {
+        let table = sample_report().to_table();
+        assert!(table.contains("success_rate"));
+        assert!(table.contains("F1"));
+        assert!(table.contains("cells = 2"));
+        assert!(!table.contains("index  "), "index column dropped");
+    }
+
+    #[test]
+    fn empty_report_serializes() {
+        let report = RunReport {
+            name: "e".into(),
+            description: String::new(),
+            kind: "grid",
+            spec_seed: 0,
+            quick: true,
+            records: vec![],
+            summary: Record::new(),
+        };
+        assert!(report.to_json().contains("\"cells\": []"));
+        assert_eq!(report.to_csv(), "");
+        assert!(report.to_table().contains("no cells"));
+    }
+}

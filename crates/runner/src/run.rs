@@ -1,0 +1,691 @@
+//! The batch scheduler: expands a spec into cells and fans them out
+//! across `std::thread::scope` workers.
+//!
+//! Each worker owns one [`SimWorkspace`], so after its first cell the
+//! zero-allocation solver path is exercised in parallel across the whole
+//! batch. Results land in a slot vector indexed by cell position, which
+//! makes the report — and its JSON — byte-identical at any worker count.
+
+use crate::report::{Field, Record, RunReport};
+use crate::spec::{Cell, ExperimentSpec, RunKind, SolverKind};
+use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
+use choco_device::LatencyModel;
+use choco_model::{solve_exact, Optimum, Problem, SolveOutcome};
+use choco_qsim::{SimConfig, SimWorkspace};
+use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Execution options orthogonal to the spec (how to run, not what).
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Worker threads for the cell scheduler (0 = one per host core).
+    pub workers: usize,
+    /// Trim the axes to the spec's quick subset.
+    pub quick: bool,
+    /// State-vector engine configuration for every worker's workspace.
+    /// Defaults to serial: with cell-level parallelism outer × inner
+    /// thread fan-out oversubscribes the host.
+    pub sim: SimConfig,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: 0,
+            quick: false,
+            sim: SimConfig::serial(),
+        }
+    }
+}
+
+impl RunOptions {
+    /// The effective worker count for `n_cells` cells.
+    pub fn effective_workers(&self, n_cells: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.clamp(1, n_cells.max(1))
+    }
+}
+
+/// Budget-scaled Choco-Q configuration: big registers get fewer restarts
+/// and iterations so a full-suite sweep stays CPU-feasible.
+pub fn scaled_choco(n_vars: usize) -> ChocoQConfig {
+    let base = ChocoQConfig::default();
+    match n_vars {
+        0..=12 => ChocoQConfig {
+            max_iters: 100,
+            ..base
+        },
+        13..=16 => ChocoQConfig {
+            max_iters: 120,
+            restarts: 6,
+            ..base
+        },
+        17..=19 => ChocoQConfig {
+            max_iters: 60,
+            restarts: 4,
+            shots: 4_096,
+            ..base
+        },
+        _ => ChocoQConfig {
+            max_iters: 25,
+            restarts: 1,
+            shots: 2_048,
+            transpiled_stats: true,
+            ..base
+        },
+    }
+}
+
+/// Budget-scaled baseline configuration (the paper runs the baselines
+/// with 7 layers; iteration budget shrinks with register size).
+pub fn scaled_qaoa(n_vars: usize) -> QaoaConfig {
+    let base = QaoaConfig::default();
+    match n_vars {
+        0..=12 => base,
+        13..=16 => QaoaConfig {
+            max_iters: 60,
+            ..base
+        },
+        17..=19 => QaoaConfig {
+            max_iters: 40,
+            shots: 4_096,
+            ..base
+        },
+        _ => QaoaConfig {
+            max_iters: 15,
+            shots: 2_048,
+            ..base
+        },
+    }
+}
+
+/// One resolved problem instance shared by all its cells.
+pub struct Instance {
+    /// The generated problem.
+    pub problem: Problem,
+    /// The exact optimum, or why it could not be computed.
+    pub optimum: Result<Optimum, String>,
+}
+
+/// Resolves every distinct `(problem, seed)` instance a cell list needs.
+///
+/// # Errors
+///
+/// Returns generator failures (malformed or oversized families).
+pub fn build_instances(cells: &[Cell]) -> Result<BTreeMap<(String, u64), Instance>, String> {
+    let mut instances = BTreeMap::new();
+    for cell in cells {
+        let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+        if instances.contains_key(&key) {
+            continue;
+        }
+        let problem = cell.problem.build(cell.instance_seed)?;
+        let optimum = solve_exact(&problem).map_err(|e| e.to_string());
+        instances.insert(key, Instance { problem, optimum });
+    }
+    Ok(instances)
+}
+
+/// Executes a spec and assembles its report.
+///
+/// # Errors
+///
+/// Returns an error for unresolvable specs (bad problem family, failed
+/// generators); per-cell solver failures are recorded in the report
+/// instead of aborting the batch.
+pub fn execute(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, String> {
+    match spec.kind {
+        RunKind::Grid => execute_grid(spec, opts),
+        RunKind::Decomposition => crate::special::execute_decomposition(spec, opts),
+        RunKind::Ablation => crate::special::execute_ablation(spec, opts),
+        RunKind::Support => crate::special::execute_support(spec, opts),
+    }
+}
+
+fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, String> {
+    let mut cells = spec.expand_cells(opts.quick);
+
+    // `--quick` additionally drops cells above the spec's variable cap —
+    // before any exact solve, since generating a Problem is microseconds
+    // but the exact optimum of precisely the oversized classes the cap
+    // exists to skip is the expensive part.
+    if let (true, Some(cap)) = (opts.quick, spec.quick_max_vars) {
+        let mut sizes: BTreeMap<(String, u64), usize> = BTreeMap::new();
+        for cell in &cells {
+            let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+            if let std::collections::btree_map::Entry::Vacant(slot) = sizes.entry(key) {
+                let n = cell.problem.build(cell.instance_seed)?.n_vars();
+                if n > cap {
+                    eprintln!(
+                        "skip {} seed={} (--quick: {n} vars > {cap})",
+                        cell.problem.as_str(),
+                        cell.instance_seed
+                    );
+                }
+                slot.insert(n);
+            }
+        }
+        cells.retain(|cell| sizes[&(cell.problem.as_str().to_string(), cell.instance_seed)] <= cap);
+        for (index, cell) in cells.iter_mut().enumerate() {
+            cell.index = index;
+        }
+    }
+    let instances = build_instances(&cells)?;
+
+    let n_workers = opts.effective_workers(cells.len());
+    let done = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Record>>> = Mutex::new(vec![None; cells.len()]);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| {
+                let mut workspace = SimWorkspace::new(opts.sim);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+                    let record = run_grid_cell(spec, cell, &instances[&key], &mut workspace);
+                    slots.lock().expect("slot lock")[i] = Some(record);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "[{finished}/{}] {} seed={} {} ({:.1}s elapsed)",
+                        cells.len(),
+                        cell.problem.as_str(),
+                        cell.instance_seed,
+                        cell.solver.label(),
+                        started.elapsed().as_secs_f64()
+                    );
+                }
+            });
+        }
+    });
+    let records: Vec<Record> = slots
+        .into_inner()
+        .expect("slot lock")
+        .into_iter()
+        .map(|slot| slot.expect("every cell ran"))
+        .collect();
+    let summary = summarize(&records);
+    Ok(RunReport {
+        name: spec.name.clone(),
+        description: spec.description.clone(),
+        kind: spec.kind.label(),
+        spec_seed: spec.seed,
+        quick: opts.quick,
+        records,
+        summary,
+    })
+}
+
+fn run_grid_cell(
+    spec: &ExperimentSpec,
+    cell: &Cell,
+    instance: &Instance,
+    workspace: &mut SimWorkspace,
+) -> Record {
+    let problem = &instance.problem;
+    let cell_seed = spec.cell_seed(cell);
+    let noise = match (spec.noisy, cell.device) {
+        (true, Some(device)) => Some(device.model().noise()),
+        _ => None,
+    };
+
+    let solved: Result<SolveOutcome, String> = match cell.solver {
+        SolverKind::ChocoQ => {
+            let base = scaled_choco(problem.n_vars());
+            let config = ChocoQConfig {
+                layers: cell.layers.unwrap_or(base.layers),
+                shots: spec.config.shots.unwrap_or(base.shots),
+                max_iters: spec.config.max_iters.unwrap_or(base.max_iters),
+                restarts: spec.config.restarts.unwrap_or(base.restarts),
+                noise_trajectories: spec
+                    .config
+                    .noise_trajectories
+                    .unwrap_or(base.noise_trajectories),
+                transpiled_stats: spec
+                    .config
+                    .transpiled_stats
+                    .unwrap_or(base.transpiled_stats),
+                eliminate: cell.eliminate,
+                seed: cell_seed,
+                noise,
+                ..base
+            };
+            ChocoQSolver::new(config)
+                .solve_with_workspace(problem, workspace)
+                .map_err(|e| e.to_string())
+        }
+        baseline => {
+            let base = scaled_qaoa(problem.n_vars());
+            let config = QaoaConfig {
+                layers: cell.layers.unwrap_or(base.layers),
+                shots: spec.config.shots.unwrap_or(base.shots),
+                max_iters: spec.config.max_iters.unwrap_or(base.max_iters),
+                noise_trajectories: spec
+                    .config
+                    .noise_trajectories
+                    .unwrap_or(base.noise_trajectories),
+                transpiled_stats: spec
+                    .config
+                    .transpiled_stats
+                    .unwrap_or(base.transpiled_stats),
+                seed: cell_seed,
+                noise,
+                ..base
+            };
+            match baseline {
+                SolverKind::Penalty => PenaltyQaoaSolver::new(config)
+                    .solve_with_workspace(problem, workspace)
+                    .map_err(|e| e.to_string()),
+                SolverKind::Cyclic => CyclicQaoaSolver::new(config)
+                    .solve_with_workspace(problem, workspace)
+                    .map_err(|e| e.to_string()),
+                SolverKind::Hea => HeaSolver::new(config)
+                    .solve_with_workspace(problem, workspace)
+                    .map_err(|e| e.to_string()),
+                SolverKind::ChocoQ => unreachable!("handled above"),
+            }
+        }
+    };
+    // Fold an unsolvable exact reference into the error channel: metrics
+    // need the optimum.
+    let solved = match (&instance.optimum, solved) {
+        (Err(e), _) => Err(format!("exact reference unavailable: {e}")),
+        (Ok(_), outcome) => outcome,
+    };
+
+    let mut record = Record::new();
+    record
+        .push("index", Field::UInt(cell.index as u64))
+        .push("problem", Field::Str(cell.problem.as_str().to_string()))
+        .push("instance", Field::Str(problem.name().to_string()))
+        .push("instance_seed", Field::UInt(cell.instance_seed))
+        .push("cell_seed", Field::UInt(cell_seed))
+        .push("solver", Field::Str(cell.solver.label().to_string()))
+        .push("layers", Field::opt_uint(cell.layers.map(|l| l as u64)))
+        .push("eliminate", Field::UInt(cell.eliminate as u64))
+        .push(
+            "device",
+            Field::opt_str(cell.device.map(|d| d.model().name.to_string())),
+        )
+        .push("noisy", Field::Bool(noise.is_some()))
+        .push("n_vars", Field::UInt(problem.n_vars() as u64))
+        .push(
+            "n_constraints",
+            Field::UInt(problem.constraints().len() as u64),
+        );
+
+    // Outcome-dependent fields follow in a fixed order (nulls on failure,
+    // so every record of a run shares one schema).
+    let (status, error, outcome) = match solved {
+        Err(e) => ("error", Some(e), None),
+        Ok(o) => ("ok", None, Some(o)),
+    };
+    let metrics = outcome.as_ref().map(|o| {
+        let optimum = instance.optimum.as_ref().expect("error folded above");
+        o.metrics_with(problem, optimum)
+    });
+    record
+        .push("status", Field::Str(status.into()))
+        .push("error", Field::opt_str(error))
+        .push(
+            "optimal_value",
+            Field::opt_float(instance.optimum.as_ref().ok().map(|o| o.value)),
+        )
+        .push(
+            "success_rate",
+            Field::opt_float(metrics.as_ref().map(|m| m.success_rate)),
+        )
+        .push(
+            "in_constraints_rate",
+            Field::opt_float(metrics.as_ref().map(|m| m.in_constraints_rate)),
+        )
+        .push("arg", Field::opt_float(metrics.as_ref().map(|m| m.arg)))
+        .push(
+            "expected_objective",
+            Field::opt_float(metrics.as_ref().map(|m| m.expected_objective)),
+        )
+        .push(
+            "best_value",
+            Field::opt_float(metrics.as_ref().and_then(|m| m.best_found.map(|(_, v)| v))),
+        )
+        .push(
+            "iterations",
+            Field::opt_uint(outcome.as_ref().map(|o| o.iterations as u64)),
+        )
+        .push(
+            "logical_depth",
+            Field::opt_uint(outcome.as_ref().map(|o| o.circuit.logical_depth as u64)),
+        )
+        .push(
+            "transpiled_depth",
+            Field::opt_uint(
+                outcome
+                    .as_ref()
+                    .and_then(|o| o.circuit.transpiled_depth.map(|d| d as u64)),
+            ),
+        )
+        .push(
+            "transpiled_gates",
+            Field::opt_uint(
+                outcome
+                    .as_ref()
+                    .and_then(|o| o.circuit.transpiled_gates.map(|d| d as u64)),
+            ),
+        )
+        .push(
+            "two_qubit_gates",
+            Field::opt_uint(
+                outcome
+                    .as_ref()
+                    .and_then(|o| o.circuit.two_qubit_gates.map(|d| d as u64)),
+            ),
+        );
+
+    // Modeled quantum-execution latency on the cell's device. Only the
+    // *modeled* component is recorded: the compile/classical parts of the
+    // estimate are host-measured wall-clock and would break report
+    // determinism.
+    let latency = match (cell.device, &outcome) {
+        (Some(device), Some(o)) => Some(
+            LatencyModel::default()
+                .estimate_from_outcome(&device.model(), o, o.counts.shots())
+                .quantum
+                .as_secs_f64(),
+        ),
+        _ => None,
+    };
+    record.push("latency_quantum_s", Field::opt_float(latency));
+
+    // Elimination-plan structure for Choco-Q cells (Fig. 13's x-axis).
+    let (branches, nonzeros) = if cell.solver == SolverKind::ChocoQ && outcome.is_some() {
+        match plan_elimination(problem, cell.eliminate) {
+            Ok(plan) => {
+                let nonzeros = plan.branches.first().map(|b| {
+                    CommuteDriver::build(b.problem.constraints())
+                        .map(|d| d.total_nonzeros() as u64)
+                        .unwrap_or(0)
+                });
+                (Some(plan.branches.len() as u64), nonzeros)
+            }
+            Err(_) => (None, None),
+        }
+    } else {
+        (None, None)
+    };
+    record
+        .push("branches", Field::opt_uint(branches))
+        .push("delta_nonzeros", Field::opt_uint(nonzeros));
+
+    if spec.history {
+        record.push(
+            "cost_history",
+            Field::Floats(
+                outcome
+                    .as_ref()
+                    .map(|o| o.cost_history.clone())
+                    .unwrap_or_default(),
+            ),
+        );
+    }
+    record
+}
+
+/// Aggregates a finished grid into the report summary: per-solver mean
+/// metrics plus the paper's headline improvement factors.
+fn summarize(records: &[Record]) -> Record {
+    let mut summary = Record::new();
+    let errors = records
+        .iter()
+        .filter(|r| r.get("status").and_then(as_str) == Some("error"))
+        .count();
+    summary
+        .push("cells", Field::UInt(records.len() as u64))
+        .push("errors", Field::UInt(errors as u64));
+
+    for solver in SolverKind::ALL {
+        let rows: Vec<&Record> = records
+            .iter()
+            .filter(|r| r.get("solver").and_then(as_str) == Some(solver.label()))
+            .filter(|r| r.get("status").and_then(as_str) == Some("ok"))
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let mean = |key: &str| {
+            let values: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.get(key).and_then(as_float))
+                .collect();
+            values.iter().sum::<f64>() / values.len().max(1) as f64
+        };
+        match solver {
+            SolverKind::Penalty => summary
+                .push("penalty_mean_success", Field::Float(mean("success_rate")))
+                .push(
+                    "penalty_mean_in_constraints",
+                    Field::Float(mean("in_constraints_rate")),
+                ),
+            SolverKind::Cyclic => summary
+                .push("cyclic_mean_success", Field::Float(mean("success_rate")))
+                .push(
+                    "cyclic_mean_in_constraints",
+                    Field::Float(mean("in_constraints_rate")),
+                ),
+            SolverKind::Hea => summary
+                .push("hea_mean_success", Field::Float(mean("success_rate")))
+                .push(
+                    "hea_mean_in_constraints",
+                    Field::Float(mean("in_constraints_rate")),
+                ),
+            SolverKind::ChocoQ => summary
+                .push("choco_q_mean_success", Field::Float(mean("success_rate")))
+                .push(
+                    "choco_q_mean_in_constraints",
+                    Field::Float(mean("in_constraints_rate")),
+                ),
+        };
+    }
+
+    // Choco-Q vs the best baseline of the *same cell coordinates* —
+    // geometric mean over coordinates where both found the optimum
+    // (Table II / Fig. 10 report this factor).
+    let mut groups: BTreeMap<String, (Option<f64>, f64)> = BTreeMap::new();
+    for r in records {
+        let Some(success) = r.get("success_rate").and_then(as_float) else {
+            continue;
+        };
+        let key = format!(
+            "{}|{}|{}|{}|{}",
+            r.get("problem").and_then(as_str).unwrap_or(""),
+            r.get("instance_seed").map(field_text).unwrap_or_default(),
+            r.get("layers").map(field_text).unwrap_or_default(),
+            r.get("eliminate").map(field_text).unwrap_or_default(),
+            r.get("device").and_then(as_str).unwrap_or("ideal"),
+        );
+        let entry = groups.entry(key).or_insert((None, 0.0));
+        if r.get("solver").and_then(as_str) == Some(SolverKind::ChocoQ.label()) {
+            entry.0 = Some(success);
+        } else {
+            entry.1 = entry.1.max(success);
+        }
+    }
+    let ratios: Vec<f64> = groups
+        .values()
+        .filter_map(|&(choco, best_baseline)| match choco {
+            Some(c) if c > 0.0 && best_baseline > 0.0 => Some(c / best_baseline),
+            _ => None,
+        })
+        .collect();
+    if !ratios.is_empty() {
+        summary.push(
+            "choco_vs_best_baseline_success_gmean",
+            Field::Float(choco_mathkit::geometric_mean(&ratios)),
+        );
+    }
+    summary
+}
+
+fn as_str(field: &Field) -> Option<&str> {
+    match field {
+        Field::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_float(field: &Field) -> Option<f64> {
+    match field {
+        Field::Float(f) => Some(*f),
+        Field::UInt(u) => Some(*u as f64),
+        _ => None,
+    }
+}
+
+fn field_text(field: &Field) -> String {
+    match field {
+        Field::Null => "-".into(),
+        Field::Bool(b) => b.to_string(),
+        Field::UInt(u) => u.to_string(),
+        Field::Float(f) => format!("{f}"),
+        Field::Str(s) => s.clone(),
+        Field::Floats(_) => "[..]".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::parse_str(
+            r#"
+name = "tiny"
+description = "unit-test grid"
+[grid]
+problems = ["F1"]
+solvers = ["choco-q", "cyclic"]
+[config]
+shots = 1000
+max_iters = 10
+restarts = 1
+transpiled_stats = false
+"#,
+        )
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn grid_runs_and_orders_records() {
+        let report = execute(&tiny_spec(), &RunOptions::default()).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(
+            report.records[0].get("solver").and_then(as_str),
+            Some("choco-q")
+        );
+        assert_eq!(report.records[0].get("status").and_then(as_str), Some("ok"));
+        let success = report.records[0]
+            .get("success_rate")
+            .and_then(as_float)
+            .unwrap();
+        assert!(success > 0.0, "choco-q should solve F1 sometimes");
+        let incons = report.records[0]
+            .get("in_constraints_rate")
+            .and_then(as_float)
+            .unwrap();
+        assert!((incons - 1.0).abs() < 1e-9, "hard constraints");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let spec = tiny_spec();
+        let one = execute(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let two = execute(
+            &spec,
+            &RunOptions {
+                workers: 2,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one.to_json(), two.to_json());
+        assert_eq!(one.to_csv(), two.to_csv());
+    }
+
+    #[test]
+    fn solver_failures_become_error_records() {
+        // Knapsack's budget row is not summation format: cyclic cannot
+        // encode it and must fail gracefully, not abort the batch.
+        let spec = ExperimentSpec::parse_str(
+            r#"
+name = "err"
+[grid]
+problems = ["B1"]
+solvers = ["cyclic"]
+[config]
+shots = 500
+max_iters = 5
+"#,
+        )
+        .unwrap();
+        let report = execute(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(
+            report.records[0].get("status").and_then(as_str),
+            Some("error")
+        );
+        assert_eq!(report.summary.get("errors"), Some(&Field::UInt(1)));
+    }
+
+    #[test]
+    fn quick_cap_drops_cells_and_reindexes() {
+        let spec = ExperimentSpec::parse_str(
+            r#"
+name = "cap"
+[grid]
+problems = ["F1", "F2"]
+solvers = ["hea"]
+quick_max_vars = 8
+[config]
+shots = 200
+max_iters = 3
+"#,
+        )
+        .unwrap();
+        // F2 has 10 vars: dropped under --quick, kept otherwise.
+        let full = execute(&spec, &RunOptions::default()).unwrap();
+        assert_eq!(full.records.len(), 2);
+        let quick = execute(
+            &spec,
+            &RunOptions {
+                quick: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(quick.records.len(), 1);
+        assert_eq!(quick.records[0].get("index"), Some(&Field::UInt(0)));
+    }
+
+    #[test]
+    fn scaled_configs_shrink_with_size() {
+        assert!(scaled_choco(8).max_iters > scaled_choco(20).max_iters);
+        assert!(scaled_qaoa(8).max_iters > scaled_qaoa(20).max_iters);
+    }
+}

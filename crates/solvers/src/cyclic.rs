@@ -79,6 +79,20 @@ impl Solver for CyclicQaoaSolver {
     }
 
     fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let mut workspace = SimWorkspace::new(self.config.sim);
+        self.solve_with_workspace(problem, &mut workspace)
+    }
+}
+
+impl CyclicQaoaSolver {
+    /// [`Solver::solve`] with a caller-owned [`SimWorkspace`], reused
+    /// across optimizer iterations and repeated solves (the batch runner's
+    /// per-worker workspaces go through this entry point).
+    pub fn solve_with_workspace(
+        &self,
+        problem: &Problem,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SolveOutcome, SolverError> {
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();
@@ -147,14 +161,17 @@ impl Solver for CyclicQaoaSolver {
             c
         };
 
-        let mut workspace = SimWorkspace::new(self.config.sim);
+        let loop_config = QaoaConfig {
+            sim: *workspace.config(),
+            ..self.config.clone()
+        };
         let result = variational_loop(
             n,
             build,
             &cost_values,
             &ramp_initial_params(layers),
-            &self.config,
-            &mut workspace,
+            &loop_config,
+            workspace,
         );
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;

@@ -43,6 +43,20 @@ impl Solver for HeaSolver {
     }
 
     fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let mut workspace = SimWorkspace::new(self.config.sim);
+        self.solve_with_workspace(problem, &mut workspace)
+    }
+}
+
+impl HeaSolver {
+    /// [`Solver::solve`] with a caller-owned [`SimWorkspace`], reused
+    /// across optimizer iterations and repeated solves (the batch runner's
+    /// per-worker workspaces go through this entry point).
+    pub fn solve_with_workspace(
+        &self,
+        problem: &Problem,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SolveOutcome, SolverError> {
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();
@@ -69,8 +83,11 @@ impl Solver for HeaSolver {
 
         // Small nonzero start breaks the RY(0) saddle.
         let x0 = vec![0.3; Self::n_params(n, layers)];
-        let mut workspace = SimWorkspace::new(self.config.sim);
-        let result = variational_loop(n, build, &cost_values, &x0, &self.config, &mut workspace);
+        let loop_config = QaoaConfig {
+            sim: *workspace.config(),
+            ..self.config.clone()
+        };
+        let result = variational_loop(n, build, &cost_values, &x0, &loop_config, workspace);
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;

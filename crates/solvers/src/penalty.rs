@@ -56,6 +56,22 @@ impl Solver for PenaltyQaoaSolver {
     }
 
     fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        let mut workspace = SimWorkspace::new(self.config.sim);
+        self.solve_with_workspace(problem, &mut workspace)
+    }
+}
+
+impl PenaltyQaoaSolver {
+    /// [`Solver::solve`] with a caller-owned [`SimWorkspace`]: the
+    /// amplitude buffer and cached diagonals live in `workspace` and are
+    /// reused across optimizer iterations (and across repeated solves when
+    /// the caller keeps the workspace around, e.g. the batch runner's
+    /// per-worker workspaces).
+    pub fn solve_with_workspace(
+        &self,
+        problem: &Problem,
+        workspace: &mut SimWorkspace,
+    ) -> Result<SolveOutcome, SolverError> {
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();
@@ -80,14 +96,19 @@ impl Solver for PenaltyQaoaSolver {
             c
         };
 
-        let mut workspace = SimWorkspace::new(self.config.sim);
+        // Follow the caller-owned workspace's engine config for every
+        // kernel of this solve (noisy sampling included).
+        let loop_config = QaoaConfig {
+            sim: *workspace.config(),
+            ..self.config.clone()
+        };
         let result = variational_loop(
             n,
             build,
             &cost_values,
             &ramp_initial_params(layers),
-            &self.config,
-            &mut workspace,
+            &loop_config,
+            workspace,
         );
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;

@@ -1,17 +1,24 @@
 //! `choco-cli` — solve a constrained binary optimization problem from a
-//! text file with any of the four solvers.
+//! text file, or run a batched experiment spec.
 //!
 //! ```text
 //! USAGE: choco-cli <file | -> [--solver choco|penalty|cyclic|hea]
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
 //!                  [--threads N]
+//!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
+//!                  [--csv PATH] [--sim-threads N] [--no-table]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
 //! ```
 //!
-//! The input format (see `choco_model::parse_problem`):
+//! The `run` subcommand executes an experiment spec (see
+//! `choco_runner::ExperimentSpec` and the checked-in specs under
+//! `experiments/`) and writes a deterministic JSON report; every paper
+//! table and figure is reproduced this way (`docs/reproducing.md`).
+//!
+//! The single-problem input format (see `choco_model::parse_problem`):
 //!
 //! ```text
 //! maximize x0 + 2 x1 + 3 x2 + x3
@@ -113,6 +120,18 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // `choco-cli run <spec>`: the batched experiment runner.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("run") {
+        return match choco_q::runner::cli::run_command(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{}", choco_q::runner::cli::RUN_USAGE);
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -122,7 +141,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
-                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N]"
+                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N]\n\
+                 usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
+                 [--csv PATH] [--sim-threads N] [--no-table]"
             );
             return ExitCode::from(2);
         }

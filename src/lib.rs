@@ -9,11 +9,12 @@
 //! * [`mathkit`] — complex/integer linear algebra and PRNG foundations
 //! * [`qsim`] — state-vector simulator, circuit IR, transpiler, noise
 //! * [`model`] — constrained binary optimization model, metrics, solver API
-//! * [`problems`] — FLP / GCP / KPP benchmark generators
+//! * [`problems`] — FLP / GCP / KPP / exact-cover / knapsack generators
 //! * [`optim`] — derivative-free classical optimizers
 //! * [`solvers`] — baseline QAOA solvers (penalty, cyclic, HEA)
 //! * [`core`] — the Choco-Q algorithm itself
 //! * [`device`] — IBM device latency and noise models
+//! * [`runner`] — the batched experiment runner behind `choco-cli run`
 //!
 //! ## Quickstart
 //!
@@ -47,6 +48,7 @@ pub use choco_model as model;
 pub use choco_optim as optim;
 pub use choco_problems as problems;
 pub use choco_qsim as qsim;
+pub use choco_runner as runner;
 pub use choco_solvers as solvers;
 
 /// Convenient glob-import surface with the most common types.
@@ -58,7 +60,10 @@ pub mod prelude {
         solve_exact, Metrics, Problem, ProblemBuilder, Sense, SolveOutcome, Solver, SolverError,
     };
     pub use choco_optim::OptimizerKind;
-    pub use choco_problems::{flp, gcp, instance, kpp, BenchmarkSuite, ALL_CLASSES};
+    pub use choco_problems::{
+        cover, flp, gcp, instance, knapsack, kpp, BenchmarkSuite, ALL_CLASSES, EXTENDED_CLASSES,
+    };
     pub use choco_qsim::{Circuit, Counts, Gate, NoiseModel, StateVector};
+    pub use choco_runner::{ExperimentSpec, RunOptions, RunReport};
     pub use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
 }

@@ -1,10 +1,12 @@
 //! Property-based tests (proptest) on the core invariants of the paper:
-//! commutation, serialization feasibility, decomposition equivalence, and
-//! the classical substrates.
+//! commutation, serialization feasibility, decomposition equivalence, the
+//! classical substrates, and the benchmark-generator contracts (every
+//! emitted instance is feasible and matches its declared family shape).
 
 use choco_q::core::CommuteDriver;
 use choco_q::mathkit::{ternary_kernel_basis, LinEq, LinSystem};
 use choco_q::prelude::*;
+use choco_q::problems::{cover_random, knapsack_random, KnapsackLayout};
 use choco_q::qsim::{transpile, PhasePoly, TranspileOptions, UBlock};
 use proptest::prelude::*;
 
@@ -165,6 +167,74 @@ proptest! {
         for bits in 0..(1u64 << n) {
             prop_assert!((before.probability(bits) - after.probability(bits)).abs() < 1e-12);
         }
+    }
+
+    /// Exact-cover generator contract: every emitted instance is feasible
+    /// by construction, and its constraint matrix is exactly the declared
+    /// family shape — one all-ones summation row per universe element,
+    /// rhs 1, over one variable per subset.
+    #[test]
+    fn cover_instances_are_feasible_with_declared_shape(
+        n_elements in 2usize..9,
+        extra_subsets in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n_subsets = (n_elements / 2).max(2) + extra_subsets;
+        let problem = cover_random(n_elements, n_subsets, seed).expect("generate");
+        prop_assert_eq!(problem.n_vars(), n_subsets);
+        prop_assert_eq!(problem.constraints().len(), n_elements);
+        for eq in problem.constraints().eqs() {
+            prop_assert!(eq.is_summation_format(), "non-summation row: {eq}");
+            prop_assert_eq!(eq.rhs, 1);
+            prop_assert!(!eq.terms.is_empty(), "uncovered element");
+        }
+        let feasible = problem.first_feasible();
+        prop_assert!(feasible.is_some(), "planted cover lost");
+        // The feasible point is an exact cover: every element once.
+        let bits = feasible.unwrap();
+        for eq in problem.constraints().eqs() {
+            let covered: i64 = eq.terms.iter().map(|&(v, c)| c * ((bits >> v) & 1) as i64).sum();
+            prop_assert_eq!(covered, 1);
+        }
+    }
+
+    /// Knapsack generator contract: one budget row whose coefficients are
+    /// the item weights followed by slack powers of two, rhs = capacity,
+    /// and every under-budget selection extends to a feasible assignment.
+    #[test]
+    fn knapsack_instances_are_feasible_with_declared_shape(
+        n_items in 1usize..8,
+        capacity in 2u64..14,
+        seed in any::<u64>(),
+        selection in any::<u64>(),
+    ) {
+        let problem = knapsack_random(n_items, capacity, seed).expect("generate");
+        prop_assert_eq!(problem.constraints().len(), 1);
+        let eq = &problem.constraints().eqs()[0];
+        prop_assert_eq!(eq.rhs, capacity as i64);
+
+        // Recover the layout from the constraint row itself.
+        let slack_bits = (64 - capacity.leading_zeros()) as usize;
+        prop_assert_eq!(problem.n_vars(), n_items + slack_bits);
+        prop_assert_eq!(eq.terms.len(), problem.n_vars(), "dense budget row");
+        let mut weights = vec![0u64; n_items];
+        for &(var, coeff) in eq.terms.iter() {
+            prop_assert!(coeff > 0);
+            if var < n_items {
+                prop_assert!((1..=5).contains(&coeff), "weight range");
+                weights[var] = coeff as u64;
+            } else {
+                prop_assert_eq!(coeff, 1i64 << (var - n_items), "slack powers of two");
+            }
+        }
+
+        let layout = KnapsackLayout { weights, capacity };
+        let items = selection & ((1u64 << n_items) - 1);
+        match layout.assignment(items) {
+            Some(bits) => prop_assert!(problem.is_feasible(bits)),
+            None => prop_assert!(layout.weight_of(items) > capacity),
+        }
+        prop_assert!(problem.first_feasible().is_some(), "x = 0 must extend");
     }
 
     /// Exact classical solver and branch-and-bound always agree.
