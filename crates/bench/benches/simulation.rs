@@ -17,33 +17,26 @@
 //! `bench_json` (in `src/bin`) runs the same circuits headlessly and
 //! writes `BENCH_simulation.json` for machine-readable tracking.
 
+use choco_bench::{choco_layer_circuit, layer_circuit};
 use choco_qsim::oracle::ScalarStateVector;
-use choco_qsim::{Circuit, PhasePoly, SimConfig, SimWorkspace, StateVector, UBlock};
+use choco_qsim::{SimConfig, SimWorkspace, SparseStateVector, StateVector};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::sync::Arc;
 
-fn layer_circuit(n: usize) -> Circuit {
-    let mut poly = PhasePoly::new(n);
-    for i in 0..n {
-        poly.add_linear(i, 0.3 * i as f64);
-        if i + 1 < n {
-            poly.add_quadratic(i, i + 1, -0.2);
-        }
+/// Dense vs sparse on the confined Choco-Q layer: the crossover group
+/// behind `BENCH_simulation.json`'s `sparse_speedup_vs_dense` numbers.
+fn bench_choco_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choco_layer");
+    group.sample_size(10);
+    for n in [14usize, 18, 22] {
+        let circuit = choco_layer_circuit(n);
+        group.bench_with_input(BenchmarkId::new("dense", n), &circuit, |b, circuit| {
+            b.iter(|| StateVector::run(std::hint::black_box(circuit)));
+        });
+        group.bench_with_input(BenchmarkId::new("sparse", n), &circuit, |b, circuit| {
+            b.iter(|| SparseStateVector::run(std::hint::black_box(circuit)));
+        });
     }
-    let mut c = Circuit::new(n);
-    for q in 0..n {
-        c.h(q);
-    }
-    c.diag(Arc::new(poly), 0.4);
-    // A serialized driver pass of n/2 three-qubit blocks.
-    for k in 0..n / 2 {
-        let mut u = vec![0i8; n];
-        u[k] = 1;
-        u[(k + 1) % n] = -1;
-        u[(k + 2) % n] = 1;
-        c.ublock(UBlock::from_u_with_angle(&u, 0.5));
-    }
-    c
+    group.finish();
 }
 
 fn bench_statevector(c: &mut Criterion) {
@@ -115,6 +108,7 @@ criterion_group!(
     bench_statevector,
     bench_statevector_scalar,
     bench_statevector_workspace,
+    bench_choco_layer,
     bench_sampling
 );
 criterion_main!(benches);

@@ -2,9 +2,10 @@
 //!
 //! Runs the state-vector kernels at n ∈ {10, 14, 18, 20} on three engines
 //! (scan-and-mask scalar baseline, strided fast path, workspace-backed
-//! solver path) plus per-kernel micro-measurements, and writes
-//! `BENCH_simulation.json` so the perf trajectory stays comparable across
-//! PRs.
+//! solver path) plus per-kernel micro-measurements, and a **dense vs
+//! sparse crossover group** on a subspace-confined Choco-Q layer at
+//! n ∈ {18, 22, 24}, and writes `BENCH_simulation.json` so the perf
+//! trajectory stays comparable across PRs.
 //!
 //! ```text
 //! cargo run --release -p choco-bench --bin bench_json [-- --out PATH] [--quick]
@@ -12,11 +13,10 @@
 //!
 //! `--quick` (or `CHOCO_QUICK=1`) caps the register at n = 14.
 
-use choco_bench::quick_mode;
+use choco_bench::{choco_layer_circuit, layer_circuit, quick_mode};
 use choco_qsim::oracle::ScalarStateVector;
-use choco_qsim::{Circuit, PhasePoly, SimConfig, SimWorkspace, StateVector, UBlock};
+use choco_qsim::{SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// One measured case.
@@ -43,29 +43,6 @@ fn measure<F: FnMut()>(mut op: F, samples: usize, budget_ms: f64) -> f64 {
     }
     timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     timings[timings.len() / 2]
-}
-
-fn layer_circuit(n: usize) -> Circuit {
-    let mut poly = PhasePoly::new(n);
-    for i in 0..n {
-        poly.add_linear(i, 0.3 * i as f64);
-        if i + 1 < n {
-            poly.add_quadratic(i, i + 1, -0.2);
-        }
-    }
-    let mut c = Circuit::new(n);
-    for q in 0..n {
-        c.h(q);
-    }
-    c.diag(Arc::new(poly), 0.4);
-    for k in 0..n / 2 {
-        let mut u = vec![0i8; n];
-        u[k] = 1;
-        u[(k + 1) % n] = -1;
-        u[(k + 2) % n] = 1;
-        c.ublock(UBlock::from_u_with_angle(&u, 0.5));
-    }
-    c
 }
 
 fn main() {
@@ -195,6 +172,38 @@ fn main() {
         });
     }
 
+    // Dense vs sparse crossover on the confined Choco-Q layer. Bigger
+    // registers than the generic group: this is exactly where the dense
+    // engine starts paying for the 2^n it does not need. The dense side
+    // gets a smaller sample count — one n = 24 run already costs seconds.
+    let sparse_sizes: &[usize] = if quick_mode() { &[14] } else { &[18, 22, 24] };
+    for &n in sparse_sizes {
+        eprintln!("measuring choco layer n = {n} (dense vs sparse) …");
+        let layer = choco_layer_circuit(n);
+        entries.push(Entry {
+            group: "choco_layer_dense",
+            n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(StateVector::run_with(&layer, config));
+                },
+                3,
+                budget_ms,
+            ),
+        });
+        entries.push(Entry {
+            group: "choco_layer_sparse",
+            n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(SparseStateVector::run_with(&layer, config));
+                },
+                samples,
+                budget_ms / 2.0,
+            ),
+        });
+    }
+
     // Assemble JSON by hand (no serde in the workspace).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"simulation\",\n");
@@ -233,6 +242,24 @@ fn main() {
                 "    \"statevector_layer/{n}\": {{\"fast\": {:.2}, \"workspace\": {:.2}}}",
                 scalar / fast,
                 scalar / ws
+            ));
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  },\n  \"sparse_speedup_vs_dense\": {\n");
+    let mut lines = Vec::new();
+    for &n in sparse_sizes {
+        let find = |g: &str| {
+            entries
+                .iter()
+                .find(|e| e.group == g && e.n == n)
+                .map(|e| e.ns_per_op)
+        };
+        if let (Some(dense), Some(sparse)) = (find("choco_layer_dense"), find("choco_layer_sparse"))
+        {
+            lines.push(format!(
+                "    \"choco_layer/{n}\": {{\"sparse\": {:.1}}}",
+                dense / sparse
             ));
         }
     }

@@ -12,10 +12,62 @@
 
 #![warn(missing_docs)]
 
+use choco_qsim::{Circuit, PhasePoly, UBlock};
+use std::sync::Arc;
+
 /// Returns `true` when a bench harness should skip slow cases
 /// (`--quick` argument or `CHOCO_QUICK=1`).
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick") || std::env::var_os("CHOCO_QUICK").is_some()
+}
+
+/// The objective polynomial both bench layers evolve: a nearest-neighbour
+/// chain with per-variable linear terms.
+fn bench_poly(n: usize) -> PhasePoly {
+    let mut poly = PhasePoly::new(n);
+    for i in 0..n {
+        poly.add_linear(i, 0.3 * i as f64);
+        if i + 1 < n {
+            poly.add_quadratic(i, i + 1, -0.2);
+        }
+    }
+    poly
+}
+
+/// The generic bench layer: a Hadamard wall, one diagonal evolution, and
+/// `n/2` serialized three-qubit commute blocks. Register-filling by
+/// design — the workload behind the `statevector_layer` groups. One
+/// definition serves the Criterion benches and `bench_json`, so their
+/// published numbers always describe the same circuit.
+pub fn layer_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    finish_layer(c, n)
+}
+
+/// The same layer without the Hadamard wall: a feasible-subspace-confined
+/// Choco-Q instance (basis load + diagonal + serialized commute blocks),
+/// where the sparse engine's `O(|F|·poly)` cost crosses over the dense
+/// engine's `O(2^(n-k))` strides — the workload behind the `choco_layer`
+/// groups and `BENCH_simulation.json`'s `sparse_speedup_vs_dense`.
+pub fn choco_layer_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.load_bits(0b101);
+    finish_layer(c, n)
+}
+
+fn finish_layer(mut c: Circuit, n: usize) -> Circuit {
+    c.diag(Arc::new(bench_poly(n)), 0.4);
+    for k in 0..n / 2 {
+        let mut u = vec![0i8; n];
+        u[k] = 1;
+        u[(k + 1) % n] = -1;
+        u[(k + 2) % n] = 1;
+        c.ublock(UBlock::from_u_with_angle(&u, 0.5));
+    }
+    c
 }
 
 #[cfg(test)]

@@ -1,21 +1,31 @@
 //! Circuit-level analyses used by the evaluation section.
 
 use crate::driver::CommuteDriver;
-use choco_qsim::{transpile, Circuit, StateVector, TranspileOptions};
+use choco_qsim::{transpile, Circuit, SimConfig, SimEngine, TranspileOptions};
 use std::time::{Duration, Instant};
 
 /// The number of basis states with probability above `eps` after each gate
 /// of the circuit — the paper's Figure 9(b) "parallelism" metric
-/// (#measured states through the circuit).
+/// (#measured states through the circuit) — on the dense engine.
 ///
 /// Index 0 is the initial state (always 1 for a basis-state start).
 pub fn support_profile(circuit: &Circuit, eps: f64) -> Vec<usize> {
-    let mut state = StateVector::new(circuit.n_qubits());
+    support_profile_with(circuit, eps, SimConfig::serial())
+}
+
+/// [`support_profile`] on an explicit engine configuration. With a sparse
+/// engine the per-gate count reads the occupied-entry list instead of
+/// scanning (or even allocating) the `2^n` register — this is how the
+/// fig09b harness profiles Choco-Q circuits at widths the dense engine
+/// cannot hold. Both engines report identical counts where they can both
+/// run (their amplitudes are bit-identical).
+pub fn support_profile_with(circuit: &Circuit, eps: f64, config: SimConfig) -> Vec<usize> {
+    let mut engine = SimEngine::new_with(circuit.n_qubits(), config);
     let mut profile = Vec::with_capacity(circuit.len() + 1);
-    profile.push(state.support_size(eps));
+    profile.push(engine.support_size(eps));
     for gate in circuit.iter() {
-        state.apply_gate(gate);
-        profile.push(state.support_size(eps));
+        engine.apply_gate(gate);
+        profile.push(engine.support_size(eps));
     }
     profile
 }
@@ -76,6 +86,22 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).cx(0, 1);
         assert_eq!(support_profile(&c, 1e-9), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn support_profile_identical_across_engines() {
+        use choco_qsim::EngineKind;
+        let driver = ring_driver(5);
+        let mut c = Circuit::new(5);
+        c.load_bits(0b00001);
+        for block in driver.ublocks(0.6) {
+            c.ublock(block);
+        }
+        let dense = support_profile(&c, 1e-9);
+        for kind in [EngineKind::Sparse, EngineKind::Auto] {
+            let config = SimConfig::serial().with_engine(kind);
+            assert_eq!(support_profile_with(&c, 1e-9, config), dense, "{kind}");
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ mod elimination;
 mod solver;
 pub mod trotter;
 
-pub use analysis::{lemma2_stats, support_profile, Lemma2Stats};
+pub use analysis::{lemma2_stats, support_profile, support_profile_with, Lemma2Stats};
 pub use driver::{constraint_operator_matrix, CommuteDriver, DriverError};
 pub use elimination::{plan_elimination, EliminationBranch, EliminationPlan};
 pub use solver::{ChocoQConfig, ChocoQSolver};

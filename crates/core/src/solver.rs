@@ -19,7 +19,9 @@ use crate::elimination::{plan_elimination, EliminationPlan};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
 use choco_optim::OptimizerKind;
 use choco_qsim::{Circuit, Counts, PhasePoly, SimConfig, SimWorkspace};
-use choco_solvers::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
+use choco_solvers::shared::{
+    check_size_for, circuit_stats, variational_loop, CostSpec, QaoaConfig, MAX_SIM_QUBITS,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -195,13 +197,13 @@ struct LoopRun {
 /// of sampled shots. The restart-selection criterion — unlike the plain
 /// expectation, it rewards distributions that put *some* mass on very good
 /// solutions (CVaR-QAOA style), and it only uses measured quantities.
-fn cvar(counts: &Counts, cost_values: &[f64], alpha: f64) -> f64 {
+fn cvar(counts: &Counts, cost: &CostSpec<'_>, alpha: f64) -> f64 {
     if counts.is_empty() {
         return f64::INFINITY;
     }
     let mut samples: Vec<(f64, u64)> = counts
         .iter()
-        .map(|(bits, c)| (cost_values[bits as usize], c))
+        .map(|(bits, c)| (cost.value(bits), c))
         .collect();
     samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cost"));
     let take = ((counts.shots() as f64 * alpha).ceil() as u64).max(1);
@@ -240,7 +242,9 @@ impl ChocoQSolver {
         problem: &Problem,
         workspace: &mut SimWorkspace,
     ) -> Result<SolveOutcome, SolverError> {
-        check_size(problem.n_vars())?;
+        // Size gate follows the workspace's engine: the sparse engines
+        // accept feasible-subspace instances the dense buffer cannot hold.
+        check_size_for(problem.n_vars(), workspace.config().engine)?;
         let compile_start = Instant::now();
 
         let plan: EliminationPlan = plan_elimination(problem, self.config.eliminate)
@@ -260,7 +264,19 @@ impl ChocoQSolver {
             drivers: Vec<CommuteDriver>,
             feasible: Vec<u64>,
             cost_poly: Arc<PhasePoly>,
-            cost_values: Vec<f64>,
+            /// Materialized `2^n` cost table — only for registers the
+            /// dense engine could also hold, so the table keeps engine
+            /// results bit-identical. Wider (sparse-only) branches use
+            /// the polynomial directly.
+            cost_values: Option<Vec<f64>>,
+        }
+        impl Branch {
+            fn cost_spec(&self) -> CostSpec<'_> {
+                match &self.cost_values {
+                    Some(values) => CostSpec::Table(values),
+                    None => CostSpec::Poly(&self.cost_poly),
+                }
+            }
         }
         let mut branches = Vec::new();
         for b in &plan.branches {
@@ -286,7 +302,7 @@ impl ChocoQSolver {
             drivers.push(basis);
             let cost_poly = Arc::new(b.problem.cost_poly());
             let n = b.problem.n_vars();
-            let cost_values = cost_poly.values_table(1 << n);
+            let cost_values = (n <= MAX_SIM_QUBITS).then(|| cost_poly.values_table(1 << n));
             branches.push(Branch {
                 assignment: b.assignment,
                 n_vars: n,
@@ -366,7 +382,7 @@ impl ChocoQSolver {
                 let result = variational_loop(
                     branch.n_vars.max(1),
                     build,
-                    &branch.cost_values,
+                    &branch.cost_spec(),
                     &x0,
                     &loop_config,
                     &mut *workspace,
@@ -374,7 +390,7 @@ impl ChocoQSolver {
                 timing.execute += result.timing.execute;
                 timing.classical += result.timing.classical;
                 iterations += result.iterations;
-                let achieved = cvar(&result.counts, &branch.cost_values, 0.05);
+                let achieved = cvar(&result.counts, &branch.cost_spec(), 0.05);
                 let run = LoopRun {
                     counts: result.counts,
                     cost_history: result.cost_history,

@@ -1,0 +1,419 @@
+//! The engine abstraction: one solver-facing state type that is either
+//! the dense strided [`StateVector`] or the feasible-subspace
+//! [`SparseStateVector`], selected by [`SimConfig::engine`].
+//!
+//! Everything above the kernels — [`crate::SimWorkspace`], the solvers'
+//! variational loop, the experiment runner, and the CLI — drives a
+//! [`SimEngine`] and never names a concrete representation. The two
+//! engines produce bit-identical amplitudes, expectations, and sampling
+//! streams (see [`crate::sparse`]), so engine selection is purely a
+//! performance decision:
+//!
+//! * [`EngineKind::Dense`] — always the `2^n` buffer.
+//! * [`EngineKind::Sparse`] — always the sorted occupied-entry map; the
+//!   caller has opted in even for register-filling circuits.
+//! * [`EngineKind::Auto`] — starts sparse and **densifies automatically**
+//!   once occupancy exceeds `density_threshold · 2^n` (subspace
+//!   confinement broken — penalty/HEA mixers, uniform superpositions),
+//!   provided the register is small enough to allocate densely.
+
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::Gate;
+use crate::phasepoly::PhasePoly;
+use crate::simconfig::{EngineKind, SimConfig};
+use crate::sparse::SparseStateVector;
+use crate::state::StateVector;
+use choco_mathkit::Complex64;
+use rand::Rng;
+
+/// Largest register the auto-fallback will densify: beyond this the dense
+/// buffer itself is the bottleneck (2^26 amplitudes = 1 GiB), so an
+/// [`EngineKind::Auto`] run stays sparse even above the threshold.
+pub const MAX_DENSIFY_QUBITS: usize = 26;
+
+/// A quantum state behind one of the two amplitude representations.
+///
+/// # Examples
+///
+/// ```
+/// use choco_qsim::{Circuit, EngineKind, SimConfig, SimEngine, UBlock};
+///
+/// let config = SimConfig::serial().with_engine(EngineKind::Sparse);
+/// let mut engine = SimEngine::new_with(3, config);
+/// let mut c = Circuit::new(3);
+/// c.load_bits(0b001);
+/// c.ublock(UBlock::from_u_with_angle(&[1, -1, -1], 0.8));
+/// engine.apply_circuit(&c);
+/// assert!(engine.is_sparse());
+/// assert_eq!(engine.occupancy(), 2); // |F|-confined, not 2^3
+/// ```
+#[derive(Clone, Debug)]
+pub enum SimEngine {
+    /// The dense strided engine.
+    Dense(StateVector),
+    /// The feasible-subspace sparse engine.
+    Sparse(SparseStateVector),
+}
+
+impl SimEngine {
+    /// The all-zeros state `|0…0⟩`, represented per `config.engine`
+    /// ([`EngineKind::Auto`] starts sparse).
+    pub fn new_with(n_qubits: usize, config: SimConfig) -> Self {
+        match config.engine {
+            EngineKind::Dense => SimEngine::Dense(StateVector::new_with(n_qubits, config)),
+            EngineKind::Sparse | EngineKind::Auto => {
+                SimEngine::Sparse(SparseStateVector::new_with(n_qubits, config))
+            }
+        }
+    }
+
+    /// Runs a circuit from `|0…0⟩` under an explicit configuration.
+    pub fn run_with(circuit: &Circuit, config: SimConfig) -> Self {
+        let mut e = SimEngine::new_with(circuit.n_qubits(), config);
+        e.apply_circuit(circuit);
+        e
+    }
+
+    /// The execution configuration.
+    pub fn config(&self) -> &SimConfig {
+        match self {
+            SimEngine::Dense(s) => s.config(),
+            SimEngine::Sparse(s) => s.config(),
+        }
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        match self {
+            SimEngine::Dense(s) => s.n_qubits(),
+            SimEngine::Sparse(s) => s.n_qubits(),
+        }
+    }
+
+    /// `true` while the state is held in the sparse representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, SimEngine::Sparse(_))
+    }
+
+    /// The dense state, if that is the current representation.
+    pub fn as_dense(&self) -> Option<&StateVector> {
+        match self {
+            SimEngine::Dense(s) => Some(s),
+            SimEngine::Sparse(_) => None,
+        }
+    }
+
+    /// Mutable dense state, if that is the current representation.
+    pub fn as_dense_mut(&mut self) -> Option<&mut StateVector> {
+        match self {
+            SimEngine::Dense(s) => Some(s),
+            SimEngine::Sparse(_) => None,
+        }
+    }
+
+    /// Number of occupied (exactly non-zero) basis entries. For the
+    /// sparse engine this is the stored entry count; the dense engine
+    /// scans its buffer.
+    pub fn occupancy(&self) -> usize {
+        match self {
+            SimEngine::Dense(s) => s.occupancy(),
+            SimEngine::Sparse(s) => s.occupancy(),
+        }
+    }
+
+    /// Occupied fraction of the `2^n` register.
+    pub fn density(&self) -> f64 {
+        self.occupancy() as f64 / (1u64 << self.n_qubits()) as f64
+    }
+
+    /// Resets to `|0…0⟩` in place. The representation is **sticky**: an
+    /// auto-run that fell back to dense stays dense for subsequent runs —
+    /// the workload has shown its support fills the register, and
+    /// re-starting sparse would re-pay the occupancy ramp plus a fresh
+    /// `2^n` densify allocation on every variational iteration. (A dense
+    /// reset reuses the buffer in place, preserving the workspace's
+    /// zero-alloc-per-iteration invariant; fresh engines — new width, new
+    /// workspace — still start sparse per the configuration.)
+    pub fn reset_zero(&mut self) {
+        match self {
+            SimEngine::Dense(s) => s.reset_zero(),
+            SimEngine::Sparse(s) => s.reset_zero(),
+        }
+    }
+
+    /// Applies a single gate, then (for [`EngineKind::Auto`]) densifies if
+    /// the occupancy crossed the configured threshold.
+    pub fn apply_gate(&mut self, gate: &Gate) {
+        match self {
+            SimEngine::Dense(s) => s.apply_gate(gate),
+            SimEngine::Sparse(s) => {
+                s.apply_gate(gate);
+                self.maybe_densify();
+            }
+        }
+    }
+
+    /// Applies every gate of a circuit in order (with per-gate fallback
+    /// checks in auto mode).
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        for g in circuit.iter() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Converts a sparse state into the dense representation in place
+    /// (exact: occupied entries are scattered into a fresh `2^n` buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics above [`MAX_DENSIFY_QUBITS`]: those registers exist
+    /// precisely because their dense buffer (4 GiB at 28 qubits) cannot
+    /// be allocated, and an explicit panic beats an OOM abort.
+    pub fn densify(&mut self) {
+        if let SimEngine::Sparse(s) = self {
+            assert!(
+                s.n_qubits() <= MAX_DENSIFY_QUBITS,
+                "cannot densify a {}-qubit sparse state (limit {MAX_DENSIFY_QUBITS}: \
+                 the dense buffer would not fit in memory)",
+                s.n_qubits()
+            );
+            let dense = StateVector::from_sparse_entries(s.n_qubits(), s.entries(), *s.config());
+            *self = SimEngine::Dense(dense);
+        }
+    }
+
+    /// The auto-mode fallback: densify once occupancy exceeds
+    /// `density_threshold · 2^n`, unless the register is too wide to
+    /// allocate densely ([`MAX_DENSIFY_QUBITS`]).
+    fn maybe_densify(&mut self) {
+        let SimEngine::Sparse(s) = self else { return };
+        if s.config().engine != EngineKind::Auto || s.n_qubits() > MAX_DENSIFY_QUBITS {
+            return;
+        }
+        let dim = (1u64 << s.n_qubits()) as f64;
+        if s.occupancy() as f64 > s.config().density_threshold * dim {
+            self.densify();
+        }
+    }
+
+    /// The amplitude of basis state `bits`.
+    pub fn amplitude(&self, bits: u64) -> Complex64 {
+        match self {
+            SimEngine::Dense(s) => s.amplitude(bits),
+            SimEngine::Sparse(s) => s.amplitude(bits),
+        }
+    }
+
+    /// Probability of measuring the basis state `bits`.
+    pub fn probability(&self, bits: u64) -> f64 {
+        match self {
+            SimEngine::Dense(s) => s.probability(bits),
+            SimEngine::Sparse(s) => s.probability(bits),
+        }
+    }
+
+    /// Number of basis states with probability above `eps`.
+    pub fn support_size(&self, eps: f64) -> usize {
+        match self {
+            SimEngine::Dense(s) => s.support_size(eps),
+            SimEngine::Sparse(s) => s.support_size(eps),
+        }
+    }
+
+    /// Total probability (should be 1 up to rounding).
+    pub fn norm_sqr(&self) -> f64 {
+        match self {
+            SimEngine::Dense(s) => s.norm_sqr(),
+            SimEngine::Sparse(s) => s.norm_sqr(),
+        }
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` against a dense reference state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn fidelity_against_dense(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n_qubits(), other.n_qubits(), "dimension mismatch");
+        match self {
+            SimEngine::Dense(s) => s.fidelity(other),
+            SimEngine::Sparse(s) => s
+                .entries()
+                .iter()
+                .map(|&(bits, a)| a.conj() * other.amplitude(bits))
+                .sum::<Complex64>()
+                .norm_sqr(),
+        }
+    }
+
+    /// Expectation of a diagonal observable given a `2^n` value table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on table length mismatch.
+    pub fn expectation_diag_values(&self, values: &[f64]) -> f64 {
+        match self {
+            SimEngine::Dense(s) => s.expectation_diag_values(values),
+            SimEngine::Sparse(s) => s.expectation_diag_values(values),
+        }
+    }
+
+    /// Expectation of a diagonal observable given as a polynomial — the
+    /// table-free path large sparse registers rely on.
+    pub fn expectation_diag_poly(&self, poly: &PhasePoly) -> f64 {
+        match self {
+            SimEngine::Dense(s) => s.expectation_diag_poly(poly),
+            SimEngine::Sparse(s) => s.expectation_diag_poly(poly),
+        }
+    }
+
+    /// Fills `out` with this engine's cumulative probability table
+    /// (length `2^n` dense, occupancy sparse — pass it back to
+    /// [`SimEngine::sample_with_cumulative`] on the *same* state).
+    pub fn fill_cumulative(&self, out: &mut Vec<f64>) {
+        match self {
+            SimEngine::Dense(s) => s.fill_cumulative(out),
+            SimEngine::Sparse(s) => s.fill_cumulative(out),
+        }
+    }
+
+    /// Samples `shots` outcomes using a table from
+    /// [`SimEngine::fill_cumulative`]. Identical histograms across
+    /// engines for a shared seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table does not match this engine's state.
+    pub fn sample_with_cumulative<R: Rng>(
+        &self,
+        cumulative: &[f64],
+        shots: u64,
+        rng: &mut R,
+    ) -> Counts {
+        match self {
+            SimEngine::Dense(s) => s.sample_with_cumulative(cumulative, shots, rng),
+            SimEngine::Sparse(s) => s.sample_with_cumulative(cumulative, shots, rng),
+        }
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    pub fn sample<R: Rng>(&self, shots: u64, rng: &mut R) -> Counts {
+        match self {
+            SimEngine::Dense(s) => s.sample(shots, rng),
+            SimEngine::Sparse(s) => s.sample(shots, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::UBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sparse_cfg(kind: EngineKind, threshold: f64) -> SimConfig {
+        SimConfig {
+            density_threshold: threshold,
+            ..SimConfig::serial().with_engine(kind)
+        }
+    }
+
+    #[test]
+    fn engine_kind_selects_representation() {
+        assert!(!SimEngine::new_with(3, SimConfig::serial()).is_sparse());
+        for kind in [EngineKind::Sparse, EngineKind::Auto] {
+            assert!(SimEngine::new_with(3, sparse_cfg(kind, 0.5)).is_sparse());
+        }
+    }
+
+    #[test]
+    fn auto_densifies_when_threshold_crossed() {
+        // 4 qubits, threshold 0.25: densify once occupancy > 4 entries.
+        let mut e = SimEngine::new_with(4, sparse_cfg(EngineKind::Auto, 0.25));
+        let mut c = Circuit::new(4);
+        c.h(0).h(1);
+        e.apply_circuit(&c);
+        assert!(e.is_sparse(), "4 entries = threshold, not above");
+        e.apply_gate(&Gate::H(2));
+        assert!(!e.is_sparse(), "8 entries > 4: fallback must trip");
+        // Post-fallback evolution continues on the dense engine.
+        e.apply_gate(&Gate::H(3));
+        assert!((e.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(e.occupancy(), 16);
+    }
+
+    #[test]
+    fn forced_sparse_never_densifies() {
+        let mut e = SimEngine::new_with(3, sparse_cfg(EngineKind::Sparse, 0.01));
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        e.apply_circuit(&c);
+        assert!(e.is_sparse(), "sparse kind is a hard opt-in");
+        assert_eq!(e.occupancy(), 8);
+    }
+
+    #[test]
+    fn densify_is_exact() {
+        let mut c = Circuit::new(3);
+        c.load_bits(0b010);
+        c.ublock(UBlock::from_u_with_angle(&[-1, 1, -1], 0.9));
+        let mut e = SimEngine::run_with(&c, sparse_cfg(EngineKind::Sparse, 0.5));
+        let reference = StateVector::run(&c);
+        e.densify();
+        assert!(!e.is_sparse());
+        for bits in 0..8u64 {
+            let (a, b) = (e.amplitude(bits), reference.amplitude(bits));
+            assert!(a.re == b.re && a.im == b.im, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn reset_after_fallback_stays_dense() {
+        // Sticky representation: once a run has shown its support fills
+        // the register, later same-width runs reuse the dense buffer in
+        // place instead of re-paying the sparse ramp + densify per run.
+        let mut e = SimEngine::new_with(3, sparse_cfg(EngineKind::Auto, 0.1));
+        let mut c = Circuit::new(3);
+        c.h(0).h(1);
+        e.apply_circuit(&c);
+        assert!(!e.is_sparse(), "fallback tripped");
+        e.reset_zero();
+        assert!(!e.is_sparse(), "fallback is sticky across resets");
+        assert_eq!(e.occupancy(), 1);
+        assert_eq!(e.probability(0), 1.0);
+    }
+
+    #[test]
+    fn densify_refuses_registers_beyond_the_dense_cap() {
+        let mut e = SimEngine::new_with(30, sparse_cfg(EngineKind::Sparse, 0.5));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| e.densify()))
+            .expect_err("must panic, not OOM");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("cannot densify"), "{msg}");
+    }
+
+    #[test]
+    fn sample_streams_agree_across_engines() {
+        let mut c = Circuit::new(3);
+        c.load_bits(0b001);
+        c.ublock(UBlock::from_u_with_angle(&[1, -1, 1], 0.7));
+        let dense = SimEngine::run_with(&c, SimConfig::serial());
+        let sparse = SimEngine::run_with(&c, sparse_cfg(EngineKind::Sparse, 0.5));
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        assert_eq!(dense.sample(3_000, &mut ra), sparse.sample(3_000, &mut rb));
+    }
+
+    #[test]
+    fn fidelity_against_dense_spans_representations() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.4);
+        let reference = StateVector::run(&c);
+        for kind in [EngineKind::Dense, EngineKind::Sparse] {
+            let e = SimEngine::run_with(&c, sparse_cfg(kind, 0.9));
+            assert!((e.fidelity_against_dense(&reference) - 1.0).abs() < 1e-12);
+        }
+    }
+}

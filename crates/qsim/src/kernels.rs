@@ -264,6 +264,7 @@ mod tests {
         SimConfig {
             threads,
             parallel_threshold: 1, // force threading even on tiny states
+            ..SimConfig::default()
         }
     }
 

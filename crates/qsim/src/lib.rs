@@ -39,12 +39,14 @@
 mod circuit;
 mod counts;
 mod draw;
+mod engine;
 mod gate;
 mod kernels;
 mod noise;
 pub mod oracle;
 mod phasepoly;
 mod simconfig;
+pub mod sparse;
 mod state;
 mod synth;
 mod transpile;
@@ -53,10 +55,12 @@ mod workspace;
 pub use circuit::Circuit;
 pub use counts::Counts;
 pub use draw::draw;
+pub use engine::{SimEngine, MAX_DENSIFY_QUBITS};
 pub use gate::{Gate, UBlock};
 pub use noise::NoiseModel;
 pub use phasepoly::PhasePoly;
-pub use simconfig::{SimConfig, DEFAULT_PARALLEL_THRESHOLD};
+pub use simconfig::{EngineKind, SimConfig, DEFAULT_DENSITY_THRESHOLD, DEFAULT_PARALLEL_THRESHOLD};
+pub use sparse::{SparseStateVector, MAX_SPARSE_QUBITS};
 pub use state::StateVector;
 pub use synth::{
     circuit_unitary, two_level_decompose, SynthCost, TwoLevelDecomposition, TwoLevelOp,

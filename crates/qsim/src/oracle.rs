@@ -225,6 +225,18 @@ impl ScalarStateVector {
             .sum::<Complex64>()
             .norm_sqr()
     }
+
+    /// Fidelity `|⟨self|other⟩|²` against either production engine
+    /// representation.
+    pub fn fidelity_against_engine(&self, other: &crate::SimEngine) -> f64 {
+        assert_eq!(self.n_qubits, other.n_qubits(), "dimension mismatch");
+        self.amps
+            .iter()
+            .enumerate()
+            .map(|(bits, a)| a.conj() * other.amplitude(bits as u64))
+            .sum::<Complex64>()
+            .norm_sqr()
+    }
 }
 
 #[cfg(test)]

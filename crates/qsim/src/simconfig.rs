@@ -1,11 +1,67 @@
-//! Execution configuration for the state-vector engine.
+//! Execution configuration for the state-vector engines.
 
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
 
-/// How the state-vector kernels execute: worker-thread count and the
-/// subspace size below which updates stay serial (thread spawn overhead
-/// dwarfs the work on small states).
+/// Which amplitude representation executes a circuit.
+///
+/// Choco-Q circuits never leave the feasible subspace (the commute
+/// Hamiltonian's central property), so their state has `|F| ≪ 2^n`
+/// occupied basis states. The sparse engine exploits that; the dense
+/// strided engine is the general-purpose fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The dense strided engine ([`crate::StateVector`]): `2^n`
+    /// amplitudes, every gate enumerated over its `2^(n-k)` subspace.
+    #[default]
+    Dense,
+    /// The feasible-subspace sparse engine
+    /// ([`crate::SparseStateVector`]): only occupied basis states are
+    /// stored and updated. Never converts back to dense — the caller has
+    /// opted in, even for circuits that fill the register.
+    Sparse,
+    /// Start sparse, densify automatically once the occupied fraction of
+    /// the register crosses [`SimConfig::density_threshold`] (and the
+    /// register is small enough to allocate densely).
+    Auto,
+}
+
+impl EngineKind {
+    /// Short label (`"dense"`, `"sparse"`, `"auto"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::Dense => "dense",
+            EngineKind::Sparse => "sparse",
+            EngineKind::Auto => "auto",
+        }
+    }
+
+    /// Parses a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted values.
+    pub fn parse(text: &str) -> Result<EngineKind, String> {
+        match text {
+            "dense" => Ok(EngineKind::Dense),
+            "sparse" => Ok(EngineKind::Sparse),
+            "auto" => Ok(EngineKind::Auto),
+            other => Err(format!(
+                "unknown engine `{other}` (expected dense|sparse|auto)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the state-vector kernels execute: engine selection, worker-thread
+/// count, and the subspace size below which updates stay serial (thread
+/// spawn overhead dwarfs the work on small states).
 ///
 /// The default thread count comes from `CHOCO_SIM_THREADS` when set,
 /// otherwise from [`std::thread::available_parallelism`].
@@ -13,25 +69,37 @@ use std::sync::OnceLock;
 /// # Examples
 ///
 /// ```
-/// use choco_qsim::SimConfig;
+/// use choco_qsim::{EngineKind, SimConfig};
 ///
 /// let serial = SimConfig::serial();
 /// assert_eq!(serial.threads, 1);
-/// let four = SimConfig::with_threads(4);
-/// assert_eq!(four.threads, 4);
+/// assert_eq!(serial.engine, EngineKind::Dense);
+/// let sparse = SimConfig::serial().with_engine(EngineKind::Sparse);
+/// assert_eq!(sparse.engine, EngineKind::Sparse);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     /// Maximum worker threads for amplitude updates (1 = serial).
     pub threads: usize,
     /// Minimum number of work items (subspace indices or pairs) before the
     /// update fans out to threads.
     pub parallel_threshold: usize,
+    /// Which amplitude representation to run circuits on.
+    pub engine: EngineKind,
+    /// Occupied fraction of the register above which an [`EngineKind::Auto`]
+    /// run converts from the sparse to the dense engine. Ignored by the
+    /// other engine kinds.
+    pub density_threshold: f64,
 }
 
 /// Default threshold: below 2^15 items a scoped-thread fan-out costs more
 /// than it saves on typical hardware.
 pub const DEFAULT_PARALLEL_THRESHOLD: usize = 1 << 15;
+
+/// Default auto-densify point: once an eighth of the register is occupied
+/// the sorted-map overhead of the sparse engine outweighs the dense
+/// engine's contiguous strides.
+pub const DEFAULT_DENSITY_THRESHOLD: f64 = 0.125;
 
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
@@ -52,16 +120,18 @@ impl Default for SimConfig {
         SimConfig {
             threads: default_threads(),
             parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            engine: EngineKind::Dense,
+            density_threshold: DEFAULT_DENSITY_THRESHOLD,
         }
     }
 }
 
 impl SimConfig {
-    /// Strictly serial execution.
+    /// Strictly serial execution (dense engine).
     pub fn serial() -> Self {
         SimConfig {
             threads: 1,
-            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            ..SimConfig::default()
         }
     }
 
@@ -73,8 +143,13 @@ impl SimConfig {
             } else {
                 threads
             },
-            parallel_threshold: DEFAULT_PARALLEL_THRESHOLD,
+            ..SimConfig::default()
         }
+    }
+
+    /// The same configuration with a different engine selection.
+    pub fn with_engine(self, engine: EngineKind) -> Self {
+        SimConfig { engine, ..self }
     }
 
     /// The worker count to use for `work_items` units of work: 1 below the
@@ -104,6 +179,7 @@ mod tests {
         let c = SimConfig {
             threads: 8,
             parallel_threshold: 1 << 10,
+            ..SimConfig::default()
         };
         assert_eq!(c.effective_threads(512), 1);
         assert!(c.effective_threads(1 << 20) > 1);
@@ -114,6 +190,7 @@ mod tests {
         let c = SimConfig {
             threads: 16,
             parallel_threshold: 1 << 10,
+            ..SimConfig::default()
         };
         // 2^12 items / 2^10 threshold → at most 4 useful workers.
         assert_eq!(c.effective_threads(1 << 12), 4);
@@ -123,5 +200,32 @@ mod tests {
     fn with_threads_zero_falls_back_to_default() {
         assert!(SimConfig::with_threads(0).threads >= 1);
         assert_eq!(SimConfig::with_threads(3).threads, 3);
+    }
+
+    #[test]
+    fn default_engine_is_dense() {
+        assert_eq!(SimConfig::default().engine, EngineKind::Dense);
+        assert_eq!(SimConfig::serial().engine, EngineKind::Dense);
+        assert!(SimConfig::default().density_threshold > 0.0);
+    }
+
+    #[test]
+    fn engine_kind_parse_round_trips() {
+        for kind in [EngineKind::Dense, EngineKind::Sparse, EngineKind::Auto] {
+            assert_eq!(EngineKind::parse(kind.label()), Ok(kind));
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        let err = EngineKind::parse("gpu").unwrap_err();
+        assert!(
+            err.contains("gpu") && err.contains("dense|sparse|auto"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn with_engine_preserves_other_fields() {
+        let c = SimConfig::with_threads(3).with_engine(EngineKind::Auto);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.engine, EngineKind::Auto);
     }
 }

@@ -99,6 +99,25 @@ impl StateVector {
         }
     }
 
+    /// Builds a dense state by scattering sparse occupied entries into a
+    /// fresh `2^n` buffer (the engine fallback's densify step — exact).
+    pub(crate) fn from_sparse_entries(
+        n_qubits: usize,
+        entries: &[(u64, Complex64)],
+        config: SimConfig,
+    ) -> Self {
+        let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
+        for &(bits, a) in entries {
+            amps[bits as usize] = a;
+        }
+        StateVector {
+            n_qubits,
+            amps,
+            config,
+            diag_scratch: Vec::new(),
+        }
+    }
+
     /// Runs a circuit from `|0…0⟩`.
     pub fn run(circuit: &Circuit) -> Self {
         Self::run_with(circuit, SimConfig::default())
@@ -414,6 +433,16 @@ impl StateVector {
     /// "parallelism" metric of the paper's Figure 9(b) (#measured states).
     pub fn support_size(&self, eps: f64) -> usize {
         self.amps.iter().filter(|a| a.norm_sqr() > eps).count()
+    }
+
+    /// Number of exactly non-zero amplitudes — the dense counterpart of
+    /// the sparse engine's occupancy counter (`O(2^n)` scan here; the
+    /// sparse engine answers in `O(1)`).
+    pub fn occupancy(&self) -> usize {
+        self.amps
+            .iter()
+            .filter(|a| a.re != 0.0 || a.im != 0.0)
+            .count()
     }
 
     /// Inner product `⟨self|other⟩`.
@@ -874,6 +903,7 @@ mod tests {
             let config = SimConfig {
                 threads,
                 parallel_threshold: 1,
+                ..SimConfig::default()
             };
             let fast = StateVector::run_with(&c, config);
             let f = oracle.fidelity_against(&fast);

@@ -8,20 +8,31 @@
 //! call. [`SimWorkspace`] owns all three buffers across iterations,
 //! restarts, and elimination branches:
 //!
-//! * the amplitude buffer is reset in place (`reallocations()` counts how
-//!   often it had to be regrown — the zero-alloc-per-iteration invariant
-//!   the solvers assert in their tests),
-//! * diagonals are cached per `Arc<PhasePoly>` identity, so a polynomial
-//!   shared across iterations is expanded exactly once per register width,
+//! * the amplitude state is an engine ([`SimEngine`]) reset in place —
+//!   dense buffers are reused, sparse entry lists are cleared
+//!   (`reallocations()` counts how often the engine had to be rebuilt —
+//!   the zero-alloc-per-iteration invariant the solvers assert in their
+//!   tests),
+//! * diagonals are cached per `Arc<PhasePoly>` identity **while the
+//!   engine is dense**, so a polynomial shared across iterations is
+//!   expanded exactly once per register width; the sparse engine
+//!   evaluates the polynomial per occupied entry instead and needs no
+//!   `2^n` table at all,
 //! * the sampling prefix table is built lazily per final state and reused
-//!   across repeated `sample` calls.
+//!   across repeated `sample` calls (its meaning follows the engine:
+//!   `2^n` slots dense, occupancy slots sparse).
+//!
+//! Which engine runs is [`SimConfig::engine`]'s choice — the workspace is
+//! where that selection takes effect for every solver.
 
 use crate::circuit::Circuit;
 use crate::counts::Counts;
+use crate::engine::SimEngine;
 use crate::gate::Gate;
 use crate::kernels;
 use crate::phasepoly::PhasePoly;
 use crate::simconfig::SimConfig;
+#[cfg(doc)]
 use crate::state::StateVector;
 use rand::Rng;
 use std::sync::{Arc, Weak};
@@ -51,7 +62,7 @@ struct CachedDiag {
 /// ```
 pub struct SimWorkspace {
     config: SimConfig,
-    state: Option<StateVector>,
+    engine: Option<SimEngine>,
     diag_cache: Vec<CachedDiag>,
     cumulative: Vec<f64>,
     /// Monotone run counter; `cumulative_for` marks which run (if any) the
@@ -66,7 +77,7 @@ impl SimWorkspace {
     pub fn new(config: SimConfig) -> Self {
         SimWorkspace {
             config,
-            state: None,
+            engine: None,
             diag_cache: Vec::new(),
             cumulative: Vec::new(),
             run_stamp: 0,
@@ -81,40 +92,50 @@ impl SimWorkspace {
         &self.config
     }
 
-    /// How many times the amplitude buffer was (re)allocated. Stays at 1
+    /// How many times the engine state was (re)allocated. Stays at 1
     /// across any number of same-width runs — the solvers' zero-alloc
     /// invariant.
     pub fn reallocations(&self) -> u64 {
         self.reallocations
     }
 
-    /// Number of distinct diagonals currently cached.
+    /// Number of distinct diagonals currently cached (dense engine only;
+    /// the sparse engine never materializes a diagonal).
     pub fn cached_diagonals(&self) -> usize {
         self.diag_cache.len()
     }
 
     /// Runs `circuit` from `|0…0⟩` reusing the workspace buffers, and
-    /// returns the resulting state (borrowed — it stays inside the
+    /// returns the resulting engine state (borrowed — it stays inside the
     /// workspace for sampling / expectation calls).
-    pub fn run(&mut self, circuit: &Circuit) -> &StateVector {
+    pub fn run(&mut self, circuit: &Circuit) -> &SimEngine {
         self.reset_for(circuit.n_qubits());
         self.run_stamp += 1;
         for gate in circuit.iter() {
             match gate {
-                Gate::DiagPhase(poly, theta) => self.apply_cached_diag(poly, *theta),
+                // The cached-diagonal fast path only exists on the dense
+                // engine; a sparse state evaluates the polynomial per
+                // occupied entry inside `apply_gate` (and an auto run
+                // that just fell back to dense starts using the cache
+                // from this gate on).
+                Gate::DiagPhase(poly, theta)
+                    if self.engine.as_ref().is_some_and(|e| e.as_dense().is_some()) =>
+                {
+                    self.apply_cached_diag(poly, *theta)
+                }
                 g => self
-                    .state
+                    .engine
                     .as_mut()
-                    .expect("state prepared by reset_for")
+                    .expect("engine prepared by reset_for")
                     .apply_gate(g),
             }
         }
-        self.state.as_ref().expect("state prepared by reset_for")
+        self.engine.as_ref().expect("engine prepared by reset_for")
     }
 
     /// The state left by the last [`SimWorkspace::run`], if any.
-    pub fn state(&self) -> Option<&StateVector> {
-        self.state.as_ref()
+    pub fn state(&self) -> Option<&SimEngine> {
+        self.engine.as_ref()
     }
 
     /// Samples from the last run's state, building the cumulative table at
@@ -124,12 +145,12 @@ impl SimWorkspace {
     ///
     /// Panics if nothing has been run yet.
     pub fn sample<R: Rng>(&mut self, shots: u64, rng: &mut R) -> Counts {
-        let state = self.state.as_ref().expect("run a circuit before sampling");
+        let engine = self.engine.as_ref().expect("run a circuit before sampling");
         if self.cumulative_for != self.run_stamp {
-            state.fill_cumulative(&mut self.cumulative);
+            engine.fill_cumulative(&mut self.cumulative);
             self.cumulative_for = self.run_stamp;
         }
-        state.sample_with_cumulative(&self.cumulative, shots, rng)
+        engine.sample_with_cumulative(&self.cumulative, shots, rng)
     }
 
     /// Expectation of a diagonal observable on the last run's state.
@@ -138,19 +159,20 @@ impl SimWorkspace {
     ///
     /// Panics if nothing has been run yet.
     pub fn expectation_diag_values(&self, values: &[f64]) -> f64 {
-        self.state
+        self.engine
             .as_ref()
             .expect("run a circuit before measuring")
             .expectation_diag_values(values)
     }
 
-    /// Prepares the amplitude buffer for an `n`-qubit run, reusing it when
-    /// the width matches and counting a reallocation otherwise.
+    /// Prepares the engine for an `n`-qubit run, resetting it in place
+    /// when the width and configuration match and counting a reallocation
+    /// otherwise.
     fn reset_for(&mut self, n_qubits: usize) {
-        match &mut self.state {
-            Some(state) if state.n_qubits() == n_qubits => state.reset_zero(),
+        match &mut self.engine {
+            Some(engine) if engine.n_qubits() == n_qubits => engine.reset_zero(),
             slot => {
-                *slot = Some(StateVector::new_with(n_qubits, self.config));
+                *slot = Some(SimEngine::new_with(n_qubits, self.config));
                 self.reallocations += 1;
                 // Cached diagonals are per-width; drop stale ones.
                 self.diag_cache.clear();
@@ -158,10 +180,14 @@ impl SimWorkspace {
         }
     }
 
-    /// Applies a diagonal evolution using (and populating) the per-`Arc`
-    /// diagonal cache.
+    /// Applies a diagonal evolution on the dense engine using (and
+    /// populating) the per-`Arc` diagonal cache.
     fn apply_cached_diag(&mut self, poly: &Arc<PhasePoly>, theta: f64) {
-        let state = self.state.as_mut().expect("state prepared by reset_for");
+        let state = self
+            .engine
+            .as_mut()
+            .and_then(|e| e.as_dense_mut())
+            .expect("cached-diag path requires the dense engine");
         let dim = 1usize << state.n_qubits();
         let hit = self.diag_cache.iter().position(|entry| {
             entry.values.len() == dim
@@ -193,6 +219,8 @@ impl SimWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::simconfig::EngineKind;
+    use crate::state::StateVector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -224,7 +252,7 @@ mod tests {
             let expected = StateVector::run(&circuit);
             let got = ws.run(&circuit);
             assert!(
-                (got.fidelity(&expected) - 1.0).abs() < 1e-12,
+                (got.fidelity_against_dense(&expected) - 1.0).abs() < 1e-12,
                 "theta={theta}"
             );
         }
@@ -267,7 +295,7 @@ mod tests {
         assert_eq!(ws.cached_diagonals(), 2);
         // Equivalence against the uncached engine.
         let expected = StateVector::run(&c);
-        assert!((ws.state().unwrap().fidelity(&expected) - 1.0).abs() < 1e-12);
+        assert!((ws.state().unwrap().fidelity_against_dense(&expected) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -302,5 +330,100 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(33);
         let cached = ws.sample(3_000, &mut rng);
         assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn sparse_workspace_matches_dense_and_skips_diag_cache() {
+        let poly = test_poly(4);
+        let mut sparse_ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Sparse));
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        for theta in [0.3, 1.1] {
+            // A subspace-confined circuit (no mixers): basis load + diag.
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0110);
+            c.diag(poly.clone(), theta);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, -1], 0.5));
+            let dense_probs: Vec<f64> = {
+                let e = dense_ws.run(&c);
+                (0..16).map(|b| e.probability(b)).collect()
+            };
+            let sparse = sparse_ws.run(&c);
+            assert!(sparse.is_sparse(), "confined circuit stays sparse");
+            for (bits, &p) in dense_probs.iter().enumerate() {
+                assert!((sparse.probability(bits as u64) - p).abs() < 1e-15);
+            }
+        }
+        assert_eq!(
+            sparse_ws.cached_diagonals(),
+            0,
+            "sparse runs never expand a 2^n diagonal"
+        );
+        assert!(dense_ws.cached_diagonals() > 0);
+    }
+
+    #[test]
+    fn sparse_workspace_sampling_matches_dense_stream() {
+        let mut c = Circuit::new(4);
+        c.load_bits(0b0011);
+        c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, 0], 0.8));
+        let mut sparse_ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Sparse));
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        sparse_ws.run(&c);
+        dense_ws.run(&c);
+        let mut ra = StdRng::seed_from_u64(21);
+        let mut rb = StdRng::seed_from_u64(21);
+        assert_eq!(
+            sparse_ws.sample(4_000, &mut ra),
+            dense_ws.sample(4_000, &mut rb)
+        );
+    }
+
+    #[test]
+    fn auto_workspace_fallback_is_sticky_and_allocation_free() {
+        let config = SimConfig {
+            density_threshold: 0.2,
+            ..SimConfig::serial().with_engine(EngineKind::Auto)
+        };
+        let mut ws = SimWorkspace::new(config);
+        // A mixer circuit fills the register: fallback trips mid-run.
+        let mut mixer = Circuit::new(4);
+        for q in 0..4 {
+            mixer.h(q);
+        }
+        assert!(!ws.run(&mixer).is_sparse(), "fallback tripped");
+        // Iterating the same workload stays on the retained dense buffer:
+        // no per-iteration sparse ramp, no fresh 2^n allocation — and the
+        // results still match a dense run exactly.
+        let buffer = ws
+            .state()
+            .and_then(|e| e.as_dense())
+            .expect("dense after fallback")
+            .amplitudes()
+            .as_ptr();
+        for _ in 0..3 {
+            let state = ws.run(&mixer);
+            assert!(!state.is_sparse(), "fallback is sticky across runs");
+            let expected = StateVector::run(&mixer);
+            assert!((state.fidelity_against_dense(&expected) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(
+            ws.state()
+                .and_then(|e| e.as_dense())
+                .expect("still dense")
+                .amplitudes()
+                .as_ptr(),
+            buffer,
+            "iterations reuse the densified buffer in place"
+        );
+        assert_eq!(ws.reallocations(), 1, "fallback is not a reallocation");
+        // A width change still starts sparse per the configuration.
+        let mut confined = Circuit::new(5);
+        confined.load_bits(0b00101);
+        confined.ublock(crate::gate::UBlock::from_u_with_angle(
+            &[1, -1, 1, -1, 0],
+            0.4,
+        ));
+        assert!(ws.run(&confined).is_sparse(), "fresh width starts sparse");
+        assert_eq!(ws.reallocations(), 2);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::run::{execute, RunOptions};
 use crate::spec::ExperimentSpec;
-use choco_qsim::SimConfig;
+use choco_qsim::{EngineKind, SimConfig};
 
 /// Parsed `run` subcommand arguments.
 #[derive(Clone, Debug, Default)]
@@ -20,13 +20,16 @@ pub struct RunArgs {
     /// Per-worker simulator threads (default 1: cell-level parallelism
     /// already fills the host).
     pub sim_threads: usize,
+    /// Simulation engine override (`--engine dense|sparse|auto`); `None`
+    /// defers to the spec's `[grid] engine` key.
+    pub engine: Option<EngineKind>,
     /// Suppress the human-readable table on stdout.
     pub no_table: bool,
 }
 
 /// Usage text for the `run` subcommand.
 pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
-     [--out PATH|-] [--csv PATH] [--sim-threads N] [--no-table]";
+     [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto] [--no-table]";
 
 /// Parses `run` subcommand arguments (everything after the literal
 /// `run`).
@@ -60,6 +63,11 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .parse()
                     .map_err(|e| format!("--sim-threads: {e}"))?
             }
+            "--engine" => {
+                parsed.engine = Some(
+                    EngineKind::parse(&value("--engine")?).map_err(|e| format!("--engine: {e}"))?,
+                )
+            }
             "--no-table" => parsed.no_table = true,
             other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
                 parsed.spec_path = other.to_string();
@@ -90,6 +98,7 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
         } else {
             SimConfig::with_threads(parsed.sim_threads)
         },
+        engine: parsed.engine,
     };
     let report = execute(&spec, &options)?;
 
@@ -147,6 +156,8 @@ mod tests {
             "cells.csv",
             "--sim-threads",
             "2",
+            "--engine",
+            "sparse",
             "--no-table",
         ]))
         .unwrap();
@@ -156,6 +167,7 @@ mod tests {
         assert_eq!(args.out.as_deref(), Some("-"));
         assert_eq!(args.csv.as_deref(), Some("cells.csv"));
         assert_eq!(args.sim_threads, 2);
+        assert_eq!(args.engine, Some(EngineKind::Sparse));
         assert!(args.no_table);
     }
 
@@ -168,5 +180,12 @@ mod tests {
         assert!(parse_run_args(&strings(&["s.toml", "--workers"]))
             .unwrap_err()
             .contains("--workers"));
+    }
+
+    #[test]
+    fn engine_flag_defaults_to_none_and_rejects_unknown() {
+        assert_eq!(parse_run_args(&strings(&["s.toml"])).unwrap().engine, None);
+        let err = parse_run_args(&strings(&["s.toml", "--engine", "fpga"])).unwrap_err();
+        assert!(err.contains("--engine") && err.contains("fpga"), "{err}");
     }
 }

@@ -171,6 +171,12 @@ fn parse_value(text: &str) -> Result<Value, String> {
         if inner.contains('"') {
             return Err(format!("embedded quote in `{text}`"));
         }
+        if inner.contains('\\') {
+            return Err(format!(
+                "escape sequence in `{text}` (this TOML subset reads strings \
+                 literally; drop the backslash)"
+            ));
+        }
         return Ok(Value::Str(inner.to_string()));
     }
     if let Some(rest) = text.strip_prefix('[') {
@@ -186,6 +192,26 @@ fn parse_value(text: &str) -> Result<Value, String> {
             match parse_value(part)? {
                 Value::Array(_) => return Err("nested arrays are not supported".into()),
                 v => items.push(v),
+            }
+        }
+        // Heterogeneous arrays are always a spec typo (every consumer
+        // wants all-strings or all-numbers), so fail loudly instead of
+        // letting a later `as_int`/`as_str` silently drop elements.
+        // Ints and floats may mix: both read back as numbers.
+        let type_of = |v: &Value| match v {
+            Value::Str(_) => "string",
+            Value::Int(_) | Value::Float(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => unreachable!("nested arrays rejected above"),
+        };
+        if let Some(first) = items.first() {
+            let expected = type_of(first);
+            if let Some(odd) = items.iter().find(|v| type_of(v) != expected) {
+                return Err(format!(
+                    "mixed-type array `{text}`: contains both {expected} and {} \
+                     elements",
+                    type_of(odd)
+                ));
             }
         }
         return Ok(Value::Array(items));
@@ -277,12 +303,69 @@ layers = [1, 2, 3]
     }
 
     #[test]
+    fn unterminated_strings_are_rejected_everywhere() {
+        for bad in [
+            "k = \"open",
+            "k = \"open # not a comment",
+            "k = [\"a\", \"open]",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("unterminated"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected_across_sections() {
+        let err = parse("[grid]\nseeds = [1]\nseeds = [2]").unwrap_err();
+        assert!(err.contains("duplicate key `grid.seeds`"), "{err}");
+        // Same leaf name in different sections is fine.
+        assert!(parse("[a]\nk = 1\n[b]\nk = 2").is_ok());
+        // ... and a re-opened section still collides.
+        let err = parse("[a]\nk = 1\n[b]\nx = 1\n[a]\nk = 2").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn escape_sequences_are_rejected_with_guidance() {
+        for bad in ["k = \"a\\nb\"", "k = \"C:\\\\path\"", "k = [\"a\\tb\"]"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("escape"), "{bad}: {err}");
+            assert!(err.contains("literal"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn mixed_type_arrays_are_rejected() {
+        for (bad, both) in [
+            ("k = [1, \"b\"]", ("number", "string")),
+            ("k = [\"a\", true]", ("string", "boolean")),
+            ("k = [true, 0]", ("boolean", "number")),
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.contains("mixed-type"), "{bad}: {err}");
+            assert!(err.contains(both.0) && err.contains(both.1), "{bad}: {err}");
+        }
+        // Int/float mixes are one numeric family, not an error.
+        assert_eq!(
+            parse("k = [1, 2.5]").unwrap()["k"],
+            Value::Array(vec![Value::Int(1), Value::Float(2.5)])
+        );
+    }
+
+    #[test]
     fn value_accessors_coerce_sensibly() {
         assert_eq!(Value::Int(3).as_float(), Some(3.0));
         assert_eq!(Value::Str("x".into()).as_int(), None);
         assert_eq!(Value::Bool(true).as_bool(), Some(true));
         assert_eq!(
-            format!("{}", parse("a = [1, \"b\"]").unwrap()["a"]),
+            format!("{}", parse("a = [1, 2.5]").unwrap()["a"]),
+            "[1, 2.5]"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                Value::Array(vec![Value::Int(1), Value::Str("b".into())])
+            ),
             "[1, \"b\"]"
         );
     }

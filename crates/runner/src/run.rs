@@ -11,7 +11,7 @@ use crate::spec::{Cell, ExperimentSpec, RunKind, SolverKind};
 use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
 use choco_device::LatencyModel;
 use choco_model::{solve_exact, Optimum, Problem, SolveOutcome};
-use choco_qsim::{SimConfig, SimWorkspace};
+use choco_qsim::{EngineKind, SimConfig, SimWorkspace};
 use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,6 +29,9 @@ pub struct RunOptions {
     /// Defaults to serial: with cell-level parallelism outer × inner
     /// thread fan-out oversubscribes the host.
     pub sim: SimConfig,
+    /// Engine override from the CLI (`--engine`). `None` defers to the
+    /// spec's `[grid] engine` key, which in turn defers to `sim.engine`.
+    pub engine: Option<EngineKind>,
 }
 
 impl Default for RunOptions {
@@ -37,6 +40,7 @@ impl Default for RunOptions {
             workers: 0,
             quick: false,
             sim: SimConfig::serial(),
+            engine: None,
         }
     }
 }
@@ -52,6 +56,16 @@ impl RunOptions {
             self.workers
         };
         requested.clamp(1, n_cells.max(1))
+    }
+
+    /// The engine configuration a run of `spec` uses, resolved in
+    /// priority order: CLI `--engine` override, then the spec's
+    /// `[grid] engine`, then these options' base `sim` configuration.
+    /// Because the engines are bit-identical, the resolution changes
+    /// wall-clock, never report bytes (asserted by CI's engine matrix).
+    pub fn effective_sim(&self, spec: &ExperimentSpec) -> SimConfig {
+        let engine = self.engine.or(spec.engine).unwrap_or(self.sim.engine);
+        self.sim.with_engine(engine)
     }
 }
 
@@ -182,6 +196,7 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
     let instances = build_instances(&cells)?;
 
     let n_workers = opts.effective_workers(cells.len());
+    let sim = opts.effective_sim(spec);
     let done = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<Record>>> = Mutex::new(vec![None; cells.len()]);
@@ -189,7 +204,7 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
-                let mut workspace = SimWorkspace::new(opts.sim);
+                let mut workspace = SimWorkspace::new(sim);
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
@@ -687,5 +702,54 @@ max_iters = 3
     fn scaled_configs_shrink_with_size() {
         assert!(scaled_choco(8).max_iters > scaled_choco(20).max_iters);
         assert!(scaled_qaoa(8).max_iters > scaled_qaoa(20).max_iters);
+    }
+
+    #[test]
+    fn engine_resolution_prefers_cli_then_spec_then_default() {
+        let mut spec = tiny_spec();
+        let opts = RunOptions::default();
+        assert_eq!(opts.effective_sim(&spec).engine, EngineKind::Dense);
+        spec.engine = Some(EngineKind::Sparse);
+        assert_eq!(opts.effective_sim(&spec).engine, EngineKind::Sparse);
+        let cli = RunOptions {
+            engine: Some(EngineKind::Auto),
+            ..RunOptions::default()
+        };
+        assert_eq!(cli.effective_sim(&spec).engine, EngineKind::Auto);
+        // Non-engine fields pass through untouched.
+        assert_eq!(cli.effective_sim(&spec).threads, cli.sim.threads);
+    }
+
+    #[test]
+    fn grid_reports_are_byte_identical_across_engines() {
+        // The whole point of the engine abstraction: selection is a
+        // performance decision, not a numerical one. choco-q cells stay
+        // sparse (subspace-confined); the penalty-style baseline forces
+        // the auto fallback mid-run — both paths must reproduce the dense
+        // report byte-for-byte.
+        let spec = ExperimentSpec::parse_str(
+            r#"
+name = "engines"
+[grid]
+problems = ["F1"]
+solvers = ["choco-q", "hea"]
+[config]
+shots = 600
+max_iters = 6
+restarts = 1
+transpiled_stats = false
+"#,
+        )
+        .unwrap();
+        let run = |engine: EngineKind| {
+            let opts = RunOptions {
+                engine: Some(engine),
+                ..RunOptions::default()
+            };
+            execute(&spec, &opts).unwrap().to_json()
+        };
+        let dense = run(EngineKind::Dense);
+        assert_eq!(dense, run(EngineKind::Sparse), "sparse diverged");
+        assert_eq!(dense, run(EngineKind::Auto), "auto diverged");
     }
 }

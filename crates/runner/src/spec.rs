@@ -11,6 +11,7 @@ use choco_device::Device;
 use choco_mathkit::SplitMix64;
 use choco_model::Problem;
 use choco_problems as problems;
+use choco_qsim::EngineKind;
 
 /// Which experiment harness a spec drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -317,6 +318,11 @@ pub struct ExperimentSpec {
     pub eliminate: Vec<usize>,
     /// Device axis (`None` = ideal).
     pub devices: Vec<Option<Device>>,
+    /// Simulation engine the whole grid runs on (`None` = the runner's
+    /// default, overridable by `choco-cli run --engine`). Not a grid axis:
+    /// engines are bit-identical, so sweeping them would duplicate every
+    /// record.
+    pub engine: Option<EngineKind>,
     /// Whether a device cell applies the device's noise model (otherwise
     /// the device only drives latency estimation).
     pub noisy: bool,
@@ -429,6 +435,17 @@ impl ExperimentSpec {
                 .collect::<Result<Vec<_>, _>>()?,
             None => vec![None],
         };
+        let engine = match known.str_key(doc, "grid.engine")? {
+            Some(name) => Some(EngineKind::parse(&name).map_err(|e| {
+                format!(
+                    "`[grid] engine`: {e} — pick `dense` for the 2^n strided \
+                         engine, `sparse` for the feasible-subspace engine, or \
+                         `auto` to start sparse and densify at the occupancy \
+                         threshold"
+                )
+            })?),
+            None => None,
+        };
 
         let config = ConfigOverrides {
             shots: known.int_key(doc, "config.shots")?.map(|v| v.max(1) as u64),
@@ -484,6 +501,7 @@ impl ExperimentSpec {
             layers,
             eliminate,
             devices,
+            engine,
             noisy,
             history,
             config,
@@ -835,6 +853,41 @@ quick_problems = ["F1"]
             assert!(err.contains("suffix"), "{bad}: {err}");
         }
         assert!(ProblemRef::parse("kpp:6x7x2:unbal").is_ok());
+    }
+
+    #[test]
+    fn engine_key_parses_and_defaults_to_none() {
+        assert_eq!(ExperimentSpec::parse_str(MINIMAL).unwrap().engine, None);
+        for (name, kind) in [
+            ("dense", EngineKind::Dense),
+            ("sparse", EngineKind::Sparse),
+            ("auto", EngineKind::Auto),
+        ] {
+            let spec = ExperimentSpec::parse_str(&format!(
+                "name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = \"{name}\""
+            ))
+            .unwrap();
+            assert_eq!(spec.engine, Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_engine_is_rejected_with_guidance() {
+        let err = ExperimentSpec::parse_str(
+            "name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = \"gpu\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown engine `gpu`"), "{err}");
+        assert!(err.contains("dense|sparse|auto"), "{err}");
+        assert!(
+            err.contains("feasible-subspace"),
+            "error must explain the choices: {err}"
+        );
+        // Wrong type is also caught, not silently ignored.
+        let err =
+            ExperimentSpec::parse_str("name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = 3")
+                .unwrap_err();
+        assert!(err.contains("engine"), "{err}");
     }
 
     #[test]

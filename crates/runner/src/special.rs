@@ -11,8 +11,8 @@ use crate::report::{Field, Record, RunReport};
 use crate::run::{build_instances, scaled_choco, RunOptions};
 use crate::spec::{ExperimentSpec, SolverKind};
 use choco_core::{
-    lemma2_stats, plan_elimination, support_profile, trotter_decompose, ChocoQConfig, ChocoQSolver,
-    CommuteDriver, TrotterConfig,
+    lemma2_stats, plan_elimination, support_profile_with, trotter_decompose, ChocoQConfig,
+    ChocoQSolver, CommuteDriver, TrotterConfig,
 };
 use choco_mathkit::{expm, Complex64, LinEq, LinSystem};
 use choco_model::Problem;
@@ -134,7 +134,7 @@ pub(crate) fn execute_ablation(
     let eliminate = spec.eliminate.iter().copied().max().unwrap_or(2);
     let cells = spec.expand_cells(opts.quick);
     let instances = build_instances(&cells)?;
-    let mut workspace = choco_qsim::SimWorkspace::new(opts.sim);
+    let mut workspace = choco_qsim::SimWorkspace::new(opts.effective_sim(spec));
     let mut records = Vec::new();
     let mut index = 0u64;
     for problem_ref in spec.effective_problems(opts.quick) {
@@ -245,12 +245,19 @@ pub(crate) fn execute_ablation(
 
 /// Fig. 9(b): the number of basis states supporting the state through the
 /// Choco-Q circuit (quantum parallelism growth).
+///
+/// The profile runs on the engine the spec/CLI selects and counts support
+/// through the engine's occupancy-aware counter — with `engine = "sparse"`
+/// the harness never allocates a `2^n` buffer, which is what lets
+/// `experiments/scaling_sparse.toml` profile registers the dense engine
+/// cannot hold (the counts themselves are engine-independent).
 pub(crate) fn execute_support(
     spec: &ExperimentSpec,
     opts: &RunOptions,
 ) -> Result<RunReport, String> {
     let cells = spec.expand_cells(opts.quick);
     let instances = build_instances(&cells)?;
+    let sim = opts.effective_sim(spec);
     let mut records = Vec::new();
     let mut index = 0u64;
     for problem_ref in spec.effective_problems(opts.quick) {
@@ -267,7 +274,7 @@ pub(crate) fn execute_support(
             let params = ChocoQSolver::initial_params(1, ordered.len());
             let circuit =
                 ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
-            let profile = support_profile(&circuit, 1e-9);
+            let profile = support_profile_with(&circuit, 1e-9, sim);
             let mut record = Record::new();
             record
                 .push("index", Field::UInt(index))

@@ -17,7 +17,9 @@
 //! * everything unencoded is handled softly, so the in-constraints rate
 //!   degrades exactly the way Table II shows.
 
-use crate::shared::{check_size, circuit_stats, ramp_initial_params, variational_loop, QaoaConfig};
+use crate::shared::{
+    check_size, circuit_stats, ramp_initial_params, variational_loop, CostSpec, QaoaConfig,
+};
 use choco_mathkit::{LinEq, LinSystem};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
@@ -168,7 +170,7 @@ impl CyclicQaoaSolver {
         let result = variational_loop(
             n,
             build,
-            &cost_values,
+            &CostSpec::Table(&cost_values),
             &ramp_initial_params(layers),
             &loop_config,
             workspace,

@@ -7,7 +7,7 @@
 //! paper notes (§VI-A), this "cannot always converge into an optimal
 //! solution since the circuit structure is not specialized".
 
-use crate::shared::{check_size, circuit_stats, variational_loop, QaoaConfig};
+use crate::shared::{check_size, circuit_stats, variational_loop, CostSpec, QaoaConfig};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
 use choco_qsim::SimWorkspace;
@@ -87,7 +87,14 @@ impl HeaSolver {
             sim: *workspace.config(),
             ..self.config.clone()
         };
-        let result = variational_loop(n, build, &cost_values, &x0, &loop_config, workspace);
+        let result = variational_loop(
+            n,
+            build,
+            &CostSpec::Table(&cost_values),
+            &x0,
+            &loop_config,
+            workspace,
+        );
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;

@@ -8,7 +8,9 @@
 //! drift out of the constraints, a strong one flattens the objective — both
 //! visible in this implementation's metrics.
 
-use crate::shared::{check_size, circuit_stats, ramp_initial_params, variational_loop, QaoaConfig};
+use crate::shared::{
+    check_size, circuit_stats, ramp_initial_params, variational_loop, CostSpec, QaoaConfig,
+};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
 use choco_qsim::SimWorkspace;
@@ -105,7 +107,7 @@ impl PenaltyQaoaSolver {
         let result = variational_loop(
             n,
             build,
-            &cost_values,
+            &CostSpec::Table(&cost_values),
             &ramp_initial_params(layers),
             &loop_config,
             workspace,

@@ -4,13 +4,15 @@
 use choco_model::{CircuitStats, SolverError, TimingBreakdown};
 use choco_optim::OptimizerKind;
 use choco_qsim::{
-    transpile, Circuit, Counts, NoiseModel, SimConfig, SimWorkspace, TranspileOptions,
+    transpile, Circuit, Counts, EngineKind, NoiseModel, PhasePoly, SimConfig, SimWorkspace,
+    TranspileOptions, MAX_SPARSE_QUBITS,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Maximum register size any solver will simulate.
+/// Maximum register size any solver will simulate on the **dense**
+/// engine (a `2^26` amplitude buffer is 1 GiB).
 pub const MAX_SIM_QUBITS: usize = 26;
 
 /// Configuration shared by all QAOA-family solvers.
@@ -74,15 +76,57 @@ impl QaoaConfig {
     }
 }
 
-/// Rejects instances that would not fit the simulator.
+/// Rejects instances that would not fit the dense simulator.
 pub fn check_size(required_qubits: usize) -> Result<(), SolverError> {
-    if required_qubits > MAX_SIM_QUBITS {
+    check_size_for(required_qubits, EngineKind::Dense)
+}
+
+/// Engine-aware size gate: the dense engine stops at [`MAX_SIM_QUBITS`];
+/// the sparse/auto engines accept anything the circuit IR can express
+/// ([`MAX_SPARSE_QUBITS`]) because a feasible-subspace solve never
+/// allocates `2^n` of anything.
+pub fn check_size_for(required_qubits: usize, engine: EngineKind) -> Result<(), SolverError> {
+    let limit = match engine {
+        EngineKind::Dense => MAX_SIM_QUBITS,
+        EngineKind::Sparse | EngineKind::Auto => MAX_SPARSE_QUBITS,
+    };
+    if required_qubits > limit {
         Err(SolverError::TooLarge {
             required: required_qubits,
-            limit: MAX_SIM_QUBITS,
+            limit,
         })
     } else {
         Ok(())
+    }
+}
+
+/// The diagonal cost a variational loop minimizes: a materialized `2^n`
+/// table (bit-identical across engines; the default up to
+/// [`MAX_SIM_QUBITS`]) or the bare polynomial (table-free — the only
+/// option for registers too wide to tabulate, where the sparse engine
+/// evaluates it per occupied entry).
+pub enum CostSpec<'a> {
+    /// A per-basis-state value table of length `2^n`.
+    Table(&'a [f64]),
+    /// The cost polynomial itself.
+    Poly(&'a PhasePoly),
+}
+
+impl CostSpec<'_> {
+    /// The cost of one assignment.
+    pub fn value(&self, bits: u64) -> f64 {
+        match self {
+            CostSpec::Table(values) => values[bits as usize],
+            CostSpec::Poly(poly) => poly.eval_bits(bits),
+        }
+    }
+
+    /// Expectation on an engine state.
+    pub fn expectation(&self, state: &choco_qsim::SimEngine) -> f64 {
+        match self {
+            CostSpec::Table(values) => state.expectation_diag_values(values),
+            CostSpec::Poly(poly) => state.expectation_diag_poly(poly),
+        }
     }
 }
 
@@ -107,16 +151,18 @@ pub struct LoopResult {
 /// circuit.
 ///
 /// `build` maps a parameter vector to a circuit over `n_qubits` qubits;
-/// `cost_values` is the per-basis-state diagonal (minimization convention)
-/// whose expectation is optimized. Every state-vector execution runs
-/// through `workspace`, so iterations after the first perform **no
-/// amplitude-vector allocations** and re-used `PhasePoly` diagonals are
-/// expanded once, not once per iteration. Callers own the workspace and
-/// may share it across restarts and elimination branches.
+/// `cost` is the diagonal (minimization convention) whose expectation is
+/// optimized — a `2^n` table or a bare polynomial (see [`CostSpec`]).
+/// Every state execution runs through `workspace` (and therefore through
+/// whichever [`choco_qsim::SimEngine`] its configuration selects), so
+/// iterations after the first perform **no amplitude-vector allocations**
+/// and re-used `PhasePoly` diagonals are expanded once, not once per
+/// iteration. Callers own the workspace and may share it across restarts
+/// and elimination branches.
 pub fn variational_loop<F>(
     n_qubits: usize,
     build: F,
-    cost_values: &[f64],
+    cost: &CostSpec<'_>,
     x0: &[f64],
     config: &QaoaConfig,
     workspace: &mut SimWorkspace,
@@ -124,7 +170,9 @@ pub fn variational_loop<F>(
 where
     F: Fn(&[f64]) -> Circuit,
 {
-    assert_eq!(cost_values.len(), 1 << n_qubits, "cost table size mismatch");
+    if let CostSpec::Table(values) = cost {
+        assert_eq!(values.len(), 1 << n_qubits, "cost table size mismatch");
+    }
     let loop_start = Instant::now();
     let mut execute_time = std::time::Duration::ZERO;
 
@@ -135,7 +183,7 @@ where
             let t0 = Instant::now();
             let mut ws = workspace.borrow_mut();
             let state = ws.run(&circuit);
-            let value = state.expectation_diag_values(cost_values);
+            let value = cost.expectation(state);
             execute_time += t0.elapsed();
             value
         };
@@ -257,6 +305,40 @@ mod tests {
     }
 
     #[test]
+    fn sparse_engines_lift_the_size_gate() {
+        // The dense cap exists because of the 2^n buffer; the sparse
+        // engines go to the circuit IR's limit.
+        for engine in [EngineKind::Sparse, EngineKind::Auto] {
+            assert!(check_size_for(MAX_SIM_QUBITS + 2, engine).is_ok());
+            assert!(matches!(
+                check_size_for(MAX_SPARSE_QUBITS + 1, engine),
+                Err(SolverError::TooLarge { .. })
+            ));
+        }
+        assert!(matches!(
+            check_size_for(MAX_SIM_QUBITS + 2, EngineKind::Dense),
+            Err(SolverError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_spec_table_and_poly_agree() {
+        let mut poly = PhasePoly::new(3);
+        poly.add_linear(0, 2.0);
+        poly.add_quadratic(1, 2, -1.0);
+        let table: Vec<f64> = (0..8u64).map(|b| poly.eval_bits(b)).collect();
+        let spec_t = CostSpec::Table(&table);
+        let spec_p = CostSpec::Poly(&poly);
+        for bits in 0..8u64 {
+            assert_eq!(spec_t.value(bits), spec_p.value(bits));
+        }
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.7);
+        let state = choco_qsim::SimEngine::run_with(&c, SimConfig::serial());
+        assert!((spec_t.expectation(&state) - spec_p.expectation(&state)).abs() < 1e-12);
+    }
+
+    #[test]
     fn ramp_params_shape() {
         let x0 = ramp_initial_params(3);
         assert_eq!(x0.len(), 6);
@@ -284,7 +366,7 @@ mod tests {
                 c.rx(0, params[0]);
                 c
             },
-            &cost,
+            &CostSpec::Table(&cost),
             &[2.0],
             &config,
             &mut workspace,

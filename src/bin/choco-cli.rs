@@ -5,12 +5,18 @@
 //! USAGE: choco-cli <file | -> [--solver choco|penalty|cyclic|hea]
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
-//!                  [--threads N]
+//!                  [--threads N] [--engine dense|sparse|auto]
 //!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
-//!                  [--csv PATH] [--sim-threads N] [--no-table]
+//!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto]
+//!                  [--no-table]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
+//! `--engine` picks the amplitude representation: `dense` (2^n strided
+//! buffer), `sparse` (feasible-subspace sorted map — Choco-Q circuits
+//! never leave the feasible subspace, so this scales to registers the
+//! dense engine cannot allocate), or `auto` (sparse with automatic dense
+//! fallback at the occupancy threshold).
 //! ```
 //!
 //! The `run` subcommand executes an experiment spec (see
@@ -41,6 +47,7 @@ struct Args {
     top: usize,
     seed: u64,
     threads: Option<usize>,
+    engine: Option<choco_q::qsim::EngineKind>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         top: 5,
         seed: 42,
         threads: None,
+        engine: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -100,6 +108,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--engine" => {
+                args.engine = Some(
+                    choco_q::qsim::EngineKind::parse(&value("--engine")?)
+                        .map_err(|e| format!("--engine: {e}"))?,
+                )
+            }
             "--noise" => {
                 args.noise = Some(match value("--noise")?.as_str() {
                     "fez" => Device::Fez,
@@ -141,9 +155,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
-                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N]\n\
+                 [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N] \
+                 [--engine dense|sparse|auto]\n\
                  usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
-                 [--csv PATH] [--sim-threads N] [--no-table]"
+                 [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto] [--no-table]"
             );
             return ExitCode::from(2);
         }
@@ -194,6 +209,9 @@ fn main() -> ExitCode {
             if let Some(t) = args.threads {
                 cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
             }
+            if let Some(engine) = args.engine {
+                cfg.sim = cfg.sim.with_engine(engine);
+            }
             ChocoQSolver::new(cfg).solve(&problem)
         }
         name @ ("penalty" | "cyclic" | "hea") => {
@@ -211,6 +229,9 @@ fn main() -> ExitCode {
             cfg.noise = noise;
             if let Some(t) = args.threads {
                 cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
+            }
+            if let Some(engine) = args.engine {
+                cfg.sim = cfg.sim.with_engine(engine);
             }
             match name {
                 "penalty" => PenaltyQaoaSolver::new(cfg).solve(&problem),

@@ -147,7 +147,11 @@ proptest! {
     ) {
         let circuit = random_circuit(seed, n, 24);
         let oracle = ScalarStateVector::run(&circuit);
-        let config = SimConfig { threads, parallel_threshold: 1 };
+        let config = SimConfig {
+            threads,
+            parallel_threshold: 1,
+            ..SimConfig::default()
+        };
         let fast = StateVector::run_with(&circuit, config);
         let fidelity = oracle.fidelity_against(&fast);
         prop_assert!(
@@ -170,13 +174,17 @@ proptest! {
         n in 2usize..10,
         threads in 1usize..5,
     ) {
-        let config = SimConfig { threads, parallel_threshold: 1 };
+        let config = SimConfig {
+            threads,
+            parallel_threshold: 1,
+            ..SimConfig::default()
+        };
         let mut ws = SimWorkspace::new(config);
         for round in 0..3u64 {
             let circuit = random_circuit(seed.wrapping_add(round), n, 16);
             let oracle = ScalarStateVector::run(&circuit);
             let state = ws.run(&circuit);
-            let fidelity = oracle.fidelity_against(state);
+            let fidelity = oracle.fidelity_against_engine(state);
             prop_assert!(
                 (fidelity - 1.0).abs() < 1e-10,
                 "seed={seed} n={n} threads={threads} round={round}: fidelity={fidelity}"
@@ -193,7 +201,11 @@ proptest! {
         threads in 1usize..5,
     ) {
         let circuit = random_circuit(seed, n, 24);
-        let config = SimConfig { threads, parallel_threshold: 1 };
+        let config = SimConfig {
+            threads,
+            parallel_threshold: 1,
+            ..SimConfig::default()
+        };
         let state = StateVector::run_with(&circuit, config);
         prop_assert!((state.norm_sqr() - 1.0).abs() < 1e-9);
     }

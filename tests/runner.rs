@@ -165,6 +165,40 @@ transpiled_stats = false
 }
 
 #[test]
+fn support_reports_identical_across_engines() {
+    // The fig09b harness now counts support through the engine's
+    // occupancy counter; selecting the sparse engine (as
+    // experiments/scaling_sparse.toml does) must not move a single byte
+    // of the report on sizes the dense engine can still check.
+    let base = r#"
+name = "support-engines"
+description = "engine-identity regression for the support harness"
+kind = "support"
+[grid]
+problems = ["gcp:3x2x2", "F1"]
+"#;
+    let spec = ExperimentSpec::parse_str(base).expect("spec");
+    let run = |engine| {
+        let opts = RunOptions {
+            engine: Some(engine),
+            ..RunOptions::default()
+        };
+        execute(&spec, &opts).expect("support runs").to_json()
+    };
+    use choco_q::qsim::EngineKind;
+    let dense = run(EngineKind::Dense);
+    assert_eq!(dense, run(EngineKind::Sparse));
+    assert_eq!(dense, run(EngineKind::Auto));
+    // And the spec-level engine key engages without a CLI override.
+    let sparse_spec =
+        ExperimentSpec::parse_str(&format!("{base}engine = \"sparse\"")).expect("spec");
+    let from_spec = execute(&sparse_spec, &RunOptions::default())
+        .expect("support runs")
+        .to_json();
+    assert_eq!(dense, from_spec);
+}
+
+#[test]
 fn runner_prelude_types_are_reachable() {
     // The umbrella prelude re-exports the runner surface.
     let spec = ExperimentSpec::parse_str(
