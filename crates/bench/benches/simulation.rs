@@ -17,9 +17,9 @@
 //! `bench_json` (in `src/bin`) runs the same circuits headlessly and
 //! writes `BENCH_simulation.json` for machine-readable tracking.
 
-use choco_bench::{choco_layer_circuit, layer_circuit};
+use choco_bench::{choco_layer_circuit, choco_onehot_stack, layer_circuit};
 use choco_qsim::oracle::ScalarStateVector;
-use choco_qsim::{SimConfig, SimWorkspace, SparseStateVector, StateVector};
+use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Dense vs sparse on the confined Choco-Q layer: the crossover group
@@ -35,6 +35,31 @@ fn bench_choco_layer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sparse", n), &circuit, |b, circuit| {
             b.iter(|| SparseStateVector::run(std::hint::black_box(circuit)));
         });
+    }
+    group.finish();
+}
+
+/// End-to-end optimizer-iteration cost: one warmed `SimWorkspace::run`
+/// of a two-layer multi-one-hot Choco-Q stack per engine — the group
+/// behind `BENCH_simulation.json`'s `compact_speedup_vs_sparse`.
+fn bench_choco_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choco_iteration");
+    group.sample_size(10);
+    for n in [14usize, 18] {
+        let stack = choco_onehot_stack(n, 2);
+        for (label, engine) in [
+            ("dense", EngineKind::Dense),
+            ("sparse", EngineKind::Sparse),
+            ("compact", EngineKind::Compact),
+        ] {
+            let mut ws = SimWorkspace::new(SimConfig::default().with_engine(engine));
+            ws.run(&stack); // warmup: allocate buffers, compile the plan
+            group.bench_with_input(BenchmarkId::new(label, n), &stack, |b, stack| {
+                b.iter(|| {
+                    ws.run(std::hint::black_box(stack));
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -109,6 +134,7 @@ criterion_group!(
     bench_statevector_scalar,
     bench_statevector_workspace,
     bench_choco_layer,
+    bench_choco_iteration,
     bench_sampling
 );
 criterion_main!(benches);

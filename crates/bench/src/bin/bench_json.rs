@@ -2,10 +2,14 @@
 //!
 //! Runs the state-vector kernels at n ∈ {10, 14, 18, 20} on three engines
 //! (scan-and-mask scalar baseline, strided fast path, workspace-backed
-//! solver path) plus per-kernel micro-measurements, and a **dense vs
-//! sparse crossover group** on a subspace-confined Choco-Q layer at
-//! n ∈ {18, 22, 24}, and writes `BENCH_simulation.json` so the perf
-//! trajectory stays comparable across PRs.
+//! solver path) plus per-kernel micro-measurements, a **dense vs sparse
+//! crossover group** on a subspace-confined Choco-Q layer at
+//! n ∈ {18, 22, 24}, and an **end-to-end optimizer-iteration group**
+//! (`choco_iteration_*`: one warmed `SimWorkspace::run` of a two-layer
+//! multi-one-hot Choco-Q stack on the dense, sparse, and compact
+//! engines — the `ns_per_iteration` behind `compact_speedup_vs_sparse`),
+//! and writes `BENCH_simulation.json` so the perf trajectory stays
+//! comparable across PRs.
 //!
 //! ```text
 //! cargo run --release -p choco-bench --bin bench_json [-- --out PATH] [--quick]
@@ -13,9 +17,9 @@
 //!
 //! `--quick` (or `CHOCO_QUICK=1`) caps the register at n = 14.
 
-use choco_bench::{choco_layer_circuit, layer_circuit, quick_mode};
+use choco_bench::{choco_layer_circuit, choco_onehot_stack, layer_circuit, quick_mode};
 use choco_qsim::oracle::ScalarStateVector;
-use choco_qsim::{SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
+use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -204,6 +208,34 @@ fn main() {
         });
     }
 
+    // Whole-iteration cost per engine: what one optimizer evaluation
+    // pays, workspace-warmed (buffers allocated, plans compiled) — so
+    // dense measures buffer-reuse replay, sparse measures per-gate map
+    // churn + support rediscovery, compact measures plan replay.
+    for &n in sparse_sizes {
+        eprintln!("measuring choco iteration n = {n} (dense vs sparse vs compact) …");
+        let stack = choco_onehot_stack(n, 2);
+        for (group, engine, samples_here) in [
+            ("choco_iteration_dense", EngineKind::Dense, 3),
+            ("choco_iteration_sparse", EngineKind::Sparse, samples),
+            ("choco_iteration_compact", EngineKind::Compact, samples),
+        ] {
+            let mut ws = SimWorkspace::new(config.with_engine(engine));
+            ws.run(&stack); // warmup: allocate, compile the plan
+            entries.push(Entry {
+                group,
+                n,
+                ns_per_op: measure(
+                    || {
+                        std::hint::black_box(ws.run(&stack));
+                    },
+                    samples_here,
+                    budget_ms / 2.0,
+                ),
+            });
+        }
+    }
+
     // Assemble JSON by hand (no serde in the workspace).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"simulation\",\n");
@@ -260,6 +292,29 @@ fn main() {
             lines.push(format!(
                 "    \"choco_layer/{n}\": {{\"sparse\": {:.1}}}",
                 dense / sparse
+            ));
+        }
+    }
+    json.push_str(&lines.join(",\n"));
+    json.push_str("\n  },\n  \"compact_speedup_vs_sparse\": {\n");
+    let mut lines = Vec::new();
+    for &n in sparse_sizes {
+        let find = |g: &str| {
+            entries
+                .iter()
+                .find(|e| e.group == g && e.n == n)
+                .map(|e| e.ns_per_op)
+        };
+        if let (Some(dense), Some(sparse), Some(compact)) = (
+            find("choco_iteration_dense"),
+            find("choco_iteration_sparse"),
+            find("choco_iteration_compact"),
+        ) {
+            lines.push(format!(
+                "    \"choco_iteration/{n}\": {{\"compact_vs_sparse\": {:.1}, \
+                 \"compact_vs_dense\": {:.1}}}",
+                sparse / compact,
+                dense / compact
             ));
         }
     }

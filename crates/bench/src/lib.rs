@@ -58,6 +58,44 @@ pub fn choco_layer_circuit(n: usize) -> Circuit {
     finish_layer(c, n)
 }
 
+/// The whole-iteration bench workload: `layers` full Choco-Q layers
+/// (diagonal cost evolution + serialized commute driver) on a
+/// multi-one-hot instance — qubits in groups of four (one trailing
+/// smaller group), each group one-hot, each layer chaining pair blocks
+/// along every group. The feasible subspace has `|F| = Π group_size`
+/// (512 at n=18, 2048 at n=22, 4096 at n=24) and the driver is *closed*
+/// over it, exactly like a real multi-constraint Choco-Q circuit: the
+/// workload behind the `choco_iteration` groups and
+/// `BENCH_simulation.json`'s `compact_speedup_vs_sparse`.
+pub fn choco_onehot_stack(n: usize, layers: usize) -> Circuit {
+    assert!(n >= 2, "need at least one one-hot pair");
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut q = 0;
+    while q + 4 <= n {
+        groups.push((q, 4));
+        q += 4;
+    }
+    if n - q >= 2 {
+        groups.push((q, n - q));
+    }
+    let mut c = Circuit::new(n);
+    let init = groups.iter().fold(0u64, |m, &(s, _)| m | (1 << s));
+    c.load_bits(init);
+    let poly = Arc::new(bench_poly(n));
+    for _ in 0..layers {
+        c.diag(poly.clone(), 0.4);
+        for &(s, w) in &groups {
+            for j in 0..w - 1 {
+                let mut u = vec![0i8; n];
+                u[s + j] = 1;
+                u[s + j + 1] = -1;
+                c.ublock(UBlock::from_u_with_angle(&u, 0.5));
+            }
+        }
+    }
+    c
+}
+
 fn finish_layer(mut c: Circuit, n: usize) -> Circuit {
     c.diag(Arc::new(bench_poly(n)), 0.4);
     for k in 0..n / 2 {
@@ -73,6 +111,20 @@ fn finish_layer(mut c: Circuit, n: usize) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn onehot_stack_is_confined_and_closed() {
+        use choco_qsim::SparseStateVector;
+        // |F| = 4^2 at n = 8; a second layer must not grow support (the
+        // driver is closed over the feasible subspace).
+        let one = SparseStateVector::run(&choco_onehot_stack(8, 1));
+        let two = SparseStateVector::run(&choco_onehot_stack(8, 2));
+        assert_eq!(one.occupancy(), 16);
+        assert_eq!(two.occupancy(), 16);
+        // Trailing sub-4 group: n = 10 adds a one-hot pair.
+        let odd = SparseStateVector::run(&choco_onehot_stack(10, 1));
+        assert_eq!(odd.occupancy(), 32);
+    }
 
     #[test]
     fn quick_mode_reads_env() {

@@ -17,8 +17,8 @@ pub fn support_profile(circuit: &Circuit, eps: f64) -> Vec<usize> {
 /// engine the per-gate count reads the occupied-entry list instead of
 /// scanning (or even allocating) the `2^n` register — this is how the
 /// fig09b harness profiles Choco-Q circuits at widths the dense engine
-/// cannot hold. Both engines report identical counts where they can both
-/// run (their amplitudes are bit-identical).
+/// cannot hold. All engines report identical counts where they can run
+/// (their amplitudes are bit-identical).
 pub fn support_profile_with(circuit: &Circuit, eps: f64, config: SimConfig) -> Vec<usize> {
     let mut engine = SimEngine::new_with(circuit.n_qubits(), config);
     let mut profile = Vec::with_capacity(circuit.len() + 1);
@@ -98,7 +98,7 @@ mod tests {
             c.ublock(block);
         }
         let dense = support_profile(&c, 1e-9);
-        for kind in [EngineKind::Sparse, EngineKind::Auto] {
+        for kind in [EngineKind::Sparse, EngineKind::Compact, EngineKind::Auto] {
             let config = SimConfig::serial().with_engine(kind);
             assert_eq!(support_profile_with(&c, 1e-9, config), dense, "{kind}");
         }

@@ -233,10 +233,13 @@ impl Solver for ChocoQSolver {
 
 impl ChocoQSolver {
     /// [`Solver::solve`] with a caller-owned [`SimWorkspace`]: the
-    /// amplitude buffer, cached diagonals, and sampling table live in
+    /// amplitude buffer, cached diagonals, sampling table, and (under
+    /// [`choco_qsim::EngineKind::Compact`]) compiled gate plans live in
     /// `workspace` and are reused across optimizer iterations, multistart
     /// restarts, and elimination branches (and across repeated solves when
-    /// the caller keeps the workspace around).
+    /// the caller keeps the workspace around) — with the compact engine,
+    /// the feasible subspace is enumerated once per circuit shape and
+    /// every iteration replays the precomputed plan.
     pub fn solve_with_workspace(
         &self,
         problem: &Problem,
@@ -610,6 +613,52 @@ mod tests {
         // The shared cost polynomial was expanded into a diagonal once per
         // Δ policy, not once per iteration.
         assert!(workspace.cached_diagonals() <= 2);
+    }
+
+    #[test]
+    fn compact_engine_solve_is_byte_identical_and_compiles_once() {
+        use choco_qsim::EngineKind;
+        let problem = paper_problem();
+        let solver = ChocoQSolver::new(ChocoQConfig::fast_test());
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        let dense = solver
+            .solve_with_workspace(&problem, &mut dense_ws)
+            .unwrap();
+        let mut compact_ws =
+            SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        let compact = solver
+            .solve_with_workspace(&problem, &mut compact_ws)
+            .unwrap();
+        // Engine selection is a performance decision: identical histogram,
+        // identical history, identical iteration count.
+        assert_eq!(dense.counts, compact.counts);
+        assert_eq!(dense.cost_history, compact.cost_history);
+        assert_eq!(dense.iterations, compact.iterations);
+        // The whole solve — every restart × iteration — compiled each
+        // distinct circuit shape exactly once and reused one amplitude
+        // array (zero per-iteration allocations).
+        assert_eq!(compact_ws.reallocations(), 1, "one warmup allocation");
+        assert_eq!(
+            compact_ws.plan_compilations(),
+            compact_ws.cached_plans() as u64,
+            "every shape compiled exactly once"
+        );
+        assert!(
+            compact_ws.cached_plans() <= 4,
+            "Δ policies × initial states bound the shape count, got {}",
+            compact_ws.cached_plans()
+        );
+        // A second solve builds a fresh cost polynomial (a new `Arc`), so
+        // its shapes compile anew — but it still reuses the warmup
+        // amplitude allocation, and dead shapes from the first solve are
+        // evicted rather than accumulated.
+        let shapes_per_solve = compact_ws.plan_compilations();
+        solver
+            .solve_with_workspace(&problem, &mut compact_ws)
+            .unwrap();
+        assert_eq!(compact_ws.plan_compilations(), 2 * shapes_per_solve);
+        assert!(compact_ws.cached_plans() as u64 <= shapes_per_solve);
+        assert_eq!(compact_ws.reallocations(), 1, "second solve reuses warmup");
     }
 
     #[test]

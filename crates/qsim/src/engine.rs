@@ -1,23 +1,31 @@
-//! The engine abstraction: one solver-facing state type that is either
-//! the dense strided [`StateVector`] or the feasible-subspace
-//! [`SparseStateVector`], selected by [`SimConfig::engine`].
+//! The engine abstraction: one solver-facing state type over the dense
+//! strided [`StateVector`], the feasible-subspace [`SparseStateVector`],
+//! or the rank-indexed [`CompactStateVector`], selected by
+//! [`SimConfig::engine`].
 //!
 //! Everything above the kernels — [`crate::SimWorkspace`], the solvers'
 //! variational loop, the experiment runner, and the CLI — drives a
-//! [`SimEngine`] and never names a concrete representation. The two
-//! engines produce bit-identical amplitudes, expectations, and sampling
-//! streams (see [`crate::sparse`]), so engine selection is purely a
-//! performance decision:
+//! [`SimEngine`] and never names a concrete representation. The engines
+//! produce bit-identical amplitudes, expectations, and sampling streams
+//! (see [`crate::sparse`] and [`crate::compact`]), so engine selection is
+//! purely a performance decision:
 //!
 //! * [`EngineKind::Dense`] — always the `2^n` buffer.
 //! * [`EngineKind::Sparse`] — always the sorted occupied-entry map; the
 //!   caller has opted in even for register-filling circuits.
+//! * [`EngineKind::Compact`] — the plan-replay engine. Its fast path
+//!   lives in [`crate::SimWorkspace::run`] (whole-circuit replay against
+//!   a compiled gate plan); in the *incremental* per-gate API here it
+//!   starts sparse and densifies at the occupancy threshold exactly like
+//!   [`EngineKind::Auto`] — the clean fallback for circuits whose shape
+//!   did not compile.
 //! * [`EngineKind::Auto`] — starts sparse and **densifies automatically**
 //!   once occupancy exceeds `density_threshold · 2^n` (subspace
 //!   confinement broken — penalty/HEA mixers, uniform superpositions),
 //!   provided the register is small enough to allocate densely.
 
 use crate::circuit::Circuit;
+use crate::compact::CompactStateVector;
 use crate::counts::Counts;
 use crate::gate::Gate;
 use crate::phasepoly::PhasePoly;
@@ -54,15 +62,21 @@ pub enum SimEngine {
     Dense(StateVector),
     /// The feasible-subspace sparse engine.
     Sparse(SparseStateVector),
+    /// The rank-indexed compact engine (built by
+    /// [`crate::SimWorkspace`]'s plan replay; the per-gate API degrades
+    /// it to sparse on first mutation).
+    Compact(CompactStateVector),
 }
 
 impl SimEngine {
     /// The all-zeros state `|0…0⟩`, represented per `config.engine`
-    /// ([`EngineKind::Auto`] starts sparse).
+    /// ([`EngineKind::Auto`] and [`EngineKind::Compact`] start sparse —
+    /// the compact representation only materializes through
+    /// [`crate::SimWorkspace`]'s whole-circuit plan replay).
     pub fn new_with(n_qubits: usize, config: SimConfig) -> Self {
         match config.engine {
             EngineKind::Dense => SimEngine::Dense(StateVector::new_with(n_qubits, config)),
-            EngineKind::Sparse | EngineKind::Auto => {
+            EngineKind::Sparse | EngineKind::Compact | EngineKind::Auto => {
                 SimEngine::Sparse(SparseStateVector::new_with(n_qubits, config))
             }
         }
@@ -80,6 +94,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.config(),
             SimEngine::Sparse(s) => s.config(),
+            SimEngine::Compact(s) => s.config(),
         }
     }
 
@@ -88,6 +103,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.n_qubits(),
             SimEngine::Sparse(s) => s.n_qubits(),
+            SimEngine::Compact(s) => s.n_qubits(),
         }
     }
 
@@ -96,11 +112,28 @@ impl SimEngine {
         matches!(self, SimEngine::Sparse(_))
     }
 
+    /// `true` while the state is held in the compact (rank-indexed)
+    /// representation.
+    pub fn is_compact(&self) -> bool {
+        matches!(self, SimEngine::Compact(_))
+    }
+
+    /// Short label of the current representation (`"dense"`, `"sparse"`,
+    /// `"compact"`) — what [`EngineKind::Auto`] / [`EngineKind::Compact`]
+    /// actually resolved to, as opposed to what was configured.
+    pub fn representation_label(&self) -> &'static str {
+        match self {
+            SimEngine::Dense(_) => "dense",
+            SimEngine::Sparse(_) => "sparse",
+            SimEngine::Compact(_) => "compact",
+        }
+    }
+
     /// The dense state, if that is the current representation.
     pub fn as_dense(&self) -> Option<&StateVector> {
         match self {
             SimEngine::Dense(s) => Some(s),
-            SimEngine::Sparse(_) => None,
+            _ => None,
         }
     }
 
@@ -108,17 +141,19 @@ impl SimEngine {
     pub fn as_dense_mut(&mut self) -> Option<&mut StateVector> {
         match self {
             SimEngine::Dense(s) => Some(s),
-            SimEngine::Sparse(_) => None,
+            _ => None,
         }
     }
 
     /// Number of occupied (exactly non-zero) basis entries. For the
-    /// sparse engine this is the stored entry count; the dense engine
-    /// scans its buffer.
+    /// sparse engine this is the stored entry count; the dense and
+    /// compact engines scan their buffers. Engine-invariant: amplitudes
+    /// are bit-identical across representations, so the count is too.
     pub fn occupancy(&self) -> usize {
         match self {
             SimEngine::Dense(s) => s.occupancy(),
             SimEngine::Sparse(s) => s.occupancy(),
+            SimEngine::Compact(s) => s.occupancy(),
         }
     }
 
@@ -139,18 +174,36 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.reset_zero(),
             SimEngine::Sparse(s) => s.reset_zero(),
+            SimEngine::Compact(s) => s.reset_zero(),
         }
     }
 
-    /// Applies a single gate, then (for [`EngineKind::Auto`]) densifies if
-    /// the occupancy crossed the configured threshold.
+    /// Applies a single gate, then (for [`EngineKind::Auto`] /
+    /// [`EngineKind::Compact`]) densifies if the occupancy crossed the
+    /// configured threshold. A compact state degrades to sparse first:
+    /// the rank tables that drove it belong to a whole-circuit plan, not
+    /// to incremental mutation.
     pub fn apply_gate(&mut self, gate: &Gate) {
+        if self.is_compact() {
+            self.sparsify();
+        }
         match self {
             SimEngine::Dense(s) => s.apply_gate(gate),
             SimEngine::Sparse(s) => {
                 s.apply_gate(gate);
                 self.maybe_densify();
             }
+            SimEngine::Compact(_) => unreachable!("compact states sparsify before mutation"),
+        }
+    }
+
+    /// Converts a compact state into the sparse representation in place
+    /// (exact: the non-zero entries become the sparse entry list).
+    fn sparsify(&mut self) {
+        if let SimEngine::Compact(c) = self {
+            let sparse =
+                SparseStateVector::from_sorted_entries(c.n_qubits(), c.entries(), *c.config());
+            *self = SimEngine::Sparse(sparse);
         }
     }
 
@@ -171,6 +224,9 @@ impl SimEngine {
     /// precisely because their dense buffer (4 GiB at 28 qubits) cannot
     /// be allocated, and an explicit panic beats an OOM abort.
     pub fn densify(&mut self) {
+        if self.is_compact() {
+            self.sparsify();
+        }
         if let SimEngine::Sparse(s) = self {
             assert!(
                 s.n_qubits() <= MAX_DENSIFY_QUBITS,
@@ -183,12 +239,15 @@ impl SimEngine {
         }
     }
 
-    /// The auto-mode fallback: densify once occupancy exceeds
+    /// The auto-mode fallback (shared by [`EngineKind::Compact`]'s
+    /// incremental path): densify once occupancy exceeds
     /// `density_threshold · 2^n`, unless the register is too wide to
     /// allocate densely ([`MAX_DENSIFY_QUBITS`]).
     fn maybe_densify(&mut self) {
         let SimEngine::Sparse(s) = self else { return };
-        if s.config().engine != EngineKind::Auto || s.n_qubits() > MAX_DENSIFY_QUBITS {
+        if !matches!(s.config().engine, EngineKind::Auto | EngineKind::Compact)
+            || s.n_qubits() > MAX_DENSIFY_QUBITS
+        {
             return;
         }
         let dim = (1u64 << s.n_qubits()) as f64;
@@ -202,6 +261,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.amplitude(bits),
             SimEngine::Sparse(s) => s.amplitude(bits),
+            SimEngine::Compact(s) => s.amplitude(bits),
         }
     }
 
@@ -210,6 +270,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.probability(bits),
             SimEngine::Sparse(s) => s.probability(bits),
+            SimEngine::Compact(s) => s.probability(bits),
         }
     }
 
@@ -218,6 +279,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.support_size(eps),
             SimEngine::Sparse(s) => s.support_size(eps),
+            SimEngine::Compact(s) => s.support_size(eps),
         }
     }
 
@@ -226,6 +288,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.norm_sqr(),
             SimEngine::Sparse(s) => s.norm_sqr(),
+            SimEngine::Compact(s) => s.norm_sqr(),
         }
     }
 
@@ -236,14 +299,17 @@ impl SimEngine {
     /// Panics on dimension mismatch.
     pub fn fidelity_against_dense(&self, other: &StateVector) -> f64 {
         assert_eq!(self.n_qubits(), other.n_qubits(), "dimension mismatch");
-        match self {
-            SimEngine::Dense(s) => s.fidelity(other),
-            SimEngine::Sparse(s) => s
-                .entries()
+        let over_entries = |entries: &[(u64, Complex64)]| {
+            entries
                 .iter()
                 .map(|&(bits, a)| a.conj() * other.amplitude(bits))
                 .sum::<Complex64>()
-                .norm_sqr(),
+                .norm_sqr()
+        };
+        match self {
+            SimEngine::Dense(s) => s.fidelity(other),
+            SimEngine::Sparse(s) => over_entries(s.entries()),
+            SimEngine::Compact(s) => over_entries(&s.entries()),
         }
     }
 
@@ -256,6 +322,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.expectation_diag_values(values),
             SimEngine::Sparse(s) => s.expectation_diag_values(values),
+            SimEngine::Compact(s) => s.expectation_diag_values(values),
         }
     }
 
@@ -265,16 +332,19 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.expectation_diag_poly(poly),
             SimEngine::Sparse(s) => s.expectation_diag_poly(poly),
+            SimEngine::Compact(s) => s.expectation_diag_poly(poly),
         }
     }
 
     /// Fills `out` with this engine's cumulative probability table
-    /// (length `2^n` dense, occupancy sparse — pass it back to
-    /// [`SimEngine::sample_with_cumulative`] on the *same* state).
+    /// (length `2^n` dense, occupancy sparse, `|F|` compact — pass it
+    /// back to [`SimEngine::sample_with_cumulative`] on the *same*
+    /// state).
     pub fn fill_cumulative(&self, out: &mut Vec<f64>) {
         match self {
             SimEngine::Dense(s) => s.fill_cumulative(out),
             SimEngine::Sparse(s) => s.fill_cumulative(out),
+            SimEngine::Compact(s) => s.fill_cumulative(out),
         }
     }
 
@@ -294,6 +364,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.sample_with_cumulative(cumulative, shots, rng),
             SimEngine::Sparse(s) => s.sample_with_cumulative(cumulative, shots, rng),
+            SimEngine::Compact(s) => s.sample_with_cumulative(cumulative, shots, rng),
         }
     }
 
@@ -302,6 +373,7 @@ impl SimEngine {
         match self {
             SimEngine::Dense(s) => s.sample(shots, rng),
             SimEngine::Sparse(s) => s.sample(shots, rng),
+            SimEngine::Compact(s) => s.sample(shots, rng),
         }
     }
 }

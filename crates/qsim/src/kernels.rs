@@ -70,7 +70,7 @@ fn for_each_index<F: FnMut(usize)>(
 /// (the fixed bits are identical across the subspace), and the pair
 /// kernels additionally require the partner index to leave the subspace
 /// (see [`pair_map`]).
-struct AmpPtr(*mut Complex64);
+pub(crate) struct AmpPtr(pub(crate) *mut Complex64);
 
 unsafe impl Send for AmpPtr {}
 unsafe impl Sync for AmpPtr {}
@@ -78,14 +78,16 @@ unsafe impl Sync for AmpPtr {}
 impl AmpPtr {
     /// Accessor that keeps closures capturing the `Sync` wrapper rather
     /// than the raw pointer field (edition-2021 disjoint capture).
-    fn get(&self) -> *mut Complex64 {
+    pub(crate) fn get(&self) -> *mut Complex64 {
         self.0
     }
 }
 
 /// Splits `count` work items across the configured workers and runs
 /// `work(range)` on each, serially when below the parallel threshold.
-fn dispatch<W>(config: &SimConfig, count: usize, work: W)
+/// Shared by the strided kernels here and the compact engine's plan
+/// replay ([`crate::plan`]).
+pub(crate) fn dispatch<W>(config: &SimConfig, count: usize, work: W)
 where
     W: Fn(std::ops::Range<usize>) + Sync,
 {

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+pub mod compact;
 mod counts;
 mod draw;
 mod engine;
@@ -45,6 +46,7 @@ mod kernels;
 mod noise;
 pub mod oracle;
 mod phasepoly;
+mod plan;
 mod simconfig;
 pub mod sparse;
 mod state;
@@ -53,6 +55,7 @@ mod transpile;
 mod workspace;
 
 pub use circuit::Circuit;
+pub use compact::CompactStateVector;
 pub use counts::Counts;
 pub use draw::draw;
 pub use engine::{SimEngine, MAX_DENSIFY_QUBITS};

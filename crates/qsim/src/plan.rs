@@ -1,0 +1,837 @@
+//! Gate-plan compilation for the compact engine.
+//!
+//! A Choco-Q variational loop replays one circuit *shape* — the same gate
+//! sequence with different angles — hundreds of times. The sparse engine
+//! rediscovers the feasible support from scratch on every replay and pays
+//! sorted-map merge churn per gate; but the support trajectory depends
+//! only on the circuit's **structure** (masks, patterns, polynomial
+//! identities), never on its angles. [`GatePlan::compile`] walks that
+//! structure once:
+//!
+//! 1. a forward pass simulates support growth exactly the way the sparse
+//!    engine's kernels would (pair partners are materialized, phases never
+//!    grow support), producing the final feasible basis `F` (sorted),
+//! 2. every gate is lowered to a [`PlanStep`] of precomputed rank tables
+//!    into `F` — scatter/gather pair lists, subspace rank lists, per-rank
+//!    diagonal polynomial values.
+//!
+//! Replay ([`GatePlan::execute`]) then walks the *current* circuit in
+//! lockstep with the steps, reading angles/matrices from the gates and
+//! ranks from the plan: cache-friendly strided loops over a flat
+//! `Vec<Complex64>` of length `|F|`, threaded through
+//! [`SimConfig::effective_threads`], with zero map operations and zero
+//! allocations. Every arithmetic expression mirrors the sparse engine
+//! operand for operand (which in turn mirrors the dense engine), so the
+//! three engines stay bit-identical — structurally-supported slots the
+//! sparse engine pruned hold exact zeros here and contribute exact IEEE
+//! no-ops to every kernel.
+//!
+//! Compilation *fails over* instead of compiling pathological shapes:
+//! once the structural support crosses the same occupancy threshold that
+//! trips [`crate::EngineKind::Auto`]'s dense fallback, [`PlanError`] is
+//! returned and [`crate::SimWorkspace`] runs the circuit on the per-gate
+//! engines instead (dense after the auto-style fallback).
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::kernels::{dispatch, AmpPtr};
+use crate::phasepoly::PhasePoly;
+use crate::simconfig::SimConfig;
+use choco_mathkit::Complex64;
+use std::sync::{Arc, Weak};
+
+/// Why a circuit shape could not be compiled into a plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum PlanError {
+    /// Structural support crossed the caller's occupancy cap — the shape
+    /// is not subspace-confined enough for the compact engine to win.
+    TooDense {
+        /// Support size when the cap was crossed.
+        support: usize,
+    },
+}
+
+/// One gate of a circuit shape, with everything angle-like erased.
+///
+/// Two circuits share a plan iff their atom sequences match: same gate
+/// kinds on the same qubits/masks, the same `Arc<PhasePoly>` identities
+/// for diagonal evolutions, and the same frozen matrices for synthesized
+/// controlled-unitaries. Angles are deliberately excluded — they are what
+/// the optimizer varies between replays.
+#[derive(Clone, Debug)]
+enum ShapeAtom {
+    /// Any gate fully described by its discriminant and up to three
+    /// qubit/mask words (1q gates, CX/CZ/CP/Swap/CCX, MCX, MCPhase,
+    /// XY-mixer; UBlock as `(support_mask, v_mask)`).
+    Masks(u8, u64, u64, u64),
+    /// A diagonal evolution, identified by its polynomial allocation.
+    Diag(Weak<PhasePoly>),
+    /// A controlled unitary with its matrix frozen into the shape (these
+    /// come from synthesis, not from the optimizer).
+    CtrlU(u64, u64, [u64; 8]),
+}
+
+/// The angle-erased structure of a circuit (see [`ShapeAtom`]).
+#[derive(Clone, Debug)]
+pub(crate) struct CircuitShape {
+    n_qubits: usize,
+    atoms: Vec<ShapeAtom>,
+}
+
+/// Stable discriminant for [`ShapeAtom::Masks`].
+fn gate_tag(gate: &Gate) -> u8 {
+    match gate {
+        Gate::H(_) => 0,
+        Gate::X(_) => 1,
+        Gate::Y(_) => 2,
+        Gate::Z(_) => 3,
+        Gate::S(_) => 4,
+        Gate::Sdg(_) => 5,
+        Gate::T(_) => 6,
+        Gate::Tdg(_) => 7,
+        Gate::Rx(..) => 8,
+        Gate::Ry(..) => 9,
+        Gate::Rz(..) => 10,
+        Gate::Phase(..) => 11,
+        Gate::Cx(..) => 12,
+        Gate::Cz(..) => 13,
+        Gate::Cp(..) => 14,
+        Gate::Swap(..) => 15,
+        Gate::Ccx(..) => 16,
+        Gate::Mcx { .. } => 17,
+        Gate::McPhase { .. } => 18,
+        Gate::ControlledU { .. } => 19,
+        Gate::UBlock(_) => 20,
+        Gate::XyMix(..) => 21,
+        Gate::DiagPhase(..) => 22,
+    }
+}
+
+fn mask_of(qubits: &[usize]) -> u64 {
+    qubits.iter().fold(0u64, |m, &q| m | (1 << q))
+}
+
+fn shape_atom(gate: &Gate) -> ShapeAtom {
+    let tag = gate_tag(gate);
+    match gate {
+        Gate::DiagPhase(poly, _) => ShapeAtom::Diag(Arc::downgrade(poly)),
+        Gate::ControlledU {
+            controls,
+            target,
+            matrix,
+        } => {
+            let mut bits = [0u64; 8];
+            for (slot, c) in bits.chunks_mut(2).zip(matrix.iter().flatten()) {
+                slot[0] = c.re.to_bits();
+                slot[1] = c.im.to_bits();
+            }
+            ShapeAtom::CtrlU(mask_of(controls), 1u64 << target, bits)
+        }
+        Gate::UBlock(b) => {
+            let mut full = 0u64;
+            let mut v = 0u64;
+            for (k, &q) in b.support.iter().enumerate() {
+                full |= 1 << q;
+                if (b.pattern >> k) & 1 == 1 {
+                    v |= 1 << q;
+                }
+            }
+            ShapeAtom::Masks(tag, full, v, 0)
+        }
+        Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Cp(a, b, _) | Gate::Swap(a, b) => {
+            ShapeAtom::Masks(tag, 1u64 << a, 1u64 << b, 0)
+        }
+        Gate::Ccx(c1, c2, t) => ShapeAtom::Masks(tag, (1u64 << c1) | (1u64 << c2), 1u64 << t, 0),
+        Gate::Mcx { controls, target } => {
+            ShapeAtom::Masks(tag, mask_of(controls), 1u64 << target, 0)
+        }
+        Gate::McPhase { qubits, .. } => ShapeAtom::Masks(tag, mask_of(qubits), 0, 0),
+        Gate::XyMix(a, b, _) => ShapeAtom::Masks(tag, 1u64 << a, 1u64 << b, 0),
+        g1q => ShapeAtom::Masks(tag, 1u64 << g1q.qubits()[0], 0, 0),
+    }
+}
+
+fn atom_matches(atom: &ShapeAtom, gate: &Gate) -> bool {
+    match (atom, gate) {
+        (ShapeAtom::Diag(weak), Gate::DiagPhase(poly, _)) => {
+            weak.upgrade().is_some_and(|live| Arc::ptr_eq(&live, poly))
+        }
+        (ShapeAtom::Diag(_), _) | (_, Gate::DiagPhase(..)) => false,
+        (atom, gate) => match (atom, shape_atom(gate)) {
+            (ShapeAtom::Masks(t0, a0, b0, c0), ShapeAtom::Masks(t1, a1, b1, c1)) => {
+                (*t0, *a0, *b0, *c0) == (t1, a1, b1, c1)
+            }
+            (ShapeAtom::CtrlU(c0, t0, m0), ShapeAtom::CtrlU(c1, t1, m1)) => {
+                (*c0, *t0, *m0) == (c1, t1, m1)
+            }
+            _ => false,
+        },
+    }
+}
+
+impl CircuitShape {
+    /// The shape of a circuit.
+    pub(crate) fn of(circuit: &Circuit) -> CircuitShape {
+        CircuitShape {
+            n_qubits: circuit.n_qubits(),
+            atoms: circuit.iter().map(shape_atom).collect(),
+        }
+    }
+
+    /// `true` when `circuit` has exactly this structure (angles may
+    /// differ). Dead diagonal-polynomial weaks never match, so a plan can
+    /// never be replayed against a recycled allocation.
+    pub(crate) fn matches(&self, circuit: &Circuit) -> bool {
+        self.n_qubits == circuit.n_qubits()
+            && self.atoms.len() == circuit.len()
+            && self
+                .atoms
+                .iter()
+                .zip(circuit.iter())
+                .all(|(atom, gate)| atom_matches(atom, gate))
+    }
+
+    /// `true` while every diagonal polynomial this shape references is
+    /// still alive (dead shapes can never match again and should be
+    /// evicted from caches).
+    pub(crate) fn is_live(&self) -> bool {
+        self.atoms.iter().all(|a| match a {
+            ShapeAtom::Diag(weak) => weak.strong_count() > 0,
+            _ => true,
+        })
+    }
+}
+
+/// The structural class a gate compiles to (see [`step_spec`]).
+enum StepSpec {
+    /// Degenerate gate (target among its own controls, `swap(q, q)`).
+    Noop,
+    /// Phase multiplication on `index & mask == value` (the phase factor
+    /// itself comes from the gate at replay time).
+    Phase { mask: u64, value: u64 },
+    /// A diagonal 2×2 on `target` under `controls`: two independent
+    /// subspace scalings.
+    DiagPair { controls: u64, target: u64 },
+    /// A pair kernel: `(i, i ^ xor)` for `i & fixed == value`.
+    Pairs { fixed: u64, value: u64, xor: u64 },
+    /// A diagonal polynomial evolution.
+    DiagPoly,
+}
+
+/// Maps a gate to its structural class — the same dispatch table as
+/// [`crate::SparseStateVector::apply_gate`], but resolved by gate *kind*
+/// so the classification is stable under angle changes: `Rz(0)` still
+/// compiles as a diagonal, `Rx(0)` still compiles as a general pair
+/// (replay applies the identity matrix through the pair expressions,
+/// which is an exact IEEE no-op on the amplitudes).
+fn step_spec(gate: &Gate) -> StepSpec {
+    let pair_1q = |q: usize| StepSpec::Pairs {
+        fixed: 1u64 << q,
+        value: 0,
+        xor: 1u64 << q,
+    };
+    let diag_1q = |q: usize| StepSpec::DiagPair {
+        controls: 0,
+        target: 1u64 << q,
+    };
+    let mcx = |controls: u64, target: usize| {
+        let t = 1u64 << target;
+        if controls & t != 0 {
+            StepSpec::Noop
+        } else {
+            StepSpec::Pairs {
+                fixed: controls | t,
+                value: controls,
+                xor: t,
+            }
+        }
+    };
+    match gate {
+        Gate::Cx(c, t) => mcx(1u64 << c, *t),
+        Gate::Ccx(c1, c2, t) => mcx((1u64 << c1) | (1u64 << c2), *t),
+        Gate::Mcx { controls, target } => mcx(mask_of(controls), *target),
+        Gate::Cz(a, b) | Gate::Cp(a, b, _) => {
+            let mask = (1u64 << a) | (1u64 << b);
+            StepSpec::Phase { mask, value: mask }
+        }
+        Gate::McPhase { qubits, .. } => {
+            let mask = mask_of(qubits);
+            StepSpec::Phase { mask, value: mask }
+        }
+        Gate::Swap(a, b) => {
+            if a == b {
+                StepSpec::Noop
+            } else {
+                let (ma, mb) = (1u64 << a, 1u64 << b);
+                StepSpec::Pairs {
+                    fixed: ma | mb,
+                    value: ma,
+                    xor: ma | mb,
+                }
+            }
+        }
+        Gate::ControlledU {
+            controls,
+            target,
+            matrix,
+        } => {
+            let mask = mask_of(controls);
+            let t = 1u64 << target;
+            if mask & t != 0 {
+                return StepSpec::Noop;
+            }
+            // Frozen matrix (part of the shape key): classify by value,
+            // exactly like the sparse dispatch.
+            if matrix[0][1] == Complex64::ZERO && matrix[1][0] == Complex64::ZERO {
+                StepSpec::DiagPair {
+                    controls: mask,
+                    target: t,
+                }
+            } else {
+                StepSpec::Pairs {
+                    fixed: mask | t,
+                    value: mask,
+                    xor: t,
+                }
+            }
+        }
+        Gate::UBlock(b) => {
+            let ShapeAtom::Masks(_, full, v, _) = shape_atom(gate) else {
+                unreachable!("ublock shapes as masks");
+            };
+            if b.support.is_empty() {
+                // Empty support: a global phase e^{-iθ} on every entry.
+                StepSpec::Phase { mask: 0, value: 0 }
+            } else {
+                StepSpec::Pairs {
+                    fixed: full,
+                    value: v,
+                    xor: full,
+                }
+            }
+        }
+        Gate::XyMix(a, b, _) => {
+            let full = (1u64 << a) | (1u64 << b);
+            StepSpec::Pairs {
+                fixed: full,
+                value: 1u64 << a,
+                xor: full,
+            }
+        }
+        Gate::DiagPhase(..) => StepSpec::DiagPoly,
+        // 1q gates, by kind: Z/S/Sdg/T/Tdg/Rz/Phase are diagonal for
+        // every angle; H/X/Y/Rx/Ry couple the pair for (almost) every
+        // angle and are compiled as pairs unconditionally.
+        Gate::Z(q) | Gate::S(q) | Gate::Sdg(q) | Gate::T(q) | Gate::Tdg(q) => diag_1q(*q),
+        Gate::Rz(q, _) | Gate::Phase(q, _) => diag_1q(*q),
+        Gate::H(q) | Gate::X(q) | Gate::Y(q) => pair_1q(*q),
+        Gate::Rx(q, _) | Gate::Ry(q, _) => pair_1q(*q),
+    }
+}
+
+/// One compiled gate: the precomputed rank tables its replay needs.
+#[derive(Debug)]
+enum PlanStep {
+    /// Degenerate gate: nothing to do.
+    Noop,
+    /// Multiply `amps[rank]` for every listed rank by a gate-derived
+    /// phase factor.
+    Phase { ranks: Vec<u32> },
+    /// A diagonal 2×2: `ranks0` (target bit 0, controls satisfied) scaled
+    /// by `m[0][0]`, `ranks1` (target bit 1) by `m[1][1]`.
+    DiagPair { ranks0: Vec<u32>, ranks1: Vec<u32> },
+    /// Disjoint rank pairs `(i, j)` for the pair kernels; the 2×2
+    /// arithmetic comes from the gate at replay time.
+    Pairs { pairs: Vec<[u32; 2]> },
+    /// Diagonal polynomial: per-rank non-zero values, baked at compile
+    /// time (the polynomial never changes under a stable shape — only the
+    /// angle θ does).
+    DiagPoly { ranks: Vec<u32>, values: Vec<f64> },
+}
+
+/// Interim step representation during compilation: basis-index (`u64`)
+/// lists, converted to ranks once the final basis is known.
+enum BitsStep {
+    Noop,
+    Phase(Vec<u64>),
+    DiagPair(Vec<u64>, Vec<u64>),
+    Pairs(Vec<[u64; 2]>),
+    DiagPoly(Vec<u64>, Vec<f64>),
+}
+
+/// A compiled circuit shape: the feasible basis and one [`PlanStep`] per
+/// gate. Owned (and cached across optimizer iterations) by
+/// [`crate::SimWorkspace`].
+#[derive(Debug)]
+pub(crate) struct GatePlan {
+    shape: CircuitShape,
+    basis: Arc<Vec<u64>>,
+    steps: Vec<PlanStep>,
+}
+
+impl GatePlan {
+    /// The shape this plan was compiled from.
+    pub(crate) fn shape(&self) -> &CircuitShape {
+        &self.shape
+    }
+
+    /// The sorted feasible basis `F` the plan's ranks index into.
+    pub(crate) fn basis(&self) -> &Arc<Vec<u64>> {
+        &self.basis
+    }
+
+    /// Compiles a circuit's structure into a replayable plan, aborting
+    /// with [`PlanError::TooDense`] as soon as the structural support
+    /// exceeds `max_support` entries.
+    pub(crate) fn compile(circuit: &Circuit, max_support: usize) -> Result<GatePlan, PlanError> {
+        // The forward support pass. `support` stays strictly sorted; it
+        // only ever grows (phases keep it, pair kernels add partners).
+        let mut support: Vec<u64> = vec![0];
+        let mut steps: Vec<BitsStep> = Vec::with_capacity(circuit.len());
+        for gate in circuit.iter() {
+            let step = match step_spec(gate) {
+                StepSpec::Noop => BitsStep::Noop,
+                StepSpec::Phase { mask, value } => BitsStep::Phase(
+                    support
+                        .iter()
+                        .copied()
+                        .filter(|bits| bits & mask == value)
+                        .collect(),
+                ),
+                StepSpec::DiagPair { controls, target } => {
+                    let fixed = controls | target;
+                    let pick = |want: u64| -> Vec<u64> {
+                        support
+                            .iter()
+                            .copied()
+                            .filter(|bits| bits & fixed == want)
+                            .collect()
+                    };
+                    BitsStep::DiagPair(pick(controls), pick(fixed))
+                }
+                StepSpec::Pairs { fixed, value, xor } => {
+                    // Canonicalize exactly like the sparse engine's
+                    // pair_map: every touched entry maps to the pair's
+                    // `value`-side index; sort+dedup yields each pair once.
+                    let mut canon: Vec<u64> = support
+                        .iter()
+                        .filter_map(|&bits| {
+                            let f = bits & fixed;
+                            if f == value {
+                                Some(bits)
+                            } else if f == value ^ xor {
+                                Some(bits ^ xor)
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    canon.sort_unstable();
+                    canon.dedup();
+                    let pairs: Vec<[u64; 2]> = canon.iter().map(|&i| [i, i ^ xor]).collect();
+                    // Support growth: both members of every pair become
+                    // structurally occupied.
+                    let mut grown: Vec<u64> =
+                        pairs.iter().flat_map(|p| p.iter().copied()).collect();
+                    grown.sort_unstable();
+                    support = merge_sorted(&support, &grown);
+                    if support.len() > max_support {
+                        return Err(PlanError::TooDense {
+                            support: support.len(),
+                        });
+                    }
+                    BitsStep::Pairs(pairs)
+                }
+                StepSpec::DiagPoly => {
+                    let Gate::DiagPhase(poly, _) = gate else {
+                        unreachable!("DiagPoly spec only from DiagPhase");
+                    };
+                    let mut ranks = Vec::new();
+                    let mut values = Vec::new();
+                    for &bits in &support {
+                        let f = poly.eval_bits(bits);
+                        if f != 0.0 {
+                            ranks.push(bits);
+                            values.push(f);
+                        }
+                    }
+                    BitsStep::DiagPoly(ranks, values)
+                }
+            };
+            steps.push(step);
+        }
+
+        // Rank conversion against the final basis.
+        let basis = Arc::new(support);
+        let rank = |bits: u64| -> u32 {
+            basis
+                .binary_search(&bits)
+                .expect("every recorded index is in the final basis") as u32
+        };
+        let ranks = |bits: Vec<u64>| -> Vec<u32> { bits.into_iter().map(rank).collect() };
+        let steps = steps
+            .into_iter()
+            .map(|s| match s {
+                BitsStep::Noop => PlanStep::Noop,
+                BitsStep::Phase(bits) => PlanStep::Phase { ranks: ranks(bits) },
+                BitsStep::DiagPair(b0, b1) => PlanStep::DiagPair {
+                    ranks0: ranks(b0),
+                    ranks1: ranks(b1),
+                },
+                BitsStep::Pairs(pairs) => PlanStep::Pairs {
+                    pairs: pairs.into_iter().map(|[i, j]| [rank(i), rank(j)]).collect(),
+                },
+                BitsStep::DiagPoly(bits, values) => PlanStep::DiagPoly {
+                    ranks: ranks(bits),
+                    values,
+                },
+            })
+            .collect();
+        Ok(GatePlan {
+            shape: CircuitShape::of(circuit),
+            basis,
+            steps,
+        })
+    }
+
+    /// Replays the plan over `amps` (length `|F|`), reading angles and
+    /// matrices from `circuit`'s gates. The caller must have verified
+    /// `self.shape().matches(circuit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate count or amplitude length disagree with the
+    /// plan (a shape-match violation).
+    pub(crate) fn execute(&self, circuit: &Circuit, amps: &mut [Complex64], config: &SimConfig) {
+        assert_eq!(circuit.len(), self.steps.len(), "shape mismatch");
+        assert_eq!(amps.len(), self.basis.len(), "basis length mismatch");
+        for (gate, step) in circuit.iter().zip(self.steps.iter()) {
+            match step {
+                PlanStep::Noop => {}
+                PlanStep::Phase { ranks } => {
+                    let phase = phase_factor(gate);
+                    scale_ranks(amps, ranks, phase, config);
+                }
+                PlanStep::DiagPair { ranks0, ranks1 } => {
+                    let m = gate_matrix_1q(gate);
+                    for (d, ranks) in [(m[0][0], ranks0), (m[1][1], ranks1)] {
+                        if d != Complex64::ONE {
+                            scale_ranks(amps, ranks, d, config);
+                        }
+                    }
+                }
+                PlanStep::Pairs { pairs } => apply_pairs(amps, pairs, gate, config),
+                PlanStep::DiagPoly { ranks, values } => {
+                    let Gate::DiagPhase(_, theta) = gate else {
+                        panic!("shape mismatch: expected a diagonal evolution, got {gate}");
+                    };
+                    apply_diag(amps, ranks, values, *theta, config);
+                }
+            }
+        }
+    }
+}
+
+/// Merges two sorted, deduplicated index lists (the second may contain
+/// duplicates of the first).
+fn merge_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out: Vec<u64> = Vec::with_capacity(a.len() + b.len());
+    let push = |out: &mut Vec<u64>, x: u64| {
+        if out.last() != Some(&x) {
+            out.push(x);
+        }
+    };
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            push(&mut out, a[i]);
+            i += 1;
+        } else {
+            push(&mut out, b[j]);
+            j += 1;
+        }
+    }
+    for &x in &a[i..] {
+        push(&mut out, x);
+    }
+    for &x in &b[j..] {
+        push(&mut out, x);
+    }
+    out
+}
+
+/// The phase factor of a [`PlanStep::Phase`] gate — the same expressions
+/// the sparse engine feeds its `subspace_map`.
+fn phase_factor(gate: &Gate) -> Complex64 {
+    match gate {
+        Gate::Cz(..) => Complex64::cis(std::f64::consts::PI),
+        Gate::Cp(_, _, theta) => Complex64::cis(*theta),
+        Gate::McPhase { angle, .. } => Complex64::cis(*angle),
+        // Empty-support commute block: the global phase e^{-iθ}.
+        Gate::UBlock(b) => Complex64::cis(-b.angle),
+        other => panic!("gate {other} is not a phase step"),
+    }
+}
+
+/// The 2×2 matrix a [`PlanStep::DiagPair`] / 1q [`PlanStep::Pairs`] step
+/// reads at replay.
+fn gate_matrix_1q(gate: &Gate) -> [[Complex64; 2]; 2] {
+    match gate {
+        Gate::ControlledU { matrix, .. } => *matrix,
+        g1q => g1q
+            .matrix_1q()
+            .unwrap_or_else(|| panic!("gate {g1q} has no 2×2 matrix")),
+    }
+}
+
+/// Multiplies the listed ranks by `factor`, fanning out across workers
+/// above the parallel threshold. Ranks within one list are distinct, so
+/// chunked workers write disjoint slots.
+fn scale_ranks(amps: &mut [Complex64], ranks: &[u32], factor: Complex64, config: &SimConfig) {
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, ranks.len(), |range| {
+        let base = ptr.get();
+        for &r in &ranks[range] {
+            // SAFETY: ranks are in-bounds by construction and distinct
+            // within the list; workers own disjoint chunks.
+            unsafe {
+                let a = base.add(r as usize);
+                *a *= factor;
+            }
+        }
+    });
+}
+
+/// Applies the diagonal phase `e^{-iθ·f}` per listed rank (the `f != 0`
+/// filter already happened at compile time, mirroring the sparse
+/// engine's per-entry branch).
+fn apply_diag(
+    amps: &mut [Complex64],
+    ranks: &[u32],
+    values: &[f64],
+    theta: f64,
+    config: &SimConfig,
+) {
+    debug_assert_eq!(ranks.len(), values.len());
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, ranks.len(), |range| {
+        let base = ptr.get();
+        for (&r, &f) in ranks[range.clone()].iter().zip(values[range].iter()) {
+            // SAFETY: in-bounds, distinct ranks, disjoint worker chunks.
+            unsafe {
+                let a = base.add(r as usize);
+                *a *= Complex64::cis(-theta * f);
+            }
+        }
+    });
+}
+
+/// Applies a pair step with the gate's 2×2 arithmetic, dispatching on the
+/// *values* exactly like the sparse engine (`apply_controlled_1q` /
+/// `apply_block_masks`), so degenerate angles reproduce its expressions.
+fn apply_pairs(amps: &mut [Complex64], pairs: &[[u32; 2]], gate: &Gate, config: &SimConfig) {
+    match gate {
+        // Permutations: swap the two slots.
+        Gate::Cx(..) | Gate::Ccx(..) | Gate::Mcx { .. } | Gate::Swap(..) => {
+            pair_loop(amps, pairs, config, |a, b| (b, a));
+        }
+        // Commute-block rotation (XY-mixer = doubled angle).
+        Gate::UBlock(_) | Gate::XyMix(..) => {
+            let theta = match gate {
+                Gate::UBlock(b) => b.angle,
+                Gate::XyMix(_, _, t) => 2.0 * t,
+                _ => unreachable!(),
+            };
+            let (sin, cos) = theta.sin_cos();
+            pair_loop(amps, pairs, config, move |a, b| {
+                (
+                    Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re),
+                    Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re),
+                )
+            });
+        }
+        // 1q / controlled-1q: shape dispatch on the current matrix.
+        g => {
+            let m = gate_matrix_1q(g);
+            let diagonal = m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO;
+            if diagonal {
+                // A kind-pair gate momentarily diagonal (e.g. `Rx(0)`):
+                // the pair's low slot is the controls-side subspace, the
+                // high slot the fixed side — the same two scalings the
+                // sparse engine would perform.
+                for (d, side) in [(m[0][0], 0usize), (m[1][1], 1usize)] {
+                    if d != Complex64::ONE {
+                        let ptr = AmpPtr(amps.as_mut_ptr());
+                        dispatch(config, pairs.len(), |range| {
+                            let base = ptr.get();
+                            for p in &pairs[range] {
+                                // SAFETY: disjoint pairs, in-bounds ranks.
+                                unsafe {
+                                    let a = base.add(p[side] as usize);
+                                    *a *= d;
+                                }
+                            }
+                        });
+                    }
+                }
+                return;
+            }
+            let anti_diagonal = m[0][0] == Complex64::ZERO && m[1][1] == Complex64::ZERO;
+            if anti_diagonal {
+                let (m01, m10) = (m[0][1], m[1][0]);
+                pair_loop(amps, pairs, config, move |a, b| (m01 * b, m10 * a));
+                return;
+            }
+            let real = m.iter().flatten().all(|c| c.im == 0.0);
+            if real {
+                let (r00, r01, r10, r11) = (m[0][0].re, m[0][1].re, m[1][0].re, m[1][1].re);
+                pair_loop(amps, pairs, config, move |a, b| {
+                    (a.scale(r00) + b.scale(r01), a.scale(r10) + b.scale(r11))
+                });
+                return;
+            }
+            pair_loop(amps, pairs, config, move |a, b| {
+                (m[0][0] * a + m[0][1] * b, m[1][0] * a + m[1][1] * b)
+            });
+        }
+    }
+}
+
+/// Runs `op` over every rank pair, threaded per the configuration. Pairs
+/// are disjoint (each rank appears in at most one pair of a step), so
+/// chunked workers touch disjoint slots.
+fn pair_loop<Op>(amps: &mut [Complex64], pairs: &[[u32; 2]], config: &SimConfig, op: Op)
+where
+    Op: Fn(Complex64, Complex64) -> (Complex64, Complex64) + Sync,
+{
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, pairs.len(), |range| {
+        let base = ptr.get();
+        for p in &pairs[range] {
+            // SAFETY: ranks in-bounds; pairs disjoint; worker chunks
+            // partition the pair list.
+            unsafe {
+                let pa = base.add(p[0] as usize);
+                let pb = base.add(p[1] as usize);
+                let (a, b) = op(*pa, *pb);
+                *pa = a;
+                *pb = b;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::UBlock;
+    use crate::sparse::SparseStateVector;
+
+    fn test_poly() -> Arc<PhasePoly> {
+        let mut poly = PhasePoly::new(4);
+        poly.add_linear(1, 0.7);
+        poly.add_quadratic(0, 3, -0.4);
+        Arc::new(poly)
+    }
+
+    fn confined_circuit_with(poly: &Arc<PhasePoly>, theta: f64) -> Circuit {
+        let mut c = Circuit::new(4);
+        c.load_bits(0b0101);
+        c.diag(poly.clone(), theta);
+        c.ublock(UBlock::from_u_with_angle(&[1, -1, 0, 1], 0.5));
+        c.ublock(UBlock::from_u_with_angle(&[0, 1, -1, -1], theta));
+        c
+    }
+
+    fn confined_circuit(theta: f64) -> Circuit {
+        confined_circuit_with(&test_poly(), theta)
+    }
+
+    fn run_plan(circuit: &Circuit, plan: &GatePlan) -> Vec<Complex64> {
+        let mut amps = vec![Complex64::ZERO; plan.basis().len()];
+        amps[0] = Complex64::ONE;
+        plan.execute(circuit, &mut amps, &SimConfig::serial());
+        amps
+    }
+
+    #[test]
+    fn plan_replay_is_bit_identical_to_sparse() {
+        let circuit = confined_circuit(0.9);
+        let plan = GatePlan::compile(&circuit, 1 << 10).unwrap();
+        let amps = run_plan(&circuit, &plan);
+        let sparse = SparseStateVector::run(&circuit);
+        for (rank, &bits) in plan.basis().iter().enumerate() {
+            let (a, b) = (amps[rank], sparse.amplitude(bits));
+            assert!(a.re == b.re && a.im == b.im, "bits={bits}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_plan_replays_many_angle_sets() {
+        // The point of the compile-once design: the same plan serves
+        // every iteration's angles (the polynomial Arc — part of the
+        // shape identity — is shared, as the solver's build closure does).
+        let poly = test_poly();
+        let plan = GatePlan::compile(&confined_circuit_with(&poly, 0.1), 1 << 10).unwrap();
+        for theta in [0.0, 0.3, -1.2, 2.8] {
+            let circuit = confined_circuit_with(&poly, theta);
+            assert!(plan.shape().matches(&circuit), "theta={theta}");
+            let amps = run_plan(&circuit, &plan);
+            let sparse = SparseStateVector::run(&circuit);
+            for (rank, &bits) in plan.basis().iter().enumerate() {
+                let (a, b) = (amps[rank], sparse.amplitude(bits));
+                assert!(
+                    a.re == b.re && a.im == b.im,
+                    "theta={theta} bits={bits}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected() {
+        let circuit = confined_circuit(0.4);
+        let plan = GatePlan::compile(&circuit, 1 << 10).unwrap();
+        // Different structure: one more gate.
+        let mut longer = confined_circuit(0.4);
+        longer.x(0);
+        assert!(!plan.shape().matches(&longer));
+        // Different polynomial allocation with identical values.
+        let other = confined_circuit(0.4);
+        assert!(
+            !plan.shape().matches(&other),
+            "distinct Arc allocations must not share a plan"
+        );
+        // Same circuit object still matches.
+        assert!(plan.shape().matches(&circuit));
+    }
+
+    #[test]
+    fn dense_shapes_abort_compilation() {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        let err = GatePlan::compile(&c, 8).unwrap_err();
+        let PlanError::TooDense { support } = err;
+        assert!(support > 8, "support {support}");
+    }
+
+    #[test]
+    fn degenerate_gates_compile_to_noops() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.push(Gate::Cx(0, 0));
+        c.push(Gate::Swap(1, 1));
+        let plan = GatePlan::compile(&c, 16).unwrap();
+        assert!(matches!(plan.steps[1], PlanStep::Noop));
+        assert!(matches!(plan.steps[2], PlanStep::Noop));
+    }
+
+    #[test]
+    fn merge_sorted_handles_overlap() {
+        assert_eq!(merge_sorted(&[1, 3, 5], &[2, 3, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(merge_sorted(&[], &[4, 4]), vec![4]);
+        assert_eq!(merge_sorted(&[7], &[]), vec![7]);
+    }
+}

@@ -20,6 +20,13 @@ pub enum EngineKind {
     /// stored and updated. Never converts back to dense — the caller has
     /// opted in, even for circuits that fill the register.
     Sparse,
+    /// The rank-indexed compact engine ([`crate::CompactStateVector`]):
+    /// [`crate::SimWorkspace`] enumerates the feasible subspace once per
+    /// circuit shape, compiles a gate plan of precomputed rank tables,
+    /// and replays it as flat-array loops on every optimizer iteration.
+    /// Circuits that break subspace confinement fall back to the dense
+    /// engine exactly like [`EngineKind::Auto`].
+    Compact,
     /// Start sparse, densify automatically once the occupied fraction of
     /// the register crosses [`SimConfig::density_threshold`] (and the
     /// register is small enough to allocate densely).
@@ -27,27 +34,29 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Short label (`"dense"`, `"sparse"`, `"auto"`).
+    /// Short label (`"dense"`, `"sparse"`, `"compact"`, `"auto"`).
     pub fn label(&self) -> &'static str {
         match self {
             EngineKind::Dense => "dense",
             EngineKind::Sparse => "sparse",
+            EngineKind::Compact => "compact",
             EngineKind::Auto => "auto",
         }
     }
 
-    /// Parses a label.
+    /// Parses a label (case-insensitive, surrounding whitespace ignored).
     ///
     /// # Errors
     ///
     /// Returns a message listing the accepted values.
     pub fn parse(text: &str) -> Result<EngineKind, String> {
-        match text {
+        match text.trim().to_ascii_lowercase().as_str() {
             "dense" => Ok(EngineKind::Dense),
             "sparse" => Ok(EngineKind::Sparse),
+            "compact" => Ok(EngineKind::Compact),
             "auto" => Ok(EngineKind::Auto),
-            other => Err(format!(
-                "unknown engine `{other}` (expected dense|sparse|auto)"
+            _ => Err(format!(
+                "unknown engine `{text}` (expected dense|sparse|compact|auto)"
             )),
         }
     }
@@ -211,15 +220,33 @@ mod tests {
 
     #[test]
     fn engine_kind_parse_round_trips() {
-        for kind in [EngineKind::Dense, EngineKind::Sparse, EngineKind::Auto] {
+        for kind in [
+            EngineKind::Dense,
+            EngineKind::Sparse,
+            EngineKind::Compact,
+            EngineKind::Auto,
+        ] {
             assert_eq!(EngineKind::parse(kind.label()), Ok(kind));
             assert_eq!(format!("{kind}"), kind.label());
         }
         let err = EngineKind::parse("gpu").unwrap_err();
         assert!(
-            err.contains("gpu") && err.contains("dense|sparse|auto"),
+            err.contains("gpu") && err.contains("dense|sparse|compact|auto"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn engine_kind_parse_is_case_insensitive() {
+        for (text, kind) in [
+            ("Dense", EngineKind::Dense),
+            ("SPARSE", EngineKind::Sparse),
+            ("Compact", EngineKind::Compact),
+            (" auto ", EngineKind::Auto),
+            ("COMPACT", EngineKind::Compact),
+        ] {
+            assert_eq!(EngineKind::parse(text), Ok(kind), "{text}");
+        }
     }
 
     #[test]

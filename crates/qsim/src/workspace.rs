@@ -20,18 +20,29 @@
 //!   `2^n` table at all,
 //! * the sampling prefix table is built lazily per final state and reused
 //!   across repeated `sample` calls (its meaning follows the engine:
-//!   `2^n` slots dense, occupancy slots sparse).
+//!   `2^n` slots dense, occupancy slots sparse, `|F|` slots compact),
+//! * compiled **gate plans** (the compact engine's rank-table
+//!   compiler) are cached per circuit
+//!   *shape* when [`crate::EngineKind::Compact`] is selected: the
+//!   feasible subspace is enumerated and lowered to rank tables once, and
+//!   every subsequent iteration replays the plan with that iteration's
+//!   angles as flat-array loops — no support rediscovery, no map churn.
+//!   Shapes that refuse compilation (structural support above the
+//!   occupancy threshold) are remembered as fallbacks and run on the
+//!   per-gate engines (sparse with the auto-style dense fallback).
 //!
 //! Which engine runs is [`SimConfig::engine`]'s choice — the workspace is
 //! where that selection takes effect for every solver.
 
 use crate::circuit::Circuit;
+use crate::compact::CompactStateVector;
 use crate::counts::Counts;
-use crate::engine::SimEngine;
+use crate::engine::{SimEngine, MAX_DENSIFY_QUBITS};
 use crate::gate::Gate;
 use crate::kernels;
 use crate::phasepoly::PhasePoly;
-use crate::simconfig::SimConfig;
+use crate::plan::{CircuitShape, GatePlan, PlanError};
+use crate::simconfig::{EngineKind, SimConfig};
 #[cfg(doc)]
 use crate::state::StateVector;
 use rand::Rng;
@@ -42,6 +53,43 @@ use std::sync::{Arc, Weak};
 struct CachedDiag {
     poly: Weak<PhasePoly>,
     values: Vec<f64>,
+}
+
+/// Most plans a workspace keeps: enough for a solve's Δ policies and
+/// elimination branch widths, bounded so a long-lived worker workspace
+/// cannot accumulate rank tables across unrelated cells.
+const PLAN_CACHE_CAP: usize = 8;
+
+/// One cached compilation outcome for a circuit shape.
+enum PlanEntry {
+    /// The shape compiled: replay it.
+    Compiled(GatePlan),
+    /// The shape refused compilation (structural support too dense):
+    /// remember that, so iterations skip the recompile attempt and go
+    /// straight to the per-gate fallback engines.
+    Fallback(CircuitShape),
+}
+
+impl PlanEntry {
+    fn shape(&self) -> &CircuitShape {
+        match self {
+            PlanEntry::Compiled(plan) => plan.shape(),
+            PlanEntry::Fallback(shape) => shape,
+        }
+    }
+}
+
+/// The structural-support cap above which plan compilation gives up: the
+/// same occupancy threshold that trips [`crate::EngineKind::Auto`]'s
+/// dense fallback (floored so tiny registers always compile), or a hard
+/// table-size cap where no dense fallback exists.
+fn plan_support_cap(config: &SimConfig, n_qubits: usize) -> usize {
+    if n_qubits <= MAX_DENSIFY_QUBITS {
+        let dim = (1u64 << n_qubits) as f64;
+        ((config.density_threshold * dim) as usize).max(64)
+    } else {
+        1 << 22
+    }
 }
 
 /// Reusable buffers for repeated circuit execution (see module docs).
@@ -64,6 +112,10 @@ pub struct SimWorkspace {
     config: SimConfig,
     engine: Option<SimEngine>,
     diag_cache: Vec<CachedDiag>,
+    /// Compiled gate plans (and fallback markers), newest last, keyed by
+    /// circuit shape ([`crate::EngineKind::Compact`] only).
+    plans: Vec<PlanEntry>,
+    plan_compilations: u64,
     cumulative: Vec<f64>,
     /// Monotone run counter; `cumulative_for` marks which run (if any) the
     /// sampling table was built from.
@@ -79,6 +131,8 @@ impl SimWorkspace {
             config,
             engine: None,
             diag_cache: Vec::new(),
+            plans: Vec::new(),
+            plan_compilations: 0,
             cumulative: Vec::new(),
             run_stamp: 0,
             cumulative_for: u64::MAX,
@@ -105,12 +159,38 @@ impl SimWorkspace {
         self.diag_cache.len()
     }
 
+    /// Number of circuit shapes with a cached compilation outcome
+    /// (compiled plan or remembered fallback; compact engine only).
+    pub fn cached_plans(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// How many plan compilations (successful or refused) have run. Stays
+    /// at the number of distinct circuit shapes across any number of
+    /// iterations — the compile-once invariant of the compact engine.
+    pub fn plan_compilations(&self) -> u64 {
+        self.plan_compilations
+    }
+
+    /// Drops the engine state (buffers and the sticky representation of a
+    /// previous fallback) so the next run re-resolves its representation
+    /// from the configuration. Callers that report *which* engine served
+    /// a task — like the experiment runner — use this to make the
+    /// resolution deterministic per task instead of dependent on what the
+    /// workspace executed before. Plan and diagonal caches survive.
+    pub fn reset_engine(&mut self) {
+        self.engine = None;
+    }
+
     /// Runs `circuit` from `|0…0⟩` reusing the workspace buffers, and
     /// returns the resulting engine state (borrowed — it stays inside the
     /// workspace for sampling / expectation calls).
     pub fn run(&mut self, circuit: &Circuit) -> &SimEngine {
-        self.reset_for(circuit.n_qubits());
         self.run_stamp += 1;
+        if self.config.engine == EngineKind::Compact && self.run_compact(circuit) {
+            return self.engine.as_ref().expect("compact run set the engine");
+        }
+        self.reset_for(circuit.n_qubits());
         for gate in circuit.iter() {
             match gate {
                 // The cached-diagonal fast path only exists on the dense
@@ -163,6 +243,62 @@ impl SimWorkspace {
             .as_ref()
             .expect("run a circuit before measuring")
             .expectation_diag_values(values)
+    }
+
+    /// The compact fast path: find or compile the gate plan for this
+    /// circuit's shape and replay it into the (reused) rank-indexed
+    /// amplitude array. Returns `false` when the shape is a remembered or
+    /// fresh fallback — the caller then runs the per-gate engines.
+    fn run_compact(&mut self, circuit: &Circuit) -> bool {
+        let idx = match self.plans.iter().position(|e| e.shape().matches(circuit)) {
+            Some(idx) => {
+                // LRU promotion: eviction drops the front, so a hit must
+                // refresh recency or a rotation over more shapes than the
+                // cache holds would thrash into per-iteration recompiles.
+                let entry = self.plans.remove(idx);
+                self.plans.push(entry);
+                self.plans.len() - 1
+            }
+            None => {
+                self.plan_compilations += 1;
+                let cap = plan_support_cap(&self.config, circuit.n_qubits());
+                let entry = match GatePlan::compile(circuit, cap) {
+                    Ok(plan) => PlanEntry::Compiled(plan),
+                    Err(PlanError::TooDense { .. }) => {
+                        PlanEntry::Fallback(CircuitShape::of(circuit))
+                    }
+                };
+                // Entries whose diagonal polynomials died can never match
+                // again; drop them first, then bound the cache.
+                self.plans.retain(|e| e.shape().is_live());
+                if self.plans.len() >= PLAN_CACHE_CAP {
+                    self.plans.remove(0);
+                }
+                self.plans.push(entry);
+                self.plans.len() - 1
+            }
+        };
+        let PlanEntry::Compiled(plan) = &self.plans[idx] else {
+            return false;
+        };
+        match &mut self.engine {
+            Some(SimEngine::Compact(c)) if c.n_qubits() == circuit.n_qubits() => {
+                c.reset_for_basis(plan.basis());
+            }
+            slot => {
+                *slot = Some(SimEngine::Compact(CompactStateVector::new(
+                    circuit.n_qubits(),
+                    plan.basis().clone(),
+                    self.config,
+                )));
+                self.reallocations += 1;
+            }
+        }
+        let Some(SimEngine::Compact(state)) = &mut self.engine else {
+            unreachable!("engine set to compact above");
+        };
+        plan.execute(circuit, state.amps_mut(), &self.config);
+        true
     }
 
     /// Prepares the engine for an `n`-qubit run, resetting it in place
@@ -376,6 +512,182 @@ mod tests {
             sparse_ws.sample(4_000, &mut ra),
             dense_ws.sample(4_000, &mut rb)
         );
+    }
+
+    #[test]
+    fn compact_workspace_compiles_once_and_matches_dense_bitwise() {
+        let poly = test_poly(4);
+        let confined = |theta: f64| {
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0110);
+            c.diag(poly.clone(), theta);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, -1], 0.5));
+            c.ublock(crate::gate::UBlock::from_u_with_angle(
+                &[0, 1, -1, 1],
+                theta,
+            ));
+            c
+        };
+        let mut compact_ws =
+            SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        for (i, theta) in [0.3, 1.1, -0.7, 0.0, 2.2].into_iter().enumerate() {
+            let c = confined(theta);
+            let dense_amps: Vec<_> = {
+                let e = dense_ws.run(&c);
+                (0..16u64).map(|b| e.amplitude(b)).collect()
+            };
+            let state = compact_ws.run(&c);
+            assert!(state.is_compact(), "iteration {i} lost the compact path");
+            for (bits, d) in dense_amps.iter().enumerate() {
+                let a = state.amplitude(bits as u64);
+                assert!(
+                    a.re == d.re && a.im == d.im,
+                    "theta={theta} bits={bits}: {a} vs {d}"
+                );
+            }
+        }
+        assert_eq!(compact_ws.cached_plans(), 1, "one shape, one plan");
+        assert_eq!(compact_ws.plan_compilations(), 1, "compiled exactly once");
+        assert_eq!(compact_ws.reallocations(), 1, "iterations reuse the array");
+        assert_eq!(
+            compact_ws.cached_diagonals(),
+            0,
+            "the compact path bakes diagonals into the plan"
+        );
+    }
+
+    #[test]
+    fn compact_workspace_sampling_matches_dense_stream() {
+        let mut c = Circuit::new(4);
+        c.load_bits(0b0011);
+        c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, 0], 0.8));
+        let mut compact_ws =
+            SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        assert!(compact_ws.run(&c).is_compact());
+        dense_ws.run(&c);
+        let mut ra = StdRng::seed_from_u64(21);
+        let mut rb = StdRng::seed_from_u64(21);
+        assert_eq!(
+            compact_ws.sample(4_000, &mut ra),
+            dense_ws.sample(4_000, &mut rb)
+        );
+    }
+
+    #[test]
+    fn compact_workspace_falls_back_cleanly_on_dense_shapes() {
+        // A register-filling mixer: compilation refuses the shape, the
+        // run degrades to the per-gate engines with the auto-style dense
+        // fallback, and the refusal is remembered (no recompile attempts).
+        let mut mixer = Circuit::new(10);
+        for q in 0..10 {
+            mixer.h(q);
+        }
+        let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        for _ in 0..3 {
+            let state = ws.run(&mixer);
+            assert!(!state.is_compact(), "dense shape must not stay compact");
+            assert!(!state.is_sparse(), "auto-style fallback densifies");
+            let expected = StateVector::run(&mixer);
+            assert!((state.fidelity_against_dense(&expected) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(ws.cached_plans(), 1, "fallback shape cached");
+        assert_eq!(ws.plan_compilations(), 1, "refusal remembered");
+        // A confined shape afterwards still gets the compact fast path.
+        let mut confined = Circuit::new(10);
+        confined.load_bits(0b101);
+        let u: Vec<i8> = (0..10).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        confined.ublock(crate::gate::UBlock::from_u_with_angle(&u, 0.4));
+        assert!(ws.run(&confined).is_compact());
+        assert_eq!(ws.cached_plans(), 2);
+    }
+
+    #[test]
+    fn compact_plan_cache_holds_multiple_shapes_without_reallocating() {
+        // Alternating Δ policies (two circuit shapes over one register)
+        // must each keep their compiled plan and share the amplitude
+        // allocation.
+        let poly = test_poly(4);
+        let shape_a = |theta: f64| {
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0011);
+            c.diag(poly.clone(), theta);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 0, 0], 0.5));
+            c
+        };
+        let shape_b = |theta: f64| {
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0011);
+            c.diag(poly.clone(), theta);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 0, 0], 0.5));
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[0, 0, 1, -1], 0.2));
+            c
+        };
+        let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        for i in 0..6 {
+            let theta = 0.1 * i as f64;
+            assert!(ws.run(&shape_a(theta)).is_compact());
+            assert!(ws.run(&shape_b(theta)).is_compact());
+        }
+        assert_eq!(ws.cached_plans(), 2);
+        assert_eq!(ws.plan_compilations(), 2, "one compile per shape");
+        assert_eq!(ws.reallocations(), 1, "shapes share the amplitude array");
+    }
+
+    #[test]
+    fn compact_plan_cache_promotes_hits_over_fifo_eviction() {
+        // Fill the cache to capacity, touch the oldest shape, then force
+        // one eviction: the promoted shape must survive (LRU), so
+        // re-running it is a cache hit, not a recompile.
+        let shape = |k: usize, theta: f64| {
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0001);
+            for _ in 0..k + 1 {
+                c.ublock(crate::gate::UBlock::from_u_with_angle(
+                    &[1, -1, 0, 0],
+                    theta,
+                ));
+            }
+            c
+        };
+        let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        for k in 0..8 {
+            ws.run(&shape(k, 0.3));
+        }
+        assert_eq!(ws.plan_compilations(), 8);
+        ws.run(&shape(0, 0.7)); // hit on the oldest shape → promoted
+        assert_eq!(ws.plan_compilations(), 8, "hit must not recompile");
+        ws.run(&shape(8, 0.3)); // ninth shape → one eviction
+        assert_eq!(ws.plan_compilations(), 9);
+        assert_eq!(ws.cached_plans(), 8, "cache stays at capacity");
+        ws.run(&shape(0, 1.1)); // the promoted shape must still be cached
+        assert_eq!(
+            ws.plan_compilations(),
+            9,
+            "promoted shape was evicted: cache is FIFO, not LRU"
+        );
+    }
+
+    #[test]
+    fn reset_engine_redoes_representation_resolution() {
+        let config = SimConfig {
+            density_threshold: 0.2,
+            ..SimConfig::serial().with_engine(EngineKind::Auto)
+        };
+        let mut ws = SimWorkspace::new(config);
+        let mut mixer = Circuit::new(4);
+        for q in 0..4 {
+            mixer.h(q);
+        }
+        assert!(!ws.run(&mixer).is_sparse(), "fallback tripped");
+        // Sticky without a reset…
+        let mut confined = Circuit::new(4);
+        confined.load_bits(0b0101);
+        assert!(!ws.run(&confined).is_sparse());
+        // …re-resolved per configuration after one.
+        ws.reset_engine();
+        assert!(ws.run(&confined).is_sparse(), "fresh resolution is sparse");
     }
 
     #[test]

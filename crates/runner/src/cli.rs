@@ -20,7 +20,7 @@ pub struct RunArgs {
     /// Per-worker simulator threads (default 1: cell-level parallelism
     /// already fills the host).
     pub sim_threads: usize,
-    /// Simulation engine override (`--engine dense|sparse|auto`); `None`
+    /// Simulation engine override (`--engine dense|sparse|compact|auto`); `None`
     /// defers to the spec's `[grid] engine` key.
     pub engine: Option<EngineKind>,
     /// Suppress the human-readable table on stdout.
@@ -29,7 +29,7 @@ pub struct RunArgs {
 
 /// Usage text for the `run` subcommand.
 pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
-     [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto] [--no-table]";
+     [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] [--no-table]";
 
 /// Parses `run` subcommand arguments (everything after the literal
 /// `run`).

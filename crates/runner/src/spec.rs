@@ -439,7 +439,8 @@ impl ExperimentSpec {
             Some(name) => Some(EngineKind::parse(&name).map_err(|e| {
                 format!(
                     "`[grid] engine`: {e} — pick `dense` for the 2^n strided \
-                         engine, `sparse` for the feasible-subspace engine, or \
+                         engine, `sparse` for the feasible-subspace engine, \
+                         `compact` for the plan-compiled rank-indexed engine, or \
                          `auto` to start sparse and densify at the occupancy \
                          threshold"
                 )
@@ -861,7 +862,11 @@ quick_problems = ["F1"]
         for (name, kind) in [
             ("dense", EngineKind::Dense),
             ("sparse", EngineKind::Sparse),
+            ("compact", EngineKind::Compact),
             ("auto", EngineKind::Auto),
+            // Case-insensitive: specs written by hand shouldn't care.
+            ("Compact", EngineKind::Compact),
+            ("DENSE", EngineKind::Dense),
         ] {
             let spec = ExperimentSpec::parse_str(&format!(
                 "name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = \"{name}\""
@@ -878,7 +883,7 @@ quick_problems = ["F1"]
         )
         .unwrap_err();
         assert!(err.contains("unknown engine `gpu`"), "{err}");
-        assert!(err.contains("dense|sparse|auto"), "{err}");
+        assert!(err.contains("dense|sparse|compact|auto"), "{err}");
         assert!(
             err.contains("feasible-subspace"),
             "error must explain the choices: {err}"

@@ -82,13 +82,14 @@ pub fn check_size(required_qubits: usize) -> Result<(), SolverError> {
 }
 
 /// Engine-aware size gate: the dense engine stops at [`MAX_SIM_QUBITS`];
-/// the sparse/auto engines accept anything the circuit IR can express
-/// ([`MAX_SPARSE_QUBITS`]) because a feasible-subspace solve never
-/// allocates `2^n` of anything.
+/// the sparse/compact/auto engines accept anything the circuit IR can
+/// express ([`MAX_SPARSE_QUBITS`]) because a feasible-subspace solve
+/// never allocates `2^n` of anything (the compact engine's storage is
+/// `|F|` amplitudes plus its compiled rank tables).
 pub fn check_size_for(required_qubits: usize, engine: EngineKind) -> Result<(), SolverError> {
     let limit = match engine {
         EngineKind::Dense => MAX_SIM_QUBITS,
-        EngineKind::Sparse | EngineKind::Auto => MAX_SPARSE_QUBITS,
+        EngineKind::Sparse | EngineKind::Compact | EngineKind::Auto => MAX_SPARSE_QUBITS,
     };
     if required_qubits > limit {
         Err(SolverError::TooLarge {
@@ -308,7 +309,7 @@ mod tests {
     fn sparse_engines_lift_the_size_gate() {
         // The dense cap exists because of the 2^n buffer; the sparse
         // engines go to the circuit IR's limit.
-        for engine in [EngineKind::Sparse, EngineKind::Auto] {
+        for engine in [EngineKind::Sparse, EngineKind::Compact, EngineKind::Auto] {
             assert!(check_size_for(MAX_SIM_QUBITS + 2, engine).is_ok());
             assert!(matches!(
                 check_size_for(MAX_SPARSE_QUBITS + 1, engine),

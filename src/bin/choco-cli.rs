@@ -5,9 +5,9 @@
 //! USAGE: choco-cli <file | -> [--solver choco|penalty|cyclic|hea]
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
-//!                  [--threads N] [--engine dense|sparse|auto]
+//!                  [--threads N] [--engine dense|sparse|compact|auto]
 //!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
-//!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto]
+//!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto]
 //!                  [--no-table]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
@@ -15,8 +15,11 @@
 //! `--engine` picks the amplitude representation: `dense` (2^n strided
 //! buffer), `sparse` (feasible-subspace sorted map — Choco-Q circuits
 //! never leave the feasible subspace, so this scales to registers the
-//! dense engine cannot allocate), or `auto` (sparse with automatic dense
-//! fallback at the occupancy threshold).
+//! dense engine cannot allocate), `compact` (the feasible subspace is
+//! enumerated once per circuit shape and every optimizer iteration
+//! replays a precompiled gate plan over a rank-indexed flat array — the
+//! fastest option for confined circuits), or `auto` (sparse with
+//! automatic dense fallback at the occupancy threshold).
 //! ```
 //!
 //! The `run` subcommand executes an experiment spec (see
@@ -156,9 +159,9 @@ fn main() -> ExitCode {
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N] \
-                 [--engine dense|sparse|auto]\n\
+                 [--engine dense|sparse|compact|auto]\n\
                  usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
-                 [--csv PATH] [--sim-threads N] [--engine dense|sparse|auto] [--no-table]"
+                 [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] [--no-table]"
             );
             return ExitCode::from(2);
         }

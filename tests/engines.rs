@@ -1,21 +1,26 @@
-//! Differential tests for the feasible-subspace sparse engine.
+//! Differential tests for the feasible-subspace engines.
 //!
 //! Random Choco-Q circuits over all six problem families must agree
-//! between three independent executions — the sparse engine
-//! ([`SparseStateVector`]), the dense strided engine ([`StateVector`],
-//! at 1/2/4 worker threads), and the scan-and-mask oracle
-//! ([`ScalarStateVector`]) — to 1e-10 per amplitude, with *identical*
-//! deterministic sampling streams. The adversarial half drives circuits
+//! between four independent executions — the sparse engine
+//! ([`SparseStateVector`]), the compact plan-replay engine
+//! ([`EngineKind::Compact`] through a [`SimWorkspace`], at 1/2/4 worker
+//! threads), the dense strided engine ([`StateVector`], at 1/2/4 worker
+//! threads), and the scan-and-mask oracle ([`ScalarStateVector`]) — with
+//! **byte-identical** amplitudes/expectations between sparse and compact,
+//! 1e-10 agreement against the oracle, and *identical* deterministic
+//! sampling streams everywhere. The adversarial half drives circuits
 //! that break subspace confinement (penalty/HEA-style mixers,
 //! noise-trajectory gate soup) and asserts the auto engine's dense
-//! fallback trips while results stay oracle-exact.
+//! fallback — and the compact engine's compilation refusal — trip while
+//! results stay oracle-exact.
 
 use choco_q::core::{support_profile, support_profile_with, ChocoQSolver, CommuteDriver};
 use choco_q::mathkit::SplitMix64;
 use choco_q::model::Problem;
 use choco_q::qsim::oracle::ScalarStateVector;
 use choco_q::qsim::{
-    Circuit, EngineKind, NoiseModel, SimConfig, SimEngine, SparseStateVector, StateVector,
+    Circuit, EngineKind, NoiseModel, SimConfig, SimEngine, SimWorkspace, SparseStateVector,
+    StateVector,
 };
 use choco_q::runner::ProblemRef;
 use proptest::prelude::*;
@@ -105,14 +110,21 @@ fn threaded(threads: usize) -> SimConfig {
     }
 }
 
+fn compact_threaded(threads: usize) -> SimConfig {
+    threaded(threads).with_engine(EngineKind::Compact)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(36))]
 
-    /// Sparse vs strided (1/2/4 threads) vs oracle on random Choco-Q
-    /// circuits across every family: 1e-10 per-amplitude agreement, and
-    /// occupancy bounded by the feasible set (the commute theorem).
+    /// The three-way engine matrix on random Choco-Q circuits across
+    /// every family: sparse vs compact (1/2/4 threads, replayed twice so
+    /// the cached plan is exercised) must be BYTE-identical in amplitudes
+    /// and expectations; both vs strided dense (1/2/4 threads) and the
+    /// oracle to 1e-10; occupancy bounded by the feasible set (the
+    /// commute theorem).
     #[test]
-    fn sparse_matches_strided_and_oracle_on_all_families(
+    fn sparse_and_compact_match_strided_and_oracle_on_all_families(
         family in 0usize..6,
         seed in any::<u64>(),
         layers in 1usize..3,
@@ -142,8 +154,49 @@ proptest! {
                 );
             }
         }
-        // Subspace confinement: the sparse engine never occupies more
-        // entries than the problem has feasible assignments.
+        // Compact plan replay at every thread count: byte-identity (==,
+        // not approx) against the sparse engine, on the compiled run AND
+        // on a cached replay.
+        let cost = problem.cost_poly();
+        let sparse_expectation = sparse.expectation_diag_poly(&cost);
+        for threads in [1usize, 2, 4] {
+            let mut ws = SimWorkspace::new(compact_threaded(threads));
+            for replay in 0..2 {
+                let state = ws.run(&circuit);
+                for bits in 0..(1u64 << problem.n_vars()) {
+                    let (a, b) = (state.amplitude(bits), sparse.amplitude(bits));
+                    prop_assert!(
+                        a.re == b.re && a.im == b.im,
+                        "family={family} threads={threads} replay={replay} bits={bits}: \
+                         compact {a} sparse {b}"
+                    );
+                }
+                let expectation = state.expectation_diag_poly(&cost);
+                if state.is_compact() {
+                    // Compact mirrors the sparse term sequence exactly.
+                    prop_assert_eq!(
+                        expectation,
+                        sparse_expectation,
+                        "family={} threads={} replay={}: expectation diverged",
+                        family, threads, replay
+                    );
+                } else {
+                    // Shapes whose |F| exceeds the occupancy cap fall
+                    // back to dense, whose 2^n sum interleaves exact-zero
+                    // terms: value-equal, compared with tolerance.
+                    prop_assert!(
+                        (expectation - sparse_expectation).abs()
+                            <= 1e-12 * sparse_expectation.abs().max(1.0),
+                        "family={family} threads={threads} replay={replay}: \
+                         fallback expectation diverged"
+                    );
+                }
+                prop_assert_eq!(state.occupancy(), sparse.occupancy());
+            }
+            prop_assert_eq!(ws.plan_compilations(), 1, "replay must hit the plan cache");
+        }
+        // Subspace confinement: neither feasible-subspace engine occupies
+        // more entries than the problem has feasible assignments.
         let n_feasible = problem.feasible_solutions(1 << 15).len();
         prop_assert!(
             sparse.occupancy() <= n_feasible,
@@ -152,9 +205,9 @@ proptest! {
         );
     }
 
-    /// One seed, one distribution: the sparse engine and the dense engine
-    /// at every thread count produce *identical* sample histograms, shot
-    /// for shot.
+    /// One seed, one distribution: the sparse engine, the compact engine,
+    /// and the dense engine at every thread count produce *identical*
+    /// sample histograms, shot for shot.
     #[test]
     fn sample_streams_identical_across_engines_and_threads(
         family in 0usize..6,
@@ -179,6 +232,14 @@ proptest! {
             prop_assert!(
                 counts == reference,
                 "family={family} threads={threads}: sample stream diverged"
+            );
+            let mut ws = SimWorkspace::new(compact_threaded(threads));
+            ws.run(&circuit);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let counts = ws.sample(2_000, &mut rng);
+            prop_assert!(
+                counts == reference,
+                "family={family} threads={threads}: compact sample stream diverged"
             );
         }
     }
@@ -293,6 +354,50 @@ fn subspace_breaking_circuits_trip_the_auto_fallback() {
 }
 
 #[test]
+fn compact_engine_falls_back_cleanly_on_subspace_breaking_circuits() {
+    // The compact engine refuses to compile shapes whose structural
+    // support crosses the occupancy threshold, and runs them through the
+    // per-gate engines with the auto-style dense fallback instead —
+    // oracle-exact, with dense-identical sample streams, and without
+    // re-attempting compilation on later iterations.
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    for (label, circuit) in [
+        ("penalty", penalty_style_circuit(10, 11)),
+        ("hea", hea_style_circuit(10, 12)),
+        ("noisy", noisy_trajectory_circuit(10, 13)),
+    ] {
+        let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        for replay in 0..2 {
+            let state = ws.run(&circuit);
+            assert!(
+                !state.is_compact(),
+                "{label} replay {replay}: register-filling shape stayed compact"
+            );
+            let oracle = ScalarStateVector::run(&circuit);
+            let fidelity = oracle.fidelity_against_engine(state);
+            assert!(
+                (fidelity - 1.0).abs() < 1e-10,
+                "{label} replay {replay}: fidelity {fidelity}"
+            );
+        }
+        assert_eq!(
+            ws.plan_compilations(),
+            1,
+            "{label}: the refusal must be remembered, not recompiled"
+        );
+        let dense = StateVector::run_with(&circuit, SimConfig::serial());
+        let mut ra = StdRng::seed_from_u64(5);
+        let mut rb = StdRng::seed_from_u64(5);
+        assert_eq!(
+            ws.sample(1_500, &mut ra),
+            dense.sample(1_500, &mut rb),
+            "{label}: fallback sample stream diverged"
+        );
+    }
+}
+
+#[test]
 fn forced_sparse_handles_subspace_breaking_circuits_exactly() {
     // EngineKind::Sparse never falls back — it must still be correct on a
     // register-filling circuit, merely slower.
@@ -352,7 +457,7 @@ fn fig09b_support_numbers_pinned_on_small_gcp() {
     // silently shift fig09b.
     assert_eq!(dense.first(), Some(&1), "profile starts at one basis state");
     assert_eq!(dense, PINNED_GCP_3X2X2_PROFILE, "fig09b numbers moved");
-    for kind in [EngineKind::Sparse, EngineKind::Auto] {
+    for kind in [EngineKind::Sparse, EngineKind::Compact, EngineKind::Auto] {
         let config = SimConfig::serial().with_engine(kind);
         assert_eq!(support_profile_with(&circuit, 1e-9, config), dense);
     }

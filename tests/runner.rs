@@ -188,6 +188,7 @@ problems = ["gcp:3x2x2", "F1"]
     use choco_q::qsim::EngineKind;
     let dense = run(EngineKind::Dense);
     assert_eq!(dense, run(EngineKind::Sparse));
+    assert_eq!(dense, run(EngineKind::Compact));
     assert_eq!(dense, run(EngineKind::Auto));
     // And the spec-level engine key engages without a CLI override.
     let sparse_spec =
