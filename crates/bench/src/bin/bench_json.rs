@@ -18,6 +18,7 @@
 //! `--quick` (or `CHOCO_QUICK=1`) caps the register at n = 14.
 
 use choco_bench::{choco_layer_circuit, choco_onehot_stack, layer_circuit, quick_mode};
+use choco_core::{ChocoQConfig, ChocoQSolver};
 use choco_qsim::oracle::ScalarStateVector;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
 use std::fmt::Write as _;
@@ -236,6 +237,67 @@ fn main() {
         }
     }
 
+    // Multi-start solve scaling: the whole restart scheduler end to end —
+    // every `(branch × restart)` variational loop pre-seeded from its
+    // coordinates and fanned out over 1/2/4 restart workers, compact
+    // engine, worker workspaces sharing one plan cache. One op = one full
+    // `ChocoQSolver::solve_with_workspace`. (On a single-core host the
+    // worker counts measure scheduler overhead, not speedup; the JSON
+    // records `host_parallelism` alongside.)
+    let solve_problem = if quick_mode() {
+        choco_problems::instance("F1", 1)
+    } else {
+        choco_problems::instance("G2", 1)
+    };
+    let solve_restarts = 8usize;
+    let solve_config = |workers: usize| ChocoQConfig {
+        restarts: solve_restarts,
+        restart_workers: workers,
+        max_iters: 10,
+        shots: 2_048,
+        transpiled_stats: false,
+        ..ChocoQConfig::default()
+    };
+    let solve_n = solve_problem.n_vars();
+    for (group, workers) in [
+        ("choco_solve_w1", 1usize),
+        ("choco_solve_w2", 2),
+        ("choco_solve_w4", 4),
+    ] {
+        eprintln!("measuring choco solve n = {solve_n} ({workers} restart workers) …");
+        let solver = ChocoQSolver::new(solve_config(workers));
+        let mut ws = SimWorkspace::new(config.with_engine(EngineKind::Compact));
+        entries.push(Entry {
+            group,
+            n: solve_n,
+            ns_per_op: measure(
+                || {
+                    std::hint::black_box(
+                        solver
+                            .solve_with_workspace(&solve_problem, &mut ws)
+                            .expect("solve"),
+                    );
+                },
+                3,
+                budget_ms,
+            ),
+        });
+    }
+    // Compile-once accounting for the summary: on a fresh shared cache,
+    // one parallel solve compiles each distinct circuit shape exactly
+    // once across all restarts × workers.
+    let (solve_plan_compiles, solve_shapes) = {
+        let mut ws = SimWorkspace::new(config.with_engine(EngineKind::Compact));
+        ChocoQSolver::new(solve_config(4))
+            .solve_with_workspace(&solve_problem, &mut ws)
+            .expect("solve");
+        (ws.plan_compilations(), ws.cached_plans() as u64)
+    };
+    assert_eq!(
+        solve_plan_compiles, solve_shapes,
+        "shared plan cache must compile each shape exactly once"
+    );
+
     // Assemble JSON by hand (no serde in the workspace).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"simulation\",\n");
@@ -319,7 +381,28 @@ fn main() {
         }
     }
     json.push_str(&lines.join(",\n"));
-    json.push_str("\n  }\n}\n");
+    json.push_str("\n  },\n  \"choco_solve_multistart\": {\n");
+    {
+        let find = |g: &str| {
+            entries
+                .iter()
+                .find(|e| e.group == g && e.n == solve_n)
+                .map(|e| e.ns_per_op)
+        };
+        let w1 = find("choco_solve_w1").expect("solve group measured");
+        let w2 = find("choco_solve_w2").expect("solve group measured");
+        let w4 = find("choco_solve_w4").expect("solve group measured");
+        let _ = writeln!(
+            json,
+            "    \"n\": {solve_n},\n    \"restarts\": {solve_restarts},\n    \
+             \"speedup_w2\": {:.2},\n    \"speedup_w4\": {:.2},\n    \
+             \"plan_compilations_per_solve\": {solve_plan_compiles},\n    \
+             \"circuit_shapes\": {solve_shapes}",
+            w1 / w2,
+            w1 / w4
+        );
+    }
+    json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("{json}");

@@ -28,7 +28,7 @@ pub mod trotter;
 pub use analysis::{lemma2_stats, support_profile, support_profile_with, Lemma2Stats};
 pub use driver::{constraint_operator_matrix, CommuteDriver, DriverError};
 pub use elimination::{plan_elimination, EliminationBranch, EliminationPlan};
-pub use solver::{ChocoQConfig, ChocoQSolver};
+pub use solver::{restart_loop_seed, ChocoQConfig, ChocoQSolver};
 pub use trotter::{
     exact_driver_unitary, trotter_decompose, trotter_slice_circuit, TrotterConfig, TrotterReport,
 };

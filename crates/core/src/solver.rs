@@ -8,21 +8,32 @@
 //! 3. **Circuit**: load one feasible solution, then `L` layers of
 //!    `e^{-iγ_l H_o}` followed by the serialized driver
 //!    `Π_{u∈Δ} e^{-iβ_l Hc(u)}` (Lemma 1).
-//! 4. **Optimization**: minimize `E[cost]` — no penalty term; the
-//!    constraints hold *by construction*, which is where the 100%
-//!    in-constraints rate of Table II comes from.
+//! 4. **Optimization**: minimize `E[cost]` (COBYLA by default, the
+//!    paper's optimizer) — no penalty term; the constraints hold *by
+//!    construction*, which is where the 100% in-constraints rate of
+//!    Table II comes from. The multistart layer is a deterministic
+//!    parallel scheduler: every `(branch × restart)` loop's initial
+//!    state, angle jitter, and sampling seed are pre-derived from the
+//!    restart's own coordinates ([`restart_loop_seed`]), the loops fan
+//!    out over [`ChocoQConfig::restart_workers`] scoped workers (each
+//!    owning a [`SimWorkspace`] that shares the caller's compiled-plan
+//!    cache), and winners reduce by lowest CVaR with ties broken by
+//!    restart coordinate — so results are byte-identical at any worker
+//!    count.
 //! 5. **Sampling**: merge branch histograms, lifting reduced bitstrings
 //!    back to the full variable space.
 
 use crate::driver::CommuteDriver;
 use crate::elimination::{plan_elimination, EliminationPlan};
+use choco_mathkit::SplitMix64;
 use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
 use choco_optim::OptimizerKind;
 use choco_qsim::{Circuit, Counts, PhasePoly, SimConfig, SimWorkspace};
 use choco_solvers::shared::{
     check_size_for, circuit_stats, variational_loop, CostSpec, QaoaConfig, MAX_SIM_QUBITS,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration for [`ChocoQSolver`].
@@ -50,6 +61,15 @@ pub struct ChocoQConfig {
     /// achieved expectation wins. Mitigates local minima of the
     /// non-convex landscape (most visible on GCP instances).
     pub restarts: usize,
+    /// Worker threads for the multistart scheduler. Every
+    /// `(branch × restart)` variational loop is pre-seeded from its own
+    /// coordinates, so the loops are independent; with more than one
+    /// worker they fan out over a `std::thread::scope` pool where each
+    /// worker owns a [`SimWorkspace`] sharing the caller workspace's
+    /// compiled-plan cache. `1` (the default) runs the restarts serially
+    /// on the caller's workspace; `0` uses one worker per host core.
+    /// Solve results are byte-identical at any setting.
+    pub restart_workers: usize,
     /// When set, final sampling runs the Lemma-2 transpiled circuit under
     /// this noise model (hardware experiments, Fig. 10/13b/14).
     pub noise: Option<choco_qsim::NoiseModel>,
@@ -72,11 +92,12 @@ impl Default for ChocoQConfig {
             layers: 1,
             shots: 10_000,
             max_iters: 60,
-            optimizer: OptimizerKind::NelderMead,
+            optimizer: OptimizerKind::default(),
             seed: 42,
             eliminate: 0,
             transpiled_stats: true,
             restarts: 3,
+            restart_workers: 1,
             noise: None,
             noise_trajectories: 30,
             delta_max_support: 6,
@@ -220,6 +241,56 @@ fn cvar(counts: &Counts, cost: &CostSpec<'_>, alpha: f64) -> f64 {
     acc / take as f64
 }
 
+/// One stateless SplitMix64 scramble.
+fn mix(x: u64) -> u64 {
+    SplitMix64::new(x).next_u64()
+}
+
+/// Mixes a master seed and the `(branch, restart)` coordinates into one
+/// well-spread word. Each coordinate passes through its own full scramble
+/// round, so `(b+1, r)` and `(b, r + restarts)` never alias the way the
+/// old `seed + b·restarts + r` arithmetic did when a branch ran more
+/// restarts than `restarts` (extra Δ policies) — adjacent branches then
+/// reused loop seeds and their "independent" restarts sampled identical
+/// shot streams.
+fn mix_coordinates(master: u64, salt: u64, b_idx: usize, r: usize) -> u64 {
+    let s = mix(master ^ salt);
+    let s = mix(s ^ (b_idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15));
+    mix(s ^ (r as u64).wrapping_add(0xBF58_476D_1CE4_E5B9))
+}
+
+/// The variational-loop (sampling) seed of restart `(b_idx, r)` of a
+/// solve with master seed `seed`.
+///
+/// Derived only from the solve seed and the restart's own coordinates —
+/// never from execution order, a serially-consumed generator, or a worker
+/// id — so any restart is reproducible in isolation, the parallel
+/// scheduler can run restarts in any order, and seeds are collision-free
+/// across the whole restart grid (hash-mixed, not offset arithmetic).
+pub fn restart_loop_seed(seed: u64, b_idx: usize, r: usize) -> u64 {
+    mix_coordinates(seed, 0xC0C0_0A5E_ED00_0001, b_idx, r)
+}
+
+/// The per-restart SplitMix64 stream that draws a non-fresh restart's
+/// random feasible initial state and then its jittered initial angles.
+/// Separately salted from [`restart_loop_seed`] so the loop seed and the
+/// jitter draws stay independent.
+fn restart_stream(seed: u64, b_idx: usize, r: usize) -> SplitMix64 {
+    SplitMix64::new(mix_coordinates(seed, 0xC0C0_0A5E_ED00_0002, b_idx, r))
+}
+
+/// The effective multistart worker count for `n_tasks` restarts.
+fn effective_restart_workers(requested: usize, n_tasks: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, n_tasks.max(1))
+}
+
 impl Solver for ChocoQSolver {
     fn name(&self) -> &str {
         "choco-q"
@@ -332,78 +403,174 @@ impl ChocoQSolver {
         };
         let mut first_final_circuit: Option<(Circuit, usize)> = None;
 
-        let mut restart_rng = choco_mathkit::SplitMix64::new(self.config.seed ^ 0xC0C0A);
+        // ---- Pre-derivation ----------------------------------------
+        // Multistart: the first restarts pair each Δ policy with the
+        // lexicographically-first feasible point and nominal angles;
+        // later restarts pick random feasible initial states and
+        // jittered angles. Every restart's initial state, jitter stream,
+        // and loop seed derive from its `(branch, restart)` coordinates
+        // alone (per-coordinate SplitMix64 streams), so the loops are
+        // fully independent and can execute in any order on any worker —
+        // the foundation of the deterministic parallel scheduler below.
+        struct Task {
+            b_idx: usize,
+            fresh: bool,
+            driver_idx: usize,
+            initial: u64,
+            jitter: SplitMix64,
+            loop_seed: u64,
+        }
+        let mut tasks: Vec<Task> = Vec::new();
         for (b_idx, branch) in branches.iter().enumerate() {
-            // Multistart: the first restarts pair each Δ policy with the
-            // lexicographically-first feasible point and nominal angles;
-            // later restarts pick random feasible initial states and
-            // jittered angles. The run with the lowest achieved
-            // expectation wins (all measurable quantities — no classical
-            // peeking at the optimum).
             let n_policies = branch.drivers.len();
-            let mut best: Option<(f64, crate::solver::LoopRun)> = None;
             for r in 0..restarts.max(n_policies) {
-                let driver = &branch.drivers[r % n_policies];
+                let mut stream = restart_stream(self.config.seed, b_idx, r);
                 let fresh = r < n_policies;
                 let initial = if fresh {
                     branch.feasible[0]
                 } else {
-                    *restart_rng.choose(&branch.feasible).expect("non-empty")
+                    *stream.choose(&branch.feasible).expect("non-empty")
                 };
-                let ordered_terms = driver.ordered_terms(initial);
-                let mut x0 = Self::initial_params(layers, ordered_terms.len());
-                if !fresh {
-                    for x in x0.iter_mut() {
-                        *x = restart_rng.gen_range_f64(0.05, 1.6);
-                    }
+                tasks.push(Task {
+                    b_idx,
+                    fresh,
+                    driver_idx: r % n_policies,
+                    initial,
+                    jitter: stream,
+                    loop_seed: restart_loop_seed(self.config.seed, b_idx, r),
+                });
+            }
+        }
+
+        struct TaskResult {
+            /// CVaR of the sampled shots (the restart-selection score).
+            achieved: f64,
+            run: LoopRun,
+            iterations: usize,
+            execute: std::time::Duration,
+            classical: std::time::Duration,
+        }
+        let run_task = |task: &Task, workspace: &mut SimWorkspace| -> TaskResult {
+            let branch = &branches[task.b_idx];
+            let driver = &branch.drivers[task.driver_idx];
+            let ordered_terms = driver.ordered_terms(task.initial);
+            let mut x0 = Self::initial_params(layers, ordered_terms.len());
+            if !task.fresh {
+                let mut jitter = task.jitter.clone();
+                for x in x0.iter_mut() {
+                    *x = jitter.gen_range_f64(0.05, 1.6);
                 }
-                let loop_config = QaoaConfig {
+            }
+            let loop_config = QaoaConfig {
+                layers,
+                shots: shots_each,
+                max_iters: self.config.max_iters,
+                optimizer: self.config.optimizer,
+                penalty: 0.0, // constraints are hard: no penalty needed
+                seed: task.loop_seed,
+                transpiled_stats: false,
+                noise: self.config.noise,
+                noise_trajectories: self.config.noise_trajectories,
+                // Follow the caller-owned workspace, not self.config:
+                // every other kernel of this solve runs under the
+                // workspace's engine config.
+                sim: *workspace.config(),
+            };
+            let build = |params: &[f64]| {
+                Self::build_circuit(
+                    branch.n_vars,
+                    &branch.cost_poly,
+                    &ordered_terms,
+                    task.initial,
                     layers,
-                    shots: shots_each,
-                    max_iters: self.config.max_iters,
-                    optimizer: self.config.optimizer,
-                    penalty: 0.0, // constraints are hard: no penalty needed
-                    seed: self.config.seed.wrapping_add((b_idx * restarts + r) as u64),
-                    transpiled_stats: false,
-                    noise: self.config.noise,
-                    noise_trajectories: self.config.noise_trajectories,
-                    // Follow the caller-owned workspace, not self.config:
-                    // every other kernel of this solve runs under the
-                    // workspace's engine config.
-                    sim: *workspace.config(),
-                };
-                let build = |params: &[f64]| {
-                    Self::build_circuit(
-                        branch.n_vars,
-                        &branch.cost_poly,
-                        &ordered_terms,
-                        initial,
-                        layers,
-                        params,
-                    )
-                };
-                let result = variational_loop(
-                    branch.n_vars.max(1),
-                    build,
-                    &branch.cost_spec(),
-                    &x0,
-                    &loop_config,
-                    &mut *workspace,
-                );
-                timing.execute += result.timing.execute;
-                timing.classical += result.timing.classical;
-                iterations += result.iterations;
-                let achieved = cvar(&result.counts, &branch.cost_spec(), 0.05);
-                let run = LoopRun {
+                    params,
+                )
+            };
+            let result = variational_loop(
+                branch.n_vars.max(1),
+                build,
+                &branch.cost_spec(),
+                &x0,
+                &loop_config,
+                &mut *workspace,
+            );
+            let achieved = cvar(&result.counts, &branch.cost_spec(), 0.05);
+            TaskResult {
+                achieved,
+                iterations: result.iterations,
+                execute: result.timing.execute,
+                classical: result.timing.classical,
+                run: LoopRun {
                     counts: result.counts,
                     cost_history: result.cost_history,
                     final_circuit: result.final_circuit,
-                };
-                if best.as_ref().is_none_or(|(b, _)| achieved < *b) {
-                    best = Some((achieved, run));
-                }
+                },
             }
-            let (_, run) = best.expect("at least one restart ran");
+        };
+
+        // ---- Execution ----------------------------------------------
+        // One worker: the caller's workspace serves every restart (the
+        // zero-allocation serial path). More: a scoped pool where each
+        // worker owns a long-lived workspace sharing the caller's
+        // compiled-plan cache, so a circuit shape is still compiled once
+        // across all restarts × workers. Results land in a slot vector
+        // indexed by task position — execution order never leaks. (Same
+        // scatter-into-slots scheme as the runner's cell scheduler in
+        // crates/runner/src/run.rs — a fix to one likely applies to the
+        // other.)
+        let n_workers = effective_restart_workers(self.config.restart_workers, tasks.len());
+        let mut results: Vec<Option<TaskResult>> = if n_workers <= 1 {
+            tasks
+                .iter()
+                .map(|task| Some(run_task(task, &mut *workspace)))
+                .collect()
+        } else {
+            let slots: Mutex<Vec<Option<TaskResult>>> =
+                Mutex::new((0..tasks.len()).map(|_| None).collect());
+            let next = AtomicUsize::new(0);
+            let sim = *workspace.config();
+            let plan_cache = workspace.plan_cache();
+            std::thread::scope(|scope| {
+                for _ in 0..n_workers {
+                    let (run_task, tasks, slots, next) = (&run_task, &tasks, &slots, &next);
+                    let plan_cache = plan_cache.clone();
+                    scope.spawn(move || {
+                        let mut worker_ws = SimWorkspace::with_plan_cache(sim, plan_cache);
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(task) = tasks.get(i) else { break };
+                            let result = run_task(task, &mut worker_ws);
+                            slots.lock().expect("slot lock")[i] = Some(result);
+                        }
+                    });
+                }
+            });
+            slots.into_inner().expect("slot lock")
+        };
+
+        // ---- Deterministic reduce -----------------------------------
+        // Winner per branch: lowest CVaR, ties broken by the lowest
+        // restart coordinate (tasks are visited in `(b_idx, r)` order and
+        // only a strictly better score displaces the incumbent) — the
+        // same selection the serial loop makes, at any worker count.
+        let mut winners: Vec<Option<usize>> = vec![None; branches.len()];
+        for (i, result) in results.iter().enumerate() {
+            let result = result.as_ref().expect("every restart ran");
+            timing.execute += result.execute;
+            timing.classical += result.classical;
+            iterations += result.iterations;
+            let b = tasks[i].b_idx;
+            let better = match winners[b] {
+                None => true,
+                Some(w) => result.achieved < results[w].as_ref().expect("winner present").achieved,
+            };
+            if better {
+                winners[b] = Some(i);
+            }
+        }
+        for (b_idx, branch) in branches.iter().enumerate() {
+            let w = winners[b_idx].expect("at least one restart per branch");
+            let run = results[w].take().expect("winner ran").run;
             if b_idx == 0 {
                 cost_history = run.cost_history;
             }
@@ -419,6 +586,15 @@ impl ChocoQSolver {
         // Circuit statistics on the first branch's final circuit, rebuilt
         // with the paper's two clean ancillas for Lemma-2 transpilation.
         let (final_circuit, n_reduced) = first_final_circuit.expect("at least one branch ran");
+
+        // Workspace end-state contract: leave the *caller's* workspace
+        // holding the first branch winner's final state. Callers that
+        // inspect `workspace.state()` after a solve — the experiment
+        // runner reports the resolved engine and final-state occupancy —
+        // then see the same values at every `restart_workers` setting
+        // (with >1 worker the loops ran on worker-owned workspaces and
+        // the caller's engine would otherwise be stale or empty).
+        workspace.run(&final_circuit);
         let circuit = if self.config.transpiled_stats && n_reduced > 0 {
             let mut wide = Circuit::new(n_reduced + 2);
             for g in final_circuit.gates() {
@@ -659,6 +835,123 @@ mod tests {
         assert_eq!(compact_ws.plan_compilations(), 2 * shapes_per_solve);
         assert!(compact_ws.cached_plans() as u64 <= shapes_per_solve);
         assert_eq!(compact_ws.reallocations(), 1, "second solve reuses warmup");
+    }
+
+    #[test]
+    fn restart_loop_seeds_are_distinct_across_branches_and_restarts() {
+        // Regression for the old `seed + (b_idx · restarts + r)`
+        // arithmetic: whenever a branch ran more loops than `restarts`
+        // (extra Δ policies), adjacent branches reused loop seeds — e.g.
+        // with restarts = 1 and two policies, (b=0, r=1) and (b=1, r=0)
+        // collided. The coordinate-hashed derivation must be
+        // collision-free across any realistic restart grid.
+        let mut seen = std::collections::HashSet::new();
+        for seed in [0u64, 42, 0xDEAD_BEEF] {
+            seen.clear();
+            for b_idx in 0..16 {
+                for r in 0..64 {
+                    assert!(
+                        seen.insert(restart_loop_seed(seed, b_idx, r)),
+                        "seed={seed} collides at (b={b_idx}, r={r})"
+                    );
+                }
+            }
+        }
+        // The exact collision pair of the old formula.
+        assert_ne!(restart_loop_seed(42, 0, 1), restart_loop_seed(42, 1, 0));
+        // And the derivation depends on the master seed.
+        assert_ne!(restart_loop_seed(1, 0, 0), restart_loop_seed(2, 0, 0));
+    }
+
+    #[test]
+    fn every_loop_seed_of_a_multi_branch_solve_is_distinct() {
+        // The in-situ version of the regression: enumerate the loop seeds
+        // a 2-branch (eliminate = 1) multi-policy solve actually derives
+        // and assert pairwise distinctness.
+        let problem = paper_problem();
+        let config = ChocoQConfig {
+            eliminate: 1,
+            restarts: 1, // fewer than the Δ-policy count → old collision
+            ..ChocoQConfig::fast_test()
+        };
+        let plan = plan_elimination(&problem, config.eliminate).unwrap();
+        assert!(plan.branches.len() > 1, "need a multi-branch solve");
+        let mut seen = std::collections::HashSet::new();
+        for (b_idx, branch) in plan.branches.iter().enumerate() {
+            let n_policies = 2; // extended + basis, as the solver builds
+            for r in 0..config.restarts.max(n_policies) {
+                assert!(
+                    seen.insert(restart_loop_seed(config.seed, b_idx, r)),
+                    "collision at (b={b_idx}, r={r})"
+                );
+            }
+            let _ = branch;
+        }
+    }
+
+    #[test]
+    fn parallel_restart_workers_reproduce_the_serial_solve() {
+        // The scheduler's determinism contract: restart pre-seeding plus
+        // the slot-indexed reduce make the solve byte-identical at any
+        // worker count — including 0 (auto) and counts above the task
+        // count — on a multi-branch, multi-restart configuration.
+        let problem = paper_problem();
+        let base = ChocoQConfig {
+            restarts: 4,
+            eliminate: 1,
+            ..ChocoQConfig::fast_test()
+        };
+        let serial = ChocoQSolver::new(base.clone()).solve(&problem).unwrap();
+        for workers in [2usize, 4, 64, 0] {
+            let parallel = ChocoQSolver::new(ChocoQConfig {
+                restart_workers: workers,
+                ..base.clone()
+            })
+            .solve(&problem)
+            .unwrap();
+            assert_eq!(serial.counts, parallel.counts, "workers={workers}");
+            assert_eq!(
+                serial.cost_history, parallel.cost_history,
+                "workers={workers}"
+            );
+            assert_eq!(serial.iterations, parallel.iterations, "workers={workers}");
+            assert_eq!(serial.circuit, parallel.circuit, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_compact_solve_compiles_each_shape_once_across_workers() {
+        use choco_qsim::EngineKind;
+        let problem = paper_problem();
+        let config = ChocoQConfig {
+            restarts: 6,
+            restart_workers: 4,
+            ..ChocoQConfig::fast_test()
+        };
+        let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(EngineKind::Compact));
+        let parallel = ChocoQSolver::new(config.clone())
+            .solve_with_workspace(&problem, &mut ws)
+            .unwrap();
+        // Worker workspaces share the caller's plan cache: every distinct
+        // circuit shape across all restarts × workers compiled exactly
+        // once.
+        assert_eq!(
+            ws.plan_compilations(),
+            ws.cached_plans() as u64,
+            "every shape compiled exactly once across the worker pool"
+        );
+        // And the parallel compact solve matches the serial dense solve.
+        let serial = ChocoQSolver::new(ChocoQConfig {
+            restart_workers: 1,
+            ..config
+        })
+        .solve(&problem)
+        .unwrap();
+        assert_eq!(serial.counts, parallel.counts);
+        assert_eq!(serial.cost_history, parallel.cost_history);
+        // The caller workspace ends holding the winner's final state
+        // (the runner reads engine/occupancy from it).
+        assert!(ws.state().is_some(), "workspace holds the winner's state");
     }
 
     #[test]

@@ -3,21 +3,23 @@
 //! Derivative-free classical optimizers for the variational loop.
 //!
 //! The paper uses COBYLA ("constrained optimization by linear
-//! approximation" \[39\]) for all designs; this reproduction substitutes a
-//! Nelder–Mead simplex (the default, [`NelderMead`]) and SPSA
-//! ([`Spsa`]) — both standard derivative-free local optimizers over the
-//! handful of `{γ_l, β_l}` parameters. The substitution is documented in
-//! DESIGN.md §4; convergence-*shape* comparisons (Fig. 9a) do not depend on
-//! the specific simplex method.
+//! approximation" \[39\]) for all designs; [`Cobyla`] implements it (in
+//! the unconstrained, bound-free form the `{γ_l, β_l}` loop needs) and is
+//! the default. A Nelder–Mead simplex ([`NelderMead`]) and SPSA
+//! ([`Spsa`]) remain selectable — QAOA outcome quality is known to be
+//! sensitive to the classical-optimizer choice, so the runner exposes the
+//! selection as a spec key / CLI flag.
 //!
-//! Both optimizers record a per-iteration best-so-far history so the
-//! convergence experiment can be regenerated.
+//! Every optimizer records a per-iteration best-so-far history so the
+//! convergence experiment can be regenerated, with the invariant that
+//! `history.last() == Some(&best_value)` — the final history point is the
+//! value the run actually achieved.
 //!
 //! ```
-//! use choco_optim::NelderMead;
+//! use choco_optim::Cobyla;
 //!
 //! // minimize the sphere function
-//! let result = NelderMead::default().minimize(
+//! let result = Cobyla::default().minimize(
 //!     |x| x.iter().map(|v| v * v).sum(),
 //!     &[1.0, -2.0],
 //! );
@@ -44,16 +46,52 @@ pub struct OptimizeResult {
 }
 
 /// Which optimizer a solver should run.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum OptimizerKind {
-    /// Nelder–Mead simplex (the default; COBYLA stand-in).
+    /// COBYLA — linear-approximation trust region (the paper's
+    /// optimizer \[39\]; the default).
     #[default]
+    Cobyla,
+    /// Nelder–Mead simplex.
     NelderMead,
     /// Simultaneous perturbation stochastic approximation.
     Spsa,
 }
 
 impl OptimizerKind {
+    /// Every selectable optimizer, default first.
+    pub const ALL: [OptimizerKind; 3] = [
+        OptimizerKind::Cobyla,
+        OptimizerKind::NelderMead,
+        OptimizerKind::Spsa,
+    ];
+
+    /// Short stable label (`"cobyla"`, `"nelder-mead"`, `"spsa"`) — the
+    /// spelling [`OptimizerKind::parse`] round-trips.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptimizerKind::Cobyla => "cobyla",
+            OptimizerKind::NelderMead => "nelder-mead",
+            OptimizerKind::Spsa => "spsa",
+        }
+    }
+
+    /// Parses an optimizer name, case-insensitively.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the valid choices.
+    pub fn parse(text: &str) -> Result<OptimizerKind, String> {
+        match text.to_ascii_lowercase().as_str() {
+            "cobyla" => Ok(OptimizerKind::Cobyla),
+            "nelder-mead" | "neldermead" | "nelder_mead" => Ok(OptimizerKind::NelderMead),
+            "spsa" => Ok(OptimizerKind::Spsa),
+            other => Err(format!(
+                "unknown optimizer `{other}` (expected cobyla|nelder-mead|spsa)"
+            )),
+        }
+    }
+
     /// Runs the chosen optimizer with `max_iters` iterations from `x0`.
     pub fn minimize<F: FnMut(&[f64]) -> f64>(
         &self,
@@ -62,6 +100,11 @@ impl OptimizerKind {
         x0: &[f64],
     ) -> OptimizeResult {
         match self {
+            OptimizerKind::Cobyla => Cobyla {
+                max_iters,
+                ..Cobyla::default()
+            }
+            .minimize(f, x0),
             OptimizerKind::NelderMead => NelderMead {
                 max_iters,
                 ..NelderMead::default()
@@ -78,10 +121,7 @@ impl OptimizerKind {
 
 impl fmt::Display for OptimizerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            OptimizerKind::NelderMead => write!(f, "nelder-mead"),
-            OptimizerKind::Spsa => write!(f, "spsa"),
-        }
+        f.write_str(self.label())
     }
 }
 
@@ -148,7 +188,6 @@ impl NelderMead {
             let best = order[0];
             let worst = order[n];
             let second_worst = order[n - 1];
-            history.push(values[best]);
 
             // Termination.
             let spread = values[worst] - values[best];
@@ -162,6 +201,7 @@ impl NelderMead {
                 })
                 .fold(0.0, f64::max);
             if spread.abs() < self.f_tol && diameter < self.x_tol {
+                history.push(values[best]);
                 break;
             }
 
@@ -219,6 +259,12 @@ impl NelderMead {
                     }
                 }
             }
+
+            // Best-so-far *after* this cycle's updates: an improvement
+            // found in the final iteration must land in the history, so
+            // `history.last()` always reports the achieved value.
+            let cycle_best = values.iter().copied().fold(f64::INFINITY, f64::min);
+            history.push(cycle_best);
         }
 
         let (best_idx, &best_value) = values
@@ -228,6 +274,288 @@ impl NelderMead {
             .expect("non-empty simplex");
         OptimizeResult {
             best_params: simplex[best_idx].clone(),
+            best_value,
+            history,
+            evaluations,
+            iterations,
+        }
+    }
+}
+
+/// Running evaluation accounting shared by the COBYLA loop: every
+/// objective call updates the global best, so the returned
+/// `best_params`/`best_value` cover *all* evaluated points (model steps,
+/// geometry repairs, resets), not only simplex vertices.
+struct EvalState {
+    evaluations: usize,
+    best_params: Vec<f64>,
+    best_value: f64,
+}
+
+impl EvalState {
+    fn eval<F: FnMut(&[f64]) -> f64>(&mut self, f: &mut F, x: &[f64]) -> f64 {
+        self.evaluations += 1;
+        let v = f(x);
+        assert!(!v.is_nan(), "NaN objective");
+        if v < self.best_value {
+            self.best_value = v;
+            self.best_params.clear();
+            self.best_params.extend_from_slice(x);
+        }
+        v
+    }
+}
+
+/// Solves `a · x = b` by Gaussian elimination with partial pivoting after
+/// normalizing each row by its ∞-norm (the rows are simplex edges of
+/// magnitude ~ρ, which shrinks over a run — without the scaling a late
+/// system would look singular purely by magnitude). Returns `None` for a
+/// degenerate (rank-deficient) system.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for (row, rhs) in a.iter_mut().zip(b.iter_mut()) {
+        let scale = row.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if scale == 0.0 {
+            return None;
+        }
+        for v in row.iter_mut() {
+            *v /= scale;
+        }
+        *rhs /= scale;
+    }
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-10 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let t = a[row][col] / a[col][col];
+            if t != 0.0 {
+                let (top, bottom) = a.split_at_mut(row);
+                let pivot_row = &top[col];
+                for (v, p) in bottom[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                    *v -= t * p;
+                }
+                b[row] -= t * b[col];
+            }
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// COBYLA — "constrained optimization by linear approximation" (Powell
+/// 1994), the paper's classical optimizer \[39\], in the unconstrained
+/// form the variational loop needs (the `{γ_l, β_l}` box has no
+/// constraints; Choco-Q's feasibility is enforced by the circuit, not the
+/// optimizer).
+///
+/// The method maintains an `n+1`-point interpolation simplex. Each
+/// iteration:
+///
+/// 1. **geometry** — a vertex further than `2ρ` (∞-norm) from the best
+///    point is pulled back to distance `ρ` along its own direction and
+///    re-evaluated, keeping the linear model local as the trust region
+///    shrinks; a rank-deficient simplex is rebuilt on fresh axes,
+/// 2. **model** — the unique linear interpolant through the simplex
+///    yields a gradient estimate `g` (one `n×n` solve),
+/// 3. **trust-region step** — the objective is evaluated at
+///    `x_best − ρ·g/‖g‖`; a point better than the worst vertex replaces
+///    it, and a step that fails to beat the best vertex by a fraction of
+///    the predicted decrease halves `ρ` (from `rho_beg` down to
+///    `rho_end`, which terminates the run).
+///
+/// Deterministic (no random draws), one to two objective evaluations
+/// per iteration in the steady state (the trust-region point, plus an
+/// expansion trial whenever it improves on the best vertex; a geometry
+/// rebuild after a degenerate simplex costs `n`) — the same
+/// per-iteration budget shape as [`NelderMead`], which matters when
+/// every evaluation is a full quantum execution.
+#[derive(Clone, Debug)]
+pub struct Cobyla {
+    /// Maximum iterations (≈ objective evaluations after the initial
+    /// simplex).
+    pub max_iters: usize,
+    /// Initial trust-region radius (also the initial simplex edge).
+    pub rho_beg: f64,
+    /// Final trust-region radius: the run stops once ρ falls below this.
+    pub rho_end: f64,
+}
+
+impl Default for Cobyla {
+    fn default() -> Self {
+        Cobyla {
+            max_iters: 200,
+            rho_beg: 0.4,
+            rho_end: 1e-7,
+        }
+    }
+}
+
+impl Cobyla {
+    /// Minimizes `f` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or the objective returns NaN.
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+        assert!(!x0.is_empty(), "need at least one parameter");
+        let n = x0.len();
+        let mut state = EvalState {
+            evaluations: 0,
+            best_params: x0.to_vec(),
+            best_value: f64::INFINITY,
+        };
+
+        // Initial simplex: x0 and x0 + ρ·e_i.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.rho_beg;
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex.iter().map(|x| state.eval(&mut f, x)).collect();
+
+        let mut rho = self.rho_beg;
+        let mut history = Vec::with_capacity(self.max_iters);
+        let mut iterations = 0usize;
+
+        for _ in 0..self.max_iters {
+            iterations += 1;
+            let best = (0..=n)
+                .min_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN objective"))
+                .expect("non-empty simplex");
+            let worst = (0..=n)
+                .max_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN objective"))
+                .expect("non-empty simplex");
+
+            // Geometry: pull the farthest vertex inside the 2ρ ball.
+            let dist = |x: &[f64]| -> f64 {
+                x.iter()
+                    .zip(simplex[best].iter())
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            };
+            let (far, far_dist) = (0..=n)
+                .map(|i| (i, dist(&simplex[i])))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .expect("non-empty simplex");
+            if far_dist > 2.0 * rho {
+                let pulled: Vec<f64> = simplex[far]
+                    .iter()
+                    .zip(simplex[best].iter())
+                    .map(|(x, c)| c + (x - c) * rho / far_dist)
+                    .collect();
+                values[far] = state.eval(&mut f, &pulled);
+                simplex[far] = pulled;
+                history.push(state.best_value);
+                continue;
+            }
+
+            // Linear model: gradient of the interpolant through the
+            // simplex (rows are edges from the best vertex).
+            let rows: Vec<Vec<f64>> = (0..=n)
+                .filter(|&i| i != best)
+                .map(|i| {
+                    simplex[i]
+                        .iter()
+                        .zip(simplex[best].iter())
+                        .map(|(a, b)| a - b)
+                        .collect()
+                })
+                .collect();
+            let rhs: Vec<f64> = (0..=n)
+                .filter(|&i| i != best)
+                .map(|i| values[i] - values[best])
+                .collect();
+            let Some(gradient) = solve_linear(rows, rhs) else {
+                // Degenerate simplex: rebuild on fresh axes around the
+                // best point at the current radius.
+                let center = simplex[best].clone();
+                let center_value = values[best];
+                simplex.clear();
+                values.clear();
+                simplex.push(center.clone());
+                values.push(center_value);
+                for i in 0..n {
+                    let mut v = center.clone();
+                    v[i] += rho;
+                    values.push(state.eval(&mut f, &v));
+                    simplex.push(v);
+                }
+                history.push(state.best_value);
+                continue;
+            };
+            let norm = gradient.iter().map(|g| g * g).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                // Steepest-descent trust-region step of length ρ.
+                let candidate: Vec<f64> = simplex[best]
+                    .iter()
+                    .zip(gradient.iter())
+                    .map(|(x, g)| x - rho * g / norm)
+                    .collect();
+                let fc = state.eval(&mut f, &candidate);
+                let improved = fc < values[best];
+                if fc < values[worst] {
+                    simplex[worst] = candidate.clone();
+                    values[worst] = fc;
+                }
+                if improved {
+                    // The model direction is paying off: try a doubled
+                    // step before settling (the simplex-expansion idea —
+                    // without it, a long curved valley is traversed in
+                    // ρ-sized increments).
+                    let extended: Vec<f64> = candidate
+                        .iter()
+                        .zip(gradient.iter())
+                        .map(|(x, g)| x - rho * g / norm)
+                        .collect();
+                    let fe = state.eval(&mut f, &extended);
+                    let worst = (0..=n)
+                        .max_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("NaN objective"))
+                        .expect("non-empty simplex");
+                    if fe < values[worst] {
+                        simplex[worst] = extended;
+                        values[worst] = fe;
+                    }
+                } else {
+                    // No decrease at this radius: contract.
+                    rho *= 0.5;
+                }
+            } else {
+                // Flat interpolant: the model carries no direction at
+                // this scale — contract and look closer.
+                rho *= 0.5;
+            }
+
+            history.push(state.best_value);
+            if rho < self.rho_end {
+                break;
+            }
+        }
+
+        let EvalState {
+            evaluations,
+            best_params,
+            best_value,
+        } = state;
+        OptimizeResult {
+            best_params,
             best_value,
             history,
             evaluations,
@@ -362,6 +690,129 @@ mod tests {
     }
 
     #[test]
+    fn nelder_mead_history_ends_at_the_best_value() {
+        // Regression: the best-so-far used to be recorded at the *top* of
+        // each cycle, so an improvement found in the final iteration
+        // never landed in the history and convergence plots under-reported
+        // the final point. Early iterations of the sphere improve every
+        // cycle, so any small budget exposes the off-by-one.
+        for max_iters in [1usize, 2, 3, 7, 50] {
+            let nm = NelderMead {
+                max_iters,
+                ..NelderMead::default()
+            };
+            let r = nm.minimize(sphere, &[2.0, -1.5, 0.7]);
+            assert_eq!(
+                r.history.last(),
+                Some(&r.best_value),
+                "max_iters={max_iters}: history {:?} vs best {}",
+                r.history,
+                r.best_value
+            );
+        }
+    }
+
+    #[test]
+    fn cobyla_minimizes_sphere() {
+        let r = Cobyla::default().minimize(sphere, &[2.0, -1.5, 0.7]);
+        assert!(r.best_value < 1e-6, "value = {}", r.best_value);
+        for p in &r.best_params {
+            assert!(p.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn cobyla_handles_rosenbrock() {
+        // A linear-model trust region zig-zags through the curved valley
+        // (COBYLA's known weakness), but it must still converge to the
+        // optimum given budget.
+        let c = Cobyla {
+            max_iters: 5000,
+            ..Cobyla::default()
+        };
+        let r = c.minimize(rosenbrock, &[-1.0, 1.0]);
+        assert!(r.best_value < 1e-2, "value = {}", r.best_value);
+        assert!((r.best_params[0] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn cobyla_is_deterministic() {
+        // No random draws anywhere in the method.
+        let a = Cobyla::default().minimize(sphere, &[1.0, 2.0]);
+        let b = Cobyla::default().minimize(sphere, &[1.0, 2.0]);
+        assert_eq!(a.best_params, b.best_params);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn cobyla_history_is_best_so_far_and_ends_at_best() {
+        for max_iters in [1usize, 2, 5, 40] {
+            let c = Cobyla {
+                max_iters,
+                ..Cobyla::default()
+            };
+            let r = c.minimize(sphere, &[3.0, -2.0]);
+            for w in r.history.windows(2) {
+                assert!(w[1] <= w[0] + 1e-12);
+            }
+            assert_eq!(r.history.len(), r.iterations);
+            assert_eq!(r.history.last(), Some(&r.best_value));
+        }
+    }
+
+    #[test]
+    fn cobyla_respects_max_iters_and_counts_evaluations() {
+        let mut calls = 0usize;
+        let r = Cobyla {
+            max_iters: 10,
+            ..Cobyla::default()
+        }
+        .minimize(
+            |x| {
+                calls += 1;
+                sphere(x)
+            },
+            &[1.0, 1.0],
+        );
+        assert!(r.iterations <= 10);
+        assert_eq!(calls, r.evaluations);
+    }
+
+    #[test]
+    fn cobyla_terminates_when_rho_collapses() {
+        let c = Cobyla {
+            max_iters: 100_000,
+            rho_beg: 0.1,
+            rho_end: 1e-3,
+        };
+        let r = c.minimize(sphere, &[0.2, 0.2]);
+        assert!(r.iterations < 1000, "ρ floor must stop the run early");
+    }
+
+    #[test]
+    fn cobyla_single_parameter() {
+        let r = Cobyla::default().minimize(|x| (x[0] - 1.5).powi(2), &[0.0]);
+        assert!((r.best_params[0] - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn solve_linear_recovers_gradients_and_rejects_singular() {
+        // f(x) = 3x₀ − 2x₁ interpolated exactly.
+        let rows = vec![vec![0.5, 0.0], vec![0.0, 0.5]];
+        let rhs = vec![1.5, -1.0];
+        let g = solve_linear(rows, rhs).expect("full rank");
+        assert!((g[0] - 3.0).abs() < 1e-12 && (g[1] + 2.0).abs() < 1e-12);
+        // Tiny edges must still solve (row scaling).
+        let g = solve_linear(vec![vec![1e-8, 0.0], vec![0.0, 1e-8]], vec![3e-8, -2e-8])
+            .expect("scaled full rank");
+        assert!((g[0] - 3.0).abs() < 1e-6 && (g[1] + 2.0).abs() < 1e-6);
+        // Rank-deficient: two parallel edges.
+        assert!(solve_linear(vec![vec![1.0, 1.0], vec![2.0, 2.0]], vec![1.0, 2.0]).is_none());
+        assert!(solve_linear(vec![vec![0.0, 0.0], vec![1.0, 0.0]], vec![0.0, 1.0]).is_none());
+    }
+
+    #[test]
     fn nelder_mead_respects_max_iters() {
         let nm = NelderMead {
             max_iters: 5,
@@ -413,13 +864,32 @@ mod tests {
     }
 
     #[test]
-    fn kind_dispatch_runs_both() {
-        for kind in [OptimizerKind::NelderMead, OptimizerKind::Spsa] {
+    fn kind_dispatch_runs_all() {
+        for kind in OptimizerKind::ALL {
             let r = kind.minimize(100, sphere, &[1.0, 1.0]);
-            assert!(r.best_value < sphere(&[1.0, 1.0]));
-            assert!(r.evaluations > 0);
+            assert!(r.best_value < sphere(&[1.0, 1.0]), "{kind}");
+            assert!(r.evaluations > 0, "{kind}");
         }
-        assert_eq!(format!("{}", OptimizerKind::NelderMead), "nelder-mead");
+        assert_eq!(OptimizerKind::default(), OptimizerKind::Cobyla);
+    }
+
+    #[test]
+    fn kind_display_parse_round_trips() {
+        for kind in OptimizerKind::ALL {
+            assert_eq!(OptimizerKind::parse(&format!("{kind}")), Ok(kind));
+            // Case-insensitive, matching the engine key's behavior.
+            assert_eq!(
+                OptimizerKind::parse(&format!("{kind}").to_uppercase()),
+                Ok(kind)
+            );
+        }
+        assert_eq!(
+            OptimizerKind::parse("Nelder_Mead"),
+            Ok(OptimizerKind::NelderMead)
+        );
+        let err = OptimizerKind::parse("adam").unwrap_err();
+        assert!(err.contains("unknown optimizer `adam`"), "{err}");
+        assert!(err.contains("cobyla|nelder-mead|spsa"), "{err}");
     }
 
     #[test]

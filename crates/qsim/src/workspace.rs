@@ -46,7 +46,7 @@ use crate::simconfig::{EngineKind, SimConfig};
 #[cfg(doc)]
 use crate::state::StateVector;
 use rand::Rng;
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, Mutex, Weak};
 
 /// One cached diagonal: the polynomial it came from (kept weakly so cache
 /// identity can be verified against live `Arc`s) and its per-basis values.
@@ -63,7 +63,7 @@ const PLAN_CACHE_CAP: usize = 8;
 /// One cached compilation outcome for a circuit shape.
 enum PlanEntry {
     /// The shape compiled: replay it.
-    Compiled(GatePlan),
+    Compiled(Arc<GatePlan>),
     /// The shape refused compilation (structural support too dense):
     /// remember that, so iterations skip the recompile attempt and go
     /// straight to the per-gate fallback engines.
@@ -76,6 +76,103 @@ impl PlanEntry {
             PlanEntry::Compiled(plan) => plan.shape(),
             PlanEntry::Fallback(shape) => shape,
         }
+    }
+}
+
+/// A shareable cache of compiled gate plans, keyed by circuit *shape*
+/// (see [`crate::EngineKind::Compact`]).
+///
+/// Every [`SimWorkspace`] owns one behind an `Arc`; workspaces built with
+/// [`SimWorkspace::with_plan_cache`] share it, so a multi-start scheduler
+/// whose workers each own a workspace still compiles **each circuit shape
+/// exactly once** — the first worker to reach a shape compiles it (under
+/// the cache lock, so concurrent workers on the same shape wait instead
+/// of duplicating the work) and every other worker replays the shared
+/// plan. Replays only take the lock for the shape lookup; the plan itself
+/// is handed out as an `Arc` and executed lock-free.
+#[derive(Default)]
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Default)]
+struct PlanCacheInner {
+    /// Compilation outcomes, most recently used last.
+    entries: Vec<PlanEntry>,
+    /// Total compilations (successful or refused) ever run.
+    compilations: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of circuit shapes with a cached compilation outcome
+    /// (compiled plan or remembered fallback).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache lock").entries.len()
+    }
+
+    /// `true` when no shape has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many plan compilations (successful or refused) have run across
+    /// every workspace sharing this cache. Stays at the number of
+    /// distinct circuit shapes across any number of iterations, restarts,
+    /// and workers — the compile-once invariant of the compact engine.
+    pub fn compilations(&self) -> u64 {
+        self.inner.lock().expect("plan cache lock").compilations
+    }
+
+    /// Finds the plan for `circuit`'s shape, compiling it on a miss.
+    /// Returns `None` when the shape is a (fresh or remembered) fallback:
+    /// the caller then runs the per-gate engines.
+    pub(crate) fn lookup_or_compile(
+        &self,
+        circuit: &Circuit,
+        max_support: usize,
+    ) -> Option<Arc<GatePlan>> {
+        let mut inner = self.inner.lock().expect("plan cache lock");
+        if let Some(idx) = inner
+            .entries
+            .iter()
+            .position(|e| e.shape().matches(circuit))
+        {
+            // LRU promotion: eviction drops the front, so a hit must
+            // refresh recency or a rotation over more shapes than the
+            // cache holds would thrash into per-iteration recompiles.
+            let entry = inner.entries.remove(idx);
+            let found = match &entry {
+                PlanEntry::Compiled(plan) => Some(plan.clone()),
+                PlanEntry::Fallback(_) => None,
+            };
+            inner.entries.push(entry);
+            return found;
+        }
+        // Miss: compile while holding the lock — a concurrent worker on
+        // the same shape blocks here and then *hits*, which is exactly
+        // the compile-once guarantee a shared cache exists to give.
+        inner.compilations += 1;
+        let entry = match GatePlan::compile(circuit, max_support) {
+            Ok(plan) => PlanEntry::Compiled(Arc::new(plan)),
+            Err(PlanError::TooDense { .. }) => PlanEntry::Fallback(CircuitShape::of(circuit)),
+        };
+        // Entries whose diagonal polynomials died can never match again;
+        // drop them first, then bound the cache.
+        inner.entries.retain(|e| e.shape().is_live());
+        if inner.entries.len() >= PLAN_CACHE_CAP {
+            inner.entries.remove(0);
+        }
+        let found = match &entry {
+            PlanEntry::Compiled(plan) => Some(plan.clone()),
+            PlanEntry::Fallback(_) => None,
+        };
+        inner.entries.push(entry);
+        found
     }
 }
 
@@ -112,10 +209,11 @@ pub struct SimWorkspace {
     config: SimConfig,
     engine: Option<SimEngine>,
     diag_cache: Vec<CachedDiag>,
-    /// Compiled gate plans (and fallback markers), newest last, keyed by
-    /// circuit shape ([`crate::EngineKind::Compact`] only).
-    plans: Vec<PlanEntry>,
-    plan_compilations: u64,
+    /// Compiled gate plans (and fallback markers), keyed by circuit shape
+    /// ([`crate::EngineKind::Compact`] only). Shareable: workspaces built
+    /// with [`SimWorkspace::with_plan_cache`] compile each shape once
+    /// between them.
+    plans: Arc<PlanCache>,
     cumulative: Vec<f64>,
     /// Monotone run counter; `cumulative_for` marks which run (if any) the
     /// sampling table was built from.
@@ -127,17 +225,37 @@ pub struct SimWorkspace {
 impl SimWorkspace {
     /// An empty workspace; buffers are sized on first use.
     pub fn new(config: SimConfig) -> Self {
+        Self::with_plan_cache(config, Arc::new(PlanCache::new()))
+    }
+
+    /// An empty workspace that shares `plans` with other workspaces: a
+    /// circuit shape compiled by any of them serves all of them. This is
+    /// how a parallel multi-start scheduler keeps the compile-once
+    /// invariant across worker-owned workspaces.
+    ///
+    /// Share a cache only between workspaces running the **same
+    /// `SimConfig`**: cached outcomes are keyed by circuit shape alone,
+    /// so the compile-or-fallback decision (which depends on the
+    /// config's occupancy threshold) is made by whichever workspace
+    /// reaches a shape first and then inherited by every sharer.
+    pub fn with_plan_cache(config: SimConfig, plans: Arc<PlanCache>) -> Self {
         SimWorkspace {
             config,
             engine: None,
             diag_cache: Vec::new(),
-            plans: Vec::new(),
-            plan_compilations: 0,
+            plans,
             cumulative: Vec::new(),
             run_stamp: 0,
             cumulative_for: u64::MAX,
             reallocations: 0,
         }
+    }
+
+    /// The plan cache this workspace compiles into — pass it to
+    /// [`SimWorkspace::with_plan_cache`] to share compiled shapes with
+    /// another workspace.
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        self.plans.clone()
     }
 
     /// The execution configuration used for kernels run through this
@@ -161,15 +279,18 @@ impl SimWorkspace {
 
     /// Number of circuit shapes with a cached compilation outcome
     /// (compiled plan or remembered fallback; compact engine only).
+    /// Counted on the (possibly shared) plan cache.
     pub fn cached_plans(&self) -> usize {
         self.plans.len()
     }
 
-    /// How many plan compilations (successful or refused) have run. Stays
-    /// at the number of distinct circuit shapes across any number of
-    /// iterations — the compile-once invariant of the compact engine.
+    /// How many plan compilations (successful or refused) have run on
+    /// this workspace's (possibly shared) plan cache. Stays at the number
+    /// of distinct circuit shapes across any number of iterations,
+    /// restarts, and sharing workers — the compile-once invariant of the
+    /// compact engine.
     pub fn plan_compilations(&self) -> u64 {
-        self.plan_compilations
+        self.plans.compilations()
     }
 
     /// Drops the engine state (buffers and the sticky representation of a
@@ -250,35 +371,8 @@ impl SimWorkspace {
     /// amplitude array. Returns `false` when the shape is a remembered or
     /// fresh fallback — the caller then runs the per-gate engines.
     fn run_compact(&mut self, circuit: &Circuit) -> bool {
-        let idx = match self.plans.iter().position(|e| e.shape().matches(circuit)) {
-            Some(idx) => {
-                // LRU promotion: eviction drops the front, so a hit must
-                // refresh recency or a rotation over more shapes than the
-                // cache holds would thrash into per-iteration recompiles.
-                let entry = self.plans.remove(idx);
-                self.plans.push(entry);
-                self.plans.len() - 1
-            }
-            None => {
-                self.plan_compilations += 1;
-                let cap = plan_support_cap(&self.config, circuit.n_qubits());
-                let entry = match GatePlan::compile(circuit, cap) {
-                    Ok(plan) => PlanEntry::Compiled(plan),
-                    Err(PlanError::TooDense { .. }) => {
-                        PlanEntry::Fallback(CircuitShape::of(circuit))
-                    }
-                };
-                // Entries whose diagonal polynomials died can never match
-                // again; drop them first, then bound the cache.
-                self.plans.retain(|e| e.shape().is_live());
-                if self.plans.len() >= PLAN_CACHE_CAP {
-                    self.plans.remove(0);
-                }
-                self.plans.push(entry);
-                self.plans.len() - 1
-            }
-        };
-        let PlanEntry::Compiled(plan) = &self.plans[idx] else {
+        let cap = plan_support_cap(&self.config, circuit.n_qubits());
+        let Some(plan) = self.plans.lookup_or_compile(circuit, cap) else {
             return false;
         };
         match &mut self.engine {
@@ -667,6 +761,55 @@ mod tests {
             9,
             "promoted shape was evicted: cache is FIFO, not LRU"
         );
+    }
+
+    #[test]
+    fn shared_plan_cache_compiles_each_shape_once_across_workspaces() {
+        // The parallel multi-start contract: worker-owned workspaces
+        // sharing one PlanCache must compile a shape exactly once between
+        // them, and every worker's replay must be bit-identical to a
+        // private-cache run.
+        let poly = test_poly(4);
+        let confined = |theta: f64| {
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0110);
+            c.diag(poly.clone(), theta);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, -1], 0.5));
+            c
+        };
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let mut reference = SimWorkspace::new(config);
+        let expected: Vec<_> = {
+            let e = reference.run(&confined(0.8));
+            (0..16u64).map(|b| e.amplitude(b)).collect()
+        };
+
+        let shared = Arc::new(PlanCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                let expected = &expected;
+                let confined = &confined;
+                scope.spawn(move || {
+                    let mut ws = SimWorkspace::with_plan_cache(config, shared);
+                    for _ in 0..8 {
+                        let state = ws.run(&confined(0.8));
+                        assert!(state.is_compact());
+                        for (bits, want) in expected.iter().enumerate() {
+                            let got = state.amplitude(bits as u64);
+                            assert!(got.re == want.re && got.im == want.im);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.compilations(), 1, "one compile serves all workers");
+        assert_eq!(shared.len(), 1);
+        // A workspace joining afterwards hits the shared plan too.
+        let mut late = SimWorkspace::with_plan_cache(config, shared.clone());
+        late.run(&confined(1.3));
+        assert_eq!(late.plan_compilations(), 1, "late joiner reuses the plan");
+        assert_eq!(shared.compilations(), 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::run::{execute, RunOptions};
 use crate::spec::ExperimentSpec;
+use choco_optim::OptimizerKind;
 use choco_qsim::{EngineKind, SimConfig};
 
 /// Parsed `run` subcommand arguments.
@@ -23,13 +24,21 @@ pub struct RunArgs {
     /// Simulation engine override (`--engine dense|sparse|compact|auto`); `None`
     /// defers to the spec's `[grid] engine` key.
     pub engine: Option<EngineKind>,
+    /// Classical-optimizer override
+    /// (`--optimizer cobyla|nelder-mead|spsa`); `None` defers to the
+    /// spec's `[grid] optimizer` key.
+    pub optimizer: Option<OptimizerKind>,
+    /// Restart-scheduler workers per Choco-Q solve
+    /// (`--restart-workers N`, 0 = one per host core, default 1).
+    pub restart_workers: usize,
     /// Suppress the human-readable table on stdout.
     pub no_table: bool,
 }
 
 /// Usage text for the `run` subcommand.
 pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
-     [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] [--no-table]";
+     [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
+     [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table]";
 
 /// Parses `run` subcommand arguments (everything after the literal
 /// `run`).
@@ -40,6 +49,7 @@ pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--q
 pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut parsed = RunArgs {
         sim_threads: 1,
+        restart_workers: 1,
         ..RunArgs::default()
     };
     let mut it = args.iter();
@@ -67,6 +77,17 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 parsed.engine = Some(
                     EngineKind::parse(&value("--engine")?).map_err(|e| format!("--engine: {e}"))?,
                 )
+            }
+            "--optimizer" => {
+                parsed.optimizer = Some(
+                    OptimizerKind::parse(&value("--optimizer")?)
+                        .map_err(|e| format!("--optimizer: {e}"))?,
+                )
+            }
+            "--restart-workers" => {
+                parsed.restart_workers = value("--restart-workers")?
+                    .parse()
+                    .map_err(|e| format!("--restart-workers: {e}"))?
             }
             "--no-table" => parsed.no_table = true,
             other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
@@ -99,6 +120,8 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
             SimConfig::with_threads(parsed.sim_threads)
         },
         engine: parsed.engine,
+        optimizer: parsed.optimizer,
+        restart_workers: parsed.restart_workers,
     };
     let report = execute(&spec, &options)?;
 
@@ -158,6 +181,10 @@ mod tests {
             "2",
             "--engine",
             "sparse",
+            "--optimizer",
+            "nelder-mead",
+            "--restart-workers",
+            "4",
             "--no-table",
         ]))
         .unwrap();
@@ -168,6 +195,8 @@ mod tests {
         assert_eq!(args.csv.as_deref(), Some("cells.csv"));
         assert_eq!(args.sim_threads, 2);
         assert_eq!(args.engine, Some(EngineKind::Sparse));
+        assert_eq!(args.optimizer, Some(OptimizerKind::NelderMead));
+        assert_eq!(args.restart_workers, 4);
         assert!(args.no_table);
     }
 
@@ -187,5 +216,18 @@ mod tests {
         assert_eq!(parse_run_args(&strings(&["s.toml"])).unwrap().engine, None);
         let err = parse_run_args(&strings(&["s.toml", "--engine", "fpga"])).unwrap_err();
         assert!(err.contains("--engine") && err.contains("fpga"), "{err}");
+    }
+
+    #[test]
+    fn optimizer_flag_defaults_to_none_and_rejects_unknown() {
+        let args = parse_run_args(&strings(&["s.toml"])).unwrap();
+        assert_eq!(args.optimizer, None);
+        assert_eq!(args.restart_workers, 1);
+        // Case-insensitive, like the spec key.
+        let args = parse_run_args(&strings(&["s.toml", "--optimizer", "COBYLA"])).unwrap();
+        assert_eq!(args.optimizer, Some(OptimizerKind::Cobyla));
+        let err = parse_run_args(&strings(&["s.toml", "--optimizer", "adam"])).unwrap_err();
+        assert!(err.contains("--optimizer") && err.contains("adam"), "{err}");
+        assert!(err.contains("cobyla|nelder-mead|spsa"), "{err}");
     }
 }

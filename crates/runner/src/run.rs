@@ -11,6 +11,7 @@ use crate::spec::{Cell, ExperimentSpec, RunKind, SolverKind};
 use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
 use choco_device::LatencyModel;
 use choco_model::{solve_exact, Optimum, Problem, SolveOutcome};
+use choco_optim::OptimizerKind;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace};
 use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
 use std::collections::BTreeMap;
@@ -32,6 +33,16 @@ pub struct RunOptions {
     /// Engine override from the CLI (`--engine`). `None` defers to the
     /// spec's `[grid] engine` key, which in turn defers to `sim.engine`.
     pub engine: Option<EngineKind>,
+    /// Classical-optimizer override from the CLI (`--optimizer`). `None`
+    /// defers to the spec's `[grid] optimizer` key, which in turn defers
+    /// to the solver default (COBYLA).
+    pub optimizer: Option<OptimizerKind>,
+    /// Restart-scheduler workers per Choco-Q solve
+    /// (`--restart-workers`). Defaults to 1 (serial): cell-level
+    /// parallelism already fills the host, and solve results are
+    /// byte-identical at any setting — raise it for grids with few
+    /// expensive cells.
+    pub restart_workers: usize,
 }
 
 impl Default for RunOptions {
@@ -41,6 +52,8 @@ impl Default for RunOptions {
             quick: false,
             sim: SimConfig::serial(),
             engine: None,
+            optimizer: None,
+            restart_workers: 1,
         }
     }
 }
@@ -66,6 +79,13 @@ impl RunOptions {
     pub fn effective_sim(&self, spec: &ExperimentSpec) -> SimConfig {
         let engine = self.engine.or(spec.engine).unwrap_or(self.sim.engine);
         self.sim.with_engine(engine)
+    }
+
+    /// The classical optimizer a run of `spec` uses, resolved in the same
+    /// priority order as the engine: CLI `--optimizer` override, then the
+    /// spec's `[grid] optimizer`, then the solver default (COBYLA).
+    pub fn effective_optimizer(&self, spec: &ExperimentSpec) -> OptimizerKind {
+        self.optimizer.or(spec.optimizer).unwrap_or_default()
     }
 }
 
@@ -209,7 +229,7 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     let key = (cell.problem.as_str().to_string(), cell.instance_seed);
-                    let record = run_grid_cell(spec, cell, &instances[&key], &mut workspace);
+                    let record = run_grid_cell(spec, opts, cell, &instances[&key], &mut workspace);
                     slots.lock().expect("slot lock")[i] = Some(record);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     eprintln!(
@@ -244,6 +264,7 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
 
 fn run_grid_cell(
     spec: &ExperimentSpec,
+    opts: &RunOptions,
     cell: &Cell,
     instance: &Instance,
     workspace: &mut SimWorkspace,
@@ -255,6 +276,7 @@ fn run_grid_cell(
     workspace.reset_engine();
     let problem = &instance.problem;
     let cell_seed = spec.cell_seed(cell);
+    let optimizer = opts.effective_optimizer(spec);
     let noise = match (spec.noisy, cell.device) {
         (true, Some(device)) => Some(device.model().noise()),
         _ => None,
@@ -268,6 +290,8 @@ fn run_grid_cell(
                 shots: spec.config.shots.unwrap_or(base.shots),
                 max_iters: spec.config.max_iters.unwrap_or(base.max_iters),
                 restarts: spec.config.restarts.unwrap_or(base.restarts),
+                restart_workers: opts.restart_workers,
+                optimizer,
                 noise_trajectories: spec
                     .config
                     .noise_trajectories
@@ -291,6 +315,7 @@ fn run_grid_cell(
                 layers: cell.layers.unwrap_or(base.layers),
                 shots: spec.config.shots.unwrap_or(base.shots),
                 max_iters: spec.config.max_iters.unwrap_or(base.max_iters),
+                optimizer,
                 noise_trajectories: spec
                     .config
                     .noise_trajectories
@@ -342,6 +367,7 @@ fn run_grid_cell(
         .push("instance_seed", Field::UInt(cell.instance_seed))
         .push("cell_seed", Field::UInt(cell_seed))
         .push("solver", Field::Str(cell.solver.label().to_string()))
+        .push("optimizer", Field::Str(optimizer.label().to_string()))
         .push("layers", Field::opt_uint(cell.layers.map(|l| l as u64)))
         .push("eliminate", Field::UInt(cell.eliminate as u64))
         .push(

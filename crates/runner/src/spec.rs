@@ -10,6 +10,7 @@ use crate::minitoml::{self, Document, Value};
 use choco_device::Device;
 use choco_mathkit::SplitMix64;
 use choco_model::Problem;
+use choco_optim::OptimizerKind;
 use choco_problems as problems;
 use choco_qsim::EngineKind;
 
@@ -323,6 +324,13 @@ pub struct ExperimentSpec {
     /// engines are bit-identical, so sweeping them would duplicate every
     /// record.
     pub engine: Option<EngineKind>,
+    /// Classical optimizer every solver in the grid runs (`None` = the
+    /// workspace default, COBYLA; overridable by
+    /// `choco-cli run --optimizer`). Unlike the engine key this *does*
+    /// change outcomes — QAOA quality is sensitive to the optimizer — but
+    /// it is a configuration knob, not a grid axis, mirroring how the
+    /// paper fixes one optimizer for all designs.
+    pub optimizer: Option<OptimizerKind>,
     /// Whether a device cell applies the device's noise model (otherwise
     /// the device only drives latency estimation).
     pub noisy: bool,
@@ -447,6 +455,17 @@ impl ExperimentSpec {
             })?),
             None => None,
         };
+        let optimizer = match known.str_key(doc, "grid.optimizer")? {
+            Some(name) => Some(OptimizerKind::parse(&name).map_err(|e| {
+                format!(
+                    "`[grid] optimizer`: {e} — pick `cobyla` for the paper's \
+                         linear-approximation trust region (the default), \
+                         `nelder-mead` for the downhill simplex, or `spsa` for \
+                         simultaneous perturbation stochastic approximation"
+                )
+            })?),
+            None => None,
+        };
 
         let config = ConfigOverrides {
             shots: known.int_key(doc, "config.shots")?.map(|v| v.max(1) as u64),
@@ -503,6 +522,7 @@ impl ExperimentSpec {
             eliminate,
             devices,
             engine,
+            optimizer,
             noisy,
             history,
             config,
@@ -893,6 +913,52 @@ quick_problems = ["F1"]
             ExperimentSpec::parse_str("name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = 3")
                 .unwrap_err();
         assert!(err.contains("engine"), "{err}");
+    }
+
+    #[test]
+    fn optimizer_key_parses_case_insensitively_and_defaults_to_none() {
+        assert_eq!(ExperimentSpec::parse_str(MINIMAL).unwrap().optimizer, None);
+        for (name, kind) in [
+            ("cobyla", OptimizerKind::Cobyla),
+            ("nelder-mead", OptimizerKind::NelderMead),
+            ("spsa", OptimizerKind::Spsa),
+            // Case-insensitive: specs written by hand shouldn't care.
+            ("COBYLA", OptimizerKind::Cobyla),
+            ("Nelder-Mead", OptimizerKind::NelderMead),
+        ] {
+            let spec = ExperimentSpec::parse_str(&format!(
+                "name = \"o\"\n[grid]\nproblems = [\"F1\"]\noptimizer = \"{name}\""
+            ))
+            .unwrap();
+            assert_eq!(spec.optimizer, Some(kind));
+        }
+        // Display/parse round-trip through the spec key.
+        for kind in OptimizerKind::ALL {
+            let spec = ExperimentSpec::parse_str(&format!(
+                "name = \"o\"\n[grid]\nproblems = [\"F1\"]\noptimizer = \"{kind}\""
+            ))
+            .unwrap();
+            assert_eq!(spec.optimizer, Some(kind));
+        }
+    }
+
+    #[test]
+    fn unknown_optimizer_is_rejected_with_guidance() {
+        let err = ExperimentSpec::parse_str(
+            "name = \"o\"\n[grid]\nproblems = [\"F1\"]\noptimizer = \"adam\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown optimizer `adam`"), "{err}");
+        assert!(err.contains("cobyla|nelder-mead|spsa"), "{err}");
+        assert!(
+            err.contains("trust region"),
+            "error must explain the choices: {err}"
+        );
+        // Wrong type is also caught, not silently ignored.
+        let err =
+            ExperimentSpec::parse_str("name = \"o\"\n[grid]\nproblems = [\"F1\"]\noptimizer = 3")
+                .unwrap_err();
+        assert!(err.contains("optimizer"), "{err}");
     }
 
     #[test]

@@ -172,6 +172,8 @@ pub(crate) fn execute_ablation(
                 let base = scaled_choco(problem.n_vars());
                 let config = ChocoQConfig {
                     eliminate: elim,
+                    optimizer: opts.effective_optimizer(spec),
+                    restart_workers: opts.restart_workers,
                     max_iters: spec.config.max_iters.unwrap_or(60),
                     restarts: spec.config.restarts.unwrap_or(2),
                     shots: spec.config.shots.unwrap_or(4_000),

@@ -52,7 +52,7 @@ impl Default for QaoaConfig {
             layers: 7,
             shots: 10_000,
             max_iters: 100,
-            optimizer: OptimizerKind::NelderMead,
+            optimizer: OptimizerKind::default(),
             penalty: 10.0,
             seed: 42,
             transpiled_stats: true,

@@ -6,12 +6,18 @@
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
 //!                  [--threads N] [--engine dense|sparse|compact|auto]
+//!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
 //!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
 //!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto]
+//!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
 //!                  [--no-table]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
+//! `--optimizer` picks the classical optimizer of the variational loop
+//! (COBYLA — the paper's choice — by default). `--restart-workers` fans
+//! the Choco-Q multistart restarts out over a worker pool (0 = one per
+//! core; results are byte-identical at any setting).
 //! `--engine` picks the amplitude representation: `dense` (2^n strided
 //! buffer), `sparse` (feasible-subspace sorted map — Choco-Q circuits
 //! never leave the feasible subspace, so this scales to registers the
@@ -51,6 +57,8 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     engine: Option<choco_q::qsim::EngineKind>,
+    optimizer: Option<choco_q::optim::OptimizerKind>,
+    restart_workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -66,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: None,
         engine: None,
+        optimizer: None,
+        restart_workers: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -117,6 +127,17 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--engine: {e}"))?,
                 )
             }
+            "--optimizer" => {
+                args.optimizer = Some(
+                    choco_q::optim::OptimizerKind::parse(&value("--optimizer")?)
+                        .map_err(|e| format!("--optimizer: {e}"))?,
+                )
+            }
+            "--restart-workers" => {
+                args.restart_workers = value("--restart-workers")?
+                    .parse()
+                    .map_err(|e| format!("--restart-workers: {e}"))?
+            }
             "--noise" => {
                 args.noise = Some(match value("--noise")?.as_str() {
                     "fez" => Device::Fez,
@@ -159,9 +180,11 @@ fn main() -> ExitCode {
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N] \
-                 [--engine dense|sparse|compact|auto]\n\
+                 [--engine dense|sparse|compact|auto] [--optimizer cobyla|nelder-mead|spsa] \
+                 [--restart-workers N]\n\
                  usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
-                 [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] [--no-table]"
+                 [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
+                 [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table]"
             );
             return ExitCode::from(2);
         }
@@ -209,6 +232,10 @@ fn main() -> ExitCode {
             cfg.eliminate = args.eliminate;
             cfg.seed = args.seed;
             cfg.noise = noise;
+            cfg.restart_workers = args.restart_workers;
+            if let Some(o) = args.optimizer {
+                cfg.optimizer = o;
+            }
             if let Some(t) = args.threads {
                 cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
             }
@@ -230,6 +257,9 @@ fn main() -> ExitCode {
             }
             cfg.seed = args.seed;
             cfg.noise = noise;
+            if let Some(o) = args.optimizer {
+                cfg.optimizer = o;
+            }
             if let Some(t) = args.threads {
                 cfg.sim = choco_q::qsim::SimConfig::with_threads(t);
             }
