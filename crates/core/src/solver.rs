@@ -84,6 +84,12 @@ pub struct ChocoQConfig {
     /// State-vector engine configuration (worker threads, parallel
     /// threshold); plumbed into the solver's [`SimWorkspace`].
     pub sim: SimConfig,
+    /// Cooperative wall-clock deadline, forwarded to every restart's
+    /// variational loop (see [`QaoaConfig::deadline`]). When any loop
+    /// trips it, the whole solve returns [`SolverError::Timeout`] — a
+    /// partially-budgeted multistart would otherwise silently report a
+    /// worse-than-configured solve. `None` (the default) never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ChocoQConfig {
@@ -103,6 +109,7 @@ impl Default for ChocoQConfig {
             delta_max_support: 6,
             delta_cap: 48,
             sim: SimConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -226,7 +233,10 @@ fn cvar(counts: &Counts, cost: &CostSpec<'_>, alpha: f64) -> f64 {
         .iter()
         .map(|(bits, c)| (cost.value(bits), c))
         .collect();
-    samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN cost"));
+    // `total_cmp`, not `partial_cmp().expect()`: a NaN cost (degenerate
+    // polynomial, diverged parameters) must yield a NaN CVaR that the
+    // winner reduction ranks last — not a panic that kills the solve.
+    samples.sort_by(|a, b| a.0.total_cmp(&b.0));
     let take = ((counts.shots() as f64 * alpha).ceil() as u64).max(1);
     let mut remaining = take;
     let mut acc = 0.0;
@@ -277,6 +287,22 @@ pub fn restart_loop_seed(seed: u64, b_idx: usize, r: usize) -> u64 {
 /// jitter draws stay independent.
 fn restart_stream(seed: u64, b_idx: usize, r: usize) -> SplitMix64 {
     SplitMix64::new(mix_coordinates(seed, 0xC0C0_0A5E_ED00_0002, b_idx, r))
+}
+
+/// Restart-selection ordering: does `candidate`'s CVaR displace the
+/// incumbent's? Finite scores compare by value; a finite score always
+/// beats a non-finite one; and a non-finite candidate never wins — so a
+/// NaN CVaR from a diverged restart can neither win a tie (NaN `<` is
+/// always false, but so was the old incumbent-displacement test when the
+/// *incumbent* was NaN — an undisplaceable poisoned winner) nor block a
+/// finite later restart. Ties keep the incumbent, i.e. the lowest restart
+/// coordinate, matching the serial scheduler.
+fn strictly_better(candidate: f64, incumbent: f64) -> bool {
+    match (candidate.is_finite(), incumbent.is_finite()) {
+        (true, true) => candidate < incumbent,
+        (true, false) => true,
+        (false, _) => false,
+    }
 }
 
 /// The effective multistart worker count for `n_tasks` restarts.
@@ -449,6 +475,8 @@ impl ChocoQSolver {
             iterations: usize,
             execute: std::time::Duration,
             classical: std::time::Duration,
+            /// The restart's loop tripped [`ChocoQConfig::deadline`].
+            deadline_exceeded: bool,
         }
         let run_task = |task: &Task, workspace: &mut SimWorkspace| -> TaskResult {
             let branch = &branches[task.b_idx];
@@ -475,6 +503,7 @@ impl ChocoQSolver {
                 // every other kernel of this solve runs under the
                 // workspace's engine config.
                 sim: *workspace.config(),
+                deadline: self.config.deadline,
             };
             let build = |params: &[f64]| {
                 Self::build_circuit(
@@ -500,6 +529,7 @@ impl ChocoQSolver {
                 iterations: result.iterations,
                 execute: result.timing.execute,
                 classical: result.timing.classical,
+                deadline_exceeded: result.deadline_exceeded,
                 run: LoopRun {
                     counts: result.counts,
                     cost_history: result.cost_history,
@@ -548,11 +578,21 @@ impl ChocoQSolver {
             slots.into_inner().expect("slot lock")
         };
 
+        // A tripped deadline in any restart fails the whole solve: the
+        // remaining loops may also be truncated, and reporting a
+        // partially-budgeted multistart as a normal outcome would
+        // silently degrade quality (the runner turns this into a
+        // structured `timeout` cell error).
+        if results.iter().flatten().any(|r| r.deadline_exceeded) {
+            return Err(SolverError::Timeout);
+        }
+
         // ---- Deterministic reduce -----------------------------------
-        // Winner per branch: lowest CVaR, ties broken by the lowest
-        // restart coordinate (tasks are visited in `(b_idx, r)` order and
-        // only a strictly better score displaces the incumbent) — the
-        // same selection the serial loop makes, at any worker count.
+        // Winner per branch: lowest CVaR (non-finite scores rank last,
+        // see [`strictly_better`]), ties broken by the lowest restart
+        // coordinate (tasks are visited in `(b_idx, r)` order and only a
+        // strictly better score displaces the incumbent) — the same
+        // selection the serial loop makes, at any worker count.
         let mut winners: Vec<Option<usize>> = vec![None; branches.len()];
         for (i, result) in results.iter().enumerate() {
             let result = result.as_ref().expect("every restart ran");
@@ -562,7 +602,10 @@ impl ChocoQSolver {
             let b = tasks[i].b_idx;
             let better = match winners[b] {
                 None => true,
-                Some(w) => result.achieved < results[w].as_ref().expect("winner present").achieved,
+                Some(w) => strictly_better(
+                    result.achieved,
+                    results[w].as_ref().expect("winner present").achieved,
+                ),
             };
             if better {
                 winners[b] = Some(i);
@@ -952,6 +995,61 @@ mod tests {
         // The caller workspace ends holding the winner's final state
         // (the runner reads engine/occupancy from it).
         assert!(ws.state().is_some(), "workspace holds the winner's state");
+    }
+
+    #[test]
+    fn non_finite_cvar_never_wins_the_restart_reduce() {
+        // Regression: the old `candidate < incumbent` test made a NaN
+        // *incumbent* (first restart) undisplaceable — every comparison
+        // against NaN is false — poisoning the whole solve. The explicit
+        // ordering ranks non-finite scores last in every combination.
+        assert!(strictly_better(0.5, 1.0), "lower finite wins");
+        assert!(!strictly_better(1.0, 0.5), "higher finite loses");
+        assert!(!strictly_better(1.0, 1.0), "ties keep the incumbent");
+        assert!(strictly_better(1.0, f64::NAN), "finite displaces NaN");
+        assert!(strictly_better(1.0, f64::INFINITY), "finite displaces inf");
+        assert!(!strictly_better(f64::NAN, 1.0), "NaN never wins");
+        assert!(!strictly_better(f64::INFINITY, 1.0), "inf never wins");
+        assert!(
+            !strictly_better(f64::NAN, f64::NAN),
+            "NaN tie keeps incumbent"
+        );
+        assert!(
+            !strictly_better(f64::NEG_INFINITY, 1.0),
+            "-inf is unordered too"
+        );
+    }
+
+    #[test]
+    fn cvar_tolerates_nan_costs() {
+        // A NaN cost must flow through as a NaN score (ranked last by the
+        // reduce), not panic the sort.
+        let mut counts = Counts::new();
+        counts.record_n(0, 10);
+        counts.record_n(1, 10);
+        let values = vec![f64::NAN, 1.0];
+        let score = cvar(&counts, &CostSpec::Table(&values), 0.5);
+        assert!(score.is_nan() || score.is_finite(), "no panic");
+        // All-finite costs stay exact.
+        let finite = vec![2.0, 1.0];
+        let score = cvar(&counts, &CostSpec::Table(&finite), 0.5);
+        assert!((score - 1.0).abs() < 1e-12, "best half is all cost 1");
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_solve_with_timeout() {
+        let config = ChocoQConfig {
+            deadline: Some(Instant::now()),
+            ..ChocoQConfig::fast_test()
+        };
+        let err = ChocoQSolver::new(config)
+            .solve(&paper_problem())
+            .unwrap_err();
+        assert_eq!(err, SolverError::Timeout);
+        // Without a deadline the same solve succeeds.
+        assert!(ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&paper_problem())
+            .is_ok());
     }
 
     #[test]

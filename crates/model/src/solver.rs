@@ -96,6 +96,8 @@ pub enum SolverError {
     Transpile(String),
     /// Driver construction failed (e.g. no ternary kernel basis).
     Encoding(String),
+    /// The solve's cooperative wall-clock deadline expired mid-loop.
+    Timeout,
 }
 
 impl fmt::Display for SolverError {
@@ -108,6 +110,7 @@ impl fmt::Display for SolverError {
             SolverError::Unsupported(msg) => write!(f, "unsupported problem: {msg}"),
             SolverError::Transpile(msg) => write!(f, "transpilation failed: {msg}"),
             SolverError::Encoding(msg) => write!(f, "encoding failed: {msg}"),
+            SolverError::Timeout => write!(f, "solve deadline exceeded"),
         }
     }
 }

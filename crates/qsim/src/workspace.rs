@@ -109,10 +109,31 @@ impl PlanCache {
         PlanCache::default()
     }
 
+    /// Locks the cache, recovering from a poisoned mutex. A worker that
+    /// panics while holding the lock (the experiment runner isolates
+    /// per-cell panics with `catch_unwind` and keeps its siblings alive)
+    /// would otherwise take every workspace sharing this cache down on
+    /// their next lookup. Compilation happens *before* the entry insert,
+    /// so a poisoned cache holds no partially-built plan — but it may
+    /// have missed LRU/eviction bookkeeping mid-update, so recovery
+    /// conservatively drops the cached entries (they recompile on demand;
+    /// the compilation counter survives) and clears the poison flag.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.entries.clear();
+                guard
+            }
+        }
+    }
+
     /// Number of circuit shapes with a cached compilation outcome
     /// (compiled plan or remembered fallback).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("plan cache lock").entries.len()
+        self.lock_inner().entries.len()
     }
 
     /// `true` when no shape has been compiled yet.
@@ -125,7 +146,7 @@ impl PlanCache {
     /// distinct circuit shapes across any number of iterations, restarts,
     /// and workers — the compile-once invariant of the compact engine.
     pub fn compilations(&self) -> u64 {
-        self.inner.lock().expect("plan cache lock").compilations
+        self.lock_inner().compilations
     }
 
     /// Finds the plan for `circuit`'s shape, compiling it on a miss.
@@ -136,7 +157,7 @@ impl PlanCache {
         circuit: &Circuit,
         max_support: usize,
     ) -> Option<Arc<GatePlan>> {
-        let mut inner = self.inner.lock().expect("plan cache lock");
+        let mut inner = self.lock_inner();
         if let Some(idx) = inner
             .entries
             .iter()
@@ -205,6 +226,19 @@ fn plan_support_cap(config: &SimConfig, n_qubits: usize) -> usize {
 /// }
 /// assert_eq!(ws.reallocations(), 1, "buffer allocated once, reused 9×");
 /// ```
+///
+/// # Unwind safety
+///
+/// A workspace is **not** [`std::panic::UnwindSafe`]: the sparse engine
+/// holds interior-mutable sampling caches, and a panic mid-`run` can
+/// leave the engine state, diagonal cache, or sampling table logically
+/// inconsistent (never memory-unsafe). Callers that isolate panics with
+/// `catch_unwind(AssertUnwindSafe(..))` — the experiment runner's
+/// per-cell fault isolation — must **discard the workspace afterwards**
+/// and build a fresh one rather than reuse it. The shared [`PlanCache`]
+/// is the exception: it recovers from lock poisoning on its own (entries
+/// are rebuilt on demand), so sibling workspaces sharing the cache of a
+/// panicked worker keep working.
 pub struct SimWorkspace {
     config: SimConfig,
     engine: Option<SimEngine>,

@@ -1,9 +1,12 @@
 //! The `choco-cli run` subcommand: load a spec, execute it, emit reports.
 
+use crate::fault::FaultPlan;
 use crate::run::{execute, RunOptions};
 use crate::spec::ExperimentSpec;
 use choco_optim::OptimizerKind;
 use choco_qsim::{EngineKind, SimConfig};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed `run` subcommand arguments.
 #[derive(Clone, Debug, Default)]
@@ -33,12 +36,22 @@ pub struct RunArgs {
     pub restart_workers: usize,
     /// Suppress the human-readable table on stdout.
     pub no_table: bool,
+    /// Checkpoint journal path (`--checkpoint PATH`): append every
+    /// completed grid cell as it finishes.
+    pub checkpoint: Option<String>,
+    /// Resume from the `--checkpoint` journal, skipping completed cells.
+    pub resume: bool,
+    /// Per-cell wall-clock budget in seconds (`--cell-timeout SECS`).
+    pub cell_timeout_secs: Option<f64>,
+    /// Retry budget for transient per-cell failures (`--retries N`).
+    pub retries: u32,
 }
 
 /// Usage text for the `run` subcommand.
 pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
      [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
-     [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table]";
+     [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
+     [--checkpoint PATH] [--resume] [--cell-timeout SECS] [--retries N]";
 
 /// Parses `run` subcommand arguments (everything after the literal
 /// `run`).
@@ -90,6 +103,24 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .map_err(|e| format!("--restart-workers: {e}"))?
             }
             "--no-table" => parsed.no_table = true,
+            "--checkpoint" => parsed.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => parsed.resume = true,
+            "--cell-timeout" => {
+                let secs: f64 = value("--cell-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--cell-timeout: expected a positive number of seconds, got {secs}"
+                    ));
+                }
+                parsed.cell_timeout_secs = Some(secs);
+            }
+            "--retries" => {
+                parsed.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
             other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
                 parsed.spec_path = other.to_string();
             }
@@ -122,6 +153,11 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
         engine: parsed.engine,
         optimizer: parsed.optimizer,
         restart_workers: parsed.restart_workers,
+        checkpoint: parsed.checkpoint.clone(),
+        resume: parsed.resume,
+        cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
+        retries: parsed.retries,
+        faults: FaultPlan::from_env()?.map(Arc::new),
     };
     let report = execute(&spec, &options)?;
 
@@ -198,6 +234,36 @@ mod tests {
         assert_eq!(args.optimizer, Some(OptimizerKind::NelderMead));
         assert_eq!(args.restart_workers, 4);
         assert!(args.no_table);
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let args = parse_run_args(&strings(&[
+            "spec.toml",
+            "--checkpoint",
+            "run.journal",
+            "--resume",
+            "--cell-timeout",
+            "2.5",
+            "--retries",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(args.checkpoint.as_deref(), Some("run.journal"));
+        assert!(args.resume);
+        assert_eq!(args.cell_timeout_secs, Some(2.5));
+        assert_eq!(args.retries, 3);
+        // Defaults: no checkpointing, no budget, no retries.
+        let args = parse_run_args(&strings(&["s.toml"])).unwrap();
+        assert_eq!(args.checkpoint, None);
+        assert!(!args.resume);
+        assert_eq!(args.cell_timeout_secs, None);
+        assert_eq!(args.retries, 0);
+        // Non-positive and non-numeric budgets are rejected.
+        for bad in ["0", "-1", "forever"] {
+            let err = parse_run_args(&strings(&["s.toml", "--cell-timeout", bad])).unwrap_err();
+            assert!(err.contains("--cell-timeout"), "{err}");
+        }
     }
 
     #[test]

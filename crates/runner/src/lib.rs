@@ -16,6 +16,11 @@
 //!   at any worker count.
 //! * [`RunReport`] — deterministic JSON / CSV emission plus a terminal
 //!   table ([`RunReport::to_json`] contains no wall-clock fields).
+//! * Fault tolerance — grid cells run behind `catch_unwind` with a
+//!   structured error taxonomy ([`CellError`]), cooperative per-cell
+//!   deadlines, bounded retries, and an append-only checkpoint journal
+//!   (`--checkpoint` / `--resume`) that makes killed runs resumable with
+//!   byte-identical reports (see `docs/operations.md`).
 //! * [`cli::run_command`] — the `choco-cli run <spec>` entry point.
 //!
 //! ```
@@ -38,13 +43,16 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 pub mod cli;
+mod fault;
 pub mod minitoml;
 mod report;
 mod run;
 mod spec;
 mod special;
 
+pub use fault::{CellError, CellErrorKind, FaultKind, FaultPlan};
 pub use report::{Field, Record, RunReport};
 pub use run::{build_instances, execute, scaled_choco, scaled_qaoa, Instance, RunOptions};
 pub use spec::{

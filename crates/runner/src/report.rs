@@ -7,6 +7,7 @@
 //! insertion order of the producing harness, identical for every record
 //! of a run, which keeps the JSON stable and lets CSV share one header.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// One value in a record.
@@ -42,7 +43,7 @@ impl Field {
         v.map_or(Field::Null, Field::Str)
     }
 
-    fn write_json(&self, out: &mut String) {
+    pub(crate) fn write_json(&self, out: &mut String) {
         match self {
             Field::Null => out.push_str("null"),
             Field::Bool(b) => {
@@ -105,7 +106,7 @@ fn write_json_f64(out: &mut String, f: f64) {
     }
 }
 
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -123,10 +124,13 @@ fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// One report row: ordered `(key, value)` pairs.
+/// One report row: ordered `(key, value)` pairs. Keys are usually
+/// `'static` literals from the producing harness; records reloaded from
+/// a checkpoint journal carry owned keys — emission is identical either
+/// way.
 #[derive(Clone, Debug, Default)]
 pub struct Record {
-    fields: Vec<(&'static str, Field)>,
+    fields: Vec<(Cow<'static, str>, Field)>,
 }
 
 impl Record {
@@ -136,7 +140,8 @@ impl Record {
     }
 
     /// Appends a field (keys must be unique per record).
-    pub fn push(&mut self, key: &'static str, value: Field) -> &mut Self {
+    pub fn push(&mut self, key: impl Into<Cow<'static, str>>, value: Field) -> &mut Self {
+        let key = key.into();
         debug_assert!(
             self.fields.iter().all(|(k, _)| *k != key),
             "duplicate record key {key}"
@@ -147,12 +152,32 @@ impl Record {
 
     /// Looks a field up by key.
     pub fn get(&self, key: &str) -> Option<&Field> {
-        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .find(|(k, _)| k.as_ref() == key)
+            .map(|(_, v)| v)
     }
 
     /// The fields in insertion order.
-    pub fn fields(&self) -> &[(&'static str, Field)] {
+    pub fn fields(&self) -> &[(Cow<'static, str>, Field)] {
         &self.fields
+    }
+
+    /// Writes the record as one compact JSON line (the checkpoint
+    /// journal's cell format). Values serialize exactly as in
+    /// [`RunReport::to_json`], so a reloaded record re-emits the same
+    /// bytes.
+    pub(crate) fn write_json_line(&self, out: &mut String) {
+        out.push('{');
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_str(out, key);
+            out.push_str(": ");
+            value.write_json(out);
+        }
+        out.push('}');
     }
 
     fn write_json(&self, out: &mut String, indent: &str) {
@@ -226,11 +251,11 @@ impl RunReport {
         let Some(first) = self.records.first() else {
             return String::new();
         };
-        let keys: Vec<&'static str> = first
+        let keys: Vec<&str> = first
             .fields()
             .iter()
             .filter(|(_, v)| !matches!(v, Field::Floats(_)))
-            .map(|(k, _)| *k)
+            .map(|(k, _)| k.as_ref())
             .collect();
         let mut out = keys.join(",");
         out.push('\n');
@@ -254,11 +279,11 @@ impl RunReport {
             let _ = writeln!(out, "(no cells)");
             return out;
         };
-        let keys: Vec<&'static str> = first
+        let keys: Vec<&str> = first
             .fields()
             .iter()
-            .filter(|(k, _)| *k != "index")
-            .map(|(k, _)| *k)
+            .filter(|(k, _)| k.as_ref() != "index")
+            .map(|(k, _)| k.as_ref())
             .collect();
         let mut rows: Vec<Vec<String>> = vec![keys.iter().map(|k| k.to_string()).collect()];
         for record in &self.records {

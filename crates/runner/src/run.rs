@@ -5,7 +5,17 @@
 //! zero-allocation solver path is exercised in parallel across the whole
 //! batch. Results land in a slot vector indexed by cell position, which
 //! makes the report — and its JSON — byte-identical at any worker count.
+//!
+//! The scheduler is fault-tolerant end to end: a panicking cell is
+//! caught and becomes a structured error record (its worker continues
+//! on a fresh workspace), cooperative per-cell deadlines turn runaway
+//! solves into `timeout` records, transient failures are retried on a
+//! bounded budget, and an optional append-only checkpoint journal lets
+//! a killed run resume without recomputing finished cells — emitting
+//! byte-identical reports at any kill point and worker count.
 
+use crate::checkpoint::{load_journal, CheckpointJournal, JournalHeader};
+use crate::fault::{CellError, CellErrorKind, FaultKind, FaultPlan};
 use crate::report::{Field, Record, RunReport};
 use crate::spec::{Cell, ExperimentSpec, RunKind, SolverKind};
 use choco_core::{plan_elimination, ChocoQConfig, ChocoQSolver, CommuteDriver};
@@ -15,12 +25,14 @@ use choco_optim::OptimizerKind;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace};
 use choco_solvers::{CyclicQaoaSolver, HeaSolver, PenaltyQaoaSolver, QaoaConfig};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Execution options orthogonal to the spec (how to run, not what).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Worker threads for the cell scheduler (0 = one per host core).
     pub workers: usize,
@@ -43,6 +55,27 @@ pub struct RunOptions {
     /// byte-identical at any setting — raise it for grids with few
     /// expensive cells.
     pub restart_workers: usize,
+    /// Checkpoint journal path (`--checkpoint`). Grid runs append every
+    /// completed cell; pair with [`RunOptions::resume`] to skip cells an
+    /// earlier (possibly killed) run already finished.
+    pub checkpoint: Option<String>,
+    /// Resume from an existing checkpoint journal (`--resume`). Requires
+    /// `checkpoint`; a missing journal file starts fresh with a warning.
+    pub resume: bool,
+    /// Per-cell wall-clock budget (`--cell-timeout`). Cooperative: the
+    /// deadline is checked at every objective evaluation, so an expired
+    /// cell finishes its current simulation step, then fails with a
+    /// `timeout` error record instead of running away.
+    pub cell_timeout: Option<Duration>,
+    /// Retry budget for transient per-cell failures — panics and
+    /// timeouts (`--retries`). Deterministic failures (solver
+    /// rejections, size gates) are never retried. The retries a cell
+    /// consumed are reported in its `retries` field.
+    pub retries: u32,
+    /// Deterministic fault injection (`CHOCO_FAULT_INJECT`), exercised
+    /// by CI to prove the isolation and resume paths. `None` in normal
+    /// operation.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RunOptions {
@@ -54,6 +87,11 @@ impl Default for RunOptions {
             engine: None,
             optimizer: None,
             restart_workers: 1,
+            checkpoint: None,
+            resume: false,
+            cell_timeout: None,
+            retries: 0,
+            faults: None,
         }
     }
 }
@@ -174,9 +212,16 @@ pub fn build_instances(cells: &[Cell]) -> Result<BTreeMap<(String, u64), Instanc
 /// # Errors
 ///
 /// Returns an error for unresolvable specs (bad problem family, failed
-/// generators); per-cell solver failures are recorded in the report
-/// instead of aborting the batch.
+/// generators) and for unusable checkpoint journals; per-cell solver
+/// failures, panics, and timeouts are recorded in the report instead of
+/// aborting the batch.
 pub fn execute(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, String> {
+    if !matches!(spec.kind, RunKind::Grid) && (opts.checkpoint.is_some() || opts.resume) {
+        return Err(format!(
+            "--checkpoint/--resume support only grid runs (this spec is `{}`)",
+            spec.kind.label()
+        ));
+    }
     match spec.kind {
         RunKind::Grid => execute_grid(spec, opts),
         RunKind::Decomposition => crate::special::execute_decomposition(spec, opts),
@@ -213,27 +258,86 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
             cell.index = index;
         }
     }
-    let instances = build_instances(&cells)?;
 
-    let n_workers = opts.effective_workers(cells.len());
+    // Checkpoint setup: load completed cells from an existing journal
+    // (resume) or open a fresh one. The header binds the journal to the
+    // spec and to every report-shaping option, so a stale or mismatched
+    // journal fails loudly instead of producing a franken-report.
+    let header = JournalHeader::for_run(spec, opts, cells.len());
+    let (journal, mut completed) = match (&opts.checkpoint, opts.resume) {
+        (None, false) => (None, BTreeMap::new()),
+        (None, true) => return Err("--resume requires --checkpoint <path>".to_string()),
+        (Some(path), resume) => {
+            let path = Path::new(path);
+            if resume && path.exists() {
+                let loaded = load_journal(path, &header)?;
+                (Some(CheckpointJournal::append_to(path)?), loaded.completed)
+            } else {
+                if resume {
+                    eprintln!(
+                        "checkpoint {}: no journal found; starting fresh",
+                        path.display()
+                    );
+                }
+                (
+                    Some(CheckpointJournal::create(path, &header)?),
+                    BTreeMap::new(),
+                )
+            }
+        }
+    };
+    let n_resumed = completed.len();
+    if n_resumed > 0 {
+        eprintln!(
+            "checkpoint: resuming — {n_resumed}/{} cells already complete",
+            cells.len()
+        );
+    }
+    let pending: Vec<usize> = (0..cells.len())
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+    let pending_cells: Vec<Cell> = pending.iter().map(|&i| cells[i].clone()).collect();
+    let instances = build_instances(&pending_cells)?;
+
+    let n_workers = opts.effective_workers(pending.len());
     let sim = opts.effective_sim(spec);
     let done = AtomicUsize::new(0);
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<Record>>> = Mutex::new(vec![None; cells.len()]);
+    // First journal-append failure; stops all workers (results already
+    // computed stay in their slots, but the run fails — a checkpoint
+    // that silently stopped recording would defeat its purpose).
+    let journal_error: Mutex<Option<String>> = Mutex::new(None);
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..n_workers {
             scope.spawn(|| {
                 let mut workspace = SimWorkspace::new(sim);
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(cell) = cells.get(i) else { break };
+                    if journal_error
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .is_some()
+                    {
+                        break;
+                    }
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(p) else { break };
+                    let cell = &cells[i];
                     let key = (cell.problem.as_str().to_string(), cell.instance_seed);
-                    let record = run_grid_cell(spec, opts, cell, &instances[&key], &mut workspace);
-                    slots.lock().expect("slot lock")[i] = Some(record);
+                    let cell_started = Instant::now();
+                    let record =
+                        run_grid_cell(spec, opts, cell, &instances[&key], &mut workspace, sim);
+                    if let Some(journal) = &journal {
+                        if let Err(e) = journal.append_cell(i, cell_started.elapsed(), &record) {
+                            *journal_error.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+                        }
+                    }
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(record);
                     let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                     eprintln!(
-                        "[{finished}/{}] {} seed={} {} ({:.1}s elapsed)",
+                        "[{}/{}] {} seed={} {} ({:.1}s elapsed)",
+                        finished + n_resumed,
                         cells.len(),
                         cell.problem.as_str(),
                         cell.instance_seed,
@@ -244,12 +348,21 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
             });
         }
     });
-    let records: Vec<Record> = slots
+    if let Some(e) = journal_error
         .into_inner()
-        .expect("slot lock")
-        .into_iter()
-        .map(|slot| slot.expect("every cell ran"))
-        .collect();
+        .unwrap_or_else(PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+    let mut slot_vec = slots.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let records: Vec<Record> = (0..cells.len())
+        .map(|i| {
+            completed
+                .remove(&i)
+                .or_else(|| slot_vec[i].take())
+                .ok_or_else(|| format!("internal: cell {i} produced no record"))
+        })
+        .collect::<Result<_, String>>()?;
     let summary = summarize(&records);
     Ok(RunReport {
         name: spec.name.clone(),
@@ -262,18 +375,129 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
     })
 }
 
+/// A cell attempt that ran to completion, plus what the engine selection
+/// resolved to.
+struct CellSuccess {
+    outcome: SolveOutcome,
+    engine: Option<String>,
+    occupancy: Option<u64>,
+}
+
+/// Runs one cell under the retry policy and renders its record. Retries
+/// apply only to transient failure kinds (panic, timeout) and are
+/// bounded by `opts.retries`; the count a cell consumed is reported in
+/// its `retries` field either way.
 fn run_grid_cell(
     spec: &ExperimentSpec,
     opts: &RunOptions,
     cell: &Cell,
     instance: &Instance,
     workspace: &mut SimWorkspace,
+    sim: SimConfig,
 ) -> Record {
-    // Re-resolve the engine representation per cell: auto/compact
-    // fallbacks are sticky within a workspace, so without this the
-    // reported engine would depend on which cells shared a worker — and
-    // the report would stop being byte-identical across worker counts.
-    workspace.reset_engine();
+    let mut retries = 0u32;
+    let result = loop {
+        match run_cell_attempt(spec, opts, cell, instance, workspace, sim) {
+            Ok(success) => break Ok(success),
+            Err(e) if e.kind.retryable() && retries < opts.retries => {
+                retries += 1;
+                eprintln!(
+                    "cell {} ({} seed={} {}): attempt failed ({e}); retry {retries}/{}",
+                    cell.index,
+                    cell.problem.as_str(),
+                    cell.instance_seed,
+                    cell.solver.label(),
+                    opts.retries
+                );
+            }
+            Err(mut e) => {
+                e.retries = retries;
+                break Err(e);
+            }
+        }
+    };
+    grid_record(spec, opts, cell, instance, result, retries)
+}
+
+/// One isolated attempt at a cell: injects any scheduled fault, arms the
+/// cooperative deadline, and catches panics. After a caught panic the
+/// worker's workspace is replaced wholesale — a panic mid-simulation can
+/// leave engine caches in an inconsistent state, and a fresh workspace
+/// is cheap next to a cell solve.
+fn run_cell_attempt(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    cell: &Cell,
+    instance: &Instance,
+    workspace: &mut SimWorkspace,
+    sim: SimConfig,
+) -> Result<CellSuccess, CellError> {
+    let fault = opts.faults.as_ref().and_then(|plan| plan.draw(cell.index));
+    if let Some(FaultKind::Delay(pause)) = fault {
+        std::thread::sleep(pause);
+    }
+    // An injected timeout is an already-expired deadline: it exercises
+    // the exact production path (the first objective evaluation trips it)
+    // without depending on host speed.
+    let deadline = match fault {
+        Some(FaultKind::Timeout) => Some(Instant::now()),
+        _ => opts.cell_timeout.map(|budget| Instant::now() + budget),
+    };
+    // The workspace is not unwind-safe (see `SimWorkspace`'s docs); the
+    // assertion is sound because the panic arm below discards it.
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        if matches!(fault, Some(FaultKind::Panic)) {
+            panic!("injected fault: forced panic (CHOCO_FAULT_INJECT)");
+        }
+        // Re-resolve the engine representation per cell: auto/compact
+        // fallbacks are sticky within a workspace, so without this the
+        // reported engine would depend on which cells shared a worker —
+        // and the report would stop being byte-identical across worker
+        // counts.
+        workspace.reset_engine();
+        solve_cell(spec, opts, cell, instance, workspace, deadline)
+    }));
+    match attempt {
+        Ok(Ok(outcome)) => Ok(CellSuccess {
+            outcome,
+            // What the engine selection actually resolved to, plus the
+            // final state's |F| occupancy. The occupancy is
+            // engine-invariant (amplitudes are bit-identical across
+            // engines); the resolved label is the one field that
+            // legitimately differs between engine selections, and the CI
+            // engine matrix masks exactly it.
+            engine: workspace
+                .state()
+                .map(|e| e.representation_label().to_string()),
+            occupancy: workspace.state().map(|e| e.occupancy() as u64),
+        }),
+        Ok(Err(error)) => Err(error),
+        Err(payload) => {
+            *workspace = SimWorkspace::new(sim);
+            Err(CellError::from_panic(payload.as_ref()))
+        }
+    }
+}
+
+/// Dispatches a cell to its solver with the per-cell configuration
+/// (budget-scaled, spec-overridden, deadline-armed).
+fn solve_cell(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    cell: &Cell,
+    instance: &Instance,
+    workspace: &mut SimWorkspace,
+    deadline: Option<Instant>,
+) -> Result<SolveOutcome, CellError> {
+    // Fold an unsolvable exact reference into the error channel up
+    // front: metrics need the optimum, so solving without one is wasted
+    // work.
+    if let Err(e) = &instance.optimum {
+        return Err(CellError::new(
+            CellErrorKind::Solver,
+            format!("exact reference unavailable: {e}"),
+        ));
+    }
     let problem = &instance.problem;
     let cell_seed = spec.cell_seed(cell);
     let optimizer = opts.effective_optimizer(spec);
@@ -281,8 +505,7 @@ fn run_grid_cell(
         (true, Some(device)) => Some(device.model().noise()),
         _ => None,
     };
-
-    let solved: Result<SolveOutcome, String> = match cell.solver {
+    match cell.solver {
         SolverKind::ChocoQ => {
             let base = scaled_choco(problem.n_vars());
             let config = ChocoQConfig {
@@ -303,11 +526,12 @@ fn run_grid_cell(
                 eliminate: cell.eliminate,
                 seed: cell_seed,
                 noise,
+                deadline,
                 ..base
             };
             ChocoQSolver::new(config)
                 .solve_with_workspace(problem, workspace)
-                .map_err(|e| e.to_string())
+                .map_err(|e| CellError::from_solver(&e))
         }
         baseline => {
             let base = scaled_qaoa(problem.n_vars());
@@ -326,38 +550,40 @@ fn run_grid_cell(
                     .unwrap_or(base.transpiled_stats),
                 seed: cell_seed,
                 noise,
+                deadline,
                 ..base
             };
             match baseline {
                 SolverKind::Penalty => PenaltyQaoaSolver::new(config)
                     .solve_with_workspace(problem, workspace)
-                    .map_err(|e| e.to_string()),
+                    .map_err(|e| CellError::from_solver(&e)),
                 SolverKind::Cyclic => CyclicQaoaSolver::new(config)
                     .solve_with_workspace(problem, workspace)
-                    .map_err(|e| e.to_string()),
+                    .map_err(|e| CellError::from_solver(&e)),
                 SolverKind::Hea => HeaSolver::new(config)
                     .solve_with_workspace(problem, workspace)
-                    .map_err(|e| e.to_string()),
+                    .map_err(|e| CellError::from_solver(&e)),
                 SolverKind::ChocoQ => unreachable!("handled above"),
             }
         }
-    };
-    // Fold an unsolvable exact reference into the error channel: metrics
-    // need the optimum.
-    let solved = match (&instance.optimum, solved) {
-        (Err(e), _) => Err(format!("exact reference unavailable: {e}")),
-        (Ok(_), outcome) => outcome,
-    };
+    }
+}
 
-    // What the engine selection actually resolved to, plus the final
-    // state's |F| occupancy. The occupancy is engine-invariant (amplitudes
-    // are bit-identical across engines); the resolved label is the one
-    // field that legitimately differs between engine selections, and the
-    // CI engine matrix masks exactly it.
-    let engine_resolved = workspace
-        .state()
-        .map(|e| e.representation_label().to_string());
-    let engine_occupancy = workspace.state().map(|e| e.occupancy() as u64);
+/// Renders one cell result — success or structured failure — as a
+/// record. Field order is fixed and shared by both branches (nulls on
+/// failure), so every record of a run keeps one schema.
+fn grid_record(
+    spec: &ExperimentSpec,
+    opts: &RunOptions,
+    cell: &Cell,
+    instance: &Instance,
+    result: Result<CellSuccess, CellError>,
+    retries: u32,
+) -> Record {
+    let problem = &instance.problem;
+    let cell_seed = spec.cell_seed(cell);
+    let optimizer = opts.effective_optimizer(spec);
+    let noisy = spec.noisy && cell.device.is_some();
 
     let mut record = Record::new();
     record
@@ -374,28 +600,45 @@ fn run_grid_cell(
             "device",
             Field::opt_str(cell.device.map(|d| d.model().name.to_string())),
         )
-        .push("noisy", Field::Bool(noise.is_some()))
+        .push("noisy", Field::Bool(noisy))
         .push("n_vars", Field::UInt(problem.n_vars() as u64))
         .push(
             "n_constraints",
             Field::UInt(problem.constraints().len() as u64),
         );
 
-    // Outcome-dependent fields follow in a fixed order (nulls on failure,
-    // so every record of a run shares one schema).
-    let (status, error, outcome) = match solved {
+    // Outcome-dependent fields follow in a fixed order.
+    let (status, error, success) = match result {
         Err(e) => ("error", Some(e), None),
-        Ok(o) => ("ok", None, Some(o)),
+        Ok(s) => ("ok", None, Some(s)),
     };
-    let metrics = outcome.as_ref().map(|o| {
-        let optimum = instance.optimum.as_ref().expect("error folded above");
+    let outcome = success.as_ref().map(|s| &s.outcome);
+    let metrics = outcome.map(|o| {
+        let optimum = instance
+            .optimum
+            .as_ref()
+            .expect("solve_cell fails cells without an exact reference");
         o.metrics_with(problem, optimum)
     });
     record
         .push("status", Field::Str(status.into()))
-        .push("error", Field::opt_str(error))
-        .push("engine", Field::opt_str(engine_resolved))
-        .push("occupancy", Field::opt_uint(engine_occupancy))
+        .push(
+            "error",
+            Field::opt_str(error.as_ref().map(|e| e.detail.clone())),
+        )
+        .push(
+            "error_kind",
+            Field::opt_str(error.as_ref().map(|e| e.kind.label().to_string())),
+        )
+        .push("retries", Field::UInt(retries as u64))
+        .push(
+            "engine",
+            Field::opt_str(success.as_ref().and_then(|s| s.engine.clone())),
+        )
+        .push(
+            "occupancy",
+            Field::opt_uint(success.as_ref().and_then(|s| s.occupancy)),
+        )
         .push(
             "optimal_value",
             Field::opt_float(instance.optimum.as_ref().ok().map(|o| o.value)),
@@ -419,42 +662,30 @@ fn run_grid_cell(
         )
         .push(
             "iterations",
-            Field::opt_uint(outcome.as_ref().map(|o| o.iterations as u64)),
+            Field::opt_uint(outcome.map(|o| o.iterations as u64)),
         )
         .push(
             "logical_depth",
-            Field::opt_uint(outcome.as_ref().map(|o| o.circuit.logical_depth as u64)),
+            Field::opt_uint(outcome.map(|o| o.circuit.logical_depth as u64)),
         )
         .push(
             "transpiled_depth",
-            Field::opt_uint(
-                outcome
-                    .as_ref()
-                    .and_then(|o| o.circuit.transpiled_depth.map(|d| d as u64)),
-            ),
+            Field::opt_uint(outcome.and_then(|o| o.circuit.transpiled_depth.map(|d| d as u64))),
         )
         .push(
             "transpiled_gates",
-            Field::opt_uint(
-                outcome
-                    .as_ref()
-                    .and_then(|o| o.circuit.transpiled_gates.map(|d| d as u64)),
-            ),
+            Field::opt_uint(outcome.and_then(|o| o.circuit.transpiled_gates.map(|d| d as u64))),
         )
         .push(
             "two_qubit_gates",
-            Field::opt_uint(
-                outcome
-                    .as_ref()
-                    .and_then(|o| o.circuit.two_qubit_gates.map(|d| d as u64)),
-            ),
+            Field::opt_uint(outcome.and_then(|o| o.circuit.two_qubit_gates.map(|d| d as u64))),
         );
 
     // Modeled quantum-execution latency on the cell's device. Only the
     // *modeled* component is recorded: the compile/classical parts of the
     // estimate are host-measured wall-clock and would break report
     // determinism.
-    let latency = match (cell.device, &outcome) {
+    let latency = match (cell.device, outcome) {
         (Some(device), Some(o)) => Some(
             LatencyModel::default()
                 .estimate_from_outcome(&device.model(), o, o.counts.shots())
@@ -488,28 +719,33 @@ fn run_grid_cell(
     if spec.history {
         record.push(
             "cost_history",
-            Field::Floats(
-                outcome
-                    .as_ref()
-                    .map(|o| o.cost_history.clone())
-                    .unwrap_or_default(),
-            ),
+            Field::Floats(outcome.map(|o| o.cost_history.clone()).unwrap_or_default()),
         );
     }
     record
 }
 
 /// Aggregates a finished grid into the report summary: per-solver mean
-/// metrics plus the paper's headline improvement factors.
+/// metrics plus the paper's headline improvement factors. Non-finite
+/// metric values (a NaN success rate from a degenerate cell) are
+/// excluded from every aggregate rather than poisoning it.
 fn summarize(records: &[Record]) -> Record {
     let mut summary = Record::new();
     let errors = records
         .iter()
         .filter(|r| r.get("status").and_then(as_str) == Some("error"))
         .count();
+    let retried = records
+        .iter()
+        .filter_map(|r| match r.get("retries") {
+            Some(Field::UInt(n)) => Some(*n),
+            _ => None,
+        })
+        .sum::<u64>();
     summary
         .push("cells", Field::UInt(records.len() as u64))
-        .push("errors", Field::UInt(errors as u64));
+        .push("errors", Field::UInt(errors as u64))
+        .push("retries", Field::UInt(retried));
 
     for solver in SolverKind::ALL {
         let rows: Vec<&Record> = records
@@ -524,6 +760,7 @@ fn summarize(records: &[Record]) -> Record {
             let values: Vec<f64> = rows
                 .iter()
                 .filter_map(|r| r.get(key).and_then(as_float))
+                .filter(|v| v.is_finite())
                 .collect();
             values.iter().sum::<f64>() / values.len().max(1) as f64
         };
@@ -563,6 +800,9 @@ fn summarize(records: &[Record]) -> Record {
         let Some(success) = r.get("success_rate").and_then(as_float) else {
             continue;
         };
+        if !success.is_finite() {
+            continue;
+        }
         let key = format!(
             "{}|{}|{}|{}|{}",
             r.get("problem").and_then(as_str).unwrap_or(""),
@@ -708,7 +948,26 @@ max_iters = 5
             report.records[0].get("status").and_then(as_str),
             Some("error")
         );
+        assert_eq!(
+            report.records[0].get("error_kind").and_then(as_str),
+            Some("solver"),
+            "deterministic rejection classifies as a solver error"
+        );
+        assert_eq!(report.records[0].get("retries"), Some(&Field::UInt(0)));
         assert_eq!(report.summary.get("errors"), Some(&Field::UInt(1)));
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_rejected() {
+        let err = execute(
+            &tiny_spec(),
+            &RunOptions {
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
     }
 
     #[test]
@@ -761,6 +1020,46 @@ max_iters = 3
         assert_eq!(cli.effective_sim(&spec).engine, EngineKind::Auto);
         // Non-engine fields pass through untouched.
         assert_eq!(cli.effective_sim(&spec).threads, cli.sim.threads);
+    }
+
+    #[test]
+    fn summaries_exclude_non_finite_metrics() {
+        let ok_row = |solver: &str, success: f64| {
+            let mut r = Record::new();
+            r.push("problem", Field::Str("F1".into()))
+                .push("instance_seed", Field::UInt(1))
+                .push("layers", Field::Null)
+                .push("eliminate", Field::UInt(0))
+                .push("device", Field::Null)
+                .push("solver", Field::Str(solver.into()))
+                .push("status", Field::Str("ok".into()))
+                .push("retries", Field::UInt(0))
+                .push("success_rate", Field::Float(success))
+                .push("in_constraints_rate", Field::Float(success));
+            r
+        };
+        let records = vec![
+            ok_row("choco-q", 0.8),
+            ok_row("choco-q", f64::NAN),
+            ok_row("hea", 0.4),
+            ok_row("hea", f64::INFINITY),
+        ];
+        let summary = summarize(&records);
+        match summary.get("choco_q_mean_success") {
+            Some(Field::Float(m)) => assert!((m - 0.8).abs() < 1e-12, "NaN excluded: {m}"),
+            other => panic!("missing mean: {other:?}"),
+        }
+        match summary.get("hea_mean_success") {
+            Some(Field::Float(m)) => assert!((m - 0.4).abs() < 1e-12, "inf excluded: {m}"),
+            other => panic!("missing mean: {other:?}"),
+        }
+        match summary.get("choco_vs_best_baseline_success_gmean") {
+            Some(Field::Float(g)) => {
+                assert!(g.is_finite(), "gmean stays finite: {g}");
+                assert!((g - 2.0).abs() < 1e-12, "0.8 / 0.4: {g}");
+            }
+            other => panic!("missing gmean: {other:?}"),
+        }
     }
 
     /// Drops the `"engine"` annotation — the one per-record field that

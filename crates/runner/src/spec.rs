@@ -604,8 +604,9 @@ fn splitmix_step(x: u64) -> u64 {
     SplitMix64::new(x).next_u64()
 }
 
-/// FNV-1a over bytes, for stable string coordinates in seeds.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over bytes, for stable string coordinates in seeds (and for
+/// the checkpoint journal's spec fingerprint).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= b as u64;

@@ -175,6 +175,9 @@ impl CyclicQaoaSolver {
             &loop_config,
             workspace,
         );
+        if result.deadline_exceeded {
+            return Err(SolverError::Timeout);
+        }
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;

@@ -95,6 +95,9 @@ impl HeaSolver {
             &loop_config,
             workspace,
         );
+        if result.deadline_exceeded {
+            return Err(SolverError::Timeout);
+        }
         let circuit = circuit_stats(&result.final_circuit, vec![], self.config.transpiled_stats)?;
         let mut timing = result.timing;
         timing.compile = compile;

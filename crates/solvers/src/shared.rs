@@ -44,6 +44,13 @@ pub struct QaoaConfig {
     /// State-vector engine configuration (worker threads, parallel
     /// threshold) used by the variational loop's [`SimWorkspace`].
     pub sim: SimConfig,
+    /// Cooperative wall-clock deadline. Checked at the top of every
+    /// objective evaluation (before any circuit is built or executed):
+    /// once it passes, the remaining optimizer iterations become cheap
+    /// no-ops, final sampling is skipped, and the loop reports
+    /// [`LoopResult::deadline_exceeded`] — which the solvers surface as
+    /// [`SolverError::Timeout`]. `None` (the default) never expires.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for QaoaConfig {
@@ -59,6 +66,7 @@ impl Default for QaoaConfig {
             noise: None,
             noise_trajectories: 30,
             sim: SimConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -145,6 +153,11 @@ pub struct LoopResult {
     /// Timing: `execute` covers state-vector runs, `classical` the
     /// optimizer bookkeeping around them.
     pub timing: TimingBreakdown,
+    /// Whether [`QaoaConfig::deadline`] expired mid-loop. When `true` the
+    /// final sampling pass was skipped and `counts` is empty — callers
+    /// must treat the result as failed ([`SolverError::Timeout`]), never
+    /// report its metrics.
+    pub deadline_exceeded: bool,
 }
 
 /// The optimize-then-sample loop common to all solvers:
@@ -177,9 +190,22 @@ where
     let loop_start = Instant::now();
     let mut execute_time = std::time::Duration::ZERO;
 
+    // Cooperative deadline: checked before each objective evaluation so a
+    // hung cell can never block longer than one circuit execution. Once
+    // tripped, the flag is sticky — every remaining iteration returns
+    // `+inf` without touching the engine, so the optimizer drains its
+    // budget in microseconds instead of being aborted mid-state.
+    let deadline_hit = std::cell::Cell::new(false);
     let result = {
         let workspace = std::cell::RefCell::new(&mut *workspace);
         let objective = |params: &[f64]| -> f64 {
+            if deadline_hit.get() {
+                return f64::INFINITY;
+            }
+            if config.deadline.is_some_and(|d| Instant::now() >= d) {
+                deadline_hit.set(true);
+                return f64::INFINITY;
+            }
             let circuit = build(params);
             let t0 = Instant::now();
             let mut ws = workspace.borrow_mut();
@@ -192,6 +218,21 @@ where
     };
 
     let final_circuit = build(&result.best_params);
+    if deadline_hit.get() {
+        let total = loop_start.elapsed();
+        return LoopResult {
+            counts: Counts::new(),
+            cost_history: result.history,
+            iterations: result.iterations,
+            final_circuit,
+            timing: TimingBreakdown {
+                compile: std::time::Duration::ZERO,
+                execute: execute_time,
+                classical: total.saturating_sub(execute_time),
+            },
+            deadline_exceeded: true,
+        };
+    }
     let t0 = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let counts = match &config.noise {
@@ -225,6 +266,7 @@ where
             execute: execute_time,
             classical: total.saturating_sub(execute_time),
         },
+        deadline_exceeded: false,
     }
 }
 

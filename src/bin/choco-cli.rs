@@ -7,10 +7,12 @@
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
 //!                  [--threads N] [--engine dense|sparse|compact|auto]
 //!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
+//!                  [--timeout SECS]
 //!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
 //!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto]
 //!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
-//!                  [--no-table]
+//!                  [--no-table] [--checkpoint PATH] [--resume]
+//!                  [--cell-timeout SECS] [--retries N]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
@@ -26,6 +28,12 @@
 //! replays a precompiled gate plan over a rank-indexed flat array — the
 //! fastest option for confined circuits), or `auto` (sparse with
 //! automatic dense fallback at the occupancy threshold).
+//! `--timeout` arms a cooperative wall-clock deadline on the solve: it
+//! is checked at every objective evaluation and an expired solve fails
+//! with a timeout error instead of running away. The `run` subcommand's
+//! fault-tolerance flags (`--checkpoint`, `--resume`, `--cell-timeout`,
+//! `--retries`, and the `CHOCO_FAULT_INJECT` test hook) are documented
+//! in `docs/operations.md`.
 //! ```
 //!
 //! The `run` subcommand executes an experiment spec (see
@@ -59,6 +67,7 @@ struct Args {
     engine: Option<choco_q::qsim::EngineKind>,
     optimizer: Option<choco_q::optim::OptimizerKind>,
     restart_workers: usize,
+    timeout: Option<std::time::Duration>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         engine: None,
         optimizer: None,
         restart_workers: 1,
+        timeout: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -138,6 +148,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--restart-workers: {e}"))?
             }
+            "--timeout" => {
+                let secs: f64 = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--timeout: expected a positive number of seconds, got {secs}"
+                    ));
+                }
+                args.timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
             "--noise" => {
                 args.noise = Some(match value("--noise")?.as_str() {
                     "fez" => Device::Fez,
@@ -181,10 +202,11 @@ fn main() -> ExitCode {
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N] \
                  [--engine dense|sparse|compact|auto] [--optimizer cobyla|nelder-mead|spsa] \
-                 [--restart-workers N]\n\
+                 [--restart-workers N] [--timeout SECS]\n\
                  usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
-                 [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table]"
+                 [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
+                 [--checkpoint PATH] [--resume] [--cell-timeout SECS] [--retries N]"
             );
             return ExitCode::from(2);
         }
@@ -233,6 +255,7 @@ fn main() -> ExitCode {
             cfg.seed = args.seed;
             cfg.noise = noise;
             cfg.restart_workers = args.restart_workers;
+            cfg.deadline = args.timeout.map(|t| std::time::Instant::now() + t);
             if let Some(o) = args.optimizer {
                 cfg.optimizer = o;
             }
@@ -257,6 +280,7 @@ fn main() -> ExitCode {
             }
             cfg.seed = args.seed;
             cfg.noise = noise;
+            cfg.deadline = args.timeout.map(|t| std::time::Instant::now() + t);
             if let Some(o) = args.optimizer {
                 cfg.optimizer = o;
             }

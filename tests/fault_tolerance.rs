@@ -1,0 +1,397 @@
+//! Fault-tolerance integration tests: kill/resume determinism of the
+//! checkpoint journal across engines and worker counts, panic isolation,
+//! deterministic fault injection, bounded retries, and cooperative
+//! per-cell timeouts.
+
+use choco_q::prelude::*;
+use choco_q::qsim::EngineKind;
+use choco_q::runner::{execute, FaultPlan, Field, RunKind};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Four fast cells (2 solvers × 2 seeds) — enough to kill mid-run at
+/// every prefix without making the matrix slow.
+const SPEC: &str = r#"
+name = "ft"
+description = "fault-tolerance grid"
+
+[grid]
+problems = ["F1"]
+solvers = ["choco-q", "hea"]
+seeds = [1, 2]
+
+[config]
+shots = 300
+max_iters = 4
+restarts = 1
+transpiled_stats = false
+"#;
+
+fn spec() -> ExperimentSpec {
+    ExperimentSpec::parse_str(SPEC).expect("spec")
+}
+
+/// A unique scratch path per test (tests run concurrently in one
+/// process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("choco_ft_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn opts() -> RunOptions {
+    RunOptions {
+        workers: 1,
+        ..RunOptions::default()
+    }
+}
+
+fn status_of(report: &RunReport, i: usize) -> &str {
+    match report.records[i].get("status") {
+        Some(Field::Str(s)) => s,
+        other => panic!("cell {i} has no status: {other:?}"),
+    }
+}
+
+fn error_kind_of(report: &RunReport, i: usize) -> Option<&str> {
+    match report.records[i].get("error_kind") {
+        Some(Field::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// The tentpole acceptance test: kill the run after *every* cell prefix,
+/// resume at varying worker counts, and require the final JSON and CSV
+/// to be byte-identical to an uninterrupted run — per engine, since the
+/// journal header binds the engine selection.
+#[test]
+fn killed_runs_resume_byte_identically_at_any_prefix() {
+    let dir = scratch("resume");
+    let spec = spec();
+    for engine in [EngineKind::Dense, EngineKind::Sparse, EngineKind::Compact] {
+        let engine_opts = |workers: usize| RunOptions {
+            workers,
+            engine: Some(engine),
+            ..RunOptions::default()
+        };
+        let clean = execute(&spec, &engine_opts(1)).expect("clean run");
+        let (clean_json, clean_csv) = (clean.to_json(), clean.to_csv());
+
+        // One full checkpointed single-worker run gives a journal whose
+        // cell lines are in deterministic order — its prefixes are
+        // exactly the states a killed run can leave behind.
+        let full_path = dir.join(format!("{}_full.jsonl", engine.label()));
+        let full_opts = RunOptions {
+            checkpoint: Some(full_path.to_string_lossy().into_owned()),
+            ..engine_opts(1)
+        };
+        let full = execute(&spec, &full_opts).expect("checkpointed run");
+        assert_eq!(
+            full.to_json(),
+            clean_json,
+            "checkpointing must not change the report"
+        );
+        let journal = std::fs::read_to_string(&full_path).expect("journal");
+        let lines: Vec<&str> = journal.lines().collect();
+        assert_eq!(lines.len(), 1 + spec.expand_cells(false).len());
+
+        for prefix in 0..=(lines.len() - 1) {
+            let path = dir.join(format!("{}_k{prefix}.jsonl", engine.label()));
+            let truncated: String = lines[..=prefix].iter().flat_map(|l| [*l, "\n"]).collect();
+            std::fs::write(&path, truncated).expect("truncated journal");
+            let workers = [1, 2, 4][prefix % 3];
+            let resume_opts = RunOptions {
+                checkpoint: Some(path.to_string_lossy().into_owned()),
+                resume: true,
+                ..engine_opts(workers)
+            };
+            let resumed = execute(&spec, &resume_opts).expect("resume");
+            assert_eq!(
+                resumed.to_json(),
+                clean_json,
+                "{} engine, kill after {prefix} cells, {workers} workers: JSON diverged",
+                engine.label()
+            );
+            assert_eq!(resumed.to_csv(), clean_csv);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_trailing_line_resumes_cleanly() {
+    let dir = scratch("torn");
+    let spec = spec();
+    let path = dir.join("torn.jsonl");
+    let base = RunOptions {
+        checkpoint: Some(path.to_string_lossy().into_owned()),
+        ..opts()
+    };
+    let clean = execute(&spec, &base).expect("checkpointed run");
+    // Simulate a crash mid-append: chop the final line in half.
+    let journal = std::fs::read_to_string(&path).expect("journal");
+    let torn = &journal[..journal.len() - journal.lines().last().unwrap().len() / 2 - 1];
+    std::fs::write(&path, torn).expect("torn journal");
+    let resumed = execute(
+        &spec,
+        &RunOptions {
+            resume: true,
+            ..base
+        },
+    )
+    .expect("resume over torn line");
+    assert_eq!(resumed.to_json(), clean.to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_missing_journal_starts_fresh() {
+    let dir = scratch("fresh");
+    let spec = spec();
+    let path = dir.join("never_written.jsonl");
+    let report = execute(
+        &spec,
+        &RunOptions {
+            checkpoint: Some(path.to_string_lossy().into_owned()),
+            resume: true,
+            ..opts()
+        },
+    )
+    .expect("fresh start");
+    assert_eq!(report.to_json(), execute(&spec, &opts()).unwrap().to_json());
+    assert!(path.exists(), "fresh journal was written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mismatched_journal_is_rejected_with_the_diverging_knob() {
+    let dir = scratch("mismatch");
+    let spec = spec();
+    let path = dir.join("dense.jsonl");
+    let base = RunOptions {
+        checkpoint: Some(path.to_string_lossy().into_owned()),
+        engine: Some(EngineKind::Dense),
+        ..opts()
+    };
+    execute(&spec, &base).expect("dense run");
+    let err = execute(
+        &spec,
+        &RunOptions {
+            engine: Some(EngineKind::Sparse),
+            resume: true,
+            ..base
+        },
+    )
+    .expect_err("engine mismatch must fail");
+    assert!(err.contains("--engine"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_is_grid_only() {
+    // Any non-grid kind must refuse checkpointing up front.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("experiments");
+    let non_grid = std::fs::read_dir(&dir)
+        .expect("experiments/")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("toml"))
+        .filter_map(|p| ExperimentSpec::load(p.to_str().unwrap()).ok())
+        .find(|s| s.kind != RunKind::Grid)
+        .expect("a non-grid spec is checked in");
+    let err = execute(
+        &non_grid,
+        &RunOptions {
+            checkpoint: Some("unused.jsonl".into()),
+            ..opts()
+        },
+    )
+    .expect_err("non-grid checkpoint must fail");
+    assert!(err.contains("grid"), "{err}");
+}
+
+#[test]
+fn injected_panic_is_isolated_to_its_cell() {
+    let spec = spec();
+    let faulty = RunOptions {
+        faults: Some(Arc::new(FaultPlan::parse("panic@0").unwrap())),
+        ..opts()
+    };
+    let report = execute(&spec, &faulty).expect("batch survives a panicking cell");
+    assert_eq!(status_of(&report, 0), "error");
+    assert_eq!(error_kind_of(&report, 0), Some("panic"));
+    match report.records[0].get("error") {
+        Some(Field::Str(msg)) => assert!(msg.contains("injected fault"), "{msg}"),
+        other => panic!("no error detail: {other:?}"),
+    }
+    for i in 1..report.records.len() {
+        assert_eq!(status_of(&report, i), "ok", "cell {i} must complete");
+    }
+    assert_eq!(report.summary.get("errors"), Some(&Field::UInt(1)));
+
+    // The workspace replacement after the caught panic must not perturb
+    // the surviving cells: they match a clean run exactly.
+    let clean = execute(&spec, &opts()).expect("clean");
+    for i in 1..report.records.len() {
+        assert_eq!(
+            report.records[i].get("success_rate"),
+            clean.records[i].get("success_rate"),
+            "cell {i} diverged after a sibling panic"
+        );
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_within_budget() {
+    let spec = spec();
+    // First attempt of cell 0 panics; the retry (attempt 2) is clean.
+    let retried = execute(
+        &spec,
+        &RunOptions {
+            faults: Some(Arc::new(FaultPlan::parse("panic@0:1").unwrap())),
+            retries: 1,
+            ..opts()
+        },
+    )
+    .expect("retried run");
+    assert_eq!(status_of(&retried, 0), "ok");
+    assert_eq!(retried.records[0].get("retries"), Some(&Field::UInt(1)));
+    assert_eq!(retried.summary.get("retries"), Some(&Field::UInt(1)));
+    // The retried solve is seeded by cell coordinates, so it reproduces
+    // the clean run's result exactly.
+    let clean = execute(&spec, &opts()).expect("clean");
+    assert_eq!(
+        retried.records[0].get("success_rate"),
+        clean.records[0].get("success_rate")
+    );
+
+    // Without budget the same fault is a final, structured error.
+    let exhausted = execute(
+        &spec,
+        &RunOptions {
+            faults: Some(Arc::new(FaultPlan::parse("panic@0:1").unwrap())),
+            retries: 0,
+            ..opts()
+        },
+    )
+    .expect("unretried run");
+    assert_eq!(status_of(&exhausted, 0), "error");
+    assert_eq!(exhausted.records[0].get("retries"), Some(&Field::UInt(0)));
+
+    // Deterministic failures never consume retries.
+    let solver_fail = ExperimentSpec::parse_str(
+        r#"
+name = "solver-fail"
+[grid]
+problems = ["B1"]
+solvers = ["cyclic"]
+[config]
+shots = 200
+max_iters = 3
+"#,
+    )
+    .unwrap();
+    let report = execute(
+        &solver_fail,
+        &RunOptions {
+            retries: 3,
+            ..opts()
+        },
+    )
+    .unwrap();
+    assert_eq!(error_kind_of(&report, 0), Some("solver"));
+    assert_eq!(report.records[0].get("retries"), Some(&Field::UInt(0)));
+}
+
+#[test]
+fn injected_timeout_produces_a_structured_timeout_record() {
+    let spec = spec();
+    let report = execute(
+        &spec,
+        &RunOptions {
+            faults: Some(Arc::new(FaultPlan::parse("timeout@1").unwrap())),
+            ..opts()
+        },
+    )
+    .expect("batch survives a timeout");
+    assert_eq!(error_kind_of(&report, 1), Some("timeout"));
+    for i in [0, 2, 3] {
+        assert_eq!(status_of(&report, i), "ok", "cell {i}");
+    }
+}
+
+#[test]
+fn expired_cell_budget_times_every_cell_out_deterministically() {
+    let spec = spec();
+    let run = |workers: usize| {
+        execute(
+            &spec,
+            &RunOptions {
+                workers,
+                cell_timeout: Some(Duration::from_nanos(1)),
+                ..RunOptions::default()
+            },
+        )
+        .expect("timed-out batch still reports")
+    };
+    let report = run(1);
+    for i in 0..report.records.len() {
+        assert_eq!(status_of(&report, i), "error", "cell {i}");
+        assert_eq!(error_kind_of(&report, i), Some("timeout"), "cell {i}");
+    }
+    // The cooperative deadline trips at the first objective evaluation,
+    // so even the degraded report is deterministic across worker counts.
+    assert_eq!(report.to_json(), run(2).to_json());
+}
+
+#[test]
+fn faulty_run_with_checkpoint_converges_on_clean_resume() {
+    let dir = scratch("converge");
+    let spec = spec();
+    let path = dir.join("faulty.jsonl");
+    let base = RunOptions {
+        checkpoint: Some(path.to_string_lossy().into_owned()),
+        ..opts()
+    };
+    let faulty = execute(
+        &spec,
+        &RunOptions {
+            faults: Some(Arc::new(FaultPlan::parse("panic@2").unwrap())),
+            ..base.clone()
+        },
+    )
+    .expect("faulty run completes degraded");
+    assert_eq!(status_of(&faulty, 2), "error");
+
+    // Error records are not completions: a healthy resume re-executes
+    // exactly the failed cell and lands on the clean report bytes.
+    let resumed = execute(
+        &spec,
+        &RunOptions {
+            resume: true,
+            ..base
+        },
+    )
+    .expect("clean resume");
+    let clean = execute(&spec, &opts()).expect("clean");
+    assert_eq!(resumed.to_json(), clean.to_json());
+    assert_eq!(resumed.to_csv(), clean.to_csv());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn delay_injection_perturbs_scheduling_without_changing_bytes() {
+    let spec = spec();
+    let clean = execute(&spec, &opts()).expect("clean");
+    let delayed = execute(
+        &spec,
+        &RunOptions {
+            workers: 4,
+            faults: Some(Arc::new(FaultPlan::parse("delay@0:50").unwrap())),
+            ..RunOptions::default()
+        },
+    )
+    .expect("delayed run");
+    assert_eq!(clean.to_json(), delayed.to_json());
+}
