@@ -17,7 +17,9 @@
 //! `bench_json` (in `src/bin`) runs the same circuits headlessly and
 //! writes `BENCH_simulation.json` for machine-readable tracking.
 
-use choco_bench::{choco_layer_circuit, choco_onehot_stack, layer_circuit};
+use choco_bench::{
+    choco_layer_circuit, choco_onehot_candidates, choco_onehot_stack, layer_circuit,
+};
 use choco_qsim::oracle::ScalarStateVector;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -59,6 +61,32 @@ fn bench_choco_iteration(c: &mut Criterion) {
                     ws.run(std::hint::black_box(stack));
                 });
             });
+        }
+    }
+    group.finish();
+}
+
+/// Batched multi-angle replay: K candidates of the onehot stack in one
+/// pass over the cached plan. One bench "op" is the whole K-wide batch,
+/// so divide by K for the per-candidate cost `bench_json` reports in
+/// `BENCH_simulation.json`'s `batched_speedup_per_candidate`.
+fn bench_choco_iteration_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choco_iteration_batched");
+    group.sample_size(10);
+    for n in [14usize, 18] {
+        let candidates = choco_onehot_candidates(n, 2, 16);
+        for k in [1usize, 4, 8, 16] {
+            let mut ws = SimWorkspace::new(SimConfig::default().with_engine(EngineKind::Compact));
+            ws.run_batch(&candidates[..k]).expect("compact batch"); // warmup
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &candidates,
+                |b, cs| {
+                    b.iter(|| {
+                        std::hint::black_box(ws.run_batch(&cs[..k]));
+                    });
+                },
+            );
         }
     }
     group.finish();
@@ -135,6 +163,7 @@ criterion_group!(
     bench_statevector_workspace,
     bench_choco_layer,
     bench_choco_iteration,
+    bench_choco_iteration_batched,
     bench_sampling
 );
 criterion_main!(benches);

@@ -17,7 +17,9 @@
 //!
 //! `--quick` (or `CHOCO_QUICK=1`) caps the register at n = 14.
 
-use choco_bench::{choco_layer_circuit, choco_onehot_stack, layer_circuit, quick_mode};
+use choco_bench::{
+    choco_layer_circuit, choco_onehot_candidates, choco_onehot_stack, layer_circuit, quick_mode,
+};
 use choco_core::{ChocoQConfig, ChocoQSolver};
 use choco_qsim::oracle::ScalarStateVector;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
@@ -237,6 +239,41 @@ fn main() {
         }
     }
 
+    // Batched replay: K candidate angle sets of the same onehot stack in
+    // one pass over the cached plan (`SimWorkspace::run_batch`). Each
+    // `choco_iteration_batched_k*` entry reports the per-iteration
+    // **per-candidate** cost (batch time / K), so K = 1 is directly
+    // comparable to `choco_iteration_compact` and the K = 8 ratio is the
+    // headline `batched_speedup_per_candidate` number.
+    let batch_n = if quick_mode() { 14 } else { 18 };
+    let batch_widths: [(&str, usize); 4] = [
+        ("choco_iteration_batched_k1", 1),
+        ("choco_iteration_batched_k4", 4),
+        ("choco_iteration_batched_k8", 8),
+        ("choco_iteration_batched_k16", 16),
+    ];
+    {
+        eprintln!("measuring batched choco iteration n = {batch_n} (K = 1, 4, 8, 16) …");
+        let candidates = choco_onehot_candidates(batch_n, 2, 16);
+        let mut ws = SimWorkspace::new(config.with_engine(EngineKind::Compact));
+        for &(group, k) in &batch_widths {
+            ws.run_batch(&candidates[..k])
+                .expect("onehot stack must stay on the compact engine");
+            entries.push(Entry {
+                group,
+                n: batch_n,
+                ns_per_op: measure(
+                    || {
+                        std::hint::black_box(ws.run_batch(&candidates[..k]));
+                    },
+                    samples,
+                    budget_ms / 2.0,
+                ) / k as f64,
+            });
+        }
+        assert_eq!(ws.plan_compilations(), 1, "one compile across all widths");
+    }
+
     // Multi-start solve scaling: the whole restart scheduler end to end —
     // every `(branch × restart)` variational loop pre-seeded from its
     // coordinates and fanned out over 1/2/4 restart workers, compact
@@ -381,6 +418,27 @@ fn main() {
         }
     }
     json.push_str(&lines.join(",\n"));
+    json.push_str("\n  },\n  \"batched_speedup_per_candidate\": {\n");
+    {
+        let find = |g: &str| {
+            entries
+                .iter()
+                .find(|e| e.group == g && e.n == batch_n)
+                .map(|e| e.ns_per_op)
+                .expect("batched group measured")
+        };
+        let serial = find("choco_iteration_compact");
+        let mut lines = vec![format!("    \"n\": {batch_n}")];
+        for &(group, k) in &batch_widths {
+            let per_candidate = find(group);
+            lines.push(format!(
+                "    \"k{k}\": {{\"ns_per_candidate\": {:.1}, \"vs_serial_compact\": {:.2}}}",
+                per_candidate,
+                serial / per_candidate
+            ));
+        }
+        json.push_str(&lines.join(",\n"));
+    }
     json.push_str("\n  },\n  \"choco_solve_multistart\": {\n");
     {
         let find = |g: &str| {

@@ -68,6 +68,35 @@ pub fn choco_layer_circuit(n: usize) -> Circuit {
 /// workload behind the `choco_iteration` groups and
 /// `BENCH_simulation.json`'s `compact_speedup_vs_sparse`.
 pub fn choco_onehot_stack(n: usize, layers: usize) -> Circuit {
+    choco_onehot_stack_with_angles(n, layers, 0.4, 0.5)
+}
+
+/// [`choco_onehot_stack`] with caller-chosen evolution angles: the gate
+/// sequence (and therefore the compiled plan) is identical for any angle
+/// pair, so K calls with distinct angles produce exactly the same-shape
+/// candidate set a batched replay (`SimWorkspace::run_batch`) evaluates
+/// in one pass — the workload behind the `choco_iteration_batched_k*`
+/// groups.
+pub fn choco_onehot_stack_with_angles(
+    n: usize,
+    layers: usize,
+    diag_angle: f64,
+    block_angle: f64,
+) -> Circuit {
+    onehot_stack_impl(n, layers, Arc::new(bench_poly(n)), diag_angle, block_angle)
+}
+
+/// Shared-poly body of the onehot stack. Batch candidates must pass
+/// clones of **one** `Arc` — the compact plan's shape key ties diagonal
+/// gates to the polynomial instance, so per-lane allocations would make
+/// every lane a distinct shape and the batch would decline.
+fn onehot_stack_impl(
+    n: usize,
+    layers: usize,
+    poly: Arc<PhasePoly>,
+    diag_angle: f64,
+    block_angle: f64,
+) -> Circuit {
     assert!(n >= 2, "need at least one one-hot pair");
     let mut groups: Vec<(usize, usize)> = Vec::new();
     let mut q = 0;
@@ -81,19 +110,36 @@ pub fn choco_onehot_stack(n: usize, layers: usize) -> Circuit {
     let mut c = Circuit::new(n);
     let init = groups.iter().fold(0u64, |m, &(s, _)| m | (1 << s));
     c.load_bits(init);
-    let poly = Arc::new(bench_poly(n));
     for _ in 0..layers {
-        c.diag(poly.clone(), 0.4);
+        c.diag(poly.clone(), diag_angle);
         for &(s, w) in &groups {
             for j in 0..w - 1 {
                 let mut u = vec![0i8; n];
                 u[s + j] = 1;
                 u[s + j + 1] = -1;
-                c.ublock(UBlock::from_u_with_angle(&u, 0.5));
+                c.ublock(UBlock::from_u_with_angle(&u, block_angle));
             }
         }
     }
     c
+}
+
+/// The K-lane candidate set for the batched bench groups: one
+/// [`choco_onehot_stack_with_angles`] circuit per lane, angles varied per
+/// lane so no two candidates are trivially identical.
+pub fn choco_onehot_candidates(n: usize, layers: usize, k: usize) -> Vec<Circuit> {
+    let poly = Arc::new(bench_poly(n));
+    (0..k)
+        .map(|lane| {
+            onehot_stack_impl(
+                n,
+                layers,
+                poly.clone(),
+                0.4 + 0.013 * lane as f64,
+                0.5 - 0.009 * lane as f64,
+            )
+        })
+        .collect()
 }
 
 fn finish_layer(mut c: Circuit, n: usize) -> Circuit {

@@ -30,6 +30,46 @@
 
 use std::fmt;
 
+/// An objective function, with an optional batched evaluation path.
+///
+/// The optimizers call [`Objective::eval_batch`] wherever they hold a
+/// group of *independent* candidate points — COBYLA's initial simplex and
+/// degenerate-geometry rebuilds, Nelder–Mead's initial simplex and shrink
+/// steps — and [`Objective::eval`] for the sequentially dependent probes
+/// (reflection → expansion/contraction chains, trust-region candidate →
+/// extended step). The default `eval_batch` evaluates sequentially, so a
+/// plain closure behaves exactly as before; an objective backed by a
+/// batched simulator (the variational loop's
+/// `SimWorkspace::run_batch` path) overrides it to evaluate the group in
+/// one pass.
+///
+/// Contract: `eval_batch` must return one value per point, and each value
+/// must equal what `eval` would have returned for that point alone — the
+/// optimizers' accounting (evaluation counts, best tracking, history)
+/// folds batched results in index order, so a conforming objective makes
+/// batched and serial runs produce identical [`OptimizeResult`]s.
+pub trait Objective {
+    /// Evaluates the objective at one point.
+    fn eval(&mut self, x: &[f64]) -> f64;
+
+    /// Evaluates a group of independent points, filling `out` with one
+    /// value per point (in order). The default is a sequential loop over
+    /// [`Objective::eval`].
+    fn eval_batch(&mut self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        for x in xs {
+            out.push(self.eval(x));
+        }
+    }
+}
+
+/// Every plain closure is an objective with the sequential batch path.
+impl<F: FnMut(&[f64]) -> f64> Objective for F {
+    fn eval(&mut self, x: &[f64]) -> f64 {
+        self(x)
+    }
+}
+
 /// Outcome of an optimization run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OptimizeResult {
@@ -99,22 +139,28 @@ impl OptimizerKind {
         f: F,
         x0: &[f64],
     ) -> OptimizeResult {
+        self.minimize_obj(max_iters, f, x0)
+    }
+
+    /// Like [`OptimizerKind::minimize`], but for any [`Objective`] —
+    /// the entry point for callers with a batched evaluation path.
+    pub fn minimize_obj<O: Objective>(&self, max_iters: usize, f: O, x0: &[f64]) -> OptimizeResult {
         match self {
             OptimizerKind::Cobyla => Cobyla {
                 max_iters,
                 ..Cobyla::default()
             }
-            .minimize(f, x0),
+            .minimize_obj(f, x0),
             OptimizerKind::NelderMead => NelderMead {
                 max_iters,
                 ..NelderMead::default()
             }
-            .minimize(f, x0),
+            .minimize_obj(f, x0),
             OptimizerKind::Spsa => Spsa {
                 max_iters,
                 ..Spsa::default()
             }
-            .minimize(f, x0),
+            .minimize_obj(f, x0),
         }
     }
 }
@@ -158,16 +204,33 @@ impl NelderMead {
     /// # Panics
     ///
     /// Panics if `x0` is empty or the objective returns NaN.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptimizeResult {
+        self.minimize_obj(f, x0)
+    }
+
+    /// Like [`NelderMead::minimize`], but for any [`Objective`]. The
+    /// initial simplex and every shrink step — the groups of independent
+    /// evaluations — go through [`Objective::eval_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or the objective returns NaN.
+    pub fn minimize_obj<O: Objective>(&self, mut f: O, x0: &[f64]) -> OptimizeResult {
         assert!(!x0.is_empty(), "need at least one parameter");
         let n = x0.len();
         let mut evaluations = 0usize;
-        let mut eval = |x: &[f64], evals: &mut usize| {
+        let eval = |f: &mut O, x: &[f64], evals: &mut usize| {
             *evals += 1;
-            f(x)
+            f.eval(x)
+        };
+        let eval_batch = |f: &mut O, xs: &[Vec<f64>], out: &mut Vec<f64>, evals: &mut usize| {
+            f.eval_batch(xs, out);
+            assert_eq!(out.len(), xs.len(), "objective returned a short batch");
+            *evals += out.len();
         };
 
-        // Initial simplex: x0 and x0 + step·e_i.
+        // Initial simplex: x0 and x0 + step·e_i — n+1 independent
+        // evaluations, batched.
         let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
         simplex.push(x0.to_vec());
         for i in 0..n {
@@ -175,7 +238,8 @@ impl NelderMead {
             v[i] += self.initial_step;
             simplex.push(v);
         }
-        let mut values: Vec<f64> = simplex.iter().map(|x| eval(x, &mut evaluations)).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+        eval_batch(&mut f, &simplex, &mut values, &mut evaluations);
 
         let mut history = Vec::with_capacity(self.max_iters);
         let mut iterations = 0usize;
@@ -222,13 +286,14 @@ impl NelderMead {
                     .collect()
             };
 
-            // Reflection.
+            // Reflection → expansion/contraction: each probe depends on
+            // the previous one's value, so these stay sequential.
             let reflected = blend(&centroid, &simplex[worst], -1.0);
-            let fr = eval(&reflected, &mut evaluations);
+            let fr = eval(&mut f, &reflected, &mut evaluations);
             if fr < values[best] {
                 // Expansion.
                 let expanded = blend(&centroid, &simplex[worst], -2.0);
-                let fe = eval(&expanded, &mut evaluations);
+                let fe = eval(&mut f, &expanded, &mut evaluations);
                 if fe < fr {
                     simplex[worst] = expanded;
                     values[worst] = fe;
@@ -243,19 +308,25 @@ impl NelderMead {
                 // Contraction (outside if the reflection helped, else inside).
                 let t = if fr < values[worst] { -0.5 } else { 0.5 };
                 let contracted = blend(&centroid, &simplex[worst], t);
-                let fc = eval(&contracted, &mut evaluations);
+                let fc = eval(&mut f, &contracted, &mut evaluations);
                 if fc < values[worst].min(fr) {
                     simplex[worst] = contracted;
                     values[worst] = fc;
                 } else {
-                    // Shrink toward the best vertex.
+                    // Shrink toward the best vertex: the n new vertices
+                    // depend only on the pre-shrink simplex — independent,
+                    // so batched.
                     let best_point = simplex[best].clone();
-                    for (idx, x) in simplex.iter_mut().enumerate() {
-                        if idx == best {
-                            continue;
-                        }
-                        *x = blend(&best_point, x, 0.5);
-                        values[idx] = eval(x, &mut evaluations);
+                    let shrink_idx: Vec<usize> = (0..=n).filter(|&i| i != best).collect();
+                    let shrunk: Vec<Vec<f64>> = shrink_idx
+                        .iter()
+                        .map(|&i| blend(&best_point, &simplex[i], 0.5))
+                        .collect();
+                    let mut shrunk_values = Vec::with_capacity(n);
+                    eval_batch(&mut f, &shrunk, &mut shrunk_values, &mut evaluations);
+                    for ((&idx, x), v) in shrink_idx.iter().zip(shrunk).zip(shrunk_values) {
+                        simplex[idx] = x;
+                        values[idx] = v;
                     }
                 }
             }
@@ -293,16 +364,32 @@ struct EvalState {
 }
 
 impl EvalState {
-    fn eval<F: FnMut(&[f64]) -> f64>(&mut self, f: &mut F, x: &[f64]) -> f64 {
+    fn record(&mut self, x: &[f64], v: f64) {
         self.evaluations += 1;
-        let v = f(x);
         assert!(!v.is_nan(), "NaN objective");
         if v < self.best_value {
             self.best_value = v;
             self.best_params.clear();
             self.best_params.extend_from_slice(x);
         }
+    }
+
+    fn eval<O: Objective>(&mut self, f: &mut O, x: &[f64]) -> f64 {
+        let v = f.eval(x);
+        self.record(x, v);
         v
+    }
+
+    /// Evaluates a group of independent points through the objective's
+    /// batched path, then folds every value through the same accounting
+    /// [`EvalState::eval`] applies — in index order, so the evaluation
+    /// count and best tracking match a sequential run exactly.
+    fn eval_batch<O: Objective>(&mut self, f: &mut O, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        f.eval_batch(xs, out);
+        assert_eq!(out.len(), xs.len(), "objective returned a short batch");
+        for (x, &v) in xs.iter().zip(out.iter()) {
+            self.record(x, v);
+        }
     }
 }
 
@@ -412,7 +499,19 @@ impl Cobyla {
     /// # Panics
     ///
     /// Panics if `x0` is empty or the objective returns NaN.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptimizeResult {
+        self.minimize_obj(f, x0)
+    }
+
+    /// Like [`Cobyla::minimize`], but for any [`Objective`]. The initial
+    /// simplex and every degenerate-geometry rebuild — the groups of
+    /// independent evaluations — go through [`Objective::eval_batch`];
+    /// the trust-region candidate/extended probes stay sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty or the objective returns NaN.
+    pub fn minimize_obj<O: Objective>(&self, mut f: O, x0: &[f64]) -> OptimizeResult {
         assert!(!x0.is_empty(), "need at least one parameter");
         let n = x0.len();
         let mut state = EvalState {
@@ -421,7 +520,8 @@ impl Cobyla {
             best_value: f64::INFINITY,
         };
 
-        // Initial simplex: x0 and x0 + ρ·e_i.
+        // Initial simplex: x0 and x0 + ρ·e_i — n+1 independent
+        // evaluations, batched.
         let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
         simplex.push(x0.to_vec());
         for i in 0..n {
@@ -429,7 +529,8 @@ impl Cobyla {
             v[i] += self.rho_beg;
             simplex.push(v);
         }
-        let mut values: Vec<f64> = simplex.iter().map(|x| state.eval(&mut f, x)).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+        state.eval_batch(&mut f, &simplex, &mut values);
 
         let mut rho = self.rho_beg;
         let mut history = Vec::with_capacity(self.max_iters);
@@ -485,19 +586,25 @@ impl Cobyla {
                 .collect();
             let Some(gradient) = solve_linear(rows, rhs) else {
                 // Degenerate simplex: rebuild on fresh axes around the
-                // best point at the current radius.
+                // best point at the current radius — n independent
+                // evaluations, batched.
                 let center = simplex[best].clone();
                 let center_value = values[best];
+                let fresh: Vec<Vec<f64>> = (0..n)
+                    .map(|i| {
+                        let mut v = center.clone();
+                        v[i] += rho;
+                        v
+                    })
+                    .collect();
+                let mut fresh_values = Vec::with_capacity(n);
+                state.eval_batch(&mut f, &fresh, &mut fresh_values);
                 simplex.clear();
                 values.clear();
-                simplex.push(center.clone());
+                simplex.push(center);
                 values.push(center_value);
-                for i in 0..n {
-                    let mut v = center.clone();
-                    v[i] += rho;
-                    values.push(state.eval(&mut f, &v));
-                    simplex.push(v);
-                }
+                simplex.extend(fresh);
+                values.extend(fresh_values);
                 history.push(state.best_value);
                 continue;
             };
@@ -605,15 +712,28 @@ impl Spsa {
     /// # Panics
     ///
     /// Panics if `x0` is empty.
-    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, mut f: F, x0: &[f64]) -> OptimizeResult {
+    pub fn minimize<F: FnMut(&[f64]) -> f64>(&self, f: F, x0: &[f64]) -> OptimizeResult {
+        self.minimize_obj(f, x0)
+    }
+
+    /// Like [`Spsa::minimize`], but for any [`Objective`]. Each
+    /// iteration's ± perturbation pair is a group of two independent
+    /// evaluations, so it goes through [`Objective::eval_batch`]; the
+    /// post-step probe depends on the pair and stays sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` is empty.
+    pub fn minimize_obj<O: Objective>(&self, mut f: O, x0: &[f64]) -> OptimizeResult {
         assert!(!x0.is_empty(), "need at least one parameter");
         let n = x0.len();
         let mut rng = choco_mathkit::SplitMix64::new(self.seed);
         let mut x = x0.to_vec();
         let mut best_params = x.clone();
-        let mut best_value = f(&x);
+        let mut best_value = f.eval(&x);
         let mut evaluations = 1usize;
         let mut history = Vec::with_capacity(self.max_iters);
+        let mut pair_values = Vec::with_capacity(2);
 
         for k in 0..self.max_iters {
             let ak = self.a / (k as f64 + 1.0 + self.stability).powf(self.alpha);
@@ -623,13 +743,15 @@ impl Spsa {
                 .collect();
             let plus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi + ck * d).collect();
             let minus: Vec<f64> = x.iter().zip(&delta).map(|(xi, d)| xi - ck * d).collect();
-            let fp = f(&plus);
-            let fm = f(&minus);
+            let pair = [plus, minus];
+            f.eval_batch(&pair, &mut pair_values);
+            assert_eq!(pair_values.len(), 2, "objective returned a short batch");
+            let (fp, fm) = (pair_values[0], pair_values[1]);
             evaluations += 2;
             for (xi, d) in x.iter_mut().zip(&delta) {
                 *xi -= ak * (fp - fm) / (2.0 * ck * d);
             }
-            let fx = f(&x);
+            let fx = f.eval(&x);
             evaluations += 1;
             if fx < best_value {
                 best_value = fx;
@@ -890,6 +1012,126 @@ mod tests {
         let err = OptimizerKind::parse("adam").unwrap_err();
         assert!(err.contains("unknown optimizer `adam`"), "{err}");
         assert!(err.contains("cobyla|nelder-mead|spsa"), "{err}");
+    }
+
+    /// An [`Objective`] that records every batch-group size it receives
+    /// while evaluating through a plain function — lets the tests prove
+    /// (a) the optimizers actually route independent groups through
+    /// `eval_batch`, and (b) results are identical to the closure path.
+    /// The counters live behind `Rc` so a clone can be handed to
+    /// `minimize_obj` by value and inspected afterwards.
+    #[derive(Clone)]
+    struct GroupRecorder {
+        f: fn(&[f64]) -> f64,
+        groups: std::rc::Rc<std::cell::RefCell<Vec<usize>>>,
+        singles: std::rc::Rc<std::cell::Cell<usize>>,
+    }
+
+    impl GroupRecorder {
+        fn new(f: fn(&[f64]) -> f64) -> Self {
+            GroupRecorder {
+                f,
+                groups: Default::default(),
+                singles: Default::default(),
+            }
+        }
+
+        fn groups(&self) -> Vec<usize> {
+            self.groups.borrow().clone()
+        }
+    }
+
+    impl Objective for GroupRecorder {
+        fn eval(&mut self, x: &[f64]) -> f64 {
+            self.singles.set(self.singles.get() + 1);
+            (self.f)(x)
+        }
+
+        fn eval_batch(&mut self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+            self.groups.borrow_mut().push(xs.len());
+            out.clear();
+            for x in xs {
+                out.push((self.f)(x));
+            }
+        }
+    }
+
+    /// Sum of √|xᵢ|: the cusp at the origin defeats reflections and
+    /// contractions, forcing Nelder–Mead into shrink steps.
+    fn spiky(x: &[f64]) -> f64 {
+        x.iter().map(|v| v.abs().sqrt()).sum()
+    }
+
+    #[test]
+    fn nelder_mead_batches_simplex_and_shrinks_identically() {
+        let nm = NelderMead {
+            max_iters: 60,
+            ..NelderMead::default()
+        };
+        let serial = nm.minimize(spiky, &[-1.0, 1.0]);
+        let recorder = GroupRecorder::new(spiky);
+        let batched = nm.minimize_obj(recorder.clone(), &[-1.0, 1.0]);
+        assert_eq!(serial, batched);
+        // Initial simplex (n+1 = 3) is always the first group; the cusp
+        // objective also forces shrink steps (groups of n = 2).
+        let groups = recorder.groups();
+        assert_eq!(groups.first(), Some(&3));
+        assert!(
+            groups.iter().skip(1).all(|&g| g == 2),
+            "shrink groups should have n points: {groups:?}"
+        );
+        assert!(groups.len() > 1, "expected shrink batches");
+        let group_total: usize = groups.iter().sum();
+        assert_eq!(group_total + recorder.singles.get(), batched.evaluations);
+    }
+
+    #[test]
+    fn cobyla_batches_simplex_and_rebuilds_identically() {
+        let c = Cobyla {
+            max_iters: 120,
+            ..Cobyla::default()
+        };
+        let serial = c.minimize(rosenbrock, &[-1.0, 1.0]);
+        let recorder = GroupRecorder::new(rosenbrock);
+        let batched = c.minimize_obj(recorder.clone(), &[-1.0, 1.0]);
+        assert_eq!(serial, batched);
+        let groups = recorder.groups();
+        assert_eq!(groups.first(), Some(&3), "initial simplex batch");
+        // Any further group is a degenerate-geometry rebuild of n points.
+        assert!(
+            groups.iter().skip(1).all(|&g| g == 2),
+            "rebuild groups should have n points: {groups:?}"
+        );
+        let group_total: usize = groups.iter().sum();
+        assert_eq!(group_total + recorder.singles.get(), batched.evaluations);
+    }
+
+    #[test]
+    fn spsa_batches_perturbation_pairs_identically() {
+        let spsa = Spsa {
+            max_iters: 50,
+            ..Spsa::default()
+        };
+        let serial = spsa.minimize(sphere, &[1.0, -1.0]);
+        let recorder = GroupRecorder::new(sphere);
+        let batched = spsa.minimize_obj(recorder.clone(), &[1.0, -1.0]);
+        assert_eq!(serial, batched);
+        let groups = recorder.groups();
+        assert_eq!(groups.len(), 50, "one ± pair per iteration");
+        assert!(groups.iter().all(|&g| g == 2));
+        // x0 probe + per-iteration post-step probe stay sequential.
+        assert_eq!(recorder.singles.get(), 51);
+    }
+
+    #[test]
+    fn kind_minimize_obj_matches_closure_path() {
+        for kind in OptimizerKind::ALL {
+            let serial = kind.minimize(80, sphere, &[2.0, -1.0, 0.5]);
+            let recorder = GroupRecorder::new(sphere);
+            let batched = kind.minimize_obj(80, recorder.clone(), &[2.0, -1.0, 0.5]);
+            assert_eq!(serial, batched, "{kind}");
+            assert!(!recorder.groups().is_empty(), "{kind} never batched");
+        }
     }
 
     #[test]

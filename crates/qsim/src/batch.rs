@@ -1,0 +1,216 @@
+//! Batched multi-angle plan replay: K candidate angle sets, one pass.
+//!
+//! A variational optimizer routinely holds K parameter vectors for the
+//! *same* circuit shape — an initial simplex, a geometry rebuild, a
+//! shrink step. The serial compact path replays the cached
+//! [`crate::plan::GatePlan`] K separate times, paying the rank-table
+//! traversal, kernel dispatch, and cache refill per candidate.
+//! [`BatchWorkspace`] instead holds a structure-of-arrays amplitude
+//! buffer of length `K·|F|` in **rank-major** order — `amps[rank·K +
+//! lane]`, all K candidates of one basis rank contiguous — and replays
+//! the plan once, with the inner diagonal/2×2 loops running over the K
+//! lanes ([`crate::plan::GatePlan::execute_batch`]).
+//!
+//! Bit-identity contract: every lane evaluates exactly the IEEE
+//! expression sequence its own serial replay would, so amplitudes,
+//! expectations, and sample streams read from a lane are bit-identical
+//! to a [`crate::CompactStateVector`] run of that lane's circuit — at
+//! any batch size and any thread count. The read operations below mirror
+//! the compact engine's term for term (same exact-zero filters, same
+//! cumulative-table endpoint handling).
+
+use crate::counts::Counts;
+use crate::phasepoly::PhasePoly;
+use crate::plan::{BatchScratch, GatePlan};
+use crate::simconfig::SimConfig;
+use choco_mathkit::Complex64;
+use rand::Rng;
+use std::sync::Arc;
+
+/// The SoA amplitude buffer for batched compact replay, plus per-lane
+/// read operations. Owned (and reused across iterations) by
+/// [`crate::SimWorkspace`]; obtained through
+/// [`crate::SimWorkspace::run_batch`].
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    n_qubits: usize,
+    /// The sorted feasible basis `F` shared with the plan that replayed
+    /// into this buffer.
+    basis: Arc<Vec<u64>>,
+    /// Rank-major lanes: `amps[rank * lanes + lane]`.
+    amps: Vec<Complex64>,
+    lanes: usize,
+    scratch: BatchScratch,
+    reallocations: u64,
+}
+
+impl BatchWorkspace {
+    /// An empty batch workspace (no buffer until the first replay).
+    pub(crate) fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Replays `plan` over one lane per circuit. The caller has verified
+    /// every circuit matches the plan's shape.
+    pub(crate) fn replay(
+        &mut self,
+        plan: &GatePlan,
+        circuits: &[crate::Circuit],
+        config: &SimConfig,
+    ) {
+        let basis = plan.basis();
+        assert_eq!(basis.first(), Some(&0), "feasible basis must contain |0…0⟩");
+        let lanes = circuits.len();
+        let needed = lanes * basis.len();
+        if self.amps.capacity() < needed {
+            self.reallocations += 1;
+        }
+        if !Arc::ptr_eq(&self.basis, basis) {
+            self.basis = basis.clone();
+        }
+        self.n_qubits = circuits[0].n_qubits();
+        self.lanes = lanes;
+        self.amps.clear();
+        self.amps.resize(needed, Complex64::ZERO);
+        for lane in 0..lanes {
+            self.amps[lane] = Complex64::ONE; // rank 0 of every lane
+        }
+        plan.execute_batch(circuits, &mut self.amps, &mut self.scratch, config);
+    }
+
+    /// Number of lanes (K) held by the last replay.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of qubits of the batched circuits.
+    #[inline]
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// The sorted feasible basis the lanes are ranked over.
+    #[inline]
+    pub fn basis(&self) -> &[u64] {
+        &self.basis
+    }
+
+    /// How many times the SoA buffer had to grow. Stays flat once the
+    /// workspace has warmed up on a shape/batch size — the batched analog
+    /// of [`crate::SimWorkspace::reallocations`].
+    #[inline]
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    #[inline]
+    fn lane_amp(&self, rank: usize, lane: usize) -> Complex64 {
+        self.amps[rank * self.lanes + lane]
+    }
+
+    /// The amplitude of basis state `bits` on one lane (zero off the
+    /// feasible basis) — mirrors [`crate::CompactStateVector::amplitude`].
+    pub fn amplitude(&self, lane: usize, bits: u64) -> Complex64 {
+        assert!(lane < self.lanes, "lane out of range");
+        match self.basis.binary_search(&bits) {
+            Ok(rank) => self.lane_amp(rank, lane),
+            Err(_) => Complex64::ZERO,
+        }
+    }
+
+    /// Number of exactly non-zero amplitudes on one lane.
+    pub fn occupancy(&self, lane: usize) -> usize {
+        assert!(lane < self.lanes, "lane out of range");
+        (0..self.basis.len())
+            .map(|rank| self.lane_amp(rank, lane))
+            .filter(|a| a.re != 0.0 || a.im != 0.0)
+            .count()
+    }
+
+    /// One lane's total probability, with the same term sequence as
+    /// [`crate::CompactStateVector::norm_sqr`].
+    pub fn norm_sqr(&self, lane: usize) -> f64 {
+        assert!(lane < self.lanes, "lane out of range");
+        (0..self.basis.len())
+            .map(|rank| self.lane_amp(rank, lane))
+            .filter(|a| a.re != 0.0 || a.im != 0.0)
+            .map(|a| a.norm_sqr())
+            .sum()
+    }
+
+    /// One lane's expectation of a diagonal observable given a `2^n`
+    /// value table — the exact term sequence of
+    /// [`crate::CompactStateVector::expectation_diag_values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != 2^n` or the lane is out of range.
+    pub fn expectation_diag_values(&self, lane: usize, values: &[f64]) -> f64 {
+        assert!(lane < self.lanes, "lane out of range");
+        assert_eq!(
+            values.len(),
+            1usize << self.n_qubits,
+            "diagonal length mismatch"
+        );
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(rank, &bits)| (bits, self.lane_amp(rank, lane)))
+            .filter(|(_, a)| a.re != 0.0 || a.im != 0.0)
+            .map(|(bits, a)| a.norm_sqr() * values[bits as usize])
+            .sum()
+    }
+
+    /// One lane's expectation of a diagonal polynomial observable — the
+    /// exact term sequence of
+    /// [`crate::CompactStateVector::expectation_diag_poly`].
+    pub fn expectation_diag_poly(&self, lane: usize, poly: &PhasePoly) -> f64 {
+        assert!(lane < self.lanes, "lane out of range");
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(rank, &bits)| (bits, self.lane_amp(rank, lane)))
+            .filter(|(_, a)| a.re != 0.0 || a.im != 0.0)
+            .map(|(bits, a)| a.norm_sqr() * poly.eval_bits(bits))
+            .sum()
+    }
+
+    /// Fills `out` with one lane's cumulative probability over all `|F|`
+    /// ranks — bit-identical to
+    /// [`crate::CompactStateVector::fill_cumulative`] on that lane's
+    /// serial state.
+    pub fn fill_cumulative(&self, lane: usize, out: &mut Vec<f64>) {
+        assert!(lane < self.lanes, "lane out of range");
+        out.clear();
+        out.reserve(self.basis.len());
+        let mut acc = 0.0f64;
+        for rank in 0..self.basis.len() {
+            acc += self.lane_amp(rank, lane).norm_sqr();
+            out.push(acc);
+        }
+    }
+
+    /// Samples `shots` outcomes from one lane, building the cumulative
+    /// table on the fly. Tie handling mirrors
+    /// [`crate::CompactStateVector::sample_with_cumulative`] exactly, so
+    /// a shared seed yields the identical histogram the serial engines
+    /// produce for that lane's circuit.
+    pub fn sample<R: Rng>(&self, lane: usize, shots: u64, rng: &mut R) -> Counts {
+        let mut cumulative = Vec::new();
+        self.fill_cumulative(lane, &mut cumulative);
+        let total = *cumulative.last().expect("non-empty state");
+        let mut counts = Counts::new();
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * total;
+            let bits = if r == 0.0 {
+                0
+            } else {
+                let slot = cumulative.partition_point(|&c| c < r);
+                self.basis[slot.min(self.basis.len() - 1)]
+            };
+            counts.record(bits);
+        }
+        counts
+    }
+}

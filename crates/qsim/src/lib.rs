@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod circuit;
 pub mod compact;
 mod counts;
@@ -54,6 +55,7 @@ mod synth;
 mod transpile;
 mod workspace;
 
+pub use batch::BatchWorkspace;
 pub use circuit::Circuit;
 pub use compact::CompactStateVector;
 pub use counts::Counts;

@@ -38,6 +38,7 @@ use crate::kernels::{dispatch, AmpPtr};
 use crate::phasepoly::PhasePoly;
 use crate::simconfig::SimConfig;
 use choco_mathkit::Complex64;
+use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 
 /// Why a circuit shape could not be compiled into a plan.
@@ -345,8 +346,18 @@ enum PlanStep {
     Pairs { pairs: Vec<[u32; 2]> },
     /// Diagonal polynomial: per-rank non-zero values, baked at compile
     /// time (the polynomial never changes under a stable shape — only the
-    /// angle θ does).
-    DiagPoly { ranks: Vec<u32>, values: Vec<f64> },
+    /// angle θ does). `distinct` / `value_idx` are the bit-deduplicated
+    /// value table and each rank's index into it: structured cost
+    /// polynomials repeat the same sum over many feasible states, so the
+    /// batched replay computes `e^{-iθ·f}` once per *distinct* `f` per
+    /// lane instead of once per rank — bit-identical, because equal `f`
+    /// bits give an equal `-θ·f` product and therefore equal `cis` bits.
+    DiagPoly {
+        ranks: Vec<u32>,
+        values: Vec<f64>,
+        distinct: Vec<f64>,
+        value_idx: Vec<u32>,
+    },
 }
 
 /// Interim step representation during compilation: basis-index (`u64`)
@@ -481,10 +492,25 @@ impl GatePlan {
                 BitsStep::Pairs(pairs) => PlanStep::Pairs {
                     pairs: pairs.into_iter().map(|[i, j]| [rank(i), rank(j)]).collect(),
                 },
-                BitsStep::DiagPoly(bits, values) => PlanStep::DiagPoly {
-                    ranks: ranks(bits),
-                    values,
-                },
+                BitsStep::DiagPoly(bits, values) => {
+                    let mut distinct: Vec<f64> = Vec::new();
+                    let mut slot_of: HashMap<u64, u32> = HashMap::new();
+                    let value_idx: Vec<u32> = values
+                        .iter()
+                        .map(|&f| {
+                            *slot_of.entry(f.to_bits()).or_insert_with(|| {
+                                distinct.push(f);
+                                (distinct.len() - 1) as u32
+                            })
+                        })
+                        .collect();
+                    PlanStep::DiagPoly {
+                        ranks: ranks(bits),
+                        values,
+                        distinct,
+                        value_idx,
+                    }
+                }
             })
             .collect();
         Ok(GatePlan {
@@ -521,11 +547,130 @@ impl GatePlan {
                     }
                 }
                 PlanStep::Pairs { pairs } => apply_pairs(amps, pairs, gate, config),
-                PlanStep::DiagPoly { ranks, values } => {
+                PlanStep::DiagPoly { ranks, values, .. } => {
                     let Gate::DiagPhase(_, theta) = gate else {
                         panic!("shape mismatch: expected a diagonal evolution, got {gate}");
                     };
                     apply_diag(amps, ranks, values, *theta, config);
+                }
+            }
+        }
+    }
+
+    /// Replays the plan over `K = circuits.len()` amplitude lanes in a
+    /// single pass over the rank tables. `amps` is the rank-major SoA
+    /// layout `amps[rank * K + lane]` of length `K·|F|` — all K candidates
+    /// for one basis rank are contiguous, so the rank/pair tables are
+    /// traversed once while the inner loops run over the K lanes.
+    ///
+    /// Every lane evaluates *exactly* the arithmetic expression sequence
+    /// [`GatePlan::execute`] would apply to it alone — including the
+    /// value-based kernel dispatch per lane (an `Rx(0)` lane takes the
+    /// diagonal branch while an `Rx(0.5)` lane takes the real-matrix
+    /// branch of the same step) — so batched amplitudes are bit-identical
+    /// to K sequential replays at any thread count. The caller must have
+    /// verified `self.shape().matches(c)` for every circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, a gate count disagrees with the
+    /// plan, or the amplitude length is not `K·|F|`.
+    pub(crate) fn execute_batch(
+        &self,
+        circuits: &[Circuit],
+        amps: &mut [Complex64],
+        scratch: &mut BatchScratch,
+        config: &SimConfig,
+    ) {
+        let lanes = circuits.len();
+        assert!(lanes > 0, "empty batch");
+        assert_eq!(
+            amps.len(),
+            lanes * self.basis.len(),
+            "batch amplitude length mismatch"
+        );
+        for c in circuits {
+            assert_eq!(c.len(), self.steps.len(), "shape mismatch");
+        }
+        for (gi, step) in self.steps.iter().enumerate() {
+            let gate_of = |lane: usize| &circuits[lane].gates()[gi];
+            match step {
+                PlanStep::Noop => {}
+                PlanStep::Phase { ranks } => {
+                    scratch.factors.clear();
+                    scratch
+                        .factors
+                        .extend((0..lanes).map(|lane| phase_factor(gate_of(lane))));
+                    scale_ranks_batch(amps, ranks, &scratch.factors, config);
+                }
+                PlanStep::DiagPair { ranks0, ranks1 } => {
+                    scratch.diag0.clear();
+                    scratch.diag1.clear();
+                    for lane in 0..lanes {
+                        let m = gate_matrix_1q(gate_of(lane));
+                        scratch.diag0.push(m[0][0]);
+                        scratch.diag1.push(m[1][1]);
+                    }
+                    for (diag, ranks) in [(&scratch.diag0, ranks0), (&scratch.diag1, ranks1)] {
+                        // The serial path skips the scaling when the
+                        // diagonal entry is exactly one (a multiply by one
+                        // is not an IEEE no-op once `-0.0` is in play);
+                        // the skip moves inside the lane loop here.
+                        if diag.iter().any(|d| *d != Complex64::ONE) {
+                            scale_ranks_batch_skip_one(amps, ranks, diag, config);
+                        }
+                    }
+                }
+                PlanStep::Pairs { pairs } => {
+                    scratch.kernels.clear();
+                    scratch
+                        .kernels
+                        .extend((0..lanes).map(|lane| LaneKernel::of(gate_of(lane))));
+                    // The hot Choco-Q case — every lane a commute-block
+                    // rotation — runs on flat sin/cos lane arrays, which
+                    // the specialized loop turns into dense per-row
+                    // arithmetic instead of per-lane enum dispatch.
+                    if scratch
+                        .kernels
+                        .iter()
+                        .all(|k| matches!(k, LaneKernel::Rot { .. }))
+                    {
+                        scratch.sins.clear();
+                        scratch.coss.clear();
+                        for k in &scratch.kernels {
+                            let LaneKernel::Rot { sin, cos } = *k else {
+                                unreachable!("checked all-rotation above");
+                            };
+                            scratch.sins.push(sin);
+                            scratch.coss.push(cos);
+                        }
+                        apply_pairs_batch_rot(amps, pairs, &scratch.sins, &scratch.coss, config);
+                    } else {
+                        apply_pairs_batch(amps, pairs, &scratch.kernels, config);
+                    }
+                }
+                PlanStep::DiagPoly {
+                    ranks,
+                    distinct,
+                    value_idx,
+                    ..
+                } => {
+                    scratch.thetas.clear();
+                    scratch.thetas.extend((0..lanes).map(|lane| {
+                        let Gate::DiagPhase(_, theta) = gate_of(lane) else {
+                            panic!("shape mismatch: expected a diagonal evolution");
+                        };
+                        *theta
+                    }));
+                    apply_diag_batch(
+                        amps,
+                        ranks,
+                        distinct,
+                        value_idx,
+                        &scratch.thetas,
+                        &mut scratch.factor_table,
+                        config,
+                    );
                 }
             }
         }
@@ -721,6 +866,312 @@ where
     });
 }
 
+/// Reusable per-gate lane-parameter buffers for
+/// [`GatePlan::execute_batch`]: after the first replay of a shape no
+/// batched iteration allocates (mirroring the serial path's
+/// zero-allocation contract).
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    factors: Vec<Complex64>,
+    thetas: Vec<f64>,
+    diag0: Vec<Complex64>,
+    diag1: Vec<Complex64>,
+    kernels: Vec<LaneKernel>,
+    /// Flat per-lane rotation parameters for the all-rotation pair loop.
+    sins: Vec<f64>,
+    coss: Vec<f64>,
+    /// The `distinct × lanes` diagonal factor table (`value`-major, lane
+    /// contiguous) rebuilt per diagonal step.
+    factor_table: Vec<Complex64>,
+}
+
+/// The per-lane 2×2 kernel a [`PlanStep::Pairs`] gate resolved to — the
+/// same value-based dispatch [`apply_pairs`] performs, frozen per lane so
+/// the batched pair loop replays each lane's exact serial branch.
+#[derive(Clone, Copy, Debug)]
+enum LaneKernel {
+    /// Permutation gates: swap the two slots.
+    Swap,
+    /// Commute-block rotation (XY-mixer = doubled angle).
+    Rot { sin: f64, cos: f64 },
+    /// Momentarily diagonal kind-pair gate (e.g. `Rx(0)`): two subspace
+    /// scalings, each skipped when its entry is exactly one.
+    Diag { d0: Complex64, d1: Complex64 },
+    /// Momentarily anti-diagonal matrix (e.g. `X`, `Rx(π)` up to phase).
+    AntiDiag { m01: Complex64, m10: Complex64 },
+    /// All-real matrix (e.g. `H`, `Ry`): four real scalings.
+    Real {
+        r00: f64,
+        r01: f64,
+        r10: f64,
+        r11: f64,
+    },
+    /// The general complex 2×2.
+    Full { m: [[Complex64; 2]; 2] },
+}
+
+impl LaneKernel {
+    /// Classifies one lane's gate exactly like [`apply_pairs`].
+    fn of(gate: &Gate) -> LaneKernel {
+        match gate {
+            Gate::Cx(..) | Gate::Ccx(..) | Gate::Mcx { .. } | Gate::Swap(..) => LaneKernel::Swap,
+            Gate::UBlock(_) | Gate::XyMix(..) => {
+                let theta = match gate {
+                    Gate::UBlock(b) => b.angle,
+                    Gate::XyMix(_, _, t) => 2.0 * t,
+                    _ => unreachable!(),
+                };
+                let (sin, cos) = theta.sin_cos();
+                LaneKernel::Rot { sin, cos }
+            }
+            g => {
+                let m = gate_matrix_1q(g);
+                if m[0][1] == Complex64::ZERO && m[1][0] == Complex64::ZERO {
+                    LaneKernel::Diag {
+                        d0: m[0][0],
+                        d1: m[1][1],
+                    }
+                } else if m[0][0] == Complex64::ZERO && m[1][1] == Complex64::ZERO {
+                    LaneKernel::AntiDiag {
+                        m01: m[0][1],
+                        m10: m[1][0],
+                    }
+                } else if m.iter().flatten().all(|c| c.im == 0.0) {
+                    LaneKernel::Real {
+                        r00: m[0][0].re,
+                        r01: m[0][1].re,
+                        r10: m[1][0].re,
+                        r11: m[1][1].re,
+                    }
+                } else {
+                    LaneKernel::Full { m }
+                }
+            }
+        }
+    }
+
+    /// Applies this lane's kernel to one `(low, high)` slot pair — the
+    /// exact expression [`apply_pairs`] would evaluate for this lane.
+    #[inline]
+    fn apply(self, a: Complex64, b: Complex64) -> (Complex64, Complex64) {
+        match self {
+            LaneKernel::Swap => (b, a),
+            LaneKernel::Rot { sin, cos } => (
+                Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re),
+                Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re),
+            ),
+            LaneKernel::Diag { d0, d1 } => (
+                if d0 != Complex64::ONE { a * d0 } else { a },
+                if d1 != Complex64::ONE { b * d1 } else { b },
+            ),
+            LaneKernel::AntiDiag { m01, m10 } => (m01 * b, m10 * a),
+            LaneKernel::Real { r00, r01, r10, r11 } => {
+                (a.scale(r00) + b.scale(r01), a.scale(r10) + b.scale(r11))
+            }
+            LaneKernel::Full { m } => (m[0][0] * a + m[0][1] * b, m[1][0] * a + m[1][1] * b),
+        }
+    }
+}
+
+/// Batched [`scale_ranks`]: multiplies every listed rank's K lanes by the
+/// per-lane factors, unconditionally (the phase-step contract). Workers
+/// chunk over ranks, so every `rank × lane` slot has exactly one writer.
+fn scale_ranks_batch(
+    amps: &mut [Complex64],
+    ranks: &[u32],
+    factors: &[Complex64],
+    config: &SimConfig,
+) {
+    let lanes = factors.len();
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, ranks.len(), |range| {
+        let base = ptr.get();
+        for &r in &ranks[range] {
+            // SAFETY: ranks in-bounds and distinct within the list;
+            // worker chunks partition the rank list, and each worker owns
+            // all K lanes of its ranks.
+            unsafe {
+                let row = base.add(r as usize * lanes);
+                for (lane, &f) in factors.iter().enumerate() {
+                    *row.add(lane) *= f;
+                }
+            }
+        }
+    });
+}
+
+/// Batched diagonal scaling with the serial path's per-gate `d != 1`
+/// skip applied per lane (see [`GatePlan::execute`]'s `DiagPair` arm).
+fn scale_ranks_batch_skip_one(
+    amps: &mut [Complex64],
+    ranks: &[u32],
+    factors: &[Complex64],
+    config: &SimConfig,
+) {
+    let lanes = factors.len();
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, ranks.len(), |range| {
+        let base = ptr.get();
+        for &r in &ranks[range] {
+            // SAFETY: as in `scale_ranks_batch`.
+            unsafe {
+                let row = base.add(r as usize * lanes);
+                for (lane, &f) in factors.iter().enumerate() {
+                    if f != Complex64::ONE {
+                        *row.add(lane) *= f;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Batched [`apply_diag`]: per rank, every lane multiplies by its own
+/// `e^{-iθ_lane·f}` — the identical expression the serial replay applies.
+///
+/// The transcendental work is hoisted out of the rank loop: `e^{-iθ·f}`
+/// is computed once per *distinct* polynomial value per lane into
+/// `table` (value-major, lanes contiguous), and the rank loop becomes a
+/// contiguous row-by-row complex multiply. Structured cost polynomials
+/// repeat a handful of sums across the whole feasible set, so this
+/// replaces `|F|` sin/cos evaluations per lane with `|distinct|` — the
+/// factor bits are unchanged (equal `f` bits ⇒ equal `-θ·f` ⇒ equal
+/// `cis`), so every lane stays bit-identical to its serial replay.
+fn apply_diag_batch(
+    amps: &mut [Complex64],
+    ranks: &[u32],
+    distinct: &[f64],
+    value_idx: &[u32],
+    thetas: &[f64],
+    table: &mut Vec<Complex64>,
+    config: &SimConfig,
+) {
+    debug_assert_eq!(ranks.len(), value_idx.len());
+    let lanes = thetas.len();
+    table.clear();
+    table.reserve(distinct.len() * lanes);
+    for &f in distinct {
+        for &theta in thetas {
+            table.push(Complex64::cis(-theta * f));
+        }
+    }
+    let table = &*table;
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, ranks.len(), |range| {
+        let base = ptr.get();
+        for (&r, &fi) in ranks[range.clone()].iter().zip(value_idx[range].iter()) {
+            let factors = &table[fi as usize * lanes..fi as usize * lanes + lanes];
+            // SAFETY: as in `scale_ranks_batch`.
+            unsafe {
+                let row = base.add(r as usize * lanes);
+                for (lane, &factor) in factors.iter().enumerate() {
+                    *row.add(lane) *= factor;
+                }
+            }
+        }
+    });
+}
+
+/// The all-rotation specialization of [`apply_pairs_batch`]: every lane
+/// is a commute-block rotation, evaluated with exactly the serial
+/// rotation expression. The lane dimension is tiled in blocks of four:
+/// a block's eight `sin`/`cos` values stay register-resident across the
+/// whole pair-table pass (a lane-minor loop over all K spills them every
+/// iteration), while each pass still consumes contiguous quarter-rows of
+/// the SoA layout (a fully lane-major loop would stream every cache line
+/// K times for one lane's worth of work).
+fn apply_pairs_batch_rot(
+    amps: &mut [Complex64],
+    pairs: &[[u32; 2]],
+    sins: &[f64],
+    coss: &[f64],
+    config: &SimConfig,
+) {
+    const BLOCK: usize = 4;
+    let lanes = sins.len();
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, pairs.len(), |range| {
+        let base = ptr.get();
+        let mut start = 0;
+        while start < lanes {
+            let width = BLOCK.min(lanes - start);
+            if width == BLOCK {
+                let s: [f64; BLOCK] = sins[start..start + BLOCK].try_into().expect("block");
+                let c: [f64; BLOCK] = coss[start..start + BLOCK].try_into().expect("block");
+                for p in &pairs[range.clone()] {
+                    // SAFETY: pairs disjoint, ranks in-bounds; worker
+                    // chunks partition the pair list and own all K lanes
+                    // of their pairs.
+                    unsafe {
+                        let row_a = base.add(p[0] as usize * lanes + start);
+                        let row_b = base.add(p[1] as usize * lanes + start);
+                        for lane in 0..BLOCK {
+                            rot_one_lane(row_a.add(lane), row_b.add(lane), s[lane], c[lane]);
+                        }
+                    }
+                }
+            } else {
+                let (s, c) = (&sins[start..start + width], &coss[start..start + width]);
+                for p in &pairs[range.clone()] {
+                    // SAFETY: as above.
+                    unsafe {
+                        let row_a = base.add(p[0] as usize * lanes + start);
+                        let row_b = base.add(p[1] as usize * lanes + start);
+                        for lane in 0..width {
+                            rot_one_lane(row_a.add(lane), row_b.add(lane), s[lane], c[lane]);
+                        }
+                    }
+                }
+            }
+            start += width;
+        }
+    });
+}
+
+/// One lane of the commute-block rotation — the exact expression the
+/// serial [`apply_pairs`] rotation closure evaluates.
+///
+/// # Safety
+///
+/// `pa` and `pb` must be valid, distinct amplitude slots.
+#[inline(always)]
+unsafe fn rot_one_lane(pa: *mut Complex64, pb: *mut Complex64, sin: f64, cos: f64) {
+    let (a, b) = (*pa, *pb);
+    *pa = Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re);
+    *pb = Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re);
+}
+
+/// Batched [`apply_pairs`] for mixed batches: one traversal of the pair
+/// table updates all K lanes, each through its own frozen [`LaneKernel`]
+/// (all-rotation batches take [`apply_pairs_batch_rot`] instead). Every
+/// lane evaluates the same per-lane expression as its serial replay.
+fn apply_pairs_batch(
+    amps: &mut [Complex64],
+    pairs: &[[u32; 2]],
+    kernels: &[LaneKernel],
+    config: &SimConfig,
+) {
+    let lanes = kernels.len();
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, pairs.len(), |range| {
+        let base = ptr.get();
+        for p in &pairs[range] {
+            // SAFETY: pairs disjoint, ranks in-bounds; worker chunks
+            // partition the pair list and own all K lanes of their pairs.
+            unsafe {
+                let row_a = base.add(p[0] as usize * lanes);
+                let row_b = base.add(p[1] as usize * lanes);
+                for (lane, k) in kernels.iter().enumerate() {
+                    let (pa, pb) = (row_a.add(lane), row_b.add(lane));
+                    let (a, b) = k.apply(*pa, *pb);
+                    *pa = a;
+                    *pb = b;
+                }
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,5 +1284,95 @@ mod tests {
         assert_eq!(merge_sorted(&[1, 3, 5], &[2, 3, 3, 6]), vec![1, 2, 3, 5, 6]);
         assert_eq!(merge_sorted(&[], &[4, 4]), vec![4]);
         assert_eq!(merge_sorted(&[7], &[]), vec![7]);
+    }
+
+    /// Runs the batch through `execute_batch` and asserts every lane is
+    /// bit-identical to its own serial `execute` replay.
+    fn assert_batch_matches_serial(circuits: &[Circuit], plan: &GatePlan, config: &SimConfig) {
+        let k = circuits.len();
+        let f = plan.basis().len();
+        let mut batched = vec![Complex64::ZERO; k * f];
+        for slot in batched.iter_mut().take(k) {
+            *slot = Complex64::ONE; // rank 0, every lane
+        }
+        let mut scratch = BatchScratch::default();
+        plan.execute_batch(circuits, &mut batched, &mut scratch, config);
+        for (lane, circuit) in circuits.iter().enumerate() {
+            let serial = run_plan(circuit, plan);
+            for rank in 0..f {
+                let (a, b) = (batched[rank * k + lane], serial[rank]);
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "lane={lane} rank={rank}: batched {a} vs serial {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_per_lane() {
+        let poly = test_poly();
+        let plan = GatePlan::compile(&confined_circuit_with(&poly, 0.1), 1 << 10).unwrap();
+        let circuits: Vec<Circuit> = [0.0, 0.3, -1.2, 2.8, 0.9]
+            .iter()
+            .map(|&t| confined_circuit_with(&poly, t))
+            .collect();
+        for threads in [1, 2, 4] {
+            let config = SimConfig {
+                threads,
+                parallel_threshold: 1,
+                ..SimConfig::default()
+            };
+            assert_batch_matches_serial(&circuits, &plan, &config);
+        }
+    }
+
+    #[test]
+    fn mixed_kernel_lanes_take_their_own_serial_branches() {
+        // One shape, three angle sets: θ = 0 resolves Rx to the diagonal
+        // identity branch, θ = π to the anti-diagonal branch, anything
+        // else to the generic complex branch — all inside one batch, next
+        // to Ry's real branch, H's fixed real matrix, and phase steps.
+        let build = |theta: f64| {
+            let mut c = Circuit::new(3);
+            c.h(0);
+            c.rx(1, theta);
+            c.ry(2, theta * 0.5);
+            c.rz(0, theta);
+            c.cz(0, 1);
+            c.cx(1, 2);
+            c.p(2, theta);
+            c
+        };
+        let plan = GatePlan::compile(&build(0.7), 1 << 10).unwrap();
+        let circuits: Vec<Circuit> = [0.0, std::f64::consts::PI, 0.7]
+            .iter()
+            .map(|&t| build(t))
+            .collect();
+        for c in &circuits {
+            assert!(plan.shape().matches(c));
+        }
+        for threads in [1, 2] {
+            let config = SimConfig {
+                threads,
+                parallel_threshold: 1,
+                ..SimConfig::default()
+            };
+            assert_batch_matches_serial(&circuits, &plan, &config);
+        }
+    }
+
+    #[test]
+    fn batch_wider_than_the_basis_is_fine() {
+        // K = 17 lanes on a tiny feasible subspace (K > |F|) — the SoA
+        // layout is rank-major, so nothing special happens; the loops just
+        // run more lanes than ranks.
+        let poly = test_poly();
+        let plan = GatePlan::compile(&confined_circuit_with(&poly, 0.1), 1 << 10).unwrap();
+        let circuits: Vec<Circuit> = (0..17)
+            .map(|i| confined_circuit_with(&poly, 0.05 * i as f64 - 0.4))
+            .collect();
+        assert!(circuits.len() > plan.basis().len());
+        assert_batch_matches_serial(&circuits, &plan, &SimConfig::serial());
     }
 }

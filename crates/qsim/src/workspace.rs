@@ -34,6 +34,7 @@
 //! Which engine runs is [`SimConfig::engine`]'s choice — the workspace is
 //! where that selection takes effect for every solver.
 
+use crate::batch::BatchWorkspace;
 use crate::circuit::Circuit;
 use crate::compact::CompactStateVector;
 use crate::counts::Counts;
@@ -254,6 +255,9 @@ pub struct SimWorkspace {
     run_stamp: u64,
     cumulative_for: u64,
     reallocations: u64,
+    /// The SoA buffer for batched compact replay ([`SimWorkspace::run_batch`]),
+    /// allocated on first use and reused across iterations.
+    batch: Option<BatchWorkspace>,
 }
 
 impl SimWorkspace {
@@ -282,6 +286,7 @@ impl SimWorkspace {
             run_stamp: 0,
             cumulative_for: u64::MAX,
             reallocations: 0,
+            batch: None,
         }
     }
 
@@ -398,6 +403,42 @@ impl SimWorkspace {
             .as_ref()
             .expect("run a circuit before measuring")
             .expectation_diag_values(values)
+    }
+
+    /// Replays K same-shape circuits in one pass over the cached gate
+    /// plan — the batched compact fast path (see [`BatchWorkspace`]).
+    /// Returns the lane-addressable batch state, or `None` when batching
+    /// does not apply and the caller should fall back to K sequential
+    /// [`SimWorkspace::run`] calls: a non-compact engine selection, an
+    /// empty batch, a shape that refused compilation, or circuits of
+    /// differing shapes.
+    ///
+    /// The serial engine state ([`SimWorkspace::state`], sampling caches)
+    /// is untouched — a batched evaluation never disturbs what a
+    /// subsequent serial run and `sample` will see.
+    ///
+    /// Bit-identity contract: lane `i` of the result reads exactly what
+    /// `self.run(&circuits[i])` would produce, at any batch size and
+    /// thread count.
+    pub fn run_batch(&mut self, circuits: &[Circuit]) -> Option<&BatchWorkspace> {
+        if circuits.is_empty() || self.config.engine != EngineKind::Compact {
+            return None;
+        }
+        let cap = plan_support_cap(&self.config, circuits[0].n_qubits());
+        let plan = self.plans.lookup_or_compile(&circuits[0], cap)?;
+        if !circuits.iter().all(|c| plan.shape().matches(c)) {
+            return None;
+        }
+        let batch = self.batch.get_or_insert_with(BatchWorkspace::new);
+        batch.replay(&plan, circuits, &self.config);
+        Some(&*batch)
+    }
+
+    /// How many times the batched SoA buffer had to grow (see
+    /// [`BatchWorkspace::reallocations`]); 0 before the first
+    /// [`SimWorkspace::run_batch`].
+    pub fn batch_reallocations(&self) -> u64 {
+        self.batch.as_ref().map_or(0, BatchWorkspace::reallocations)
     }
 
     /// The compact fast path: find or compile the gate plan for this
@@ -844,6 +885,149 @@ mod tests {
         late.run(&confined(1.3));
         assert_eq!(late.plan_compilations(), 1, "late joiner reuses the plan");
         assert_eq!(shared.compilations(), 1);
+    }
+
+    fn confined_4q(poly: &Arc<PhasePoly>, theta: f64) -> Circuit {
+        let mut c = Circuit::new(4);
+        c.load_bits(0b0110);
+        c.diag(poly.clone(), theta);
+        c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, -1], 0.5));
+        c.ublock(crate::gate::UBlock::from_u_with_angle(
+            &[0, 1, -1, 1],
+            theta,
+        ));
+        c
+    }
+
+    #[test]
+    fn run_batch_lanes_match_serial_runs_bitwise() {
+        let poly = test_poly(4);
+        let thetas = [0.3, 1.1, -0.7, 0.0, 2.2];
+        let circuits: Vec<Circuit> = thetas.iter().map(|&t| confined_4q(&poly, t)).collect();
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let mut batch_ws = SimWorkspace::new(config);
+        let mut serial_ws = SimWorkspace::new(config);
+        let batch = batch_ws.run_batch(&circuits).expect("compact batch runs");
+        assert_eq!(batch.lanes(), circuits.len());
+        let table: Vec<f64> = (0..16u64).map(|b| poly.eval_bits(b)).collect();
+        for (lane, circuit) in circuits.iter().enumerate() {
+            let state = serial_ws.run(circuit);
+            assert!(state.is_compact());
+            for bits in 0..16u64 {
+                let (a, b) = (batch.amplitude(lane, bits), state.amplitude(bits));
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "lane={lane} bits={bits}: {a} vs {b}"
+                );
+            }
+            assert_eq!(
+                batch.expectation_diag_values(lane, &table),
+                serial_ws.expectation_diag_values(&table),
+                "lane={lane} expectation"
+            );
+            let mut ra = StdRng::seed_from_u64(19);
+            let mut rb = StdRng::seed_from_u64(19);
+            assert_eq!(
+                batch.sample(lane, 2_000, &mut ra),
+                serial_ws.sample(2_000, &mut rb),
+                "lane={lane} histogram"
+            );
+        }
+        // The batch and the serial runs share one plan per workspace; the
+        // batched path keeps the compile-once invariant.
+        assert_eq!(batch_ws.plan_compilations(), 1);
+        assert_eq!(serial_ws.plan_compilations(), 1);
+    }
+
+    #[test]
+    fn run_batch_declines_when_batching_does_not_apply() {
+        let poly = test_poly(4);
+        let circuits = vec![confined_4q(&poly, 0.3), confined_4q(&poly, 0.9)];
+        // Non-compact engine selection.
+        let mut dense_ws = SimWorkspace::new(SimConfig::serial());
+        assert!(dense_ws.run_batch(&circuits).is_none());
+        // Empty batch.
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let mut ws = SimWorkspace::new(config);
+        assert!(ws.run_batch(&[]).is_none());
+        // Mixed shapes.
+        let mut longer = confined_4q(&poly, 0.3);
+        longer.x(0);
+        let mixed = vec![confined_4q(&poly, 0.3), longer];
+        assert!(ws.run_batch(&mixed).is_none());
+        // Fallback shape (refuses compilation).
+        let mut mixer = Circuit::new(10);
+        for q in 0..10 {
+            mixer.h(q);
+        }
+        assert!(ws.run_batch(&[mixer.clone(), mixer]).is_none());
+        // A well-formed batch afterwards still works.
+        assert!(ws.run_batch(&circuits).is_some());
+    }
+
+    #[test]
+    fn batched_iterations_are_zero_alloc_after_warmup() {
+        let poly = test_poly(4);
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let mut ws = SimWorkspace::new(config);
+        assert_eq!(ws.batch_reallocations(), 0);
+        for i in 0..20 {
+            let circuits: Vec<Circuit> = (0..4)
+                .map(|k| confined_4q(&poly, 0.05 * (i * 4 + k) as f64))
+                .collect();
+            ws.run_batch(&circuits).expect("compact batch runs");
+        }
+        assert_eq!(ws.batch_reallocations(), 1, "SoA buffer allocated once");
+        // A narrower batch fits the existing capacity; a wider one grows.
+        let narrow: Vec<Circuit> = (0..2).map(|k| confined_4q(&poly, 0.1 * k as f64)).collect();
+        ws.run_batch(&narrow).unwrap();
+        assert_eq!(ws.batch_reallocations(), 1);
+        let wide: Vec<Circuit> = (0..16)
+            .map(|k| confined_4q(&poly, 0.1 * k as f64))
+            .collect();
+        ws.run_batch(&wide).unwrap();
+        assert_eq!(ws.batch_reallocations(), 2);
+        // The serial engine state was never touched by batched runs.
+        assert!(ws.state().is_none());
+        assert_eq!(ws.reallocations(), 0);
+    }
+
+    #[test]
+    fn shared_plan_cache_compiles_once_across_workers_and_batches() {
+        // The PR-5 compile-once invariant extended over the batched path:
+        // worker-owned workspaces sharing one PlanCache, each mixing
+        // serial runs and batched replays of the same shape, still compile
+        // it exactly once between them.
+        let poly = test_poly(4);
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let shared = Arc::new(PlanCache::new());
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let shared = shared.clone();
+                let poly = poly.clone();
+                scope.spawn(move || {
+                    let mut ws = SimWorkspace::with_plan_cache(config, shared);
+                    for i in 0..4 {
+                        let circuits: Vec<Circuit> = (0..3)
+                            .map(|k| confined_4q(&poly, 0.1 * (w * 16 + i * 3 + k) as f64))
+                            .collect();
+                        let batch = ws.run_batch(&circuits).expect("compact batch runs");
+                        let want: Vec<_> = (0..16u64).map(|b| batch.amplitude(0, b)).collect();
+                        let state = ws.run(&circuits[0]);
+                        for (bits, w) in want.iter().enumerate() {
+                            let got = state.amplitude(bits as u64);
+                            assert!(got.re == w.re && got.im == w.im);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            shared.compilations(),
+            1,
+            "one compile across workers × batches"
+        );
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub struct RunArgs {
     /// Simulation engine override (`--engine dense|sparse|compact|auto`); `None`
     /// defers to the spec's `[grid] engine` key.
     pub engine: Option<EngineKind>,
+    /// Batched-replay width override (`--batch K`); `None` defers to the
+    /// spec's `[grid] batch` key. `1` is the serial path.
+    pub batch: Option<usize>,
     /// Classical-optimizer override
     /// (`--optimizer cobyla|nelder-mead|spsa`); `None` defers to the
     /// spec's `[grid] optimizer` key.
@@ -50,7 +53,7 @@ pub struct RunArgs {
 /// Usage text for the `run` subcommand.
 pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--quick] \
      [--out PATH|-] [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
-     [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
+     [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
      [--checkpoint PATH] [--resume] [--cell-timeout SECS] [--retries N]";
 
 /// Parses `run` subcommand arguments (everything after the literal
@@ -90,6 +93,15 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 parsed.engine = Some(
                     EngineKind::parse(&value("--engine")?).map_err(|e| format!("--engine: {e}"))?,
                 )
+            }
+            "--batch" => {
+                let k: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if k < 1 {
+                    return Err("--batch: expected a width of at least 1 (1 = serial)".into());
+                }
+                parsed.batch = Some(k);
             }
             "--optimizer" => {
                 parsed.optimizer = Some(
@@ -151,6 +163,7 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
             SimConfig::with_threads(parsed.sim_threads)
         },
         engine: parsed.engine,
+        batch: parsed.batch,
         optimizer: parsed.optimizer,
         restart_workers: parsed.restart_workers,
         checkpoint: parsed.checkpoint.clone(),
@@ -217,6 +230,8 @@ mod tests {
             "2",
             "--engine",
             "sparse",
+            "--batch",
+            "8",
             "--optimizer",
             "nelder-mead",
             "--restart-workers",
@@ -231,6 +246,7 @@ mod tests {
         assert_eq!(args.csv.as_deref(), Some("cells.csv"));
         assert_eq!(args.sim_threads, 2);
         assert_eq!(args.engine, Some(EngineKind::Sparse));
+        assert_eq!(args.batch, Some(8));
         assert_eq!(args.optimizer, Some(OptimizerKind::NelderMead));
         assert_eq!(args.restart_workers, 4);
         assert!(args.no_table);
@@ -282,6 +298,17 @@ mod tests {
         assert_eq!(parse_run_args(&strings(&["s.toml"])).unwrap().engine, None);
         let err = parse_run_args(&strings(&["s.toml", "--engine", "fpga"])).unwrap_err();
         assert!(err.contains("--engine") && err.contains("fpga"), "{err}");
+    }
+
+    #[test]
+    fn batch_flag_defaults_to_none_and_rejects_bad_widths() {
+        assert_eq!(parse_run_args(&strings(&["s.toml"])).unwrap().batch, None);
+        let args = parse_run_args(&strings(&["s.toml", "--batch", "1"])).unwrap();
+        assert_eq!(args.batch, Some(1));
+        for bad in ["0", "-4", "wide"] {
+            let err = parse_run_args(&strings(&["s.toml", "--batch", bad])).unwrap_err();
+            assert!(err.contains("--batch"), "{bad}: {err}");
+        }
     }
 
     #[test]

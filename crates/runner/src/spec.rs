@@ -324,6 +324,11 @@ pub struct ExperimentSpec {
     /// engines are bit-identical, so sweeping them would duplicate every
     /// record.
     pub engine: Option<EngineKind>,
+    /// Batched-replay width for the compact engine (`None` = the runner's
+    /// default, overridable by `choco-cli run --batch`). Like the engine
+    /// key it is not a grid axis: batched replays are bit-identical to
+    /// serial ones, so the setting changes wall-clock, never report bytes.
+    pub batch: Option<usize>,
     /// Classical optimizer every solver in the grid runs (`None` = the
     /// workspace default, COBYLA; overridable by
     /// `choco-cli run --optimizer`). Unlike the engine key this *does*
@@ -455,6 +460,17 @@ impl ExperimentSpec {
             })?),
             None => None,
         };
+        let batch = match known.int_key(doc, "grid.batch")? {
+            Some(v) if v < 1 => {
+                return Err(format!(
+                    "`[grid] batch`: must be at least 1 (got {v}) — the batched \
+                         compact replay evaluates that many candidate angle sets \
+                         per plan traversal; 1 is the serial path"
+                ));
+            }
+            Some(v) => Some(v as usize),
+            None => None,
+        };
         let optimizer = match known.str_key(doc, "grid.optimizer")? {
             Some(name) => Some(OptimizerKind::parse(&name).map_err(|e| {
                 format!(
@@ -522,6 +538,7 @@ impl ExperimentSpec {
             eliminate,
             devices,
             engine,
+            batch,
             optimizer,
             noisy,
             history,
@@ -914,6 +931,36 @@ quick_problems = ["F1"]
             ExperimentSpec::parse_str("name = \"e\"\n[grid]\nproblems = [\"F1\"]\nengine = 3")
                 .unwrap_err();
         assert!(err.contains("engine"), "{err}");
+    }
+
+    #[test]
+    fn batch_key_parses_and_defaults_to_none() {
+        assert_eq!(ExperimentSpec::parse_str(MINIMAL).unwrap().batch, None);
+        for (text, want) in [("1", 1usize), ("8", 8), ("17", 17)] {
+            let spec = ExperimentSpec::parse_str(&format!(
+                "name = \"b\"\n[grid]\nproblems = [\"F1\"]\nbatch = {text}"
+            ))
+            .unwrap();
+            assert_eq!(spec.batch, Some(want), "batch = {text}");
+        }
+    }
+
+    #[test]
+    fn nonpositive_batch_is_rejected_with_guidance() {
+        for bad in ["0", "-3"] {
+            let err = ExperimentSpec::parse_str(&format!(
+                "name = \"b\"\n[grid]\nproblems = [\"F1\"]\nbatch = {bad}"
+            ))
+            .unwrap_err();
+            assert!(err.contains("batch"), "{bad}: {err}");
+            assert!(err.contains("at least 1"), "{bad}: {err}");
+        }
+        // Wrong type is also caught, not silently ignored.
+        let err = ExperimentSpec::parse_str(
+            "name = \"b\"\n[grid]\nproblems = [\"F1\"]\nbatch = \"wide\"",
+        )
+        .unwrap_err();
+        assert!(err.contains("batch"), "{err}");
     }
 
     #[test]

@@ -137,6 +137,112 @@ impl CostSpec<'_> {
             CostSpec::Poly(poly) => state.expectation_diag_poly(poly),
         }
     }
+
+    /// Expectation on one lane of a batched replay — bit-identical to
+    /// [`CostSpec::expectation`] on that lane's serial state.
+    pub fn expectation_lane(&self, batch: &choco_qsim::BatchWorkspace, lane: usize) -> f64 {
+        match self {
+            CostSpec::Table(values) => batch.expectation_diag_values(lane, values),
+            CostSpec::Poly(poly) => batch.expectation_diag_poly(lane, poly),
+        }
+    }
+}
+
+/// The variational objective handed to the optimizers: maps a parameter
+/// vector to `E[cost]` through one circuit execution, and — when the
+/// simulator configuration enables batching — evaluates groups of
+/// independent candidates through [`SimWorkspace::run_batch`], one plan
+/// traversal for up to `batch_size` angle sets.
+///
+/// Bit-identity: [`choco_qsim::BatchWorkspace`] lanes reproduce the exact
+/// IEEE expression sequence of serial replays, so every value this
+/// objective returns is identical whether it went through `eval`,
+/// a batched chunk, or the sequential fallback — optimizer trajectories
+/// cannot depend on `batch_size`.
+struct BatchedObjective<'a, F: Fn(&[f64]) -> Circuit> {
+    build: &'a F,
+    cost: &'a CostSpec<'a>,
+    config: &'a QaoaConfig,
+    workspace: &'a std::cell::RefCell<&'a mut SimWorkspace>,
+    deadline_hit: &'a std::cell::Cell<bool>,
+    execute_time: &'a std::cell::Cell<std::time::Duration>,
+    /// Reused circuit buffer for batched chunks (no per-chunk Vec).
+    circuits: Vec<Circuit>,
+}
+
+impl<F: Fn(&[f64]) -> Circuit> BatchedObjective<'_, F> {
+    /// The sticky cooperative-deadline check shared by both evaluation
+    /// paths: returns `true` once [`QaoaConfig::deadline`] has passed.
+    fn deadline_expired(&self) -> bool {
+        if self.deadline_hit.get() {
+            return true;
+        }
+        if self.config.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.deadline_hit.set(true);
+            return true;
+        }
+        false
+    }
+}
+
+impl<F: Fn(&[f64]) -> Circuit> choco_optim::Objective for BatchedObjective<'_, F> {
+    fn eval(&mut self, params: &[f64]) -> f64 {
+        if self.deadline_expired() {
+            return f64::INFINITY;
+        }
+        let circuit = (self.build)(params);
+        let t0 = Instant::now();
+        let mut ws = self.workspace.borrow_mut();
+        let state = ws.run(&circuit);
+        let value = self.cost.expectation(state);
+        self.execute_time
+            .set(self.execute_time.get() + t0.elapsed());
+        value
+    }
+
+    fn eval_batch(&mut self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        let k = self.config.sim.batch_size;
+        if k <= 1 {
+            for x in xs {
+                out.push(self.eval(x));
+            }
+            return;
+        }
+        for chunk in xs.chunks(k) {
+            // The sticky deadline check fires inside the batched loop,
+            // once per chunk: when it trips, the whole chunk gets the
+            // same `+inf` every member would have gotten serially.
+            if self.deadline_expired() {
+                out.extend(std::iter::repeat_n(f64::INFINITY, chunk.len()));
+                continue;
+            }
+            if chunk.len() == 1 {
+                out.push(self.eval(&chunk[0]));
+                continue;
+            }
+            self.circuits.clear();
+            self.circuits.extend(chunk.iter().map(|x| (self.build)(x)));
+            let t0 = Instant::now();
+            let mut ws = self.workspace.borrow_mut();
+            if let Some(batch) = ws.run_batch(&self.circuits) {
+                for lane in 0..chunk.len() {
+                    out.push(self.cost.expectation_lane(batch, lane));
+                }
+                self.execute_time
+                    .set(self.execute_time.get() + t0.elapsed());
+            } else {
+                // Batching doesn't apply (wrong engine, fallback shape):
+                // release the workspace borrow and evaluate sequentially.
+                drop(ws);
+                self.execute_time
+                    .set(self.execute_time.get() + t0.elapsed());
+                for x in chunk {
+                    out.push(self.eval(x));
+                }
+            }
+        }
+    }
 }
 
 /// Result of [`variational_loop`].
@@ -188,7 +294,6 @@ where
         assert_eq!(values.len(), 1 << n_qubits, "cost table size mismatch");
     }
     let loop_start = Instant::now();
-    let mut execute_time = std::time::Duration::ZERO;
 
     // Cooperative deadline: checked before each objective evaluation so a
     // hung cell can never block longer than one circuit execution. Once
@@ -196,26 +301,23 @@ where
     // `+inf` without touching the engine, so the optimizer drains its
     // budget in microseconds instead of being aborted mid-state.
     let deadline_hit = std::cell::Cell::new(false);
+    let execute_cell = std::cell::Cell::new(std::time::Duration::ZERO);
     let result = {
         let workspace = std::cell::RefCell::new(&mut *workspace);
-        let objective = |params: &[f64]| -> f64 {
-            if deadline_hit.get() {
-                return f64::INFINITY;
-            }
-            if config.deadline.is_some_and(|d| Instant::now() >= d) {
-                deadline_hit.set(true);
-                return f64::INFINITY;
-            }
-            let circuit = build(params);
-            let t0 = Instant::now();
-            let mut ws = workspace.borrow_mut();
-            let state = ws.run(&circuit);
-            let value = cost.expectation(state);
-            execute_time += t0.elapsed();
-            value
+        let objective = BatchedObjective {
+            build: &build,
+            cost,
+            config,
+            workspace: &workspace,
+            deadline_hit: &deadline_hit,
+            execute_time: &execute_cell,
+            circuits: Vec::new(),
         };
-        config.optimizer.minimize(config.max_iters, objective, x0)
+        config
+            .optimizer
+            .minimize_obj(config.max_iters, objective, x0)
     };
+    let mut execute_time = execute_cell.get();
 
     let final_circuit = build(&result.best_params);
     if deadline_hit.get() {
@@ -426,6 +528,103 @@ mod tests {
         );
         assert!(result.counts.probability(0) > 0.9);
         assert!(result.iterations > 0);
+    }
+
+    /// A 3-qubit loop the compact engine can plan: superpose, phase with
+    /// the cost diagonal, mix. Cost favors |000⟩.
+    fn run_confined_loop(sim: SimConfig) -> (LoopResult, u64) {
+        let mut poly = PhasePoly::new(3);
+        poly.add_linear(0, 1.0);
+        poly.add_linear(1, 2.0);
+        poly.add_quadratic(0, 2, 0.5);
+        let table: Vec<f64> = (0..8u64).map(|b| poly.eval_bits(b)).collect();
+        let poly = Arc::new(poly);
+        let config = QaoaConfig {
+            layers: 1,
+            shots: 2_000,
+            max_iters: 30,
+            transpiled_stats: false,
+            sim,
+            ..QaoaConfig::default()
+        };
+        let mut workspace = SimWorkspace::new(sim);
+        let result = variational_loop(
+            3,
+            |params| {
+                let mut c = Circuit::new(3);
+                c.h(0).h(1).h(2);
+                c.diag(poly.clone(), params[0]);
+                c.rx(0, params[1]).rx(1, params[1]).rx(2, params[1]);
+                c
+            },
+            &CostSpec::Table(&table),
+            &[0.3, 0.5],
+            &config,
+            &mut workspace,
+        );
+        (result, workspace.plan_compilations())
+    }
+
+    #[test]
+    fn batched_loop_is_bit_identical_to_serial_and_compiles_once() {
+        let compact = SimConfig::serial().with_engine(EngineKind::Compact);
+        let (serial, _) = run_confined_loop(compact);
+        for k in [2usize, 3, 8] {
+            let (batched, compilations) = run_confined_loop(compact.with_batch(k));
+            assert_eq!(serial.counts, batched.counts, "batch {k}");
+            assert_eq!(serial.cost_history, batched.cost_history, "batch {k}");
+            assert_eq!(serial.iterations, batched.iterations, "batch {k}");
+            assert_eq!(compilations, 1, "batch {k} must reuse one plan");
+        }
+        // Non-compact engines take the sequential fallback and still
+        // produce the same trajectory.
+        let (dense, _) = run_confined_loop(SimConfig::serial().with_batch(8));
+        assert_eq!(serial.counts, dense.counts);
+        assert_eq!(serial.cost_history, dense.cost_history);
+    }
+
+    #[test]
+    fn expired_deadline_is_honored_inside_the_batched_loop() {
+        let expired = Some(Instant::now() - std::time::Duration::from_secs(1));
+        let mut results = Vec::new();
+        for k in [1usize, 8] {
+            let sim = SimConfig::serial()
+                .with_engine(EngineKind::Compact)
+                .with_batch(k);
+            let config = QaoaConfig {
+                layers: 1,
+                shots: 2_000,
+                max_iters: 25,
+                transpiled_stats: false,
+                sim,
+                deadline: expired,
+                ..QaoaConfig::default()
+            };
+            let mut workspace = SimWorkspace::new(sim);
+            let result = variational_loop(
+                1,
+                |params| {
+                    let mut c = Circuit::new(1);
+                    c.rx(0, params[0]);
+                    c
+                },
+                &CostSpec::Table(&[0.0, 1.0]),
+                &[2.0],
+                &config,
+                &mut workspace,
+            );
+            assert!(result.deadline_exceeded, "batch {k}");
+            assert_eq!(result.counts, Counts::new(), "batch {k}: sampling skipped");
+            assert!(
+                result.cost_history.iter().all(|v| v.is_infinite()),
+                "batch {k}: every evaluation must short-circuit to +inf"
+            );
+            results.push(result);
+        }
+        // The sticky check fires inside the batched chunk loop, so the
+        // drained trajectories are identical at every batch size.
+        assert_eq!(results[0].cost_history, results[1].cost_history);
+        assert_eq!(results[0].iterations, results[1].iterations);
     }
 
     #[test]

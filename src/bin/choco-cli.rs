@@ -6,12 +6,12 @@
 //!                  [--layers N] [--shots N] [--iters N] [--eliminate K]
 //!                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N]
 //!                  [--threads N] [--engine dense|sparse|compact|auto]
-//!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
-//!                  [--timeout SECS]
+//!                  [--batch K] [--optimizer cobyla|nelder-mead|spsa]
+//!                  [--restart-workers N] [--timeout SECS]
 //!        choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-]
 //!                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto]
-//!                  [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N]
-//!                  [--no-table] [--checkpoint PATH] [--resume]
+//!                  [--batch K] [--optimizer cobyla|nelder-mead|spsa]
+//!                  [--restart-workers N] [--no-table] [--checkpoint PATH] [--resume]
 //!                  [--cell-timeout SECS] [--retries N]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
@@ -28,6 +28,10 @@
 //! replays a precompiled gate plan over a rank-indexed flat array — the
 //! fastest option for confined circuits), or `auto` (sparse with
 //! automatic dense fallback at the occupancy threshold).
+//! `--batch` sets the batched-replay width: the variational loop hands
+//! K candidate angle sets at a time to the compact engine, which
+//! evaluates them in one pass over the cached plan (bit-identical to K
+//! serial replays; a pure performance knob, like `--engine`).
 //! `--timeout` arms a cooperative wall-clock deadline on the solve: it
 //! is checked at every objective evaluation and an expired solve fails
 //! with a timeout error instead of running away. The `run` subcommand's
@@ -68,6 +72,7 @@ struct Args {
     optimizer: Option<choco_q::optim::OptimizerKind>,
     restart_workers: usize,
     timeout: Option<std::time::Duration>,
+    batch: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         optimizer: None,
         restart_workers: 1,
         timeout: None,
+        batch: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -148,6 +154,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--restart-workers: {e}"))?
             }
+            "--batch" => {
+                let k: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if k == 0 {
+                    return Err("--batch: expected a width of at least 1 (1 = serial)".into());
+                }
+                args.batch = Some(k);
+            }
             "--timeout" => {
                 let secs: f64 = value("--timeout")?
                     .parse()
@@ -201,12 +216,14 @@ fn main() -> ExitCode {
                 "usage: choco-cli <file | -> [--solver choco|penalty|cyclic|hea] \
                  [--layers N] [--shots N] [--iters N] [--eliminate K] \
                  [--noise fez|osaka|sherbrooke] [--top N] [--seed N] [--threads N] \
-                 [--engine dense|sparse|compact|auto] [--optimizer cobyla|nelder-mead|spsa] \
+                 [--engine dense|sparse|compact|auto] [--batch K] \
+                 [--optimizer cobyla|nelder-mead|spsa] \
                  [--restart-workers N] [--timeout SECS]\n\
                  usage: choco-cli run <spec.toml> [--workers N] [--quick] [--out PATH|-] \
                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
-                 [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
-                 [--checkpoint PATH] [--resume] [--cell-timeout SECS] [--retries N]"
+                 [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
+                 [--no-table] [--checkpoint PATH] [--resume] [--cell-timeout SECS] \
+                 [--retries N]"
             );
             return ExitCode::from(2);
         }
@@ -265,6 +282,9 @@ fn main() -> ExitCode {
             if let Some(engine) = args.engine {
                 cfg.sim = cfg.sim.with_engine(engine);
             }
+            if let Some(k) = args.batch {
+                cfg.sim = cfg.sim.with_batch(k);
+            }
             ChocoQSolver::new(cfg).solve(&problem)
         }
         name @ ("penalty" | "cyclic" | "hea") => {
@@ -289,6 +309,9 @@ fn main() -> ExitCode {
             }
             if let Some(engine) = args.engine {
                 cfg.sim = cfg.sim.with_engine(engine);
+            }
+            if let Some(k) = args.batch {
+                cfg.sim = cfg.sim.with_batch(k);
             }
             match name {
                 "penalty" => PenaltyQaoaSolver::new(cfg).solve(&problem),

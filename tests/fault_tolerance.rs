@@ -346,6 +346,94 @@ fn expired_cell_budget_times_every_cell_out_deterministically() {
 }
 
 #[test]
+fn batched_cells_keep_panic_isolation_and_retry_semantics() {
+    // The batched replay path runs inside the same catch_unwind /
+    // retry / deadline envelope as serial cells: an injected panic in a
+    // batched cell is isolated, a transient one is retried, and the
+    // surviving cells land on the exact serial-run bytes.
+    let spec = spec();
+    let batched = |faults: Option<Arc<FaultPlan>>, retries: u32| RunOptions {
+        engine: Some(EngineKind::Compact),
+        batch: Some(8),
+        faults,
+        retries,
+        ..opts()
+    };
+    let clean = execute(
+        &spec,
+        &RunOptions {
+            engine: Some(EngineKind::Compact),
+            ..opts()
+        },
+    )
+    .expect("clean serial run");
+
+    let report = execute(
+        &spec,
+        &batched(Some(Arc::new(FaultPlan::parse("panic@0").unwrap())), 0),
+    )
+    .expect("batched run survives a panicking cell");
+    assert_eq!(status_of(&report, 0), "error");
+    assert_eq!(error_kind_of(&report, 0), Some("panic"));
+    for i in 1..report.records.len() {
+        assert_eq!(
+            status_of(&report, i),
+            "ok",
+            "batched cell {i} must complete"
+        );
+        assert_eq!(
+            report.records[i].get("success_rate"),
+            clean.records[i].get("success_rate"),
+            "batched cell {i} diverged after a sibling panic"
+        );
+    }
+
+    // A transient fault consumes one retry and then reproduces the
+    // clean (serial, batch-free) result exactly.
+    let retried = execute(
+        &spec,
+        &batched(Some(Arc::new(FaultPlan::parse("panic@0:1").unwrap())), 1),
+    )
+    .expect("retried batched run");
+    assert_eq!(status_of(&retried, 0), "ok");
+    assert_eq!(retried.records[0].get("retries"), Some(&Field::UInt(1)));
+    assert_eq!(
+        retried.records[0].get("success_rate"),
+        clean.records[0].get("success_rate"),
+        "retried batched cell must match the serial result"
+    );
+
+    // Without faults, the batched report is byte-identical to serial.
+    let fault_free = execute(&spec, &batched(None, 0)).expect("fault-free batched run");
+    assert_eq!(fault_free.to_json(), clean.to_json());
+}
+
+#[test]
+fn batched_cells_honor_the_cell_timeout_deadline() {
+    // An already-expired budget trips inside the batched objective's
+    // chunk loop, producing the same degraded-but-deterministic report
+    // as the serial path.
+    let spec = spec();
+    let run = |batch: Option<usize>| {
+        execute(
+            &spec,
+            &RunOptions {
+                engine: Some(EngineKind::Compact),
+                batch,
+                cell_timeout: Some(Duration::from_nanos(1)),
+                ..opts()
+            },
+        )
+        .expect("timed-out batched run still reports")
+    };
+    let batched = run(Some(8));
+    for i in 0..batched.records.len() {
+        assert_eq!(error_kind_of(&batched, i), Some("timeout"), "cell {i}");
+    }
+    assert_eq!(batched.to_json(), run(None).to_json());
+}
+
+#[test]
 fn faulty_run_with_checkpoint_converges_on_clean_resume() {
     let dir = scratch("converge");
     let spec = spec();
