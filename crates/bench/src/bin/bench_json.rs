@@ -335,6 +335,126 @@ fn main() {
         "shared plan cache must compile each shape exactly once"
     );
 
+    // Solve-as-a-service latency: one in-process `choco-serve` session
+    // over OS pipes. The first job pays plan compilation (cold cache);
+    // an identically-shaped second job replays the daemon-global plan
+    // cache (warm). Measured: submission→first-record latency and mean
+    // per-cell latency, each cold vs warm.
+    let serve_stats = {
+        eprintln!("measuring choco-serve latency (cold vs warm plan cache) …");
+        let state_dir =
+            std::env::temp_dir().join(format!("choco_bench_serve_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let opts = choco_runner::ServeOptions {
+            state_dir: state_dir.clone(),
+            queue_cap: 256,
+            run: choco_runner::RunOptions {
+                workers: 1,
+                engine: Some(EngineKind::Compact),
+                ..choco_runner::RunOptions::default()
+            },
+        };
+        let serve_cells = 4usize;
+        let submit = |name: &str| {
+            format!(
+                "{{\"op\": \"submit\", \"job\": {{\"name\": \"{name}\", \"problems\": [\"F1\"], \
+                 \"solvers\": [\"choco-q\"], \"seeds\": [1, 2, 3, 4], \"shots\": 2048, \
+                 \"max_iters\": 10, \"restarts\": 2, \"transpiled_stats\": false}}}}\n"
+            )
+        };
+        let (req_read, req_write) = std::io::pipe().expect("request pipe");
+        let (event_read, event_write) = std::io::pipe().expect("event pipe");
+        let stats = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                choco_runner::serve::serve(&opts, std::io::BufReader::new(req_read), event_write)
+                    .expect("serve session");
+            });
+            use std::io::{BufRead, Write as _};
+            let mut requests = req_write;
+            let mut events = std::io::BufReader::new(event_read).lines();
+            // (first_record_ns, total_ns, plan compilations so far).
+            let mut run_job = |name: &str| -> (f64, f64, u64) {
+                let t0 = Instant::now();
+                requests.write_all(submit(name).as_bytes()).expect("submit");
+                requests.flush().expect("flush");
+                let mut first_record = None;
+                loop {
+                    let line = events.next().expect("event stream").expect("event line");
+                    if line.contains("\"event\": \"record\"") && first_record.is_none() {
+                        first_record = Some(t0.elapsed().as_nanos() as f64);
+                    }
+                    if line.contains("\"event\": \"done\"") {
+                        break;
+                    }
+                    assert!(
+                        !line.contains("\"event\": \"rejected\""),
+                        "bench job rejected: {line}"
+                    );
+                }
+                let total = t0.elapsed().as_nanos() as f64;
+                requests.write_all(b"{\"op\": \"stats\"}\n").expect("stats");
+                let compilations = loop {
+                    let line = events.next().expect("event stream").expect("stats line");
+                    if line.contains("\"event\": \"stats\"") {
+                        let at = line.find("\"compilations\": ").expect("compilations field");
+                        break line[at + "\"compilations\": ".len()..]
+                            .chars()
+                            .take_while(char::is_ascii_digit)
+                            .collect::<String>()
+                            .parse::<u64>()
+                            .expect("compilation count");
+                    }
+                };
+                (
+                    first_record.expect("at least one record"),
+                    total,
+                    compilations,
+                )
+            };
+            let (cold_first, cold_total, cold_compilations) = run_job("cold");
+            // Two warm passes; keep the faster (one-shot latency is noisy).
+            let (warm_first_a, warm_total_a, _) = run_job("warm-a");
+            let (warm_first_b, warm_total_b, warm_compilations) = run_job("warm-b");
+            assert_eq!(
+                warm_compilations, cold_compilations,
+                "identically-shaped jobs must compile zero new plans"
+            );
+            requests
+                .write_all(b"{\"op\": \"shutdown\"}\n")
+                .expect("shutdown");
+            drop(requests);
+            (
+                cold_first,
+                cold_total,
+                warm_first_a.min(warm_first_b),
+                warm_total_a.min(warm_total_b),
+                cold_compilations,
+            )
+        });
+        let _ = std::fs::remove_dir_all(&state_dir);
+        let (cold_first, cold_total, warm_first, warm_total, cold_compilations) = stats;
+        for (group, ns) in [
+            ("choco_serve_first_record_cold", cold_first),
+            ("choco_serve_first_record_warm", warm_first),
+            ("choco_serve_per_cell_cold", cold_total / serve_cells as f64),
+            ("choco_serve_per_cell_warm", warm_total / serve_cells as f64),
+        ] {
+            entries.push(Entry {
+                group,
+                n: serve_cells,
+                ns_per_op: ns,
+            });
+        }
+        (
+            serve_cells,
+            cold_first,
+            warm_first,
+            cold_total,
+            warm_total,
+            cold_compilations,
+        )
+    };
+
     // Assemble JSON by hand (no serde in the workspace).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"simulation\",\n");
@@ -458,6 +578,26 @@ fn main() {
              \"circuit_shapes\": {solve_shapes}",
             w1 / w2,
             w1 / w4
+        );
+    }
+    json.push_str("  },\n  \"choco_serve_latency\": {\n");
+    {
+        let (cells, cold_first, warm_first, cold_total, warm_total, compilations) = serve_stats;
+        let _ = writeln!(
+            json,
+            "    \"cells\": {cells},\n    \
+             \"first_record_cold_ms\": {:.3},\n    \
+             \"first_record_warm_ms\": {:.3},\n    \
+             \"per_cell_cold_ms\": {:.3},\n    \
+             \"per_cell_warm_ms\": {:.3},\n    \
+             \"cold_plan_compilations\": {compilations},\n    \
+             \"warm_plan_compilations\": 0,\n    \
+             \"first_record_speedup_warm\": {:.2}",
+            cold_first / 1e6,
+            warm_first / 1e6,
+            cold_total / cells as f64 / 1e6,
+            warm_total / cells as f64 / 1e6,
+            cold_first / warm_first
         );
     }
     json.push_str("  }\n}\n");

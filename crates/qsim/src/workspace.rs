@@ -102,6 +102,34 @@ struct PlanCacheInner {
     entries: Vec<PlanEntry>,
     /// Total compilations (successful or refused) ever run.
     compilations: u64,
+    /// Total shape lookups served from a cached entry.
+    hits: u64,
+    /// Content-interned diagonal polynomials, most recently used last.
+    /// Circuit shapes hold their `PhasePoly` weakly and match by `Arc`
+    /// pointer identity, so a caller that rebuilds an equal polynomial
+    /// per solve would never hit the cache across solves; interning
+    /// through here gives equal-content polynomials one canonical `Arc`
+    /// (and keeps it alive, so the shape stays matchable).
+    interned: Vec<Arc<PhasePoly>>,
+}
+
+/// Most canonical polynomials [`PlanCache::intern_poly`] keeps alive:
+/// enough for the distinct cost/penalty polynomials of the shapes a
+/// bounded plan cache can hold, without letting a long-lived daemon
+/// accumulate dead problems' polynomials.
+const INTERN_CAP: usize = 2 * PLAN_CACHE_CAP;
+
+/// A point-in-time snapshot of a [`PlanCache`]'s counters — the stats
+/// hook `choco-serve` reports so cross-request plan reuse is observable
+/// (a second same-shape job must add `hits`, not `compilations`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Circuit shapes with a cached compilation outcome right now.
+    pub shapes: usize,
+    /// Plan compilations (successful or refused) ever run.
+    pub compilations: u64,
+    /// Shape lookups served from a cached entry.
+    pub hits: u64,
 }
 
 impl PlanCache {
@@ -150,6 +178,44 @@ impl PlanCache {
         self.lock_inner().compilations
     }
 
+    /// A snapshot of the cache counters (shape count, compilations,
+    /// hits) — the observability hook behind `choco-serve`'s `stats`
+    /// request.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock_inner();
+        PlanCacheStats {
+            shapes: inner.entries.len(),
+            compilations: inner.compilations,
+            hits: inner.hits,
+        }
+    }
+
+    /// Returns the canonical `Arc` for a polynomial with `poly`'s
+    /// content, registering it if none exists yet (bounded, LRU).
+    ///
+    /// Circuit shapes ([`crate::EngineKind::Compact`]) identify their
+    /// diagonal polynomials by `Arc` pointer, so two solves that each
+    /// build an equal `PhasePoly` from scratch produce shapes that never
+    /// match. Callers that want plan reuse **across** solves — the
+    /// `choco-serve` daemon sharing one cache over all requests — intern
+    /// their cost/penalty polynomials here so equal content maps to one
+    /// pointer and the compiled plan is replayed instead of recompiled.
+    pub fn intern_poly(&self, poly: PhasePoly) -> Arc<PhasePoly> {
+        let mut inner = self.lock_inner();
+        if let Some(idx) = inner.interned.iter().position(|p| **p == poly) {
+            // LRU promotion, same policy as the plan entries.
+            let found = inner.interned.remove(idx);
+            inner.interned.push(found.clone());
+            return found;
+        }
+        if inner.interned.len() >= INTERN_CAP {
+            inner.interned.remove(0);
+        }
+        let canonical = Arc::new(poly);
+        inner.interned.push(canonical.clone());
+        canonical
+    }
+
     /// Finds the plan for `circuit`'s shape, compiling it on a miss.
     /// Returns `None` when the shape is a (fresh or remembered) fallback:
     /// the caller then runs the per-gate engines.
@@ -167,6 +233,7 @@ impl PlanCache {
             // LRU promotion: eviction drops the front, so a hit must
             // refresh recency or a rotation over more shapes than the
             // cache holds would thrash into per-iteration recompiles.
+            inner.hits += 1;
             let entry = inner.entries.remove(idx);
             let found = match &entry {
                 PlanEntry::Compiled(plan) => Some(plan.clone()),
@@ -295,6 +362,15 @@ impl SimWorkspace {
     /// another workspace.
     pub fn plan_cache(&self) -> Arc<PlanCache> {
         self.plans.clone()
+    }
+
+    /// Interns `poly` in this workspace's (possibly shared) plan cache —
+    /// see [`PlanCache::intern_poly`]. Solvers route every freshly built
+    /// cost/penalty polynomial through this so equal-content polynomials
+    /// share one `Arc` and compiled plans survive across solves (and, in
+    /// `choco-serve`, across requests).
+    pub fn intern_poly(&self, poly: PhasePoly) -> Arc<PhasePoly> {
+        self.plans.intern_poly(poly)
     }
 
     /// The execution configuration used for kernels run through this
@@ -1098,5 +1174,40 @@ mod tests {
         ));
         assert!(ws.run(&confined).is_sparse(), "fresh width starts sparse");
         assert_eq!(ws.reallocations(), 2);
+    }
+
+    /// The cross-request reuse scenario behind `choco-serve`: two "solves"
+    /// each rebuild an equal-content polynomial from scratch. Without
+    /// interning the second shape can never match (shapes hold their poly
+    /// by `Arc` pointer); with interning the second solve replays the
+    /// compiled plan — zero new compilations, observable via `stats()`.
+    #[test]
+    fn interning_keeps_plans_replayable_across_rebuilt_polys() {
+        let cache = Arc::new(PlanCache::new());
+        let config = SimConfig::serial().with_engine(EngineKind::Compact);
+        let solve = |cache: &Arc<PlanCache>| {
+            // A fresh workspace per solve, like a fresh request; only the
+            // plan cache is shared.
+            let mut ws = SimWorkspace::with_plan_cache(config, cache.clone());
+            let rebuilt = PhasePoly::clone(&test_poly(4));
+            let poly = ws.intern_poly(rebuilt);
+            let mut c = Circuit::new(4);
+            c.load_bits(0b0011);
+            c.diag(poly, 0.8);
+            c.ublock(crate::gate::UBlock::from_u_with_angle(&[1, -1, 1, 0], 0.8));
+            assert!(ws.run(&c).is_compact());
+        };
+        solve(&cache);
+        let cold = cache.stats();
+        assert_eq!(cold.compilations, 1);
+        solve(&cache);
+        let warm = cache.stats();
+        assert_eq!(warm.compilations, 1, "second solve must not recompile");
+        assert!(warm.hits > cold.hits, "second solve hits the cached plan");
+        assert_eq!(warm.shapes, 1);
+        // Interning is content-keyed: equal polynomials share one Arc.
+        let a = cache.intern_poly(PhasePoly::clone(&test_poly(4)));
+        let b = cache.intern_poly(PhasePoly::clone(&test_poly(4)));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -19,10 +19,10 @@
 //! faulty run followed by a healthy resume converges to the clean
 //! report.
 
+use crate::json::{record_from_json, Json, JsonParser};
 use crate::report::{write_json_str, Field, Record};
 use crate::run::RunOptions;
 use crate::spec::{fnv1a, ExperimentSpec};
-use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
@@ -32,288 +32,6 @@ use std::time::Duration;
 
 /// Journal format version; bumped on any layout change.
 const JOURNAL_VERSION: u64 = 1;
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (the repo deliberately has no serde; this mirrors the
-// `minitoml` approach). Numbers keep their raw token so a reloaded record
-// re-serializes byte-identically.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    /// Raw number token, e.g. `"3"` or `"0.125"` (never re-formatted).
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn parse(text: &'a str) -> Result<Json, String> {
-        let mut p = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            if b.is_ascii_whitespace() {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected `{}` at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn literal(&mut self, lit: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') if self.literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.literal("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.literal("null") => Ok(Json::Null),
-            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected byte at offset {}", self.pos)),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            pairs.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| "non-ascii \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("invalid codepoint {code}"))?,
-                            );
-                        }
-                        other => return Err(format!("bad escape `\\{}`", other as char)),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte safe: advance to
-                    // the next char boundary).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| "invalid utf-8 in string".to_string())?;
-                    let c = s.chars().next().ok_or("unterminated string")?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("number token is ascii");
-        if raw.parse::<f64>().is_err() {
-            return Err(format!("bad number `{raw}` at offset {start}"));
-        }
-        Ok(Json::Num(raw.to_string()))
-    }
-}
-
-/// Maps a parsed JSON value back to a record [`Field`]. The inverse of
-/// `Field::write_json`: pure-integer tokens become `UInt` (matching how
-/// the harness emits them), anything else numeric becomes `Float`, and
-/// `null` inside a float array round-trips to `NaN`.
-fn field_from_json(value: &Json) -> Result<Field, String> {
-    Ok(match value {
-        Json::Null => Field::Null,
-        Json::Bool(b) => Field::Bool(*b),
-        Json::Str(s) => Field::Str(s.clone()),
-        Json::Num(raw) => {
-            if !raw.contains(['.', 'e', 'E', '-']) {
-                Field::UInt(raw.parse::<u64>().map_err(|e| format!("`{raw}`: {e}"))?)
-            } else {
-                Field::Float(raw.parse::<f64>().map_err(|e| format!("`{raw}`: {e}"))?)
-            }
-        }
-        Json::Arr(items) => {
-            let mut xs = Vec::with_capacity(items.len());
-            for item in items {
-                match item {
-                    Json::Null => xs.push(f64::NAN),
-                    Json::Num(raw) => {
-                        xs.push(raw.parse::<f64>().map_err(|e| format!("`{raw}`: {e}"))?)
-                    }
-                    _ => return Err("array element is not a number".into()),
-                }
-            }
-            Field::Floats(xs)
-        }
-        Json::Obj(_) => return Err("nested objects are not record fields".into()),
-    })
-}
-
-fn record_from_json(value: &Json) -> Result<Record, String> {
-    let Json::Obj(pairs) = value else {
-        return Err("record is not an object".into());
-    };
-    let mut record = Record::new();
-    for (key, v) in pairs {
-        record.push(
-            Cow::<'static, str>::Owned(key.clone()),
-            field_from_json(v).map_err(|e| format!("field `{key}`: {e}"))?,
-        );
-    }
-    Ok(record)
-}
 
 // ---------------------------------------------------------------------------
 // Header
@@ -587,10 +305,18 @@ pub(crate) fn load_journal(path: &Path, expected: &JournalHeader) -> Result<Load
             }
         };
         let entry = (|| -> Result<(usize, Record), String> {
-            let index = parsed
-                .get("index")
-                .and_then(Json::as_u64)
-                .ok_or("cell line is missing `index`")? as usize;
+            let raw_index = parsed.get("index").ok_or("cell line is missing `index`")?;
+            // `as_u64` re-parses the raw token, so a fractional or
+            // negative index fails here with the offending value named —
+            // it must never truncate into a plausible-looking cell slot.
+            let index = raw_index.as_u64().ok_or_else(|| {
+                format!(
+                    "cell line `index` is not a non-negative integer (got {})",
+                    raw_index.brief()
+                )
+            })?;
+            let index = usize::try_from(index)
+                .map_err(|_| format!("cell line `index` {index} does not fit this platform"))?;
             let record = parsed
                 .get("record")
                 .ok_or("cell line is missing `record`")?;
@@ -680,26 +406,35 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_garbage() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\" 1}",
-            "[1,",
-            "\"unterminated",
-            "{\"a\":1}x",
-            "nul",
+    fn non_integer_indices_are_precise_errors_not_truncations() {
+        // Regression: a fractional or negative `index` used to surface as
+        // a misleading "missing `index`" and the cast to usize was
+        // unchecked. Mid-file, each must be a structured error naming the
+        // offending token; as the final line it is a torn-line drop.
+        let dir = std::env::temp_dir().join(format!("choco_ckpt_idx_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_index.jsonl");
+        let header = test_header();
+        for (token, needle) in [
+            ("2.5", "not a non-negative integer"),
+            ("-1", "not a non-negative integer"),
+            ("\"two\"", "not a non-negative integer"),
+            ("1e300", "not a non-negative integer"),
         ] {
-            assert!(JsonParser::parse(bad).is_err(), "accepted `{bad}`");
+            let mut ok_line = String::from("{\"index\": 0, \"duration_us\": 1, \"record\": ");
+            ok_record(0).write_json_line(&mut ok_line);
+            ok_line.push_str("}\n");
+            let text = format!(
+                "{}{{\"index\": {token}, \"duration_us\": 1, \"record\": {{\"status\": \"ok\"}}}}\n{ok_line}",
+                header.to_line()
+            );
+            std::fs::write(&path, text).unwrap();
+            let err = load_journal(&path, &header).unwrap_err();
+            assert!(err.contains("corrupt line 2"), "{token}: {err}");
+            assert!(err.contains(needle), "{token}: {err}");
+            assert!(err.contains(token.trim_matches('"')), "{token}: {err}");
         }
-        assert_eq!(
-            JsonParser::parse("{\"u\": \"\\u0041\"}")
-                .unwrap()
-                .get("u")
-                .unwrap()
-                .as_str(),
-            Some("A")
-        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn test_header() -> JournalHeader {

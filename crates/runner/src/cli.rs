@@ -1,10 +1,13 @@
-//! The `choco-cli run` subcommand: load a spec, execute it, emit reports.
+//! The `choco-cli run` and `choco-cli serve` subcommands: load a spec,
+//! execute it, emit reports — or run the solve-as-a-service daemon.
 
 use crate::fault::FaultPlan;
 use crate::run::{execute, RunOptions};
+use crate::serve::{serve, serve_socket, ServeOptions};
 use crate::spec::ExperimentSpec;
 use choco_optim::OptimizerKind;
 use choco_qsim::{EngineKind, SimConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -207,6 +210,191 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parsed `serve` subcommand arguments.
+#[derive(Clone, Debug)]
+pub struct ServeArgs {
+    /// Job-state directory (specs, journals, reports, done markers).
+    pub state_dir: String,
+    /// Maximum queued cells across all jobs.
+    pub queue_cap: usize,
+    /// Unix socket path; `None` serves one session on stdin/stdout.
+    pub socket: Option<String>,
+    /// Worker threads (0 = one per host core).
+    pub workers: usize,
+    /// Per-worker simulator threads (default 1).
+    pub sim_threads: usize,
+    /// Engine override applied to every job.
+    pub engine: Option<EngineKind>,
+    /// Batched-replay width override applied to every job.
+    pub batch: Option<usize>,
+    /// Classical-optimizer override applied to every job.
+    pub optimizer: Option<OptimizerKind>,
+    /// Restart-scheduler workers per Choco-Q solve.
+    pub restart_workers: usize,
+    /// Per-cell wall-clock budget in seconds.
+    pub cell_timeout_secs: Option<f64>,
+    /// Retry budget for transient per-cell failures.
+    pub retries: u32,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            state_dir: "serve-state".to_string(),
+            queue_cap: 4096,
+            socket: None,
+            workers: 0,
+            sim_threads: 1,
+            engine: None,
+            batch: None,
+            optimizer: None,
+            restart_workers: 1,
+            cell_timeout_secs: None,
+            retries: 0,
+        }
+    }
+}
+
+/// Usage text for the `serve` subcommand.
+pub const SERVE_USAGE: &str = "usage: choco-cli serve [--state-dir DIR] [--queue-cap N] \
+     [--socket PATH] [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto] \
+     [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
+     [--cell-timeout SECS] [--retries N]";
+
+/// Parses `serve` subcommand arguments (everything after the literal
+/// `serve`).
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown flags or missing values.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut parsed = ServeArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--state-dir" => parsed.state_dir = value("--state-dir")?,
+            "--queue-cap" => {
+                let cap: usize = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+                if cap == 0 {
+                    return Err("--queue-cap: expected a cap of at least 1".into());
+                }
+                parsed.queue_cap = cap;
+            }
+            "--socket" => parsed.socket = Some(value("--socket")?),
+            "--workers" => {
+                parsed.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--sim-threads" => {
+                parsed.sim_threads = value("--sim-threads")?
+                    .parse()
+                    .map_err(|e| format!("--sim-threads: {e}"))?
+            }
+            "--engine" => {
+                parsed.engine = Some(
+                    EngineKind::parse(&value("--engine")?).map_err(|e| format!("--engine: {e}"))?,
+                )
+            }
+            "--batch" => {
+                let k: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if k < 1 {
+                    return Err("--batch: expected a width of at least 1 (1 = serial)".into());
+                }
+                parsed.batch = Some(k);
+            }
+            "--optimizer" => {
+                parsed.optimizer = Some(
+                    OptimizerKind::parse(&value("--optimizer")?)
+                        .map_err(|e| format!("--optimizer: {e}"))?,
+                )
+            }
+            "--restart-workers" => {
+                parsed.restart_workers = value("--restart-workers")?
+                    .parse()
+                    .map_err(|e| format!("--restart-workers: {e}"))?
+            }
+            "--cell-timeout" => {
+                let secs: f64 = value("--cell-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--cell-timeout: expected a positive number of seconds, got {secs}"
+                    ));
+                }
+                parsed.cell_timeout_secs = Some(secs);
+            }
+            "--retries" => {
+                parsed.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Builds the daemon options a [`ServeArgs`] describes (shared by the
+/// command entry point and the tests/benches that run the daemon
+/// in-process).
+///
+/// # Errors
+///
+/// Returns `CHOCO_FAULT_INJECT` parse failures.
+pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
+    Ok(ServeOptions {
+        state_dir: PathBuf::from(&parsed.state_dir),
+        queue_cap: parsed.queue_cap,
+        run: RunOptions {
+            workers: parsed.workers,
+            quick: false,
+            sim: if parsed.sim_threads <= 1 {
+                SimConfig::serial()
+            } else {
+                SimConfig::with_threads(parsed.sim_threads)
+            },
+            engine: parsed.engine,
+            batch: parsed.batch,
+            optimizer: parsed.optimizer,
+            restart_workers: parsed.restart_workers,
+            checkpoint: None,
+            resume: false,
+            cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
+            retries: parsed.retries,
+            faults: FaultPlan::from_env()?.map(Arc::new),
+        },
+    })
+}
+
+/// Executes the `serve` subcommand: runs the daemon on stdin/stdout, or
+/// on a Unix socket when `--socket` is given.
+///
+/// # Errors
+///
+/// Returns a user-facing message on argument, setup, or bind failure.
+pub fn serve_command(args: &[String]) -> Result<(), String> {
+    let parsed = parse_serve_args(args)?;
+    let options = serve_options(&parsed)?;
+    match &parsed.socket {
+        Some(path) => serve_socket(&options, std::path::Path::new(path)),
+        None => {
+            let stdin = std::io::stdin();
+            serve(&options, stdin.lock(), std::io::stdout())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +468,44 @@ mod tests {
             let err = parse_run_args(&strings(&["s.toml", "--cell-timeout", bad])).unwrap_err();
             assert!(err.contains("--cell-timeout"), "{err}");
         }
+    }
+
+    #[test]
+    fn parses_serve_flags_with_defaults() {
+        let args = parse_serve_args(&[]).unwrap();
+        assert_eq!(args.state_dir, "serve-state");
+        assert_eq!(args.queue_cap, 4096);
+        assert_eq!(args.socket, None);
+        assert_eq!(args.workers, 0);
+
+        let args = parse_serve_args(&strings(&[
+            "--state-dir",
+            "/tmp/s",
+            "--queue-cap",
+            "7",
+            "--socket",
+            "/tmp/s.sock",
+            "--workers",
+            "2",
+            "--engine",
+            "compact",
+            "--retries",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(args.state_dir, "/tmp/s");
+        assert_eq!(args.queue_cap, 7);
+        assert_eq!(args.socket.as_deref(), Some("/tmp/s.sock"));
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.engine, Some(EngineKind::Compact));
+        assert_eq!(args.retries, 1);
+
+        assert!(parse_serve_args(&strings(&["--queue-cap", "0"]))
+            .unwrap_err()
+            .contains("--queue-cap"));
+        assert!(parse_serve_args(&strings(&["--bogus"]))
+            .unwrap_err()
+            .contains("--bogus"));
     }
 
     #[test]

@@ -21,6 +21,10 @@
 //!   deadlines, bounded retries, and an append-only checkpoint journal
 //!   (`--checkpoint` / `--resume`) that makes killed runs resumable with
 //!   byte-identical reports (see `docs/operations.md`).
+//! * [`serve`] — `choco-cli serve`: a long-lived solve-as-a-service
+//!   daemon that queues submitted jobs across a persistent worker pool
+//!   whose workspaces share one plan cache across requests, streams
+//!   records as JSONL, and journals every job for kill-resume.
 //! * [`cli::run_command`] — the `choco-cli run <spec>` entry point.
 //!
 //! ```
@@ -46,15 +50,18 @@
 mod checkpoint;
 pub mod cli;
 mod fault;
+mod json;
 pub mod minitoml;
 mod report;
 mod run;
+pub mod serve;
 mod spec;
 mod special;
 
 pub use fault::{CellError, CellErrorKind, FaultKind, FaultPlan};
 pub use report::{Field, Record, RunReport};
 pub use run::{build_instances, execute, scaled_choco, scaled_qaoa, Instance, RunOptions};
+pub use serve::ServeOptions;
 pub use spec::{
     Cell, ConfigOverrides, DecompositionSpec, ExperimentSpec, ProblemRef, RunKind, SolverKind,
 };

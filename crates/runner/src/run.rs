@@ -237,14 +237,18 @@ pub fn execute(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, St
     }
 }
 
-fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, String> {
-    let mut cells = spec.expand_cells(opts.quick);
+/// Expands a grid spec's cells, applying the `--quick` variable cap
+/// (dropping oversized instances and reindexing) exactly like the grid
+/// executor — shared with `choco-serve`, so a daemon job expands to the
+/// same cell list as a plain `choco-cli run` of the same spec.
+pub(crate) fn expand_grid_cells(spec: &ExperimentSpec, quick: bool) -> Result<Vec<Cell>, String> {
+    let mut cells = spec.expand_cells(quick);
 
     // `--quick` additionally drops cells above the spec's variable cap —
     // before any exact solve, since generating a Problem is microseconds
     // but the exact optimum of precisely the oversized classes the cap
     // exists to skip is the expensive part.
-    if let (true, Some(cap)) = (opts.quick, spec.quick_max_vars) {
+    if let (true, Some(cap)) = (quick, spec.quick_max_vars) {
         let mut sizes: BTreeMap<(String, u64), usize> = BTreeMap::new();
         for cell in &cells {
             let key = (cell.problem.as_str().to_string(), cell.instance_seed);
@@ -265,6 +269,11 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
             cell.index = index;
         }
     }
+    Ok(cells)
+}
+
+fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, String> {
+    let cells = expand_grid_cells(spec, opts.quick)?;
 
     // Checkpoint setup: load completed cells from an existing journal
     // (resume) or open a fresh one. The header binds the journal to the
@@ -394,7 +403,7 @@ struct CellSuccess {
 /// apply only to transient failure kinds (panic, timeout) and are
 /// bounded by `opts.retries`; the count a cell consumed is reported in
 /// its `retries` field either way.
-fn run_grid_cell(
+pub(crate) fn run_grid_cell(
     spec: &ExperimentSpec,
     opts: &RunOptions,
     cell: &Cell,
@@ -480,7 +489,11 @@ fn run_cell_attempt(
         }),
         Ok(Err(error)) => Err(error),
         Err(payload) => {
-            *workspace = SimWorkspace::new(sim);
+            // The replacement workspace keeps the (possibly shared) plan
+            // cache: it heals its own lock poisoning, and dropping it
+            // here would silently cut a daemon worker off from the
+            // cross-request cache after one panicking cell.
+            *workspace = SimWorkspace::with_plan_cache(sim, workspace.plan_cache());
             Err(CellError::from_panic(payload.as_ref()))
         }
     }
@@ -736,7 +749,7 @@ fn grid_record(
 /// metrics plus the paper's headline improvement factors. Non-finite
 /// metric values (a NaN success rate from a degenerate cell) are
 /// excluded from every aggregate rather than poisoning it.
-fn summarize(records: &[Record]) -> Record {
+pub(crate) fn summarize(records: &[Record]) -> Record {
     let mut summary = Record::new();
     let errors = records
         .iter()

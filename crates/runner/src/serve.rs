@@ -1,0 +1,1029 @@
+//! `choco-serve`: the solve-as-a-service daemon behind `choco-cli serve`.
+//!
+//! A long-lived process accepts job submissions over a line-oriented JSON
+//! protocol (stdin/stdout or a Unix socket), expands each job into grid
+//! cells with the *same* expansion as `choco-cli run`, and schedules the
+//! cells across a persistent worker pool. Each worker owns long-lived
+//! [`SimWorkspace`]s — one per distinct [`SimConfig`] — and all workspaces
+//! for a given configuration share one [`PlanCache`] **across requests**:
+//! the second job with the same circuit shapes replays compiled plans
+//! instead of recompiling them (observable through the `stats` op).
+//!
+//! # Protocol
+//!
+//! Requests are single JSON lines; responses are single JSON event lines.
+//!
+//! | request | effect |
+//! |---|---|
+//! | `{"op": "submit", "spec_path": "…"}` | submit a spec file |
+//! | `{"op": "submit", "spec_toml": "…"}` | submit inline spec TOML |
+//! | `{"op": "submit", "job": {…}}` | submit a minimal JSON job |
+//! | `{"op": "stats"}` | queue depth + per-cache plan statistics |
+//! | `{"op": "shutdown"}` | drain active jobs, then exit |
+//! | `{"op": "shutdown", "mode": "abort"}` | stop after in-flight cells |
+//!
+//! Events: `ready` (session start, lists resumed jobs), `accepted`,
+//! `rejected` (with a machine-readable `kind`), `record` (one per
+//! completed cell, streamed as it lands), `done` (report written),
+//! `stats`, `error`, `shutdown`.
+//!
+//! # Durability
+//!
+//! Every job writes an append-only checkpoint journal under the state
+//! directory *before* its record is streamed, one atomic line per cell. A
+//! killed daemon loses at most one torn trailing line: on restart the
+//! daemon re-admits every non-`.done` job from its persisted spec, skips
+//! journaled cells, and re-runs the rest. Reports are byte-identical to
+//! `choco-cli run` of the same spec at any worker count, with or without
+//! an intervening kill.
+
+use crate::checkpoint::{load_journal, CheckpointJournal, JournalHeader};
+use crate::json::{Json, JsonParser};
+use crate::report::{write_json_str, Field, Record, RunReport};
+use crate::run::{build_instances, expand_grid_cells, run_grid_cell, summarize, Instance};
+use crate::spec::{Cell, ExperimentSpec, RunKind};
+use crate::RunOptions;
+use choco_qsim::{PlanCache, SimConfig, SimWorkspace};
+use choco_solvers::shared::check_size_for;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Daemon configuration: where job state lives, how much work may queue,
+/// and the execution options every job runs under.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Directory for per-job state: `<id>.spec.toml`, `<id>.journal`,
+    /// `<id>.json` (the report), `<id>.done` (completion marker).
+    pub state_dir: PathBuf,
+    /// Maximum queued cells across all jobs. A submission whose cells
+    /// would push the queue past this cap is rejected (`queue_full`)
+    /// instead of admitted — backpressure, not unbounded memory.
+    pub queue_cap: usize,
+    /// Execution options applied to every job (worker count, engine and
+    /// optimizer overrides, retries, timeouts). `checkpoint`/`resume`
+    /// are ignored: the daemon manages its own journals.
+    pub run: RunOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            state_dir: PathBuf::from("serve-state"),
+            queue_cap: 4096,
+            run: RunOptions::default(),
+        }
+    }
+}
+
+/// One admitted job: the spec, its expanded cells, resolved instances,
+/// journal, and the slots its records land in.
+struct Job {
+    id: String,
+    spec: ExperimentSpec,
+    opts: RunOptions,
+    sim: SimConfig,
+    cells: Vec<Cell>,
+    instances: BTreeMap<(String, u64), Instance>,
+    journal: CheckpointJournal,
+    /// One slot per cell, indexed by `Cell::index`; resumed cells are
+    /// prefilled from the journal.
+    slots: Mutex<Vec<Option<Record>>>,
+    /// Cells not yet finished; the worker that takes it to zero
+    /// finalizes the job.
+    remaining: AtomicUsize,
+    /// Set on the first journal-append failure: remaining cells are
+    /// skipped and the job finishes with an `error` event instead of a
+    /// report (a checkpoint that silently stopped recording would
+    /// defeat its purpose).
+    failed: AtomicBool,
+    report_path: PathBuf,
+    done_path: PathBuf,
+    /// Cells restored from the journal at admission.
+    resumed: usize,
+}
+
+/// One schedulable unit: a cell of a job.
+struct Task {
+    job: Arc<Job>,
+    cell: usize,
+}
+
+/// Mutable daemon state behind one lock.
+struct ServeState {
+    tasks: VecDeque<Task>,
+    active: Vec<Arc<Job>>,
+    stop: bool,
+}
+
+/// Everything the worker pool and the session loop share.
+struct Shared<'env> {
+    opts: &'env ServeOptions,
+    state: Mutex<ServeState>,
+    wake: Condvar,
+    /// Plan-cache registry keyed by engine configuration: every worker
+    /// workspace for the same [`SimConfig`] shares one cache, so plans
+    /// compiled for one request replay for every later one.
+    caches: Mutex<Vec<(SimConfig, Arc<PlanCache>)>>,
+    /// The current session's output. Events emitted between sessions
+    /// (e.g. a job finishing after its submitter disconnected) go to the
+    /// sink bound at the time; job *state* is on disk either way.
+    sink: Mutex<Box<dyn Write + Send + 'env>>,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a session ended.
+enum SessionEnd {
+    /// Input exhausted; a socket daemon accepts the next connection, a
+    /// stdio daemon drains and exits.
+    Eof,
+    /// An explicit `shutdown` op.
+    Shutdown {
+        /// `true` for `"mode": "abort"`: queued cells are dropped
+        /// (journals keep them resumable) instead of drained.
+        abort: bool,
+    },
+}
+
+/// Runs the daemon over a single input/output session (the
+/// stdin/stdout mode of `choco-cli serve`). End of input drains active
+/// jobs and exits, so `echo '…' | choco-cli serve` submits, waits, and
+/// terminates cleanly.
+///
+/// # Errors
+///
+/// Returns setup failures (unusable state directory). Per-job failures
+/// are reported as protocol events, not errors.
+pub fn serve<R, W>(opts: &ServeOptions, input: R, output: W) -> Result<(), String>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let mut session = Some((input, output));
+    drive(opts, move || session.take())
+}
+
+/// Runs the daemon on a Unix socket: one connection at a time, each a
+/// session of the same line protocol as [`serve`]. A stale socket file
+/// is removed at bind time; the daemon exits on a `shutdown` op.
+///
+/// # Errors
+///
+/// Returns setup failures (bind errors, unusable state directory).
+pub fn serve_socket(opts: &ServeOptions, socket_path: &Path) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+    if socket_path.exists() {
+        std::fs::remove_file(socket_path)
+            .map_err(|e| format!("cannot remove stale socket {}: {e}", socket_path.display()))?;
+    }
+    if let Some(parent) = socket_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let listener = UnixListener::bind(socket_path)
+        .map_err(|e| format!("cannot bind {}: {e}", socket_path.display()))?;
+    eprintln!("choco-serve: listening on {}", socket_path.display());
+    drive(opts, move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let Ok(reader) = stream.try_clone() else {
+                    continue;
+                };
+                return Some((std::io::BufReader::new(reader), stream));
+            }
+            Err(e) => {
+                eprintln!("choco-serve: accept failed: {e}");
+                return None;
+            }
+        }
+    })
+}
+
+/// The daemon core shared by both transports: starts the worker pool,
+/// resumes persisted jobs at the first session, then processes sessions
+/// until input ends (stdio) or a `shutdown` op arrives.
+fn drive<'env, R, W>(
+    opts: &'env ServeOptions,
+    mut next_session: impl FnMut() -> Option<(R, W)>,
+) -> Result<(), String>
+where
+    R: BufRead,
+    W: Write + Send + 'env,
+{
+    std::fs::create_dir_all(&opts.state_dir)
+        .map_err(|e| format!("cannot create state dir {}: {e}", opts.state_dir.display()))?;
+    let n_workers = opts.run.effective_workers(usize::MAX);
+    let shared = Shared {
+        opts,
+        state: Mutex::new(ServeState {
+            tasks: VecDeque::new(),
+            active: Vec::new(),
+            stop: false,
+        }),
+        wake: Condvar::new(),
+        caches: Mutex::new(Vec::new()),
+        sink: Mutex::new(Box::new(std::io::sink())),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| worker_loop(&shared));
+        }
+        let mut resumed: Option<Vec<String>> = None;
+        let mut end = SessionEnd::Eof;
+        while let Some((input, output)) = next_session() {
+            *lock(&shared.sink) = Box::new(output);
+            let ids = match &resumed {
+                Some(ids) => ids.clone(),
+                None => {
+                    let ids = resume_jobs(&shared);
+                    resumed = Some(ids.clone());
+                    ids
+                }
+            };
+            emit_ready(&shared, &ids);
+            end = session_loop(&shared, input);
+            if matches!(end, SessionEnd::Shutdown { .. }) {
+                break;
+            }
+        }
+        let abort = matches!(end, SessionEnd::Shutdown { abort: true });
+        {
+            let mut st = lock(&shared.state);
+            if abort {
+                st.tasks.clear();
+                st.active.clear();
+            } else {
+                while !st.active.is_empty() {
+                    st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            st.stop = true;
+        }
+        shared.wake.notify_all();
+        emit_shutdown(&shared, abort);
+    });
+    Ok(())
+}
+
+/// Reads request lines from one session until EOF or a `shutdown` op.
+fn session_loop<R: BufRead>(shared: &Shared, input: R) -> SessionEnd {
+    for line in input.lines() {
+        let Ok(line) = line else {
+            return SessionEnd::Eof;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(end) = handle_request(shared, &line) {
+            return end;
+        }
+    }
+    SessionEnd::Eof
+}
+
+/// Dispatches one request line; `Some` ends the session.
+fn handle_request(shared: &Shared, line: &str) -> Option<SessionEnd> {
+    let request = match JsonParser::parse(line) {
+        Ok(v) => v,
+        Err(e) => {
+            emit_error(shared, None, &format!("bad request line: {e}"));
+            return None;
+        }
+    };
+    match request.get("op").and_then(Json::as_str) {
+        Some("submit") => {
+            handle_submit(shared, &request);
+            None
+        }
+        Some("stats") => {
+            emit_stats(shared);
+            None
+        }
+        Some("shutdown") => {
+            let abort = request.get("mode").and_then(Json::as_str) == Some("abort");
+            Some(SessionEnd::Shutdown { abort })
+        }
+        Some(other) => {
+            emit_error(
+                shared,
+                None,
+                &format!("unknown op `{other}` (expected submit, stats, or shutdown)"),
+            );
+            None
+        }
+        None => {
+            emit_error(shared, None, "request has no `op` key");
+            None
+        }
+    }
+}
+
+/// Admission control: validates a submission end to end, then either
+/// enqueues its cells (emitting `accepted`) or rejects it with a
+/// machine-readable kind (emitting `rejected`). Rejections never leave
+/// state files behind.
+fn handle_submit(shared: &Shared, request: &Json) {
+    let id_hint = request
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or("")
+        .to_string();
+    match admit(shared, request) {
+        Ok(job) => emit_accepted(shared, &job),
+        Err((kind, reason)) => emit_rejected(shared, &id_hint, kind, &reason),
+    }
+}
+
+/// Admission result: either an enqueued job or `(kind, reason)`.
+type Admission = Result<Arc<Job>, (&'static str, String)>;
+
+fn admit(shared: &Shared, request: &Json) -> Admission {
+    let toml = spec_source(request).map_err(|e| ("bad_request", e))?;
+    let spec = ExperimentSpec::parse_str(&toml).map_err(|e| ("spec_error", e))?;
+    let id = match request.get("id").and_then(Json::as_str) {
+        Some(explicit) => explicit.to_string(),
+        None => spec.name.clone(),
+    };
+    validate_id(&id).map_err(|e| ("bad_request", e))?;
+    if !matches!(spec.kind, RunKind::Grid) {
+        return Err((
+            "bad_request",
+            format!(
+                "choco-serve accepts grid specs only (this spec is `{}`)",
+                spec.kind.label()
+            ),
+        ));
+    }
+    {
+        let st = lock(&shared.state);
+        if st.active.iter().any(|j| j.id == id) {
+            return Err(("duplicate", format!("job `{id}` is already active")));
+        }
+    }
+    let spec_path = shared.opts.state_dir.join(format!("{id}.spec.toml"));
+    let done_path = shared.opts.state_dir.join(format!("{id}.done"));
+    if spec_path.exists() || done_path.exists() {
+        return Err((
+            "duplicate",
+            format!(
+                "job `{id}` already exists in {} (state is kept for audit; pick a new id)",
+                shared.opts.state_dir.display()
+            ),
+        ));
+    }
+    prepare_job(shared, id, spec, Some(&toml), false)
+}
+
+/// Builds, validates, persists, and enqueues a job. `persist_toml` is the
+/// spec text to write for a fresh submission (`None` on resume, where it
+/// is already on disk); `resume` additionally restores journaled cells.
+/// All validation happens before anything is written, so a rejected
+/// submission leaves no state behind.
+fn prepare_job(
+    shared: &Shared,
+    id: String,
+    spec: ExperimentSpec,
+    persist_toml: Option<&str>,
+    resume: bool,
+) -> Admission {
+    let mut opts = shared.opts.run.clone();
+    opts.checkpoint = None;
+    opts.resume = false;
+    let sim = opts.effective_sim(&spec);
+    let cells = expand_grid_cells(&spec, opts.quick).map_err(|e| ("spec_error", e))?;
+    if cells.is_empty() {
+        return Err((
+            "spec_error",
+            "the spec expands to zero cells (empty grid axes?)".to_string(),
+        ));
+    }
+    let header = JournalHeader::for_run(&spec, &opts, cells.len());
+    let journal_path = shared.opts.state_dir.join(format!("{id}.journal"));
+    let completed = if resume && journal_path.exists() {
+        load_journal(&journal_path, &header)
+            .map_err(|e| ("journal_error", e))?
+            .completed
+    } else {
+        BTreeMap::new()
+    };
+    let pending_cells: Vec<Cell> = cells
+        .iter()
+        .filter(|c| !completed.contains_key(&c.index))
+        .cloned()
+        .collect();
+    let instances = build_instances(&pending_cells).map_err(|e| ("spec_error", e))?;
+    // Size gate at admission: an instance no engine can hold is rejected
+    // with the same guidance `check_size_for` gives the CLI, instead of
+    // occupying a worker just to fail.
+    for ((family, seed), instance) in &instances {
+        check_size_for(instance.problem.n_vars(), sim.engine)
+            .map_err(|e| ("too_large", format!("{family} seed={seed}: {e}")))?;
+    }
+    {
+        let st = lock(&shared.state);
+        if st.tasks.len() + pending_cells.len() > shared.opts.queue_cap {
+            return Err((
+                "queue_full",
+                format!(
+                    "queue is full: {} queued + {} new cells exceeds the cap of {}",
+                    st.tasks.len(),
+                    pending_cells.len(),
+                    shared.opts.queue_cap
+                ),
+            ));
+        }
+    }
+    // Commit point: everything below writes state.
+    if let Some(toml) = persist_toml {
+        let spec_path = shared.opts.state_dir.join(format!("{id}.spec.toml"));
+        std::fs::write(&spec_path, toml).map_err(|e| {
+            (
+                "io_error",
+                format!("cannot write {}: {e}", spec_path.display()),
+            )
+        })?;
+    }
+    let journal = if resume && journal_path.exists() {
+        CheckpointJournal::append_to(&journal_path).map_err(|e| ("journal_error", e))?
+    } else {
+        CheckpointJournal::create(&journal_path, &header).map_err(|e| ("journal_error", e))?
+    };
+    let mut slots: Vec<Option<Record>> = vec![None; cells.len()];
+    let mut resumed_count = 0usize;
+    for (index, record) in completed {
+        slots[index] = Some(record);
+        resumed_count += 1;
+    }
+    let pending: Vec<usize> = (0..cells.len()).filter(|&i| slots[i].is_none()).collect();
+    let job = Arc::new(Job {
+        report_path: shared.opts.state_dir.join(format!("{id}.json")),
+        done_path: shared.opts.state_dir.join(format!("{id}.done")),
+        id,
+        spec,
+        opts,
+        sim,
+        cells,
+        instances,
+        journal,
+        slots: Mutex::new(slots),
+        remaining: AtomicUsize::new(pending.len()),
+        failed: AtomicBool::new(false),
+        resumed: resumed_count,
+    });
+    {
+        let mut st = lock(&shared.state);
+        st.active.push(job.clone());
+        for &i in &pending {
+            st.tasks.push_back(Task {
+                job: job.clone(),
+                cell: i,
+            });
+        }
+    }
+    shared.wake.notify_all();
+    if pending.is_empty() {
+        // Killed after the last journal append but before the report
+        // write: nothing to schedule, finalize right away.
+        finalize_job(shared, &job);
+    }
+    Ok(job)
+}
+
+/// Re-admits every persisted job without a `.done` marker, restoring
+/// journaled cells. Returns the resumed job ids (sorted, so the `ready`
+/// event is deterministic). A job whose state is unusable is reported
+/// and skipped — one corrupt journal must not take the daemon down.
+fn resume_jobs(shared: &Shared) -> Vec<String> {
+    let mut ids = Vec::new();
+    let Ok(entries) = std::fs::read_dir(&shared.opts.state_dir) else {
+        return ids;
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|n| n.strip_suffix(".spec.toml").map(str::to_string))
+        .collect();
+    names.sort();
+    for id in names {
+        if shared.opts.state_dir.join(format!("{id}.done")).exists() {
+            continue;
+        }
+        let spec_path = shared.opts.state_dir.join(format!("{id}.spec.toml"));
+        let text = match std::fs::read_to_string(&spec_path) {
+            Ok(text) => text,
+            Err(e) => {
+                emit_error(
+                    shared,
+                    Some(&id),
+                    &format!("resume failed: cannot read {}: {e}", spec_path.display()),
+                );
+                continue;
+            }
+        };
+        let spec = match ExperimentSpec::parse_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                emit_error(shared, Some(&id), &format!("resume failed: {e}"));
+                continue;
+            }
+        };
+        match prepare_job(shared, id.clone(), spec, None, true) {
+            Ok(_) => ids.push(id),
+            Err((kind, reason)) => {
+                emit_error(
+                    shared,
+                    Some(&id),
+                    &format!("resume failed ({kind}): {reason}"),
+                );
+            }
+        }
+    }
+    ids
+}
+
+/// The worker loop: pops tasks until the daemon stops. The workspace
+/// registry (one per distinct [`SimConfig`]) persists for the worker's
+/// lifetime, and every workspace shares the global plan cache for its
+/// configuration — the cross-request reuse the daemon exists for.
+fn worker_loop(shared: &Shared) {
+    let mut workspaces: Vec<(SimConfig, SimWorkspace)> = Vec::new();
+    loop {
+        let task = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(task) = st.tasks.pop_front() {
+                    break Some(task);
+                }
+                if st.stop {
+                    break None;
+                }
+                st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(task) = task else { break };
+        run_task(shared, &mut workspaces, &task);
+    }
+}
+
+/// Runs one cell: solve, journal, stream, slot. The journal append
+/// happens *before* the record event, so a client that saw the record
+/// can rely on it surviving a crash. The worker that completes a job's
+/// last cell finalizes it.
+fn run_task(shared: &Shared, workspaces: &mut Vec<(SimConfig, SimWorkspace)>, task: &Task) {
+    let job = &task.job;
+    if !job.failed.load(Ordering::SeqCst) {
+        let cell = &job.cells[task.cell];
+        let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+        let workspace = workspace_for(workspaces, &shared.caches, job.sim);
+        let started = Instant::now();
+        let record = run_grid_cell(
+            &job.spec,
+            &job.opts,
+            cell,
+            &job.instances[&key],
+            workspace,
+            job.sim,
+        );
+        if let Err(e) = job
+            .journal
+            .append_cell(task.cell, started.elapsed(), &record)
+        {
+            job.failed.store(true, Ordering::SeqCst);
+            emit_error(shared, Some(&job.id), &e);
+        } else {
+            emit_record(shared, &job.id, task.cell, &record);
+            lock(&job.slots)[task.cell] = Some(record);
+        }
+    }
+    if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        finalize_job(shared, job);
+    }
+}
+
+/// Finds (or creates) this worker's workspace for `sim`, wiring it to
+/// the daemon-global plan cache for that configuration.
+fn workspace_for<'w>(
+    workspaces: &'w mut Vec<(SimConfig, SimWorkspace)>,
+    caches: &Mutex<Vec<(SimConfig, Arc<PlanCache>)>>,
+    sim: SimConfig,
+) -> &'w mut SimWorkspace {
+    if let Some(idx) = workspaces.iter().position(|(config, _)| *config == sim) {
+        return &mut workspaces[idx].1;
+    }
+    let cache = {
+        let mut caches = lock(caches);
+        match caches.iter().find(|(config, _)| *config == sim) {
+            Some((_, cache)) => cache.clone(),
+            None => {
+                let cache = Arc::new(PlanCache::new());
+                caches.push((sim, cache.clone()));
+                cache
+            }
+        }
+    };
+    workspaces.push((sim, SimWorkspace::with_plan_cache(sim, cache)));
+    &mut workspaces.last_mut().expect("just pushed").1
+}
+
+/// Assembles and writes the job's report (byte-identical to
+/// `choco-cli run` of the same spec), marks it `.done`, removes it from
+/// the active set, and emits `done` — or `error` if the job failed.
+fn finalize_job(shared: &Shared, job: &Arc<Job>) {
+    let result: Result<(usize, u64), String> = if job.failed.load(Ordering::SeqCst) {
+        Err("job failed: checkpoint journal append error (see earlier error event)".to_string())
+    } else {
+        let records: Result<Vec<Record>, String> = {
+            let mut slot_vec = lock(&job.slots);
+            (0..job.cells.len())
+                .map(|i| {
+                    slot_vec[i]
+                        .take()
+                        .ok_or_else(|| format!("internal: cell {i} produced no record"))
+                })
+                .collect()
+        };
+        records.and_then(|records| {
+            let summary = summarize(&records);
+            let errors = match summary.get("errors") {
+                Some(Field::UInt(n)) => *n,
+                _ => 0,
+            };
+            let report = RunReport {
+                name: job.spec.name.clone(),
+                description: job.spec.description.clone(),
+                kind: job.spec.kind.label(),
+                spec_seed: job.spec.seed,
+                quick: job.opts.quick,
+                records,
+                summary,
+            };
+            std::fs::write(&job.report_path, report.to_json())
+                .and_then(|()| std::fs::write(&job.done_path, b""))
+                .map_err(|e| format!("cannot write {}: {e}", job.report_path.display()))
+                .map(|()| (job.cells.len(), errors))
+        })
+    };
+    {
+        let mut st = lock(&shared.state);
+        st.active.retain(|active| !Arc::ptr_eq(active, job));
+    }
+    shared.wake.notify_all();
+    match result {
+        Ok((cells, errors)) => emit_done(shared, job, cells, errors),
+        Err(e) => emit_error(shared, Some(&job.id), &e),
+    }
+}
+
+// ---------------------------------------------------------------- events
+
+/// Writes one event line to the current session sink. Write failures are
+/// ignored: a disconnected client must not take down jobs that are
+/// already journaling to disk.
+fn emit(shared: &Shared, line: &str) {
+    let mut sink = lock(&shared.sink);
+    let _ = sink
+        .write_all(line.as_bytes())
+        .and_then(|()| sink.write_all(b"\n"))
+        .and_then(|()| sink.flush());
+}
+
+fn emit_ready(shared: &Shared, resumed: &[String]) {
+    let mut line = String::from("{\"event\": \"ready\", \"resumed\": [");
+    for (i, id) in resumed.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        write_json_str(&mut line, id);
+    }
+    line.push_str("]}");
+    emit(shared, &line);
+}
+
+fn emit_accepted(shared: &Shared, job: &Job) {
+    let mut line = String::from("{\"event\": \"accepted\", \"job\": ");
+    write_json_str(&mut line, &job.id);
+    let _ = write!(
+        line,
+        ", \"cells\": {}, \"resumed\": {}}}",
+        job.cells.len(),
+        job.resumed
+    );
+    emit(shared, &line);
+}
+
+fn emit_rejected(shared: &Shared, id: &str, kind: &str, reason: &str) {
+    let mut line = String::from("{\"event\": \"rejected\", \"job\": ");
+    write_json_str(&mut line, id);
+    line.push_str(", \"kind\": \"");
+    line.push_str(kind);
+    line.push_str("\", \"reason\": ");
+    write_json_str(&mut line, reason);
+    line.push('}');
+    emit(shared, &line);
+}
+
+fn emit_record(shared: &Shared, id: &str, index: usize, record: &Record) {
+    let mut line = String::from("{\"event\": \"record\", \"job\": ");
+    write_json_str(&mut line, id);
+    let _ = write!(line, ", \"index\": {index}, \"record\": ");
+    record.write_json_line(&mut line);
+    line.push('}');
+    emit(shared, &line);
+}
+
+fn emit_done(shared: &Shared, job: &Job, cells: usize, errors: u64) {
+    let mut line = String::from("{\"event\": \"done\", \"job\": ");
+    write_json_str(&mut line, &job.id);
+    let _ = write!(
+        line,
+        ", \"cells\": {cells}, \"errors\": {errors}, \"report\": "
+    );
+    write_json_str(&mut line, &job.report_path.display().to_string());
+    line.push('}');
+    emit(shared, &line);
+}
+
+fn emit_stats(shared: &Shared) {
+    let (active, queued) = {
+        let st = lock(&shared.state);
+        (st.active.len(), st.tasks.len())
+    };
+    let mut line = format!(
+        "{{\"event\": \"stats\", \"jobs_active\": {active}, \"cells_queued\": {queued}, \"caches\": ["
+    );
+    {
+        let caches = lock(&shared.caches);
+        for (i, (sim, cache)) in caches.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            let stats = cache.stats();
+            let _ = write!(
+                line,
+                "{{\"engine\": \"{}\", \"batch\": {}, \"shapes\": {}, \"compilations\": {}, \"hits\": {}}}",
+                sim.engine.label(),
+                sim.batch_size,
+                stats.shapes,
+                stats.compilations,
+                stats.hits
+            );
+        }
+    }
+    line.push_str("]}");
+    emit(shared, &line);
+}
+
+fn emit_shutdown(shared: &Shared, abort: bool) {
+    let mode = if abort { "abort" } else { "drain" };
+    emit(
+        shared,
+        &format!("{{\"event\": \"shutdown\", \"mode\": \"{mode}\"}}"),
+    );
+}
+
+fn emit_error(shared: &Shared, id: Option<&str>, reason: &str) {
+    let mut line = String::from("{\"event\": \"error\", \"job\": ");
+    match id {
+        Some(id) => write_json_str(&mut line, id),
+        None => line.push_str("null"),
+    }
+    line.push_str(", \"reason\": ");
+    write_json_str(&mut line, reason);
+    line.push('}');
+    emit(shared, &line);
+}
+
+// ------------------------------------------------------------- admission
+
+/// Job ids become file names under the state directory, so the charset
+/// is locked down: `[A-Za-z0-9._-]`, 1–64 characters, no leading dot.
+fn validate_id(id: &str) -> Result<(), String> {
+    if id.is_empty() || id.len() > 64 {
+        return Err(format!("job id must be 1–64 characters (got {})", id.len()));
+    }
+    if id.starts_with('.') {
+        return Err("job id may not start with `.`".to_string());
+    }
+    if let Some(bad) = id
+        .chars()
+        .find(|c| !c.is_ascii_alphanumeric() && !matches!(c, '.' | '_' | '-'))
+    {
+        return Err(format!(
+            "job id contains `{bad}` — allowed characters are [A-Za-z0-9._-]"
+        ));
+    }
+    Ok(())
+}
+
+/// Resolves a submit request to spec TOML text from exactly one of
+/// `spec_path` (a file the daemon reads), `spec_toml` (inline text), or
+/// `job` (a minimal JSON job translated by [`job_to_toml`]).
+fn spec_source(request: &Json) -> Result<String, String> {
+    let sources = [
+        request.get("spec_path"),
+        request.get("spec_toml"),
+        request.get("job"),
+    ];
+    if sources.iter().filter(|s| s.is_some()).count() != 1 {
+        return Err(
+            "a submit request needs exactly one of `spec_path`, `spec_toml`, or `job`".to_string(),
+        );
+    }
+    if let Some(path) = request.get("spec_path") {
+        let path = path
+            .as_str()
+            .ok_or_else(|| format!("`spec_path`: expected a string (got {})", path.brief()))?;
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    } else if let Some(toml) = request.get("spec_toml") {
+        toml.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("`spec_toml`: expected a string (got {})", toml.brief()))
+    } else {
+        job_to_toml(request.get("job").expect("counted above"))
+    }
+}
+
+/// Translates the minimal JSON job format into spec TOML, so a client
+/// can submit without authoring TOML. Unknown keys are rejected (a
+/// typoed key silently ignored would change the experiment), and range
+/// validation comes from the spec parser itself — the same hard errors
+/// `choco-cli run` gives.
+fn job_to_toml(job: &Json) -> Result<String, String> {
+    if !matches!(job, Json::Obj(_)) {
+        return Err(format!("`job`: expected an object (got {})", job.brief()));
+    }
+    let mut top = String::new();
+    let mut grid = String::new();
+    let mut config = String::new();
+    for (key, value) in job.entries() {
+        match key.as_str() {
+            "name" => {
+                let _ = writeln!(top, "name = {}", toml_str(key, value)?);
+            }
+            "description" => {
+                let _ = writeln!(top, "description = {}", toml_str(key, value)?);
+            }
+            "seed" => {
+                let _ = writeln!(top, "seed = {}", toml_int(key, value)?);
+            }
+            "problems" | "solvers" => {
+                let _ = writeln!(grid, "{key} = {}", toml_str_array(key, value)?);
+            }
+            "seeds" | "layers" | "eliminate" => {
+                let _ = writeln!(grid, "{key} = {}", toml_int_array(key, value)?);
+            }
+            "engine" | "optimizer" => {
+                let _ = writeln!(grid, "{key} = {}", toml_str(key, value)?);
+            }
+            "batch" | "quick_max_vars" => {
+                let _ = writeln!(grid, "{key} = {}", toml_int(key, value)?);
+            }
+            "shots" | "max_iters" | "restarts" | "noise_trajectories" => {
+                let _ = writeln!(config, "{key} = {}", toml_int(key, value)?);
+            }
+            "transpiled_stats" => {
+                let _ = writeln!(config, "{key} = {}", toml_bool(key, value)?);
+            }
+            other => {
+                return Err(format!(
+                    "job key `{other}` is not recognized (grid keys: name, description, seed, \
+                     problems, solvers, seeds, layers, eliminate, engine, optimizer, batch, \
+                     quick_max_vars; config keys: shots, max_iters, restarts, \
+                     noise_trajectories, transpiled_stats)"
+                ));
+            }
+        }
+    }
+    if !top.contains("name = ") {
+        return Err("job needs a `name`".to_string());
+    }
+    if !grid.contains("problems = ") {
+        return Err("job needs a `problems` list".to_string());
+    }
+    let mut toml = top;
+    toml.push_str("\n[grid]\n");
+    toml.push_str(&grid);
+    if !config.is_empty() {
+        toml.push_str("\n[config]\n");
+        toml.push_str(&config);
+    }
+    Ok(toml)
+}
+
+/// Renders a JSON string as a TOML string literal. The spec parser's
+/// TOML dialect has no escape sequences, so characters that would need
+/// them are rejected rather than smuggled through.
+fn toml_str(key: &str, value: &Json) -> Result<String, String> {
+    let s = value
+        .as_str()
+        .ok_or_else(|| format!("job `{key}`: expected a string (got {})", value.brief()))?;
+    if s.chars().any(|c| c == '"' || c == '\\' || c.is_control()) {
+        return Err(format!(
+            "job `{key}`: strings may not contain quotes, backslashes, or control characters"
+        ));
+    }
+    Ok(format!("\"{s}\""))
+}
+
+fn toml_int(key: &str, value: &Json) -> Result<i64, String> {
+    value
+        .as_i64()
+        .ok_or_else(|| format!("job `{key}`: expected an integer (got {})", value.brief()))
+}
+
+fn toml_bool(key: &str, value: &Json) -> Result<bool, String> {
+    value
+        .as_bool()
+        .ok_or_else(|| format!("job `{key}`: expected a boolean (got {})", value.brief()))
+}
+
+fn toml_str_array(key: &str, value: &Json) -> Result<String, String> {
+    let Json::Arr(items) = value else {
+        return Err(format!(
+            "job `{key}`: expected an array of strings (got {})",
+            value.brief()
+        ));
+    };
+    let rendered: Result<Vec<String>, String> =
+        items.iter().map(|item| toml_str(key, item)).collect();
+    Ok(format!("[{}]", rendered?.join(", ")))
+}
+
+fn toml_int_array(key: &str, value: &Json) -> Result<String, String> {
+    let Json::Arr(items) = value else {
+        return Err(format!(
+            "job `{key}`: expected an array of integers (got {})",
+            value.brief()
+        ));
+    };
+    let rendered: Result<Vec<String>, String> = items
+        .iter()
+        .map(|item| toml_int(key, item).map(|v| v.to_string()))
+        .collect();
+    Ok(format!("[{}]", rendered?.join(", ")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_ids_are_safe_file_names() {
+        assert!(validate_id("smoke-1").is_ok());
+        assert!(validate_id("a.b_c-D9").is_ok());
+        assert!(validate_id("").is_err());
+        assert!(validate_id(".hidden").is_err());
+        assert!(validate_id("a/b").is_err());
+        assert!(validate_id("a b").is_err());
+        assert!(validate_id(&"x".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn json_job_translates_to_spec_toml() {
+        let job = JsonParser::parse(
+            r#"{"name": "t", "seed": 3, "problems": ["F1"], "solvers": ["choco"],
+                "seeds": [1, 2], "layers": [1], "shots": 512}"#,
+        )
+        .unwrap();
+        let toml = job_to_toml(&job).unwrap();
+        let spec = ExperimentSpec::parse_str(&toml).unwrap();
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.seed, 3);
+        assert_eq!(spec.seeds, vec![1, 2]);
+        let cells = spec.expand_cells(false);
+        assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn json_job_rejects_unknown_and_unescapable_keys() {
+        let typo = JsonParser::parse(r#"{"name": "t", "problems": ["F1"], "shotss": 1}"#).unwrap();
+        let err = job_to_toml(&typo).unwrap_err();
+        assert!(err.contains("shotss"), "{err}");
+
+        let quote = JsonParser::parse(r#"{"name": "a\"b", "problems": ["F1"]}"#).unwrap();
+        let err = job_to_toml(&quote).unwrap_err();
+        assert!(err.contains("quotes"), "{err}");
+
+        let nameless = JsonParser::parse(r#"{"problems": ["F1"]}"#).unwrap();
+        assert!(job_to_toml(&nameless).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn job_range_errors_surface_through_the_spec_parser() {
+        // Out-of-range values are *not* clamped by the translation — the
+        // spec parser rejects them with the key and range (satellite #1).
+        let job = JsonParser::parse(r#"{"name": "t", "problems": ["F1"], "shots": 0}"#).unwrap();
+        let toml = job_to_toml(&job).unwrap();
+        let err = ExperimentSpec::parse_str(&toml).unwrap_err();
+        assert!(err.contains("shots") && err.contains("at least 1"), "{err}");
+    }
+}

@@ -368,6 +368,27 @@ pub struct Cell {
     pub device: Option<Device>,
 }
 
+/// Validates an integer key against its documented lower bound. An
+/// out-of-range value is a hard parse error naming the key, the given
+/// value, and the valid range — never a silent clamp into a different
+/// experiment than the one the spec author wrote down.
+fn int_at_least(key: &str, v: i64, min: i64) -> Result<i64, String> {
+    if v < min {
+        Err(format!(
+            "`{key}`: must be at least {min} (got {v}) — out-of-range \
+             values are rejected rather than silently clamped"
+        ))
+    } else {
+        Ok(v)
+    }
+}
+
+/// Like [`int_at_least`], applied to every element of an integer array
+/// key.
+fn ints_at_least(key: &str, xs: &[i64], min: i64) -> Result<Vec<i64>, String> {
+    xs.iter().map(|&x| int_at_least(key, x, min)).collect()
+}
+
 impl ExperimentSpec {
     /// Parses a spec from TOML text.
     ///
@@ -399,7 +420,10 @@ impl ExperimentSpec {
             Some(k) => RunKind::parse(&k)?,
             None => RunKind::Grid,
         };
-        let seed = known.int_key(doc, "seed")?.unwrap_or(1).max(0) as u64;
+        let seed = match known.int_key(doc, "seed")? {
+            Some(v) => int_at_least("seed", v, 0)? as u64,
+            None => 1,
+        };
         let noisy = known.bool_key(doc, "grid.noisy")?.unwrap_or(false);
         let history = known.bool_key(doc, "grid.history")?.unwrap_or(false);
         let output = known.str_key(doc, "output")?;
@@ -421,7 +445,8 @@ impl ExperimentSpec {
         };
         let quick_max_vars = known
             .int_key(doc, "grid.quick_max_vars")?
-            .map(|v| v.max(0) as usize);
+            .map(|v| int_at_least("[grid] quick_max_vars", v, 1).map(|v| v as usize))
+            .transpose()?;
         let solvers = match known.str_array(doc, "grid.solvers")? {
             Some(names) => names
                 .iter()
@@ -430,15 +455,24 @@ impl ExperimentSpec {
             None => SolverKind::ALL.to_vec(),
         };
         let seeds = match known.int_array(doc, "grid.seeds")? {
-            Some(xs) => xs.iter().map(|&x| x.max(0) as u64).collect(),
+            Some(xs) => ints_at_least("[grid] seeds", &xs, 0)?
+                .into_iter()
+                .map(|x| x as u64)
+                .collect(),
             None => vec![1],
         };
         let layers = match known.int_array(doc, "grid.layers")? {
-            Some(xs) => xs.iter().map(|&x| Some(x.max(1) as usize)).collect(),
+            Some(xs) => ints_at_least("[grid] layers", &xs, 1)?
+                .into_iter()
+                .map(|x| Some(x as usize))
+                .collect(),
             None => vec![None],
         };
         let eliminate = match known.int_array(doc, "grid.eliminate")? {
-            Some(xs) => xs.iter().map(|&x| x.max(0) as usize).collect(),
+            Some(xs) => ints_at_least("[grid] eliminate", &xs, 0)?
+                .into_iter()
+                .map(|x| x as usize)
+                .collect(),
             None => vec![0],
         };
         let devices = match known.str_array(doc, "grid.devices")? {
@@ -484,42 +518,72 @@ impl ExperimentSpec {
         };
 
         let config = ConfigOverrides {
-            shots: known.int_key(doc, "config.shots")?.map(|v| v.max(1) as u64),
+            shots: known
+                .int_key(doc, "config.shots")?
+                .map(|v| int_at_least("[config] shots", v, 1).map(|v| v as u64))
+                .transpose()?,
             max_iters: known
                 .int_key(doc, "config.max_iters")?
-                .map(|v| v.max(1) as usize),
+                .map(|v| int_at_least("[config] max_iters", v, 1).map(|v| v as usize))
+                .transpose()?,
             restarts: known
                 .int_key(doc, "config.restarts")?
-                .map(|v| v.max(1) as usize),
+                .map(|v| int_at_least("[config] restarts", v, 1).map(|v| v as usize))
+                .transpose()?,
             noise_trajectories: known
                 .int_key(doc, "config.noise_trajectories")?
-                .map(|v| v.max(1) as u32),
+                .map(|v| {
+                    let v = int_at_least("[config] noise_trajectories", v, 1)?;
+                    u32::try_from(v).map_err(|_| {
+                        format!(
+                            "`[config] noise_trajectories`: must be at most {} (got {v})",
+                            u32::MAX
+                        )
+                    })
+                })
+                .transpose()?,
             transpiled_stats: known.bool_key(doc, "config.transpiled_stats")?,
         };
 
         let d = DecompositionSpec::default();
+        let decomp_usize = |known: &mut KnownKeys, key: &'static str, default: usize, min: i64| {
+            known
+                .int_key(doc, key)?
+                .map(|v| {
+                    int_at_least(
+                        &format!("[decomposition] {}", &key["decomposition.".len()..]),
+                        v,
+                        min,
+                    )
+                    .map(|v| v as usize)
+                })
+                .transpose()
+                .map(|v| v.unwrap_or(default))
+        };
         let decomposition = DecompositionSpec {
-            trotter_max: known
-                .int_key(doc, "decomposition.trotter_max")?
-                .map_or(d.trotter_max, |v| v.max(2) as usize),
-            lemma2_max: known
-                .int_key(doc, "decomposition.lemma2_max")?
-                .map_or(d.lemma2_max, |v| v.max(2) as usize),
-            slices: known
-                .int_key(doc, "decomposition.slices")?
-                .map_or(d.slices, |v| v.max(1) as usize),
+            trotter_max: decomp_usize(&mut known, "decomposition.trotter_max", d.trotter_max, 2)?,
+            lemma2_max: decomp_usize(&mut known, "decomposition.lemma2_max", d.lemma2_max, 2)?,
+            slices: decomp_usize(&mut known, "decomposition.slices", d.slices, 1)?,
             timeout_secs: known
                 .int_key(doc, "decomposition.timeout_secs")?
-                .map_or(d.timeout_secs, |v| v.max(1) as u64),
+                .map(|v| int_at_least("[decomposition] timeout_secs", v, 1).map(|v| v as u64))
+                .transpose()?
+                .unwrap_or(d.timeout_secs),
             angle: known
                 .float_key(doc, "decomposition.angle")?
                 .unwrap_or(d.angle),
-            quick_trotter_max: known
-                .int_key(doc, "decomposition.quick_trotter_max")?
-                .map_or(d.quick_trotter_max, |v| v.max(2) as usize),
-            quick_lemma2_max: known
-                .int_key(doc, "decomposition.quick_lemma2_max")?
-                .map_or(d.quick_lemma2_max, |v| v.max(2) as usize),
+            quick_trotter_max: decomp_usize(
+                &mut known,
+                "decomposition.quick_trotter_max",
+                d.quick_trotter_max,
+                2,
+            )?,
+            quick_lemma2_max: decomp_usize(
+                &mut known,
+                "decomposition.quick_lemma2_max",
+                d.quick_lemma2_max,
+                2,
+            )?,
         };
 
         known.reject_unknown(doc)?;
@@ -1021,5 +1085,105 @@ quick_problems = ["F1"]
         )
         .unwrap_err();
         assert!(e.contains("vqe"), "{e}");
+    }
+
+    /// Regression for the silent-clamp bug: out-of-range integers used to
+    /// be clamped (`.max(0)`, `.max(1)`, `.max(2)`), silently running a
+    /// *different* experiment than the spec asked for. They must now be
+    /// hard parse errors naming the key, the given value, and the bound.
+    #[test]
+    fn out_of_range_values_are_rejected_not_clamped() {
+        let cases: &[(&str, &str, &str, &str)] = &[
+            ("seed = -5", "seed", "-5", "at least 0"),
+            (
+                "[grid]\nproblems = [\"F1\"]\nseeds = [3, -1]",
+                "seeds",
+                "-1",
+                "at least 0",
+            ),
+            (
+                "[grid]\nproblems = [\"F1\"]\nlayers = [0]",
+                "layers",
+                "0",
+                "at least 1",
+            ),
+            (
+                "[grid]\nproblems = [\"F1\"]\nlayers = [-3]",
+                "layers",
+                "-3",
+                "at least 1",
+            ),
+            (
+                "[grid]\nproblems = [\"F1\"]\neliminate = [-2]",
+                "eliminate",
+                "-2",
+                "at least 0",
+            ),
+            (
+                "[grid]\nproblems = [\"F1\"]\nquick_max_vars = 0",
+                "quick_max_vars",
+                "0",
+                "at least 1",
+            ),
+            ("[config]\nshots = 0", "shots", "0", "at least 1"),
+            ("[config]\nmax_iters = -3", "max_iters", "-3", "at least 1"),
+            ("[config]\nrestarts = 0", "restarts", "0", "at least 1"),
+            (
+                "[config]\nnoise_trajectories = 0",
+                "noise_trajectories",
+                "0",
+                "at least 1",
+            ),
+            (
+                "[decomposition]\ntrotter_max = 1",
+                "trotter_max",
+                "1",
+                "at least 2",
+            ),
+            (
+                "[decomposition]\nlemma2_max = 0",
+                "lemma2_max",
+                "0",
+                "at least 2",
+            ),
+            (
+                "[decomposition]\nquick_trotter_max = 1",
+                "quick_trotter_max",
+                "1",
+                "at least 2",
+            ),
+            (
+                "[decomposition]\nquick_lemma2_max = -1",
+                "quick_lemma2_max",
+                "-1",
+                "at least 2",
+            ),
+            ("[decomposition]\nslices = 0", "slices", "0", "at least 1"),
+            (
+                "[decomposition]\ntimeout_secs = 0",
+                "timeout_secs",
+                "0",
+                "at least 1",
+            ),
+        ];
+        for (snippet, key, value, range) in cases {
+            let toml = if snippet.contains("[grid]") {
+                format!("name = \"t\"\n{snippet}\n")
+            } else {
+                format!("name = \"t\"\n{snippet}\n[grid]\nproblems = [\"F1\"]\n")
+            };
+            let e = ExperimentSpec::parse_str(&toml)
+                .expect_err(&format!("accepted out-of-range `{snippet}`"));
+            assert!(e.contains(key), "error for `{snippet}` lacks key: {e}");
+            assert!(e.contains(value), "error for `{snippet}` lacks value: {e}");
+            assert!(e.contains(range), "error for `{snippet}` lacks range: {e}");
+        }
+        // In-range values still parse (boundary check: the minimum itself).
+        let spec = ExperimentSpec::parse_str(
+            "name = \"t\"\nseed = 0\n[grid]\nproblems = [\"F1\"]\nlayers = [1]\neliminate = [0]\n\
+             [config]\nshots = 1\n[decomposition]\ntrotter_max = 2\nslices = 1\n",
+        )
+        .unwrap();
+        assert_eq!(spec.seed, 0);
     }
 }

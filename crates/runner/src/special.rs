@@ -253,6 +253,29 @@ pub(crate) fn execute_ablation(
 /// the harness never allocates a `2^n` buffer, which is what lets
 /// `experiments/scaling_sparse.toml` profile registers the dense engine
 /// cannot hold (the counts themselves are engine-independent).
+/// Record keys for the five support sample points.
+const QUARTER_KEYS: [&str; 5] = [
+    "support_at_0pct",
+    "support_at_25pct",
+    "support_at_50pct",
+    "support_at_75pct",
+    "support_at_100pct",
+];
+
+/// The indices of the 0/25/50/75/100% sample points into a support
+/// profile with `len` snapshots. Errors on an empty profile instead of
+/// underflowing `len - 1` (a zero-iteration solve produces no snapshots).
+pub(crate) fn quarter_indices(len: usize) -> Result<[usize; 5], String> {
+    if len == 0 {
+        return Err("support profile is empty (the solve recorded no snapshots)".into());
+    }
+    let mut out = [0usize; 5];
+    for (quarter, slot) in out.iter_mut().enumerate() {
+        *slot = (len - 1) * quarter / 4;
+    }
+    Ok(out)
+}
+
 pub(crate) fn execute_support(
     spec: &ExperimentSpec,
     opts: &RunOptions,
@@ -284,16 +307,25 @@ pub(crate) fn execute_support(
                 .push("instance_seed", Field::UInt(instance_seed))
                 .push("n_vars", Field::UInt(problem.n_vars() as u64))
                 .push("gates", Field::UInt(circuit.len() as u64));
-            for quarter in 0..=4u64 {
-                let idx = (profile.len() - 1) * quarter as usize / 4;
-                let key: &'static str = match quarter {
-                    0 => "support_at_0pct",
-                    1 => "support_at_25pct",
-                    2 => "support_at_50pct",
-                    3 => "support_at_75pct",
-                    _ => "support_at_100pct",
-                };
-                record.push(key, Field::UInt(profile[idx] as u64));
+            match quarter_indices(profile.len()) {
+                Ok(quarters) => {
+                    record.push("status", Field::Str("ok".into()));
+                    for (idx, key) in quarters.into_iter().zip(QUARTER_KEYS) {
+                        record.push(key, Field::UInt(profile[idx] as u64));
+                    }
+                }
+                Err(e) => {
+                    // A zero-iteration solve (e.g. under a tight cell
+                    // timeout) yields an empty profile; emit an error
+                    // record rather than underflowing `len() - 1`.
+                    record.push("status", Field::Str("error".into())).push(
+                        "error",
+                        Field::Str(format!("{}: {e}", problem_ref.as_str())),
+                    );
+                    for key in QUARTER_KEYS {
+                        record.push(key, Field::Null);
+                    }
+                }
             }
             records.push(record);
             index += 1;
@@ -368,5 +400,18 @@ problems = ["F1"]
         };
         assert_eq!(at("support_at_0pct"), 1, "feasible initial state");
         assert!(at("support_at_100pct") > 1, "driver spreads the state");
+        assert_eq!(r.get("status"), Some(&Field::Str("ok".into())));
+    }
+
+    /// Regression: `(profile.len() - 1) * quarter / 4` used to underflow
+    /// and panic on an empty profile (zero-iteration solve under a tight
+    /// cell timeout). It must now be a structured error.
+    #[test]
+    fn empty_support_profile_is_an_error_not_a_panic() {
+        let e = quarter_indices(0).unwrap_err();
+        assert!(e.contains("empty"), "{e}");
+        assert_eq!(quarter_indices(1).unwrap(), [0; 5]);
+        assert_eq!(quarter_indices(2).unwrap(), [0, 0, 0, 0, 1]);
+        assert_eq!(quarter_indices(9).unwrap(), [0, 2, 4, 6, 8]);
     }
 }

@@ -24,7 +24,6 @@ use choco_mathkit::{LinEq, LinSystem};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
 use choco_qsim::SimWorkspace;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// The cyclic-Hamiltonian QAOA solver.
@@ -139,7 +138,9 @@ impl CyclicQaoaSolver {
             // exactly the soft penalty terms.
             soft_poly.add_scaled(&soft_problem.penalty_poly(self.config.penalty), 1.0);
         }
-        let poly = Arc::new(soft_poly);
+        // Interned so equal-content polynomials share one `Arc` across
+        // solves — keeps compact plans replayable cache-wide.
+        let poly = workspace.intern_poly(soft_poly);
         let cost_values = poly.values_table(1 << n);
         let layers = self.config.layers;
         let compile = compile_start.elapsed();

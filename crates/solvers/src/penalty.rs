@@ -14,7 +14,6 @@ use crate::shared::{
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
 use choco_qsim::SimWorkspace;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// The penalty-based QAOA solver.
@@ -77,7 +76,9 @@ impl PenaltyQaoaSolver {
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();
-        let poly = Arc::new(problem.penalty_poly(self.config.penalty));
+        // Interned so equal-content polynomials share one `Arc` across
+        // solves — keeps compact plans replayable cache-wide.
+        let poly = workspace.intern_poly(problem.penalty_poly(self.config.penalty));
         let cost_values = poly.values_table(1 << n);
         let layers = self.config.layers;
         let compile = compile_start.elapsed();

@@ -13,6 +13,10 @@
 //!                  [--batch K] [--optimizer cobyla|nelder-mead|spsa]
 //!                  [--restart-workers N] [--no-table] [--checkpoint PATH] [--resume]
 //!                  [--cell-timeout SECS] [--retries N]
+//!        choco-cli serve [--state-dir DIR] [--queue-cap N] [--socket PATH]
+//!                  [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto]
+//!                  [--batch K] [--optimizer cobyla|nelder-mead|spsa]
+//!                  [--restart-workers N] [--cell-timeout SECS] [--retries N]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
@@ -206,6 +210,17 @@ fn main() -> ExitCode {
         };
     }
 
+    // `choco-cli serve`: the solve-as-a-service daemon.
+    if raw.first().map(String::as_str) == Some("serve") {
+        return match choco_q::runner::cli::serve_command(&raw[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}\n{}", choco_q::runner::cli::SERVE_USAGE);
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -223,7 +238,11 @@ fn main() -> ExitCode {
                  [--csv PATH] [--sim-threads N] [--engine dense|sparse|compact|auto] \
                  [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
                  [--no-table] [--checkpoint PATH] [--resume] [--cell-timeout SECS] \
-                 [--retries N]"
+                 [--retries N]\n\
+                 usage: choco-cli serve [--state-dir DIR] [--queue-cap N] [--socket PATH] \
+                 [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto] \
+                 [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
+                 [--cell-timeout SECS] [--retries N]"
             );
             return ExitCode::from(2);
         }
