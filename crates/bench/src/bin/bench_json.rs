@@ -353,6 +353,7 @@ fn main() {
                 engine: Some(EngineKind::Compact),
                 ..choco_runner::RunOptions::default()
             },
+            ..choco_runner::ServeOptions::default()
         };
         let serve_cells = 4usize;
         let submit = |name: &str| {

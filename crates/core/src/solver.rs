@@ -90,6 +90,11 @@ pub struct ChocoQConfig {
     /// partially-budgeted multistart would otherwise silently report a
     /// worse-than-configured solve. `None` (the default) never expires.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, forwarded to every restart's
+    /// variational loop (see [`QaoaConfig::cancel`]). Setting it from
+    /// another thread makes the solve drain and return
+    /// [`SolverError::Timeout`]. `None` (the default) never cancels.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for ChocoQConfig {
@@ -110,6 +115,7 @@ impl Default for ChocoQConfig {
             delta_cap: 48,
             sim: SimConfig::default(),
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -508,6 +514,7 @@ impl ChocoQSolver {
                 // workspace's engine config.
                 sim: *workspace.config(),
                 deadline: self.config.deadline,
+                cancel: self.config.cancel.clone(),
             };
             let build = |params: &[f64]| {
                 Self::build_circuit(

@@ -174,6 +174,8 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
         cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
         retries: parsed.retries,
         faults: FaultPlan::from_env()?.map(Arc::new),
+        cancel: None,
+        job_deadline: None,
     };
     let report = execute(&spec, &options)?;
 
@@ -235,6 +237,14 @@ pub struct ServeArgs {
     pub cell_timeout_secs: Option<f64>,
     /// Retry budget for transient per-cell failures.
     pub retries: u32,
+    /// Admission memory budget in bytes (`--mem-budget BYTES[K|M|G]`,
+    /// binary suffixes). `None` disables byte-based admission.
+    pub mem_budget: Option<u64>,
+    /// Prune completed jobs' spec/journal files (`--gc-done`).
+    pub gc_done: bool,
+    /// How long a signal-initiated drain may run before falling back to
+    /// abort (`--drain-timeout SECS`).
+    pub drain_timeout_secs: f64,
 }
 
 impl Default for ServeArgs {
@@ -251,6 +261,9 @@ impl Default for ServeArgs {
             restart_workers: 1,
             cell_timeout_secs: None,
             retries: 0,
+            mem_budget: None,
+            gc_done: false,
+            drain_timeout_secs: 60.0,
         }
     }
 }
@@ -259,7 +272,26 @@ impl Default for ServeArgs {
 pub const SERVE_USAGE: &str = "usage: choco-cli serve [--state-dir DIR] [--queue-cap N] \
      [--socket PATH] [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto] \
      [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
-     [--cell-timeout SECS] [--retries N]";
+     [--cell-timeout SECS] [--retries N] [--mem-budget BYTES[K|M|G]] [--gc-done] \
+     [--drain-timeout SECS]";
+
+/// Parses a byte count with an optional binary suffix: `1048576`,
+/// `512K`, `64M`, `2G`.
+fn parse_bytes(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.as_bytes().last() {
+        Some(b'K' | b'k') => (&text[..text.len() - 1], 1u64 << 10),
+        Some(b'M' | b'm') => (&text[..text.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&text[..text.len() - 1], 1 << 30),
+        _ => (text, 1),
+    };
+    let n: u64 = digits
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad byte count `{text}`: {e}"))?;
+    n.checked_mul(multiplier)
+        .ok_or_else(|| format!("byte count `{text}` overflows"))
+}
 
 /// Parses `serve` subcommand arguments (everything after the literal
 /// `serve`).
@@ -339,6 +371,24 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .parse()
                     .map_err(|e| format!("--retries: {e}"))?
             }
+            "--mem-budget" => {
+                parsed.mem_budget = Some(
+                    parse_bytes(&value("--mem-budget")?)
+                        .map_err(|e| format!("--mem-budget: {e}"))?,
+                )
+            }
+            "--gc-done" => parsed.gc_done = true,
+            "--drain-timeout" => {
+                let secs: f64 = value("--drain-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--drain-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!(
+                        "--drain-timeout: expected a positive number of seconds, got {secs}"
+                    ));
+                }
+                parsed.drain_timeout_secs = secs;
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
@@ -356,6 +406,9 @@ pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
     Ok(ServeOptions {
         state_dir: PathBuf::from(&parsed.state_dir),
         queue_cap: parsed.queue_cap,
+        mem_budget: parsed.mem_budget,
+        gc_done: parsed.gc_done,
+        drain_timeout: Duration::from_secs_f64(parsed.drain_timeout_secs),
         run: RunOptions {
             workers: parsed.workers,
             quick: false,
@@ -373,12 +426,17 @@ pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
             cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
             retries: parsed.retries,
             faults: FaultPlan::from_env()?.map(Arc::new),
+            cancel: None,
+            job_deadline: None,
         },
     })
 }
 
 /// Executes the `serve` subcommand: runs the daemon on stdin/stdout, or
-/// on a Unix socket when `--socket` is given.
+/// on a Unix socket when `--socket` is given. SIGTERM/SIGINT request the
+/// daemon's bounded-drain shutdown instead of killing the process
+/// mid-write (journals make even a hard kill safe, but a drain finishes
+/// in-flight jobs' reports).
 ///
 /// # Errors
 ///
@@ -386,12 +444,14 @@ pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
 pub fn serve_command(args: &[String]) -> Result<(), String> {
     let parsed = parse_serve_args(args)?;
     let options = serve_options(&parsed)?;
+    crate::serve::install_signal_handlers();
     match &parsed.socket {
         Some(path) => serve_socket(&options, std::path::Path::new(path)),
-        None => {
-            let stdin = std::io::stdin();
-            serve(&options, stdin.lock(), std::io::stdout())
-        }
+        None => serve(
+            &options,
+            std::io::BufReader::new(std::io::stdin()),
+            std::io::stdout(),
+        ),
     }
 }
 
@@ -491,6 +551,11 @@ mod tests {
             "compact",
             "--retries",
             "1",
+            "--mem-budget",
+            "512M",
+            "--gc-done",
+            "--drain-timeout",
+            "2.5",
         ]))
         .unwrap();
         assert_eq!(args.state_dir, "/tmp/s");
@@ -499,6 +564,9 @@ mod tests {
         assert_eq!(args.workers, 2);
         assert_eq!(args.engine, Some(EngineKind::Compact));
         assert_eq!(args.retries, 1);
+        assert_eq!(args.mem_budget, Some(512 << 20));
+        assert!(args.gc_done);
+        assert_eq!(args.drain_timeout_secs, 2.5);
 
         assert!(parse_serve_args(&strings(&["--queue-cap", "0"]))
             .unwrap_err()
@@ -506,6 +574,27 @@ mod tests {
         assert!(parse_serve_args(&strings(&["--bogus"]))
             .unwrap_err()
             .contains("--bogus"));
+    }
+
+    #[test]
+    fn mem_budget_accepts_binary_suffixes() {
+        assert_eq!(parse_bytes("1048576"), Ok(1 << 20));
+        assert_eq!(parse_bytes("512K"), Ok(512 << 10));
+        assert_eq!(parse_bytes("64m"), Ok(64 << 20));
+        assert_eq!(parse_bytes("2G"), Ok(2 << 30));
+        assert!(parse_bytes("2T").is_err(), "unknown suffix");
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("-1").is_err());
+        assert!(parse_bytes(&format!("{}G", u64::MAX)).is_err(), "overflow");
+        for bad in ["0x10", "ten", "K"] {
+            assert!(parse_bytes(bad).is_err(), "{bad}");
+        }
+        assert!(parse_serve_args(&strings(&["--mem-budget", "lots"]))
+            .unwrap_err()
+            .contains("--mem-budget"));
+        assert!(parse_serve_args(&strings(&["--drain-timeout", "-2"]))
+            .unwrap_err()
+            .contains("--drain-timeout"));
     }
 
     #[test]

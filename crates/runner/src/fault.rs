@@ -32,11 +32,15 @@ pub enum CellErrorKind {
     Solver,
     /// Reading or writing a run artifact (journal, report) failed.
     Io,
+    /// The job owning the cell was cancelled (the daemon's `cancel` op or
+    /// a shutdown drain timeout); the cell drained cooperatively through
+    /// the same hook as deadlines instead of producing a result.
+    Cancelled,
 }
 
 impl CellErrorKind {
     /// Stable lowercase label used in reports (`panic`, `timeout`,
-    /// `size_gate`, `solver`, `io`).
+    /// `size_gate`, `solver`, `io`, `cancelled`).
     pub fn label(self) -> &'static str {
         match self {
             CellErrorKind::Panic => "panic",
@@ -44,13 +48,14 @@ impl CellErrorKind {
             CellErrorKind::SizeGate => "size_gate",
             CellErrorKind::Solver => "solver",
             CellErrorKind::Io => "io",
+            CellErrorKind::Cancelled => "cancelled",
         }
     }
 
     /// Whether a bounded retry may plausibly succeed. Panics and
     /// timeouts can be transient (a corrupted workspace, a host hiccup);
-    /// size gates and solver rejections are deterministic functions of
-    /// the cell, so retrying them only burns budget.
+    /// size gates, solver rejections, and cancellations are deliberate,
+    /// so retrying them only burns budget.
     pub fn retryable(self) -> bool {
         matches!(self, CellErrorKind::Panic | CellErrorKind::Timeout)
     }
@@ -120,6 +125,12 @@ pub enum FaultKind {
     /// Sleep before the attempt (perturbs worker scheduling without
     /// failing the cell — determinism stress, not an error path).
     Delay(Duration),
+    /// Crash the whole *worker thread* running the cell, outside the
+    /// per-attempt `catch_unwind` envelope. Only the serve pool honors
+    /// this (its supervisor restarts the worker and requeues the cell);
+    /// the batch runner ignores it — there, every panic is already
+    /// caught per attempt, so a worker-level crash cannot be expressed.
+    Kill,
 }
 
 /// One parsed injection directive.
@@ -144,12 +155,17 @@ struct Directive {
 /// panic@I[:N]      panic in cell I's first N attempts (default: all)
 /// timeout@I[:N]    expire cell I's deadline immediately
 /// delay@I:MS[:N]   sleep MS milliseconds before cell I's attempt
+/// kill@I[:N]       crash the serve worker running cell I (serve only)
 /// ```
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     directives: Vec<Directive>,
     /// Attempts drawn so far per cell index (shared across workers).
     attempts: Mutex<BTreeMap<usize, u32>>,
+    /// Supervision-level attempts drawn per cell by [`FaultPlan::draw_kill`].
+    /// Kept separate from `attempts` so kill scheduling never shifts
+    /// which solve attempts the other directives hit.
+    kill_attempts: Mutex<BTreeMap<usize, u32>>,
 }
 
 impl FaultPlan {
@@ -183,9 +199,10 @@ impl FaultPlan {
                     let ms = parse_num("delay", ms)?;
                     (FaultKind::Delay(Duration::from_millis(ms)), &parts[2..])
                 }
+                "kill" => (FaultKind::Kill, &parts[1..]),
                 other => {
                     return Err(format!(
-                        "fault `{raw}`: unknown kind `{other}` (expected panic|timeout|delay)"
+                        "fault `{raw}`: unknown kind `{other}` (expected panic|timeout|delay|kill)"
                     ))
                 }
             };
@@ -204,6 +221,7 @@ impl FaultPlan {
         Ok(FaultPlan {
             directives,
             attempts: Mutex::new(BTreeMap::new()),
+            kill_attempts: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -225,6 +243,8 @@ impl FaultPlan {
     /// Draws the fault (if any) for the next attempt of cell `index`,
     /// advancing that cell's attempt counter. Thread-safe; the counter is
     /// per-cell, so worker scheduling cannot change which attempts fail.
+    /// `kill@` directives are not drawn here — they act above the attempt
+    /// level, through [`FaultPlan::draw_kill`].
     pub fn draw(&self, index: usize) -> Option<FaultKind> {
         let attempt = {
             let mut attempts = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
@@ -235,8 +255,33 @@ impl FaultPlan {
         };
         self.directives
             .iter()
-            .find(|d| d.index == index && d.attempts.is_none_or(|k| attempt < k))
+            .find(|d| {
+                !matches!(d.kind, FaultKind::Kill)
+                    && d.index == index
+                    && d.attempts.is_none_or(|k| attempt < k)
+            })
             .map(|d| d.kind)
+    }
+
+    /// Draws whether the next supervision-level dispatch of cell `index`
+    /// should crash its worker thread (`kill@I[:N]` directives), advancing
+    /// a counter independent of [`FaultPlan::draw`]'s.
+    pub fn draw_kill(&self, index: usize) -> bool {
+        let attempt = {
+            let mut attempts = self
+                .kill_attempts
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let n = attempts.entry(index).or_insert(0);
+            let current = *n;
+            *n += 1;
+            current
+        };
+        self.directives.iter().any(|d| {
+            matches!(d.kind, FaultKind::Kill)
+                && d.index == index
+                && d.attempts.is_none_or(|k| attempt < k)
+        })
     }
 }
 
@@ -259,6 +304,25 @@ mod tests {
     }
 
     #[test]
+    fn kill_directives_draw_on_their_own_counter() {
+        let plan = FaultPlan::parse("kill@0:2, panic@0:1").unwrap();
+        // `draw` never surfaces kills, and its counter keeps panic@0:1 on
+        // the first solve attempt regardless of how many kills were drawn.
+        assert!(plan.draw_kill(0));
+        assert!(plan.draw_kill(0));
+        assert!(!plan.draw_kill(0), "bounded to two dispatches");
+        assert!(!plan.draw_kill(1));
+        assert_eq!(plan.draw(0), Some(FaultKind::Panic));
+        assert_eq!(plan.draw(0), None, "panic bounded to one attempt");
+
+        let unbounded = FaultPlan::parse("kill@3").unwrap();
+        for _ in 0..5 {
+            assert!(unbounded.draw_kill(3));
+        }
+        assert_eq!(unbounded.draw(3), None, "kill is invisible to draw");
+    }
+
+    #[test]
     fn rejects_malformed_directives() {
         for bad in [
             "panic",
@@ -267,6 +331,7 @@ mod tests {
             "delay@1",
             "panic@1:2:3",
             "delay@1:5:2:9",
+            "kill@",
         ] {
             let err = FaultPlan::parse(bad).unwrap_err();
             assert!(err.contains("fault"), "{bad}: {err}");
@@ -290,6 +355,8 @@ mod tests {
         assert_eq!(solver.kind, CellErrorKind::Solver);
         assert!(!solver.kind.retryable() && !gate.kind.retryable());
         assert!(timeout.kind.retryable() && CellErrorKind::Panic.retryable());
+        assert!(!CellErrorKind::Cancelled.retryable());
+        assert_eq!(CellErrorKind::Cancelled.label(), "cancelled");
     }
 
     #[test]

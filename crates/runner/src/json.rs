@@ -44,6 +44,15 @@ impl Json {
         }
     }
 
+    /// The number as `f64` (protocol knobs like `deadline_secs`, where
+    /// fractional seconds are meaningful).
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
     pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -361,6 +370,8 @@ mod tests {
             "negatives are not u64"
         );
         assert_eq!(v.get("f").unwrap().as_u64(), None, "fractions are not u64");
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_f64(), None, "strings are not f64");
         assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
         assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
         assert_eq!(v.entries().len(), 5);

@@ -81,6 +81,17 @@ pub struct RunOptions {
     /// by CI to prove the isolation and resume paths. `None` in normal
     /// operation.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Cooperative cancellation flag shared by every cell of the run
+    /// (the serve daemon's `cancel` op). Once set, queued cells are
+    /// skipped and in-flight solves drain through the deadline hook,
+    /// landing as `cancelled` error records. `None` in plain batch runs.
+    pub cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Whole-run wall-clock deadline (the serve daemon's per-job
+    /// `deadline_secs` knob). Each cell's effective deadline is the
+    /// earlier of this and its `cell_timeout`; cells starting after it
+    /// has passed fail immediately as `timeout` records, and transient
+    /// failures stop retrying once it expires.
+    pub job_deadline: Option<Instant>,
 }
 
 impl Default for RunOptions {
@@ -98,6 +109,8 @@ impl Default for RunOptions {
             cell_timeout: None,
             retries: 0,
             faults: None,
+            cancel: None,
+            job_deadline: None,
         }
     }
 }
@@ -393,7 +406,7 @@ fn execute_grid(spec: &ExperimentSpec, opts: &RunOptions) -> Result<RunReport, S
 
 /// A cell attempt that ran to completion, plus what the engine selection
 /// resolved to.
-struct CellSuccess {
+pub(crate) struct CellSuccess {
     outcome: SolveOutcome,
     engine: Option<String>,
     occupancy: Option<u64>,
@@ -413,9 +426,26 @@ pub(crate) fn run_grid_cell(
 ) -> Record {
     let mut retries = 0u32;
     let result = loop {
-        match run_cell_attempt(spec, opts, cell, instance, workspace, sim) {
+        let attempt = run_cell_attempt(spec, opts, cell, instance, workspace, sim);
+        // Sampled *after* the attempt: a cancellation mid-solve surfaces
+        // as a timeout (it drains through the same deadline hook), so
+        // relabel it — and never retry, the flag is sticky.
+        let cancelled = opts
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(Ordering::SeqCst));
+        match attempt {
             Ok(success) => break Ok(success),
-            Err(e) if e.kind.retryable() && retries < opts.retries => {
+            Err(e) if cancelled && e.kind == CellErrorKind::Timeout => {
+                let mut e = CellError::new(CellErrorKind::Cancelled, "job cancelled");
+                e.retries = retries;
+                break Err(e);
+            }
+            Err(e)
+                if e.kind.retryable()
+                    && retries < opts.retries
+                    && opts.job_deadline.is_none_or(|d| Instant::now() < d) =>
+            {
                 retries += 1;
                 eprintln!(
                     "cell {} ({} seed={} {}): attempt failed ({e}); retry {retries}/{}",
@@ -454,10 +484,17 @@ fn run_cell_attempt(
     }
     // An injected timeout is an already-expired deadline: it exercises
     // the exact production path (the first objective evaluation trips it)
-    // without depending on host speed.
+    // without depending on host speed. Otherwise the effective deadline
+    // is the earlier of the per-cell budget and the whole-run deadline.
     let deadline = match fault {
         Some(FaultKind::Timeout) => Some(Instant::now()),
-        _ => opts.cell_timeout.map(|budget| Instant::now() + budget),
+        _ => {
+            let cell = opts.cell_timeout.map(|budget| Instant::now() + budget);
+            match (cell, opts.job_deadline) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        }
     };
     // The workspace is not unwind-safe (see `SimWorkspace`'s docs); the
     // assertion is sound because the panic arm below discards it.
@@ -547,6 +584,7 @@ fn solve_cell(
                 seed: cell_seed,
                 noise,
                 deadline,
+                cancel: opts.cancel.clone(),
                 ..base
             };
             ChocoQSolver::new(config)
@@ -571,6 +609,7 @@ fn solve_cell(
                 seed: cell_seed,
                 noise,
                 deadline,
+                cancel: opts.cancel.clone(),
                 ..base
             };
             match baseline {
@@ -591,8 +630,10 @@ fn solve_cell(
 
 /// Renders one cell result — success or structured failure — as a
 /// record. Field order is fixed and shared by both branches (nulls on
-/// failure), so every record of a run keeps one schema.
-fn grid_record(
+/// failure), so every record of a run keeps one schema. Exposed to the
+/// serve scheduler for records it produces without a solve attempt
+/// (cancelled/expired fast paths, supervisor give-ups).
+pub(crate) fn grid_record(
     spec: &ExperimentSpec,
     opts: &RunOptions,
     cell: &Cell,

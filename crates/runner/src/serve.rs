@@ -18,14 +18,35 @@
 //! | `{"op": "submit", "spec_path": "…"}` | submit a spec file |
 //! | `{"op": "submit", "spec_toml": "…"}` | submit inline spec TOML |
 //! | `{"op": "submit", "job": {…}}` | submit a minimal JSON job |
-//! | `{"op": "stats"}` | queue depth + per-cache plan statistics |
+//! | `{"op": "cancel", "id": "…"}` | cancel a job (idempotent) |
+//! | `{"op": "stats"}` | queue depth, per-job progress, worker restarts, plan-cache statistics |
+//! | `{"op": "health"}` | pool/state-dir vitals (workers alive, journal bytes, memory watermark) |
 //! | `{"op": "shutdown"}` | drain active jobs, then exit |
 //! | `{"op": "shutdown", "mode": "abort"}` | stop after in-flight cells |
+//!
+//! A `submit` additionally accepts per-job execution overrides:
+//! `deadline_secs` (whole-job wall-clock budget), `cell_timeout`
+//! (seconds per cell), and `retries` — the job-level counterparts of the
+//! daemon-wide CLI knobs. They apply for the submitting daemon's
+//! lifetime; a restart resumes the job under the daemon-wide settings.
 //!
 //! Events: `ready` (session start, lists resumed jobs), `accepted`,
 //! `rejected` (with a machine-readable `kind`), `record` (one per
 //! completed cell, streamed as it lands), `done` (report written),
-//! `stats`, `error`, `shutdown`.
+//! `cancelled`, `stats`, `health`, `error`, `shutdown`.
+//!
+//! # Supervision and signals
+//!
+//! Cells already run under per-attempt `catch_unwind` isolation; the
+//! serve pool adds a supervisor above it: a panic that escapes a worker
+//! (the `kill@` chaos directive, or a defect outside the attempt
+//! envelope) replaces that worker's workspaces, counts a restart
+//! (surfaced via `stats`/`health`), and requeues the cell — bounded, so
+//! a cell that keeps crashing workers becomes a structured `panic`
+//! record instead of looping forever. SIGTERM/SIGINT (when the CLI
+//! installed handlers) drain active jobs within a bounded window, then
+//! fall back to abort: cancelled cells drain cooperatively, journals are
+//! kept, and a restart heals the interrupted jobs.
 //!
 //! # Durability
 //!
@@ -35,23 +56,27 @@
 //! daemon re-admits every non-`.done` job from its persisted spec, skips
 //! journaled cells, and re-runs the rest. Reports are byte-identical to
 //! `choco-cli run` of the same spec at any worker count, with or without
-//! an intervening kill.
+//! an intervening kill, under any injected fault schedule.
 
 use crate::checkpoint::{load_journal, CheckpointJournal, JournalHeader};
+use crate::fault::{CellError, CellErrorKind};
 use crate::json::{Json, JsonParser};
 use crate::report::{write_json_str, Field, Record, RunReport};
-use crate::run::{build_instances, expand_grid_cells, run_grid_cell, summarize, Instance};
-use crate::spec::{Cell, ExperimentSpec, RunKind};
+use crate::run::{
+    build_instances, expand_grid_cells, grid_record, run_grid_cell, summarize, Instance,
+};
+use crate::spec::{Cell, ExperimentSpec, RunKind, SolverKind};
 use crate::RunOptions;
-use choco_qsim::{PlanCache, SimConfig, SimWorkspace};
+use choco_qsim::{EngineKind, PlanCache, SimConfig, SimWorkspace};
 use choco_solvers::shared::check_size_for;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration: where job state lives, how much work may queue,
 /// and the execution options every job runs under.
@@ -64,6 +89,21 @@ pub struct ServeOptions {
     /// would push the queue past this cap is rejected (`queue_full`)
     /// instead of admitted — backpressure, not unbounded memory.
     pub queue_cap: usize,
+    /// Admission budget in bytes for resident simulator state
+    /// (`--mem-budget`). A job whose peak per-cell estimate, multiplied
+    /// by the worker count (every worker can hold its high-water
+    /// workspace at once), exceeds this is rejected `too_large` before
+    /// any file is written. `None` (the default) disables the check.
+    pub mem_budget: Option<u64>,
+    /// State-dir hygiene (`--gc-done`): prune the spec and journal of
+    /// every completed job — at startup and as each job finishes. The
+    /// report and `.done` marker are kept, so duplicate detection and
+    /// report retrieval survive the pruning.
+    pub gc_done: bool,
+    /// How long a SIGTERM/SIGINT drain may wait for active jobs before
+    /// falling back to abort (`--drain-timeout`; aborted jobs keep their
+    /// journals and resume on restart).
+    pub drain_timeout: Duration,
     /// Execution options applied to every job (worker count, engine and
     /// optimizer overrides, retries, timeouts). `checkpoint`/`resume`
     /// are ignored: the daemon manages its own journals.
@@ -75,6 +115,9 @@ impl Default for ServeOptions {
         ServeOptions {
             state_dir: PathBuf::from("serve-state"),
             queue_cap: 4096,
+            mem_budget: None,
+            gc_done: false,
+            drain_timeout: Duration::from_secs(60),
             run: RunOptions::default(),
         }
     }
@@ -101,6 +144,17 @@ struct Job {
     /// report (a checkpoint that silently stopped recording would
     /// defeat its purpose).
     failed: AtomicBool,
+    /// Cooperative cancel flag (the same `Arc` stored in `opts.cancel`):
+    /// set by the `cancel` op or a shutdown drain timeout. Queued cells
+    /// drain as `cancelled` records; in-flight solves exit at their next
+    /// objective evaluation.
+    cancel: Arc<AtomicBool>,
+    /// Set when a shutdown abort dropped this job's cells: finalization
+    /// must keep the journal and skip the report/`.done` write so a
+    /// restart can heal the job.
+    aborted: AtomicBool,
+    /// Cells that landed as error records (per-job `stats` reporting).
+    failed_cells: AtomicUsize,
     report_path: PathBuf,
     done_path: PathBuf,
     /// Cells restored from the journal at admission.
@@ -111,6 +165,10 @@ struct Job {
 struct Task {
     job: Arc<Job>,
     cell: usize,
+    /// Worker crashes this cell has caused (supervision requeues); at
+    /// [`CELL_CRASH_LIMIT`] the supervisor records a structured failure
+    /// instead of requeueing again.
+    crashes: u32,
 }
 
 /// Mutable daemon state behind one lock.
@@ -133,6 +191,16 @@ struct Shared<'env> {
     /// (e.g. a job finishing after its submitter disconnected) go to the
     /// sink bound at the time; job *state* is on disk either way.
     sink: Mutex<Box<dyn Write + Send + 'env>>,
+    /// Per-worker restart counts: a panic escaping the per-cell
+    /// isolation costs that worker its workspaces, and the supervisor
+    /// counts the replacement here (surfaced via `stats`/`health`).
+    restarts: Vec<AtomicUsize>,
+    /// Workers currently inside their loop (health reporting).
+    workers_alive: AtomicUsize,
+    /// Largest admitted per-cell byte estimate: the admission floor,
+    /// because worker workspaces keep their high-water buffers alive for
+    /// the daemon's lifetime.
+    mem_high_water: AtomicU64,
 }
 
 fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -150,6 +218,42 @@ enum SessionEnd {
         /// (journals keep them resumable) instead of drained.
         abort: bool,
     },
+    /// SIGTERM/SIGINT arrived: drain within
+    /// [`ServeOptions::drain_timeout`], then fall back to abort.
+    Signal,
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by the session loop, the
+/// socket accept loop, and the drain path.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn note_shutdown_signal(_signum: i32) {
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+fn shutdown_requested() -> bool {
+    SHUTDOWN_SIGNAL.load(Ordering::SeqCst)
+}
+
+/// Installs SIGTERM/SIGINT handlers that request the daemon's graceful
+/// drain (bounded by [`ServeOptions::drain_timeout`], then abort).
+/// Called by the `choco-cli serve` entry point only — never by the
+/// library [`serve`]/[`serve_socket`] functions, so embedding a daemon
+/// in-process (tests, benches) leaves the host's signal disposition
+/// alone.
+pub fn install_signal_handlers() {
+    // `signal(2)` straight from the C runtime Rust already links — the
+    // repo stays dependency-free. Only an atomic store happens in the
+    // handler, which is async-signal-safe.
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, note_shutdown_signal);
+        signal(SIGTERM, note_shutdown_signal);
+    }
 }
 
 /// Runs the daemon over a single input/output session (the
@@ -163,7 +267,7 @@ enum SessionEnd {
 /// are reported as protocol events, not errors.
 pub fn serve<R, W>(opts: &ServeOptions, input: R, output: W) -> Result<(), String>
 where
-    R: BufRead,
+    R: BufRead + Send + 'static,
     W: Write + Send,
 {
     let mut session = Some((input, output));
@@ -191,14 +295,29 @@ pub fn serve_socket(opts: &ServeOptions, socket_path: &Path) -> Result<(), Strin
     }
     let listener = UnixListener::bind(socket_path)
         .map_err(|e| format!("cannot bind {}: {e}", socket_path.display()))?;
+    // Non-blocking accept: a blocking accept would ride out SIGTERM (std
+    // retries EINTR), so the loop polls the shutdown flag between
+    // attempts instead.
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure {}: {e}", socket_path.display()))?;
     eprintln!("choco-serve: listening on {}", socket_path.display());
     drive(opts, move || loop {
+        if shutdown_requested() {
+            return None;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
                 let Ok(reader) = stream.try_clone() else {
                     continue;
                 };
                 return Some((std::io::BufReader::new(reader), stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
             }
             Err(e) => {
                 eprintln!("choco-serve: accept failed: {e}");
@@ -216,11 +335,14 @@ fn drive<'env, R, W>(
     mut next_session: impl FnMut() -> Option<(R, W)>,
 ) -> Result<(), String>
 where
-    R: BufRead,
+    R: BufRead + Send + 'static,
     W: Write + Send + 'env,
 {
     std::fs::create_dir_all(&opts.state_dir)
         .map_err(|e| format!("cannot create state dir {}: {e}", opts.state_dir.display()))?;
+    if opts.gc_done {
+        gc_done_jobs(&opts.state_dir);
+    }
     let n_workers = opts.run.effective_workers(usize::MAX);
     let shared = Shared {
         opts,
@@ -232,10 +354,14 @@ where
         wake: Condvar::new(),
         caches: Mutex::new(Vec::new()),
         sink: Mutex::new(Box::new(std::io::sink())),
+        restarts: (0..n_workers).map(|_| AtomicUsize::new(0)).collect(),
+        workers_alive: AtomicUsize::new(0),
+        mem_high_water: AtomicU64::new(0),
     };
     std::thread::scope(|scope| {
-        for _ in 0..n_workers {
-            scope.spawn(|| worker_loop(&shared));
+        for worker in 0..n_workers {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(shared, worker));
         }
         let mut resumed: Option<Vec<String>> = None;
         let mut end = SessionEnd::Eof;
@@ -251,43 +377,111 @@ where
             };
             emit_ready(&shared, &ids);
             end = session_loop(&shared, input);
-            if matches!(end, SessionEnd::Shutdown { .. }) {
+            if !matches!(end, SessionEnd::Eof) {
                 break;
             }
         }
-        let abort = matches!(end, SessionEnd::Shutdown { abort: true });
-        {
-            let mut st = lock(&shared.state);
-            if abort {
-                st.tasks.clear();
-                st.active.clear();
-            } else {
-                while !st.active.is_empty() {
-                    st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
-                }
-            }
-            st.stop = true;
+        // A stdio daemon whose input ended *because* a signal arrived
+        // (reader thread gone, flag set) drains under signal semantics.
+        if matches!(end, SessionEnd::Eof) && shutdown_requested() {
+            end = SessionEnd::Signal;
         }
-        shared.wake.notify_all();
-        emit_shutdown(&shared, abort);
+        let mode = drain(&shared, &end);
+        emit_shutdown(&shared, mode);
     });
+    // Consume the flag so a later in-process daemon (tests run several
+    // sequentially) starts with a clean slate.
+    SHUTDOWN_SIGNAL.store(false, Ordering::SeqCst);
     Ok(())
 }
 
-/// Reads request lines from one session until EOF or a `shutdown` op.
-fn session_loop<R: BufRead>(shared: &Shared, input: R) -> SessionEnd {
-    for line in input.lines() {
-        let Ok(line) = line else {
-            return SessionEnd::Eof;
-        };
-        if line.trim().is_empty() {
-            continue;
+/// Winds the pool down according to how the final session ended.
+/// Returns the shutdown mode actually reached: `drain`/`abort` for
+/// protocol-initiated shutdowns, `signal-drain` for a signal drain that
+/// completed in time, `signal-abort` when the drain window expired and
+/// active jobs were cancelled and aborted (journals kept, resumable).
+fn drain(shared: &Shared, end: &SessionEnd) -> &'static str {
+    let mut mode = match end {
+        SessionEnd::Shutdown { abort: true } => "abort",
+        SessionEnd::Shutdown { abort: false } | SessionEnd::Eof => "drain",
+        SessionEnd::Signal => "signal-drain",
+    };
+    {
+        let mut st = lock(&shared.state);
+        if matches!(end, SessionEnd::Shutdown { abort: true }) {
+            st.tasks.clear();
+            st.active.clear();
+        } else {
+            let mut deadline: Option<Instant> = None;
+            while !st.active.is_empty() {
+                // A signal may arrive mid-drain (e.g. during an Eof
+                // drain); from that point the bounded window applies.
+                if deadline.is_none() && shutdown_requested() {
+                    deadline = Some(Instant::now() + shared.opts.drain_timeout);
+                    mode = "signal-drain";
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    for job in &st.active {
+                        job.cancel.store(true, Ordering::SeqCst);
+                        job.aborted.store(true, Ordering::SeqCst);
+                    }
+                    st.tasks.clear();
+                    st.active.clear();
+                    mode = "signal-abort";
+                    break;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(st, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
         }
-        if let Some(end) = handle_request(shared, &line) {
-            return end;
+        st.stop = true;
+    }
+    shared.wake.notify_all();
+    mode
+}
+
+/// Reads request lines from one session until EOF, a `shutdown` op, or a
+/// shutdown signal. Input is pumped through a channel by a detached
+/// reader thread: a blocking `read_line` would ride out SIGTERM (std
+/// retries EINTR), so the session loop polls the shutdown flag between
+/// bounded waits instead.
+fn session_loop<R: BufRead + Send + 'static>(shared: &Shared, input: R) -> SessionEnd {
+    let (tx, rx) = std::sync::mpsc::channel::<std::io::Result<String>>();
+    let spawned = std::thread::Builder::new()
+        .name("choco-serve-reader".to_string())
+        .spawn(move || {
+            for line in input.lines() {
+                let failed = line.is_err();
+                if tx.send(line).is_err() || failed {
+                    break;
+                }
+            }
+        });
+    if let Err(e) = spawned {
+        emit_error(shared, None, &format!("cannot start session reader: {e}"));
+        return SessionEnd::Eof;
+    }
+    loop {
+        if shutdown_requested() {
+            return SessionEnd::Signal;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(Ok(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if let Some(end) = handle_request(shared, &line) {
+                    return end;
+                }
+            }
+            Ok(Err(_)) => return SessionEnd::Eof,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return SessionEnd::Eof,
         }
     }
-    SessionEnd::Eof
 }
 
 /// Dispatches one request line; `Some` ends the session.
@@ -304,8 +498,16 @@ fn handle_request(shared: &Shared, line: &str) -> Option<SessionEnd> {
             handle_submit(shared, &request);
             None
         }
+        Some("cancel") => {
+            handle_cancel(shared, &request);
+            None
+        }
         Some("stats") => {
             emit_stats(shared);
+            None
+        }
+        Some("health") => {
+            emit_health(shared);
             None
         }
         Some("shutdown") => {
@@ -316,7 +518,9 @@ fn handle_request(shared: &Shared, line: &str) -> Option<SessionEnd> {
             emit_error(
                 shared,
                 None,
-                &format!("unknown op `{other}` (expected submit, stats, or shutdown)"),
+                &format!(
+                    "unknown op `{other}` (expected submit, cancel, stats, health, or shutdown)"
+                ),
             );
             None
         }
@@ -343,10 +547,82 @@ fn handle_submit(shared: &Shared, request: &Json) {
     }
 }
 
+/// The `cancel` op: idempotent by design. An active job has its cancel
+/// flag set (queued cells drain as `cancelled` records, in-flight solves
+/// exit at their next objective evaluation and the job still finalizes
+/// with a report); a finished or unknown job is a no-op. The response
+/// reports what was found, so a client can tell the three cases apart.
+fn handle_cancel(shared: &Shared, request: &Json) {
+    let Some(id) = request.get("id").and_then(Json::as_str) else {
+        emit_error(shared, None, "cancel needs a string `id`");
+        return;
+    };
+    let active = {
+        let st = lock(&shared.state);
+        match st.active.iter().find(|j| j.id == id) {
+            Some(job) => {
+                job.cancel.store(true, Ordering::SeqCst);
+                true
+            }
+            None => false,
+        }
+    };
+    let done = shared.opts.state_dir.join(format!("{id}.done")).exists();
+    emit_cancelled(shared, id, active, done);
+}
+
+/// Per-job execution overrides parsed from a `submit` request.
+#[derive(Default)]
+struct JobKnobs {
+    /// Whole-job wall-clock budget (`deadline_secs`).
+    deadline: Option<Duration>,
+    /// Per-cell timeout override (`cell_timeout`, seconds).
+    cell_timeout: Option<Duration>,
+    /// Per-cell retry budget override (`retries`).
+    retries: Option<u32>,
+}
+
+fn positive_secs(key: &str, value: &Json) -> Result<Duration, String> {
+    let secs = value
+        .as_f64()
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| {
+            format!(
+                "`{key}`: expected a positive number of seconds (got {})",
+                value.brief()
+            )
+        })?;
+    Ok(Duration::from_secs_f64(secs))
+}
+
+fn job_knobs(request: &Json) -> Result<JobKnobs, String> {
+    let mut knobs = JobKnobs::default();
+    if let Some(value) = request.get("deadline_secs") {
+        knobs.deadline = Some(positive_secs("deadline_secs", value)?);
+    }
+    if let Some(value) = request.get("cell_timeout") {
+        knobs.cell_timeout = Some(positive_secs("cell_timeout", value)?);
+    }
+    if let Some(value) = request.get("retries") {
+        let retries = value
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| {
+                format!(
+                    "`retries`: expected a small non-negative integer (got {})",
+                    value.brief()
+                )
+            })?;
+        knobs.retries = Some(retries);
+    }
+    Ok(knobs)
+}
+
 /// Admission result: either an enqueued job or `(kind, reason)`.
 type Admission = Result<Arc<Job>, (&'static str, String)>;
 
 fn admit(shared: &Shared, request: &Json) -> Admission {
+    let knobs = job_knobs(request).map_err(|e| ("bad_request", e))?;
     let toml = spec_source(request).map_err(|e| ("bad_request", e))?;
     let spec = ExperimentSpec::parse_str(&toml).map_err(|e| ("spec_error", e))?;
     let id = match request.get("id").and_then(Json::as_str) {
@@ -380,7 +656,7 @@ fn admit(shared: &Shared, request: &Json) -> Admission {
             ),
         ));
     }
-    prepare_job(shared, id, spec, Some(&toml), false)
+    prepare_job(shared, id, spec, Some(&toml), false, &knobs)
 }
 
 /// Builds, validates, persists, and enqueues a job. `persist_toml` is the
@@ -394,10 +670,20 @@ fn prepare_job(
     spec: ExperimentSpec,
     persist_toml: Option<&str>,
     resume: bool,
+    knobs: &JobKnobs,
 ) -> Admission {
     let mut opts = shared.opts.run.clone();
     opts.checkpoint = None;
     opts.resume = false;
+    if let Some(cell_timeout) = knobs.cell_timeout {
+        opts.cell_timeout = Some(cell_timeout);
+    }
+    if let Some(retries) = knobs.retries {
+        opts.retries = retries;
+    }
+    let cancel = Arc::new(AtomicBool::new(false));
+    opts.cancel = Some(cancel.clone());
+    opts.job_deadline = knobs.deadline.map(|d| Instant::now() + d);
     let sim = opts.effective_sim(&spec);
     let cells = expand_grid_cells(&spec, opts.quick).map_err(|e| ("spec_error", e))?;
     if cells.is_empty() {
@@ -428,6 +714,44 @@ fn prepare_job(
         check_size_for(instance.problem.n_vars(), sim.engine)
             .map_err(|e| ("too_large", format!("{family} seed={seed}: {e}")))?;
     }
+    // Memory-aware admission (`--mem-budget`): every worker can end up
+    // holding its high-water workspace at once, so the budget must cover
+    // the largest admitted per-cell estimate times the worker count —
+    // including the floor set by jobs already admitted (workspaces keep
+    // their buffers for the daemon's lifetime).
+    let mut job_peak = 0u64;
+    if let Some(budget) = shared.opts.mem_budget {
+        let mut worst = String::new();
+        for cell in &pending_cells {
+            let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+            let bytes = cell_sim_bytes(cell, &instances[&key], sim.engine);
+            if bytes > job_peak {
+                job_peak = bytes;
+                worst = format!("{} seed={}", cell.problem.as_str(), cell.instance_seed);
+            }
+        }
+        if !pending_cells.is_empty() {
+            let floor = shared.mem_high_water.load(Ordering::SeqCst).max(job_peak);
+            let n_workers = shared.opts.run.effective_workers(usize::MAX);
+            let required = floor.saturating_mul(n_workers as u64);
+            if budget < required {
+                return Err((
+                    "too_large",
+                    format!(
+                        "estimated resident simulator state ~{} ({} per worker x {} workers; \
+                         peak cell {worst} needs {}) exceeds --mem-budget {}; raise the budget, \
+                         lower --workers, or pick a leaner engine (sparse/compact hold |F| \
+                         amplitudes instead of 2^n)",
+                        fmt_bytes(required),
+                        fmt_bytes(floor),
+                        n_workers,
+                        fmt_bytes(job_peak),
+                        fmt_bytes(budget)
+                    ),
+                ));
+            }
+        }
+    }
     {
         let st = lock(&shared.state);
         if st.tasks.len() + pending_cells.len() > shared.opts.queue_cap {
@@ -442,6 +766,7 @@ fn prepare_job(
             ));
         }
     }
+    shared.mem_high_water.fetch_max(job_peak, Ordering::SeqCst);
     // Commit point: everything below writes state.
     if let Some(toml) = persist_toml {
         let spec_path = shared.opts.state_dir.join(format!("{id}.spec.toml"));
@@ -477,6 +802,9 @@ fn prepare_job(
         slots: Mutex::new(slots),
         remaining: AtomicUsize::new(pending.len()),
         failed: AtomicBool::new(false),
+        cancel,
+        aborted: AtomicBool::new(false),
+        failed_cells: AtomicUsize::new(0),
         resumed: resumed_count,
     });
     {
@@ -486,6 +814,7 @@ fn prepare_job(
             st.tasks.push_back(Task {
                 job: job.clone(),
                 cell: i,
+                crashes: 0,
             });
         }
     }
@@ -536,7 +865,7 @@ fn resume_jobs(shared: &Shared) -> Vec<String> {
                 continue;
             }
         };
-        match prepare_job(shared, id.clone(), spec, None, true) {
+        match prepare_job(shared, id.clone(), spec, None, true, &JobKnobs::default()) {
             Ok(_) => ids.push(id),
             Err((kind, reason)) => {
                 emit_error(
@@ -554,7 +883,16 @@ fn resume_jobs(shared: &Shared) -> Vec<String> {
 /// registry (one per distinct [`SimConfig`]) persists for the worker's
 /// lifetime, and every workspace shares the global plan cache for its
 /// configuration — the cross-request reuse the daemon exists for.
-fn worker_loop(shared: &Shared) {
+///
+/// The supervisor envelope: a panic that escapes [`run_task`]'s own
+/// per-attempt isolation (the `kill@` chaos directive, or a defect
+/// outside the attempt region) is caught here, the worker's workspaces
+/// are replaced (plan caches survive — they live in [`Shared`]), a
+/// restart is counted, and the cell is requeued with its crash count
+/// bumped. Completion accounting stays *outside* the unwind region, so
+/// a requeued cell is never double-counted.
+fn worker_loop(shared: &Shared, worker: usize) {
+    shared.workers_alive.fetch_add(1, Ordering::SeqCst);
     let mut workspaces: Vec<(SimConfig, SimWorkspace)> = Vec::new();
     loop {
         let task = {
@@ -570,43 +908,154 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let Some(task) = task else { break };
-        run_task(shared, &mut workspaces, &task);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_task(shared, &mut workspaces, &task)
+        }));
+        match outcome {
+            Ok(()) => finish_cell(shared, &task.job),
+            Err(payload) => {
+                shared.restarts[worker].fetch_add(1, Ordering::SeqCst);
+                // Poison-healing discipline: anything the panic may have
+                // left half-updated is dropped and rebuilt fresh.
+                workspaces = Vec::new();
+                supervise_crash(shared, task, payload.as_ref());
+            }
+        }
+    }
+    shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Completion accounting for one scheduled cell: the worker that takes
+/// `remaining` to zero finalizes the job. Kept separate from
+/// [`run_task`] so the supervisor's crash path (which *requeues* the
+/// cell) never decrements the counter.
+fn finish_cell(shared: &Shared, job: &Arc<Job>) {
+    if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        finalize_job(shared, job);
     }
 }
 
-/// Runs one cell: solve, journal, stream, slot. The journal append
-/// happens *before* the record event, so a client that saw the record
-/// can rely on it surviving a crash. The worker that completes a job's
-/// last cell finalizes it.
+/// Runs one cell and commits its record; completion accounting lives in
+/// [`finish_cell`]. Cancelled or deadline-expired jobs skip the solve and
+/// commit a structured terminal record instead — queued cells drain
+/// cooperatively rather than executing after the job gave up.
 fn run_task(shared: &Shared, workspaces: &mut Vec<(SimConfig, SimWorkspace)>, task: &Task) {
     let job = &task.job;
-    if !job.failed.load(Ordering::SeqCst) {
-        let cell = &job.cells[task.cell];
-        let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+    if job.failed.load(Ordering::SeqCst) {
+        return;
+    }
+    let cell = &job.cells[task.cell];
+    // Chaos hook: a `kill@` directive panics *outside* the per-attempt
+    // isolation in `run_grid_cell`, exercising the worker supervisor the
+    // way a real escaped panic would.
+    if let Some(plan) = &job.opts.faults {
+        if plan.draw_kill(cell.index) {
+            panic!("injected fault: worker kill (CHOCO_FAULT_INJECT)");
+        }
+    }
+    let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+    let started = Instant::now();
+    let record = if job.cancel.load(Ordering::SeqCst) {
+        // Same detail as the mid-solve relabel in `run_grid_cell`, so the
+        // record is independent of *where* the cancel caught the cell.
+        grid_record(
+            &job.spec,
+            &job.opts,
+            cell,
+            &job.instances[&key],
+            Err(CellError::new(CellErrorKind::Cancelled, "job cancelled")),
+            0,
+        )
+    } else if job.opts.job_deadline.is_some_and(|d| Instant::now() >= d) {
+        grid_record(
+            &job.spec,
+            &job.opts,
+            cell,
+            &job.instances[&key],
+            Err(CellError::new(
+                CellErrorKind::Timeout,
+                "job deadline exceeded",
+            )),
+            0,
+        )
+    } else {
         let workspace = workspace_for(workspaces, &shared.caches, job.sim);
-        let started = Instant::now();
-        let record = run_grid_cell(
+        run_grid_cell(
             &job.spec,
             &job.opts,
             cell,
             &job.instances[&key],
             workspace,
             job.sim,
+        )
+    };
+    commit_record(shared, job, task.cell, started.elapsed(), record);
+}
+
+/// Journals and streams one finished record. The journal append happens
+/// *before* the record event, so a client that saw the record can rely
+/// on it surviving a crash.
+fn commit_record(shared: &Shared, job: &Arc<Job>, index: usize, elapsed: Duration, record: Record) {
+    if matches!(record.get("status"), Some(Field::Str(s)) if s.as_str() == "error") {
+        job.failed_cells.fetch_add(1, Ordering::SeqCst);
+    }
+    if let Err(e) = job.journal.append_cell(index, elapsed, &record) {
+        job.failed.store(true, Ordering::SeqCst);
+        emit_error(shared, Some(&job.id), &e);
+    } else {
+        emit_record(shared, &job.id, index, &record);
+        lock(&job.slots)[index] = Some(record);
+    }
+}
+
+/// Crashes a cell may cause before the supervisor stops requeueing it
+/// and records a structured failure instead.
+const CELL_CRASH_LIMIT: u32 = 3;
+
+/// Handles a panic that escaped a worker: requeue the cell (bounded by
+/// [`CELL_CRASH_LIMIT`]) or, at the limit or under cancellation, commit
+/// a terminal `panic` record so the job still finishes with a report.
+fn supervise_crash(shared: &Shared, task: Task, payload: &(dyn std::any::Any + Send)) {
+    let error = CellError::from_panic(payload);
+    let job = task.job.clone();
+    if task.crashes + 1 < CELL_CRASH_LIMIT && !job.cancel.load(Ordering::SeqCst) {
+        eprintln!(
+            "choco-serve: job {} cell {} crashed its worker ({}); requeueing (crash {}/{})",
+            job.id,
+            task.cell,
+            error.detail,
+            task.crashes + 1,
+            CELL_CRASH_LIMIT
         );
-        if let Err(e) = job
-            .journal
-            .append_cell(task.cell, started.elapsed(), &record)
         {
-            job.failed.store(true, Ordering::SeqCst);
-            emit_error(shared, Some(&job.id), &e);
-        } else {
-            emit_record(shared, &job.id, task.cell, &record);
-            lock(&job.slots)[task.cell] = Some(record);
+            let mut st = lock(&shared.state);
+            st.tasks.push_back(Task {
+                crashes: task.crashes + 1,
+                ..task
+            });
         }
+        shared.wake.notify_all();
+        return;
     }
-    if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-        finalize_job(shared, job);
-    }
+    let cell = &job.cells[task.cell];
+    let key = (cell.problem.as_str().to_string(), cell.instance_seed);
+    let record = grid_record(
+        &job.spec,
+        &job.opts,
+        cell,
+        &job.instances[&key],
+        Err(CellError::new(
+            CellErrorKind::Panic,
+            format!(
+                "cell crashed its worker {} times; last panic: {}",
+                task.crashes + 1,
+                error.detail
+            ),
+        )),
+        0,
+    );
+    commit_record(shared, &job, task.cell, Duration::ZERO, record);
+    finish_cell(shared, &job);
 }
 
 /// Finds (or creates) this worker's workspace for `sim`, wiring it to
@@ -630,14 +1079,31 @@ fn workspace_for<'w>(
             }
         }
     };
+    let idx = workspaces.len();
     workspaces.push((sim, SimWorkspace::with_plan_cache(sim, cache)));
-    &mut workspaces.last_mut().expect("just pushed").1
+    &mut workspaces[idx].1
 }
 
 /// Assembles and writes the job's report (byte-identical to
 /// `choco-cli run` of the same spec), marks it `.done`, removes it from
 /// the active set, and emits `done` — or `error` if the job failed.
 fn finalize_job(shared: &Shared, job: &Arc<Job>) {
+    if job.aborted.load(Ordering::SeqCst) {
+        // A shutdown abort dropped some of this job's cells; writing a
+        // report now would publish a hole-ridden result. Keep the journal
+        // and let a restart heal the job instead.
+        {
+            let mut st = lock(&shared.state);
+            st.active.retain(|active| !Arc::ptr_eq(active, job));
+        }
+        shared.wake.notify_all();
+        emit_error(
+            shared,
+            Some(&job.id),
+            "job aborted by shutdown before completing; journal retained — restart the daemon to resume",
+        );
+        return;
+    }
     let result: Result<(usize, u64), String> = if job.failed.load(Ordering::SeqCst) {
         Err("job failed: checkpoint journal append error (see earlier error event)".to_string())
     } else {
@@ -672,6 +1138,10 @@ fn finalize_job(shared: &Shared, job: &Arc<Job>) {
                 .map(|()| (job.cells.len(), errors))
         })
     };
+    if result.is_ok() && shared.opts.gc_done {
+        let _ = std::fs::remove_file(shared.opts.state_dir.join(format!("{}.spec.toml", job.id)));
+        let _ = std::fs::remove_file(shared.opts.state_dir.join(format!("{}.journal", job.id)));
+    }
     {
         let mut st = lock(&shared.state);
         st.active.retain(|active| !Arc::ptr_eq(active, job));
@@ -753,13 +1223,51 @@ fn emit_done(shared: &Shared, job: &Job, cells: usize, errors: u64) {
 }
 
 fn emit_stats(shared: &Shared) {
-    let (active, queued) = {
+    // Snapshot under the lock, render after: per-job progress is
+    // (total, completed-including-resumed, failed, resumed), sorted by
+    // id so the event is deterministic.
+    let (active, queued, jobs) = {
         let st = lock(&shared.state);
-        (st.active.len(), st.tasks.len())
+        let mut jobs: Vec<(String, usize, usize, usize, usize)> = st
+            .active
+            .iter()
+            .map(|job| {
+                let total = job.cells.len();
+                let remaining = job.remaining.load(Ordering::SeqCst);
+                (
+                    job.id.clone(),
+                    total,
+                    total.saturating_sub(remaining),
+                    job.failed_cells.load(Ordering::SeqCst),
+                    job.resumed,
+                )
+            })
+            .collect();
+        jobs.sort();
+        (st.active.len(), st.tasks.len(), jobs)
     };
     let mut line = format!(
-        "{{\"event\": \"stats\", \"jobs_active\": {active}, \"cells_queued\": {queued}, \"caches\": ["
+        "{{\"event\": \"stats\", \"jobs_active\": {active}, \"cells_queued\": {queued}, \"worker_restarts\": ["
     );
+    for (i, restarts) in shared.restarts.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        let _ = write!(line, "{}", restarts.load(Ordering::SeqCst));
+    }
+    line.push_str("], \"jobs\": [");
+    for (i, (id, total, completed, failed, resumed)) in jobs.iter().enumerate() {
+        if i > 0 {
+            line.push_str(", ");
+        }
+        line.push_str("{\"id\": ");
+        write_json_str(&mut line, id);
+        let _ = write!(
+            line,
+            ", \"cells\": {total}, \"completed\": {completed}, \"failed\": {failed}, \"resumed\": {resumed}}}"
+        );
+    }
+    line.push_str("], \"caches\": [");
     {
         let caches = lock(&shared.caches);
         for (i, (sim, cache)) in caches.iter().enumerate() {
@@ -782,8 +1290,57 @@ fn emit_stats(shared: &Shared) {
     emit(shared, &line);
 }
 
-fn emit_shutdown(shared: &Shared, abort: bool) {
-    let mode = if abort { "abort" } else { "drain" };
+fn emit_cancelled(shared: &Shared, id: &str, active: bool, done: bool) {
+    let mut line = String::from("{\"event\": \"cancelled\", \"job\": ");
+    write_json_str(&mut line, id);
+    let _ = write!(line, ", \"active\": {active}, \"done\": {done}}}");
+    emit(shared, &line);
+}
+
+fn emit_health(shared: &Shared) {
+    let (active, queued) = {
+        let st = lock(&shared.state);
+        (st.active.len(), st.tasks.len())
+    };
+    let restarts: usize = shared
+        .restarts
+        .iter()
+        .map(|r| r.load(Ordering::SeqCst))
+        .sum();
+    let (shapes, compilations, hits) = {
+        let caches = lock(&shared.caches);
+        caches.iter().fold((0u64, 0u64, 0u64), |acc, (_, cache)| {
+            let s = cache.stats();
+            (
+                acc.0 + s.shapes as u64,
+                acc.1 + s.compilations,
+                acc.2 + s.hits,
+            )
+        })
+    };
+    let mut line = format!(
+        "{{\"event\": \"health\", \"jobs_active\": {active}, \"cells_queued\": {queued}, \
+         \"workers\": {}, \"workers_alive\": {}, \"worker_restarts\": {restarts}, \
+         \"journal_bytes\": {}, \"mem_high_water\": {}",
+        shared.restarts.len(),
+        shared.workers_alive.load(Ordering::SeqCst),
+        journal_bytes(&shared.opts.state_dir),
+        shared.mem_high_water.load(Ordering::SeqCst),
+    );
+    match shared.opts.mem_budget {
+        Some(budget) => {
+            let _ = write!(line, ", \"mem_budget\": {budget}");
+        }
+        None => line.push_str(", \"mem_budget\": null"),
+    }
+    let _ = write!(
+        line,
+        ", \"plan_shapes\": {shapes}, \"plan_compilations\": {compilations}, \"plan_hits\": {hits}}}"
+    );
+    emit(shared, &line);
+}
+
+fn emit_shutdown(shared: &Shared, mode: &str) {
     emit(
         shared,
         &format!("{{\"event\": \"shutdown\", \"mode\": \"{mode}\"}}"),
@@ -803,6 +1360,86 @@ fn emit_error(shared: &Shared, id: Option<&str>, reason: &str) {
 }
 
 // ------------------------------------------------------------- admission
+
+/// Estimated resident simulator bytes for one cell, by engine:
+/// dense (and auto, which may fall back to dense) holds the full
+/// `2^n` complex amplitudes at 16 bytes each; sparse holds one map
+/// entry (~24 bytes) and compact one packed entry (~32 bytes) per
+/// feasible-space amplitude, which for Choco-Q cells is bounded by the
+/// enumerated feasible count `|F|`. Non-Choco-Q solvers explore the full
+/// register regardless of engine. Saturating arithmetic: an estimate
+/// that overflows `u64` is "infinite" for admission purposes anyway.
+fn cell_sim_bytes(cell: &Cell, instance: &Instance, engine: EngineKind) -> u64 {
+    let Ok(optimum) = &instance.optimum else {
+        return 0;
+    };
+    let n = instance.problem.n_vars().min(62) as u32;
+    let full = 1u64 << n;
+    let support = if matches!(cell.solver, SolverKind::ChocoQ) {
+        (optimum.n_feasible as u64).clamp(1, full)
+    } else {
+        full
+    };
+    match engine {
+        EngineKind::Dense | EngineKind::Auto => full.saturating_mul(16),
+        EngineKind::Sparse => support.saturating_mul(24),
+        EngineKind::Compact => support.saturating_mul(32),
+    }
+}
+
+/// Renders a byte count for admission messages: `512 B`, `64.0 KiB`, …
+fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["KiB", "MiB", "GiB", "TiB"];
+    if bytes < 1024 {
+        return format!("{bytes} B");
+    }
+    let mut value = bytes as f64 / 1024.0;
+    let mut unit = UNITS[0];
+    for next in &UNITS[1..] {
+        if value < 1024.0 {
+            break;
+        }
+        value /= 1024.0;
+        unit = next;
+    }
+    format!("{value:.1} {unit}")
+}
+
+/// State-dir hygiene (`--gc-done`): removes the spec and journal of
+/// every job with a `.done` marker. Reports and markers are kept, so
+/// duplicate detection and report retrieval still work.
+fn gc_done_jobs(state_dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(state_dir) else {
+        return;
+    };
+    let ids: Vec<String> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|n| n.strip_suffix(".done").map(str::to_string))
+        .collect();
+    for id in ids {
+        let _ = std::fs::remove_file(state_dir.join(format!("{id}.spec.toml")));
+        let _ = std::fs::remove_file(state_dir.join(format!("{id}.journal")));
+    }
+}
+
+/// Total bytes across all checkpoint journals in the state directory
+/// (`health` reporting: unbounded growth here says `--gc-done` is off).
+fn journal_bytes(state_dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(state_dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.ends_with(".journal"))
+        })
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
 
 /// Job ids become file names under the state directory, so the charset
 /// is locked down: `[A-Za-z0-9._-]`, 1–64 characters, no leading dot.
@@ -828,27 +1465,25 @@ fn validate_id(id: &str) -> Result<(), String> {
 /// `spec_path` (a file the daemon reads), `spec_toml` (inline text), or
 /// `job` (a minimal JSON job translated by [`job_to_toml`]).
 fn spec_source(request: &Json) -> Result<String, String> {
-    let sources = [
+    match (
         request.get("spec_path"),
         request.get("spec_toml"),
         request.get("job"),
-    ];
-    if sources.iter().filter(|s| s.is_some()).count() != 1 {
-        return Err(
-            "a submit request needs exactly one of `spec_path`, `spec_toml`, or `job`".to_string(),
-        );
-    }
-    if let Some(path) = request.get("spec_path") {
-        let path = path
+    ) {
+        (Some(path), None, None) => {
+            let path = path
+                .as_str()
+                .ok_or_else(|| format!("`spec_path`: expected a string (got {})", path.brief()))?;
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        (None, Some(toml), None) => toml
             .as_str()
-            .ok_or_else(|| format!("`spec_path`: expected a string (got {})", path.brief()))?;
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-    } else if let Some(toml) = request.get("spec_toml") {
-        toml.as_str()
             .map(str::to_string)
-            .ok_or_else(|| format!("`spec_toml`: expected a string (got {})", toml.brief()))
-    } else {
-        job_to_toml(request.get("job").expect("counted above"))
+            .ok_or_else(|| format!("`spec_toml`: expected a string (got {})", toml.brief())),
+        (None, None, Some(job)) => job_to_toml(job),
+        _ => Err(
+            "a submit request needs exactly one of `spec_path`, `spec_toml`, or `job`".to_string(),
+        ),
     }
 }
 
@@ -1015,6 +1650,60 @@ mod tests {
 
         let nameless = JsonParser::parse(r#"{"problems": ["F1"]}"#).unwrap();
         assert!(job_to_toml(&nameless).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn mem_estimates_scale_by_engine_and_solver() {
+        let cells = crate::run::expand_grid_cells(
+            &ExperimentSpec::parse_str(
+                "name = \"m\"\n[grid]\nproblems = [\"F1\"]\nsolvers = [\"choco\", \"penalty\"]\nseeds = [1]\n",
+            )
+            .unwrap(),
+            false,
+        )
+        .unwrap();
+        let instances = build_instances(&cells).unwrap();
+        let key = (
+            cells[0].problem.as_str().to_string(),
+            cells[0].instance_seed,
+        );
+        let instance = &instances[&key];
+        let n = instance.problem.n_vars() as u32;
+        let full = 1u64 << n;
+        let feasible = instance.optimum.as_ref().unwrap().n_feasible as u64;
+        assert!(feasible < full, "F1 must have a non-trivial feasible space");
+
+        let (choco, penalty) = match cells[0].solver {
+            SolverKind::ChocoQ => (&cells[0], &cells[1]),
+            _ => (&cells[1], &cells[0]),
+        };
+        // Dense and auto hold the full register regardless of solver.
+        assert_eq!(
+            cell_sim_bytes(choco, instance, EngineKind::Dense),
+            full * 16
+        );
+        assert_eq!(cell_sim_bytes(choco, instance, EngineKind::Auto), full * 16);
+        // Sparse/compact are |F|-bounded for Choco-Q only.
+        assert_eq!(
+            cell_sim_bytes(choco, instance, EngineKind::Sparse),
+            feasible * 24
+        );
+        assert_eq!(
+            cell_sim_bytes(choco, instance, EngineKind::Compact),
+            feasible * 32
+        );
+        assert_eq!(
+            cell_sim_bytes(penalty, instance, EngineKind::Sparse),
+            full * 24
+        );
+    }
+
+    #[test]
+    fn byte_counts_format_with_binary_units() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(65536), "64.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.0 GiB");
     }
 
     #[test]

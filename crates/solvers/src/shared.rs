@@ -51,6 +51,13 @@ pub struct QaoaConfig {
     /// [`LoopResult::deadline_exceeded`] — which the solvers surface as
     /// [`SolverError::Timeout`]. `None` (the default) never expires.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked at the same point as
+    /// [`QaoaConfig::deadline`]: once another thread sets it, the solve
+    /// drains exactly like an expired deadline and surfaces
+    /// [`SolverError::Timeout`]. This is how a long-lived scheduler (the
+    /// serve daemon's `cancel` op) interrupts an in-flight solve without
+    /// killing its thread. `None` (the default) never cancels.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Default for QaoaConfig {
@@ -67,6 +74,7 @@ impl Default for QaoaConfig {
             noise_trajectories: 30,
             sim: SimConfig::default(),
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -172,12 +180,18 @@ struct BatchedObjective<'a, F: Fn(&[f64]) -> Circuit> {
 
 impl<F: Fn(&[f64]) -> Circuit> BatchedObjective<'_, F> {
     /// The sticky cooperative-deadline check shared by both evaluation
-    /// paths: returns `true` once [`QaoaConfig::deadline`] has passed.
+    /// paths: returns `true` once [`QaoaConfig::deadline`] has passed or
+    /// [`QaoaConfig::cancel`] has been set.
     fn deadline_expired(&self) -> bool {
         if self.deadline_hit.get() {
             return true;
         }
-        if self.config.deadline.is_some_and(|d| Instant::now() >= d) {
+        let cancelled = self
+            .config
+            .cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::SeqCst));
+        if cancelled || self.config.deadline.is_some_and(|d| Instant::now() >= d) {
             self.deadline_hit.set(true);
             return true;
         }

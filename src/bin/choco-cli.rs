@@ -17,6 +17,7 @@
 //!                  [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto]
 //!                  [--batch K] [--optimizer cobyla|nelder-mead|spsa]
 //!                  [--restart-workers N] [--cell-timeout SECS] [--retries N]
+//!                  [--mem-budget BYTES[K|M|G]] [--gc-done] [--drain-timeout SECS]
 //!
 //! `--threads` sets the state-vector engine's worker-thread count
 //! (0 = auto-detect; also settable via the `CHOCO_SIM_THREADS` env var).
@@ -242,7 +243,8 @@ fn main() -> ExitCode {
                  usage: choco-cli serve [--state-dir DIR] [--queue-cap N] [--socket PATH] \
                  [--workers N] [--sim-threads N] [--engine dense|sparse|compact|auto] \
                  [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] \
-                 [--cell-timeout SECS] [--retries N]"
+                 [--cell-timeout SECS] [--retries N] [--mem-budget BYTES[K|M|G]] \
+                 [--gc-done] [--drain-timeout SECS]"
             );
             return ExitCode::from(2);
         }

@@ -5,7 +5,9 @@
 
 use choco_q::prelude::*;
 use choco_q::qsim::EngineKind;
+use choco_q::runner::serve::{serve, ServeOptions};
 use choco_q::runner::{execute, FaultPlan, Field, RunKind};
+use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -482,4 +484,180 @@ fn delay_injection_perturbs_scheduling_without_changing_bytes() {
     )
     .expect("delayed run");
     assert_eq!(clean.to_json(), delayed.to_json());
+}
+
+/// A `Write` sink a test can read back after an in-process daemon exits.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn serve_opts(state_dir: PathBuf, workers: usize, faults: &str) -> ServeOptions {
+    ServeOptions {
+        state_dir,
+        run: RunOptions {
+            workers,
+            faults: Some(Arc::new(FaultPlan::parse(faults).unwrap())),
+            ..RunOptions::default()
+        },
+        ..ServeOptions::default()
+    }
+}
+
+/// Chaos-tested supervision: `kill@` panics escape the per-cell
+/// isolation (by design — they fire *outside* the attempt envelope), so
+/// each one costs a worker its workspaces and exercises the supervisor's
+/// replace-and-requeue path. The healed report must be byte-identical to
+/// a clean `choco-cli run`, with the restarts visible in `stats`.
+#[test]
+fn serve_supervisor_heals_killed_workers_byte_identically() {
+    let spec = spec();
+    let clean = execute(&spec, &opts()).expect("clean run").to_json();
+    let serve_opts = serve_opts(
+        scratch("serve_kill").join("state"),
+        2,
+        "kill@0:2,delay@1:50",
+    );
+    let (req_read, req_write) = std::io::pipe().expect("request pipe");
+    let (event_read, event_write) = std::io::pipe().expect("event pipe");
+    let stats_line = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            serve(&serve_opts, BufReader::new(req_read), event_write).expect("serve session");
+        });
+        let mut requests = req_write;
+        let mut events = BufReader::new(event_read).lines();
+        let mut next = |kind: &str| -> String {
+            let needle = format!("\"event\": \"{kind}\"");
+            loop {
+                let line = events
+                    .next()
+                    .expect("daemon closed its event stream")
+                    .expect("event line");
+                if line.contains(&needle) {
+                    return line;
+                }
+            }
+        };
+        next("ready");
+        let spec_file = serve_opts.state_dir.parent().unwrap().join("spec.toml");
+        std::fs::write(&spec_file, SPEC).expect("write spec");
+        requests
+            .write_all(
+                format!(
+                    "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+                    spec_file.display()
+                )
+                .as_bytes(),
+            )
+            .expect("submit");
+        let done = next("done");
+        assert!(done.contains("\"errors\": 0"), "{done}");
+        requests.write_all(b"{\"op\": \"stats\"}\n").expect("stats");
+        let stats = next("stats");
+        requests
+            .write_all(b"{\"op\": \"shutdown\"}\n")
+            .expect("shutdown");
+        next("shutdown");
+        drop(requests);
+        stats
+    });
+    // Both scheduled kills consumed exactly one worker restart each.
+    let restarts_at = stats_line
+        .find("\"worker_restarts\": [")
+        .expect("worker_restarts in stats");
+    let restarts: u32 = stats_line[restarts_at..]
+        .chars()
+        .take_while(|c| *c != ']')
+        .filter(|c| c.is_ascii_digit())
+        .map(|c| c.to_digit(10).unwrap())
+        .sum();
+    assert_eq!(restarts, 2, "{stats_line}");
+    let report =
+        std::fs::read_to_string(serve_opts.state_dir.join("ft.json")).expect("healed serve report");
+    assert_eq!(
+        report, clean,
+        "a chaos-killed serve run must heal to the clean report bytes"
+    );
+    // Requeues after a worker kill are not retries: the records must not
+    // carry a retry count (that would break byte-identity, and it would
+    // misreport what happened — the attempt never started).
+    assert!(!report.contains("\"retries\": 1"), "kill must not retry");
+}
+
+/// A cell that kills its worker every time must not loop forever: the
+/// supervisor stops requeueing at the crash limit and commits a
+/// structured `panic` record, so the job still finishes with a report
+/// and the daemon exits cleanly.
+#[test]
+fn repeatedly_killed_cell_becomes_a_structured_record() {
+    let spec_text = SPEC;
+    let serve_opts = serve_opts(scratch("serve_crashloop").join("state"), 1, "kill@0");
+    let dir = serve_opts.state_dir.parent().unwrap().to_path_buf();
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, spec_text).expect("write spec");
+    let buf = SharedBuf::default();
+    serve(
+        &serve_opts,
+        std::io::Cursor::new(format!(
+            "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+            spec_file.display()
+        )),
+        buf.clone(),
+    )
+    .expect("daemon must survive a crash-looping cell");
+    let events = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf-8 events");
+    let terminal: Vec<&str> = events
+        .lines()
+        .filter(|e| e.contains("\"event\": \"record\"") && e.contains("\"error_kind\": \"panic\""))
+        .collect();
+    assert_eq!(terminal.len(), 1, "{events}");
+    assert!(
+        terminal[0].contains("crashed its worker 3 times"),
+        "{terminal:?}"
+    );
+    assert!(
+        events.contains("\"event\": \"done\"") && events.contains("\"errors\": 1"),
+        "{events}"
+    );
+    // The other three cells match a clean run: crash-looping one cell
+    // never perturbs its siblings. The degraded report differs from the
+    // clean one only in cell 0's error record and the summary, so each
+    // surviving cell's success rate must appear verbatim.
+    let report =
+        std::fs::read_to_string(serve_opts.state_dir.join("ft.json")).expect("degraded report");
+    let clean = execute(&spec(), &opts()).expect("clean");
+    for i in 1..clean.records.len() {
+        if let Some(Field::Float(rate)) = clean.records[i].get("success_rate") {
+            assert!(
+                report.contains(&format!("{rate}")),
+                "cell {i} success_rate missing from degraded report"
+            );
+        }
+    }
+}
+
+/// `kill@` directives are serve-pool chaos: the batch runner's cells run
+/// under per-attempt isolation with no supervisor above it, so the
+/// directive is inert there and the report is byte-identical to clean.
+#[test]
+fn kill_directives_are_inert_in_batch_runs() {
+    let spec = spec();
+    let clean = execute(&spec, &opts()).expect("clean");
+    let with_kills = execute(
+        &spec,
+        &RunOptions {
+            faults: Some(Arc::new(FaultPlan::parse("kill@0,kill@2:5").unwrap())),
+            ..opts()
+        },
+    )
+    .expect("kill directives must be inert in batch mode");
+    assert_eq!(clean.to_json(), with_kills.to_json());
 }

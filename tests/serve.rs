@@ -5,8 +5,8 @@
 
 use choco_q::prelude::*;
 use choco_q::qsim::EngineKind;
-use choco_q::runner::execute;
 use choco_q::runner::serve::{serve, ServeOptions};
+use choco_q::runner::{build_instances, execute, FaultPlan};
 use proptest::prelude::*;
 use std::io::{BufRead, BufReader, Write};
 use std::path::PathBuf;
@@ -73,6 +73,7 @@ fn serve_opts(state_dir: PathBuf, workers: usize) -> ServeOptions {
             workers,
             ..RunOptions::default()
         },
+        ..ServeOptions::default()
     }
 }
 
@@ -276,6 +277,7 @@ fn plan_cache_is_shared_across_requests() {
             engine: Some(EngineKind::Compact),
             ..RunOptions::default()
         },
+        ..ServeOptions::default()
     };
     let (req_read, req_write) = std::io::pipe().expect("request pipe");
     let (event_read, event_write) = std::io::pipe().expect("event pipe");
@@ -415,6 +417,390 @@ fn killed_daemon_resumes_and_reproduces_the_report() {
     assert_eq!(
         report, baseline,
         "kill-and-resume must reproduce the uninterrupted report byte for byte"
+    );
+}
+
+#[test]
+fn cancel_drains_cells_cooperatively_and_still_finalizes() {
+    // A delay fault pins the single worker on cell 0 long enough for the
+    // cancel (the very next request line) to land first: cell 0 exits
+    // mid-solve at its next objective evaluation, the queued cells drain
+    // via the fast path, and both paths produce the same record.
+    let mut opts = serve_opts(scratch("cancel").join("state"), 1);
+    opts.run.faults = Some(Arc::new(FaultPlan::parse("delay@0:300").unwrap()));
+    let dir = opts.state_dir.parent().unwrap().to_path_buf();
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, SPEC).expect("write spec");
+    let input = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n\
+         {{\"op\": \"cancel\", \"id\": \"serve-grid\"}}\n\
+         {{\"op\": \"cancel\"}}\n",
+        spec_file.display()
+    );
+    let events = run_session(&opts, &input);
+    let cancelled: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"cancelled\""))
+        .collect();
+    assert_eq!(cancelled.len(), 1, "{events:?}");
+    assert!(
+        cancelled[0].contains("\"active\": true") && cancelled[0].contains("\"done\": false"),
+        "{cancelled:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.contains("cancel needs a string `id`")),
+        "{events:?}"
+    );
+    let records: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"record\""))
+        .collect();
+    assert_eq!(records.len(), 4, "{events:?}");
+    for record in &records {
+        assert!(
+            record.contains("\"error_kind\": \"cancelled\"") && record.contains("job cancelled"),
+            "cancelled cells must land as structured records: {record}"
+        );
+    }
+    // The job still finalizes: degraded report + `.done`, so the state
+    // dir does not accumulate zombies.
+    assert_eq!(count_events(&events, "done"), 1, "{events:?}");
+    assert!(opts.state_dir.join("serve-grid.done").exists());
+
+    // Cancel after completion (fresh session over the same state dir):
+    // idempotent no-op, reported as done.
+    let events = run_session(&opts, "{\"op\": \"cancel\", \"id\": \"serve-grid\"}\n");
+    assert!(
+        events.iter().any(|e| e.contains("\"event\": \"cancelled\"")
+            && e.contains("\"active\": false")
+            && e.contains("\"done\": true")),
+        "{events:?}"
+    );
+
+    // Cancel before any submission: unknown id, both flags false.
+    let opts = serve_opts(scratch("cancel_unknown").join("state"), 1);
+    let events = run_session(&opts, "{\"op\": \"cancel\", \"id\": \"ghost\"}\n");
+    assert!(
+        events.iter().any(|e| e.contains("\"event\": \"cancelled\"")
+            && e.contains("\"active\": false")
+            && e.contains("\"done\": false")),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn per_job_knobs_override_daemon_settings() {
+    // An (effectively) already-expired job deadline: every cell lands as
+    // a structured timeout, and the job still finalizes with a report.
+    let opts = serve_opts(scratch("knob_deadline").join("state"), 2);
+    let dir = opts.state_dir.parent().unwrap().to_path_buf();
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, SPEC).expect("write spec");
+    let input = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\", \"deadline_secs\": 0.000001}}\n",
+        spec_file.display()
+    );
+    let events = run_session(&opts, &input);
+    let records: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"record\""))
+        .collect();
+    assert_eq!(records.len(), 4, "{events:?}");
+    for record in &records {
+        assert!(
+            record.contains("\"error_kind\": \"timeout\""),
+            "an expired job deadline must produce timeout records: {record}"
+        );
+    }
+    assert_eq!(count_events(&events, "done"), 1, "{events:?}");
+
+    // A per-job retry budget heals a transient fault the daemon-wide
+    // settings (retries = 0) would surface as an error.
+    let mut opts = serve_opts(scratch("knob_retries").join("state"), 1);
+    opts.run.faults = Some(Arc::new(FaultPlan::parse("panic@0:1").unwrap()));
+    let input = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\", \"retries\": 1}}\n",
+        spec_file.display()
+    );
+    let events = run_session(&opts, &input);
+    assert_eq!(count_events(&events, "done"), 1, "{events:?}");
+    let report =
+        std::fs::read_to_string(opts.state_dir.join("serve-grid.json")).expect("healed report");
+    assert!(
+        !report.contains("\"status\": \"error\""),
+        "the per-job retry budget must heal the injected panic"
+    );
+    assert!(report.contains("\"retries\": 1"), "retry must be counted");
+
+    // A malformed knob is a structured rejection naming the key, and
+    // leaves no state behind.
+    let opts = serve_opts(scratch("knob_bad").join("state"), 1);
+    let input = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\", \"deadline_secs\": \"soon\"}}\n",
+        spec_file.display()
+    );
+    let events = run_session(&opts, &input);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.contains("\"kind\": \"bad_request\"") && e.contains("deadline_secs")),
+        "{events:?}"
+    );
+    assert!(!opts.state_dir.join("serve-grid.spec.toml").exists());
+    assert!(!opts.state_dir.join("serve-grid.journal").exists());
+}
+
+#[test]
+fn mem_budget_admission_has_an_exact_boundary() {
+    // The spec's cells are all dense-engine full-register estimates:
+    // 2^n × 16 bytes per worker. Compute the exact requirement and probe
+    // one byte below (rejected) and at it (accepted).
+    let spec = ExperimentSpec::parse_str(SPEC).expect("spec");
+    let cells = spec.expand_cells(false);
+    let instances = build_instances(&cells).expect("instances");
+    let n = instances
+        .values()
+        .next()
+        .expect("instance")
+        .problem
+        .n_vars() as u32;
+    let per_worker = 16u64 << n;
+    let workers = 2usize;
+    let required = per_worker * workers as u64;
+
+    let submit = |opts: &ServeOptions| {
+        let dir = opts.state_dir.parent().unwrap().to_path_buf();
+        let spec_file = dir.join("spec.toml");
+        std::fs::write(&spec_file, SPEC).expect("write spec");
+        run_session(
+            opts,
+            &format!(
+                "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+                spec_file.display()
+            ),
+        )
+    };
+
+    let mut tight = serve_opts(scratch("mem_tight").join("state"), workers);
+    tight.mem_budget = Some(required - 1);
+    let events = submit(&tight);
+    let rejected: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"rejected\""))
+        .collect();
+    assert_eq!(rejected.len(), 1, "{events:?}");
+    assert!(
+        rejected[0].contains("\"kind\": \"too_large\"")
+            && rejected[0].contains("--mem-budget")
+            && rejected[0].contains("workers"),
+        "{rejected:?}"
+    );
+    // Rejections leave no state behind.
+    assert!(!tight.state_dir.join("serve-grid.spec.toml").exists());
+    assert!(!tight.state_dir.join("serve-grid.journal").exists());
+
+    let mut exact = serve_opts(scratch("mem_exact").join("state"), workers);
+    exact.mem_budget = Some(required);
+    let events = submit(&exact);
+    assert_eq!(count_events(&events, "accepted"), 1, "{events:?}");
+    assert_eq!(count_events(&events, "done"), 1, "{events:?}");
+    assert!(exact.state_dir.join("serve-grid.done").exists());
+}
+
+#[test]
+fn health_reports_pool_and_state_dir_vitals() {
+    let opts = serve_opts(scratch("health").join("state"), 2);
+    let dir = opts.state_dir.parent().unwrap().to_path_buf();
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, SPEC).expect("write spec");
+    let input = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n\
+         {{\"op\": \"health\"}}\n\
+         {{\"op\": \"stats\"}}\n",
+        spec_file.display()
+    );
+    let events = run_session(&opts, &input);
+    let health: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"health\""))
+        .collect();
+    assert_eq!(health.len(), 1, "{events:?}");
+    for key in [
+        "\"workers\": 2",
+        "\"workers_alive\"",
+        "\"worker_restarts\"",
+        "\"journal_bytes\"",
+        "\"mem_high_water\"",
+        "\"mem_budget\": null",
+        "\"plan_shapes\"",
+    ] {
+        assert!(health[0].contains(key), "missing {key}: {}", health[0]);
+    }
+    let stats: Vec<&String> = events
+        .iter()
+        .filter(|e| e.contains("\"event\": \"stats\""))
+        .collect();
+    assert_eq!(stats.len(), 1, "{events:?}");
+    assert!(
+        stats[0].contains("\"worker_restarts\": [0, 0]"),
+        "{}",
+        stats[0]
+    );
+    assert!(
+        stats[0].contains("\"jobs\": [{\"id\": \"serve-grid\", \"cells\": 4,"),
+        "{}",
+        stats[0]
+    );
+}
+
+#[test]
+fn gc_done_prunes_spec_and_journal_but_keeps_reports() {
+    let mut opts = serve_opts(scratch("gc").join("state"), 1);
+    opts.gc_done = true;
+    let dir = opts.state_dir.parent().unwrap().to_path_buf();
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, SPEC).expect("write spec");
+    let events = run_session(
+        &opts,
+        &format!(
+            "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+            spec_file.display()
+        ),
+    );
+    assert_eq!(count_events(&events, "done"), 1, "{events:?}");
+    assert!(!opts.state_dir.join("serve-grid.spec.toml").exists());
+    assert!(!opts.state_dir.join("serve-grid.journal").exists());
+    assert!(opts.state_dir.join("serve-grid.json").exists());
+    assert!(opts.state_dir.join("serve-grid.done").exists());
+    // The kept `.done` marker still blocks an id reuse.
+    let events = run_session(
+        &opts,
+        &format!(
+            "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+            spec_file.display()
+        ),
+    );
+    assert!(
+        events.iter().any(|e| e.contains("\"kind\": \"duplicate\"")),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn sigterm_drain_and_sigkill_resume_reach_the_same_report() {
+    let exe = env!("CARGO_BIN_EXE_choco-cli");
+    if !std::path::Path::new("/bin/kill").exists()
+        && !std::path::Path::new("/usr/bin/kill").exists()
+    {
+        eprintln!("skipping: no kill binary for signal delivery");
+        return;
+    }
+    let baseline = execute(
+        &ExperimentSpec::parse_str(SPEC).expect("spec"),
+        &RunOptions::default(),
+    )
+    .expect("baseline run")
+    .to_json();
+    let dir = scratch("signals");
+    let spec_file = dir.join("spec.toml");
+    std::fs::write(&spec_file, SPEC).expect("write spec");
+    let submit = format!(
+        "{{\"op\": \"submit\", \"spec_path\": \"{}\"}}\n",
+        spec_file.display()
+    );
+    let spawn = |state: &PathBuf| {
+        std::process::Command::new(exe)
+            .args(["serve", "--state-dir"])
+            .arg(state)
+            .args(["--workers", "1"])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn daemon")
+    };
+
+    // Leg 1: SIGTERM after the first record. The daemon drains the
+    // remaining cells within the (default 60 s) window, writes the
+    // report, and exits zero.
+    let term_state = dir.join("term");
+    let mut child = spawn(&term_state);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(submit.as_bytes())
+        .expect("submit");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout")).lines();
+    for line in stdout.by_ref() {
+        if line
+            .expect("daemon event")
+            .contains("\"event\": \"record\"")
+        {
+            break;
+        }
+    }
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let mut saw_shutdown = false;
+    for line in stdout {
+        let line = line.expect("daemon event");
+        if line.contains("\"event\": \"shutdown\"") {
+            assert!(
+                line.contains("\"mode\": \"signal-drain\""),
+                "a drain that finishes in time reports signal-drain: {line}"
+            );
+            saw_shutdown = true;
+        }
+    }
+    assert!(saw_shutdown, "daemon must announce its shutdown mode");
+    let status = child.wait().expect("reap");
+    assert!(status.success(), "SIGTERM drain must exit zero: {status}");
+    let term_report =
+        std::fs::read_to_string(term_state.join("serve-grid.json")).expect("drained report");
+    assert_eq!(term_report, baseline, "SIGTERM drain diverged from run");
+
+    // Leg 2: SIGKILL mid-job, then a restart with empty input resumes
+    // from the journal and lands on the same bytes.
+    let kill_state = dir.join("kill");
+    let mut child = spawn(&kill_state);
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(submit.as_bytes())
+        .expect("submit");
+    let stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    for line in stdout.lines() {
+        if line
+            .expect("daemon event")
+            .contains("\"event\": \"record\"")
+        {
+            break;
+        }
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    let status = std::process::Command::new(exe)
+        .args(["serve", "--state-dir"])
+        .arg(&kill_state)
+        .args(["--workers", "2"])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("restart daemon");
+    assert!(status.success(), "resume session failed: {status}");
+    let kill_report =
+        std::fs::read_to_string(kill_state.join("serve-grid.json")).expect("resumed report");
+    assert_eq!(
+        kill_report, baseline,
+        "SIGKILL-resume diverged from the SIGTERM drain"
     );
 }
 
