@@ -59,6 +59,28 @@ pub const RUN_USAGE: &str = "usage: choco-cli run <spec.toml> [--workers N] [--q
      [--batch K] [--optimizer cobyla|nelder-mead|spsa] [--restart-workers N] [--no-table] \
      [--checkpoint PATH] [--resume] [--cell-timeout SECS] [--retries N]";
 
+/// Parses a seconds-valued flag: positive, finite, and bounded by
+/// [`crate::serve::MAX_KNOB_SECS`], so downstream `Duration` and
+/// `Instant` arithmetic cannot panic however extreme the argument.
+fn parse_secs(flag: &str, text: &str) -> Result<f64, String> {
+    let secs: f64 = text.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !secs.is_finite() || secs <= 0.0 || secs > crate::serve::MAX_KNOB_SECS {
+        return Err(format!(
+            "{flag}: expected a positive number of seconds, at most {:.0}, got {secs}",
+            crate::serve::MAX_KNOB_SECS
+        ));
+    }
+    Ok(secs)
+}
+
+/// Converts a seconds value to a `Duration` without the panic paths of
+/// `Duration::from_secs_f64`. `RunArgs`/`ServeArgs` are public structs,
+/// so option builders can see values that never went through
+/// [`parse_secs`].
+fn secs_to_duration(flag: &str, secs: f64) -> Result<Duration, String> {
+    Duration::try_from_secs_f64(secs).map_err(|e| format!("{flag}: {e}"))
+}
+
 /// Parses `run` subcommand arguments (everything after the literal
 /// `run`).
 ///
@@ -121,15 +143,8 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--checkpoint" => parsed.checkpoint = Some(value("--checkpoint")?),
             "--resume" => parsed.resume = true,
             "--cell-timeout" => {
-                let secs: f64 = value("--cell-timeout")?
-                    .parse()
-                    .map_err(|e| format!("--cell-timeout: {e}"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err(format!(
-                        "--cell-timeout: expected a positive number of seconds, got {secs}"
-                    ));
-                }
-                parsed.cell_timeout_secs = Some(secs);
+                parsed.cell_timeout_secs =
+                    Some(parse_secs("--cell-timeout", &value("--cell-timeout")?)?);
             }
             "--retries" => {
                 parsed.retries = value("--retries")?
@@ -171,7 +186,10 @@ pub fn run_command(args: &[String]) -> Result<(), String> {
         restart_workers: parsed.restart_workers,
         checkpoint: parsed.checkpoint.clone(),
         resume: parsed.resume,
-        cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
+        cell_timeout: parsed
+            .cell_timeout_secs
+            .map(|s| secs_to_duration("--cell-timeout", s))
+            .transpose()?,
         retries: parsed.retries,
         faults: FaultPlan::from_env()?.map(Arc::new),
         cancel: None,
@@ -356,15 +374,8 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
                     .map_err(|e| format!("--restart-workers: {e}"))?
             }
             "--cell-timeout" => {
-                let secs: f64 = value("--cell-timeout")?
-                    .parse()
-                    .map_err(|e| format!("--cell-timeout: {e}"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err(format!(
-                        "--cell-timeout: expected a positive number of seconds, got {secs}"
-                    ));
-                }
-                parsed.cell_timeout_secs = Some(secs);
+                parsed.cell_timeout_secs =
+                    Some(parse_secs("--cell-timeout", &value("--cell-timeout")?)?);
             }
             "--retries" => {
                 parsed.retries = value("--retries")?
@@ -379,15 +390,8 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             }
             "--gc-done" => parsed.gc_done = true,
             "--drain-timeout" => {
-                let secs: f64 = value("--drain-timeout")?
-                    .parse()
-                    .map_err(|e| format!("--drain-timeout: {e}"))?;
-                if !secs.is_finite() || secs <= 0.0 {
-                    return Err(format!(
-                        "--drain-timeout: expected a positive number of seconds, got {secs}"
-                    ));
-                }
-                parsed.drain_timeout_secs = secs;
+                parsed.drain_timeout_secs =
+                    parse_secs("--drain-timeout", &value("--drain-timeout")?)?;
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
@@ -401,14 +405,16 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
 ///
 /// # Errors
 ///
-/// Returns `CHOCO_FAULT_INJECT` parse failures.
+/// Returns `CHOCO_FAULT_INJECT` parse failures and out-of-range timeout
+/// values (possible when a `ServeArgs` is built programmatically rather
+/// than via [`parse_serve_args`]).
 pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
     Ok(ServeOptions {
         state_dir: PathBuf::from(&parsed.state_dir),
         queue_cap: parsed.queue_cap,
         mem_budget: parsed.mem_budget,
         gc_done: parsed.gc_done,
-        drain_timeout: Duration::from_secs_f64(parsed.drain_timeout_secs),
+        drain_timeout: secs_to_duration("--drain-timeout", parsed.drain_timeout_secs)?,
         run: RunOptions {
             workers: parsed.workers,
             quick: false,
@@ -423,7 +429,10 @@ pub fn serve_options(parsed: &ServeArgs) -> Result<ServeOptions, String> {
             restart_workers: parsed.restart_workers,
             checkpoint: None,
             resume: false,
-            cell_timeout: parsed.cell_timeout_secs.map(Duration::from_secs_f64),
+            cell_timeout: parsed
+                .cell_timeout_secs
+                .map(|s| secs_to_duration("--cell-timeout", s))
+                .transpose()?,
             retries: parsed.retries,
             faults: FaultPlan::from_env()?.map(Arc::new),
             cancel: None,
@@ -523,10 +532,11 @@ mod tests {
         assert!(!args.resume);
         assert_eq!(args.cell_timeout_secs, None);
         assert_eq!(args.retries, 0);
-        // Non-positive and non-numeric budgets are rejected.
-        for bad in ["0", "-1", "forever"] {
+        // Non-positive, non-numeric, and Duration-overflowing budgets
+        // are all parse errors, never a later `from_secs_f64` panic.
+        for bad in ["0", "-1", "forever", "1e300", "inf", "nan"] {
             let err = parse_run_args(&strings(&["s.toml", "--cell-timeout", bad])).unwrap_err();
-            assert!(err.contains("--cell-timeout"), "{err}");
+            assert!(err.contains("--cell-timeout"), "{bad}: {err}");
         }
     }
 
@@ -592,9 +602,28 @@ mod tests {
         assert!(parse_serve_args(&strings(&["--mem-budget", "lots"]))
             .unwrap_err()
             .contains("--mem-budget"));
-        assert!(parse_serve_args(&strings(&["--drain-timeout", "-2"]))
+        for bad in ["-2", "1e30", "inf"] {
+            assert!(
+                parse_serve_args(&strings(&["--drain-timeout", bad]))
+                    .unwrap_err()
+                    .contains("--drain-timeout"),
+                "{bad}"
+            );
+        }
+        // `serve_options` itself refuses unparseable durations, so a
+        // programmatically-built `ServeArgs` cannot panic the daemon.
+        let args = ServeArgs {
+            drain_timeout_secs: 1e300,
+            ..ServeArgs::default()
+        };
+        assert!(serve_options(&args)
             .unwrap_err()
             .contains("--drain-timeout"));
+        let args = ServeArgs {
+            cell_timeout_secs: Some(-1.0),
+            ..ServeArgs::default()
+        };
+        assert!(serve_options(&args).unwrap_err().contains("--cell-timeout"));
     }
 
     #[test]

@@ -551,7 +551,9 @@ fn handle_submit(shared: &Shared, request: &Json) {
 /// flag set (queued cells drain as `cancelled` records, in-flight solves
 /// exit at their next objective evaluation and the job still finalizes
 /// with a report); a finished or unknown job is a no-op. The response
-/// reports what was found, so a client can tell the three cases apart.
+/// reports what was found (`active`, `done`, `known`), so a client can
+/// tell an in-flight job, a completed one, a known-but-failed one
+/// (journal retained, no `.done` marker), and an unknown id apart.
 fn handle_cancel(shared: &Shared, request: &Json) {
     let Some(id) = request.get("id").and_then(Json::as_str) else {
         emit_error(shared, None, "cancel needs a string `id`");
@@ -567,8 +569,15 @@ fn handle_cancel(shared: &Shared, request: &Json) {
             None => false,
         }
     };
-    let done = shared.opts.state_dir.join(format!("{id}.done")).exists();
-    emit_cancelled(shared, id, active, done);
+    // A successful finalize writes `.done` strictly before it drops the
+    // job from the active set, so probing the marker after releasing the
+    // lock cannot miss a completion that raced this cancel. Jobs that
+    // finished failed or aborted never write `.done`; their retained
+    // spec/journal files distinguish them from a never-seen id.
+    let state_file = |ext: &str| shared.opts.state_dir.join(format!("{id}.{ext}")).exists();
+    let done = state_file("done");
+    let known = active || done || state_file("spec.toml") || state_file("journal");
+    emit_cancelled(shared, id, active, done, known);
 }
 
 /// Per-job execution overrides parsed from a `submit` request.
@@ -582,17 +591,23 @@ struct JobKnobs {
     retries: Option<u32>,
 }
 
+/// Largest second count accepted for time knobs (~31 years). The cap
+/// keeps both `Duration` construction and `Instant` deadline arithmetic
+/// comfortably in range, so an absurd `deadline_secs` is a `bad_request`
+/// rejection instead of a panic on the daemon's control thread.
+pub(crate) const MAX_KNOB_SECS: f64 = 1e9;
+
 fn positive_secs(key: &str, value: &Json) -> Result<Duration, String> {
     let secs = value
         .as_f64()
-        .filter(|s| s.is_finite() && *s > 0.0)
+        .filter(|s| s.is_finite() && *s > 0.0 && *s <= MAX_KNOB_SECS)
         .ok_or_else(|| {
             format!(
-                "`{key}`: expected a positive number of seconds (got {})",
+                "`{key}`: expected a positive number of seconds, at most {MAX_KNOB_SECS:.0} (got {})",
                 value.brief()
             )
         })?;
-    Ok(Duration::from_secs_f64(secs))
+    Duration::try_from_secs_f64(secs).map_err(|e| format!("`{key}`: {e}"))
 }
 
 fn job_knobs(request: &Json) -> Result<JobKnobs, String> {
@@ -683,7 +698,10 @@ fn prepare_job(
     }
     let cancel = Arc::new(AtomicBool::new(false));
     opts.cancel = Some(cancel.clone());
-    opts.job_deadline = knobs.deadline.map(|d| Instant::now() + d);
+    // `checked_add` cannot fail for knob-capped durations, but a `None`
+    // (no deadline) beats a panic if the platform's `Instant` range is
+    // narrower than expected.
+    opts.job_deadline = knobs.deadline.and_then(|d| Instant::now().checked_add(d));
     let sim = opts.effective_sim(&spec);
     let cells = expand_grid_cells(&spec, opts.quick).map_err(|e| ("spec_error", e))?;
     if cells.is_empty() {
@@ -1290,10 +1308,13 @@ fn emit_stats(shared: &Shared) {
     emit(shared, &line);
 }
 
-fn emit_cancelled(shared: &Shared, id: &str, active: bool, done: bool) {
+fn emit_cancelled(shared: &Shared, id: &str, active: bool, done: bool, known: bool) {
     let mut line = String::from("{\"event\": \"cancelled\", \"job\": ");
     write_json_str(&mut line, id);
-    let _ = write!(line, ", \"active\": {active}, \"done\": {done}}}");
+    let _ = write!(
+        line,
+        ", \"active\": {active}, \"done\": {done}, \"known\": {known}}}"
+    );
     emit(shared, &line);
 }
 

@@ -444,7 +444,9 @@ fn cancel_drains_cells_cooperatively_and_still_finalizes() {
         .collect();
     assert_eq!(cancelled.len(), 1, "{events:?}");
     assert!(
-        cancelled[0].contains("\"active\": true") && cancelled[0].contains("\"done\": false"),
+        cancelled[0].contains("\"active\": true")
+            && cancelled[0].contains("\"done\": false")
+            && cancelled[0].contains("\"known\": true"),
         "{cancelled:?}"
     );
     assert!(
@@ -475,17 +477,35 @@ fn cancel_drains_cells_cooperatively_and_still_finalizes() {
     assert!(
         events.iter().any(|e| e.contains("\"event\": \"cancelled\"")
             && e.contains("\"active\": false")
-            && e.contains("\"done\": true")),
+            && e.contains("\"done\": true")
+            && e.contains("\"known\": true")),
         "{events:?}"
     );
 
-    // Cancel before any submission: unknown id, both flags false.
+    // Cancel before any submission: unknown id, all three flags false.
     let opts = serve_opts(scratch("cancel_unknown").join("state"), 1);
     let events = run_session(&opts, "{\"op\": \"cancel\", \"id\": \"ghost\"}\n");
     assert!(
         events.iter().any(|e| e.contains("\"event\": \"cancelled\"")
             && e.contains("\"active\": false")
-            && e.contains("\"done\": false")),
+            && e.contains("\"done\": false")
+            && e.contains("\"known\": false")),
+        "{events:?}"
+    );
+
+    // A job that finished failed/aborted never writes `.done` but leaves
+    // its journal behind; `known: true` tells it apart from a ghost id.
+    // (A journal without a spec is exactly that residue — resume skips
+    // it, so it is inert state, not an active job.)
+    let opts = serve_opts(scratch("cancel_failed").join("state"), 1);
+    std::fs::create_dir_all(&opts.state_dir).expect("state dir");
+    std::fs::write(opts.state_dir.join("wrecked.journal"), b"").expect("journal residue");
+    let events = run_session(&opts, "{\"op\": \"cancel\", \"id\": \"wrecked\"}\n");
+    assert!(
+        events.iter().any(|e| e.contains("\"event\": \"cancelled\"")
+            && e.contains("\"active\": false")
+            && e.contains("\"done\": false")
+            && e.contains("\"known\": true")),
         "{events:?}"
     );
 }
@@ -550,6 +570,33 @@ fn per_job_knobs_override_daemon_settings() {
     );
     assert!(!opts.state_dir.join("serve-grid.spec.toml").exists());
     assert!(!opts.state_dir.join("serve-grid.journal").exists());
+
+    // Out-of-range second counts are the same structured rejection:
+    // 1e300 would overflow `Duration::from_secs_f64`, 1e19 would
+    // overflow `Instant + Duration` — either panic would land on the
+    // control thread and wedge the worker pool. The follow-up submit
+    // proves the daemon survived and kept serving.
+    for (case, key, bad) in [
+        ("dur_overflow", "deadline_secs", "1e300"),
+        ("instant_overflow", "deadline_secs", "1e19"),
+        ("cell_overflow", "cell_timeout", "1e300"),
+        ("negative", "cell_timeout", "-4"),
+    ] {
+        let opts = serve_opts(scratch(&format!("knob_range_{case}")).join("state"), 1);
+        let input = format!(
+            "{{\"op\": \"submit\", \"spec_path\": \"{spec}\", \"{key}\": {bad}}}\n\
+             {{\"op\": \"submit\", \"spec_path\": \"{spec}\"}}\n",
+            spec = spec_file.display()
+        );
+        let events = run_session(&opts, &input);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.contains("\"kind\": \"bad_request\"") && e.contains(key)),
+            "{key}={bad}: {events:?}"
+        );
+        assert_eq!(count_events(&events, "done"), 1, "{key}={bad}: {events:?}");
+    }
 }
 
 #[test]
