@@ -20,7 +20,7 @@
 use choco_bench::{
     choco_layer_circuit, choco_onehot_candidates, choco_onehot_stack, layer_circuit, quick_mode,
 };
-use choco_core::{ChocoQConfig, ChocoQSolver};
+use choco_core::{ChocoQConfig, ChocoQSolver, CommuteDriver};
 use choco_qsim::oracle::ScalarStateVector;
 use choco_qsim::{EngineKind, SimConfig, SimWorkspace, SparseStateVector, StateVector, UBlock};
 use std::fmt::Write as _;
@@ -273,6 +273,110 @@ fn main() {
         }
         assert_eq!(ws.plan_compilations(), 1, "one compile across all widths");
     }
+
+    // Driver synthesis: the ternary fast path (equality-only constraints —
+    // the slack-encoded knapsack budget) vs the generalized path (native
+    // `≤` rows: slack-register sizing, kernel extension, delta
+    // attachment), plus the cost of one serialized driver pass on each
+    // formulation of the *same seeded items* — native runs the wider
+    // encoded register with register-shifting couplings, slack runs plain
+    // UBlocks over explicit slack variables.
+    let synth = {
+        let (items, cap) = if quick_mode() {
+            (4usize, 6u64)
+        } else {
+            (8, 10)
+        };
+        eprintln!("measuring driver synthesis ({items} items, ternary vs generalized) …");
+        let slack = choco_problems::knapsack_random_with(
+            items,
+            cap,
+            1,
+            choco_problems::KnapsackEncoding::Slack,
+        )
+        .expect("slack instance");
+        let native = choco_problems::knapsack_random_with(
+            items,
+            cap,
+            1,
+            choco_problems::KnapsackEncoding::Native,
+        )
+        .expect("native instance");
+        let ternary_build_ns = measure(
+            || {
+                std::hint::black_box(CommuteDriver::build(slack.constraints()).expect("driver"));
+            },
+            samples,
+            budget_ms / 2.0,
+        );
+        let generalized_build_ns = measure(
+            || {
+                std::hint::black_box(CommuteDriver::build(native.constraints()).expect("driver"));
+            },
+            samples,
+            budget_ms / 2.0,
+        );
+        // One serialized driver pass per formulation (load + every term).
+        let layer_of = |problem: &choco_model::Problem| {
+            let driver = CommuteDriver::build(problem.constraints()).expect("driver");
+            let initial = driver.encode_state(problem.first_feasible().expect("feasible"));
+            let mut c = choco_qsim::Circuit::new(driver.encoded_qubits().max(1));
+            c.load_bits(initial);
+            for gate in driver.gates_ordered(0.37, initial) {
+                c.push(gate);
+            }
+            (c, driver.encoded_qubits())
+        };
+        let (slack_layer, slack_width) = layer_of(&slack);
+        let (native_layer, native_width) = layer_of(&native);
+        let mut ws = SimWorkspace::new(config);
+        ws.run(&slack_layer); // warm buffers
+        let slack_layer_ns = measure(
+            || {
+                std::hint::black_box(ws.run(&slack_layer));
+            },
+            samples,
+            budget_ms / 2.0,
+        );
+        ws.run(&native_layer);
+        let native_layer_ns = measure(
+            || {
+                std::hint::black_box(ws.run(&native_layer));
+            },
+            samples,
+            budget_ms / 2.0,
+        );
+        for (group, n, ns) in [
+            ("driver_synthesis_ternary", slack.n_vars(), ternary_build_ns),
+            (
+                "driver_synthesis_generalized",
+                native_width,
+                generalized_build_ns,
+            ),
+            ("driver_layer_slack_encoding", slack_width, slack_layer_ns),
+            (
+                "driver_layer_native_encoding",
+                native_width,
+                native_layer_ns,
+            ),
+        ] {
+            entries.push(Entry {
+                group,
+                n,
+                ns_per_op: ns,
+            });
+        }
+        (
+            items,
+            slack.n_vars(),
+            native.n_vars(),
+            native_width,
+            ternary_build_ns,
+            generalized_build_ns,
+            slack_layer_ns,
+            native_layer_ns,
+        )
+    };
 
     // Multi-start solve scaling: the whole restart scheduler end to end —
     // every `(branch × restart)` variational loop pre-seeded from its
@@ -560,7 +664,33 @@ fn main() {
         }
         json.push_str(&lines.join(",\n"));
     }
-    json.push_str("\n  },\n  \"choco_solve_multistart\": {\n");
+    json.push_str("\n  },\n  \"choco_driver_synthesis\": {\n");
+    {
+        let (
+            items,
+            slack_vars,
+            native_vars,
+            encoded_qubits,
+            ternary_build_ns,
+            generalized_build_ns,
+            slack_layer_ns,
+            native_layer_ns,
+        ) = synth;
+        let _ = writeln!(
+            json,
+            "    \"items\": {items},\n    \"slack_vars\": {slack_vars},\n    \
+             \"native_vars\": {native_vars},\n    \"encoded_qubits\": {encoded_qubits},\n    \
+             \"ternary_build_ns\": {ternary_build_ns:.1},\n    \
+             \"generalized_build_ns\": {generalized_build_ns:.1},\n    \
+             \"generalized_vs_ternary_build\": {:.2},\n    \
+             \"slack_layer_ns\": {slack_layer_ns:.1},\n    \
+             \"native_layer_ns\": {native_layer_ns:.1},\n    \
+             \"native_vs_slack_layer\": {:.2}",
+            generalized_build_ns / ternary_build_ns,
+            native_layer_ns / slack_layer_ns
+        );
+    }
+    json.push_str("  },\n  \"choco_solve_multistart\": {\n");
     {
         let find = |g: &str| {
             entries

@@ -67,8 +67,16 @@ impl EliminationPlan {
 /// # Errors
 ///
 /// Propagates [`DriverError`] when a reduced system has no ternary kernel
-/// basis.
+/// basis, and rejects `k > 0` on systems with first-class inequality rows
+/// ([`DriverError::EliminationWithInequalities`]) — branch reduction only
+/// rewrites equality rows, so eliminating through an inequality would
+/// silently drop it.
 pub fn plan_elimination(problem: &Problem, k: usize) -> Result<EliminationPlan, DriverError> {
+    if k > 0 && problem.constraints().has_inequalities() {
+        return Err(DriverError::EliminationWithInequalities {
+            rows: problem.constraints().ineqs().len(),
+        });
+    }
     let n = problem.n_vars();
     let mut kept: Vec<usize> = (0..n).collect();
     let mut eliminated: Vec<usize> = Vec::with_capacity(k);
@@ -212,6 +220,28 @@ fn reduce_problem(
             continue;
         }
         b = b.equality(terms, rhs);
+    }
+
+    // First-class inequality rows survive the reduction with the same
+    // substitution (today only the identity k = 0 path reaches this —
+    // `plan_elimination` rejects k > 0 with inequality rows present).
+    for le in problem.constraints().ineqs() {
+        let mut terms: Vec<(usize, i64)> = Vec::new();
+        let mut rhs = le.rhs;
+        for &(orig, c) in &le.terms {
+            match (reduced_of(orig), value_of(orig)) {
+                (Some(r), _) => terms.push((r, c)),
+                (None, Some(val)) => rhs -= c * val as i64,
+                (None, None) => unreachable!(),
+            }
+        }
+        if terms.is_empty() {
+            if rhs < 0 {
+                return None; // contradictory branch
+            }
+            continue;
+        }
+        b = b.less_equal(terms, rhs);
     }
 
     b.build().ok()

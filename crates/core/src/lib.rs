@@ -26,7 +26,10 @@ mod solver;
 pub mod trotter;
 
 pub use analysis::{lemma2_stats, support_profile, support_profile_with, Lemma2Stats};
-pub use driver::{constraint_operator_matrix, CommuteDriver, DriverError};
+pub use driver::{
+    constraint_operator_matrix, encoded_qubits_for, extended_row_operator_matrix, slack_registers,
+    CommuteDriver, DriverError, DriverTerm, SlackRegister,
+};
 pub use elimination::{plan_elimination, EliminationBranch, EliminationPlan};
 pub use solver::{restart_loop_seed, ChocoQConfig, ChocoQSolver};
 pub use trotter::{

@@ -23,7 +23,7 @@
 //! 5. **Sampling**: merge branch histograms, lifting reduced bitstrings
 //!    back to the full variable space.
 
-use crate::driver::CommuteDriver;
+use crate::driver::{encoded_qubits_for, CommuteDriver, DriverTerm};
 use crate::elimination::{plan_elimination, EliminationPlan};
 use choco_mathkit::SplitMix64;
 use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
@@ -182,28 +182,32 @@ impl ChocoQSolver {
     }
 
     /// Builds the structured Choco-Q circuit for one (sub-)problem:
-    /// `|x*⟩ → Π_l [ e^{-iγ_l H_o} Π_u e^{-iβ_{l,u} Hc(u)} ]` with the
+    /// `|x*,s*⟩ → Π_l [ e^{-iγ_l H_o} Π_u e^{-iβ_{l,u} Hc(u)} ]` with the
     /// parameter layout `[γ_1, β_{1,1} … β_{1,|Δ|}, γ_2, …]`.
     /// `ordered_terms` should come from [`CommuteDriver::ordered_terms`]
-    /// for the same `initial`.
+    /// for the same *encoded* `initial` (see
+    /// [`CommuteDriver::encode_state`]); the circuit spans the driver's
+    /// encoded width (decision variables plus slack registers). The cost
+    /// polynomial only reads the decision variables, so it applies
+    /// unchanged on the wider register.
     pub fn build_circuit(
-        problem_n_vars: usize,
+        driver: &CommuteDriver,
         cost_poly: &Arc<PhasePoly>,
-        ordered_terms: &[Vec<i8>],
+        ordered_terms: &[DriverTerm],
         initial: u64,
         layers: usize,
         params: &[f64],
     ) -> Circuit {
         debug_assert_eq!(params.len(), Self::n_params(layers, ordered_terms.len()));
         let stride = 1 + ordered_terms.len();
-        let mut c = Circuit::new(problem_n_vars.max(1));
+        let mut c = Circuit::new(driver.encoded_qubits().max(1));
         c.load_bits(initial);
         for l in 0..layers {
             let gamma = params[l * stride];
             c.diag(cost_poly.clone(), gamma);
-            for (t, u) in ordered_terms.iter().enumerate() {
+            for (t, term) in ordered_terms.iter().enumerate() {
                 let beta = params[l * stride + 1 + t];
-                c.ublock(choco_qsim::UBlock::from_u_with_angle(u, beta));
+                c.push(driver.gate_of(term, beta));
             }
         }
         c
@@ -350,7 +354,19 @@ impl ChocoQSolver {
     ) -> Result<SolveOutcome, SolverError> {
         // Size gate follows the workspace's engine: the sparse engines
         // accept feasible-subspace instances the dense buffer cannot hold.
-        check_size_for(problem.n_vars(), workspace.config().engine)?;
+        // Native-inequality instances are admitted by their *encoded*
+        // width — decision variables plus the slack registers the driver
+        // layer will synthesize (identical to `n_vars` otherwise).
+        let encoded_width = encoded_qubits_for(problem.constraints())
+            .map_err(|e| SolverError::Encoding(e.to_string()))?;
+        check_size_for(encoded_width, workspace.config().engine)?;
+        if problem.has_inequalities() && self.config.eliminate > 0 {
+            return Err(SolverError::Encoding(
+                "variable elimination is not supported for native-inequality \
+                 instances; set eliminate = 0"
+                    .into(),
+            ));
+        }
         let compile_start = Instant::now();
 
         let plan: EliminationPlan = plan_elimination(problem, self.config.eliminate)
@@ -366,7 +382,11 @@ impl ChocoQSolver {
         // instance-dependent, so the multistart alternates between them.
         struct Branch {
             assignment: u64,
-            n_vars: usize,
+            /// Encoded circuit width: decision variables + slack registers.
+            encoded: usize,
+            /// Mask selecting the decision variables out of a sampled
+            /// encoded bitstring (identity for equality-only branches).
+            decision_mask: u64,
             drivers: Vec<CommuteDriver>,
             feasible: Vec<u64>,
             cost_poly: Arc<PhasePoly>,
@@ -405,17 +425,23 @@ impl ChocoQSolver {
                     drivers.push(extended);
                 }
             }
-            drivers.push(basis);
             // Intern through the workspace's plan cache: equal-content
             // polynomials across solves share one `Arc`, so compact
             // plans compiled for this shape survive into later solves
             // (and, under `choco-serve`, later requests).
             let cost_poly = workspace.intern_poly(b.problem.cost_poly());
-            let n = b.problem.n_vars();
-            let cost_values = (n <= MAX_SIM_QUBITS).then(|| cost_poly.values_table(1 << n));
+            let encoded = basis.encoded_qubits();
+            let decision_mask = basis.decision_mask();
+            drivers.push(basis);
+            // The cost table spans the *encoded* register (the polynomial
+            // ignores the slack bits, so the table just tiles); sampled
+            // encoded bitstrings index it directly.
+            let cost_values =
+                (encoded <= MAX_SIM_QUBITS).then(|| cost_poly.values_table(1 << encoded));
             branches.push(Branch {
                 assignment: b.assignment,
-                n_vars: n,
+                encoded,
+                decision_mask,
                 drivers,
                 feasible,
                 cost_poly,
@@ -491,7 +517,10 @@ impl ChocoQSolver {
         let run_task = |task: &Task, workspace: &mut SimWorkspace| -> TaskResult {
             let branch = &branches[task.b_idx];
             let driver = &branch.drivers[task.driver_idx];
-            let ordered_terms = driver.ordered_terms(task.initial);
+            // Lift the feasible decision point into the encoded space
+            // (loads every slack register; identity without registers).
+            let initial = driver.encode_state(task.initial);
+            let ordered_terms = driver.ordered_terms(initial);
             let mut x0 = Self::initial_params(layers, ordered_terms.len());
             if !task.fresh {
                 let mut jitter = task.jitter.clone();
@@ -518,16 +547,16 @@ impl ChocoQSolver {
             };
             let build = |params: &[f64]| {
                 Self::build_circuit(
-                    branch.n_vars,
+                    driver,
                     &branch.cost_poly,
                     &ordered_terms,
-                    task.initial,
+                    initial,
                     layers,
                     params,
                 )
             };
             let result = variational_loop(
-                branch.n_vars.max(1),
+                branch.encoded.max(1),
                 build,
                 &branch.cost_spec(),
                 &x0,
@@ -628,12 +657,15 @@ impl ChocoQSolver {
             if b_idx == 0 {
                 cost_history = run.cost_history;
             }
+            // Drop the slack-register bits before lifting: callers see
+            // decision-variable bitstrings only (identity when the branch
+            // has no registers, so equality-only reports are unchanged).
             let lifted = run
                 .counts
-                .map_bits(|bits| plan.lift(branch.assignment, bits));
+                .map_bits(|bits| plan.lift(branch.assignment, bits & branch.decision_mask));
             merged.merge(&lifted);
             if first_final_circuit.is_none() {
-                first_final_circuit = Some((run.final_circuit, branch.n_vars));
+                first_final_circuit = Some((run.final_circuit, branch.encoded));
             }
         }
 
@@ -1125,6 +1157,134 @@ mod tests {
         assert!(ChocoQSolver::new(ChocoQConfig::fast_test())
             .solve(&paper_problem())
             .is_ok());
+    }
+
+    /// Bounded knapsack with a *native* capacity row — no hand-rolled
+    /// slack register in the problem definition.
+    fn knapsack_problem() -> Problem {
+        Problem::builder(3)
+            .maximize()
+            .linear(0, 2.0)
+            .linear(1, 3.0)
+            .linear(2, 4.0)
+            .less_equal([(0, 1), (1, 2), (2, 2)], 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn native_inequality_solve_stays_in_constraints() {
+        // The tentpole acceptance: a ≤-constrained instance solves through
+        // natively synthesized gated drivers and never leaves the feasible
+        // subspace — the decision-variable histogram satisfies the row for
+        // every sampled shot.
+        let p = knapsack_problem();
+        let outcome = ChocoQSolver::new(ChocoQConfig::fast_test())
+            .solve(&p)
+            .unwrap();
+        let m = outcome.metrics(&p).unwrap();
+        assert!(
+            (m.in_constraints_rate - 1.0).abs() < 1e-12,
+            "in-constraints = {}",
+            m.in_constraints_rate
+        );
+        assert!(m.success_rate > 0.2, "success = {}", m.success_rate);
+        // Sampled bitstrings are pure decision assignments: the slack
+        // register bits were truncated before reporting.
+        for (bits, _) in outcome.counts.iter() {
+            assert!(bits < 1 << p.n_vars(), "slack bits leaked: {bits:b}");
+        }
+    }
+
+    #[test]
+    fn native_inequality_occupancy_is_confined_to_encoded_feasible_set() {
+        // Stronger than the histogram check: the *final state* in the
+        // caller's workspace puts measurable amplitude only on encoded
+        // feasible states (x feasible, s = b − a·x), so its occupancy is
+        // bounded by |F|.
+        let p = knapsack_problem();
+        let solver = ChocoQSolver::new(ChocoQConfig::fast_test());
+        let mut ws = SimWorkspace::new(SimConfig::serial());
+        solver.solve_with_workspace(&p, &mut ws).unwrap();
+        let driver = CommuteDriver::build(p.constraints()).unwrap();
+        let feasible: std::collections::HashSet<u64> = p
+            .feasible_solutions(1 << p.n_vars())
+            .into_iter()
+            .map(|x| driver.encode_state(x))
+            .collect();
+        let state = ws.state().expect("workspace holds the final state");
+        let mut occupied = 0usize;
+        for bits in 0..(1u64 << driver.encoded_qubits()) {
+            if state.probability(bits) > 1e-12 {
+                occupied += 1;
+                assert!(
+                    feasible.contains(&bits),
+                    "amplitude on non-feasible encoded state {bits:b}"
+                );
+            }
+        }
+        assert!(occupied <= feasible.len(), "occupancy exceeds |F|");
+        assert!(occupied > 1, "driver must actually spread amplitude");
+    }
+
+    #[test]
+    fn native_inequality_solve_is_engine_and_worker_invariant() {
+        use choco_qsim::EngineKind;
+        let p = knapsack_problem();
+        let config = ChocoQConfig::fast_test();
+        let dense = ChocoQSolver::new(config.clone()).solve(&p).unwrap();
+        for kind in [EngineKind::Sparse, EngineKind::Compact] {
+            let mut ws = SimWorkspace::new(SimConfig::serial().with_engine(kind));
+            let other = ChocoQSolver::new(config.clone())
+                .solve_with_workspace(&p, &mut ws)
+                .unwrap();
+            assert_eq!(dense.counts, other.counts, "{kind:?}");
+            assert_eq!(dense.cost_history, other.cost_history, "{kind:?}");
+            assert_eq!(dense.iterations, other.iterations, "{kind:?}");
+        }
+        for workers in [2usize, 4] {
+            let parallel = ChocoQSolver::new(ChocoQConfig {
+                restart_workers: workers,
+                ..config.clone()
+            })
+            .solve(&p)
+            .unwrap();
+            assert_eq!(dense.counts, parallel.counts, "workers={workers}");
+            assert_eq!(dense.cost_history, parallel.cost_history);
+        }
+    }
+
+    #[test]
+    fn native_inequality_rejects_elimination() {
+        let config = ChocoQConfig {
+            eliminate: 1,
+            ..ChocoQConfig::fast_test()
+        };
+        let err = ChocoQSolver::new(config)
+            .solve(&knapsack_problem())
+            .unwrap_err();
+        match err {
+            SolverError::Encoding(msg) => {
+                assert!(msg.contains("eliminate"), "message: {msg}")
+            }
+            other => panic!("expected Encoding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_inequality_is_rejected_with_named_row() {
+        let p = Problem::builder(2)
+            .less_equal([(0, 1), (1, 1)], -1)
+            .build()
+            .unwrap();
+        let err = ChocoQSolver::default().solve(&p).unwrap_err();
+        match err {
+            SolverError::Encoding(msg) => {
+                assert!(msg.contains("x0 + x1 <= -1"), "message: {msg}");
+                assert!(msg.contains("remedies"), "message: {msg}");
+            }
+            other => panic!("expected Encoding, got {other:?}"),
+        }
     }
 
     #[test]

@@ -169,7 +169,7 @@ mod tests {
         let beta = 0.6;
         let u_exact = exact_driver_unitary(&driver, beta);
         let mut c = Circuit::new(2);
-        c.ublock(UBlock::from_u_with_angle(&driver.terms()[0], beta));
+        c.ublock(UBlock::from_u_with_angle(&driver.terms()[0].u, beta));
         let u_circ = circuit_unitary(&c);
         assert!(u_circ.approx_eq(&u_exact, 1e-9));
     }

@@ -13,8 +13,15 @@
 //! Both are answered by a depth-first search with per-equation residual
 //! interval pruning, which is exact and fast for the sparse, small-integer
 //! constraint matrices that arise from FLP / GCP / KPP encodings.
+//!
+//! Systems may also carry **inequality rows** `a·x ≤ b` ([`LinSystem::push_le`]).
+//! Feasibility, penalties and binary enumeration account for them; the kernel
+//! machinery ([`ternary_kernel_basis`], [`integer_kernel_basis`]) deliberately
+//! operates on the *equality rows only* — the driver layer absorbs inequality
+//! rows through bounded slack registers, whose shifts are determined by the
+//! equality-kernel directions (`δ_k = −a_k·u`).
 
-use crate::rational::{kernel_basis, rank, SpanTracker};
+use crate::rational::{kernel_basis, rank, Rational, SpanTracker};
 use std::fmt;
 
 /// One linear equation `Σ coeff·x_var = rhs` with sparse integer terms.
@@ -76,35 +83,55 @@ impl LinEq {
         !self.terms.is_empty()
             && (self.terms.iter().all(|&(_, c)| c == 1) || self.terms.iter().all(|&(_, c)| c == -1))
     }
+
+    /// Minimum of the left-hand side over the binary cube
+    /// (sum of the negative coefficients).
+    pub fn min_lhs(&self) -> i64 {
+        self.terms.iter().map(|&(_, c)| c.min(0)).sum()
+    }
+
+    /// Maximum of the left-hand side over the binary cube
+    /// (sum of the positive coefficients).
+    pub fn max_lhs(&self) -> i64 {
+        self.terms.iter().map(|&(_, c)| c.max(0)).sum()
+    }
+
+    /// The left-hand side rendered as a string (`x0 - 2*x3`), without the
+    /// `= rhs` tail — used to print inequality rows as `lhs ≤ rhs`.
+    pub fn lhs_display(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (i, &(v, c)) in self.terms.iter().enumerate() {
+            if i == 0 {
+                if c == 1 {
+                    let _ = write!(s, "x{v}");
+                } else if c == -1 {
+                    let _ = write!(s, "-x{v}");
+                } else {
+                    let _ = write!(s, "{c}*x{v}");
+                }
+            } else if c >= 0 {
+                if c == 1 {
+                    let _ = write!(s, " + x{v}");
+                } else {
+                    let _ = write!(s, " + {c}*x{v}");
+                }
+            } else if c == -1 {
+                let _ = write!(s, " - x{v}");
+            } else {
+                let _ = write!(s, " - {}*x{v}", -c);
+            }
+        }
+        if self.terms.is_empty() {
+            s.push('0');
+        }
+        s
+    }
 }
 
 impl fmt::Display for LinEq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, &(v, c)) in self.terms.iter().enumerate() {
-            if i == 0 {
-                if c == 1 {
-                    write!(f, "x{v}")?;
-                } else if c == -1 {
-                    write!(f, "-x{v}")?;
-                } else {
-                    write!(f, "{c}*x{v}")?;
-                }
-            } else if c >= 0 {
-                if c == 1 {
-                    write!(f, " + x{v}")?;
-                } else {
-                    write!(f, " + {c}*x{v}")?;
-                }
-            } else if c == -1 {
-                write!(f, " - x{v}")?;
-            } else {
-                write!(f, " - {}*x{v}", -c)?;
-            }
-        }
-        if self.terms.is_empty() {
-            write!(f, "0")?;
-        }
-        write!(f, " = {}", self.rhs)
+        write!(f, "{} = {}", self.lhs_display(), self.rhs)
     }
 }
 
@@ -127,6 +154,8 @@ impl fmt::Display for LinEq {
 pub struct LinSystem {
     n_vars: usize,
     eqs: Vec<LinEq>,
+    /// Inequality rows, each meaning `Σ coeff·x_var ≤ rhs`.
+    ineqs: Vec<LinEq>,
 }
 
 impl LinSystem {
@@ -136,6 +165,7 @@ impl LinSystem {
         LinSystem {
             n_vars,
             eqs: Vec::new(),
+            ineqs: Vec::new(),
         }
     }
 
@@ -151,6 +181,21 @@ impl LinSystem {
         self.eqs.push(eq);
     }
 
+    /// Adds one inequality row `Σ coeff·x_var ≤ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row references a variable `>= n_vars`.
+    pub fn push_le(&mut self, row: LinEq) {
+        for &(v, _) in &row.terms {
+            assert!(
+                v < self.n_vars,
+                "inequality references unknown variable x{v}"
+            );
+        }
+        self.ineqs.push(row);
+    }
+
     /// Number of variables.
     #[inline]
     pub fn n_vars(&self) -> usize {
@@ -163,35 +208,61 @@ impl LinSystem {
         &self.eqs
     }
 
-    /// Number of equations.
+    /// The inequality rows (each meaning `lhs ≤ rhs`).
+    #[inline]
+    pub fn ineqs(&self) -> &[LinEq] {
+        &self.ineqs
+    }
+
+    /// `true` if the system carries at least one inequality row.
+    #[inline]
+    pub fn has_inequalities(&self) -> bool {
+        !self.ineqs.is_empty()
+    }
+
+    /// Number of equations (inequality rows are counted by [`Self::ineqs`]).
     #[inline]
     pub fn len(&self) -> usize {
         self.eqs.len()
     }
 
-    /// `true` if there are no equations.
+    /// `true` if there are no equations (there may still be inequality rows).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.eqs.is_empty()
     }
 
-    /// Are all equations satisfied by a packed binary assignment?
+    /// Are all equations and inequality rows satisfied by a packed binary
+    /// assignment?
     pub fn is_satisfied_bits(&self, bits: u64) -> bool {
         self.eqs.iter().all(|eq| eq.is_satisfied_bits(bits))
+            && self.ineqs.iter().all(|row| row.residual_bits(bits) <= 0)
     }
 
-    /// Sum of squared residuals (the penalty term `‖Cx − c‖²`).
+    /// Sum of squared residuals (the penalty term `‖Cx − c‖²`); inequality
+    /// rows contribute `max(0, lhs − rhs)²` (only overshoot is penalized).
     pub fn penalty_bits(&self, bits: u64) -> i64 {
-        self.eqs
+        let eq_pen: i64 = self
+            .eqs
             .iter()
             .map(|eq| {
                 let r = eq.residual_bits(bits);
                 r * r
             })
-            .sum()
+            .sum();
+        let ineq_pen: i64 = self
+            .ineqs
+            .iter()
+            .map(|row| {
+                let over = row.residual_bits(bits).max(0);
+                over * over
+            })
+            .sum();
+        eq_pen + ineq_pen
     }
 
-    /// The dense coefficient matrix `C` (rows = equations).
+    /// The dense coefficient matrix `C` (rows = equations; inequality rows
+    /// are excluded — the kernel machinery works on equalities only).
     pub fn dense_matrix(&self) -> Vec<Vec<i64>> {
         self.eqs
             .iter()
@@ -237,10 +308,17 @@ impl LinSystem {
             return;
         }
         let n = self.n_vars;
-        let m = self.eqs.len();
-        // coeff[e][i]
-        let coeff = self.dense_matrix();
-        // Suffix bounds: contribution of variables i..n to equation e.
+        // Rows: equalities first, then inequality rows (`lhs ≤ rhs`).
+        let n_eq = self.eqs.len();
+        let rows: Vec<&LinEq> = self.eqs.iter().chain(self.ineqs.iter()).collect();
+        let m = rows.len();
+        let mut coeff = vec![vec![0i64; n]; m];
+        for (e, row) in rows.iter().enumerate() {
+            for &(v, c) in &row.terms {
+                coeff[e][v] = c;
+            }
+        }
+        // Suffix bounds: contribution of variables i..n to row e.
         let mut suf_min = vec![vec![0i64; m]; n + 1];
         let mut suf_max = vec![vec![0i64; m]; n + 1];
         for i in (0..n).rev() {
@@ -250,10 +328,11 @@ impl LinSystem {
                 suf_max[i][e] = suf_max[i + 1][e] + c.max(0);
             }
         }
-        let mut residual: Vec<i64> = self.eqs.iter().map(|eq| eq.rhs).collect();
+        let mut residual: Vec<i64> = rows.iter().map(|row| row.rhs).collect();
         let mut bits = 0u64;
         self.dfs_binary_rec(
             0,
+            n_eq,
             &coeff,
             &suf_min,
             &suf_max,
@@ -268,6 +347,7 @@ impl LinSystem {
     fn dfs_binary_rec(
         &self,
         i: usize,
+        n_eq: usize,
         coeff: &[Vec<i64>],
         suf_min: &[Vec<i64>],
         suf_max: &[Vec<i64>],
@@ -279,16 +359,20 @@ impl LinSystem {
         if out.len() >= cap {
             return;
         }
-        let m = self.eqs.len();
+        let m = coeff.len();
         if i == self.n_vars {
-            if residual.iter().all(|&r| r == 0) {
+            let eq_ok = residual[..n_eq].iter().all(|&r| r == 0);
+            let ineq_ok = residual[n_eq..].iter().all(|&r| r >= 0);
+            if eq_ok && ineq_ok {
                 out.push(*bits);
             }
             return;
         }
         // Prune: remaining contributions must be able to cover the residual.
+        // Equality rows need the residual to be reachable exactly; inequality
+        // rows only need the suffix to be able to stay at or below it.
         for e in 0..m {
-            if residual[e] < suf_min[i][e] || residual[e] > suf_max[i][e] {
+            if residual[e] < suf_min[i][e] || (e < n_eq && residual[e] > suf_max[i][e]) {
                 return;
             }
         }
@@ -299,7 +383,17 @@ impl LinSystem {
                 }
                 *bits |= 1 << i;
             }
-            self.dfs_binary_rec(i + 1, coeff, suf_min, suf_max, residual, bits, cap, out);
+            self.dfs_binary_rec(
+                i + 1,
+                n_eq,
+                coeff,
+                suf_min,
+                suf_max,
+                residual,
+                bits,
+                cap,
+                out,
+            );
             if val == 1 {
                 for e in 0..m {
                     residual[e] += coeff[e][i];
@@ -312,6 +406,10 @@ impl LinSystem {
     /// Enumerates canonical ternary kernel vectors: `u ∈ {-1,0,1}^n`,
     /// `C u = 0`, `u ≠ 0`, first non-zero entry `+1` (which also removes the
     /// `u ↔ -u` duplicates — `Hc(u) = Hc(-u)`). At most `cap` results.
+    ///
+    /// Only the equality rows participate: inequality rows are absorbed by
+    /// slack registers at the driver layer, whose shifts follow from these
+    /// same kernel directions.
     pub fn enumerate_ternary_kernel(&self, cap: usize) -> Vec<Vec<i8>> {
         let n = self.n_vars;
         let m = self.eqs.len();
@@ -394,7 +492,7 @@ impl LinSystem {
     }
 }
 
-/// How [`ternary_kernel_basis`] obtained the basis.
+/// How [`ternary_kernel_basis`] / [`integer_kernel_basis`] obtained the basis.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelBasisMethod {
     /// Gaussian elimination produced one-hot free-variable vectors whose
@@ -404,6 +502,10 @@ pub enum KernelBasisMethod {
     /// Elimination left `{-1,0,1}`, so small-support kernel vectors were
     /// enumerated and greedily selected until they spanned the kernel.
     GreedyEnumeration,
+    /// No ternary spanning set exists (or enumeration could not find one):
+    /// the rational kernel was scaled to primitive integer vectors and
+    /// pairwise size-reduced (LLL-style) to keep coefficients small.
+    LatticeReduced,
 }
 
 /// A set of ternary vectors spanning the kernel of `C`, plus how it was found.
@@ -528,6 +630,160 @@ pub fn ternary_kernel_basis(system: &LinSystem) -> Result<TernaryKernelBasis, Ke
         reached: tracker.dim(),
         required: kernel_dim,
     })
+}
+
+/// A set of integer vectors spanning the kernel of `C`, plus how it was found.
+///
+/// Unlike [`TernaryKernelBasis`] the coefficients are not restricted to
+/// `{-1,0,1}`: when no ternary spanning set exists the basis falls back to
+/// primitive integer kernel vectors, pairwise size-reduced to keep the
+/// coefficients (and hence the driver-term supports) small.
+#[derive(Clone, Debug)]
+pub struct IntegerKernelBasis {
+    /// The basis vectors (canonical sign: first non-zero entry positive).
+    pub vectors: Vec<Vec<i64>>,
+    /// Dimension of the kernel (`n − rank(C)`).
+    pub kernel_dim: usize,
+    /// Which strategy produced the basis.
+    pub method: KernelBasisMethod,
+}
+
+/// Computes an integer basis of the kernel of the *equality rows* of `C` —
+/// the generalized Δ set for commute-driver synthesis.
+///
+/// Strategy, in order (so that every system with a ternary basis reproduces
+/// [`ternary_kernel_basis`] exactly):
+///
+/// 1. Gaussian one-hot free-variable vectors, if already ternary.
+/// 2. Greedy ternary enumeration spanning the kernel.
+/// 3. Lattice-style fallback: scale each rational kernel vector to a
+///    primitive integer vector, then pairwise size-reduce
+///    (`u_i ← u_i − round(⟨u_i,u_j⟩/⟨u_j,u_j⟩)·u_j` until stable).
+///
+/// Step 3 always succeeds, so — unlike the ternary path — this function is
+/// total: every consistent integer linear system gets a driver basis.
+pub fn integer_kernel_basis(system: &LinSystem) -> IntegerKernelBasis {
+    match ternary_kernel_basis(system) {
+        Ok(ternary) => IntegerKernelBasis {
+            vectors: ternary
+                .vectors
+                .iter()
+                .map(|u| u.iter().map(|&x| x as i64).collect())
+                .collect(),
+            kernel_dim: ternary.kernel_dim,
+            method: ternary.method,
+        },
+        Err(KernelBasisError::NotSpannable { required, .. }) => {
+            let rational = kernel_basis(&system.dense_matrix());
+            let mut vectors: Vec<Vec<i64>> =
+                rational.iter().map(|v| integer_primitive(v)).collect();
+            size_reduce(&mut vectors);
+            vectors = vectors.into_iter().map(canonicalize_sign_ints).collect();
+            // Deterministic ordering: small support first, then small norm,
+            // then lexicographic.
+            vectors.sort_by(|a, b| {
+                let sa = a.iter().filter(|&&x| x != 0).count();
+                let sb = b.iter().filter(|&&x| x != 0).count();
+                let na: i64 = a.iter().map(|&x| x * x).sum();
+                let nb: i64 = b.iter().map(|&x| x * x).sum();
+                (sa, na, a).cmp(&(sb, nb, b))
+            });
+            IntegerKernelBasis {
+                vectors,
+                kernel_dim: required,
+                method: KernelBasisMethod::LatticeReduced,
+            }
+        }
+    }
+}
+
+/// Scales a rational vector to the shortest parallel integer vector
+/// (multiply by the LCM of denominators, divide by the GCD of numerators).
+fn integer_primitive(v: &[Rational]) -> Vec<i64> {
+    let mut lcm: i128 = 1;
+    for r in v {
+        let d = r.denom();
+        lcm = lcm / gcd_i128(lcm, d) * d;
+    }
+    let scaled: Vec<i128> = v.iter().map(|r| r.numer() * (lcm / r.denom())).collect();
+    let g = scaled.iter().fold(0i128, |acc, &x| gcd_i128(acc, x));
+    let g = if g == 0 { 1 } else { g };
+    scaled
+        .iter()
+        .map(|&x| {
+            let q = x / g;
+            i64::try_from(q).expect("primitive kernel coefficient exceeds i64")
+        })
+        .collect()
+}
+
+fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Pairwise LLL-style size reduction: repeatedly replace `u_i` by
+/// `u_i − round(⟨u_i,u_j⟩/⟨u_j,u_j⟩)·u_j` while that shortens it. Each
+/// replacement strictly decreases `‖u_i‖²`, so the loop terminates; a pass
+/// cap guards against pathological inputs anyway.
+fn size_reduce(vectors: &mut [Vec<i64>]) {
+    const MAX_PASSES: usize = 64;
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+        for i in 0..vectors.len() {
+            for j in 0..vectors.len() {
+                if i == j {
+                    continue;
+                }
+                let dot: i64 = vectors[i]
+                    .iter()
+                    .zip(vectors[j].iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum();
+                let norm_sq: i64 = vectors[j].iter().map(|&x| x * x).sum();
+                if norm_sq == 0 {
+                    continue;
+                }
+                // Nearest integer to dot/norm_sq (round half up; the explicit
+                // norm check below keeps the reduction strictly decreasing).
+                let mu = (2 * dot + norm_sq).div_euclid(2 * norm_sq);
+                if mu != 0 {
+                    let old_norm: i64 = vectors[i].iter().map(|&x| x * x).sum();
+                    let candidate: Vec<i64> = vectors[i]
+                        .iter()
+                        .zip(vectors[j].iter())
+                        .map(|(&a, &b)| a - mu * b)
+                        .collect();
+                    let new_norm: i64 = candidate.iter().map(|&x| x * x).sum();
+                    if new_norm < old_norm {
+                        vectors[i] = candidate;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Flips an integer vector so its first non-zero entry is positive.
+fn canonicalize_sign_ints(mut u: Vec<i64>) -> Vec<i64> {
+    if let Some(&first) = u.iter().find(|&&x| x != 0) {
+        if first < 0 {
+            for x in u.iter_mut() {
+                *x = -*x;
+            }
+        }
+    }
+    u
 }
 
 /// Flips `u` so its first non-zero entry is `+1` (`Hc(u) = Hc(−u)`).
@@ -706,6 +962,101 @@ mod tests {
         assert_eq!(canonicalize_sign(vec![0, -1, 1]), vec![0, 1, -1]);
         assert_eq!(canonicalize_sign(vec![1, -1]), vec![1, -1]);
         assert_eq!(canonicalize_sign(vec![0, 0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn inequality_rows_gate_satisfaction_and_penalty() {
+        // x0 + 2*x1 ≤ 2 over 3 vars (x2 free).
+        let mut sys = LinSystem::new(3);
+        sys.push_le(LinEq::new([(0, 1), (1, 2)], 2));
+        assert!(sys.has_inequalities());
+        assert!(sys.is_satisfied_bits(0b000));
+        assert!(sys.is_satisfied_bits(0b010)); // x1=1: lhs 2 ≤ 2
+        assert!(!sys.is_satisfied_bits(0b011)); // lhs 3 > 2
+        assert_eq!(sys.penalty_bits(0b011), 1); // overshoot 1 → 1
+        assert_eq!(sys.penalty_bits(0b010), 0); // slack is free
+    }
+
+    #[test]
+    fn inequality_enumeration_matches_exhaustive() {
+        // Mixed system: x0 + x1 + x2 = 2 and 2*x0 + 3*x1 ≤ 4.
+        let mut sys = LinSystem::new(3);
+        sys.push(LinEq::new([(0, 1), (1, 1), (2, 1)], 2));
+        sys.push_le(LinEq::new([(0, 2), (1, 3)], 4));
+        let dfs: std::collections::BTreeSet<u64> =
+            sys.enumerate_binary_solutions(1000).into_iter().collect();
+        let brute: std::collections::BTreeSet<u64> =
+            (0u64..8).filter(|&b| sys.is_satisfied_bits(b)).collect();
+        assert_eq!(dfs, brute);
+        assert!(!dfs.is_empty());
+    }
+
+    #[test]
+    fn inequality_only_system_keeps_full_kernel() {
+        // Pure capacity row: the equality system is empty, so the driver
+        // basis is the unit vectors (slack shifts absorb the row).
+        let mut sys = LinSystem::new(3);
+        sys.push_le(LinEq::new([(0, 2), (1, 3), (2, 4)], 5));
+        let basis = ternary_kernel_basis(&sys).expect("basis");
+        assert_eq!(basis.kernel_dim, 3);
+        assert_eq!(basis.vectors.len(), 3);
+    }
+
+    #[test]
+    fn lineq_lhs_bounds() {
+        let eq = LinEq::new([(0, 2), (1, -3), (2, 4)], 0);
+        assert_eq!(eq.min_lhs(), -3);
+        assert_eq!(eq.max_lhs(), 6);
+    }
+
+    #[test]
+    fn integer_kernel_matches_ternary_when_available() {
+        let sys = paper_system();
+        let basis = integer_kernel_basis(&sys);
+        assert_eq!(basis.method, KernelBasisMethod::Gaussian);
+        assert_eq!(basis.vectors, vec![vec![1, -1, 1, 0], vec![0, 1, 0, -1]]);
+    }
+
+    #[test]
+    fn integer_kernel_lattice_fallback() {
+        // x0 + 3*x1 = 0: no ternary spanning set; the lattice path must
+        // produce the primitive direction (3, -1).
+        let mut sys = LinSystem::new(2);
+        sys.push(LinEq::new([(0, 1), (1, 3)], 0));
+        let basis = integer_kernel_basis(&sys);
+        assert_eq!(basis.method, KernelBasisMethod::LatticeReduced);
+        assert_eq!(basis.kernel_dim, 1);
+        assert_eq!(basis.vectors, vec![vec![3, -1]]);
+    }
+
+    #[test]
+    fn integer_kernel_vectors_annihilate_and_span() {
+        // 2*x0 + 3*x1 - 5*x2 + 7*x3 = 0 — general coefficients.
+        let mut sys = LinSystem::new(4);
+        sys.push(LinEq::new([(0, 2), (1, 3), (2, -5), (3, 7)], 0));
+        let basis = integer_kernel_basis(&sys);
+        assert_eq!(basis.vectors.len(), basis.kernel_dim);
+        assert_eq!(basis.kernel_dim, 3);
+        let mut tracker = SpanTracker::new();
+        for u in &basis.vectors {
+            let dot: i64 = 2 * u[0] + 3 * u[1] - 5 * u[2] + 7 * u[3];
+            assert_eq!(dot, 0, "kernel vector {u:?} must annihilate the row");
+            assert!(tracker.insert_ints(u), "basis vectors must be independent");
+            let first = u.iter().find(|&&x| x != 0).unwrap();
+            assert!(*first > 0, "canonical sign");
+        }
+    }
+
+    #[test]
+    fn size_reduction_shrinks_coefficients() {
+        let mut vs = vec![vec![7, 0, 1], vec![5, 1, 0]];
+        size_reduce(&mut vs);
+        let max_norm: i64 = vs
+            .iter()
+            .map(|v| v.iter().map(|&x| x * x).sum())
+            .max()
+            .unwrap();
+        assert!(max_norm < 50, "reduced basis should be shorter: {vs:?}");
     }
 
     #[test]

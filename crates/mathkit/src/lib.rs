@@ -39,8 +39,8 @@ mod stats;
 pub use complex::{c64, Complex64};
 pub use expm::{expm, expm_hermitian};
 pub use intlin::{
-    canonicalize_sign, ternary_kernel_basis, KernelBasisError, KernelBasisMethod, LinEq, LinSystem,
-    TernaryKernelBasis,
+    canonicalize_sign, integer_kernel_basis, ternary_kernel_basis, IntegerKernelBasis,
+    KernelBasisError, KernelBasisMethod, LinEq, LinSystem, TernaryKernelBasis,
 };
 pub use matrix::CMatrix;
 pub use rational::{kernel_basis, rank, row_echelon, Rational, RowEchelon, SpanTracker};

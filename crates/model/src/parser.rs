@@ -13,7 +13,9 @@
 //! Grammar (line-oriented, `#` comments):
 //!
 //! * objective line: `minimize <expr>` or `maximize <expr>`
-//! * constraint lines: `s.t. <int-expr> = <int>` (also `st` / `subject to`)
+//! * constraint lines: `s.t. <int-expr> = <int>` (also `st` / `subject to`);
+//!   `<=` and `>=` rows are accepted too and become first-class inequality
+//!   rows ([`crate::Problem::has_inequalities`])
 //! * `<expr>` is `±[coef] x<i>`, `±[coef] x<i>*x<j>` and constants,
 //!   joined by `+` / `-`; coefficients may be floats in the objective but
 //!   must be integers in constraints.
@@ -69,6 +71,14 @@ enum Term {
     Constant(f64),
     Linear(usize, f64),
     Quadratic(usize, usize, f64),
+}
+
+/// Relation of a constraint row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Relation {
+    Eq,
+    Le,
+    Ge,
 }
 
 /// Tokenizes an expression like `x0 + 2 x1 - 3 x2*x3 + 4` into terms.
@@ -171,7 +181,7 @@ fn parse_var(s: &str) -> Option<usize> {
 /// ```
 pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
     let mut objective: Option<(bool, Vec<Term>)> = None; // (maximize, terms)
-    let mut constraints: Vec<(Vec<Term>, i64, usize)> = Vec::new();
+    let mut constraints: Vec<(Vec<Term>, i64, Relation, usize)> = Vec::new();
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -201,10 +211,18 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
             .or_else(|| lower.strip_prefix("s.t."))
             .or_else(|| lower.strip_prefix("st "))
         {
-            let Some((lhs, rhs)) = rest.split_once('=') else {
+            // Check the two-character relations before bare `=` so that
+            // `x0 <= 2` does not split at the `=` inside `<=`.
+            let (lhs, rhs, relation) = if let Some((l, r)) = rest.split_once("<=") {
+                (l, r, Relation::Le)
+            } else if let Some((l, r)) = rest.split_once(">=") {
+                (l, r, Relation::Ge)
+            } else if let Some((l, r)) = rest.split_once('=') {
+                (l, r, Relation::Eq)
+            } else {
                 return Err(ParseError::Malformed {
                     line: line_no,
-                    message: "constraint needs `= <int>`".into(),
+                    message: "constraint needs `= <int>`, `<= <int>` or `>= <int>`".into(),
                 });
             };
             let rhs: i64 = rhs.trim().parse().map_err(|_| ParseError::Malformed {
@@ -212,7 +230,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                 message: format!("right-hand side `{}` is not an integer", rhs.trim()),
             })?;
             let terms = parse_expr(lhs, line_no)?;
-            constraints.push((terms, rhs, line_no));
+            constraints.push((terms, rhs, relation, line_no));
         } else {
             return Err(ParseError::Malformed {
                 line: line_no,
@@ -237,7 +255,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
         }
     };
     scan(&obj_terms, &mut n_vars);
-    for (terms, _, _) in &constraints {
+    for (terms, _, _, _) in &constraints {
         scan(terms, &mut n_vars);
     }
 
@@ -250,7 +268,7 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
             Term::Quadratic(i, j, w) => b.quadratic(i, j, w),
         };
     }
-    for (terms, rhs, line_no) in constraints {
+    for (terms, rhs, relation, line_no) in constraints {
         let mut lin: Vec<(usize, i64)> = Vec::new();
         let mut shift = 0i64;
         for t in terms {
@@ -281,7 +299,11 @@ pub fn parse_problem(text: &str) -> Result<Problem, ParseError> {
                 }
             }
         }
-        b = b.equality(lin, rhs - shift);
+        b = match relation {
+            Relation::Eq => b.equality(lin, rhs - shift),
+            Relation::Le => b.less_equal(lin, rhs - shift),
+            Relation::Ge => b.greater_equal(lin, rhs - shift),
+        };
     }
     Ok(b.build()?)
 }
@@ -324,6 +346,29 @@ mod tests {
         assert!(p.is_feasible(0b01));
         assert!(p.is_feasible(0b10));
         assert!(!p.is_feasible(0b11));
+    }
+
+    #[test]
+    fn parses_inequality_rows() {
+        let p = parse_problem(
+            "maximize x0 + x1 + x2\n\
+             s.t. 2 x0 + x1 + 3 x2 <= 3\n\
+             s.t. x0 + x1 >= 1",
+        )
+        .expect("parse");
+        assert!(p.has_inequalities());
+        assert_eq!(p.constraints().len(), 0);
+        assert_eq!(p.constraints().ineqs().len(), 2);
+        assert!(p.is_feasible(0b011)); // lhs 3 ≤ 3, x0+x1 = 2 ≥ 1
+        assert!(!p.is_feasible(0b101)); // lhs 5 > 3
+        assert!(!p.is_feasible(0b100)); // x0+x1 = 0 < 1
+    }
+
+    #[test]
+    fn inequality_constants_fold_into_rhs() {
+        let p = parse_problem("min x0\ns.t. x0 + x1 + 1 <= 2").expect("parse");
+        assert!(p.is_feasible(0b01));
+        assert!(!p.is_feasible(0b11)); // 2 + 1 > 2
     }
 
     #[test]

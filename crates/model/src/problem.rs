@@ -6,9 +6,13 @@
 //! ```
 //!
 //! `f` is an arbitrary quadratic pseudo-Boolean (QUBO) function; the
-//! constraints are integer linear equalities. Inequalities are modelled by
-//! the caller with binary slack variables (see `choco-problems` for the
-//! FLP/GCP encodings that do exactly this).
+//! constraints are integer linear equalities plus first-class `≤`/`≥`
+//! rows ([`ProblemBuilder::less_equal`] / [`ProblemBuilder::greater_equal`]).
+//! Inequality rows are carried through to the solver layer, which either
+//! synthesizes bounded slack registers natively (Choco-Q's generalized
+//! driver) or rejects the encoding; problems may also still model
+//! inequalities manually with binary slack variables (the FLP/GCP
+//! encodings in `choco-problems` do exactly this).
 
 use choco_mathkit::{LinEq, LinSystem};
 use choco_qsim::PhasePoly;
@@ -96,6 +100,7 @@ impl Problem {
             sense: Sense::Minimize,
             objective: PhasePoly::new(n_vars.min(63)),
             equalities: Vec::new(),
+            inequalities: Vec::new(),
             name: String::new(),
             error: None,
         }
@@ -119,10 +124,17 @@ impl Problem {
         &self.objective
     }
 
-    /// The equality constraint system `C x = c`.
+    /// The constraint system: equality rows `C x = c` plus any `≤` rows.
     #[inline]
     pub fn constraints(&self) -> &LinSystem {
         &self.constraints
+    }
+
+    /// `true` when the problem carries at least one first-class inequality
+    /// row (solvers without native inequality support must reject these).
+    #[inline]
+    pub fn has_inequalities(&self) -> bool {
+        self.constraints.has_inequalities()
     }
 
     /// Human-readable instance name (e.g. `"FLP 2F-1D seed=7"`).
@@ -169,6 +181,11 @@ impl Problem {
     /// The penalty-method Hamiltonian
     /// `cost(x) + λ·Σ_j (C_j x − c_j)²` expanded to QUBO form (the soft
     /// constraint encoding of penalty-based QAOA \[44\]).
+    ///
+    /// Only *equality* rows are expanded — a quadratic penalty for a `≤` row
+    /// would need its own slack variables, which this soft encoding does not
+    /// introduce. Penalty-family solvers reject problems where
+    /// [`Problem::has_inequalities`] is `true`.
     pub fn penalty_poly(&self, lambda: f64) -> PhasePoly {
         let mut poly = self.cost_poly();
         for eq in self.constraints.eqs() {
@@ -189,7 +206,7 @@ impl Problem {
 
     /// Up to `cap` feasible assignments.
     pub fn feasible_solutions(&self, cap: usize) -> Vec<u64> {
-        if self.constraints.is_empty() {
+        if self.constraints.is_empty() && !self.constraints.has_inequalities() {
             let total = 1u64 << self.n_vars;
             return (0..total.min(cap as u64)).collect();
         }
@@ -198,7 +215,7 @@ impl Problem {
 
     /// One feasible assignment (the Choco-Q initial state), if any exists.
     pub fn first_feasible(&self) -> Option<u64> {
-        if self.constraints.is_empty() {
+        if self.constraints.is_empty() && !self.constraints.has_inequalities() {
             Some(0)
         } else {
             self.constraints.first_binary_solution()
@@ -223,12 +240,15 @@ impl fmt::Display for Problem {
                 &self.name
             },
             self.n_vars,
-            self.constraints.len(),
+            self.constraints.len() + self.constraints.ineqs().len(),
             self.sense
         )?;
         writeln!(f, "  objective: {}", self.objective)?;
         for eq in self.constraints.eqs() {
             writeln!(f, "  s.t. {eq}")?;
+        }
+        for le in self.constraints.ineqs() {
+            writeln!(f, "  s.t. {} <= {}", le.lhs_display(), le.rhs)?;
         }
         Ok(())
     }
@@ -241,6 +261,7 @@ pub struct ProblemBuilder {
     sense: Sense,
     objective: PhasePoly,
     equalities: Vec<(Vec<(usize, i64)>, i64)>,
+    inequalities: Vec<(Vec<(usize, i64)>, i64)>,
     name: String,
     error: Option<ProblemError>,
 }
@@ -297,6 +318,28 @@ impl ProblemBuilder {
         self
     }
 
+    /// Adds a first-class inequality constraint `Σ coeff·x_var ≤ rhs`.
+    ///
+    /// Unlike a manual binary-slack encoding, the row is kept in `≤` form all
+    /// the way to the solver layer, where Choco-Q's generalized driver
+    /// synthesizes a bounded slack register for it natively.
+    pub fn less_equal(mut self, terms: impl IntoIterator<Item = (usize, i64)>, rhs: i64) -> Self {
+        self.inequalities.push((terms.into_iter().collect(), rhs));
+        self
+    }
+
+    /// Adds `Σ coeff·x_var ≥ rhs`, stored as the equivalent `≤` row with
+    /// negated coefficients and right-hand side.
+    pub fn greater_equal(
+        mut self,
+        terms: impl IntoIterator<Item = (usize, i64)>,
+        rhs: i64,
+    ) -> Self {
+        let negated: Vec<(usize, i64)> = terms.into_iter().map(|(v, c)| (v, -c)).collect();
+        self.inequalities.push((negated, -rhs));
+        self
+    }
+
     /// Sets the instance name.
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -328,6 +371,17 @@ impl ProblemBuilder {
                 }
             }
             constraints.push(LinEq::new(terms, rhs));
+        }
+        for (terms, rhs) in self.inequalities {
+            for &(var, _) in &terms {
+                if var >= self.n_vars {
+                    return Err(ProblemError::VariableOutOfRange {
+                        var,
+                        n_vars: self.n_vars,
+                    });
+                }
+            }
+            constraints.push_le(LinEq::new(terms, rhs));
         }
         Ok(Problem {
             n_vars: self.n_vars,
@@ -439,6 +493,79 @@ mod tests {
         assert_eq!(p.feasible_solutions(100).len(), 8);
         assert_eq!(p.first_feasible(), Some(0));
         assert!(p.is_feasible(0b111));
+    }
+
+    #[test]
+    fn less_equal_rows_are_first_class() {
+        // max x0 + x1 + x2  s.t.  2*x0 + x1 + 3*x2 ≤ 3
+        let p = Problem::builder(3)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 1.0)
+            .linear(2, 1.0)
+            .less_equal([(0, 2), (1, 1), (2, 3)], 3)
+            .build()
+            .unwrap();
+        assert!(p.has_inequalities());
+        assert!(p.is_feasible(0b011)); // 2+1 = 3 ≤ 3
+        assert!(!p.is_feasible(0b101)); // 2+3 = 5 > 3
+        let feas: std::collections::BTreeSet<u64> = p.feasible_solutions(100).into_iter().collect();
+        let brute: std::collections::BTreeSet<u64> =
+            (0..8u64).filter(|&b| p.is_feasible(b)).collect();
+        assert_eq!(feas, brute);
+        assert!(brute.contains(&p.first_feasible().unwrap()));
+    }
+
+    #[test]
+    fn greater_equal_negates_row() {
+        // x0 + x1 ≥ 1  ⟺  -x0 - x1 ≤ -1
+        let p = Problem::builder(2)
+            .greater_equal([(0, 1), (1, 1)], 1)
+            .build()
+            .unwrap();
+        assert!(p.has_inequalities());
+        assert!(!p.is_feasible(0b00));
+        assert!(p.is_feasible(0b01));
+        assert!(p.is_feasible(0b11));
+        let row = &p.constraints().ineqs()[0];
+        assert_eq!(row.terms, vec![(0, -1), (1, -1)]);
+        assert_eq!(row.rhs, -1);
+    }
+
+    #[test]
+    fn inequality_only_problem_does_not_claim_full_cube() {
+        // x0 + x1 ≤ 0 admits only the all-zeros assignment.
+        let p = Problem::builder(2)
+            .less_equal([(0, 1), (1, 1)], 0)
+            .build()
+            .unwrap();
+        assert_eq!(p.feasible_solutions(100), vec![0]);
+        assert_eq!(p.first_feasible(), Some(0));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_inequality_var() {
+        let err = Problem::builder(2)
+            .less_equal([(4, 1)], 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProblemError::VariableOutOfRange { var: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn display_prints_inequality_rows() {
+        let p = Problem::builder(3)
+            .equality([(0, 1), (1, 1)], 1)
+            .less_equal([(1, 2), (2, 1)], 2)
+            .build()
+            .unwrap();
+        let s = format!("{p}");
+        assert!(s.contains("2 constraints"), "display: {s}");
+        assert!(s.contains("s.t. x0 + x1 = 1"), "display: {s}");
+        assert!(s.contains("s.t. 2*x1 + x2 <= 2"), "display: {s}");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! Assignment with agent capacities (ASSIGN), mixed-row encoding.
+//!
+//! Assign every task to exactly one agent, minimizing total cost, while
+//! no agent's summed task load exceeds its capacity:
+//!
+//! ```text
+//! min  Σ_{a,t} cost_{a,t} · x_{a,t}
+//! s.t. Σ_a x_{a,t} = 1                       ∀ task t      (equality)
+//! s.t. Σ_t load_{a,t} · x_{a,t} ≤ cap_a      ∀ agent a     (inequality)
+//! ```
+//!
+//! This is the suite's *mixed* linear-system workload: the per-task
+//! covering rows are pure summation equalities (the shape the cyclic
+//! baseline can encode) while the per-agent capacity rows are native `≤`
+//! constraints with general integer loads. The commute-driver layer
+//! therefore combines a plain equality kernel with internally synthesized
+//! slack registers in one driver — exercising the generalized synthesis
+//! path on equalities and inequalities simultaneously.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated assignment instance: binary variable
+/// `x_{a,t}` ("agent `a` does task `t`") at index `a * n_tasks + t`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AssignCapLayout {
+    /// `loads[a][t]` is task `t`'s load on agent `a`.
+    pub loads: Vec<Vec<u64>>,
+    /// Per-agent capacity `cap_a`.
+    pub capacities: Vec<u64>,
+}
+
+impl AssignCapLayout {
+    /// Number of agents.
+    pub fn n_agents(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.loads[0].len()
+    }
+
+    /// Index of the variable `x_{a,t}`.
+    pub fn x(&self, a: usize, t: usize) -> usize {
+        debug_assert!(a < self.n_agents() && t < self.n_tasks());
+        a * self.n_tasks() + t
+    }
+
+    /// Total number of binary variables.
+    pub fn n_vars(&self) -> usize {
+        self.n_agents() * self.n_tasks()
+    }
+
+    /// Agent `a`'s summed load under `bits` (test oracle).
+    pub fn load_of(&self, bits: u64, a: usize) -> u64 {
+        (0..self.n_tasks())
+            .filter(|&t| (bits >> self.x(a, t)) & 1 == 1)
+            .map(|t| self.loads[a][t])
+            .sum()
+    }
+
+    /// `true` when `bits` assigns every task exactly once within every
+    /// agent's capacity (test oracle).
+    pub fn is_valid(&self, bits: u64) -> bool {
+        let covered = (0..self.n_tasks()).all(|t| {
+            (0..self.n_agents())
+                .filter(|&a| (bits >> self.x(a, t)) & 1 == 1)
+                .count()
+                == 1
+        });
+        covered && (0..self.n_agents()).all(|a| self.load_of(bits, a) <= self.capacities[a])
+    }
+}
+
+/// Generates an assignment-with-capacity instance from explicit data.
+///
+/// Assignment costs are drawn uniformly from `[1, 6)` per `(agent, task)`
+/// pair off `seed`.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on empty agents/tasks, zero loads or capacities, or ragged
+/// load rows.
+pub fn assigncap(
+    loads: &[Vec<u64>],
+    capacities: &[u64],
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(!loads.is_empty(), "no agents");
+    assert_eq!(loads.len(), capacities.len(), "loads/capacities mismatch");
+    let n_tasks = loads[0].len();
+    assert!(n_tasks > 0, "no tasks");
+    for row in loads {
+        assert_eq!(row.len(), n_tasks, "ragged load row");
+        assert!(row.iter().all(|&l| l > 0), "zero-load task");
+    }
+    assert!(capacities.iter().all(|&c| c > 0), "zero capacity");
+    let layout = AssignCapLayout {
+        loads: loads.to_vec(),
+        capacities: capacities.to_vec(),
+    };
+    let mut rng = SplitMix64::new(seed ^ 0x51_6E_C5);
+    let mut b = Problem::builder(layout.n_vars()).minimize().name(format!(
+        "ASSIGN {}A-{}T seed={seed}",
+        layout.n_agents(),
+        n_tasks
+    ));
+    for a in 0..layout.n_agents() {
+        for t in 0..n_tasks {
+            b = b.linear(layout.x(a, t), rng.gen_range_f64(1.0, 6.0).round());
+        }
+    }
+    for t in 0..n_tasks {
+        b = b.equality((0..layout.n_agents()).map(|a| (layout.x(a, t), 1)), 1);
+    }
+    for a in 0..layout.n_agents() {
+        b = b.less_equal(
+            (0..n_tasks).map(|t| (layout.x(a, t), loads[a][t] as i64)),
+            capacities[a] as i64,
+        );
+    }
+    b.build()
+}
+
+/// Generates a random feasible assignment-with-capacity instance.
+///
+/// Loads are drawn uniformly from `[1, 4)` per `(agent, task)` pair;
+/// every agent's capacity is `⌈n_tasks / n_agents⌉ · 3`, so any balanced
+/// round-robin assignment fits (the instance is feasible by construction)
+/// while skewed assignments can overload an agent.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics when `n_agents == 0` or `n_tasks == 0`.
+pub fn assigncap_random(
+    n_agents: usize,
+    n_tasks: usize,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(n_agents >= 1 && n_tasks >= 1, "degenerate assignment shape");
+    let mut rng = SplitMix64::new(seed ^ 0x51_6E_C5);
+    let loads: Vec<Vec<u64>> = (0..n_agents)
+        .map(|_| (0..n_tasks).map(|_| rng.gen_range(1, 4)).collect())
+        .collect();
+    let cap = (n_tasks.div_ceil(n_agents) as u64) * 3;
+    let capacities = vec![cap; n_agents];
+    assigncap(&loads, &capacities, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn regen_layout(n_agents: usize, n_tasks: usize, seed: u64) -> AssignCapLayout {
+        let mut rng = SplitMix64::new(seed ^ 0x51_6E_C5);
+        let loads: Vec<Vec<u64>> = (0..n_agents)
+            .map(|_| (0..n_tasks).map(|_| rng.gen_range(1, 4)).collect())
+            .collect();
+        let cap = (n_tasks.div_ceil(n_agents) as u64) * 3;
+        AssignCapLayout {
+            loads,
+            capacities: vec![cap; n_agents],
+        }
+    }
+
+    #[test]
+    fn explicit_instance_matches_shape() {
+        // 2 agents × 2 tasks; agent 0 can hold at most one task.
+        let p = assigncap(&[vec![2, 2], vec![1, 1]], &[3, 2], 1).unwrap();
+        assert_eq!(p.n_vars(), 4);
+        assert_eq!(p.constraints().eqs().len(), 2);
+        assert_eq!(p.constraints().ineqs().len(), 2);
+        let l = AssignCapLayout {
+            loads: vec![vec![2, 2], vec![1, 1]],
+            capacities: vec![3, 2],
+        };
+        let opt = solve_exact(&p).unwrap();
+        for &sol in &opt.solutions {
+            assert!(l.is_valid(sol), "sol {sol:b}");
+        }
+        // Giving agent 0 both tasks (load 4 > 3) must be infeasible.
+        let both_to_a0 = (1 << l.x(0, 0)) | (1 << l.x(0, 1));
+        assert!(!p.is_feasible(both_to_a0));
+        // Giving agent 1 both tasks (load 2 ≤ 2) is feasible.
+        let both_to_a1 = (1 << l.x(1, 0)) | (1 << l.x(1, 1));
+        assert!(p.is_feasible(both_to_a1));
+    }
+
+    #[test]
+    fn random_instances_are_feasible_by_construction() {
+        for seed in 0..12 {
+            let p = assigncap_random(2, 3, seed).unwrap();
+            assert!(p.first_feasible().is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn feasibility_oracle_agrees_with_layout() {
+        for seed in 0..4 {
+            let p = assigncap_random(2, 2, seed).unwrap();
+            let l = regen_layout(2, 2, seed);
+            for bits in 0u64..(1 << 4) {
+                assert_eq!(
+                    p.is_feasible(bits),
+                    l.is_valid(bits),
+                    "seed {seed} bits {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_optimum_is_a_valid_capped_assignment() {
+        for seed in 0..6 {
+            let p = assigncap_random(2, 3, seed).unwrap();
+            let l = regen_layout(2, 3, seed);
+            let opt = solve_exact(&p).unwrap();
+            for &sol in &opt.solutions {
+                assert!(l.is_valid(sol), "seed {seed} sol {sol:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = assigncap_random(2, 3, 4).unwrap();
+        let b = assigncap_random(2, 3, 4).unwrap();
+        let c = assigncap_random(2, 3, 5).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+}

@@ -1,24 +1,77 @@
 //! Bounded knapsack with an equality budget (KNAP).
 //!
-//! Select items maximizing value subject to an *exact* budget equation,
-//! obtained from the usual capacity inequality with binary slack bits:
+//! Select items maximizing value subject to a capacity budget. Two
+//! encodings of the same seeded instance are offered
+//! ([`KnapsackEncoding`]):
 //!
-//! ```text
-//! max  Σ_i value_i · x_i
-//! s.t. Σ_i weight_i · x_i + Σ_j 2^j · s_j = W
-//! ```
+//! * **Slack** — the paper's Eq. (1) formulation: the capacity inequality
+//!   is rewritten as an *exact* budget equation with hand-rolled binary
+//!   slack bits in the problem definition:
 //!
-//! The slack register `s` holds the unused budget in binary; with
-//! `k = ⌈log₂(W+1)⌉` bits every residual `0..=W` is representable, so
-//! *every* item selection of weight at most `W` extends to a feasible
-//! assignment (and `x = 0` always does). Unlike FLP/GCP/KPP, the budget
-//! row carries general integer coefficients — not summation format — so
-//! the cyclic baseline cannot encode it at all while the commute driver
-//! handles it natively, probing exactly the "arbitrary linear equality"
-//! universality axis of Table I.
+//!   ```text
+//!   max  Σ_i value_i · x_i
+//!   s.t. Σ_i weight_i · x_i + Σ_j 2^j · s_j = W
+//!   ```
+//!
+//!   The slack register `s` holds the unused budget in binary; with
+//!   `k = ⌈log₂(W+1)⌉` bits every residual `0..=W` is representable, so
+//!   *every* item selection of weight at most `W` extends to a feasible
+//!   assignment (and `x = 0` always does).
+//!
+//! * **Native** — the capacity row stays a first-class `≤` constraint
+//!   over the item variables only:
+//!
+//!   ```text
+//!   max  Σ_i value_i · x_i
+//!   s.t. Σ_i weight_i · x_i ≤ W
+//!   ```
+//!
+//!   No slack variable appears in the problem; the commute-driver layer
+//!   synthesizes a bounded slack register internally and keeps the
+//!   evolution on the `Σ w_i x_i + s = W` manifold. Same feasible item
+//!   selections, same optimum, fewer *problem* variables.
+//!
+//! Unlike FLP/GCP/KPP, the budget row carries general integer
+//! coefficients — not summation format — so the cyclic baseline cannot
+//! encode it at all while the commute driver handles it natively, probing
+//! exactly the "arbitrary linear equality" universality axis of Table I.
+//! The two encodings are differentially comparable on every class: the
+//! slack path's reports are the byte-level regression anchor.
 
 use choco_mathkit::SplitMix64;
 use choco_model::{Problem, ProblemError};
+
+/// How a knapsack instance encodes its capacity constraint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KnapsackEncoding {
+    /// Equality budget row with explicit binary slack variables in the
+    /// problem (the paper's Eq. (1) formulation; the regression anchor).
+    #[default]
+    Slack,
+    /// First-class `≤` capacity row over the item variables only; slack
+    /// synthesis happens inside the driver layer.
+    Native,
+}
+
+impl KnapsackEncoding {
+    /// Encoding mnemonic (`"slack"` / `"native"`), as spelled in spec
+    /// files and grid axes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KnapsackEncoding::Slack => "slack",
+            KnapsackEncoding::Native => "native",
+        }
+    }
+
+    /// Parses a spec-file label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "slack" => Some(KnapsackEncoding::Slack),
+            "native" => Some(KnapsackEncoding::Native),
+            _ => None,
+        }
+    }
+}
 
 /// Variable layout of a generated knapsack instance.
 ///
@@ -122,6 +175,42 @@ pub fn knapsack(
     b.build()
 }
 
+/// Generates a *native-inequality* knapsack instance: same items as
+/// [`knapsack`], but the capacity stays a first-class `≤` row and no
+/// slack variable appears in the problem.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on empty/zero-weight items, a zero capacity, or mismatched
+/// weight/value lengths.
+pub fn knapsack_native(
+    weights: &[u64],
+    values: &[f64],
+    capacity: u64,
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(!weights.is_empty(), "no items");
+    assert_eq!(weights.len(), values.len(), "weights/values mismatch");
+    assert!(weights.iter().all(|&w| w > 0), "zero-weight item");
+    assert!(capacity > 0, "zero capacity");
+    let mut b = Problem::builder(weights.len()).maximize().name(format!(
+        "KNAP {}I-{capacity}W native seed={seed}",
+        weights.len()
+    ));
+    for (i, &v) in values.iter().enumerate() {
+        b = b.linear(i, v);
+    }
+    b = b.less_equal(
+        weights.iter().enumerate().map(|(i, &w)| (i, w as i64)),
+        capacity as i64,
+    );
+    b.build()
+}
+
 /// Generates a seeded random knapsack instance with `n_items` items and
 /// exact budget `capacity`: weights uniform in `[1, 5]`, values in
 /// `[1, 10)`, correlated weakly with weight so the greedy order is not
@@ -135,6 +224,28 @@ pub fn knapsack(
 ///
 /// Panics when `n_items == 0` or `capacity == 0`.
 pub fn knapsack_random(n_items: usize, capacity: u64, seed: u64) -> Result<Problem, ProblemError> {
+    knapsack_random_with(n_items, capacity, seed, KnapsackEncoding::Slack)
+}
+
+/// [`knapsack_random`] with an explicit [`KnapsackEncoding`]. Both
+/// encodings of a given `(n_items, capacity, seed)` draw *identical*
+/// weights and values (one shared generator stream), so their optima and
+/// feasible item selections coincide — only the constraint formulation
+/// differs. `Slack` is byte-identical to [`knapsack_random`].
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics when `n_items == 0` or `capacity == 0`.
+pub fn knapsack_random_with(
+    n_items: usize,
+    capacity: u64,
+    seed: u64,
+    encoding: KnapsackEncoding,
+) -> Result<Problem, ProblemError> {
     assert!(n_items >= 1 && capacity >= 1, "degenerate knapsack shape");
     let mut rng = SplitMix64::new(seed ^ 0x9A_C4_11);
     let weights: Vec<u64> = (0..n_items).map(|_| rng.gen_range(1, 6)).collect();
@@ -142,7 +253,10 @@ pub fn knapsack_random(n_items: usize, capacity: u64, seed: u64) -> Result<Probl
         .iter()
         .map(|&w| (w as f64 + rng.gen_range_f64(1.0, 6.0)).round())
         .collect();
-    knapsack(&weights, &values, capacity, seed)
+    match encoding {
+        KnapsackEncoding::Slack => knapsack(&weights, &values, capacity, seed),
+        KnapsackEncoding::Native => knapsack_native(&weights, &values, capacity, seed),
+    }
 }
 
 #[cfg(test)]
@@ -239,5 +353,63 @@ mod tests {
         let c = knapsack_random(6, 8, 5).unwrap();
         assert_eq!(format!("{a}"), format!("{b}"));
         assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    fn encoding_labels_round_trip() {
+        for enc in [KnapsackEncoding::Slack, KnapsackEncoding::Native] {
+            assert_eq!(KnapsackEncoding::parse(enc.label()), Some(enc));
+        }
+        assert_eq!(KnapsackEncoding::parse("penalty"), None);
+    }
+
+    #[test]
+    fn random_with_slack_is_byte_identical_to_knapsack_random() {
+        for seed in 0..8 {
+            let anchor = knapsack_random(5, 8, seed).unwrap();
+            let slack = knapsack_random_with(5, 8, seed, KnapsackEncoding::Slack).unwrap();
+            assert_eq!(format!("{anchor}"), format!("{slack}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn native_instance_has_no_slack_variables() {
+        let p = knapsack_random_with(5, 8, 3, KnapsackEncoding::Native).unwrap();
+        assert_eq!(p.n_vars(), 5);
+        assert!(p.constraints().eqs().is_empty());
+        assert!(p.constraints().has_inequalities());
+        assert!(p.name().contains("native"));
+    }
+
+    #[test]
+    fn both_encodings_share_one_optimum() {
+        // Identical generator stream → identical items → identical optimal
+        // value, even though the slack instance optimizes over more bits.
+        for seed in 0..6 {
+            let slack = knapsack_random_with(4, 6, seed, KnapsackEncoding::Slack).unwrap();
+            let native = knapsack_random_with(4, 6, seed, KnapsackEncoding::Native).unwrap();
+            let vs = solve_exact(&slack).unwrap();
+            let vn = solve_exact(&native).unwrap();
+            assert_eq!(vs.value, vn.value, "seed {seed}");
+            // Native solutions are pure item selections; each must extend to
+            // a feasible slack assignment with the same weight.
+            let weights: Vec<u64> = {
+                let mut rng = SplitMix64::new(seed ^ 0x9A_C4_11);
+                (0..4).map(|_| rng.gen_range(1, 6)).collect()
+            };
+            let l = layout(&weights, 6);
+            for &sol in &vn.solutions {
+                assert!(l.assignment(sol).is_some(), "seed {seed} sol {sol:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_native_instance_matches_shape() {
+        let p = knapsack_native(&[2, 3, 4], &[3.0, 5.0, 7.0], 6, 1).unwrap();
+        assert_eq!(p.n_vars(), 3);
+        assert_eq!(p.constraints().ineqs().len(), 1);
+        let opt = solve_exact(&p).unwrap();
+        assert_eq!(opt.value, 10.0); // {x0, x2} at weight 6, same as slack form.
     }
 }

@@ -12,9 +12,17 @@
 //! classes B1–B4). [`EXTENDED_CLASSES`] and [`BenchmarkSuite::extended`]
 //! enumerate all 20 classes.
 //!
-//! All generators are deterministic per seed; inequality constraints are
-//! encoded as equalities with binary slack variables, matching the paper's
-//! formulation (Eq. (1)).
+//! A third tier keeps inequalities *native*: knapsack with a first-class
+//! `≤` budget row ([`knapsack_native`], classes B1n–B4n), multi-dimensional
+//! knapsack ([`mdknap`], M1–M2), and assignment with agent capacities
+//! ([`assigncap`], A1–A2 — mixed `=`/`≤` rows). These carry no slack
+//! variables in the problem definition; the commute-driver layer
+//! synthesizes bounded slack registers internally. [`NATIVE_CLASSES`] and
+//! [`BenchmarkSuite::native`] enumerate all 8 native classes.
+//!
+//! All generators are deterministic per seed; in the paper-faithful
+//! families, inequality constraints are encoded as equalities with binary
+//! slack variables, matching the paper's formulation (Eq. (1)).
 //!
 //! ```
 //! use choco_problems::{flp, FlpLayout};
@@ -28,19 +36,26 @@
 
 #![warn(missing_docs)]
 
+mod assigncap;
 mod cover;
 mod flp;
 mod gcp;
 mod knapsack;
 mod kpp;
+mod mdknap;
 mod suite;
 
+pub use assigncap::{assigncap, assigncap_random, AssignCapLayout};
 pub use cover::{cover, cover_random, CoverLayout};
 pub use flp::{flp, FlpLayout};
 pub use gcp::{gcp, gcp_random, random_connected_edges, GcpLayout};
-pub use knapsack::{knapsack, knapsack_random, KnapsackLayout};
+pub use knapsack::{
+    knapsack, knapsack_native, knapsack_random, knapsack_random_with, KnapsackEncoding,
+    KnapsackLayout,
+};
 pub use kpp::{kpp, kpp_random, KppLayout};
+pub use mdknap::{mdknap, mdknap_random, MdKnapLayout};
 pub use suite::{
     domain_of, instance, instances, scale_label, BenchmarkCase, BenchmarkSuite, Domain,
-    ALL_CLASSES, EXTENDED_CLASSES, SMALL_CLASSES,
+    ALL_CLASSES, EXTENDED_CLASSES, NATIVE_CLASSES, SMALL_CLASSES,
 };

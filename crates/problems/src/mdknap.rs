@@ -1,0 +1,243 @@
+//! Multi-dimensional knapsack (MDKNAP), native-inequality encoding.
+//!
+//! Select items maximizing value subject to *several* simultaneous
+//! capacity budgets — one per resource dimension:
+//!
+//! ```text
+//! max  Σ_i value_i · x_i
+//! s.t. Σ_i weight_{d,i} · x_i ≤ W_d     ∀ dimension d
+//! ```
+//!
+//! Every capacity row stays a first-class `≤` constraint over the item
+//! variables only; no slack variable appears in the problem. The
+//! commute-driver layer synthesizes one bounded slack register *per
+//! dimension* internally and keeps the evolution on the intersection of
+//! all budget manifolds — the first workload in the suite whose driver
+//! couples several slack registers at once, so a single driver term can
+//! shift two registers by different amounts.
+
+use choco_mathkit::SplitMix64;
+use choco_model::{Problem, ProblemError};
+
+/// Variable layout of a generated multi-dimensional knapsack instance:
+/// one binary variable per item, `x_i` at index `i`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MdKnapLayout {
+    /// `weights[d][i]` is item `i`'s weight in dimension `d`.
+    pub weights: Vec<Vec<u64>>,
+    /// Per-dimension capacity `W_d`.
+    pub capacities: Vec<u64>,
+}
+
+impl MdKnapLayout {
+    /// Number of items (binary variables).
+    pub fn n_items(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Number of resource dimensions (capacity rows).
+    pub fn n_dims(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total selected weight in dimension `d` under `bits` (test oracle).
+    pub fn weight_of(&self, bits: u64, d: usize) -> u64 {
+        self.weights[d]
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| (bits >> i) & 1 == 1)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// `true` when `bits` respects every budget (test oracle).
+    pub fn fits(&self, bits: u64) -> bool {
+        (0..self.n_dims()).all(|d| self.weight_of(bits, d) <= self.capacities[d])
+    }
+}
+
+/// Generates a multi-dimensional knapsack instance from explicit data.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics on empty items/dimensions, zero weights or capacities, or
+/// ragged weight rows.
+pub fn mdknap(
+    weights: &[Vec<u64>],
+    values: &[f64],
+    capacities: &[u64],
+    seed: u64,
+) -> Result<Problem, ProblemError> {
+    assert!(!weights.is_empty(), "no dimensions");
+    assert_eq!(
+        weights.len(),
+        capacities.len(),
+        "weights/capacities mismatch"
+    );
+    let n_items = values.len();
+    assert!(n_items > 0, "no items");
+    for row in weights {
+        assert_eq!(row.len(), n_items, "ragged weight row");
+        assert!(row.iter().all(|&w| w > 0), "zero-weight item");
+    }
+    assert!(capacities.iter().all(|&c| c > 0), "zero capacity");
+    let caps = capacities
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join("/");
+    let mut b = Problem::builder(n_items)
+        .maximize()
+        .name(format!("MDKNAP {n_items}I-{caps}W seed={seed}"));
+    for (i, &v) in values.iter().enumerate() {
+        b = b.linear(i, v);
+    }
+    for (row, &cap) in weights.iter().zip(capacities) {
+        b = b.less_equal(
+            row.iter().enumerate().map(|(i, &w)| (i, w as i64)),
+            cap as i64,
+        );
+    }
+    b.build()
+}
+
+/// Generates a random feasible multi-dimensional knapsack instance.
+///
+/// Weights are drawn uniformly from `[1, 6)` per item and dimension;
+/// values follow the single-dimension generator's shape (dimension-0
+/// weight plus uniform noise, rounded). Each capacity is set to roughly
+/// half the dimension's total weight (at least the dimension's heaviest
+/// item), so the empty selection is always feasible and the budget binds.
+///
+/// # Errors
+///
+/// Propagates [`ProblemError`] on oversized instances.
+///
+/// # Panics
+///
+/// Panics when `n_items == 0` or `n_dims == 0`.
+pub fn mdknap_random(n_items: usize, n_dims: usize, seed: u64) -> Result<Problem, ProblemError> {
+    assert!(n_items >= 1 && n_dims >= 1, "degenerate mdknap shape");
+    let mut rng = SplitMix64::new(seed ^ 0x3D_71_A9);
+    let weights: Vec<Vec<u64>> = (0..n_dims)
+        .map(|_| (0..n_items).map(|_| rng.gen_range(1, 6)).collect())
+        .collect();
+    let values: Vec<f64> = weights[0]
+        .iter()
+        .map(|&w| (w as f64 + rng.gen_range_f64(1.0, 6.0)).round())
+        .collect();
+    let capacities: Vec<u64> = weights
+        .iter()
+        .map(|row| {
+            let total: u64 = row.iter().sum();
+            let heaviest = *row.iter().max().expect("non-empty row");
+            (total / 2).max(heaviest)
+        })
+        .collect();
+    mdknap(&weights, &values, &capacities, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choco_model::solve_exact;
+
+    fn regen_layout(n_items: usize, n_dims: usize, seed: u64) -> MdKnapLayout {
+        let mut rng = SplitMix64::new(seed ^ 0x3D_71_A9);
+        let weights: Vec<Vec<u64>> = (0..n_dims)
+            .map(|_| (0..n_items).map(|_| rng.gen_range(1, 6)).collect())
+            .collect();
+        let capacities = weights
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                (total / 2).max(*row.iter().max().unwrap())
+            })
+            .collect();
+        MdKnapLayout {
+            weights,
+            capacities,
+        }
+    }
+
+    #[test]
+    fn explicit_instance_matches_shape() {
+        let p = mdknap(
+            &[vec![2, 3, 4], vec![1, 4, 2]],
+            &[3.0, 5.0, 7.0],
+            &[6, 5],
+            1,
+        )
+        .unwrap();
+        assert_eq!(p.n_vars(), 3);
+        assert!(p.constraints().eqs().is_empty());
+        assert_eq!(p.constraints().ineqs().len(), 2);
+        // {x0, x2}: dim0 weight 6 ≤ 6, dim1 weight 3 ≤ 5 → feasible, value 10.
+        // {x1, x2}: dim0 weight 7 > 6 → infeasible.
+        let opt = solve_exact(&p).unwrap();
+        assert_eq!(opt.value, 10.0);
+        assert_eq!(opt.solutions, vec![0b101]);
+    }
+
+    #[test]
+    fn exact_optimum_respects_every_budget() {
+        for seed in 0..6 {
+            let p = mdknap_random(5, 2, seed).unwrap();
+            let l = regen_layout(5, 2, seed);
+            let opt = solve_exact(&p).unwrap();
+            for &sol in &opt.solutions {
+                assert!(l.fits(sol), "seed {seed} sol {sol:b}");
+            }
+            // A second budget can only shrink the feasible set.
+            let single = knapsack_equivalent(&l, seed);
+            let opt1 = solve_exact(&single).unwrap();
+            assert!(opt.value <= opt1.value, "seed {seed}");
+        }
+    }
+
+    /// The same items constrained by dimension 0 only.
+    fn knapsack_equivalent(l: &MdKnapLayout, seed: u64) -> Problem {
+        let values: Vec<f64> = {
+            let mut rng = SplitMix64::new(seed ^ 0x3D_71_A9);
+            for _ in 0..l.n_dims() * l.n_items() {
+                rng.gen_range(1, 6);
+            }
+            l.weights[0]
+                .iter()
+                .map(|&w| (w as f64 + rng.gen_range_f64(1.0, 6.0)).round())
+                .collect()
+        };
+        mdknap(&[l.weights[0].clone()], &values, &[l.capacities[0]], seed).unwrap()
+    }
+
+    #[test]
+    fn empty_selection_is_always_feasible() {
+        for seed in 0..12 {
+            let p = mdknap_random(6, 2, seed).unwrap();
+            assert!(p.is_feasible(0), "seed {seed}");
+            assert!(p.first_feasible().is_some(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn feasibility_oracle_agrees_with_layout() {
+        let p = mdknap_random(5, 2, 7).unwrap();
+        let l = regen_layout(5, 2, 7);
+        for bits in 0u64..(1 << 5) {
+            assert_eq!(p.is_feasible(bits), l.fits(bits), "bits {bits:b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = mdknap_random(5, 2, 4).unwrap();
+        let b = mdknap_random(5, 2, 4).unwrap();
+        let c = mdknap_random(5, 2, 5).unwrap();
+        assert_eq!(format!("{a}"), format!("{b}"));
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+}

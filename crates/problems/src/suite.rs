@@ -7,11 +7,13 @@
 //! see DESIGN.md §6). Use [`BenchmarkSuite::standard`] for single
 //! representatives and [`instances`] for per-class samples.
 
+use crate::assigncap::assigncap_random;
 use crate::cover::cover_random;
 use crate::flp::flp;
 use crate::gcp::gcp_random;
-use crate::knapsack::knapsack_random;
+use crate::knapsack::{knapsack_random, knapsack_random_with, KnapsackEncoding};
 use crate::kpp::kpp_random;
+use crate::mdknap::mdknap_random;
 use choco_model::Problem;
 
 /// Which application domain a case belongs to.
@@ -27,6 +29,10 @@ pub enum Domain {
     Cover,
     /// Bounded knapsack with an equality budget (extended suite).
     Knapsack,
+    /// Multi-dimensional knapsack with native `≤` rows (native suite).
+    MdKnapsack,
+    /// Assignment with agent capacities — mixed `=`/`≤` rows (native suite).
+    AssignCap,
 }
 
 impl Domain {
@@ -38,6 +44,8 @@ impl Domain {
             Domain::Kpp => "KPP",
             Domain::Cover => "COVER",
             Domain::Knapsack => "KNAP",
+            Domain::MdKnapsack => "MDKNAP",
+            Domain::AssignCap => "ASSIGN",
         }
     }
 }
@@ -88,6 +96,18 @@ pub fn instance(id: &str, seed: u64) -> Problem {
         "B2" => knapsack_random(6, 8, seed).expect("B2"),
         "B3" => knapsack_random(8, 10, seed).expect("B3"),
         "B4" => knapsack_random(10, 12, seed).expect("B4"),
+        // Native-encoding knapsack: the same seeded items as B1–B4 with the
+        // budget as a first-class ≤ row (vars = I; slack lives in the driver).
+        "B1n" => knapsack_random_with(4, 6, seed, KnapsackEncoding::Native).expect("B1n"),
+        "B2n" => knapsack_random_with(6, 8, seed, KnapsackEncoding::Native).expect("B2n"),
+        "B3n" => knapsack_random_with(8, 10, seed, KnapsackEncoding::Native).expect("B3n"),
+        "B4n" => knapsack_random_with(10, 12, seed, KnapsackEncoding::Native).expect("B4n"),
+        // Multi-dimensional knapsack: items × dimensions (vars = I).
+        "M1" => mdknap_random(4, 2, seed).expect("M1"),
+        "M2" => mdknap_random(6, 2, seed).expect("M2"),
+        // Assignment with capacities: agents × tasks (vars = A·T).
+        "A1" => assigncap_random(2, 2, seed).expect("A1"),
+        "A2" => assigncap_random(2, 3, seed).expect("A2"),
         other => panic!("unknown benchmark class `{other}`"),
     }
 }
@@ -115,6 +135,14 @@ pub fn scale_label(id: &str) -> &'static str {
         "B2" => "6I-8W",
         "B3" => "8I-10W",
         "B4" => "10I-12W",
+        "B1n" => "4I-6W-nat",
+        "B2n" => "6I-8W-nat",
+        "B3n" => "8I-10W-nat",
+        "B4n" => "10I-12W-nat",
+        "M1" => "4I-2D",
+        "M2" => "6I-2D",
+        "A1" => "2A-2T",
+        "A2" => "2A-3T",
         other => panic!("unknown benchmark class `{other}`"),
     }
 }
@@ -127,6 +155,8 @@ pub fn domain_of(id: &str) -> Domain {
         b'K' => Domain::Kpp,
         b'X' => Domain::Cover,
         b'B' => Domain::Knapsack,
+        b'M' => Domain::MdKnapsack,
+        b'A' => Domain::AssignCap,
         _ => panic!("unknown benchmark class `{id}`"),
     }
 }
@@ -148,6 +178,12 @@ pub const EXTENDED_CLASSES: [&str; 20] = [
     "B1", "B2", "B3", "B4",
 ];
 
+/// The native-inequality classes: knapsack re-encoded with first-class
+/// `≤` budget rows (B1n–B4n), multi-dimensional knapsack (M1–M2), and
+/// assignment with agent capacities (A1–A2). Slack synthesis for all of
+/// these happens inside the driver layer, not in the problem definition.
+pub const NATIVE_CLASSES: [&str; 8] = ["B1n", "B2n", "B3n", "B4n", "M1", "M2", "A1", "A2"];
+
 /// The small classes used for hardware-style (noisy) experiments.
 pub const SMALL_CLASSES: [&str; 3] = ["F1", "G1", "K1"];
 
@@ -166,6 +202,12 @@ impl BenchmarkSuite {
     /// One representative per class (seed 1), all 20 extended classes.
     pub fn extended() -> Self {
         Self::from_ids(&EXTENDED_CLASSES, 1)
+    }
+
+    /// One representative per class (seed 1), all 8 native-inequality
+    /// classes.
+    pub fn native() -> Self {
+        Self::from_ids(&NATIVE_CLASSES, 1)
     }
 
     /// The small suite (F1, G1, K1) used on noisy devices.
@@ -322,6 +364,52 @@ mod tests {
                 case.id,
                 case.problem.n_vars()
             );
+        }
+    }
+
+    #[test]
+    fn native_suite_is_feasible_and_inequality_constrained() {
+        let suite = BenchmarkSuite::native();
+        assert_eq!(suite.len(), 8);
+        for case in suite.iter() {
+            assert!(
+                case.problem.first_feasible().is_some(),
+                "{} infeasible",
+                case.id
+            );
+            assert!(
+                case.problem.has_inequalities(),
+                "{} has no native ≤ row",
+                case.id
+            );
+            assert!(
+                case.problem.n_vars() <= 24,
+                "{} too large: {} vars",
+                case.id,
+                case.problem.n_vars()
+            );
+        }
+        assert_eq!(domain_of("B2n"), Domain::Knapsack);
+        assert_eq!(domain_of("M1"), Domain::MdKnapsack);
+        assert_eq!(domain_of("A2"), Domain::AssignCap);
+        assert_eq!(Domain::MdKnapsack.label(), "MDKNAP");
+        assert_eq!(Domain::AssignCap.label(), "ASSIGN");
+        assert_eq!(scale_label("B1n"), "4I-6W-nat");
+    }
+
+    #[test]
+    fn native_knapsack_classes_share_items_with_slack_anchors() {
+        // B{k}n draws the identical generator stream as B{k}: fewer
+        // problem variables, same item weights in the budget row.
+        for (nat, anchor) in [("B1n", "B1"), ("B2n", "B2")] {
+            let n = instance(nat, 3);
+            let a = instance(anchor, 3);
+            assert!(n.n_vars() < a.n_vars(), "{nat} vs {anchor}");
+            let row = &n.constraints().ineqs()[0];
+            let eq = &a.constraints().eqs()[0];
+            for &(v, c) in &row.terms {
+                assert_eq!(eq.terms[v], (v, c), "{nat} item {v}");
+            }
         }
     }
 

@@ -5,7 +5,7 @@
 //! paper's "circuit depth" metric), gate counting, composition, and exact
 //! inversion.
 
-use crate::gate::{Gate, UBlock};
+use crate::gate::{Gate, ShiftBlock, UBlock};
 use crate::phasepoly::PhasePoly;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -226,6 +226,11 @@ impl Circuit {
     /// Appends a commute-Hamiltonian block `e^{-iθHc(u)}`.
     pub fn ublock(&mut self, block: UBlock) -> &mut Self {
         self.push(Gate::UBlock(block))
+    }
+
+    /// Appends a generalized commute block with slack-register shifts.
+    pub fn shift_block(&mut self, block: ShiftBlock) -> &mut Self {
+        self.push(Gate::ShiftBlock(block))
     }
 
     /// Appends an XY-mixer pair term.

@@ -44,6 +44,21 @@ fn symbols(gate: &Gate) -> Vec<(usize, String)> {
                 (q, if bit == 1 { "◆".into() } else { "◇".into() })
             })
             .collect(),
+        Gate::ShiftBlock(b) => {
+            let mut v: Vec<(usize, String)> = b
+                .support
+                .iter()
+                .enumerate()
+                .map(|(k, &q)| {
+                    let bit = (b.pattern >> k) & 1;
+                    (q, if bit == 1 { "◆".into() } else { "◇".into() })
+                })
+                .collect();
+            for s in &b.shifts {
+                v.extend(s.qubits.iter().map(|&q| (q, "Δ".into())));
+            }
+            v
+        }
         Gate::XyMix(a, b, _) => vec![(*a, "Y".into()), (*b, "Y".into())],
         Gate::DiagPhase(..) => gate.qubits().into_iter().map(|q| (q, "Φ".into())).collect(),
         g1q => {

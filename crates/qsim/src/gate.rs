@@ -84,6 +84,141 @@ impl UBlock {
     }
 }
 
+/// A bounded slack-register shift rider on a [`ShiftBlock`].
+///
+/// The register value is read little-endian over `qubits` (`bit k` ↔
+/// `qubits[k]`). Crossing the block's coupling in the forward direction adds
+/// `delta` to the value; states whose register reads above `max_value`
+/// (binary-padding states) or whose shifted value would leave `[0, max_value]`
+/// are not coupled at all.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegisterShift {
+    /// Register qubits, strictly increasing, little-endian value order.
+    pub qubits: Vec<usize>,
+    /// Signed value shift applied on the forward coupling.
+    pub delta: i64,
+    /// Largest admissible register value (inclusive).
+    pub max_value: u64,
+}
+
+impl RegisterShift {
+    /// Bitmask over the register qubits.
+    pub fn mask(&self) -> u64 {
+        self.qubits.iter().fold(0u64, |m, &q| m | (1u64 << q))
+    }
+
+    /// Reads the register value out of a basis-state index.
+    pub fn read(&self, bits: u64) -> u64 {
+        let mut v = 0u64;
+        for (k, &q) in self.qubits.iter().enumerate() {
+            v |= ((bits >> q) & 1) << k;
+        }
+        v
+    }
+
+    /// Writes `value` into the register bits of `bits`.
+    pub fn write(&self, bits: u64, value: u64) -> u64 {
+        let mut out = bits & !self.mask();
+        for (k, &q) in self.qubits.iter().enumerate() {
+            out |= ((value >> k) & 1) << q;
+        }
+        out
+    }
+}
+
+/// A generalized commute-Hamiltonian block: the [`UBlock`] pattern coupling
+/// `|v⟩ ↔ |v̄⟩` on `support`, extended with bounded slack-register shifts.
+///
+/// The coupled pair is `|v, r⟩ ↔ |v̄, r+δ⟩` per attached [`RegisterShift`];
+/// states where any register would leave `[0, max_value]` (in either
+/// direction) are left untouched, which keeps the evolution confined to the
+/// encoded feasible subspace. With `shifts` empty this is exactly a
+/// [`UBlock`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShiftBlock {
+    /// Qubits in the support of `u` (strictly increasing, non-empty).
+    pub support: Vec<usize>,
+    /// Pattern bits of `v` packed little-endian over `support`.
+    pub pattern: u64,
+    /// Slack-register shifts riding on the coupling (register qubits must be
+    /// disjoint from `support` and from each other).
+    pub shifts: Vec<RegisterShift>,
+    /// Rotation angle θ.
+    pub angle: f64,
+}
+
+impl ShiftBlock {
+    /// Bitmask over the support qubits.
+    pub fn full_mask(&self) -> u64 {
+        self.support.iter().fold(0u64, |m, &q| m | (1u64 << q))
+    }
+
+    /// The pattern `v` spread onto absolute qubit positions.
+    pub fn pattern_abs(&self) -> u64 {
+        let mut v = 0u64;
+        for (k, &q) in self.support.iter().enumerate() {
+            v |= ((self.pattern >> k) & 1) << q;
+        }
+        v
+    }
+
+    /// Support plus register qubits (the block's full footprint).
+    pub fn arity(&self) -> usize {
+        self.support.len() + self.shifts.iter().map(|s| s.qubits.len()).sum::<usize>()
+    }
+
+    /// Maps a *source* basis index (support bits equal to `v`) to its coupled
+    /// partner, or `None` when any register makes the pair ineligible.
+    ///
+    /// Eligibility requires, per register with current value `r`: `r ≤
+    /// max_value` (not a padding state) and `0 ≤ r+δ ≤ max_value` (the partner
+    /// is also a valid encoded state).
+    pub fn forward(&self, i: u64) -> Option<u64> {
+        debug_assert_eq!(i & self.full_mask(), self.pattern_abs());
+        let mut j = i ^ self.full_mask();
+        for s in &self.shifts {
+            let r = s.read(i);
+            if r > s.max_value {
+                return None;
+            }
+            let t = r as i64 + s.delta;
+            if t < 0 || t as u64 > s.max_value {
+                return None;
+            }
+            j = s.write(j, t as u64);
+        }
+        Some(j)
+    }
+
+    /// Canonicalizes either endpoint of a coupled pair to its source index:
+    /// returns `Some(source)` when `bits` participates in an eligible pair
+    /// (as source or target), `None` otherwise.
+    pub fn source_of(&self, bits: u64) -> Option<u64> {
+        let full = self.full_mask();
+        let v_abs = self.pattern_abs();
+        let f = bits & full;
+        if f == v_abs {
+            self.forward(bits).map(|_| bits)
+        } else if f == v_abs ^ full {
+            let mut src = bits ^ full;
+            for s in &self.shifts {
+                let r = s.read(bits);
+                if r > s.max_value {
+                    return None;
+                }
+                let back = r as i64 - s.delta;
+                if back < 0 || back as u64 > s.max_value {
+                    return None;
+                }
+                src = s.write(src, back as u64);
+            }
+            Some(src)
+        } else {
+            None
+        }
+    }
+}
+
 /// A quantum gate (or structured operation) in the circuit IR.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Gate {
@@ -149,6 +284,9 @@ pub enum Gate {
     },
     /// Structured: `e^{-iθ·Hc(u)}` commute-Hamiltonian block.
     UBlock(UBlock),
+    /// Structured: generalized commute block with bounded slack-register
+    /// shifts, `|v,r⟩ ↔ |v̄,r+δ⟩` (the native-inequality driver term).
+    ShiftBlock(ShiftBlock),
     /// Structured: `e^{-iθ(XX+YY)}` on a pair (cyclic driver term).
     XyMix(usize, usize, f64),
     /// Structured: `e^{-iθ·f(x)}` for a diagonal pseudo-Boolean `f`.
@@ -189,6 +327,13 @@ impl Gate {
                 qs
             }
             Gate::UBlock(b) => b.support.clone(),
+            Gate::ShiftBlock(b) => {
+                let mut qs = b.support.clone();
+                for s in &b.shifts {
+                    qs.extend_from_slice(&s.qubits);
+                }
+                qs
+            }
             Gate::XyMix(a, b, _) => vec![*a, *b],
             Gate::DiagPhase(poly, _) => poly.support(),
         }
@@ -225,7 +370,7 @@ impl Gate {
     pub fn is_structured(&self) -> bool {
         matches!(
             self,
-            Gate::UBlock(_) | Gate::XyMix(..) | Gate::DiagPhase(..)
+            Gate::UBlock(_) | Gate::ShiftBlock(_) | Gate::XyMix(..) | Gate::DiagPhase(..)
         )
     }
 
@@ -275,6 +420,12 @@ impl Gate {
                 pattern: b.pattern,
                 angle: -b.angle,
             }),
+            Gate::ShiftBlock(b) => Gate::ShiftBlock(ShiftBlock {
+                support: b.support.clone(),
+                pattern: b.pattern,
+                shifts: b.shifts.clone(),
+                angle: -b.angle,
+            }),
             Gate::XyMix(a, b, t) => Gate::XyMix(*a, *b, -t),
             Gate::DiagPhase(poly, t) => Gate::DiagPhase(poly.clone(), -t),
         }
@@ -304,6 +455,7 @@ impl Gate {
             Gate::McPhase { .. } => "mcp",
             Gate::ControlledU { .. } => "cu",
             Gate::UBlock(_) => "ublock",
+            Gate::ShiftBlock(_) => "shiftblock",
             Gate::XyMix(..) => "xy",
             Gate::DiagPhase(..) => "diag",
         }
@@ -390,6 +542,17 @@ impl fmt::Display for Gate {
                 "ublock({:.4}) support={:?} v={:#b}",
                 b.angle, b.support, b.pattern
             ),
+            Gate::ShiftBlock(b) => {
+                write!(
+                    f,
+                    "shiftblock({:.4}) support={:?} v={:#b}",
+                    b.angle, b.support, b.pattern
+                )?;
+                for s in &b.shifts {
+                    write!(f, " reg{:?}{:+}<={}", s.qubits, s.delta, s.max_value)?;
+                }
+                Ok(())
+            }
             Gate::XyMix(a, b, t) => write!(f, "xy({t:.4}) q{a},q{b}"),
             Gate::DiagPhase(_, t) => write!(f, "diag({t:.4})"),
             other => write!(f, "{} q{}", other.name(), other.qubits()[0]),
@@ -495,6 +658,61 @@ mod tests {
             Gate::McPhase { angle, .. } => assert_eq!(angle, -0.8),
             other => panic!("unexpected inverse {other}"),
         }
+    }
+
+    #[test]
+    fn shiftblock_forward_and_source_of() {
+        // Support {0,1}, pattern v = |11⟩; 2-bit register on {2,3} with
+        // delta = +1 and max_value = 2 (values 0..=2 valid, 3 is padding).
+        let b = ShiftBlock {
+            support: vec![0, 1],
+            pattern: 0b11,
+            shifts: vec![RegisterShift {
+                qubits: vec![2, 3],
+                delta: 1,
+                max_value: 2,
+            }],
+            angle: 0.3,
+        };
+        // Source |v=11, r=0⟩ = 0b0011 couples to |v̄=00, r=1⟩ = 0b0100.
+        assert_eq!(b.forward(0b0011), Some(0b0100));
+        assert_eq!(b.source_of(0b0011), Some(0b0011));
+        assert_eq!(b.source_of(0b0100), Some(0b0011));
+        // r = 2 would shift to 3 > max_value: ineligible.
+        assert_eq!(b.forward(0b1011), None);
+        assert_eq!(b.source_of(0b1011), None);
+        // Padding state r = 3: ineligible from either side.
+        assert_eq!(b.forward(0b1111), None);
+        assert_eq!(b.source_of(0b1100), None);
+        // Support bits neither v nor v̄: not part of any pair.
+        assert_eq!(b.source_of(0b0001), None);
+    }
+
+    #[test]
+    fn shiftblock_inverse_negates_angle() {
+        let b = ShiftBlock {
+            support: vec![0],
+            pattern: 0b1,
+            shifts: vec![],
+            angle: 0.8,
+        };
+        match Gate::ShiftBlock(b).inverse() {
+            Gate::ShiftBlock(inv) => assert_eq!(inv.angle, -0.8),
+            other => panic!("unexpected inverse {other}"),
+        }
+    }
+
+    #[test]
+    fn register_shift_read_write_roundtrip() {
+        let s = RegisterShift {
+            qubits: vec![1, 3, 4],
+            delta: -2,
+            max_value: 7,
+        };
+        assert_eq!(s.mask(), 0b11010);
+        let bits = s.write(0b00101, 0b110);
+        assert_eq!(s.read(bits), 0b110);
+        assert_eq!(bits & !s.mask(), 0b00101 & !s.mask());
     }
 
     #[test]

@@ -203,6 +203,62 @@ pub(crate) fn pair_map<Op>(
     });
 }
 
+/// Gated variant of [`pair_map`] for the generalized commute couplings:
+/// enumerates every *source* index `i` with `i & fixed_mask == fixed_value`
+/// and applies `op` to the pair `(i, partner(i))` — skipping indices where
+/// `partner` returns `None` (register-ineligible states stay untouched).
+///
+/// Disjointness (threading safety): the caller must guarantee that
+/// `partner(i) & fixed_mask != fixed_value` for every source (the partner
+/// leaves the source subspace, so it never collides with another worker's
+/// source) and that `partner` is injective over the sources (so no two pairs
+/// share a target). [`crate::gate::ShiftBlock::forward`] satisfies both: the
+/// partner carries the complement support pattern, and the register shift is
+/// a fixed translation.
+pub(crate) fn gated_pair_map<P, Op>(
+    amps: &mut [Complex64],
+    config: &SimConfig,
+    fixed_mask: u64,
+    fixed_value: u64,
+    partner: P,
+    op: Op,
+) where
+    P: Fn(u64) -> Option<u64> + Sync,
+    Op: Fn(Complex64, Complex64) -> (Complex64, Complex64) + Sync,
+{
+    assert_ne!(fixed_mask, 0, "gated pair kernel needs support bits");
+    let (count, fixed_ext) = check_subspace(amps.len(), fixed_mask, fixed_value);
+    let dim = amps.len() as u64;
+    let ptr = AmpPtr(amps.as_mut_ptr());
+    dispatch(config, count, |range| {
+        let base = ptr.get();
+        let start_free = expand_index(range.start as u64, fixed_ext);
+        for_each_index(start_free, range.len(), fixed_ext, fixed_value, |i| {
+            let Some(j) = partner(i as u64) else {
+                return;
+            };
+            debug_assert!(j < dim, "partner index outside the register");
+            debug_assert_ne!(
+                j & fixed_mask,
+                fixed_value,
+                "partner must leave the source subspace"
+            );
+            let j = j as usize;
+            // SAFETY: `i`, `j` < dim; sources are partitioned across
+            // workers, and the caller guarantees partners leave the source
+            // subspace and are injective, so every touched index belongs
+            // to at most one pair.
+            unsafe {
+                let pa = base.add(i);
+                let pb = base.add(j);
+                let (a, b) = op(*pa, *pb);
+                *pa = a;
+                *pb = b;
+            }
+        });
+    });
+}
+
 /// Applies `op(amp, value)` element-wise over the full array, in parallel
 /// chunks (safe `split_at_mut` slicing — no raw pointers needed).
 pub(crate) fn zip_map_values<Op>(amps: &mut [Complex64], config: &SimConfig, values: &[f64], op: Op)
@@ -319,6 +375,31 @@ mod tests {
             for i in (0..16).step_by(2) {
                 assert_eq!(amps[i].re, (i + 1) as f64);
                 assert_eq!(amps[i + 1].re, i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn gated_pair_map_skips_ineligible_sources() {
+        for threads in [1, 3] {
+            let mut amps: Vec<Complex64> = (0..16).map(|i| c64(i as f64, 0.0)).collect();
+            // Swap |x0⟩ ↔ |x1⟩ on bit 0, but only when bit 3 is clear.
+            gated_pair_map(
+                &mut amps,
+                &test_config(threads),
+                0b1,
+                0b0,
+                |i| (i & 0b1000 == 0).then_some(i ^ 0b1),
+                |a, b| (b, a),
+            );
+            for i in (0..16).step_by(2) {
+                if i & 0b1000 == 0 {
+                    assert_eq!(amps[i].re, (i + 1) as f64, "threads={threads}");
+                    assert_eq!(amps[i + 1].re, i as f64);
+                } else {
+                    assert_eq!(amps[i].re, i as f64, "threads={threads}");
+                    assert_eq!(amps[i + 1].re, (i + 1) as f64);
+                }
             }
         }
     }

@@ -61,7 +61,7 @@ pub use compact::CompactStateVector;
 pub use counts::Counts;
 pub use draw::draw;
 pub use engine::{SimEngine, MAX_DENSIFY_QUBITS};
-pub use gate::{Gate, UBlock};
+pub use gate::{Gate, RegisterShift, ShiftBlock, UBlock};
 pub use noise::NoiseModel;
 pub use phasepoly::PhasePoly;
 pub use simconfig::{EngineKind, SimConfig, DEFAULT_DENSITY_THRESHOLD, DEFAULT_PARALLEL_THRESHOLD};

@@ -14,7 +14,7 @@
 //! Production code paths must use [`crate::StateVector`].
 
 use crate::circuit::Circuit;
-use crate::gate::{Gate, UBlock};
+use crate::gate::{Gate, ShiftBlock, UBlock};
 use crate::phasepoly::PhasePoly;
 use crate::state::StateVector;
 use choco_mathkit::Complex64;
@@ -98,6 +98,7 @@ impl ScalarStateVector {
                 self.apply_controlled_1q(mask, *matrix, *target);
             }
             Gate::UBlock(b) => self.apply_ublock(b),
+            Gate::ShiftBlock(b) => self.apply_shift_block(b),
             Gate::XyMix(a, b, theta) => {
                 let full = (1u64 << a) | (1u64 << b);
                 self.apply_block_masks(full, 1u64 << a, 2.0 * theta);
@@ -192,6 +193,32 @@ impl ScalarStateVector {
             if i & full_mask == v_mask {
                 let j = (i ^ full_mask) as usize;
                 let i = i as usize;
+                let a = self.amps[i];
+                let b = self.amps[j];
+                self.amps[i] = cos * a + nisin * b;
+                self.amps[j] = nisin * a + cos * b;
+            }
+        }
+    }
+
+    /// Generalized commute block with slack-register shifts, via full scan:
+    /// every eligible source index rotates with its shifted partner,
+    /// ineligible indices are identity.
+    pub fn apply_shift_block(&mut self, block: &ShiftBlock) {
+        if block.shifts.is_empty() {
+            self.apply_block_masks(block.full_mask(), block.pattern_abs(), block.angle);
+            return;
+        }
+        let full_mask = block.full_mask();
+        let v_mask = block.pattern_abs();
+        let cos = Complex64::from_re(block.angle.cos());
+        let nisin = Complex64::new(0.0, -block.angle.sin());
+        for i in 0..self.amps.len() as u64 {
+            if i & full_mask == v_mask {
+                let Some(j) = block.forward(i) else {
+                    continue;
+                };
+                let (i, j) = (i as usize, j as usize);
                 let a = self.amps[i];
                 let b = self.amps[j];
                 self.amps[i] = cos * a + nisin * b;

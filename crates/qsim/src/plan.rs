@@ -70,6 +70,11 @@ enum ShapeAtom {
     /// A controlled unitary with its matrix frozen into the shape (these
     /// come from synthesis, not from the optimizer).
     CtrlU(u64, u64, [u64; 8]),
+    /// A generalized commute block: `(support_mask, v_mask)` plus the
+    /// frozen register shifts `(register_mask, delta, max_value)` — the
+    /// pairing structure depends on all of them (register qubits are
+    /// strictly increasing, so the mask determines the value order).
+    Shift(u64, u64, Vec<(u64, i64, u64)>),
 }
 
 /// The angle-erased structure of a circuit (see [`ShapeAtom`]).
@@ -105,6 +110,7 @@ fn gate_tag(gate: &Gate) -> u8 {
         Gate::UBlock(_) => 20,
         Gate::XyMix(..) => 21,
         Gate::DiagPhase(..) => 22,
+        Gate::ShiftBlock(_) => 23,
     }
 }
 
@@ -139,6 +145,14 @@ fn shape_atom(gate: &Gate) -> ShapeAtom {
             }
             ShapeAtom::Masks(tag, full, v, 0)
         }
+        Gate::ShiftBlock(b) => ShapeAtom::Shift(
+            b.full_mask(),
+            b.pattern_abs(),
+            b.shifts
+                .iter()
+                .map(|s| (s.mask(), s.delta, s.max_value))
+                .collect(),
+        ),
         Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Cp(a, b, _) | Gate::Swap(a, b) => {
             ShapeAtom::Masks(tag, 1u64 << a, 1u64 << b, 0)
         }
@@ -164,6 +178,9 @@ fn atom_matches(atom: &ShapeAtom, gate: &Gate) -> bool {
             }
             (ShapeAtom::CtrlU(c0, t0, m0), ShapeAtom::CtrlU(c1, t1, m1)) => {
                 (*c0, *t0, *m0) == (c1, t1, m1)
+            }
+            (ShapeAtom::Shift(f0, v0, s0), ShapeAtom::Shift(f1, v1, s1)) => {
+                (*f0, *v0) == (f1, v1) && *s0 == s1
             }
             _ => false,
         },
@@ -215,6 +232,10 @@ enum StepSpec {
     DiagPair { controls: u64, target: u64 },
     /// A pair kernel: `(i, i ^ xor)` for `i & fixed == value`.
     Pairs { fixed: u64, value: u64, xor: u64 },
+    /// A register-gated pair kernel (generalized commute block): the
+    /// partner map comes from the gate's [`crate::gate::ShiftBlock`] at
+    /// compile time.
+    GatedPairs,
     /// A diagonal polynomial evolution.
     DiagPoly,
 }
@@ -309,6 +330,24 @@ fn step_spec(gate: &Gate) -> StepSpec {
                     value: v,
                     xor: full,
                 }
+            }
+        }
+        Gate::ShiftBlock(b) => {
+            if b.shifts.is_empty() {
+                // No registers: exactly the UBlock pair step (or the
+                // empty-support global phase).
+                if b.support.is_empty() {
+                    StepSpec::Phase { mask: 0, value: 0 }
+                } else {
+                    let full = b.full_mask();
+                    StepSpec::Pairs {
+                        fixed: full,
+                        value: b.pattern_abs(),
+                        xor: full,
+                    }
+                }
+            } else {
+                StepSpec::GatedPairs
             }
         }
         Gate::XyMix(a, b, _) => {
@@ -442,6 +481,39 @@ impl GatePlan {
                     let pairs: Vec<[u64; 2]> = canon.iter().map(|&i| [i, i ^ xor]).collect();
                     // Support growth: both members of every pair become
                     // structurally occupied.
+                    let mut grown: Vec<u64> =
+                        pairs.iter().flat_map(|p| p.iter().copied()).collect();
+                    grown.sort_unstable();
+                    support = merge_sorted(&support, &grown);
+                    if support.len() > max_support {
+                        return Err(PlanError::TooDense {
+                            support: support.len(),
+                        });
+                    }
+                    BitsStep::Pairs(pairs)
+                }
+                StepSpec::GatedPairs => {
+                    let Gate::ShiftBlock(b) = gate else {
+                        unreachable!("GatedPairs spec only from ShiftBlock");
+                    };
+                    assert!(
+                        !b.support.is_empty(),
+                        "register-gated block needs support bits"
+                    );
+                    // Same canonicalization as the sparse engine's
+                    // apply_shift_block: every eligible touched entry maps
+                    // to its pair's source index; sort+dedup yields each
+                    // pair once.
+                    let mut canon: Vec<u64> = support
+                        .iter()
+                        .filter_map(|&bits| b.source_of(bits))
+                        .collect();
+                    canon.sort_unstable();
+                    canon.dedup();
+                    let pairs: Vec<[u64; 2]> = canon
+                        .iter()
+                        .map(|&i| [i, b.forward(i).expect("canonical source is eligible")])
+                        .collect();
                     let mut grown: Vec<u64> =
                         pairs.iter().flat_map(|p| p.iter().copied()).collect();
                     grown.sort_unstable();
@@ -714,6 +786,7 @@ fn phase_factor(gate: &Gate) -> Complex64 {
         Gate::McPhase { angle, .. } => Complex64::cis(*angle),
         // Empty-support commute block: the global phase e^{-iθ}.
         Gate::UBlock(b) => Complex64::cis(-b.angle),
+        Gate::ShiftBlock(b) => Complex64::cis(-b.angle),
         other => panic!("gate {other} is not a phase step"),
     }
 }
@@ -781,9 +854,10 @@ fn apply_pairs(amps: &mut [Complex64], pairs: &[[u32; 2]], gate: &Gate, config: 
             pair_loop(amps, pairs, config, |a, b| (b, a));
         }
         // Commute-block rotation (XY-mixer = doubled angle).
-        Gate::UBlock(_) | Gate::XyMix(..) => {
+        Gate::UBlock(_) | Gate::ShiftBlock(_) | Gate::XyMix(..) => {
             let theta = match gate {
                 Gate::UBlock(b) => b.angle,
+                Gate::ShiftBlock(b) => b.angle,
                 Gate::XyMix(_, _, t) => 2.0 * t,
                 _ => unreachable!(),
             };
@@ -915,9 +989,10 @@ impl LaneKernel {
     fn of(gate: &Gate) -> LaneKernel {
         match gate {
             Gate::Cx(..) | Gate::Ccx(..) | Gate::Mcx { .. } | Gate::Swap(..) => LaneKernel::Swap,
-            Gate::UBlock(_) | Gate::XyMix(..) => {
+            Gate::UBlock(_) | Gate::ShiftBlock(_) | Gate::XyMix(..) => {
                 let theta = match gate {
                     Gate::UBlock(b) => b.angle,
+                    Gate::ShiftBlock(b) => b.angle,
                     Gate::XyMix(_, _, t) => 2.0 * t,
                     _ => unreachable!(),
                 };

@@ -24,7 +24,7 @@
 
 use crate::circuit::Circuit;
 use crate::counts::Counts;
-use crate::gate::{Gate, UBlock};
+use crate::gate::{Gate, ShiftBlock, UBlock};
 use crate::phasepoly::PhasePoly;
 use crate::simconfig::SimConfig;
 use choco_mathkit::Complex64;
@@ -243,6 +243,7 @@ impl SparseStateVector {
                 self.apply_controlled_1q(mask, *matrix, *target);
             }
             Gate::UBlock(b) => self.apply_ublock(b),
+            Gate::ShiftBlock(b) => self.apply_shift_block(b),
             Gate::XyMix(a, b, theta) => {
                 let full = (1u64 << a) | (1u64 << b);
                 self.apply_block_masks(full, 1u64 << a, 2.0 * theta);
@@ -335,6 +336,47 @@ impl SparseStateVector {
             }
         }
         self.apply_block_masks(full_mask, v_mask, block.angle);
+    }
+
+    /// Applies a generalized commute block with slack-register shifts on the
+    /// occupied entries: the same exact pair rotation as
+    /// [`SparseStateVector::apply_ublock`], with pairs gated on register
+    /// eligibility via [`ShiftBlock::source_of`]. Ineligible occupied
+    /// entries are left untouched (identity rows of `Hc`).
+    pub fn apply_shift_block(&mut self, block: &ShiftBlock) {
+        if block.shifts.is_empty() {
+            self.apply_block_masks(block.full_mask(), block.pattern_abs(), block.angle);
+            return;
+        }
+        // Canonical source index of every eligible touched pair; both pair
+        // members canonicalize to the same source, so sort + dedup gives
+        // each pair exactly once — same scheme as `pair_map`.
+        let mut pairs: Vec<u64> = self
+            .entries
+            .iter()
+            .filter_map(|&(bits, _)| block.source_of(bits))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        if pairs.is_empty() {
+            return;
+        }
+        let (sin, cos) = block.angle.sin_cos();
+        let mut updates: Vec<(u64, Complex64)> = Vec::with_capacity(pairs.len() * 2);
+        for &i in &pairs {
+            let j = block.forward(i).expect("canonical source is eligible");
+            let (a, b) = (self.amplitude(i), self.amplitude(j));
+            updates.push((
+                i,
+                Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re),
+            ));
+            updates.push((
+                j,
+                Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re),
+            ));
+        }
+        updates.sort_unstable_by_key(|e| e.0);
+        self.merge_updates(updates);
     }
 
     fn apply_block_masks(&mut self, full_mask: u64, v_mask: u64, theta: f64) {

@@ -19,7 +19,7 @@
 
 use crate::circuit::Circuit;
 use crate::counts::Counts;
-use crate::gate::{Gate, UBlock};
+use crate::gate::{Gate, ShiftBlock, UBlock};
 use crate::kernels;
 use crate::phasepoly::PhasePoly;
 use crate::simconfig::SimConfig;
@@ -211,6 +211,7 @@ impl StateVector {
                 self.apply_controlled_1q(mask, *matrix, *target);
             }
             Gate::UBlock(b) => self.apply_ublock(b),
+            Gate::ShiftBlock(b) => self.apply_shift_block(b),
             Gate::XyMix(a, b, theta) => {
                 // XX+YY = 2(|01⟩⟨10| + |10⟩⟨01|): a UBlock with doubled angle.
                 let full = (1u64 << a) | (1u64 << b);
@@ -340,6 +341,31 @@ impl StateVector {
             }
         }
         self.apply_block_masks(full_mask, v_mask, block.angle);
+    }
+
+    /// Applies a generalized commute block `e^{-iθ·Hc}` with slack-register
+    /// shifts: the same exact pair rotation as [`StateVector::apply_ublock`]
+    /// on every eligible `|v,r⟩ ↔ |v̄,r+δ⟩` pair; register-ineligible states
+    /// (where `Hc` has a zero row) get the identity.
+    pub fn apply_shift_block(&mut self, block: &ShiftBlock) {
+        if block.shifts.is_empty() {
+            self.apply_block_masks(block.full_mask(), block.pattern_abs(), block.angle);
+            return;
+        }
+        let (sin, cos) = block.angle.sin_cos();
+        kernels::gated_pair_map(
+            &mut self.amps,
+            &self.config,
+            block.full_mask(),
+            block.pattern_abs(),
+            |i| block.forward(i),
+            move |a, b| {
+                (
+                    Complex64::new(cos * a.re + sin * b.im, cos * a.im - sin * b.re),
+                    Complex64::new(cos * b.re + sin * a.im, cos * b.im - sin * a.re),
+                )
+            },
+        );
     }
 
     /// Rotation between index patterns `v_mask` and `v_mask ^ full_mask`

@@ -21,8 +21,8 @@
 //! structured simulator path is enforced by tests.
 
 use crate::circuit::Circuit;
-use crate::gate::{Gate, UBlock};
-use choco_mathkit::Complex64;
+use crate::gate::{Gate, ShiftBlock, UBlock};
+use choco_mathkit::{c64, Complex64};
 use std::fmt;
 
 /// Which entangling gate the target device supports natively.
@@ -163,6 +163,7 @@ fn expand_one(
             matrix,
         } => emit_controlled_u(&mut out, controls, *target, *matrix, n_qubits, opts)?,
         Gate::UBlock(b) => emit_ublock(&mut out, b),
+        Gate::ShiftBlock(b) => emit_shiftblock(&mut out, b),
         Gate::XyMix(a, b, theta) => {
             // XX+YY pair term = UBlock on {|01⟩,|10⟩} with doubled angle.
             let (lo, hi) = if a < b { (*a, *b) } else { (*b, *a) };
@@ -224,6 +225,108 @@ fn emit_ublock(out: &mut Vec<Gate>, b: &UBlock) {
     });
     // --- G†: reversed inverses.
     for g in g_gates.iter().rev() {
+        out.push(g.inverse());
+    }
+}
+
+/// Generalized commute block with slack registers: one exact two-level
+/// rotation per eligible register source-value combination. The coupled
+/// `{|p⟩, |q⟩}` pairs are disjoint across combinations, so the two-level
+/// rotations commute and their sequential product equals `e^{-iθHc}`
+/// exactly (no Trotter error).
+fn emit_shiftblock(out: &mut Vec<Gate>, b: &ShiftBlock) {
+    if b.shifts.is_empty() {
+        emit_ublock(
+            out,
+            &UBlock {
+                support: b.support.clone(),
+                pattern: b.pattern,
+                angle: b.angle,
+            },
+        );
+        return;
+    }
+    let mut footprint: Vec<usize> = b.support.clone();
+    for s in &b.shifts {
+        footprint.extend_from_slice(&s.qubits);
+    }
+    footprint.sort_unstable();
+    let full = b.full_mask();
+    let v_abs = b.pattern_abs();
+    // Expand the (source, target) pattern per register value combination.
+    let mut combos: Vec<(u64, u64)> = vec![(v_abs, v_abs ^ full)];
+    for s in &b.shifts {
+        let mut next = Vec::new();
+        for &(p, q) in &combos {
+            for r in 0..=s.max_value {
+                let shifted = r as i64 + s.delta;
+                if shifted < 0 || shifted as u64 > s.max_value {
+                    continue;
+                }
+                next.push((s.write(p, r), s.write(q, shifted as u64)));
+            }
+        }
+        combos = next;
+    }
+    let (sin, cos) = b.angle.sin_cos();
+    let matrix = [
+        [c64(cos, 0.0), c64(0.0, -sin)],
+        [c64(0.0, -sin), c64(cos, 0.0)],
+    ];
+    for (p, q) in combos {
+        emit_two_level(out, &footprint, p, q, matrix);
+    }
+}
+
+/// An exact two-level unitary acting as `matrix` on `span{|p⟩, |q⟩}` over
+/// the `footprint` qubits (absolute bit patterns, `p ≠ q`) and as identity
+/// on every other footprint pattern: a CX-conjugation aligns the pair onto
+/// a single differing qubit, X-conjugation fixes zero-valued controls, and
+/// one [`Gate::ControlledU`] applies the 2×2. Requires a symmetric
+/// `matrix` (the rotation used here), since the conjugation does not track
+/// the pair's orientation.
+fn emit_two_level(
+    out: &mut Vec<Gate>,
+    footprint: &[usize],
+    p: u64,
+    q: u64,
+    matrix: [[Complex64; 2]; 2],
+) {
+    let diff = p ^ q;
+    debug_assert_ne!(diff, 0, "two-level states must differ");
+    let t = diff.trailing_zeros() as usize;
+    let p_t = (p >> t) & 1;
+    // After CX(t → d) on every other differing bit d, the images of p and
+    // q agree everywhere except on t; differing bits then carry
+    // `p_d ^ p_t`, common bits keep `p_d`.
+    let mut pre: Vec<Gate> = Vec::new();
+    for &d in footprint {
+        if d != t && (diff >> d) & 1 == 1 {
+            pre.push(Gate::Cx(t, d));
+        }
+    }
+    let mut controls: Vec<usize> = Vec::new();
+    for &d in footprint {
+        if d == t {
+            continue;
+        }
+        let val = if (diff >> d) & 1 == 1 {
+            ((p >> d) & 1) ^ p_t
+        } else {
+            (p >> d) & 1
+        };
+        if val == 0 {
+            pre.push(Gate::X(d));
+        }
+        controls.push(d);
+    }
+    out.extend(pre.iter().cloned());
+    out.push(Gate::ControlledU {
+        controls,
+        target: t,
+        matrix,
+    });
+    for g in pre.iter().rev() {
         out.push(g.inverse());
     }
 }
@@ -616,6 +719,38 @@ mod tests {
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2);
         assert_equivalent(&c, &TranspileOptions::default(), 3);
+    }
+
+    #[test]
+    fn shiftblock_lowering_equivalent() {
+        use crate::gate::{RegisterShift, ShiftBlock};
+        // 2 support qubits + a 2-bit slack register (values 0..=2), with
+        // two clean ancillas for the multi-controlled lowering.
+        let mut c = Circuit::new(6);
+        c.push(Gate::ShiftBlock(ShiftBlock {
+            support: vec![0, 1],
+            pattern: 0b01,
+            shifts: vec![RegisterShift {
+                qubits: vec![2, 3],
+                delta: 1,
+                max_value: 2,
+            }],
+            angle: 0.7,
+        }));
+        assert_equivalent(&c, &TranspileOptions::with_ancillas(vec![4, 5]), 4);
+    }
+
+    #[test]
+    fn shiftblock_without_registers_lowers_like_ublock() {
+        use crate::gate::ShiftBlock;
+        let mut c = Circuit::new(5);
+        c.push(Gate::ShiftBlock(ShiftBlock {
+            support: vec![0, 1, 2],
+            pattern: 0b010,
+            shifts: vec![],
+            angle: -0.4,
+        }));
+        assert_equivalent(&c, &TranspileOptions::with_ancillas(vec![3, 4]), 3);
     }
 
     #[test]

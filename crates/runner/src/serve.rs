@@ -727,9 +727,11 @@ fn prepare_job(
     let instances = build_instances(&pending_cells).map_err(|e| ("spec_error", e))?;
     // Size gate at admission: an instance no engine can hold is rejected
     // with the same guidance `check_size_for` gives the CLI, instead of
-    // occupying a worker just to fail.
+    // occupying a worker just to fail. Sized on the *encoded* register —
+    // native-inequality instances simulate driver-synthesized slack
+    // registers on top of their decision variables.
     for ((family, seed), instance) in &instances {
-        check_size_for(instance.problem.n_vars(), sim.engine)
+        check_size_for(admission_qubits(&instance.problem), sim.engine)
             .map_err(|e| ("too_large", format!("{family} seed={seed}: {e}")))?;
     }
     // Memory-aware admission (`--mem-budget`): every worker can end up
@@ -1382,6 +1384,16 @@ fn emit_error(shared: &Shared, id: Option<&str>, reason: &str) {
 
 // ------------------------------------------------------------- admission
 
+/// Simulated register width of one instance. For native-inequality
+/// instances the Choco-Q engines evolve the driver-encoded register
+/// (decision variables plus internally synthesized slack bits), which is
+/// wider than `n_vars()` — admission must size against that width, not
+/// the problem's. Falls back to `n_vars()` when driver synthesis itself
+/// would fail (the worker then reports the precise `DriverError`).
+fn admission_qubits(problem: &choco_model::Problem) -> usize {
+    choco_core::encoded_qubits_for(problem.constraints()).unwrap_or(problem.n_vars())
+}
+
 /// Estimated resident simulator bytes for one cell, by engine:
 /// dense (and auto, which may fall back to dense) holds the full
 /// `2^n` complex amplitudes at 16 bytes each; sparse holds one map
@@ -1394,7 +1406,7 @@ fn cell_sim_bytes(cell: &Cell, instance: &Instance, engine: EngineKind) -> u64 {
     let Ok(optimum) = &instance.optimum else {
         return 0;
     };
-    let n = instance.problem.n_vars().min(62) as u32;
+    let n = admission_qubits(&instance.problem).min(62) as u32;
     let full = 1u64 << n;
     let support = if matches!(cell.solver, SolverKind::ChocoQ) {
         (optimum.n_feasible as u64).clamp(1, full)

@@ -110,10 +110,16 @@ impl SolverKind {
 ///
 /// Two forms are accepted:
 ///
-/// * a suite class id (`"F1"` … `"K4"`, `"X1"` … `"B4"`), or
+/// * a suite class id (`"F1"` … `"K4"`, `"X1"` … `"B4"`, plus the
+///   native-inequality classes `"B1n"` … `"B4n"`, `"M1"`/`"M2"`,
+///   `"A1"`/`"A2"`), or
 /// * an explicit family shape: `"flp:2x1"`, `"gcp:3x2x3"`,
 ///   `"kpp:6x7x2"` / `"kpp:6x7x2:unbal"`, `"cover:6x10"`,
-///   `"knapsack:5x8"`.
+///   `"knapsack:5x8"` / `"knapsack:5x8:native"` (the encoding suffix is
+///   a grid axis: `slack` is the default equality-budget formulation,
+///   `native` keeps the budget a first-class `≤` row),
+///   `"mdknap:5x2"` (items × dimensions), `"assign:2x3"`
+///   (agents × tasks).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProblemRef(String);
 
@@ -143,7 +149,7 @@ impl ProblemRef {
     /// assertion), or oversized instances.
     pub fn build(&self, seed: u64) -> Result<Problem, String> {
         let text = self.0.as_str();
-        if problems::EXTENDED_CLASSES.contains(&text) {
+        if problems::EXTENDED_CLASSES.contains(&text) || problems::NATIVE_CLASSES.contains(&text) {
             return Ok(problems::instance(text, seed));
         }
         let (family, rest) = text.split_once(':').ok_or_else(|| {
@@ -153,12 +159,18 @@ impl ProblemRef {
             Some((shape, suffix)) => (shape, Some(suffix)),
             None => (rest, None),
         };
-        // Only kpp has a shape suffix; anything else is a typo, not a
-        // silent no-op.
+        // Only kpp (`:unbal`) and knapsack (`:slack`/`:native`) take a
+        // shape suffix; anything else is a typo, not a silent no-op.
         if let Some(suffix) = suffix {
-            if family != "kpp" || suffix != "unbal" {
+            let valid = match family {
+                "kpp" => suffix == "unbal",
+                "knapsack" | "knap" => problems::KnapsackEncoding::parse(suffix).is_some(),
+                _ => false,
+            };
+            if !valid {
                 return Err(format!(
-                    "bad suffix `:{suffix}` in `{text}` (only `kpp:VxExB:unbal` is valid)"
+                    "bad suffix `:{suffix}` in `{text}` (valid: `kpp:VxExB:unbal`, \
+                     `knapsack:IxW:slack`, `knapsack:IxW:native`)"
                 ));
             }
         }
@@ -212,7 +224,18 @@ impl ProblemRef {
             }
             "knapsack" | "knap" => {
                 check_dims(&dims, 2, family)?;
-                problems::knapsack_random(parse_dim(0)?, parse_dim(1)? as u64, seed)
+                let encoding = suffix
+                    .and_then(problems::KnapsackEncoding::parse)
+                    .unwrap_or_default();
+                problems::knapsack_random_with(parse_dim(0)?, parse_dim(1)? as u64, seed, encoding)
+            }
+            "mdknap" => {
+                check_dims(&dims, 2, family)?;
+                problems::mdknap_random(parse_dim(0)?, parse_dim(1)?, seed)
+            }
+            "assign" | "assigncap" => {
+                check_dims(&dims, 2, family)?;
+                problems::assigncap_random(parse_dim(0)?, parse_dim(1)?, seed)
             }
             other => return Err(format!("unknown problem family `{other}`")),
         };
@@ -917,6 +940,8 @@ quick_problems = ["F1"]
             "kpp:4x3x2",
             "cover:4x6",
             "knapsack:4x6",
+            "mdknap:4x2",
+            "assign:2x2",
         ] {
             let p = ProblemRef::parse(r).unwrap().build(1).unwrap();
             assert!(p.n_vars() > 0, "{r}");
@@ -926,6 +951,34 @@ quick_problems = ["F1"]
             ProblemRef::parse("X1").unwrap().build(2).unwrap().n_vars(),
             6
         );
+    }
+
+    #[test]
+    fn knapsack_encoding_suffix_is_a_grid_axis() {
+        // Same items either way; the axis only changes the formulation.
+        let slack = ProblemRef::parse("knapsack:4x6:slack")
+            .unwrap()
+            .build(1)
+            .unwrap();
+        let native = ProblemRef::parse("knapsack:4x6:native")
+            .unwrap()
+            .build(1)
+            .unwrap();
+        let default = ProblemRef::parse("knapsack:4x6").unwrap().build(1).unwrap();
+        assert_eq!(format!("{slack}"), format!("{default}"));
+        assert!(native.n_vars() < slack.n_vars());
+        assert!(native.has_inequalities());
+        assert!(!slack.has_inequalities());
+        assert!(ProblemRef::parse("knapsack:4x6:penalty").is_err());
+        assert!(ProblemRef::parse("mdknap:4x2:native").is_err());
+    }
+
+    #[test]
+    fn native_suite_classes_resolve() {
+        for id in ["B1n", "M1", "A2"] {
+            let p = ProblemRef::parse(id).unwrap().build(1).unwrap();
+            assert!(p.has_inequalities(), "{id}");
+        }
     }
 
     #[test]

@@ -112,7 +112,8 @@ pub(crate) fn execute_decomposition(
 fn generic_block_depth(problem: &Problem) -> Option<f64> {
     let driver = CommuteDriver::build(problem.constraints()).ok()?;
     let mut total = 0f64;
-    for u in driver.terms() {
+    for t in driver.terms() {
+        let u = &t.u;
         let support: Vec<usize> = (0..u.len()).filter(|&i| u[i] != 0).collect();
         let k = support.len();
         // Dense e^{-iβ Hc} on the support qubits only.
@@ -293,12 +294,13 @@ pub(crate) fn execute_support(
                 .map_err(|e| format!("{}: {e}", problem.name()))?;
             let initial = problem
                 .first_feasible()
+                .map(|x| driver.encode_state(x))
                 .ok_or_else(|| format!("{}: infeasible", problem.name()))?;
             let ordered = driver.ordered_terms(initial);
             let poly = Arc::new(problem.cost_poly());
             let params = ChocoQSolver::initial_params(1, ordered.len());
             let circuit =
-                ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+                ChocoQSolver::build_circuit(&driver, &poly, &ordered, initial, 1, &params);
             let profile = support_profile_with(&circuit, 1e-9, sim);
             let mut record = Record::new();
             record

@@ -14,7 +14,9 @@
 //! reproduces the weakness the paper cites: constraints are only soft
 //! (through the penalty) and good success needs long evolution times.
 
-use crate::shared::{check_size, circuit_stats, sample_transpiled_noisy, QaoaConfig};
+use crate::shared::{
+    check_size, circuit_stats, reject_inequalities, sample_transpiled_noisy, QaoaConfig,
+};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError, TimingBreakdown};
 use choco_qsim::{Circuit, StateVector};
 use rand::rngs::StdRng;
@@ -116,6 +118,7 @@ impl Solver for AnnealingSolver {
     }
 
     fn solve(&self, problem: &Problem) -> Result<SolveOutcome, SolverError> {
+        reject_inequalities(problem, "annealing")?;
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();

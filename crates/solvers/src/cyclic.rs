@@ -18,7 +18,8 @@
 //!   degrades exactly the way Table II shows.
 
 use crate::shared::{
-    check_size, circuit_stats, ramp_initial_params, variational_loop, CostSpec, QaoaConfig,
+    check_size, circuit_stats, ramp_initial_params, reject_inequalities, variational_loop,
+    CostSpec, QaoaConfig,
 };
 use choco_mathkit::{LinEq, LinSystem};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
@@ -94,6 +95,7 @@ impl CyclicQaoaSolver {
         problem: &Problem,
         workspace: &mut SimWorkspace,
     ) -> Result<SolveOutcome, SolverError> {
+        reject_inequalities(problem, "cyclic-qaoa")?;
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();

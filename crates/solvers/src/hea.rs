@@ -7,7 +7,9 @@
 //! paper notes (§VI-A), this "cannot always converge into an optimal
 //! solution since the circuit structure is not specialized".
 
-use crate::shared::{check_size, circuit_stats, variational_loop, CostSpec, QaoaConfig};
+use crate::shared::{
+    check_size, circuit_stats, reject_inequalities, variational_loop, CostSpec, QaoaConfig,
+};
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
 use choco_qsim::SimWorkspace;
@@ -57,6 +59,7 @@ impl HeaSolver {
         problem: &Problem,
         workspace: &mut SimWorkspace,
     ) -> Result<SolveOutcome, SolverError> {
+        reject_inequalities(problem, "hea")?;
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();

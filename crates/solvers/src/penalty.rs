@@ -9,7 +9,8 @@
 //! visible in this implementation's metrics.
 
 use crate::shared::{
-    check_size, circuit_stats, ramp_initial_params, variational_loop, CostSpec, QaoaConfig,
+    check_size, circuit_stats, ramp_initial_params, reject_inequalities, variational_loop,
+    CostSpec, QaoaConfig,
 };
 use choco_model::{Problem, SolveOutcome, Solver, SolverError};
 use choco_qsim::Circuit;
@@ -73,6 +74,7 @@ impl PenaltyQaoaSolver {
         problem: &Problem,
         workspace: &mut SimWorkspace,
     ) -> Result<SolveOutcome, SolverError> {
+        reject_inequalities(problem, "penalty-qaoa")?;
         let n = problem.n_vars();
         check_size(n)?;
         let compile_start = Instant::now();
@@ -144,6 +146,29 @@ mod tests {
             .equality([(0, 1), (1, 1), (2, 1)], 2)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn native_inequality_instance_is_rejected_not_mis_solved() {
+        // A `≤` row is invisible to the penalty Hamiltonian; solving would
+        // silently optimize the unconstrained problem.
+        let p = Problem::builder(3)
+            .maximize()
+            .linear(0, 1.0)
+            .linear(1, 2.0)
+            .less_equal([(0, 1), (1, 2), (2, 2)], 3)
+            .build()
+            .unwrap();
+        let err = PenaltyQaoaSolver::new(QaoaConfig::fast_test())
+            .solve(&p)
+            .unwrap_err();
+        match err {
+            SolverError::Unsupported(msg) => {
+                assert!(msg.contains("penalty-qaoa"), "{msg}");
+                assert!(msg.contains("slack"), "{msg}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
     }
 
     #[test]

@@ -97,6 +97,30 @@ pub fn check_size(required_qubits: usize) -> Result<(), SolverError> {
     check_size_for(required_qubits, EngineKind::Dense)
 }
 
+/// Rejects native-inequality instances for the soft-constraint baselines.
+///
+/// Their penalty Hamiltonian ([`choco_model::Problem::penalty_poly`])
+/// expands *equality* rows only, so a first-class `≤` row would be
+/// silently dropped from the objective — the solve would "succeed" while
+/// optimizing a different problem. Solvers whose feasibility handling is
+/// exact (Choco-Q's driver-level slack registers, Grover's classical
+/// oracle) do not call this.
+pub fn reject_inequalities(
+    problem: &choco_model::Problem,
+    solver: &str,
+) -> Result<(), SolverError> {
+    if problem.has_inequalities() {
+        return Err(SolverError::Unsupported(format!(
+            "`{}` has native `<=` rows, which {solver}'s soft penalty cannot encode \
+             (it expands equality rows only and would silently ignore the budget); \
+             use the choco solver, or re-encode the instance with explicit slack \
+             variables (e.g. the knapsack `slack` encoding)",
+            problem.name()
+        )));
+    }
+    Ok(())
+}
+
 /// Engine-aware size gate: the dense engine stops at [`MAX_SIM_QUBITS`];
 /// the sparse/compact/auto engines accept anything the circuit IR can
 /// express ([`MAX_SPARSE_QUBITS`]) because a feasible-subspace solve

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ordered = driver.ordered_terms(initial);
     let poly = Arc::new(problem.cost_poly());
     let params = ChocoQSolver::initial_params(1, ordered.len());
-    let circuit = ChocoQSolver::build_circuit(n, &poly, &ordered, initial, 1, &params);
+    let circuit = ChocoQSolver::build_circuit(&driver, &poly, &ordered, initial, 1, &params);
 
     let mut wide = Circuit::new(n + 2);
     for g in circuit.gates() {

@@ -70,7 +70,7 @@ fn candidate_circuits(problem: &Problem, seed: u64, k: usize) -> Option<Vec<Circ
             let params: Vec<f64> = (0..ChocoQSolver::n_params(1, ordered.len()))
                 .map(|_| rng.gen_range_f64(-1.5, 1.5))
                 .collect();
-            ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params)
+            ChocoQSolver::build_circuit(&driver, &poly, &ordered, initial, 1, &params)
         })
         .collect();
     Some(circuits)

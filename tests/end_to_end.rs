@@ -78,8 +78,7 @@ fn structured_and_transpiled_paths_agree() {
     let ordered = driver.ordered_terms(initial);
     let poly = Arc::new(problem.cost_poly());
     let params = ChocoQSolver::initial_params(1, ordered.len());
-    let circuit =
-        ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+    let circuit = ChocoQSolver::build_circuit(&driver, &poly, &ordered, initial, 1, &params);
 
     let exact = StateVector::run(&circuit);
 

@@ -26,19 +26,29 @@ use choco_q::runner::ProblemRef;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-/// The six families of the evaluation: FLP, GCP, KPP, exact cover,
-/// knapsack, plus random builder instances. Shapes are chosen so every
-/// register lands in 4..=14 qubits (dense-comparable sizes).
-const FAMILY_SHAPES: [&[&str]; 5] = [
+/// The families of the evaluation: FLP, GCP, KPP, exact cover, knapsack,
+/// the native-inequality families (knapsack with a first-class `≤` budget
+/// row, multi-dimensional knapsack, assignment with capacities — whose
+/// circuits run on the driver-encoded register, wider than `n_vars`),
+/// plus random builder instances. Shapes are chosen so every register
+/// lands in 4..=14 qubits (dense-comparable sizes).
+const FAMILY_SHAPES: [&[&str]; 8] = [
     &["flp:2x1", "flp:2x2"],
     &["gcp:2x1x2", "gcp:3x2x2", "gcp:3x3x2"],
     &["kpp:4x3x2", "kpp:4x4x2", "kpp:6x5x2"],
     &["cover:4x6", "cover:5x8", "cover:6x12"],
     &["knapsack:4x6", "knapsack:5x8", "knapsack:6x10"],
+    &[
+        "knapsack:4x6:native",
+        "knapsack:5x8:native",
+        "knapsack:6x10:native",
+    ],
+    &["mdknap:4x2", "mdknap:5x2"],
+    &["assign:2x2", "assign:2x3"],
 ];
 
 /// A random summation-constrained instance from the problem builder
-/// (family index 5), n in 4..=14.
+/// (family index 8), n in 4..=14.
 fn random_instance(seed: u64) -> Problem {
     let mut rng = SplitMix64::new(seed ^ 0xFEED);
     let n = 4 + (rng.gen_range(0, 11) as usize); // 4..=14
@@ -67,10 +77,10 @@ fn random_instance(seed: u64) -> Problem {
     b.build().expect("valid random instance")
 }
 
-/// The instance for (family, seed): families 0..=4 come from the suite
-/// generators, 5 from the random builder.
+/// The instance for (family, seed): families 0..=7 come from the suite
+/// generators, 8 from the random builder.
 fn family_instance(family: usize, seed: u64) -> Problem {
-    if family == 5 {
+    if family == 8 {
         return random_instance(seed);
     }
     let shapes = FAMILY_SHAPES[family];
@@ -86,14 +96,14 @@ fn family_instance(family: usize, seed: u64) -> Problem {
 /// commute-driver pass — per layer).
 fn choco_circuit(problem: &Problem, seed: u64, layers: usize) -> Option<Circuit> {
     let driver = CommuteDriver::build(problem.constraints()).ok()?;
-    let initial = problem.first_feasible()?;
+    let initial = driver.encode_state(problem.first_feasible()?);
     let ordered = driver.ordered_terms(initial);
     let mut rng = SplitMix64::new(seed ^ 0xC1AC);
     let params: Vec<f64> = (0..ChocoQSolver::n_params(layers, ordered.len()))
         .map(|_| rng.gen_range_f64(-1.5, 1.5))
         .collect();
     Some(ChocoQSolver::build_circuit(
-        problem.n_vars(),
+        &driver,
         &Arc::new(problem.cost_poly()),
         &ordered,
         initial,
@@ -125,7 +135,7 @@ proptest! {
     /// commute theorem).
     #[test]
     fn sparse_and_compact_match_strided_and_oracle_on_all_families(
-        family in 0usize..6,
+        family in 0usize..9,
         seed in any::<u64>(),
         layers in 1usize..3,
     ) {
@@ -135,6 +145,11 @@ proptest! {
             // No ternary kernel basis / infeasible: nothing to compare.
             return Ok(());
         };
+        // Native-inequality families simulate the driver-encoded register
+        // (decision bits + synthesized slack); every comparison below runs
+        // at that width.
+        let width = circuit.n_qubits();
+        prop_assert!(width <= 14);
         let oracle = ScalarStateVector::run(&circuit);
         let sparse = SparseStateVector::run(&circuit);
         for (bits, &expect) in oracle.amplitudes().iter().enumerate() {
@@ -163,7 +178,7 @@ proptest! {
             let mut ws = SimWorkspace::new(compact_threaded(threads));
             for replay in 0..2 {
                 let state = ws.run(&circuit);
-                for bits in 0..(1u64 << problem.n_vars()) {
+                for bits in 0..(1u64 << width) {
                     let (a, b) = (state.amplitude(bits), sparse.amplitude(bits));
                     prop_assert!(
                         a.re == b.re && a.im == b.im,
@@ -210,7 +225,7 @@ proptest! {
     /// sample histograms, shot for shot.
     #[test]
     fn sample_streams_identical_across_engines_and_threads(
-        family in 0usize..6,
+        family in 0usize..9,
         seed in any::<u64>(),
     ) {
         use rand::rngs::StdRng;
@@ -471,7 +486,7 @@ fn choco_circuit_for_support(problem: &Problem) -> Circuit {
     let ordered = driver.ordered_terms(initial);
     let params = ChocoQSolver::initial_params(1, ordered.len());
     ChocoQSolver::build_circuit(
-        problem.n_vars(),
+        &driver,
         &Arc::new(problem.cost_poly()),
         &ordered,
         initial,

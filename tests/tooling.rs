@@ -73,8 +73,7 @@ fn draw_renders_a_choco_circuit() {
     let ordered = driver.ordered_terms(initial);
     let poly = Arc::new(problem.cost_poly());
     let params = ChocoQSolver::initial_params(1, ordered.len());
-    let circuit =
-        ChocoQSolver::build_circuit(problem.n_vars(), &poly, &ordered, initial, 1, &params);
+    let circuit = ChocoQSolver::build_circuit(&driver, &poly, &ordered, initial, 1, &params);
     let art = choco_q::qsim::draw(&circuit, 40);
     assert!(art.contains("q0:"));
     assert!(
